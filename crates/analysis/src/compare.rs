@@ -1,0 +1,125 @@
+//! Paper-vs-measured comparison records, the backbone of EXPERIMENTS.md.
+//!
+//! The reproduction's contract is *shape*, not absolute numbers (the paper
+//! measured the live 2006 networks; we measure a calibrated synthetic
+//! ecosystem). Each [`Expectation`] states the abstract's quantitative
+//! claim, the tolerance band within which we call the shape reproduced, and
+//! the measured value.
+
+use crate::table::Table;
+use serde::Serialize;
+
+/// One paper-vs-measured check.
+#[derive(Debug, Clone, Serialize)]
+pub struct Expectation {
+    /// Experiment id (e.g. "T1-limewire").
+    pub id: String,
+    /// What is being measured, human readable.
+    pub metric: String,
+    /// The paper's value (percent or ratio).
+    pub paper: f64,
+    /// Acceptable absolute deviation.
+    pub tolerance: f64,
+    /// What we measured.
+    pub measured: f64,
+}
+
+impl Expectation {
+    pub fn new(id: &str, metric: &str, paper: f64, tolerance: f64, measured: f64) -> Self {
+        Expectation {
+            id: id.to_string(),
+            metric: metric.to_string(),
+            paper,
+            tolerance,
+            measured,
+        }
+    }
+
+    /// Did the measured value land inside the band?
+    pub fn holds(&self) -> bool {
+        (self.measured - self.paper).abs() <= self.tolerance
+    }
+}
+
+/// A set of expectations with rendering helpers.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Comparison {
+    pub expectations: Vec<Expectation>,
+}
+
+impl Comparison {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, e: Expectation) -> &mut Self {
+        self.expectations.push(e);
+        self
+    }
+
+    /// All expectations inside their bands?
+    pub fn all_hold(&self) -> bool {
+        self.expectations.iter().all(|e| e.holds())
+    }
+
+    /// The failing subset.
+    pub fn failures(&self) -> Vec<&Expectation> {
+        self.expectations.iter().filter(|e| !e.holds()).collect()
+    }
+
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            "Paper vs measured",
+            &["id", "metric", "paper", "measured", "band", "holds"],
+        );
+        for e in &self.expectations {
+            t.row(vec![
+                e.id.clone(),
+                e.metric.clone(),
+                format!("{:.1}", e.paper),
+                format!("{:.1}", e.measured),
+                format!("±{:.1}", e.tolerance),
+                if e.holds() { "yes".into() } else { "NO".into() },
+            ]);
+        }
+        t
+    }
+
+    /// Machine-readable form for EXPERIMENTS.md tooling.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("comparison serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_respects_band() {
+        assert!(Expectation::new("x", "m", 68.0, 8.0, 63.5).holds());
+        assert!(!Expectation::new("x", "m", 68.0, 2.0, 63.5).holds());
+        assert!(Expectation::new("x", "m", 68.0, 0.0, 68.0).holds());
+    }
+
+    #[test]
+    fn comparison_reports_failures() {
+        let mut c = Comparison::new();
+        c.push(Expectation::new("a", "m1", 99.0, 1.5, 99.4));
+        c.push(Expectation::new("b", "m2", 28.0, 10.0, 55.0));
+        assert!(!c.all_hold());
+        assert_eq!(c.failures().len(), 1);
+        assert_eq!(c.failures()[0].id, "b");
+        let md = c.to_table().to_markdown();
+        assert!(md.contains("NO"));
+        assert!(md.contains("yes"));
+    }
+
+    #[test]
+    fn json_is_parseable() {
+        let mut c = Comparison::new();
+        c.push(Expectation::new("a", "m", 3.0, 2.0, 2.5));
+        let parsed: serde_json::Value = serde_json::from_str(&c.to_json()).unwrap();
+        assert_eq!(parsed["expectations"][0]["id"], "a");
+    }
+}

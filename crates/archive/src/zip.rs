@@ -1,0 +1,480 @@
+//! A ZIP (PKWARE APPNOTE) archive reader and writer.
+//!
+//! Supports the two methods that matter for 2006-era P2P content: `stored`
+//! (0) and `deflate` (8). The reader locates the end-of-central-directory
+//! record, walks the central directory, and cross-checks each entry against
+//! its local file header; extracted data is CRC-verified. All parsing treats
+//! the input as hostile — P2P downloads are exactly the adversarial case the
+//! paper studies — so malformed structure yields typed errors, never panics.
+
+use crate::crc32::crc32;
+use crate::deflate::deflate;
+use crate::inflate::{inflate, InflateError};
+
+const LOCAL_SIG: u32 = 0x04034b50;
+const CENTRAL_SIG: u32 = 0x02014b50;
+const EOCD_SIG: u32 = 0x06054b50;
+
+/// Compression method for a ZIP entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Method 0: no compression.
+    Stored,
+    /// Method 8: DEFLATE.
+    Deflate,
+}
+
+impl Method {
+    fn id(self) -> u16 {
+        match self {
+            Method::Stored => 0,
+            Method::Deflate => 8,
+        }
+    }
+
+    fn from_id(id: u16) -> Option<Self> {
+        match id {
+            0 => Some(Method::Stored),
+            8 => Some(Method::Deflate),
+            _ => None,
+        }
+    }
+}
+
+/// Errors from parsing or extracting a ZIP archive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZipError {
+    /// No end-of-central-directory record found.
+    MissingEocd,
+    /// Structure truncated or offsets out of range.
+    Truncated,
+    /// A signature did not match its expected magic.
+    BadSignature,
+    /// Compression method other than stored/deflate.
+    UnsupportedMethod(u16),
+    /// Entry name is not valid UTF-8.
+    BadName,
+    /// CRC-32 of extracted data did not match the directory entry.
+    CrcMismatch { expected: u32, actual: u32 },
+    /// Declared uncompressed size disagrees with extracted data.
+    SizeMismatch { expected: u32, actual: usize },
+    /// DEFLATE stream was invalid.
+    Inflate(InflateError),
+    /// Entry index out of range.
+    NoSuchEntry(usize),
+    /// Uncompressed size exceeds the reader's configured ceiling.
+    EntryTooLarge(u64),
+}
+
+impl std::fmt::Display for ZipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipError::MissingEocd => write!(f, "no end-of-central-directory record"),
+            ZipError::Truncated => write!(f, "zip structure truncated"),
+            ZipError::BadSignature => write!(f, "bad zip signature"),
+            ZipError::UnsupportedMethod(m) => write!(f, "unsupported compression method {m}"),
+            ZipError::BadName => write!(f, "entry name is not valid UTF-8"),
+            ZipError::CrcMismatch { expected, actual } => {
+                write!(f, "crc mismatch: expected {expected:08x}, got {actual:08x}")
+            }
+            ZipError::SizeMismatch { expected, actual } => {
+                write!(f, "size mismatch: expected {expected}, got {actual}")
+            }
+            ZipError::Inflate(e) => write!(f, "deflate error: {e}"),
+            ZipError::NoSuchEntry(i) => write!(f, "no entry {i}"),
+            ZipError::EntryTooLarge(n) => write!(f, "entry of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for ZipError {}
+
+impl From<InflateError> for ZipError {
+    fn from(e: InflateError) -> Self {
+        ZipError::Inflate(e)
+    }
+}
+
+/// Metadata for one archive member, from the central directory.
+#[derive(Debug, Clone)]
+pub struct ZipEntry {
+    pub name: String,
+    pub method: Method,
+    pub crc32: u32,
+    pub compressed_size: u32,
+    pub uncompressed_size: u32,
+    /// Offset of the local file header within the archive.
+    pub local_header_offset: u32,
+}
+
+/// A parsed ZIP archive borrowing the underlying bytes.
+pub struct ZipArchive<'a> {
+    data: &'a [u8],
+    entries: Vec<ZipEntry>,
+    /// Per-entry decompression ceiling (zip-bomb guard).
+    max_entry_size: u64,
+}
+
+fn le16(data: &[u8], off: usize) -> Result<u16, ZipError> {
+    data.get(off..off + 2)
+        .map(|s| u16::from_le_bytes([s[0], s[1]]))
+        .ok_or(ZipError::Truncated)
+}
+
+fn le32(data: &[u8], off: usize) -> Result<u32, ZipError> {
+    data.get(off..off + 4)
+        .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+        .ok_or(ZipError::Truncated)
+}
+
+impl<'a> ZipArchive<'a> {
+    /// Parses the archive structure with the default 64 MiB per-entry limit.
+    pub fn parse(data: &'a [u8]) -> Result<Self, ZipError> {
+        Self::parse_with_limit(data, 64 << 20)
+    }
+
+    /// Parses with an explicit per-entry decompressed-size ceiling.
+    pub fn parse_with_limit(data: &'a [u8], max_entry_size: u64) -> Result<Self, ZipError> {
+        // EOCD: scan backwards for the signature; the record has a variable
+        // length comment so it is not at a fixed offset.
+        if data.len() < 22 {
+            return Err(ZipError::MissingEocd);
+        }
+        let mut eocd = None;
+        let scan_floor = data.len().saturating_sub(22 + 0xFFFF);
+        let mut off = data.len() - 22;
+        loop {
+            if le32(data, off)? == EOCD_SIG {
+                eocd = Some(off);
+                break;
+            }
+            if off == scan_floor {
+                break;
+            }
+            off -= 1;
+        }
+        let eocd = eocd.ok_or(ZipError::MissingEocd)?;
+        let total_entries = le16(data, eocd + 10)? as usize;
+        let cd_offset = le32(data, eocd + 16)? as usize;
+
+        let mut entries = Vec::with_capacity(total_entries.min(4096));
+        let mut pos = cd_offset;
+        for _ in 0..total_entries {
+            if le32(data, pos)? != CENTRAL_SIG {
+                return Err(ZipError::BadSignature);
+            }
+            let method_id = le16(data, pos + 10)?;
+            let method = Method::from_id(method_id).ok_or(ZipError::UnsupportedMethod(method_id))?;
+            let crc = le32(data, pos + 16)?;
+            let csize = le32(data, pos + 20)?;
+            let usize_ = le32(data, pos + 24)?;
+            let name_len = le16(data, pos + 28)? as usize;
+            let extra_len = le16(data, pos + 30)? as usize;
+            let comment_len = le16(data, pos + 32)? as usize;
+            let lho = le32(data, pos + 42)?;
+            let name_bytes = data.get(pos + 46..pos + 46 + name_len).ok_or(ZipError::Truncated)?;
+            let name = std::str::from_utf8(name_bytes).map_err(|_| ZipError::BadName)?.to_string();
+            entries.push(ZipEntry {
+                name,
+                method,
+                crc32: crc,
+                compressed_size: csize,
+                uncompressed_size: usize_,
+                local_header_offset: lho,
+            });
+            pos += 46 + name_len + extra_len + comment_len;
+        }
+        Ok(ZipArchive { data, entries, max_entry_size })
+    }
+
+    /// Central-directory entries in archive order.
+    pub fn entries(&self) -> &[ZipEntry] {
+        &self.entries
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Extracts and CRC-verifies entry `index`.
+    pub fn read(&self, index: usize) -> Result<Vec<u8>, ZipError> {
+        let entry = self.entries.get(index).ok_or(ZipError::NoSuchEntry(index))?;
+        if entry.uncompressed_size as u64 > self.max_entry_size {
+            return Err(ZipError::EntryTooLarge(entry.uncompressed_size as u64));
+        }
+        let lho = entry.local_header_offset as usize;
+        if le32(self.data, lho)? != LOCAL_SIG {
+            return Err(ZipError::BadSignature);
+        }
+        let name_len = le16(self.data, lho + 26)? as usize;
+        let extra_len = le16(self.data, lho + 28)? as usize;
+        let data_start = lho + 30 + name_len + extra_len;
+        let comp = self
+            .data
+            .get(data_start..data_start + entry.compressed_size as usize)
+            .ok_or(ZipError::Truncated)?;
+        let raw = match entry.method {
+            Method::Stored => comp.to_vec(),
+            Method::Deflate => inflate(comp, entry.uncompressed_size as usize)?,
+        };
+        if raw.len() != entry.uncompressed_size as usize {
+            return Err(ZipError::SizeMismatch {
+                expected: entry.uncompressed_size,
+                actual: raw.len(),
+            });
+        }
+        let actual = crc32(&raw);
+        if actual != entry.crc32 {
+            return Err(ZipError::CrcMismatch { expected: entry.crc32, actual });
+        }
+        Ok(raw)
+    }
+}
+
+struct PendingEntry {
+    name: String,
+    method: Method,
+    crc32: u32,
+    compressed: Vec<u8>,
+    uncompressed_size: u32,
+    local_header_offset: u32,
+}
+
+/// Incremental ZIP writer.
+///
+/// ```
+/// use p2pmal_archive::zip::{ZipWriter, Method};
+/// let mut w = ZipWriter::new();
+/// w.add("readme.txt", b"hi", Method::Stored);
+/// let archive = w.finish();
+/// assert!(archive.starts_with(&[0x50, 0x4b, 0x03, 0x04]));
+/// ```
+pub struct ZipWriter {
+    out: Vec<u8>,
+    entries: Vec<PendingEntry>,
+}
+
+impl Default for ZipWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ZipWriter {
+    pub fn new() -> Self {
+        ZipWriter { out: Vec::new(), entries: Vec::new() }
+    }
+
+    /// Appends a member. With [`Method::Deflate`] the data is compressed but
+    /// falls back to stored if compression would expand it, mirroring what
+    /// real archivers do.
+    pub fn add(&mut self, name: &str, data: &[u8], method: Method) {
+        let crc = crc32(data);
+        let (method, compressed) = match method {
+            Method::Stored => (Method::Stored, data.to_vec()),
+            Method::Deflate => {
+                let comp = deflate(data);
+                if comp.len() >= data.len() && !data.is_empty() {
+                    (Method::Stored, data.to_vec())
+                } else {
+                    (Method::Deflate, comp)
+                }
+            }
+        };
+        let offset = self.out.len() as u32;
+        // Local file header.
+        self.out.extend_from_slice(&LOCAL_SIG.to_le_bytes());
+        self.out.extend_from_slice(&20u16.to_le_bytes()); // version needed
+        self.out.extend_from_slice(&0u16.to_le_bytes()); // flags
+        self.out.extend_from_slice(&method.id().to_le_bytes());
+        self.out.extend_from_slice(&0u16.to_le_bytes()); // mod time
+        self.out.extend_from_slice(&0u16.to_le_bytes()); // mod date
+        self.out.extend_from_slice(&crc.to_le_bytes());
+        self.out.extend_from_slice(&(compressed.len() as u32).to_le_bytes());
+        self.out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        self.out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        self.out.extend_from_slice(&0u16.to_le_bytes()); // extra len
+        self.out.extend_from_slice(name.as_bytes());
+        self.out.extend_from_slice(&compressed);
+        self.entries.push(PendingEntry {
+            name: name.to_string(),
+            method,
+            crc32: crc,
+            compressed,
+            uncompressed_size: data.len() as u32,
+            local_header_offset: offset,
+        });
+    }
+
+    /// Writes the central directory and EOCD, returning the archive bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        let cd_offset = self.out.len() as u32;
+        for e in &self.entries {
+            self.out.extend_from_slice(&CENTRAL_SIG.to_le_bytes());
+            self.out.extend_from_slice(&20u16.to_le_bytes()); // version made by
+            self.out.extend_from_slice(&20u16.to_le_bytes()); // version needed
+            self.out.extend_from_slice(&0u16.to_le_bytes()); // flags
+            self.out.extend_from_slice(&e.method.id().to_le_bytes());
+            self.out.extend_from_slice(&0u16.to_le_bytes()); // time
+            self.out.extend_from_slice(&0u16.to_le_bytes()); // date
+            self.out.extend_from_slice(&e.crc32.to_le_bytes());
+            self.out.extend_from_slice(&(e.compressed.len() as u32).to_le_bytes());
+            self.out.extend_from_slice(&e.uncompressed_size.to_le_bytes());
+            self.out.extend_from_slice(&(e.name.len() as u16).to_le_bytes());
+            self.out.extend_from_slice(&0u16.to_le_bytes()); // extra
+            self.out.extend_from_slice(&0u16.to_le_bytes()); // comment
+            self.out.extend_from_slice(&0u16.to_le_bytes()); // disk number
+            self.out.extend_from_slice(&0u16.to_le_bytes()); // internal attrs
+            self.out.extend_from_slice(&0u32.to_le_bytes()); // external attrs
+            self.out.extend_from_slice(&e.local_header_offset.to_le_bytes());
+            self.out.extend_from_slice(e.name.as_bytes());
+        }
+        let cd_size = self.out.len() as u32 - cd_offset;
+        let n = self.entries.len() as u16;
+        self.out.extend_from_slice(&EOCD_SIG.to_le_bytes());
+        self.out.extend_from_slice(&0u16.to_le_bytes()); // disk number
+        self.out.extend_from_slice(&0u16.to_le_bytes()); // cd start disk
+        self.out.extend_from_slice(&n.to_le_bytes());
+        self.out.extend_from_slice(&n.to_le_bytes());
+        self.out.extend_from_slice(&cd_size.to_le_bytes());
+        self.out.extend_from_slice(&cd_offset.to_le_bytes());
+        self.out.extend_from_slice(&0u16.to_le_bytes()); // comment len
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_stored_and_deflate() {
+        let mut w = ZipWriter::new();
+        w.add("a.txt", b"alpha alpha alpha alpha", Method::Deflate);
+        w.add("b.bin", &[0u8, 1, 2, 3, 4, 5], Method::Stored);
+        w.add("empty", b"", Method::Deflate);
+        let bytes = w.finish();
+        let a = ZipArchive::parse(&bytes).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.entries()[0].name, "a.txt");
+        assert_eq!(a.read(0).unwrap(), b"alpha alpha alpha alpha");
+        assert_eq!(a.read(1).unwrap(), &[0u8, 1, 2, 3, 4, 5]);
+        assert_eq!(a.read(2).unwrap(), b"");
+    }
+
+    #[test]
+    fn incompressible_falls_back_to_stored() {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut data = vec![0u8; 1000];
+        rng.fill_bytes(&mut data);
+        let mut w = ZipWriter::new();
+        w.add("r.bin", &data, Method::Deflate);
+        let bytes = w.finish();
+        let a = ZipArchive::parse(&bytes).unwrap();
+        assert_eq!(a.entries()[0].method, Method::Stored);
+        assert_eq!(a.read(0).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_archive() {
+        let bytes = ZipWriter::new().finish();
+        let a = ZipArchive::parse(&bytes).unwrap();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn corrupt_crc_detected() {
+        let mut w = ZipWriter::new();
+        w.add("x", b"payload payload payload", Method::Stored);
+        let mut bytes = w.finish();
+        // Flip a byte inside the stored payload (after the 30+1 byte header).
+        bytes[35] ^= 0xFF;
+        let a = ZipArchive::parse(&bytes).unwrap();
+        assert!(matches!(a.read(0), Err(ZipError::CrcMismatch { .. })));
+    }
+
+    #[test]
+    fn missing_eocd_rejected() {
+        assert_eq!(ZipArchive::parse(b"PK\x03\x04not a real zip").err(), Some(ZipError::MissingEocd));
+        assert_eq!(ZipArchive::parse(b"").err(), Some(ZipError::MissingEocd));
+    }
+
+    #[test]
+    fn unsupported_method_rejected() {
+        let mut w = ZipWriter::new();
+        w.add("x", b"data", Method::Stored);
+        let mut bytes = w.finish();
+        // Patch the central directory method field (offset cd+10) to 99.
+        let cd = bytes.len() - 22 - (46 + 1); // EOCD is 22, one CD entry with 1-char name
+        bytes[cd + 10] = 99;
+        assert_eq!(ZipArchive::parse(&bytes).err(), Some(ZipError::UnsupportedMethod(99)));
+    }
+
+    #[test]
+    fn entry_size_limit_enforced() {
+        let mut w = ZipWriter::new();
+        w.add("big", &vec![b'a'; 4096], Method::Deflate);
+        let bytes = w.finish();
+        let a = ZipArchive::parse_with_limit(&bytes, 100).unwrap();
+        assert!(matches!(a.read(0), Err(ZipError::EntryTooLarge(4096))));
+    }
+
+    #[test]
+    fn read_out_of_range() {
+        let bytes = ZipWriter::new().finish();
+        let a = ZipArchive::parse(&bytes).unwrap();
+        assert_eq!(a.read(0).err(), Some(ZipError::NoSuchEntry(0)));
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let mut w = ZipWriter::new();
+        w.add("file.exe", b"some content that is long enough", Method::Deflate);
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            if let Ok(a) = ZipArchive::parse(&bytes[..cut]) {
+                for i in 0..a.len() {
+                    let _ = a.read(i);
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            files in proptest::collection::vec(
+                ("[a-z]{1,12}\\.(exe|zip|txt)", proptest::collection::vec(any::<u8>(), 0..512)),
+                1..8
+            )
+        ) {
+            let mut w = ZipWriter::new();
+            for (name, data) in &files {
+                w.add(name, data, Method::Deflate);
+            }
+            let bytes = w.finish();
+            let a = ZipArchive::parse(&bytes).unwrap();
+            prop_assert_eq!(a.len(), files.len());
+            for (i, (name, data)) in files.iter().enumerate() {
+                prop_assert_eq!(&a.entries()[i].name, name);
+                prop_assert_eq!(&a.read(i).unwrap(), data);
+            }
+        }
+
+        #[test]
+        fn prop_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            if let Ok(a) = ZipArchive::parse(&data) {
+                for i in 0..a.len() {
+                    let _ = a.read(i);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Perf: DEFLATE (fixed-Huffman writer + inflater) and ZIP round trips.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use p2pmal_archive::{deflate, inflate, Method, ZipArchive, ZipWriter};
+use std::hint::black_box;
+
+fn compressible(len: usize) -> Vec<u8> {
+    // Text-like content: compresses well, exercises the match finder.
+    let phrase = b"the quick brown fox jumps over the lazy dog and keeps running ";
+    phrase.iter().cycle().take(len).copied().collect()
+}
+
+fn bench_deflate(c: &mut Criterion) {
+    let data = compressible(256 * 1024);
+    let compressed = deflate(&data);
+
+    let mut g = c.benchmark_group("deflate");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("compress_256KiB_text", |b| {
+        b.iter(|| black_box(deflate(black_box(&data))));
+    });
+    g.bench_function("inflate_256KiB_text", |b| {
+        b.iter(|| black_box(inflate(black_box(&compressed), data.len() + 64).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_zip(c: &mut Criterion) {
+    let member = compressible(64 * 1024);
+    let mut w = ZipWriter::new();
+    w.add("a.txt", &member, Method::Deflate);
+    w.add("b.bin", &member, Method::Stored);
+    let archive = w.finish();
+
+    let mut g = c.benchmark_group("zip");
+    g.throughput(Throughput::Bytes(archive.len() as u64));
+    g.bench_function("parse_and_extract_two_members", |b| {
+        b.iter(|| {
+            let z = ZipArchive::parse(black_box(&archive)).unwrap();
+            let a = z.read(0).unwrap();
+            let b2 = z.read(1).unwrap();
+            black_box((a.len(), b2.len()))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_deflate, bench_zip);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Perf: from-scratch SHA-1 and MD5 throughput (content addressing is on
+//! the hot path of every download the crawler makes).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use p2pmal_hashes::{md5, sha1};
+use std::hint::black_box;
+
+fn bench_hashes(c: &mut Criterion) {
+    for size in [4 * 1024usize, 1 << 20] {
+        let data: Vec<u8> = (0..size).map(|i| (i * 31) as u8).collect();
+        let mut g = c.benchmark_group(format!("hashes_{}KiB", size / 1024));
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function("sha1", |b| b.iter(|| black_box(sha1(black_box(&data)))));
+        g.bench_function("md5", |b| b.iter(|| black_box(md5(black_box(&data)))));
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_hashes);
+criterion_main!(benches);

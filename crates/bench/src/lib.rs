@@ -1,0 +1,169 @@
+//! Shared harness for the experiment benches.
+//!
+//! Every table/figure of the paper has its own bench target (see
+//! `crates/bench/benches/`); they all consume the same two measurement
+//! runs (LimeWire, OpenFT). Paper-scale runs simulate 35 days, so the
+//! harness caches each run's resolved log on disk under
+//! `target/p2pmal-runs/` — the first experiment pays for the simulation,
+//! the rest reload it in seconds. Delete the cache directory (or change
+//! the seed) to re-measure.
+//!
+//! Scale control via environment:
+//!
+//! * `P2PMAL_QUICK=1` — run the minutes-scale `quick()` scenarios;
+//! * `P2PMAL_SEED=<n>` — change the seed (default 2006);
+//! * `P2PMAL_DAYS=<n>` — override the collection length;
+//! * `P2PMAL_TRACE=1` — per-day event/wall-time trace during simulation.
+
+use p2pmal_core::{LimewireScenario, OpenFtScenario};
+use p2pmal_crawler::{Network, ResolvedResponse};
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// The cached form of one network run: everything the analyses consume.
+#[derive(Serialize, Deserialize)]
+pub struct RunArtifact {
+    pub network: Network,
+    pub seed: u64,
+    pub days: u64,
+    pub queries_issued: u64,
+    pub downloads_attempted: u64,
+    pub downloads_failed: u64,
+    pub sim_events: u64,
+    pub resolved: Vec<ResolvedResponse>,
+}
+
+/// Harness configuration from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    pub quick: bool,
+    pub seed: u64,
+    pub days: Option<u64>,
+}
+
+impl BenchConfig {
+    pub fn from_env() -> Self {
+        let quick = std::env::var("P2PMAL_QUICK").map(|v| v == "1").unwrap_or(false);
+        let seed = std::env::var("P2PMAL_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(2006);
+        let days = std::env::var("P2PMAL_DAYS").ok().and_then(|v| v.parse().ok());
+        BenchConfig { quick, seed, days }
+    }
+
+    fn tag(&self) -> String {
+        let days = self.days.map(|d| d.to_string()).unwrap_or_else(|| "default".into());
+        format!("{}-{}-{}", if self.quick { "quick" } else { "paper" }, self.seed, days)
+    }
+}
+
+fn cache_dir() -> PathBuf {
+    // Anchor at the workspace target directory regardless of the CWD the
+    // bench harness uses (benches run with CWD = crate dir).
+    let mut p = match std::env::var("CARGO_TARGET_DIR") {
+        Ok(t) => PathBuf::from(t),
+        Err(_) => {
+            let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            p.push("../../target");
+            p
+        }
+    };
+    p.push("p2pmal-runs");
+    p
+}
+
+fn cache_path(network: &str, cfg: &BenchConfig) -> PathBuf {
+    let mut p = cache_dir();
+    p.push(format!("{network}-{}.json", cfg.tag()));
+    p
+}
+
+fn load(path: &PathBuf) -> Option<RunArtifact> {
+    let bytes = std::fs::read(path).ok()?;
+    serde_json::from_slice(&bytes).ok()
+}
+
+fn store(path: &PathBuf, artifact: &RunArtifact) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Ok(mut f) = std::fs::File::create(path) {
+        let _ = f.write_all(&serde_json::to_vec(artifact).expect("artifact serializes"));
+    }
+}
+
+/// Returns the (possibly cached) LimeWire measurement run.
+pub fn limewire_run(cfg: &BenchConfig) -> RunArtifact {
+    let path = cache_path("limewire", cfg);
+    if let Some(a) = load(&path) {
+        eprintln!("[p2pmal] loaded cached LimeWire run from {}", path.display());
+        return a;
+    }
+    let mut scenario =
+        if cfg.quick { LimewireScenario::quick(cfg.seed) } else { LimewireScenario::paper_scale(cfg.seed) };
+    if let Some(days) = cfg.days {
+        scenario.days = days;
+    }
+    eprintln!(
+        "[p2pmal] simulating LimeWire: {} days, {} ultrapeers, {} clean leaves...",
+        scenario.days, scenario.ultrapeers, scenario.clean_leaves
+    );
+    let started = std::time::Instant::now();
+    let run = scenario.run_with_progress(|d| eprintln!("[p2pmal]   LimeWire day {d} done"));
+    eprintln!("[p2pmal] LimeWire run took {:.1}s", started.elapsed().as_secs_f64());
+    let artifact = RunArtifact {
+        network: Network::Limewire,
+        seed: cfg.seed,
+        days: scenario.days,
+        queries_issued: run.log.queries_issued,
+        downloads_attempted: run.log.downloads_attempted,
+        downloads_failed: run.log.downloads_failed,
+        sim_events: run.sim_metrics.events_processed,
+        resolved: run.resolved,
+    };
+    store(&path, &artifact);
+    artifact
+}
+
+/// Returns the (possibly cached) OpenFT measurement run.
+pub fn openft_run(cfg: &BenchConfig) -> RunArtifact {
+    let path = cache_path("openft", cfg);
+    if let Some(a) = load(&path) {
+        eprintln!("[p2pmal] loaded cached OpenFT run from {}", path.display());
+        return a;
+    }
+    let mut scenario = if cfg.quick {
+        OpenFtScenario::quick(cfg.seed ^ 0xF7)
+    } else {
+        OpenFtScenario::paper_scale(cfg.seed ^ 0xF7)
+    };
+    if let Some(days) = cfg.days {
+        scenario.days = days;
+    }
+    eprintln!(
+        "[p2pmal] simulating OpenFT: {} days, {} search nodes, {} users...",
+        scenario.days, scenario.search_nodes, scenario.clean_users
+    );
+    let started = std::time::Instant::now();
+    let run = scenario.run_with_progress(|d| eprintln!("[p2pmal]   OpenFT day {d} done"));
+    eprintln!("[p2pmal] OpenFT run took {:.1}s", started.elapsed().as_secs_f64());
+    let artifact = RunArtifact {
+        network: Network::OpenFt,
+        seed: cfg.seed,
+        days: scenario.days,
+        queries_issued: run.log.queries_issued,
+        downloads_attempted: run.log.downloads_attempted,
+        downloads_failed: run.log.downloads_failed,
+        sim_events: run.sim_metrics.events_processed,
+        resolved: run.resolved,
+    };
+    store(&path, &artifact);
+    artifact
+}
+
+/// Banner printed by every experiment bench.
+pub fn banner(id: &str, what: &str) {
+    println!("================================================================");
+    println!("{id} — {what}");
+    println!("reproduction of Kalafut et al., 'A study of malware in P2P networks' (IMC 2006)");
+    println!("================================================================");
+}

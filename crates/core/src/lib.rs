@@ -1,0 +1,30 @@
+//! End-to-end facade for the reproduction of *"A study of malware in
+//! peer-to-peer networks"* (Kalafut, Acharya, Gupta — IMC 2006).
+//!
+//! The original study instrumented LimeWire (Gnutella) and giFT (OpenFT)
+//! against the live 2006 networks. This workspace rebuilds everything from
+//! scratch — protocol stacks, a deterministic network simulator, a content
+//! ecosystem with era-accurate malware behaviours, a signature scanner and
+//! the measurement pipeline — and this crate ties it together:
+//!
+//! * [`scenario`] — calibrated population presets
+//!   ([`LimewireScenario`], [`OpenFtScenario`]) with `paper_scale()` and
+//!   `quick()` variants;
+//! * [`study`] — the [`Study`] builder and [`StudyReport`] with every
+//!   reconstructed table/figure plus paper-vs-measured comparisons.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use p2pmal_core::Study;
+//!
+//! let report = Study::quick(42).run();
+//! println!("{}", report.render_markdown());
+//! assert!(report.summaries()[0].responses > 0);
+//! ```
+
+pub mod scenario;
+pub mod study;
+
+pub use scenario::{InfectionSpec, LimewireScenario, NetworkRun, OpenFtScenario};
+pub use study::{FilterRow, Study, StudyReport};

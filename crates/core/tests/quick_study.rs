@@ -1,0 +1,72 @@
+//! A quick (days=2, small population) end-to-end study on both networks.
+//! This is the integration test that exercises the complete pipeline; the
+//! paper-scale numbers are checked by the bench binaries / EXPERIMENTS.md.
+
+use p2pmal_analysis::{source_breakdown, summarize, top_malware};
+use p2pmal_core::Study;
+
+#[test]
+fn quick_study_runs_and_has_paper_shape() {
+    let report = Study::quick(42).run();
+
+    // Both networks produced data.
+    let lw = report.limewire.as_ref().expect("limewire ran");
+    let ft = report.openft.as_ref().expect("openft ran");
+    assert!(lw.log.queries_issued > 100, "lw queries {}", lw.log.queries_issued);
+    assert!(ft.log.queries_issued > 100, "ft queries {}", ft.log.queries_issued);
+
+    let lw_sum = summarize("LimeWire", &lw.log, &lw.resolved);
+    let ft_sum = summarize("OpenFT", &ft.log, &ft.resolved);
+    eprintln!("LimeWire: {lw_sum:#?}");
+    eprintln!("OpenFT: {ft_sum:#?}");
+    eprintln!("LW top malware: {:#?}", top_malware(&lw.resolved).iter().take(4).collect::<Vec<_>>());
+    eprintln!("FT top malware: {:#?}", top_malware(&ft.resolved).iter().take(4).collect::<Vec<_>>());
+    eprintln!("LW sources: {:#?}", source_breakdown(&lw.resolved));
+    eprintln!("LW filters:");
+    for f in report.filter_comparison() {
+        eprintln!(
+            "  {}: det {:.1}% fp {:.2}%",
+            f.name, f.detection_pct, f.false_positive_pct
+        );
+    }
+
+    // Shape checks (quick scale is noisy; bands are loose).
+    assert!(lw_sum.malicious > 0, "LimeWire saw malware");
+    assert!(
+        lw_sum.malicious_pct > ft_sum.malicious_pct,
+        "LimeWire ({:.1}%) must be far dirtier than OpenFT ({:.1}%)",
+        lw_sum.malicious_pct,
+        ft_sum.malicious_pct
+    );
+    assert!(lw_sum.malicious_pct > 30.0, "lw {:.1}%", lw_sum.malicious_pct);
+    assert!(ft_sum.malicious_pct < 20.0, "ft {:.1}%", ft_sum.malicious_pct);
+
+    // Top-3 dominance on LimeWire.
+    let lw_top = top_malware(&lw.resolved);
+    assert!(!lw_top.is_empty());
+    let top3 = lw_top.iter().take(3).map(|s| s.pct).sum::<f64>();
+    assert!(top3 > 90.0, "LimeWire top-3 share {top3:.1}%");
+
+    // Private addresses appear among LimeWire malicious sources.
+    let sources = source_breakdown(&lw.resolved);
+    assert!(sources.private_pct > 5.0, "private share {:.1}%", sources.private_pct);
+
+    // Filters: size-based beats the built-in by a wide margin.
+    let rows = report.filter_comparison();
+    let builtin = rows.iter().find(|r| r.name == "LimeWire built-in").unwrap();
+    let size = rows.iter().find(|r| r.name == "size-based").unwrap();
+    assert!(size.detection_pct > 90.0, "size filter detects {:.1}%", size.detection_pct);
+    assert!(size.false_positive_pct < 2.0, "size filter FP {:.2}%", size.false_positive_pct);
+    assert!(
+        builtin.detection_pct < size.detection_pct / 2.0,
+        "builtin {:.1}% vs size {:.1}%",
+        builtin.detection_pct,
+        size.detection_pct
+    );
+
+    // The report renders.
+    let md = report.render_markdown();
+    assert!(md.contains("T1 — Data collection summary"));
+    assert!(md.contains("T6 — Filter comparison"));
+    assert!(md.contains("Paper vs measured"));
+}

@@ -1,0 +1,405 @@
+//! Malware families and their response-generation behaviour.
+//!
+//! The paper's headline structure — 68% prevalence, top-3 families covering
+//! 99% of malicious responses, families recognizable by a handful of exact
+//! file sizes — is produced by *how* 2006-era P2P malware answered queries,
+//! not by the binaries themselves. Three behaviours dominate:
+//!
+//! * **Query-echo worms** (Mandragore lineage): an infected host answers
+//!   *every* query with `<query>.exe`, so one infected host pollutes the
+//!   whole keyword space and malicious responses swamp benign ones.
+//! * **Fixed-name trojans**: the malware shares itself under a static list
+//!   of enticing names; it only answers queries matching those names.
+//! * **Popular-title baiters**: the malware clones the names of currently
+//!   popular titles, riding the benign popularity distribution.
+//!
+//! Each family carries a small set of characteristic payload sizes (the
+//! paper's filtering insight) and an embedded byte signature the
+//! `p2pmal-scanner` engine detects — our stand-in for the study's AV engine.
+//!
+//! Family names here are *representative* of the 2006 ecosystem; the
+//! abstract does not name the study's actual top families.
+
+use p2pmal_hashes::sha1;
+use p2pmal_scanner::{SignatureDb, SignatureError};
+use std::fmt;
+
+/// Dense identifier of a malware family within a [`Roster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FamilyId(pub u16);
+
+impl fmt::Display for FamilyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+/// How a family names the files it offers in query responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NamingStrategy {
+    /// Answer **every** query with `<query>.<ext>`, one response per
+    /// configured extension. `verbatim` worms echo the query text exactly
+    /// (spaces preserved) — the Mandragore-style shape LimeWire's built-in
+    /// filter recognizes; non-verbatim worms join terms with underscores
+    /// and evade it.
+    QueryEcho { extensions: Vec<String>, verbatim: bool },
+    /// Share a fixed set of enticing filenames; answer only queries whose
+    /// terms all occur in one of them.
+    FixedNames(Vec<String>),
+    /// Answer queries matching popular benign titles with
+    /// `<matched title>.<ext>` — parasitic on the popularity distribution.
+    PopularBait { extension: String },
+}
+
+/// The on-the-wire container of the malicious payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Container {
+    /// A bare Win32 executable (`MZ` header).
+    Executable,
+    /// A ZIP archive holding one infected executable — the shape that makes
+    /// archive traversal in the scanner necessary.
+    ZipOfExecutable,
+}
+
+/// One malware family: identity, detection signature, characteristic sizes
+/// and response behaviour.
+#[derive(Debug, Clone)]
+pub struct MalwareFamily {
+    pub id: FamilyId,
+    /// AV-style detection name, e.g. `W32.Polipos.A`.
+    pub name: String,
+    /// Byte pattern embedded in every payload of this family; derived
+    /// deterministically from the name so signatures and payloads always
+    /// agree. 24 bytes — long enough that a pseudorandom benign payload
+    /// collides with probability ~2^-192.
+    pub signature: Vec<u8>,
+    /// Characteristic *transfer* sizes in bytes. Real P2P malware of the era
+    /// had very few distinct sizes per family because each infected host
+    /// served an identical binary; this is the property the paper's filter
+    /// exploits.
+    pub sizes: Vec<u64>,
+    pub naming: NamingStrategy,
+    pub container: Container,
+    /// Relative weight of this family when infecting hosts in a scenario
+    /// preset; normalized by the roster.
+    pub prevalence_weight: f64,
+}
+
+impl MalwareFamily {
+    /// Builds a family, deriving the signature from `name`.
+    pub fn new(
+        id: FamilyId,
+        name: &str,
+        sizes: Vec<u64>,
+        naming: NamingStrategy,
+        container: Container,
+        prevalence_weight: f64,
+    ) -> Self {
+        assert!(!sizes.is_empty(), "family {name} needs at least one size");
+        assert!(prevalence_weight > 0.0, "family {name} needs positive weight");
+        MalwareFamily {
+            id,
+            name: name.to_string(),
+            signature: derive_signature(name),
+            sizes,
+            naming,
+            container,
+            prevalence_weight,
+        }
+    }
+
+    /// Hex form of the signature, as stored in the scanner's text DB.
+    pub fn signature_hex(&self) -> String {
+        p2pmal_hashes::to_hex(&self.signature)
+    }
+}
+
+/// Derives the 24-byte embedded signature for a family name.
+///
+/// SHA-1 of the name gives 20 bytes; the final 4 bytes are a fixed sentinel
+/// that keeps all family signatures visually identifiable in hex dumps.
+pub fn derive_signature(name: &str) -> Vec<u8> {
+    let mut sig = sha1(name.as_bytes()).0.to_vec();
+    sig.extend_from_slice(&[0xDE, 0xAD, 0xF1, 0x1E]);
+    sig
+}
+
+/// A set of malware families active in one network scenario.
+#[derive(Debug, Clone, Default)]
+pub struct Roster {
+    families: Vec<MalwareFamily>,
+}
+
+impl Roster {
+    pub fn new(families: Vec<MalwareFamily>) -> Self {
+        for (i, f) in families.iter().enumerate() {
+            assert_eq!(f.id.0 as usize, i, "family ids must be dense and ordered");
+        }
+        Roster { families }
+    }
+
+    pub fn families(&self) -> &[MalwareFamily] {
+        &self.families
+    }
+
+    pub fn len(&self) -> usize {
+        self.families.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    pub fn get(&self, id: FamilyId) -> &MalwareFamily {
+        &self.families[id.0 as usize]
+    }
+
+    /// Looks a family up by detection name.
+    pub fn by_name(&self, name: &str) -> Option<&MalwareFamily> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// Builds the scanner signature database covering every family — the
+    /// reproduction's equivalent of the study's AV definitions file.
+    pub fn signature_db(&self) -> Result<SignatureDb, SignatureError> {
+        let mut db = SignatureDb::new();
+        for f in &self.families {
+            db.add_literal(&f.name, &f.signature)?;
+        }
+        Ok(db)
+    }
+
+    /// Total prevalence weight, for normalized sampling.
+    pub fn total_weight(&self) -> f64 {
+        self.families.iter().map(|f| f.prevalence_weight).sum()
+    }
+
+    /// The roster used for the LimeWire scenario: three dominant query-echo
+    /// families (the abstract: "the top three most prevalent malware account
+    /// for 99% of all the malicious responses") plus a long tail of
+    /// fixed-name and baiting families.
+    pub fn limewire_2006() -> Self {
+        let mut v = Vec::new();
+        let mut id = 0u16;
+        let mut push = |f: MalwareFamily| v.push(f);
+
+        // Dominant echo worms. Host-infection weights are chosen so that,
+        // response-weighted (Alcra answers twice per query, once per
+        // extension), the top three land near 60/33/6.5 of the malicious
+        // total — a plausible decomposition of the abstract's "top 3 =
+        // 99%" in which the #3 family is also the only one LimeWire's
+        // Mandragore-style built-in filter recognizes (its ~6%).
+        push(MalwareFamily::new(
+            FamilyId(id),
+            "W32.Padobot.P2P",
+            vec![58_368],
+            NamingStrategy::QueryEcho { extensions: vec!["exe".into()], verbatim: false },
+            Container::Executable,
+            60.0,
+        ));
+        id += 1;
+        push(MalwareFamily::new(
+            FamilyId(id),
+            "W32.Alcra.B",
+            vec![178_176, 180_224],
+            NamingStrategy::QueryEcho {
+                extensions: vec!["exe".into(), "zip".into()],
+                verbatim: false,
+            },
+            Container::Executable,
+            16.5,
+        ));
+        id += 1;
+        push(MalwareFamily::new(
+            FamilyId(id),
+            "W32.Bagle.DL",
+            vec![92_672],
+            NamingStrategy::QueryEcho { extensions: vec!["exe".into()], verbatim: true },
+            Container::ZipOfExecutable,
+            6.5,
+        ));
+        id += 1;
+
+        // The 1% tail: seven minor families, mixed behaviours.
+        let tail: [(&str, u64, bool); 7] = [
+            ("W32.Gobot.A", 71_168, false),
+            ("Trojan.Istbar.PK", 12_800, true),
+            ("W32.Stration.P", 133_632, false),
+            ("VBS.Gormlez", 8_704, true),
+            ("W32.Antinny.Q", 417_792, false),
+            ("Trojan.Dropper.PS", 66_048, true),
+            ("W32.Sality.Gen", 245_760, false),
+        ];
+        for (i, (name, size, fixed)) in tail.iter().enumerate() {
+            let naming = if *fixed {
+                NamingStrategy::FixedNames(fixed_name_list(name))
+            } else {
+                NamingStrategy::PopularBait { extension: "exe".into() }
+            };
+            let container =
+                if i % 3 == 2 { Container::ZipOfExecutable } else { Container::Executable };
+            push(MalwareFamily::new(FamilyId(id), name, vec![*size], naming, container, 0.3));
+            id += 1;
+        }
+        Roster::new(v)
+    }
+
+    /// The roster used for the OpenFT scenario: one family served almost
+    /// entirely by a single host ("the top virus, which accounts of 67% of
+    /// all the malicious responses, is served by a single host"), two minor
+    /// families bringing the top-3 share to ~75%, and a diffuse tail.
+    pub fn openft_2006() -> Self {
+        let mut v = Vec::new();
+        v.push(MalwareFamily::new(
+            FamilyId(0),
+            "W32.Gnuman.A",
+            vec![33_280],
+            NamingStrategy::FixedNames(fixed_name_list("W32.Gnuman.A")),
+            Container::Executable,
+            67.0,
+        ));
+        v.push(MalwareFamily::new(
+            FamilyId(1),
+            "Trojan.Zlob.FT",
+            vec![102_400],
+            NamingStrategy::FixedNames(fixed_name_list("Trojan.Zlob.FT")),
+            Container::Executable,
+            4.5,
+        ));
+        v.push(MalwareFamily::new(
+            FamilyId(2),
+            "W32.Polipos.A",
+            vec![196_608, 198_656],
+            NamingStrategy::PopularBait { extension: "exe".into() },
+            Container::Executable,
+            3.5,
+        ));
+        // Diffuse 25% tail across five families.
+        let tail: [(&str, u64); 5] = [
+            ("Trojan.Istbar.FT", 24_576, ),
+            ("W32.Bacalid.A", 154_112),
+            ("Trojan.Dialer.QN", 45_056),
+            ("W32.Looked.P", 61_440),
+            ("Trojan.Agent.FT", 88_064),
+        ];
+        for (i, (name, size)) in tail.iter().enumerate() {
+            let naming = if i % 2 == 0 {
+                NamingStrategy::FixedNames(fixed_name_list(name))
+            } else {
+                NamingStrategy::PopularBait { extension: "exe".into() }
+            };
+            v.push(MalwareFamily::new(
+                FamilyId(3 + i as u16),
+                name,
+                vec![*size],
+                naming,
+                Container::Executable,
+                5.0,
+            ));
+        }
+        Roster::new(v)
+    }
+}
+
+/// Static enticing filenames for fixed-name families, derived from the
+/// family name so every family's list is distinct but deterministic.
+fn fixed_name_list(family: &str) -> Vec<String> {
+    let h = sha1(family.as_bytes()).0;
+    let bases = [
+        "free winzip crack",
+        "photoshop keygen",
+        "windows activation",
+        "divx pro serial",
+        "nero burning rom key",
+        "popular screensaver",
+        "msn password hack",
+        "game trainer pack",
+    ];
+    // Pick four bases, offset by the hash, so lists differ per family.
+    (0..4)
+        .map(|i| {
+            let base = bases[(h[i] as usize + i) % bases.len()];
+            format!("{}.exe", base.replace(' ', "_"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signatures_are_24_bytes_and_distinct() {
+        let r = Roster::limewire_2006();
+        let mut seen = std::collections::HashSet::new();
+        for f in r.families() {
+            assert_eq!(f.signature.len(), 24, "{}", f.name);
+            assert!(seen.insert(f.signature.clone()), "duplicate signature {}", f.name);
+            assert_eq!(&f.signature[20..], &[0xDE, 0xAD, 0xF1, 0x1E]);
+        }
+    }
+
+    #[test]
+    fn signature_is_deterministic_function_of_name() {
+        assert_eq!(derive_signature("W32.Test"), derive_signature("W32.Test"));
+        assert_ne!(derive_signature("W32.Test"), derive_signature("W32.Test2"));
+    }
+
+    #[test]
+    fn rosters_have_dense_ordered_ids() {
+        for roster in [Roster::limewire_2006(), Roster::openft_2006()] {
+            for (i, f) in roster.families().iter().enumerate() {
+                assert_eq!(f.id.0 as usize, i);
+                assert!(!f.sizes.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn limewire_top3_have_dominant_weight() {
+        let r = Roster::limewire_2006();
+        let total = r.total_weight();
+        let top3: f64 = r.families()[..3].iter().map(|f| f.prevalence_weight).sum();
+        assert!(top3 / total > 0.95, "top3 weight share {}", top3 / total);
+        // And the top three are all echo worms — the response amplifiers.
+        for f in &r.families()[..3] {
+            assert!(matches!(f.naming, NamingStrategy::QueryEcho { .. }), "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn openft_top_family_is_two_thirds_by_weight() {
+        let r = Roster::openft_2006();
+        let share = r.families()[0].prevalence_weight / r.total_weight();
+        assert!((share - 0.67).abs() < 0.03, "top share {share}");
+    }
+
+    #[test]
+    fn signature_db_detects_each_family_payload_prefix() {
+        let r = Roster::openft_2006();
+        let db = r.signature_db().unwrap().build().unwrap();
+        for f in r.families() {
+            let mut fake_payload = vec![0x4D, 0x5A, 0, 0]; // MZ..
+            fake_payload.extend_from_slice(&f.signature);
+            fake_payload.extend_from_slice(&[0u8; 64]);
+            let hits = db.matches(&fake_payload);
+            assert!(hits.contains(&f.name.as_str()), "{} not detected", f.name);
+        }
+    }
+
+    #[test]
+    fn fixed_name_lists_are_exe_and_family_specific() {
+        let a = fixed_name_list("W32.A");
+        let b = fixed_name_list("W32.Gnuman.A");
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|n| n.ends_with(".exe")));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        let r = Roster::limewire_2006();
+        assert!(r.by_name("W32.Alcra.B").is_some());
+        assert!(r.by_name("W32.DoesNotExist").is_none());
+    }
+}

@@ -1,0 +1,414 @@
+//! Per-host share libraries: what one peer offers in response to queries.
+//!
+//! A library holds *static* shared files (benign variants, fixed-name
+//! trojans, popularity-bait clones) plus *dynamic* infections: query-echo
+//! worms that fabricate a matching response for every query they see. The
+//! protocol servents (Gnutella, OpenFT) own a `HostLibrary` and translate
+//! its responses into wire-format query hits.
+
+use crate::catalog::{BenignItem, Catalog};
+use crate::family::{FamilyId, MalwareFamily, NamingStrategy};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+/// Identifies the bytes behind a shared file. Payloads are a pure function
+/// of the reference (plus the store seed), so replicas of the same content
+/// on different hosts are byte-identical — exactly like real file sharing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ContentRef {
+    /// Variant `variant` of benign catalog title `item`.
+    Benign { item: u32, variant: u8 },
+    /// The infected binary of `family` at characteristic size `size_idx`.
+    Malware { family: FamilyId, size_idx: u8 },
+}
+
+impl ContentRef {
+    /// The family behind this content, if malicious.
+    pub fn family(&self) -> Option<FamilyId> {
+        match self {
+            ContentRef::Malware { family, .. } => Some(*family),
+            ContentRef::Benign { .. } => None,
+        }
+    }
+
+    /// Ground-truth label (the simulator knows; the crawler must *measure*).
+    pub fn is_malicious(&self) -> bool {
+        matches!(self, ContentRef::Malware { .. })
+    }
+}
+
+/// One file a host offers: display name, exact transfer size, and the
+/// content reference resolving to its bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedFile {
+    pub name: String,
+    pub size: u64,
+    pub content: ContentRef,
+}
+
+/// A dynamic query-echo infection resident on a host.
+#[derive(Debug, Clone)]
+struct EchoInfection {
+    family: FamilyId,
+    size_idx: u8,
+    size: u64,
+    extensions: Vec<String>,
+    verbatim: bool,
+}
+
+/// The share library of a single host.
+#[derive(Debug, Clone, Default)]
+pub struct HostLibrary {
+    files: Vec<SharedFile>,
+    echoes: Vec<EchoInfection>,
+    /// Families present on this host (static or dynamic), for censuses.
+    infections: Vec<FamilyId>,
+}
+
+/// Splits a query string into lower-cased match terms the way Gnutella
+/// servents do: whitespace- and punctuation-separated words.
+pub fn query_terms(query: &str) -> Vec<String> {
+    query
+        .split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_ascii_lowercase())
+        .collect()
+}
+
+/// True when every term occurs as a substring of the lower-cased name —
+/// the servent-side match rule.
+pub fn name_matches(name: &str, terms: &[String]) -> bool {
+    if terms.is_empty() {
+        return false;
+    }
+    let lower = name.to_ascii_lowercase();
+    terms.iter().all(|t| lower.contains(t.as_str()))
+}
+
+impl HostLibrary {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All static files (echo responses are fabricated per query and do not
+    /// appear here).
+    pub fn files(&self) -> &[SharedFile] {
+        &self.files
+    }
+
+    /// Families infecting this host.
+    pub fn infections(&self) -> &[FamilyId] {
+        &self.infections
+    }
+
+    pub fn is_infected(&self) -> bool {
+        !self.infections.is_empty()
+    }
+
+    /// True when a query-echo worm is resident — such hosts want to see
+    /// *every* query (e.g. they saturate their QRP table when acting as a
+    /// Gnutella leaf).
+    pub fn has_echo(&self) -> bool {
+        !self.echoes.is_empty()
+    }
+
+    /// Number of static shared files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty() && self.echoes.is_empty()
+    }
+
+    /// Shares one variant of a benign title.
+    pub fn add_benign(&mut self, item: &BenignItem, variant: usize) {
+        let v = &item.variants[variant];
+        self.files.push(SharedFile {
+            name: v.name.clone(),
+            size: v.size,
+            content: ContentRef::Benign { item: item.id, variant: variant as u8 },
+        });
+    }
+
+    /// Adds an arbitrary pre-built file (used by tests and custom hosts).
+    pub fn add_file(&mut self, file: SharedFile) {
+        self.files.push(file);
+    }
+
+    /// Infects this host with `family`. The host picks one characteristic
+    /// size (the first size is the most common replica, weighted 4:1 over
+    /// the rest, which is what makes "most commonly seen sizes" meaningful)
+    /// and then:
+    ///
+    /// * `QueryEcho` — registers a dynamic responder;
+    /// * `FixedNames` — shares the static enticing names;
+    /// * `PopularBait` — shares clones named after `bait_titles`
+    ///   popularity-sampled catalog titles.
+    pub fn infect(&mut self, family: &MalwareFamily, catalog: &Catalog, rng: &mut StdRng) {
+        let size_idx = pick_size_idx(family, rng);
+        let size = family.sizes[size_idx as usize];
+        let content = ContentRef::Malware { family: family.id, size_idx };
+        match &family.naming {
+            NamingStrategy::QueryEcho { extensions, verbatim } => {
+                self.echoes.push(EchoInfection {
+                    family: family.id,
+                    size_idx,
+                    size,
+                    extensions: extensions.clone(),
+                    verbatim: *verbatim,
+                });
+            }
+            NamingStrategy::FixedNames(names) => {
+                for name in names {
+                    self.files.push(SharedFile { name: name.clone(), size, content });
+                }
+            }
+            NamingStrategy::PopularBait { extension } => {
+                // Bait titles are sampled uniformly over the catalog: real
+                // baiters skew popular, but the measured tail shares of
+                // such families are well under 1% of malicious responses,
+                // which uniform title mass reproduces (DESIGN.md §4, T2).
+                const BAIT_TITLES: usize = 6;
+                for _ in 0..BAIT_TITLES {
+                    let title = catalog.sample_uniform(rng);
+                    let name = format!("{}.{extension}", title.keywords.join("_"));
+                    // Avoid duplicate names if sampling repeats a title.
+                    if !self.files.iter().any(|f| f.name == name) {
+                        self.files.push(SharedFile { name, size, content });
+                    }
+                }
+            }
+        }
+        self.infections.push(family.id);
+    }
+
+    /// Infects this host as a *superspreader*: `baits` popularity-sampled
+    /// bait clones of `family`, regardless of the family's native naming
+    /// strategy. This models the single OpenFT host the paper found serving
+    /// 67% of all malicious responses — one always-on machine sharing one
+    /// virus under a large number of popular titles.
+    pub fn infect_superspreader(
+        &mut self,
+        family: &MalwareFamily,
+        catalog: &Catalog,
+        baits: usize,
+        rng: &mut StdRng,
+    ) {
+        let size_idx = pick_size_idx(family, rng);
+        let size = family.sizes[size_idx as usize];
+        let content = ContentRef::Malware { family: family.id, size_idx };
+        let mut added = 0;
+        let mut attempts = 0;
+        // Bait titles come uniformly from below the top popularity decile:
+        // the host's query-mass share is then close to its bait count times
+        // the mean tail-title mass, instead of being dominated by whether a
+        // lucky draw shares keywords with a chart-topper. This keeps the
+        // calibration knob (bait count -> share of malicious responses)
+        // stable across seeds.
+        let skip = catalog.len() / 10;
+        while added < baits && attempts < baits * 8 {
+            attempts += 1;
+            let rank = skip + (rng.next_u64() as usize) % (catalog.len() - skip).max(1);
+            let title = catalog.item(rank as u32);
+            let name = format!("{}.exe", title.keywords.join("_"));
+            if !self.files.iter().any(|f| f.name == name) {
+                self.files.push(SharedFile { name, size, content });
+                added += 1;
+            }
+        }
+        self.infections.push(family.id);
+    }
+
+    /// Computes this host's responses to `query`, capped at `max` results
+    /// (servents cap per-query results; LimeWire used 64). Echo infections
+    /// answer *every* non-empty query; static files answer only on keyword
+    /// match. Echo responses come first — the worm wants to be downloaded.
+    pub fn respond(&self, query: &str, max: usize) -> Vec<SharedFile> {
+        let terms = query_terms(query);
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for echo in &self.echoes {
+            // Verbatim worms echo the raw query text (Mandragore-style);
+            // the rest join terms with underscores, evading exact-echo
+            // filters.
+            let stem: String =
+                if echo.verbatim { query.trim().to_string() } else { terms.join("_") };
+            for ext in &echo.extensions {
+                if out.len() >= max {
+                    return out;
+                }
+                out.push(SharedFile {
+                    name: format!("{stem}.{ext}"),
+                    size: echo.size,
+                    content: ContentRef::Malware { family: echo.family, size_idx: echo.size_idx },
+                });
+            }
+        }
+        for f in &self.files {
+            if out.len() >= max {
+                break;
+            }
+            if name_matches(&f.name, &terms) {
+                out.push(f.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Weighted choice of a characteristic size: index 0 carries 4x the weight
+/// of each later index.
+fn pick_size_idx(family: &MalwareFamily, rng: &mut StdRng) -> u8 {
+    let n = family.sizes.len();
+    if n == 1 {
+        return 0;
+    }
+    let total = 4 + (n - 1);
+    let roll = rng.gen_range(0..total);
+    if roll < 4 {
+        0
+    } else {
+        (roll - 3) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+    use crate::family::{Container, Roster};
+    use rand::SeedableRng;
+
+    fn catalog() -> Catalog {
+        let mut rng = StdRng::seed_from_u64(1);
+        Catalog::generate(&CatalogConfig { titles: 200, ..Default::default() }, &mut rng)
+    }
+
+    #[test]
+    fn query_terms_split_and_lowercase() {
+        assert_eq!(query_terms("Crimson  Horizon"), vec!["crimson", "horizon"]);
+        assert_eq!(query_terms("a-b_c.d"), vec!["a", "b", "c", "d"]);
+        assert!(query_terms("  ").is_empty());
+    }
+
+    #[test]
+    fn name_matching_rules() {
+        let terms = query_terms("silver echo");
+        assert!(name_matches("silver_echo_remix.mp3", &terms));
+        assert!(name_matches("SILVER_ECHO.mp3", &terms));
+        assert!(!name_matches("silver_serenade.mp3", &terms));
+        assert!(!name_matches("anything", &[]));
+    }
+
+    #[test]
+    fn benign_files_answer_matching_queries_only() {
+        let cat = catalog();
+        let mut lib = HostLibrary::new();
+        lib.add_benign(cat.item(0), 0);
+        let kw = cat.item(0).keywords[0].clone();
+        assert_eq!(lib.respond(&kw, 64).len(), 1);
+        assert!(lib.respond("zzzz9999", 64).is_empty());
+        assert!(!lib.is_infected());
+    }
+
+    #[test]
+    fn echo_worm_answers_every_query_with_query_name() {
+        let cat = catalog();
+        let roster = Roster::limewire_2006();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lib = HostLibrary::new();
+        lib.infect(roster.get(FamilyId(0)), &cat, &mut rng);
+        for q in ["madonna", "quarterly report", "xyzzy plugh"] {
+            let rs = lib.respond(q, 64);
+            assert_eq!(rs.len(), 1, "query {q}");
+            assert!(rs[0].name.ends_with(".exe"));
+            assert!(rs[0].content.is_malicious());
+            assert_eq!(rs[0].size, roster.get(FamilyId(0)).sizes[0]);
+        }
+        let rs = lib.respond("free music", 64);
+        assert_eq!(rs[0].name, "free_music.exe");
+    }
+
+    #[test]
+    fn multi_extension_echo_produces_one_response_per_extension() {
+        let cat = catalog();
+        let roster = Roster::limewire_2006();
+        let alcra = roster.by_name("W32.Alcra.B").unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut lib = HostLibrary::new();
+        lib.infect(alcra, &cat, &mut rng);
+        let rs = lib.respond("test", 64);
+        assert_eq!(rs.len(), 2);
+        let exts: Vec<&str> = rs.iter().map(|f| f.name.rsplit('.').next().unwrap()).collect();
+        assert_eq!(exts, vec!["exe", "zip"]);
+    }
+
+    #[test]
+    fn fixed_name_trojan_answers_only_its_names() {
+        let cat = catalog();
+        let roster = Roster::openft_2006();
+        let gnuman = roster.get(FamilyId(0));
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut lib = HostLibrary::new();
+        lib.infect(gnuman, &cat, &mut rng);
+        assert!(lib.is_infected());
+        assert_eq!(lib.len(), 4, "four enticing names");
+        // A query matching one of the fixed names hits; others miss.
+        let name = lib.files()[0].name.clone();
+        let first_word = name.split('_').next().unwrap().to_string();
+        assert!(!lib.respond(&first_word, 64).is_empty());
+        assert!(lib.respond("completely unrelated", 64).is_empty());
+    }
+
+    #[test]
+    fn popular_bait_rides_catalog_titles() {
+        let cat = catalog();
+        let roster = Roster::limewire_2006();
+        let baiter = roster
+            .families()
+            .iter()
+            .find(|f| matches!(f.naming, NamingStrategy::PopularBait { .. }))
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut lib = HostLibrary::new();
+        lib.infect(baiter, &cat, &mut rng);
+        assert!(!lib.files().is_empty());
+        for f in lib.files() {
+            assert!(f.name.ends_with(".exe"));
+            assert!(f.content.is_malicious());
+            assert_eq!(f.size, baiter.sizes[0]);
+        }
+    }
+
+    #[test]
+    fn respond_respects_cap() {
+        let cat = catalog();
+        let roster = Roster::limewire_2006();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lib = HostLibrary::new();
+        for _ in 0..5 {
+            lib.infect(roster.get(FamilyId(1)), &cat, &mut rng); // 2 exts each
+        }
+        assert_eq!(lib.respond("anything", 3).len(), 3);
+    }
+
+    #[test]
+    fn size_idx_prefers_first_size() {
+        let roster = Roster::limewire_2006();
+        let alcra = roster.by_name("W32.Alcra.B").unwrap();
+        assert_eq!(alcra.sizes.len(), 2);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut first = 0;
+        for _ in 0..1000 {
+            if pick_size_idx(alcra, &mut rng) == 0 {
+                first += 1;
+            }
+        }
+        // 4:1 weighting => ~80%.
+        assert!((700..=900).contains(&first), "first-size picks {first}");
+        let _ = Container::Executable; // silence unused import in some cfgs
+    }
+}

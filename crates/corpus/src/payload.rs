@@ -1,0 +1,423 @@
+//! Deterministic payload generation: the bytes behind every shared file.
+//!
+//! A month-long simulated study transfers far too many files to store, so
+//! payloads are a pure function of `(store seed, ContentRef)`. Replicas of
+//! the same content are byte-identical across hosts (as in real file
+//! sharing, where a replica *is* the same file), hashes are stable, and the
+//! scanner sees exactly the bytes the transfer produced.
+//!
+//! Shapes:
+//!
+//! * benign files get the correct magic bytes for their media type and a
+//!   keyed pseudorandom body (archives are real, parseable ZIPs);
+//! * malicious executables are `MZ` images with the family signature
+//!   embedded at a fixed offset;
+//! * `ZipOfExecutable` families are real ZIP archives holding an infected
+//!   executable, built to the family's exact characteristic outer size —
+//!   the scanner must traverse the archive to convict them.
+
+use crate::catalog::{Catalog, MediaType};
+use crate::family::{Container, Roster};
+use crate::library::ContentRef;
+use p2pmal_archive::{Method, ZipWriter};
+use p2pmal_hashes::{md5, sha1, Md5Digest, Sha1Digest};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Offset of the embedded family signature inside a malicious executable
+/// image (right after a plausible DOS header area).
+const SIG_OFFSET: usize = 0x40;
+
+/// Cached content hashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashPair {
+    /// SHA-1 — Gnutella's HUGE `urn:sha1` addressing.
+    pub sha1: Sha1Digest,
+    /// MD5 — OpenFT's file addressing.
+    pub md5: Md5Digest,
+}
+
+/// Generates (and hashes) file payloads on demand.
+///
+/// Cheap to share by reference; the internal hash cache is thread-safe so
+/// parallel experiment sweeps can reuse one store.
+pub struct ContentStore {
+    seed: u64,
+    hash_cache: Mutex<HashMap<ContentRef, HashPair>>,
+}
+
+impl ContentStore {
+    pub fn new(seed: u64) -> Self {
+        ContentStore { seed, hash_cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// The exact transfer size of `r` in bytes, without materializing the
+    /// payload. Always equals `self.payload(r, ..).len()`.
+    pub fn size(&self, r: ContentRef, catalog: &Catalog, roster: &Roster) -> u64 {
+        match r {
+            ContentRef::Benign { item, variant } => {
+                catalog.item(item).variants[variant as usize].size
+            }
+            ContentRef::Malware { family, size_idx } => {
+                roster.get(family).sizes[size_idx as usize]
+            }
+        }
+    }
+
+    /// Materializes the payload bytes for `r`.
+    pub fn payload(&self, r: ContentRef, catalog: &Catalog, roster: &Roster) -> Vec<u8> {
+        let key = self.content_key(r);
+        match r {
+            ContentRef::Benign { item, variant } => {
+                let it = catalog.item(item);
+                let size = it.variants[variant as usize].size as usize;
+                benign_payload(it.media, size, key)
+            }
+            ContentRef::Malware { family, size_idx } => {
+                let fam = roster.get(family);
+                let size = fam.sizes[size_idx as usize] as usize;
+                match fam.container {
+                    Container::Executable => infected_exe(size, &fam.signature, key),
+                    Container::ZipOfExecutable => {
+                        infected_zip(size, &fam.signature, key)
+                    }
+                }
+            }
+        }
+    }
+
+    /// SHA-1 and MD5 of the payload, cached after first computation.
+    pub fn hashes(&self, r: ContentRef, catalog: &Catalog, roster: &Roster) -> HashPair {
+        if let Some(h) = self.hash_cache.lock().get(&r) {
+            return *h;
+        }
+        let data = self.payload(r, catalog, roster);
+        let pair = HashPair { sha1: sha1(&data), md5: md5(&data) };
+        self.hash_cache.lock().insert(r, pair);
+        pair
+    }
+
+    /// Convenience: the SHA-1 digest of `r`.
+    pub fn sha1_of(&self, r: ContentRef, catalog: &Catalog, roster: &Roster) -> Sha1Digest {
+        self.hashes(r, catalog, roster).sha1
+    }
+
+    /// Convenience: the MD5 digest of `r`.
+    pub fn md5_of(&self, r: ContentRef, catalog: &Catalog, roster: &Roster) -> Md5Digest {
+        self.hashes(r, catalog, roster).md5
+    }
+
+    /// Number of distinct contents hashed so far.
+    pub fn cached_hashes(&self) -> usize {
+        self.hash_cache.lock().len()
+    }
+
+    /// A cheap, deterministic MD5-shaped identifier for `r`, computed over
+    /// the reference (not the payload). OpenFT addresses shares by MD5; a
+    /// month-scale population would have to materialize terabytes to hash
+    /// real content, so share *registration* uses this surrogate while
+    /// downloaded bytes are still hashed for real by the crawler. The
+    /// surrogate is unique per content and stable across hosts, which is
+    /// all the protocol machinery observes.
+    pub fn declared_md5(&self, r: ContentRef) -> Md5Digest {
+        let mut tag = [0u8; 24];
+        tag[..8].copy_from_slice(&self.seed.to_le_bytes());
+        let (kind, a, b) = match r {
+            ContentRef::Benign { item, variant } => (1u32, item, variant as u32),
+            ContentRef::Malware { family, size_idx } => (2u32, family.0 as u32, size_idx as u32),
+        };
+        tag[8..12].copy_from_slice(&kind.to_le_bytes());
+        tag[12..16].copy_from_slice(&a.to_le_bytes());
+        tag[16..20].copy_from_slice(&b.to_le_bytes());
+        md5(&tag)
+    }
+
+    /// Mixes the store seed and the content reference into a stream key.
+    fn content_key(&self, r: ContentRef) -> u64 {
+        let field = match r {
+            ContentRef::Benign { item, variant } => {
+                0x1000_0000_0000_0000u64 | (item as u64) << 8 | variant as u64
+            }
+            ContentRef::Malware { family, size_idx } => {
+                0x2000_0000_0000_0000u64 | (family.0 as u64) << 8 | size_idx as u64
+            }
+        };
+        splitmix64(self.seed ^ field)
+    }
+}
+
+/// SplitMix64 step — the keyed PRNG behind payload bodies. Chosen for
+/// determinism and speed; payload bodies only need to be incompressible and
+/// collision-free, not cryptographic.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Fills `buf` with the keyed pseudorandom stream.
+fn fill_deterministic(buf: &mut [u8], key: u64) {
+    let mut state = key;
+    let mut chunks = buf.chunks_exact_mut(8);
+    for chunk in &mut chunks {
+        state = splitmix64(state);
+        chunk.copy_from_slice(&state.to_le_bytes());
+    }
+    let rem = chunks.into_remainder();
+    if !rem.is_empty() {
+        state = splitmix64(state);
+        let bytes = state.to_le_bytes();
+        rem.copy_from_slice(&bytes[..rem.len()]);
+    }
+}
+
+/// A benign payload: correct magic for the media type, pseudorandom body.
+fn benign_payload(media: MediaType, size: usize, key: u64) -> Vec<u8> {
+    if media == MediaType::Archive {
+        return benign_zip(size, key);
+    }
+    let mut buf = vec![0u8; size];
+    fill_deterministic(&mut buf, key);
+    let magic: &[u8] = match media {
+        MediaType::Audio => b"ID3\x03\x00",
+        MediaType::Video => b"RIFF\x00\x00\x00\x00AVI ",
+        MediaType::Application => b"MZ",
+        MediaType::Document => b"%PDF-1.4\n",
+        MediaType::Image => &[0xFF, 0xD8, 0xFF, 0xE0],
+        MediaType::Archive => unreachable!("handled above"),
+    };
+    let n = magic.len().min(buf.len());
+    buf[..n].copy_from_slice(&magic[..n]);
+    buf
+}
+
+/// Builds a real one-entry stored ZIP of exactly `target` bytes by sizing
+/// the inner member to absorb the container overhead.
+fn exact_size_zip(target: usize, inner_name: &str, build_inner: impl Fn(usize) -> Vec<u8>) -> Vec<u8> {
+    // Measure the fixed overhead with a zero-length member.
+    let mut probe = ZipWriter::new();
+    probe.add(inner_name, &[], Method::Stored);
+    let overhead = probe.finish().len();
+    assert!(
+        target > overhead + SIG_OFFSET + 64,
+        "target zip size {target} too small (overhead {overhead})"
+    );
+    let inner = build_inner(target - overhead);
+    let mut w = ZipWriter::new();
+    w.add(inner_name, &inner, Method::Stored);
+    let out = w.finish();
+    debug_assert_eq!(out.len(), target);
+    out
+}
+
+fn benign_zip(size: usize, key: u64) -> Vec<u8> {
+    exact_size_zip(size, "content.dat", |len| {
+        let mut inner = vec![0u8; len];
+        fill_deterministic(&mut inner, key);
+        inner
+    })
+}
+
+/// An infected `MZ` image: DOS-stub-shaped head, the family signature at
+/// [`SIG_OFFSET`], pseudorandom tail.
+fn infected_exe(size: usize, signature: &[u8], key: u64) -> Vec<u8> {
+    assert!(size >= SIG_OFFSET + signature.len() + 16, "exe size {size} too small");
+    let mut buf = vec![0u8; size];
+    fill_deterministic(&mut buf, key);
+    buf[0] = b'M';
+    buf[1] = b'Z';
+    buf[SIG_OFFSET..SIG_OFFSET + signature.len()].copy_from_slice(signature);
+    buf
+}
+
+/// An infected ZIP: real archive holding one *deflated* infected executable
+/// plus a stored padding member sized so the outer archive hits exactly
+/// `size` bytes.
+///
+/// The malicious member is deflated (fixed Huffman) so its signature bytes
+/// are bit-packed and never appear verbatim in the raw archive — convicting
+/// these files requires the scanner to actually traverse and inflate the
+/// member, as the study's AV engine had to.
+fn infected_zip(size: usize, signature: &[u8], key: u64) -> Vec<u8> {
+    let min_exe = SIG_OFFSET + signature.len() + 16;
+    let inner_len = (size / 2).clamp(min_exe, 48 * 1024);
+    // Compressible body (random head, zero tail) so the writer keeps the
+    // member deflated instead of falling back to stored; real executables
+    // compress too.
+    let mut inner = vec![0u8; inner_len];
+    let head = inner_len.min(4096);
+    fill_deterministic(&mut inner[..head], key);
+    inner[0] = b'M';
+    inner[1] = b'Z';
+    inner[SIG_OFFSET..SIG_OFFSET + signature.len()].copy_from_slice(signature);
+    // Measure the archive with a zero-length pad, then absorb the remainder
+    // into the pad member (stored, so its size contribution is linear).
+    let build = |pad: &[u8]| {
+        let mut w = ZipWriter::new();
+        w.add("setup.exe", &inner, Method::Deflate);
+        w.add("readme.txt", pad, Method::Stored);
+        w.finish()
+    };
+    let base = build(&[]).len();
+    assert!(size >= base, "target zip size {size} too small (needs {base})");
+    let pad = vec![0u8; size - base];
+    let out = build(&pad);
+    debug_assert_eq!(out.len(), size);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+    use crate::family::FamilyId;
+    use p2pmal_scanner::{ScanConfig, Scanner};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixtures() -> (Catalog, Roster, ContentStore) {
+        let mut rng = StdRng::seed_from_u64(2);
+        let catalog =
+            Catalog::generate(&CatalogConfig { titles: 120, ..Default::default() }, &mut rng);
+        (catalog, Roster::limewire_2006(), ContentStore::new(0xC0FFEE))
+    }
+
+    fn scanner(roster: &Roster) -> Scanner {
+        Scanner::with_config(
+            roster.signature_db().unwrap().build().unwrap(),
+            ScanConfig::default(),
+        )
+    }
+
+    #[test]
+    fn payload_length_matches_size_for_all_shapes() {
+        let (catalog, roster, store) = fixtures();
+        let mut refs = vec![
+            ContentRef::Benign { item: 0, variant: 0 },
+            ContentRef::Malware { family: FamilyId(0), size_idx: 0 },
+            ContentRef::Malware { family: FamilyId(1), size_idx: 1 },
+            ContentRef::Malware { family: FamilyId(2), size_idx: 0 }, // zip container
+        ];
+        // Add one benign ref per media type that we can afford to build.
+        for it in catalog.items() {
+            if it.media != MediaType::Video && it.variants[0].size < 4_000_000 {
+                refs.push(ContentRef::Benign { item: it.id, variant: 0 });
+            }
+            if refs.len() > 24 {
+                break;
+            }
+        }
+        for r in refs {
+            let want = store.size(r, &catalog, &roster);
+            let got = store.payload(r, &catalog, &roster).len() as u64;
+            assert_eq!(want, got, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn payloads_are_deterministic_and_replica_identical() {
+        let (catalog, roster, store) = fixtures();
+        let other = ContentStore::new(0xC0FFEE);
+        let r = ContentRef::Malware { family: FamilyId(0), size_idx: 0 };
+        assert_eq!(store.payload(r, &catalog, &roster), other.payload(r, &catalog, &roster));
+        // Different seed => different bytes (same size).
+        let third = ContentStore::new(1);
+        assert_ne!(store.payload(r, &catalog, &roster), third.payload(r, &catalog, &roster));
+    }
+
+    #[test]
+    fn scanner_convicts_every_family_payload() {
+        let (catalog, roster, store) = fixtures();
+        let sc = scanner(&roster);
+        for fam in roster.families() {
+            for (i, _) in fam.sizes.iter().enumerate() {
+                let r = ContentRef::Malware { family: fam.id, size_idx: i as u8 };
+                let data = store.payload(r, &catalog, &roster);
+                let v = sc.scan("sample.bin", &data);
+                assert_eq!(v.primary(), Some(fam.name.as_str()), "{} size {i}", fam.name);
+            }
+        }
+    }
+
+    #[test]
+    fn zip_container_requires_archive_traversal() {
+        let (catalog, roster, store) = fixtures();
+        let bagle = roster.by_name("W32.Bagle.DL").unwrap();
+        assert_eq!(bagle.container, Container::ZipOfExecutable);
+        let r = ContentRef::Malware { family: bagle.id, size_idx: 0 };
+        let data = store.payload(r, &catalog, &roster);
+        assert_eq!(&data[..2], b"PK", "outer container is a real zip");
+        let v = scanner(&roster).scan("pack.zip", &data);
+        assert_eq!(v.primary(), Some(bagle.name.as_str()));
+        assert!(
+            v.detections[0].location.contains("setup.exe"),
+            "detection should point into the archive: {:?}",
+            v.detections[0].location
+        );
+    }
+
+    #[test]
+    fn benign_payloads_scan_clean() {
+        let (catalog, roster, store) = fixtures();
+        let sc = scanner(&roster);
+        let mut checked = 0;
+        for it in catalog.items() {
+            if it.media == MediaType::Video || it.variants[0].size > 2_000_000 {
+                continue;
+            }
+            let r = ContentRef::Benign { item: it.id, variant: 0 };
+            let data = store.payload(r, &catalog, &roster);
+            assert!(!sc.scan(&it.variants[0].name, &data).infected(), "{}", it.variants[0].name);
+            checked += 1;
+            if checked >= 20 {
+                break;
+            }
+        }
+        assert!(checked > 5);
+    }
+
+    #[test]
+    fn benign_magic_bytes_match_media() {
+        let (catalog, roster, store) = fixtures();
+        for it in catalog.items().iter().take(60) {
+            if it.media == MediaType::Video || it.variants[0].size > 2_000_000 {
+                continue;
+            }
+            let data =
+                store.payload(ContentRef::Benign { item: it.id, variant: 0 }, &catalog, &roster);
+            match it.media {
+                MediaType::Audio => assert_eq!(&data[..3], b"ID3"),
+                MediaType::Application => assert_eq!(&data[..2], b"MZ"),
+                MediaType::Archive => assert_eq!(&data[..2], b"PK"),
+                MediaType::Document => assert_eq!(&data[..4], b"%PDF"),
+                MediaType::Image => assert_eq!(&data[..2], &[0xFF, 0xD8]),
+                MediaType::Video => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn hashes_are_cached_and_stable() {
+        let (catalog, roster, store) = fixtures();
+        let r = ContentRef::Malware { family: FamilyId(0), size_idx: 0 };
+        let a = store.hashes(r, &catalog, &roster);
+        assert_eq!(store.cached_hashes(), 1);
+        let b = store.hashes(r, &catalog, &roster);
+        assert_eq!(a, b);
+        assert_eq!(store.cached_hashes(), 1);
+        let data = store.payload(r, &catalog, &roster);
+        assert_eq!(a.sha1, p2pmal_hashes::sha1(&data));
+        assert_eq!(a.md5, p2pmal_hashes::md5(&data));
+    }
+
+    #[test]
+    fn fill_deterministic_covers_tail() {
+        let mut a = vec![0u8; 13];
+        let mut b = vec![0u8; 13];
+        fill_deterministic(&mut a, 7);
+        fill_deterministic(&mut b, 7);
+        assert_eq!(a, b);
+        assert!(a[8..].iter().any(|&x| x != 0), "tail bytes must be filled");
+    }
+}

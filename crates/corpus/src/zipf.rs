@@ -1,0 +1,150 @@
+//! Zipf-distributed sampling.
+//!
+//! File popularity in 2006-era P2P networks is strongly Zipf-like: a handful
+//! of titles draw most queries and most replicas (Gummadi et al., SOSP 2003,
+//! measured exponents near 1 for Kazaa). Both the benign catalog and the
+//! query workload sample ranks from this distribution.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A Zipf(α) distribution over ranks `0..n` (rank 0 is the most popular).
+///
+/// Sampling is O(log n) via binary search over the precomputed CDF; the
+/// construction is O(n). Probabilities are proportional to `1/(rank+1)^α`.
+///
+/// ```
+/// use p2pmal_corpus::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let z = Zipf::new(1000, 1.0);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let rank = z.sample(&mut rng);
+/// assert!(rank < 1000);
+/// // Rank 0 is the single most likely outcome.
+/// assert!(z.pmf(0) > z.pmf(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[k]` = P(rank <= k). Last entry is 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a Zipf distribution over `n` ranks with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative/non-finite — both indicate
+    /// a configuration bug, not a data-dependent condition.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf over zero ranks");
+        assert!(alpha.is_finite() && alpha >= 0.0, "bad Zipf exponent {alpha}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the tail.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the distribution has exactly one rank (degenerate).
+    pub fn is_empty(&self) -> bool {
+        false // construction requires n > 0
+    }
+
+    /// Probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Draws one rank in `0..len()`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index whose cdf >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(500, 0.9);
+        let total: f64 = (0..500).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = Zipf::new(100, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(50));
+        // Harmonic(100) ~ 5.19, so pmf(0) ~ 0.193.
+        assert!((z.pmf(0) - 0.1927).abs() < 0.01);
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_track_pmf() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = vec![0u32; 50];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in [0usize, 1, 2, 10] {
+            let emp = counts[k] as f64 / n as f64;
+            let exp = z.pmf(k);
+            assert!((emp - exp).abs() < 0.01, "rank {k}: emp {emp} vs pmf {exp}");
+        }
+    }
+
+    #[test]
+    fn samples_in_range_and_deterministic() {
+        let z = Zipf::new(7, 1.0);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        let a = draw(3);
+        assert!(a.iter().all(|&r| r < 7));
+        assert_eq!(a, draw(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

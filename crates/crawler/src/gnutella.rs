@@ -1,0 +1,298 @@
+//! The instrumented LimeWire-side client: a Gnutella leaf that issues the
+//! query workload, logs every query hit, downloads the deduplicated
+//! archive/executable responses (direct or via PUSH) and scans them.
+//!
+//! This is the reproduction of the paper's instrumented LimeWire servent:
+//! protocol behaviour comes from [`p2pmal_gnutella::Servent`], measurement
+//! behaviour lives here.
+
+use crate::log::{CrawlLog, HostKey, HostSizeKey, NameSizeKey, ResponseRecord, ScanOutcome};
+use crate::workload::{Workload, WorkloadConfig};
+use p2pmal_gnutella::servent::{
+    DownloadError, DownloadMethod, DownloadRequest, Servent, ServentConfig, ServentEvent,
+    SharedWorld,
+};
+use p2pmal_gnutella::{Guid, QueryHit};
+use p2pmal_netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration};
+use p2pmal_scanner::Scanner;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Crawler-owned timer tokens live far above the servent's namespace.
+const CRAWLER_BASE: u64 = 1 << 48;
+const TIMER_QUERY: u64 = CRAWLER_BASE | 1;
+
+/// Crawler tunables.
+#[derive(Clone)]
+pub struct GnutellaCrawlerConfig {
+    pub workload: WorkloadConfig,
+    /// Parallel download slots (the study ran a bounded fetch pool).
+    pub max_concurrent_downloads: usize,
+    /// Warm-up before the first query, letting the overlay converge.
+    pub start_delay: SimDuration,
+    /// Per-object retry budget: one direct attempt plus at most this many
+    /// PUSH attempts.
+    pub push_retries: u8,
+}
+
+impl Default for GnutellaCrawlerConfig {
+    fn default() -> Self {
+        GnutellaCrawlerConfig {
+            workload: WorkloadConfig::default(),
+            max_concurrent_downloads: 16,
+            start_delay: SimDuration::from_secs(300),
+            push_retries: 1,
+        }
+    }
+}
+
+struct InFlight {
+    record: ResponseRecord,
+    request: DownloadRequest,
+    pushes_left: u8,
+}
+
+/// The instrumented Gnutella client.
+pub struct GnutellaCrawler {
+    servent: Servent,
+    config: GnutellaCrawlerConfig,
+    workload: Workload,
+    scanner: Arc<Scanner>,
+    log: CrawlLog,
+    /// Query GUID -> query text, for attributing hits.
+    queries: HashMap<Guid, String>,
+    query_order: VecDeque<Guid>,
+    /// Downloadable responses waiting for a slot.
+    pending: VecDeque<(ResponseRecord, DownloadRequest)>,
+    in_flight: HashMap<u64, InFlight>,
+    /// Keys currently being fetched (suppress duplicate fetches).
+    busy_name_size: HashSet<NameSizeKey>,
+    busy_host_size: HashSet<HostSizeKey>,
+}
+
+impl GnutellaCrawler {
+    /// `servent_config.collect_events` is forced on; `auto_query` is forced
+    /// off (the crawler drives its own workload).
+    pub fn new(
+        mut servent_config: ServentConfig,
+        world: SharedWorld,
+        scanner: Arc<Scanner>,
+        config: GnutellaCrawlerConfig,
+    ) -> Self {
+        servent_config.collect_events = true;
+        servent_config.auto_query = None;
+        // The study downloads multi-megabyte benign executables over
+        // 2006-grade upload links; give transfers time to finish.
+        servent_config.download_timeout = SimDuration::from_secs(1800);
+        GnutellaCrawler {
+            servent: Servent::new(servent_config, world, Default::default()),
+            workload: Workload::new(config.workload.clone()),
+            config,
+            scanner,
+            log: CrawlLog::new(),
+            queries: HashMap::new(),
+            query_order: VecDeque::new(),
+            pending: VecDeque::new(),
+            in_flight: HashMap::new(),
+            busy_name_size: HashSet::new(),
+            busy_host_size: HashSet::new(),
+        }
+    }
+
+    /// Read access to the accumulated log.
+    pub fn log(&self) -> &CrawlLog {
+        &self.log
+    }
+
+    /// Takes the log out of the crawler (end of the run).
+    pub fn take_log(&mut self) -> CrawlLog {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Connectivity diagnostic.
+    pub fn peer_count(&self) -> usize {
+        self.servent.peer_count()
+    }
+
+    fn remember_query(&mut self, guid: Guid, text: String) {
+        self.queries.insert(guid, text);
+        self.query_order.push_back(guid);
+        if self.query_order.len() > 8192 {
+            if let Some(old) = self.query_order.pop_front() {
+                self.queries.remove(&old);
+            }
+        }
+    }
+
+    /// Turns one QUERYHIT into response records and download work.
+    fn ingest_hit(&mut self, ctx: &mut Ctx<'_>, query_guid: Guid, hit: &QueryHit) {
+        let Some(query) = self.queries.get(&query_guid).cloned() else {
+            return; // late hit for an evicted query
+        };
+        let at = ctx.now();
+        let advertised_private = HostAddr::new(hit.ip, hit.port).is_private();
+        for res in &hit.results {
+            let record = ResponseRecord {
+                at,
+                day: at.day(),
+                query: query.clone(),
+                filename: res.name.clone(),
+                size: res.size as u64,
+                source_ip: hit.ip,
+                source_port: hit.port,
+                needs_push: hit.flags.needs_push() || advertised_private,
+                host: HostKey::Guid(hit.servent_guid.0),
+                downloadable: crate::log::is_downloadable_name(&res.name),
+            };
+            let want_download = record.downloadable
+                && self.log.outcome_of(&record).is_none()
+                && {
+                    let (nk, hk) = CrawlLog::keys_of(&record);
+                    !self.busy_name_size.contains(&nk) && !self.busy_host_size.contains(&hk)
+                };
+            if want_download {
+                let (nk, hk) = CrawlLog::keys_of(&record);
+                self.busy_name_size.insert(nk);
+                self.busy_host_size.insert(hk);
+                let method = if record.needs_push {
+                    DownloadMethod::Push
+                } else {
+                    DownloadMethod::Direct
+                };
+                let request = DownloadRequest {
+                    addr: HostAddr::new(hit.ip, hit.port),
+                    index: res.index,
+                    name: res.name.clone(),
+                    servent_guid: hit.servent_guid,
+                    method,
+                };
+                self.pending.push_back((record.clone(), request));
+            }
+            self.log.responses.push(record);
+        }
+        self.start_downloads(ctx);
+    }
+
+    fn start_downloads(&mut self, ctx: &mut Ctx<'_>) {
+        while self.in_flight.len() < self.config.max_concurrent_downloads {
+            let Some((record, request)) = self.pending.pop_front() else { break };
+            self.log.downloads_attempted += 1;
+            let id = self.servent.begin_download(ctx, request.clone());
+            self.in_flight.insert(
+                id,
+                InFlight { record, request, pushes_left: self.config.push_retries },
+            );
+        }
+    }
+
+    fn finish(&mut self, record: &ResponseRecord, outcome: ScanOutcome) {
+        let (nk, hk) = CrawlLog::keys_of(record);
+        self.busy_name_size.remove(&nk);
+        self.busy_host_size.remove(&hk);
+        self.log.record_outcome(record, outcome);
+    }
+
+    fn on_download_done(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: u64,
+        result: Result<Vec<u8>, DownloadError>,
+    ) {
+        let Some(mut fl) = self.in_flight.remove(&id) else { return };
+        match result {
+            Ok(body) => {
+                let sha1 = p2pmal_hashes::sha1(&body);
+                let verdict = self.scanner.scan(&fl.record.filename, &body);
+                let detections =
+                    verdict.detections.iter().map(|d| d.name.clone()).collect();
+                self.finish(
+                    &fl.record.clone(),
+                    ScanOutcome::Scanned { sha1, len: body.len() as u64, detections },
+                );
+            }
+            Err(_) if fl.pushes_left > 0 => {
+                // Direct dial failed (or transfer broke): fall back to PUSH
+                // through the overlay, as LimeWire does.
+                fl.pushes_left -= 1;
+                fl.request.method = DownloadMethod::Push;
+                let new_id = self.servent.begin_download(ctx, fl.request.clone());
+                self.in_flight.insert(new_id, fl);
+                return;
+            }
+            Err(_) => {
+                self.log.downloads_failed += 1;
+                self.finish(&fl.record.clone(), ScanOutcome::Unreachable);
+            }
+        }
+        self.start_downloads(ctx);
+    }
+
+    /// Drains servent events into the log and the download pipeline.
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        for ev in self.servent.drain_events() {
+            match ev {
+                ServentEvent::QueryHit { query_guid, hit, .. } => {
+                    self.ingest_hit(ctx, query_guid, &hit);
+                }
+                ServentEvent::DownloadDone(outcome) => {
+                    self.on_download_done(ctx, outcome.id, outcome.result);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn issue_query(&mut self, ctx: &mut Ctx<'_>) {
+        let catalog = self.servent_world_catalog();
+        let q = self.workload.sample_query(&catalog, ctx.rng());
+        let guid = self.servent.search(ctx, &q);
+        self.remember_query(guid, q);
+        self.log.queries_issued += 1;
+        let next = self.workload.next_interval_secs(ctx.now(), ctx.rng());
+        ctx.set_timer(SimDuration::from_secs(next), TIMER_QUERY);
+    }
+
+    fn servent_world_catalog(&self) -> Arc<p2pmal_corpus::Catalog> {
+        self.servent.world().catalog.clone()
+    }
+}
+
+impl App for GnutellaCrawler {
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.servent.on_start(ctx);
+        ctx.set_timer(self.config.start_delay, TIMER_QUERY);
+    }
+
+    fn on_connected(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, dir: Direction, peer: HostAddr) {
+        self.servent.on_connected(ctx, conn, dir, peer);
+        self.pump(ctx);
+    }
+
+    fn on_connect_failed(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        self.servent.on_connect_failed(ctx, conn);
+        self.pump(ctx);
+    }
+
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+        self.servent.on_data(ctx, conn, data);
+        self.pump(ctx);
+    }
+
+    fn on_closed(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        self.servent.on_closed(ctx, conn);
+        self.pump(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TIMER_QUERY {
+            self.issue_query(ctx);
+        } else if token & CRAWLER_BASE == 0 {
+            self.servent.on_timer(ctx, token);
+        }
+        self.pump(ctx);
+    }
+}

@@ -1,0 +1,279 @@
+//! The measurement log: what the instrumented clients record.
+//!
+//! The study's unit of measurement is the *query response*. Every response
+//! row carries the query that elicited it, the advertised file name/size,
+//! and the advertised source. Downloadable responses (archives and
+//! executables, judged by extension exactly as the paper did) are fetched,
+//! hashed, and scanned; the resulting verdict is attached to every response
+//! that resolves to the same content.
+//!
+//! Download deduplication mirrors the study's practicality constraint: the
+//! same (filename, size) pair is fetched once, and the same (host, size)
+//! pair is fetched once — the second rule is what keeps query-echo worms
+//! (fresh filename per query, constant payload) from forcing one download
+//! per response.
+
+use p2pmal_hashes::Sha1Digest;
+use serde::{Deserialize, Serialize};
+use p2pmal_netsim::SimTime;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Which instrumented network produced a log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Network {
+    Limewire,
+    OpenFt,
+}
+
+impl Network {
+    pub fn label(self) -> &'static str {
+        match self {
+            Network::Limewire => "LimeWire",
+            Network::OpenFt => "OpenFT",
+        }
+    }
+}
+
+/// Extensions the study counted as the "archives and executables" class.
+pub const DOWNLOADABLE_EXTENSIONS: [&str; 7] =
+    ["exe", "zip", "rar", "com", "scr", "bat", "msi"];
+
+/// True when `name`'s extension puts it in the downloadable class.
+pub fn is_downloadable_name(name: &str) -> bool {
+    match name.rsplit_once('.') {
+        Some((_, ext)) => {
+            let ext = ext.to_ascii_lowercase();
+            DOWNLOADABLE_EXTENSIONS.contains(&ext.as_str())
+        }
+        None => false,
+    }
+}
+
+/// Identity of a responding host, as well as the crawler can observe it.
+/// Gnutella hits carry a stable servent GUID; OpenFT results carry the
+/// serving host's address.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HostKey {
+    Guid([u8; 16]),
+    Addr(Ipv4Addr, u16),
+}
+
+/// One logged query response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResponseRecord {
+    pub at: SimTime,
+    /// Simulated-day index, the time-series bucket.
+    pub day: u64,
+    pub query: String,
+    pub filename: String,
+    pub size: u64,
+    /// Address the responder *advertised* (RFC 1918 leaks live here).
+    pub source_ip: Ipv4Addr,
+    pub source_port: u16,
+    /// The responder declared it needs a PUSH (Gnutella only).
+    pub needs_push: bool,
+    pub host: HostKey,
+    /// Extension-classified downloadable (archive/executable) response.
+    pub downloadable: bool,
+}
+
+/// Content-level result of downloading + scanning one deduplicated object.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ScanOutcome {
+    /// Downloaded and scanned.
+    Scanned {
+        sha1: Sha1Digest,
+        len: u64,
+        /// Detected malware names (empty = clean).
+        detections: Vec<String>,
+    },
+    /// All download attempts failed.
+    Unreachable,
+}
+
+impl ScanOutcome {
+    pub fn is_malicious(&self) -> bool {
+        matches!(self, ScanOutcome::Scanned { detections, .. } if !detections.is_empty())
+    }
+
+    /// The primary (first) detection, the paper's attribution rule.
+    pub fn primary(&self) -> Option<&str> {
+        match self {
+            ScanOutcome::Scanned { detections, .. } => detections.first().map(|s| s.as_str()),
+            ScanOutcome::Unreachable => None,
+        }
+    }
+}
+
+/// Dedup keys a response resolves through.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NameSizeKey(pub String, pub u64);
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HostSizeKey(pub HostKey, pub u64);
+
+/// A response joined with its scan verdict (produced by
+/// [`CrawlLog::resolved`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResolvedResponse {
+    pub record: ResponseRecord,
+    /// `None` when the content was never successfully scanned.
+    pub malware: Option<String>,
+    /// Whether the content was scanned at all (clean or dirty).
+    pub scanned: bool,
+    /// SHA-1 of the downloaded content, when scanned.
+    pub sha1: Option<Sha1Digest>,
+}
+
+/// The full measurement log for one network over one collection run.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct CrawlLog {
+    pub responses: Vec<ResponseRecord>,
+    /// Scan outcomes by dedup key.
+    pub by_name_size: HashMap<NameSizeKey, ScanOutcome>,
+    pub by_host_size: HashMap<HostSizeKey, ScanOutcome>,
+    /// Diagnostics.
+    pub queries_issued: u64,
+    pub downloads_attempted: u64,
+    pub downloads_failed: u64,
+}
+
+impl CrawlLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Dedup keys for a response.
+    pub fn keys_of(r: &ResponseRecord) -> (NameSizeKey, HostSizeKey) {
+        (
+            NameSizeKey(r.filename.to_ascii_lowercase(), r.size),
+            HostSizeKey(r.host.clone(), r.size),
+        )
+    }
+
+    /// Whether this response's content already has (or is known to never
+    /// get) a verdict.
+    pub fn outcome_of(&self, r: &ResponseRecord) -> Option<&ScanOutcome> {
+        let (nk, hk) = Self::keys_of(r);
+        self.by_name_size.get(&nk).or_else(|| self.by_host_size.get(&hk))
+    }
+
+    /// Records a scan outcome under both dedup keys.
+    pub fn record_outcome(&mut self, r: &ResponseRecord, outcome: ScanOutcome) {
+        let (nk, hk) = Self::keys_of(r);
+        self.by_name_size.insert(nk, outcome.clone());
+        self.by_host_size.insert(hk, outcome);
+    }
+
+    /// Joins every response with its verdict.
+    pub fn resolved(&self) -> Vec<ResolvedResponse> {
+        self.responses
+            .iter()
+            .map(|r| {
+                let outcome = self.outcome_of(r);
+                let scanned = matches!(outcome, Some(ScanOutcome::Scanned { .. }));
+                let malware = outcome.and_then(|o| o.primary()).map(|s| s.to_string());
+                let sha1 = match outcome {
+                    Some(ScanOutcome::Scanned { sha1, .. }) => Some(*sha1),
+                    _ => None,
+                };
+                ResolvedResponse { record: r.clone(), malware, scanned, sha1 }
+            })
+            .collect()
+    }
+
+    /// Downloadable responses (the paper's denominators).
+    pub fn downloadable_count(&self) -> usize {
+        self.responses.iter().filter(|r| r.downloadable).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, size: u64, host: HostKey) -> ResponseRecord {
+        ResponseRecord {
+            at: SimTime::ZERO,
+            day: 0,
+            query: "q".into(),
+            filename: name.into(),
+            size,
+            source_ip: Ipv4Addr::new(1, 2, 3, 4),
+            source_port: 6346,
+            needs_push: false,
+            host,
+            downloadable: is_downloadable_name(name),
+        }
+    }
+
+    #[test]
+    fn extension_classification() {
+        assert!(is_downloadable_name("setup.exe"));
+        assert!(is_downloadable_name("pack.ZIP"));
+        assert!(is_downloadable_name("archive.rar"));
+        assert!(is_downloadable_name("installer.msi"));
+        assert!(!is_downloadable_name("song.mp3"));
+        assert!(!is_downloadable_name("movie.avi"));
+        assert!(!is_downloadable_name("noextension"));
+    }
+
+    #[test]
+    fn dedup_by_name_size_spans_hosts() {
+        let mut log = CrawlLog::new();
+        let a = record("tool.exe", 1000, HostKey::Addr(Ipv4Addr::new(1, 1, 1, 1), 80));
+        let b = record("tool.exe", 1000, HostKey::Addr(Ipv4Addr::new(2, 2, 2, 2), 80));
+        log.record_outcome(
+            &a,
+            ScanOutcome::Scanned {
+                sha1: p2pmal_hashes::sha1(b"x"),
+                len: 1000,
+                detections: vec!["W32.Test".into()],
+            },
+        );
+        assert!(log.outcome_of(&b).is_some(), "same name+size resolves across hosts");
+        assert!(log.outcome_of(&b).unwrap().is_malicious());
+    }
+
+    #[test]
+    fn dedup_by_host_size_spans_names() {
+        let mut log = CrawlLog::new();
+        let host = HostKey::Guid([7; 16]);
+        let a = record("query_one.exe", 58_368, host.clone());
+        let b = record("query_two.exe", 58_368, host.clone());
+        let c = record("query_two.exe", 1111, host); // different size: miss
+        log.record_outcome(
+            &a,
+            ScanOutcome::Scanned { sha1: p2pmal_hashes::sha1(b"worm"), len: 58_368, detections: vec![] },
+        );
+        assert!(log.outcome_of(&b).is_some(), "echo worm resolves by host+size");
+        assert!(log.outcome_of(&c).is_none());
+    }
+
+    #[test]
+    fn resolved_joins_verdicts() {
+        let mut log = CrawlLog::new();
+        let host = HostKey::Guid([1; 16]);
+        let a = record("bad.exe", 10, host.clone());
+        let b = record("unfetched.exe", 20, host.clone());
+        let c = record("dead.exe", 30, host);
+        log.responses.extend([a.clone(), b, c.clone()]);
+        log.record_outcome(
+            &a,
+            ScanOutcome::Scanned {
+                sha1: p2pmal_hashes::sha1(b"m"),
+                len: 10,
+                detections: vec!["W32.X".into(), "W32.Y".into()],
+            },
+        );
+        log.record_outcome(&c, ScanOutcome::Unreachable);
+        let resolved = log.resolved();
+        assert_eq!(resolved[0].malware.as_deref(), Some("W32.X"), "primary detection");
+        assert!(resolved[0].scanned);
+        assert!(!resolved[1].scanned);
+        assert_eq!(resolved[1].malware, None);
+        assert!(!resolved[2].scanned, "unreachable is not scanned");
+        assert_eq!(log.downloadable_count(), 3);
+    }
+}

@@ -1,0 +1,252 @@
+//! The instrumented giFT/OpenFT-side client: a USER node issuing the query
+//! workload against every SEARCH node it discovers, logging results and
+//! downloading the deduplicated archive/executable responses by MD5.
+
+use crate::log::{CrawlLog, HostKey, HostSizeKey, NameSizeKey, ResponseRecord, ScanOutcome};
+use crate::workload::{Workload, WorkloadConfig};
+use p2pmal_gnutella::servent::SharedWorld;
+use p2pmal_openft::node::{FtConfig, FtDownloadError, FtEvent, FtNode};
+use p2pmal_openft::packet::SearchResult;
+use p2pmal_netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration};
+use p2pmal_scanner::Scanner;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+const CRAWLER_BASE: u64 = 1 << 48;
+const TIMER_QUERY: u64 = CRAWLER_BASE | 1;
+
+/// OpenFT crawler tunables.
+#[derive(Clone)]
+pub struct FtCrawlerConfig {
+    pub workload: WorkloadConfig,
+    pub max_concurrent_downloads: usize,
+    pub start_delay: SimDuration,
+    /// Extra download attempts after the first failure.
+    pub retries: u8,
+}
+
+impl Default for FtCrawlerConfig {
+    fn default() -> Self {
+        FtCrawlerConfig {
+            workload: WorkloadConfig::default(),
+            max_concurrent_downloads: 16,
+            start_delay: SimDuration::from_secs(300),
+            retries: 1,
+        }
+    }
+}
+
+struct InFlight {
+    record: ResponseRecord,
+    addr: HostAddr,
+    md5: p2pmal_hashes::Md5Digest,
+    retries_left: u8,
+}
+
+/// The instrumented OpenFT client.
+pub struct FtCrawler {
+    node: FtNode,
+    config: FtCrawlerConfig,
+    workload: Workload,
+    scanner: Arc<Scanner>,
+    log: CrawlLog,
+    /// Search id -> query text.
+    queries: HashMap<u32, String>,
+    query_order: VecDeque<u32>,
+    pending: VecDeque<(ResponseRecord, HostAddr, p2pmal_hashes::Md5Digest)>,
+    in_flight: HashMap<u64, InFlight>,
+    busy_name_size: HashSet<NameSizeKey>,
+    busy_host_size: HashSet<HostSizeKey>,
+}
+
+impl FtCrawler {
+    pub fn new(
+        mut node_config: FtConfig,
+        world: SharedWorld,
+        scanner: Arc<Scanner>,
+        config: FtCrawlerConfig,
+    ) -> Self {
+        node_config.collect_events = true;
+        node_config.auto_query = None;
+        // Benign transfers are multi-megabyte on 2006 links; allow time.
+        node_config.download_timeout = SimDuration::from_secs(1800);
+        FtCrawler {
+            node: FtNode::new(node_config, world, Default::default()),
+            workload: Workload::new(config.workload.clone()),
+            config,
+            scanner,
+            log: CrawlLog::new(),
+            queries: HashMap::new(),
+            query_order: VecDeque::new(),
+            pending: VecDeque::new(),
+            in_flight: HashMap::new(),
+            busy_name_size: HashSet::new(),
+            busy_host_size: HashSet::new(),
+        }
+    }
+
+    pub fn log(&self) -> &CrawlLog {
+        &self.log
+    }
+
+    pub fn take_log(&mut self) -> CrawlLog {
+        std::mem::take(&mut self.log)
+    }
+
+    pub fn session_count(&self) -> usize {
+        self.node.session_count()
+    }
+
+    fn remember_query(&mut self, id: u32, text: String) {
+        self.queries.insert(id, text);
+        self.query_order.push_back(id);
+        if self.query_order.len() > 8192 {
+            if let Some(old) = self.query_order.pop_front() {
+                self.queries.remove(&old);
+            }
+        }
+    }
+
+    fn ingest_result(&mut self, ctx: &mut Ctx<'_>, result: &SearchResult) {
+        let Some(query) = self.queries.get(&result.id).cloned() else { return };
+        let at = ctx.now();
+        let record = ResponseRecord {
+            at,
+            day: at.day(),
+            query,
+            filename: result.filename.clone(),
+            size: result.size as u64,
+            source_ip: result.host,
+            source_port: result.port,
+            needs_push: false,
+            host: HostKey::Addr(result.host, result.port),
+            downloadable: crate::log::is_downloadable_name(&result.filename),
+        };
+        let want_download = record.downloadable && self.log.outcome_of(&record).is_none() && {
+            let (nk, hk) = CrawlLog::keys_of(&record);
+            !self.busy_name_size.contains(&nk) && !self.busy_host_size.contains(&hk)
+        };
+        if want_download {
+            let (nk, hk) = CrawlLog::keys_of(&record);
+            self.busy_name_size.insert(nk);
+            self.busy_host_size.insert(hk);
+            let addr = HostAddr::new(result.host, result.http_port);
+            self.pending.push_back((record.clone(), addr, result.md5));
+        }
+        self.log.responses.push(record);
+        self.start_downloads(ctx);
+    }
+
+    fn start_downloads(&mut self, ctx: &mut Ctx<'_>) {
+        while self.in_flight.len() < self.config.max_concurrent_downloads {
+            let Some((record, addr, md5)) = self.pending.pop_front() else { break };
+            self.log.downloads_attempted += 1;
+            let id = self.node.begin_download(ctx, addr, md5);
+            self.in_flight.insert(
+                id,
+                InFlight { record, addr, md5, retries_left: self.config.retries },
+            );
+        }
+    }
+
+    fn finish(&mut self, record: &ResponseRecord, outcome: ScanOutcome) {
+        let (nk, hk) = CrawlLog::keys_of(record);
+        self.busy_name_size.remove(&nk);
+        self.busy_host_size.remove(&hk);
+        self.log.record_outcome(record, outcome);
+    }
+
+    fn on_download_done(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: u64,
+        result: Result<Vec<u8>, FtDownloadError>,
+    ) {
+        let Some(mut fl) = self.in_flight.remove(&id) else { return };
+        match result {
+            Ok(body) => {
+                let sha1 = p2pmal_hashes::sha1(&body);
+                let verdict = self.scanner.scan(&fl.record.filename, &body);
+                let detections =
+                    verdict.detections.iter().map(|d| d.name.clone()).collect();
+                self.finish(
+                    &fl.record.clone(),
+                    ScanOutcome::Scanned { sha1, len: body.len() as u64, detections },
+                );
+            }
+            Err(_) if fl.retries_left > 0 => {
+                fl.retries_left -= 1;
+                let new_id = self.node.begin_download(ctx, fl.addr, fl.md5);
+                self.in_flight.insert(new_id, fl);
+                return;
+            }
+            Err(_) => {
+                self.log.downloads_failed += 1;
+                self.finish(&fl.record.clone(), ScanOutcome::Unreachable);
+            }
+        }
+        self.start_downloads(ctx);
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        for ev in self.node.drain_events() {
+            match ev {
+                FtEvent::SearchResult { result, .. } => self.ingest_result(ctx, &result),
+                FtEvent::DownloadDone { id, result, .. } => {
+                    self.on_download_done(ctx, id, result)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn issue_query(&mut self, ctx: &mut Ctx<'_>) {
+        let catalog = self.node.world().catalog.clone();
+        let q = self.workload.sample_query(&catalog, ctx.rng());
+        let id = self.node.search(ctx, &q);
+        self.remember_query(id, q);
+        self.log.queries_issued += 1;
+        let next = self.workload.next_interval_secs(ctx.now(), ctx.rng());
+        ctx.set_timer(SimDuration::from_secs(next), TIMER_QUERY);
+    }
+}
+
+impl App for FtCrawler {
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.node.on_start(ctx);
+        ctx.set_timer(self.config.start_delay, TIMER_QUERY);
+    }
+
+    fn on_connected(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, dir: Direction, peer: HostAddr) {
+        self.node.on_connected(ctx, conn, dir, peer);
+        self.pump(ctx);
+    }
+
+    fn on_connect_failed(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        self.node.on_connect_failed(ctx, conn);
+        self.pump(ctx);
+    }
+
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+        self.node.on_data(ctx, conn, data);
+        self.pump(ctx);
+    }
+
+    fn on_closed(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        self.node.on_closed(ctx, conn);
+        self.pump(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TIMER_QUERY {
+            self.issue_query(ctx);
+        } else if token & CRAWLER_BASE == 0 {
+            self.node.on_timer(ctx, token);
+        }
+        self.pump(ctx);
+    }
+}

@@ -1,0 +1,169 @@
+//! The query workload the instrumented clients issue.
+//!
+//! The study ran its clients for over a month, continuously searching. Our
+//! workload mixes two realistic sources:
+//!
+//! * popularity-sampled keywords from the benign catalog (what users type
+//!   when they want actual content), and
+//! * a static list of generic 2006-era search strings (celebrity names,
+//!   "free" + product queries) that often match nothing benign — the
+//!   queries on which *every* downloadable response tends to be a
+//!   query-echo worm.
+//!
+//! A diurnal modulation scales the query rate over the simulated day, so
+//! daily time-series plots have realistic shape rather than a flat line.
+
+use p2pmal_corpus::Catalog;
+use p2pmal_netsim::SimTime;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generic search strings with no catalog counterpart.
+pub const GENERIC_TERMS: &[&str] = &[
+    "free music",
+    "top hits 2006",
+    "dvd ripper",
+    "windows xp key",
+    "screensaver pack",
+    "funny video",
+    "best of collection",
+    "full album",
+    "game demo",
+    "free ringtones",
+    "antivirus download",
+    "photo editor",
+];
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Probability that a query is drawn from the generic list instead of
+    /// the catalog.
+    pub generic_fraction: f64,
+    /// Mean seconds between queries at the daily peak.
+    pub base_interval_secs: u64,
+    /// Ratio of trough to peak query rate over the diurnal cycle (0..1].
+    pub diurnal_floor: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig { generic_fraction: 0.25, base_interval_secs: 60, diurnal_floor: 0.4 }
+    }
+}
+
+/// A deterministic query generator.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    config: WorkloadConfig,
+}
+
+impl Workload {
+    pub fn new(config: WorkloadConfig) -> Self {
+        assert!((0.0..=1.0).contains(&config.generic_fraction));
+        assert!(config.diurnal_floor > 0.0 && config.diurnal_floor <= 1.0);
+        assert!(config.base_interval_secs > 0);
+        Workload { config }
+    }
+
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Draws the next query string.
+    pub fn sample_query(&self, catalog: &Catalog, rng: &mut StdRng) -> String {
+        if rng.gen_bool(self.config.generic_fraction) {
+            GENERIC_TERMS[rng.gen_range(0..GENERIC_TERMS.len())].to_string()
+        } else {
+            catalog.sample_query(rng)
+        }
+    }
+
+    /// The diurnal rate multiplier at `now` (1.0 at peak, `diurnal_floor`
+    /// at trough), a smooth cosine over the 24h simulated day.
+    pub fn diurnal_factor(&self, now: SimTime) -> f64 {
+        let day_fraction =
+            (now.as_micros() % (86_400 * 1_000_000)) as f64 / (86_400.0 * 1e6);
+        let floor = self.config.diurnal_floor;
+        // Peak at 20:00, trough at 08:00 simulated time.
+        let phase = (day_fraction - 20.0 / 24.0) * std::f64::consts::TAU;
+        let wave = (phase.cos() + 1.0) / 2.0; // 1 at peak, 0 at trough
+        floor + (1.0 - floor) * wave
+    }
+
+    /// Seconds until the next query: exponential around the diurnally
+    /// modulated mean.
+    pub fn next_interval_secs(&self, now: SimTime, rng: &mut StdRng) -> u64 {
+        let mean = self.config.base_interval_secs as f64 / self.diurnal_factor(now);
+        let u: f64 = rng.gen_range(1e-9..1.0);
+        let gap = -mean * u.ln();
+        gap.clamp(1.0, mean * 8.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmal_corpus::catalog::CatalogConfig;
+    use rand::SeedableRng;
+
+    fn catalog() -> Catalog {
+        let mut rng = StdRng::seed_from_u64(1);
+        Catalog::generate(&CatalogConfig { titles: 100, ..Default::default() }, &mut rng)
+    }
+
+    #[test]
+    fn queries_mix_generic_and_catalog() {
+        let w = Workload::new(WorkloadConfig { generic_fraction: 0.5, ..Default::default() });
+        let cat = catalog();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut generic = 0;
+        let n = 2000;
+        for _ in 0..n {
+            let q = w.sample_query(&cat, &mut rng);
+            assert!(!q.is_empty());
+            if GENERIC_TERMS.contains(&q.as_str()) {
+                generic += 1;
+            }
+        }
+        let frac = generic as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "generic fraction {frac}");
+    }
+
+    #[test]
+    fn diurnal_factor_peaks_in_evening() {
+        let w = Workload::new(WorkloadConfig::default());
+        let peak = w.diurnal_factor(SimTime::from_secs(20 * 3600));
+        let trough = w.diurnal_factor(SimTime::from_secs(8 * 3600));
+        assert!((peak - 1.0).abs() < 1e-6, "peak {peak}");
+        assert!((trough - 0.4).abs() < 1e-6, "trough {trough}");
+        // And repeats daily.
+        let next_day = w.diurnal_factor(SimTime::from_secs(44 * 3600));
+        assert!((next_day - peak).abs() < 1e-6);
+    }
+
+    #[test]
+    fn intervals_follow_the_mean() {
+        let w = Workload::new(WorkloadConfig {
+            base_interval_secs: 60,
+            diurnal_floor: 1.0, // flat: mean stays 60
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let total: u64 =
+            (0..n).map(|_| w.next_interval_secs(SimTime::ZERO, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        // Exponential clipped to [1, 8*mean]: mean lands near 60.
+        assert!((mean - 60.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn intervals_are_never_zero() {
+        let w = Workload::new(WorkloadConfig::default());
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(w.next_interval_secs(SimTime::from_secs(3600), &mut rng) >= 1);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! The paper's defense insight and its baselines.
+//!
+//! The abstract: *"filtering downloads based on the most commonly seen
+//! sizes of the most popular malware could block a large portion of
+//! malicious files with a very low rate of false positives. While current
+//! Limewire mechanisms detect only about 6% of malware containing
+//! responses, our size based filtering would detect over 99% of them."*
+//!
+//! * [`size`] — the size-based filter, learned from a training log;
+//! * [`limewire`] — the LimeWire 4.x built-in mechanisms (Mandragore-style
+//!   exact-echo check plus a keyword blacklist), the paper's ~6% baseline;
+//! * [`baselines`] — additional comparison points (filename heuristics,
+//!   hash blacklist);
+//! * [`eval`] — the confusion-matrix harness;
+//! * [`sweep`] — parameter sweeps (how many sizes to block, exact vs
+//!   tolerant matching) for the F3 ablation.
+
+pub mod baselines;
+pub mod eval;
+pub mod limewire;
+pub mod size;
+pub mod sweep;
+
+pub use baselines::{EchoHeuristicFilter, HashBlacklist};
+pub use eval::{evaluate, evaluate_all, FilterEval};
+pub use limewire::LimewireBuiltin;
+pub use size::SizeFilter;
+
+use p2pmal_crawler::ResolvedResponse;
+
+/// A response filter: decides, per query response, whether a client should
+/// refuse to download it.
+///
+/// Deployable filters ([`SizeFilter`], [`LimewireBuiltin`],
+/// [`EchoHeuristicFilter`]) look only at what a response advertises —
+/// filename, size, query. [`HashBlacklist`] also reads the downloaded
+/// content hash; it represents the (expensive) download-then-check
+/// deployment point and is included as an upper-bound comparison.
+pub trait ResponseFilter {
+    /// Short display name for tables.
+    fn name(&self) -> &str;
+
+    /// Should this response be blocked?
+    fn blocks(&self, r: &ResolvedResponse) -> bool;
+}

@@ -1,0 +1,435 @@
+//! The Gnutella 0.6 connection handshake.
+//!
+//! Three HTTP-style header groups:
+//!
+//! ```text
+//! initiator: GNUTELLA CONNECT/0.6\r\n<headers>\r\n\r\n
+//! responder: GNUTELLA/0.6 200 OK\r\n<headers>\r\n\r\n     (or 503 + X-Try-Ultrapeers)
+//! initiator: GNUTELLA/0.6 200 OK\r\n<headers>\r\n\r\n
+//! ```
+//!
+//! after which both sides switch to binary descriptor framing. The state
+//! machines here are sans-IO: feed bytes, get either "waiting", bytes to
+//! send, an established peer description (plus any binary bytes that
+//! arrived in the same chunk), or a rejection.
+
+use p2pmal_netsim::HostAddr;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// Ceiling on handshake bytes before we call it an attack.
+const MAX_HANDSHAKE: usize = 16 * 1024;
+
+/// What one side advertises / learns about the other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerInfo {
+    pub user_agent: String,
+    pub ultrapeer: bool,
+    /// Supports QRP (X-Query-Routing: 0.1).
+    pub query_routing: bool,
+    /// The address the peer claims to listen on (`Listen-IP`).
+    pub listen_addr: Option<HostAddr>,
+}
+
+/// Local handshake parameters.
+#[derive(Debug, Clone)]
+pub struct HandshakeConfig {
+    pub user_agent: String,
+    pub ultrapeer: bool,
+    /// Advertised Listen-IP. NATed hosts leak their private address here —
+    /// same mechanism as in query hits.
+    pub listen_addr: Option<HostAddr>,
+}
+
+impl HandshakeConfig {
+    fn headers(&self) -> String {
+        let mut h = String::new();
+        h.push_str(&format!("User-Agent: {}\r\n", self.user_agent));
+        h.push_str(&format!("X-Ultrapeer: {}\r\n", if self.ultrapeer { "True" } else { "False" }));
+        h.push_str("X-Query-Routing: 0.1\r\n");
+        if let Some(a) = self.listen_addr {
+            h.push_str(&format!("Listen-IP: {a}\r\n"));
+        }
+        h
+    }
+}
+
+/// Handshake progress report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HsEvent {
+    /// Not enough bytes yet.
+    NeedMore,
+    /// Handshake complete. `send` must be written to the peer (empty for
+    /// the initiator), `leftover` is binary data that followed the final
+    /// header group in the same read.
+    Established { peer: PeerInfo, send: Vec<u8>, leftover: Vec<u8> },
+    /// The peer rejected us (or we rejected them); the connection should be
+    /// closed after `send` (possibly empty) is flushed.
+    Rejected { code: u16, try_hosts: Vec<HostAddr>, send: Vec<u8> },
+}
+
+/// Handshake protocol violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HsError {
+    /// First line was not a Gnutella greeting/status.
+    BadGreeting,
+    BadStatusLine,
+    HeaderSyntax,
+    TooLong,
+}
+
+impl fmt::Display for HsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HsError::BadGreeting => write!(f, "not a Gnutella 0.6 greeting"),
+            HsError::BadStatusLine => write!(f, "malformed status line"),
+            HsError::HeaderSyntax => write!(f, "malformed header line"),
+            HsError::TooLong => write!(f, "handshake exceeds size limit"),
+        }
+    }
+}
+
+impl std::error::Error for HsError {}
+
+/// One parsed header group: status/greeting line plus headers.
+#[derive(Debug, Clone)]
+struct Group {
+    first_line: String,
+    headers: BTreeMap<String, String>,
+    /// Bytes consumed from the buffer, including the blank line.
+    consumed: usize,
+}
+
+/// Tries to split one `\r\n\r\n`-terminated group off the front of `buf`.
+fn parse_group(buf: &[u8]) -> Result<Option<Group>, HsError> {
+    let end = match find_subsequence(buf, b"\r\n\r\n") {
+        Some(i) => i,
+        None => {
+            if buf.len() > MAX_HANDSHAKE {
+                return Err(HsError::TooLong);
+            }
+            return Ok(None);
+        }
+    };
+    let text = std::str::from_utf8(&buf[..end]).map_err(|_| HsError::HeaderSyntax)?;
+    let mut lines = text.split("\r\n");
+    let first_line = lines.next().unwrap_or("").to_string();
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        let (k, v) = line.split_once(':').ok_or(HsError::HeaderSyntax)?;
+        headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+    }
+    Ok(Some(Group { first_line, headers, consumed: end + 4 }))
+}
+
+fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+fn peer_info(g: &Group) -> PeerInfo {
+    PeerInfo {
+        user_agent: g.headers.get("user-agent").cloned().unwrap_or_default(),
+        ultrapeer: g
+            .headers
+            .get("x-ultrapeer")
+            .map(|v| v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false),
+        query_routing: g.headers.contains_key("x-query-routing"),
+        listen_addr: g.headers.get("listen-ip").and_then(|v| parse_host(v)),
+    }
+}
+
+fn parse_host(s: &str) -> Option<HostAddr> {
+    let (ip, port) = s.split_once(':')?;
+    Some(HostAddr::new(Ipv4Addr::from_str(ip.trim()).ok()?, port.trim().parse().ok()?))
+}
+
+fn parse_status(line: &str) -> Result<u16, HsError> {
+    // "GNUTELLA/0.6 200 OK"
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("GNUTELLA/0.6") {
+        return Err(HsError::BadStatusLine);
+    }
+    parts.next().and_then(|c| c.parse().ok()).ok_or(HsError::BadStatusLine)
+}
+
+fn parse_try_hosts(g: &Group) -> Vec<HostAddr> {
+    g.headers
+        .get("x-try-ultrapeers")
+        .map(|v| v.split(',').filter_map(parse_host).collect())
+        .unwrap_or_default()
+}
+
+// ---------------------------------------------------------------------------
+// Initiator
+// ---------------------------------------------------------------------------
+
+/// Initiator-side handshake state machine.
+#[derive(Debug)]
+pub struct Initiator {
+    config: HandshakeConfig,
+    buf: Vec<u8>,
+}
+
+impl Initiator {
+    pub fn new(config: HandshakeConfig) -> Self {
+        Initiator { config, buf: Vec::new() }
+    }
+
+    /// The opening `GNUTELLA CONNECT/0.6` group to send on connect.
+    pub fn greeting(&self) -> Vec<u8> {
+        format!("GNUTELLA CONNECT/0.6\r\n{}\r\n", self.config.headers()).into_bytes()
+    }
+
+    /// Feed responder bytes; returns the handshake outcome.
+    pub fn on_data(&mut self, data: &[u8]) -> Result<HsEvent, HsError> {
+        self.buf.extend_from_slice(data);
+        let group = match parse_group(&self.buf)? {
+            Some(g) => g,
+            None => return Ok(HsEvent::NeedMore),
+        };
+        let code = parse_status(&group.first_line)?;
+        if code != 200 {
+            return Ok(HsEvent::Rejected {
+                code,
+                try_hosts: parse_try_hosts(&group),
+                send: Vec::new(),
+            });
+        }
+        let peer = peer_info(&group);
+        let leftover = self.buf[group.consumed..].to_vec();
+        // Final ack: minimal headers (vendors echoed content negotiation
+        // here; we confirm the connection only).
+        let send = b"GNUTELLA/0.6 200 OK\r\n\r\n".to_vec();
+        Ok(HsEvent::Established { peer, send, leftover })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responder
+// ---------------------------------------------------------------------------
+
+/// What the responder decides once it has seen the initiator's headers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission {
+    Accept,
+    /// Reject with 503 and a list of other ultrapeers to try.
+    Reject(Vec<HostAddr>),
+}
+
+/// Responder-side handshake state machine. The caller supplies an admission
+/// decision when the initiator's headers arrive (slot policy lives in the
+/// servent, not here).
+#[derive(Debug)]
+pub struct Responder {
+    config: HandshakeConfig,
+    buf: Vec<u8>,
+    state: RespState,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum RespState {
+    /// Waiting for `GNUTELLA CONNECT/0.6` + headers.
+    AwaitConnect,
+    /// Sent 200 OK; waiting for the initiator's final ack.
+    AwaitAck { peer: PeerInfo },
+    Done,
+}
+
+/// Responder progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RespEvent {
+    NeedMore,
+    /// Initiator headers arrived: the caller must decide admission via
+    /// [`Responder::admit`]. `peer` is what the initiator advertised.
+    Decide { peer: PeerInfo },
+    /// Handshake complete (after ack); `leftover` is early binary data.
+    Established { peer: PeerInfo, leftover: Vec<u8> },
+}
+
+impl Responder {
+    pub fn new(config: HandshakeConfig) -> Self {
+        Responder { config, buf: Vec::new(), state: RespState::AwaitConnect }
+    }
+
+    /// Feed initiator bytes.
+    pub fn on_data(&mut self, data: &[u8]) -> Result<RespEvent, HsError> {
+        self.buf.extend_from_slice(data);
+        loop {
+            match &self.state {
+                RespState::AwaitConnect => {
+                    let group = match parse_group(&self.buf)? {
+                        Some(g) => g,
+                        None => return Ok(RespEvent::NeedMore),
+                    };
+                    if group.first_line != "GNUTELLA CONNECT/0.6" {
+                        return Err(HsError::BadGreeting);
+                    }
+                    let peer = peer_info(&group);
+                    self.buf.drain(..group.consumed);
+                    // Hold in a deciding state; `admit` moves us forward.
+                    self.state = RespState::AwaitAck { peer: peer.clone() };
+                    return Ok(RespEvent::Decide { peer });
+                }
+                RespState::AwaitAck { peer } => {
+                    let group = match parse_group(&self.buf)? {
+                        Some(g) => g,
+                        None => return Ok(RespEvent::NeedMore),
+                    };
+                    let code = parse_status(&group.first_line)?;
+                    if code != 200 {
+                        return Err(HsError::BadStatusLine);
+                    }
+                    let peer = peer.clone();
+                    let leftover = self.buf[group.consumed..].to_vec();
+                    self.buf.clear();
+                    self.state = RespState::Done;
+                    return Ok(RespEvent::Established { peer, leftover });
+                }
+                RespState::Done => return Ok(RespEvent::NeedMore),
+            }
+        }
+    }
+
+    /// Produces the responder's reply for the admission decision. Must be
+    /// called exactly once, after [`RespEvent::Decide`].
+    pub fn admit(&mut self, decision: Admission) -> Vec<u8> {
+        match decision {
+            Admission::Accept => {
+                format!("GNUTELLA/0.6 200 OK\r\n{}\r\n", self.config.headers()).into_bytes()
+            }
+            Admission::Reject(hosts) => {
+                self.state = RespState::Done;
+                let list =
+                    hosts.iter().map(|h| h.to_string()).collect::<Vec<_>>().join(",");
+                format!(
+                    "GNUTELLA/0.6 503 Service unavailable\r\nUser-Agent: {}\r\nX-Try-Ultrapeers: {list}\r\n\r\n",
+                    self.config.user_agent
+                )
+                .into_bytes()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(ua: &str, up: bool) -> HandshakeConfig {
+        HandshakeConfig {
+            user_agent: ua.into(),
+            ultrapeer: up,
+            listen_addr: Some(HostAddr::new(Ipv4Addr::new(10, 0, 0, 5), 6346)),
+        }
+    }
+
+    /// Drives a complete successful handshake between an initiator and a
+    /// responder, byte-chunked to exercise reassembly.
+    #[test]
+    fn full_handshake_establishes_both_sides() {
+        let mut init = Initiator::new(cfg("LimeWire/4.12", false));
+        let mut resp = Responder::new(cfg("UltraNode/1.0", true));
+
+        // initiator -> responder, dribbled in 7-byte chunks
+        let greeting = init.greeting();
+        let mut decide = None;
+        for chunk in greeting.chunks(7) {
+            match resp.on_data(chunk).unwrap() {
+                RespEvent::NeedMore => {}
+                RespEvent::Decide { peer } => decide = Some(peer),
+                e => panic!("unexpected {e:?}"),
+            }
+        }
+        let peer = decide.expect("responder saw the connect group");
+        assert_eq!(peer.user_agent, "LimeWire/4.12");
+        assert!(!peer.ultrapeer);
+        assert!(peer.query_routing);
+        assert_eq!(peer.listen_addr, Some(HostAddr::new(Ipv4Addr::new(10, 0, 0, 5), 6346)));
+
+        // responder accepts
+        let ok = resp.admit(Admission::Accept);
+
+        // responder -> initiator
+        let ev = init.on_data(&ok).unwrap();
+        let (peer2, ack, leftover) = match ev {
+            HsEvent::Established { peer, send, leftover } => (peer, send, leftover),
+            e => panic!("unexpected {e:?}"),
+        };
+        assert_eq!(peer2.user_agent, "UltraNode/1.0");
+        assert!(peer2.ultrapeer);
+        assert!(leftover.is_empty());
+
+        // initiator ack (+ early binary data in the same write)
+        let mut wire = ack.clone();
+        wire.extend_from_slice(&[0xAB, 0xCD, 0xEF]);
+        match resp.on_data(&wire).unwrap() {
+            RespEvent::Established { peer, leftover } => {
+                assert_eq!(peer.user_agent, "LimeWire/4.12");
+                assert_eq!(leftover, vec![0xAB, 0xCD, 0xEF]);
+            }
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn rejection_carries_try_hosts() {
+        let mut init = Initiator::new(cfg("LimeWire/4.12", false));
+        let mut resp = Responder::new(cfg("UltraNode/1.0", true));
+        let ev = resp.on_data(&init.greeting()).unwrap();
+        assert!(matches!(ev, RespEvent::Decide { .. }));
+        let hosts = vec![
+            HostAddr::new(Ipv4Addr::new(1, 2, 3, 4), 6346),
+            HostAddr::new(Ipv4Addr::new(5, 6, 7, 8), 6347),
+        ];
+        let reply = resp.admit(Admission::Reject(hosts.clone()));
+        match init.on_data(&reply).unwrap() {
+            HsEvent::Rejected { code, try_hosts, .. } => {
+                assert_eq!(code, 503);
+                assert_eq!(try_hosts, hosts);
+            }
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn responder_rejects_non_gnutella_greeting() {
+        let mut resp = Responder::new(cfg("U/1", true));
+        let err = resp.on_data(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(err, Err(HsError::BadGreeting));
+    }
+
+    #[test]
+    fn initiator_rejects_garbage_status() {
+        let mut init = Initiator::new(cfg("L/1", false));
+        assert_eq!(init.on_data(b"HTTP/1.1 200 OK\r\n\r\n"), Err(HsError::BadStatusLine));
+    }
+
+    #[test]
+    fn oversized_handshake_is_fatal() {
+        let mut resp = Responder::new(cfg("U/1", true));
+        let big = vec![b'A'; MAX_HANDSHAKE + 1];
+        assert_eq!(resp.on_data(&big), Err(HsError::TooLong));
+    }
+
+    #[test]
+    fn header_syntax_violation() {
+        let mut resp = Responder::new(cfg("U/1", true));
+        let err = resp.on_data(b"GNUTELLA CONNECT/0.6\r\nNoColonHere\r\n\r\n");
+        assert_eq!(err, Err(HsError::HeaderSyntax));
+    }
+
+    #[test]
+    fn listen_ip_parsing_tolerates_bad_values() {
+        let mut resp = Responder::new(cfg("U/1", true));
+        let ev = resp
+            .on_data(b"GNUTELLA CONNECT/0.6\r\nListen-IP: not-an-addr\r\n\r\n")
+            .unwrap();
+        match ev {
+            RespEvent::Decide { peer } => assert_eq!(peer.listen_addr, None),
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+}

@@ -1,0 +1,473 @@
+//! Gnutella file transfer: HTTP/1.1 over the servent port, plus the `GIV`
+//! push handshake.
+//!
+//! Downloads use plain HTTP against the responder's listening socket:
+//!
+//! ```text
+//! GET /get/<index>/<filename> HTTP/1.1      (classic addressing)
+//! GET /uri-res/N2R?urn:sha1:<base32> HTTP/1.1   (HUGE content addressing)
+//! ```
+//!
+//! Firewalled responders can't be dialed, so the downloader routes a PUSH
+//! descriptor back through the overlay; the responder then dials *out* and
+//! opens the connection with a `GIV <index>:<guid-hex>/<filename>\n\n`
+//! line, after which the downloader sends its GET over that connection.
+
+use crate::guid::Guid;
+use p2pmal_hashes::{base32_decode, Sha1Digest};
+use std::fmt;
+
+/// Size cap for request heads, mirroring servent hardening.
+const MAX_HEAD: usize = 8 * 1024;
+
+/// Transfer-layer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    BadRequestLine,
+    BadHeader,
+    BadTarget,
+    BadStatusLine,
+    MissingLength,
+    HeadTooLong,
+    BodyTooLong,
+    BadGiv,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HttpError::BadRequestLine => "malformed request line",
+            HttpError::BadHeader => "malformed header",
+            HttpError::BadTarget => "unrecognized request target",
+            HttpError::BadStatusLine => "malformed status line",
+            HttpError::MissingLength => "response without Content-Length",
+            HttpError::HeadTooLong => "head exceeds size limit",
+            HttpError::BodyTooLong => "body exceeds declared length",
+            HttpError::BadGiv => "malformed GIV line",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// What a download request addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestTarget {
+    /// `/get/<index>/<filename>`
+    ByIndex { index: u32, name: String },
+    /// `/uri-res/N2R?urn:sha1:<base32>`
+    ByUrn(Sha1Digest),
+}
+
+/// A parsed upload request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    pub target: RequestTarget,
+    pub user_agent: String,
+}
+
+/// Minimal percent-encoding for filenames in request paths (space and the
+/// reserved characters servents escaped).
+pub fn percent_encode(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for b in name.bytes() {
+        match b {
+            b' ' => out.push_str("%20"),
+            b'%' => out.push_str("%25"),
+            b'?' => out.push_str("%3F"),
+            b'#' => out.push_str("%23"),
+            _ => out.push(b as char),
+        }
+    }
+    out
+}
+
+/// Decodes `%XX` escapes; invalid escapes pass through literally, the
+/// tolerant behaviour of deployed servents.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 {
+            if let (Some(h), Some(l)) = (
+                bytes.get(i + 1).and_then(|c| (*c as char).to_digit(16)),
+                bytes.get(i + 2).and_then(|c| (*c as char).to_digit(16)),
+            ) {
+                out.push(((h * 16 + l) as u8) as char);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    out
+}
+
+/// Builds the GET request for `target`.
+pub fn encode_request(target: &RequestTarget, user_agent: &str) -> Vec<u8> {
+    let path = match target {
+        RequestTarget::ByIndex { index, name } => {
+            format!("/get/{index}/{}", percent_encode(name))
+        }
+        RequestTarget::ByUrn(d) => format!("/uri-res/N2R?{}", d.to_urn()),
+    };
+    format!(
+        "GET {path} HTTP/1.1\r\nUser-Agent: {user_agent}\r\nConnection: close\r\n\r\n"
+    )
+    .into_bytes()
+}
+
+/// Builds a `200 OK` response head for a `body_len`-byte upload.
+pub fn encode_response_ok(server: &str, body_len: usize) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 200 OK\r\nServer: {server}\r\nContent-Type: application/binary\r\nContent-Length: {body_len}\r\n\r\n"
+    )
+    .into_bytes()
+}
+
+/// Builds an error response (404 style) with an empty body.
+pub fn encode_response_err(server: &str, code: u16, reason: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {code} {reason}\r\nServer: {server}\r\nContent-Length: 0\r\n\r\n"
+    )
+    .into_bytes()
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+// ---------------------------------------------------------------------------
+// Server side
+// ---------------------------------------------------------------------------
+
+/// Sans-IO upload-request parser: feed bytes until a full request head
+/// appears.
+#[derive(Debug, Default)]
+pub struct RequestReader {
+    buf: Vec<u8>,
+}
+
+impl RequestReader {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Returns the parsed request once complete.
+    pub fn request(&mut self) -> Result<Option<HttpRequest>, HttpError> {
+        let end = match find_head_end(&self.buf) {
+            Some(i) => i,
+            None => {
+                if self.buf.len() > MAX_HEAD {
+                    return Err(HttpError::HeadTooLong);
+                }
+                return Ok(None);
+            }
+        };
+        let head =
+            std::str::from_utf8(&self.buf[..end]).map_err(|_| HttpError::BadHeader)?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().ok_or(HttpError::BadRequestLine)?;
+        let mut parts = request_line.split_whitespace();
+        if parts.next() != Some("GET") {
+            return Err(HttpError::BadRequestLine);
+        }
+        let raw_path = parts.next().ok_or(HttpError::BadRequestLine)?;
+        if !matches!(parts.next(), Some("HTTP/1.0") | Some("HTTP/1.1")) {
+            return Err(HttpError::BadRequestLine);
+        }
+        let mut user_agent = String::new();
+        for line in lines {
+            let (k, v) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+            if k.trim().eq_ignore_ascii_case("user-agent") {
+                user_agent = v.trim().to_string();
+            }
+        }
+        let target = parse_target(raw_path)?;
+        self.buf.drain(..end + 4);
+        Ok(Some(HttpRequest { target, user_agent }))
+    }
+}
+
+fn parse_target(path: &str) -> Result<RequestTarget, HttpError> {
+    if let Some(rest) = path.strip_prefix("/get/") {
+        let (index, name) = rest.split_once('/').ok_or(HttpError::BadTarget)?;
+        let index: u32 = index.parse().map_err(|_| HttpError::BadTarget)?;
+        if name.is_empty() {
+            return Err(HttpError::BadTarget);
+        }
+        return Ok(RequestTarget::ByIndex { index, name: percent_decode(name) });
+    }
+    if let Some(urn) = path.strip_prefix("/uri-res/N2R?") {
+        let b32 = urn.strip_prefix("urn:sha1:").ok_or(HttpError::BadTarget)?;
+        let raw = base32_decode(b32).map_err(|_| HttpError::BadTarget)?;
+        if raw.len() != 20 {
+            return Err(HttpError::BadTarget);
+        }
+        let mut d = [0u8; 20];
+        d.copy_from_slice(&raw);
+        return Ok(RequestTarget::ByUrn(Sha1Digest(d)));
+    }
+    Err(HttpError::BadTarget)
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+/// Sans-IO download-response reader: head, then exactly `Content-Length`
+/// body bytes.
+#[derive(Debug)]
+pub struct ResponseReader {
+    buf: Vec<u8>,
+    state: RespState,
+    /// Refuse bodies larger than this (downloads in the study are capped).
+    max_body: usize,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum RespState {
+    Head,
+    Body { status: u16, len: usize },
+    Done,
+}
+
+/// A completed HTTP download.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub body: Vec<u8>,
+}
+
+impl ResponseReader {
+    pub fn new(max_body: usize) -> Self {
+        ResponseReader { buf: Vec::new(), state: RespState::Head, max_body }
+    }
+
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Returns the response once the full body has arrived.
+    pub fn response(&mut self) -> Result<Option<HttpResponse>, HttpError> {
+        if self.state == RespState::Head {
+            let end = match find_head_end(&self.buf) {
+                Some(i) => i,
+                None => {
+                    if self.buf.len() > MAX_HEAD {
+                        return Err(HttpError::HeadTooLong);
+                    }
+                    return Ok(None);
+                }
+            };
+            let head =
+                std::str::from_utf8(&self.buf[..end]).map_err(|_| HttpError::BadHeader)?;
+            let mut lines = head.split("\r\n");
+            let status_line = lines.next().ok_or(HttpError::BadStatusLine)?;
+            let mut parts = status_line.split_whitespace();
+            let proto = parts.next().ok_or(HttpError::BadStatusLine)?;
+            if !proto.starts_with("HTTP/1.") {
+                return Err(HttpError::BadStatusLine);
+            }
+            let status: u16 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(HttpError::BadStatusLine)?;
+            let mut len = None;
+            for line in lines {
+                let (k, v) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+                if k.trim().eq_ignore_ascii_case("content-length") {
+                    len = v.trim().parse::<usize>().ok();
+                }
+            }
+            let len = len.ok_or(HttpError::MissingLength)?;
+            if len > self.max_body {
+                return Err(HttpError::BodyTooLong);
+            }
+            self.buf.drain(..end + 4);
+            self.state = RespState::Body { status, len };
+        }
+        if let RespState::Body { status, len } = self.state {
+            if self.buf.len() < len {
+                return Ok(None);
+            }
+            let body = self.buf[..len].to_vec();
+            self.buf.drain(..len);
+            self.state = RespState::Done;
+            return Ok(Some(HttpResponse { status, body }));
+        }
+        Ok(None)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GIV (push) handshake
+// ---------------------------------------------------------------------------
+
+/// A parsed `GIV` opening line from a pushing servent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Giv {
+    pub index: u32,
+    pub servent_guid: Guid,
+    pub name: String,
+}
+
+/// Encodes `GIV <index>:<guid-hex>/<filename>\n\n`.
+pub fn encode_giv(giv: &Giv) -> Vec<u8> {
+    format!("GIV {}:{}/{}\n\n", giv.index, giv.servent_guid.to_hex(), percent_encode(&giv.name))
+        .into_bytes()
+}
+
+/// Parses a GIV line from the front of `data`; returns the line and bytes
+/// consumed, or `Ok(None)` while incomplete.
+pub fn parse_giv(data: &[u8]) -> Result<Option<(Giv, usize)>, HttpError> {
+    let end = match data.windows(2).position(|w| w == b"\n\n") {
+        Some(i) => i,
+        None => {
+            if data.len() > MAX_HEAD {
+                return Err(HttpError::BadGiv);
+            }
+            return Ok(None);
+        }
+    };
+    let line = std::str::from_utf8(&data[..end]).map_err(|_| HttpError::BadGiv)?;
+    let rest = line.strip_prefix("GIV ").ok_or(HttpError::BadGiv)?;
+    let (index, rest) = rest.split_once(':').ok_or(HttpError::BadGiv)?;
+    let (guid_hex, name) = rest.split_once('/').ok_or(HttpError::BadGiv)?;
+    let giv = Giv {
+        index: index.parse().map_err(|_| HttpError::BadGiv)?,
+        servent_guid: Guid::from_hex(guid_hex).ok_or(HttpError::BadGiv)?,
+        name: percent_decode(name),
+    };
+    Ok(Some((giv, end + 2)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmal_hashes::sha1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn request_roundtrip_by_index() {
+        let t = RequestTarget::ByIndex { index: 42, name: "free music.exe".into() };
+        let wire = encode_request(&t, "LimeWire/4.12");
+        assert!(wire.windows(3).any(|w| w == b"%20"), "space must be escaped");
+        let mut r = RequestReader::new();
+        for chunk in wire.chunks(9) {
+            r.push(chunk);
+        }
+        let req = r.request().unwrap().unwrap();
+        assert_eq!(req.target, t);
+        assert_eq!(req.user_agent, "LimeWire/4.12");
+    }
+
+    #[test]
+    fn request_roundtrip_by_urn() {
+        let d = sha1(b"some file");
+        let t = RequestTarget::ByUrn(d);
+        let wire = encode_request(&t, "x");
+        let mut r = RequestReader::new();
+        r.push(&wire);
+        assert_eq!(r.request().unwrap().unwrap().target, t);
+    }
+
+    #[test]
+    fn bad_targets_are_rejected() {
+        for path in
+            ["/", "/get/", "/get/12", "/get/x/file.exe", "/uri-res/N2R?urn:md5:abc", "/favicon.ico"]
+        {
+            let wire = format!("GET {path} HTTP/1.1\r\n\r\n");
+            let mut r = RequestReader::new();
+            r.push(wire.as_bytes());
+            assert!(r.request().is_err(), "{path} should be rejected");
+        }
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let mut r = RequestReader::new();
+        r.push(b"POST /get/1/x HTTP/1.1\r\n\r\n");
+        assert_eq!(r.request(), Err(HttpError::BadRequestLine));
+    }
+
+    #[test]
+    fn response_roundtrip_with_chunked_delivery() {
+        let body: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut wire = encode_response_ok("P2PMal/0.1", body.len());
+        wire.extend_from_slice(&body);
+        let mut r = ResponseReader::new(1 << 20);
+        let mut result = None;
+        for chunk in wire.chunks(777) {
+            r.push(chunk);
+            if let Some(resp) = r.response().unwrap() {
+                result = Some(resp);
+            }
+        }
+        let resp = result.unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, body);
+    }
+
+    #[test]
+    fn response_404_has_empty_body() {
+        let wire = encode_response_err("S", 404, "Not Found");
+        let mut r = ResponseReader::new(1024);
+        r.push(&wire);
+        let resp = r.response().unwrap().unwrap();
+        assert_eq!(resp.status, 404);
+        assert!(resp.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_body_is_refused_before_download() {
+        let wire = encode_response_ok("S", 10_000_000);
+        let mut r = ResponseReader::new(1_000_000);
+        r.push(&wire);
+        assert_eq!(r.response(), Err(HttpError::BodyTooLong));
+    }
+
+    #[test]
+    fn missing_content_length_is_an_error() {
+        let mut r = ResponseReader::new(1024);
+        r.push(b"HTTP/1.1 200 OK\r\nServer: x\r\n\r\n");
+        assert_eq!(r.response(), Err(HttpError::MissingLength));
+    }
+
+    #[test]
+    fn giv_roundtrip() {
+        let guid = Guid::random(&mut StdRng::seed_from_u64(4));
+        let giv = Giv { index: 9, servent_guid: guid, name: "my file.exe".into() };
+        let wire = encode_giv(&giv);
+        let (parsed, used) = parse_giv(&wire).unwrap().unwrap();
+        assert_eq!(parsed, giv);
+        assert_eq!(used, wire.len());
+        // Incomplete line waits.
+        assert_eq!(parse_giv(&wire[..5]).unwrap(), None);
+    }
+
+    #[test]
+    fn giv_rejects_malformed_lines() {
+        for bad in ["GIVE 1:00/x\n\n", "GIV 1-00/x\n\n", "GIV x:0011/y\n\n", "GIV 1:zz/y\n\n"] {
+            assert!(parse_giv(bad.as_bytes()).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn percent_codec_roundtrip() {
+        for s in ["plain", "has space", "odd%chars?#", "a%20b"] {
+            assert_eq!(percent_decode(&percent_encode(s)), s);
+        }
+        // Tolerant decode of invalid escapes.
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+}

@@ -1,0 +1,1330 @@
+//! The Gnutella 0.6 servent: a complete node (ultrapeer or leaf) running
+//! over the [`p2pmal_netsim::App`] interface.
+//!
+//! One servent owns one listening socket. Inbound connections are sniffed:
+//! `GNUTELLA CONNECT` starts an overlay handshake, `GET`/`HEAD` starts an
+//! HTTP upload, and `GIV` completes a push we requested earlier. Outbound
+//! connections carry an intent recorded at dial time (peer, download, or
+//! push-upload).
+//!
+//! Routing follows the 0.6 rules: flooded queries with GUID duplicate
+//! suppression, QRP-filtered last-hop delivery to leaves, reverse-path
+//! routing of query hits by query GUID, and reverse-path routing of PUSH by
+//! servent GUID.
+
+use crate::guid::Guid;
+use crate::handshake::{
+    Admission, HandshakeConfig, HsEvent, Initiator, Responder, RespEvent,
+};
+use crate::http::{
+    encode_giv, encode_request, encode_response_err, encode_response_ok, parse_giv, Giv,
+    HttpRequest, RequestReader, RequestTarget, ResponseReader,
+};
+use crate::message::{encode_message, Header, MessageReader, MsgType};
+use crate::payload::{
+    HitResult, Ping, Pong, Push, QhdFlags, Query, QueryHit, QHD_PUSH, QHD_UPLOADED,
+};
+use crate::qrp::{QrpReceiver, QrpTable, RouteMsg};
+use p2pmal_corpus::{Catalog, ContentRef, ContentStore, HostLibrary, Roster, SharedFile};
+use p2pmal_netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration, SimTime};
+use rand::RngCore;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// File indexes at or above this value are fabricated query-echo responses;
+/// the index encodes `(family, size_idx)` so uploads need no per-query
+/// state: `index = ECHO_INDEX_BASE + family * 16 + size_idx`.
+pub const ECHO_INDEX_BASE: u32 = 0x0100_0000;
+
+/// Timer tokens.
+const TIMER_MAINTENANCE: u64 = 0;
+const TIMER_AUTO_QUERY: u64 = 1;
+const TIMER_DL_BASE: u64 = 1 << 32;
+
+/// Node role in the two-tier overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    Ultrapeer,
+    Leaf,
+}
+
+/// The content world every servent references (shared, immutable).
+#[derive(Clone)]
+pub struct SharedWorld {
+    pub catalog: Arc<Catalog>,
+    pub roster: Arc<Roster>,
+    pub store: Arc<ContentStore>,
+}
+
+impl SharedWorld {
+    pub fn new(catalog: Arc<Catalog>, roster: Arc<Roster>, store: Arc<ContentStore>) -> Self {
+        SharedWorld { catalog, roster, store }
+    }
+
+    fn payload_of(&self, r: ContentRef) -> Vec<u8> {
+        self.store.payload(r, &self.catalog, &self.roster)
+    }
+}
+
+/// Servent tunables. Defaults mirror a 2006 LimeWire deployment.
+#[derive(Debug, Clone)]
+pub struct ServentConfig {
+    pub role: Role,
+    pub user_agent: String,
+    pub listen_port: u16,
+    /// Overlay degree: ultrapeer↔ultrapeer connections for ultrapeers, or
+    /// number of ultrapeers a leaf attaches to.
+    pub target_degree: usize,
+    /// Leaf slots (ultrapeers only).
+    pub max_leaf_slots: usize,
+    /// Addresses to dial when the host cache is empty.
+    pub bootstrap: Vec<HostAddr>,
+    /// TTL on originated queries.
+    pub query_ttl: u8,
+    /// Result cap per query answered.
+    pub max_results: usize,
+    /// When set, this node originates a popularity-sampled query at this
+    /// interval (ambient user traffic).
+    pub auto_query: Option<SimDuration>,
+    /// Keep [`ServentEvent`]s for the owner to drain (instrumented nodes);
+    /// plain population nodes leave this off.
+    pub collect_events: bool,
+    /// Download size cap.
+    pub max_download_bytes: usize,
+    /// Give up on a download (connect, push, transfer) after this long.
+    pub download_timeout: SimDuration,
+    /// Maintenance tick period.
+    pub tick: SimDuration,
+}
+
+impl ServentConfig {
+    pub fn ultrapeer() -> Self {
+        ServentConfig {
+            role: Role::Ultrapeer,
+            user_agent: "LimeWire/4.12.3".into(),
+            listen_port: 6346,
+            target_degree: 6,
+            max_leaf_slots: 30,
+            bootstrap: Vec::new(),
+            query_ttl: 3,
+            max_results: 64,
+            auto_query: None,
+            collect_events: false,
+            max_download_bytes: 64 << 20,
+            download_timeout: SimDuration::from_secs(120),
+            tick: SimDuration::from_secs(10),
+        }
+    }
+
+    pub fn leaf() -> Self {
+        ServentConfig {
+            role: Role::Leaf,
+            target_degree: 3,
+            max_leaf_slots: 0,
+            ..Self::ultrapeer()
+        }
+    }
+
+    pub fn with_bootstrap(mut self, hosts: Vec<HostAddr>) -> Self {
+        self.bootstrap = hosts;
+        self
+    }
+}
+
+/// Why a download failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DownloadError {
+    /// TCP connect to the advertised address failed (dead, NATed, bogus).
+    ConnectFailed,
+    /// PUSH was routed but no GIV came back in time.
+    Timeout,
+    /// Upload side returned an HTTP error.
+    Http(u16),
+    /// Framing/protocol violation on the transfer connection.
+    Protocol(String),
+    /// No overlay route existed for the PUSH.
+    NoPushRoute,
+}
+
+/// A completed download, with everything the study logs.
+#[derive(Debug, Clone)]
+pub struct DownloadOutcome {
+    pub id: u64,
+    pub at: SimTime,
+    pub result: Result<Vec<u8>, DownloadError>,
+}
+
+/// Observable servent happenings, drained by instrumented owners.
+#[derive(Debug, Clone)]
+pub enum ServentEvent {
+    /// An overlay connection finished its handshake.
+    PeerUp { conn: ConnId, addr: HostAddr, ultrapeer: bool, inbound: bool },
+    PeerDown { conn: ConnId },
+    /// A query hit answering one of *our* queries arrived.
+    QueryHit { at: SimTime, query_guid: Guid, hit: QueryHit },
+    /// We saw (routed or received) a query.
+    QuerySeen { at: SimTime, text: String },
+    DownloadDone(DownloadOutcome),
+}
+
+/// How to fetch a file we learned about from a query hit.
+#[derive(Debug, Clone)]
+pub struct DownloadRequest {
+    /// Address advertised in the hit (may be private / undialable).
+    pub addr: HostAddr,
+    pub index: u32,
+    pub name: String,
+    /// The responding servent's GUID (for PUSH routing).
+    pub servent_guid: Guid,
+    /// Fetch strategy.
+    pub method: DownloadMethod,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DownloadMethod {
+    /// Dial the advertised address and GET.
+    Direct,
+    /// Route a PUSH and wait for the GIV callback.
+    Push,
+}
+
+/// Counters the benches and experiments read.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServentStats {
+    pub queries_originated: u64,
+    pub queries_routed: u64,
+    pub queries_answered: u64,
+    pub hits_sent: u64,
+    pub hits_routed: u64,
+    pub hits_received: u64,
+    pub pushes_routed: u64,
+    pub pushes_served: u64,
+    pub uploads_served: u64,
+    pub downloads_ok: u64,
+    pub downloads_failed: u64,
+    pub qrp_last_hop_suppressed: u64,
+    pub bad_messages: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Connection bookkeeping
+// ---------------------------------------------------------------------------
+
+struct PeerConn {
+    reader: MessageReader,
+    ultrapeer: bool,
+    /// QRP table announced by this peer (meaningful for leaf connections on
+    /// an ultrapeer).
+    qrp: QrpReceiver,
+}
+
+struct DownloadConn {
+    id: u64,
+    reader: ResponseReader,
+}
+
+struct PushUploadConn {
+    index: u32,
+    name: String,
+    reader: RequestReader,
+}
+
+enum ConnKind {
+    /// Outbound overlay dial: waiting for TCP, then handshaking.
+    HsOut(Initiator),
+    /// Inbound, protocol not yet identified.
+    SniffIn(Vec<u8>),
+    /// Inbound overlay handshake in progress.
+    HsIn(Responder),
+    /// Established overlay connection.
+    Peer(PeerConn),
+    /// Outbound download (dialing or transferring).
+    Download(DownloadConn),
+    /// Outbound push upload: dial requester, say GIV, then serve one GET.
+    PushUpload(PushUploadConn),
+    /// Inbound upload (after sniffing a GET).
+    Upload(RequestReader),
+    /// Closed / poisoned; awaiting on_closed.
+    Dead,
+}
+
+/// A download not yet bound to a connection (push pending) or in flight.
+struct PendingDownload {
+    id: u64,
+    request: DownloadRequest,
+}
+
+// ---------------------------------------------------------------------------
+// Servent
+// ---------------------------------------------------------------------------
+
+/// A Gnutella servent. Implements [`App`]; instrumented owners may embed it
+/// and forward the `App` callbacks, using [`Servent::search`],
+/// [`Servent::begin_download`] and [`Servent::drain_events`].
+pub struct Servent {
+    config: ServentConfig,
+    world: SharedWorld,
+    library: HostLibrary,
+    guid: Guid,
+    conns: HashMap<ConnId, ConnKind>,
+    /// Current outbound overlay dials/sessions, to avoid duplicate dials.
+    outbound_targets: HashMap<ConnId, HostAddr>,
+    /// GUID duplicate suppression, FIFO-bounded.
+    seen: HashSet<Guid>,
+    seen_order: VecDeque<Guid>,
+    /// Query GUID -> where hits go back (None = we originated it).
+    query_routes: HashMap<Guid, Option<ConnId>>,
+    query_route_order: VecDeque<Guid>,
+    /// Servent GUID -> conn that delivered its hits (PUSH routing).
+    push_routes: HashMap<Guid, ConnId>,
+    push_route_order: VecDeque<Guid>,
+    /// Known ultrapeer addresses.
+    host_cache: Vec<HostAddr>,
+    /// Downloads waiting for a GIV, keyed by (servent guid, index).
+    pending_pushes: HashMap<(Guid, u32), PendingDownload>,
+    /// Direct downloads whose GET goes out once the dial completes.
+    direct_requests: HashMap<u64, DownloadRequest>,
+    /// Download ids currently bound to a connection.
+    active_downloads: HashMap<u64, ConnId>,
+    next_download: u64,
+    events: VecDeque<ServentEvent>,
+    stats: ServentStats,
+    started: bool,
+}
+
+impl Servent {
+    pub fn new(config: ServentConfig, world: SharedWorld, library: HostLibrary) -> Self {
+        Servent {
+            config,
+            world,
+            library,
+            guid: Guid([0u8; 16]), // replaced in on_start with a seeded GUID
+            conns: HashMap::new(),
+            outbound_targets: HashMap::new(),
+            seen: HashSet::new(),
+            seen_order: VecDeque::new(),
+            query_routes: HashMap::new(),
+            query_route_order: VecDeque::new(),
+            push_routes: HashMap::new(),
+            push_route_order: VecDeque::new(),
+            host_cache: Vec::new(),
+            pending_pushes: HashMap::new(),
+            direct_requests: HashMap::new(),
+            active_downloads: HashMap::new(),
+            next_download: 1,
+            events: VecDeque::new(),
+            stats: ServentStats::default(),
+            started: false,
+        }
+    }
+
+    pub fn config(&self) -> &ServentConfig {
+        &self.config
+    }
+
+    pub fn stats(&self) -> ServentStats {
+        self.stats
+    }
+
+    pub fn library(&self) -> &HostLibrary {
+        &self.library
+    }
+
+    /// The shared content world this servent lives in.
+    pub fn world(&self) -> &SharedWorld {
+        &self.world
+    }
+
+    /// The servent GUID (valid after `on_start`).
+    pub fn servent_guid(&self) -> Guid {
+        self.guid
+    }
+
+    /// Established overlay connections.
+    pub fn peer_count(&self) -> usize {
+        self.conns.values().filter(|k| matches!(k, ConnKind::Peer(_))).count()
+    }
+
+    /// Drains collected events (empty unless `collect_events`).
+    pub fn drain_events(&mut self) -> Vec<ServentEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Originates a keyword query; returns its GUID so the owner can match
+    /// incoming [`ServentEvent::QueryHit`]s.
+    pub fn search(&mut self, ctx: &mut Ctx<'_>, text: &str) -> Guid {
+        let guid = Guid::random(ctx.rng());
+        self.remember_seen(guid);
+        self.route_query_back(guid, None);
+        let q = Query::keyword(text);
+        let payload = q.encode();
+        let mut wire = Vec::with_capacity(payload.len() + 23);
+        encode_message(guid, MsgType::Query, self.config.query_ttl, 0, &payload, &mut wire);
+        for (&conn, kind) in &self.conns {
+            if matches!(kind, ConnKind::Peer(_)) {
+                ctx.send(conn, &wire);
+            }
+        }
+        self.stats.queries_originated += 1;
+        guid
+    }
+
+    /// Starts a download; completion arrives as
+    /// [`ServentEvent::DownloadDone`].
+    pub fn begin_download(&mut self, ctx: &mut Ctx<'_>, request: DownloadRequest) -> u64 {
+        let id = self.next_download;
+        self.next_download += 1;
+        ctx.set_timer(self.config.download_timeout, TIMER_DL_BASE | id);
+        match request.method {
+            DownloadMethod::Direct => {
+                let conn = ctx.connect(request.addr);
+                self.active_downloads.insert(id, conn);
+                self.conns.insert(
+                    conn,
+                    ConnKind::Download(DownloadConn {
+                        id,
+                        reader: ResponseReader::new(self.config.max_download_bytes),
+                    }),
+                );
+                // Remember target details for the GET we send on connect.
+                self.direct_requests.insert(id, request);
+            }
+            DownloadMethod::Push => {
+                let Some(&route) = self.push_routes.get(&request.servent_guid) else {
+                    self.finish_download(
+                        ctx,
+                        id,
+                        Err(DownloadError::NoPushRoute),
+                    );
+                    return id;
+                };
+                let push = Push {
+                    servent_guid: request.servent_guid,
+                    index: request.index,
+                    // We advertise our *external* address: pushes only work
+                    // when the requester is dialable.
+                    ip: ctx.external_addr().ip,
+                    port: self.config.listen_port,
+                };
+                let guid = Guid::random(ctx.rng());
+                let mut wire = Vec::new();
+                encode_message(guid, MsgType::Push, 7, 0, &push.encode(), &mut wire);
+                ctx.send(route, &wire);
+                self.pending_pushes.insert(
+                    (request.servent_guid, request.index),
+                    PendingDownload { id, request },
+                );
+            }
+        }
+        id
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    fn emit(&mut self, ev: ServentEvent) {
+        if self.config.collect_events {
+            self.events.push_back(ev);
+            if self.events.len() > 1 << 20 {
+                self.events.pop_front();
+            }
+        }
+    }
+
+    fn remember_seen(&mut self, guid: Guid) -> bool {
+        if !self.seen.insert(guid) {
+            return false;
+        }
+        self.seen_order.push_back(guid);
+        if self.seen_order.len() > 16_384 {
+            if let Some(old) = self.seen_order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        true
+    }
+
+    fn route_query_back(&mut self, guid: Guid, via: Option<ConnId>) {
+        if self.query_routes.insert(guid, via).is_none() {
+            self.query_route_order.push_back(guid);
+            if self.query_route_order.len() > 16_384 {
+                if let Some(old) = self.query_route_order.pop_front() {
+                    self.query_routes.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn remember_push_route(&mut self, guid: Guid, conn: ConnId) {
+        if self.push_routes.insert(guid, conn).is_none() {
+            self.push_route_order.push_back(guid);
+            if self.push_route_order.len() > 8_192 {
+                if let Some(old) = self.push_route_order.pop_front() {
+                    self.push_routes.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn add_hosts(&mut self, hosts: impl IntoIterator<Item = HostAddr>) {
+        for h in hosts {
+            if !self.host_cache.contains(&h) {
+                self.host_cache.push(h);
+                if self.host_cache.len() > 1000 {
+                    self.host_cache.remove(0);
+                }
+            }
+        }
+    }
+
+    fn handshake_config(&self, ctx: &Ctx<'_>) -> HandshakeConfig {
+        HandshakeConfig {
+            user_agent: self.config.user_agent.clone(),
+            ultrapeer: self.config.role == Role::Ultrapeer,
+            // NATed nodes advertise the address they believe they have —
+            // an RFC 1918 address.
+            listen_addr: Some(HostAddr::new(ctx.local_addr().ip, self.config.listen_port)),
+        }
+    }
+
+    /// Dial overlay peers until we reach the target degree.
+    fn maintain_connectivity(&mut self, ctx: &mut Ctx<'_>) {
+        let have = self.peer_count()
+            + self
+                .conns
+                .values()
+                .filter(|k| matches!(k, ConnKind::HsOut(_)))
+                .count();
+        if have >= self.config.target_degree {
+            return;
+        }
+        let mut candidates: Vec<HostAddr> = self
+            .host_cache
+            .iter()
+            .chain(self.config.bootstrap.iter())
+            .copied()
+            .collect();
+        candidates.sort();
+        candidates.dedup();
+        // Never dial ourselves or a host we already dialed.
+        let me = HostAddr::new(ctx.external_addr().ip, self.config.listen_port);
+        candidates
+            .retain(|c| *c != me && !self.outbound_targets.values().any(|t| t == c));
+        let mut dialed = 0;
+        while have + dialed < self.config.target_degree && !candidates.is_empty() {
+            let i = (ctx.rng().next_u64() % candidates.len() as u64) as usize;
+            let target = candidates.swap_remove(i);
+            let init = Initiator::new(self.handshake_config(ctx));
+            let conn = ctx.connect(target);
+            self.conns.insert(conn, ConnKind::HsOut(init));
+            self.outbound_targets.insert(conn, target);
+            dialed += 1;
+        }
+    }
+
+    /// Sends our QRP table on a fresh leaf->ultrapeer connection. Echo-worm
+    /// hosts saturate the table so every query reaches them.
+    fn send_qrp(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        let table = if self.library.has_echo() {
+            // Worm behaviour: claim to match everything.
+            saturated_table()
+        } else {
+            let mut t = QrpTable::default_table();
+            for f in self.library.files() {
+                t.insert_name(&f.name);
+            }
+            t
+        };
+        for msg in table.to_messages(2048, true) {
+            let guid = Guid::random(ctx.rng());
+            let mut wire = Vec::new();
+            encode_message(guid, MsgType::Route, 1, 0, &msg.encode(), &mut wire);
+            ctx.send(conn, &wire);
+        }
+    }
+
+    fn send_ping(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        let guid = Guid::random(ctx.rng());
+        let mut wire = Vec::new();
+        encode_message(guid, MsgType::Ping, 2, 0, &Ping::default().encode(), &mut wire);
+        ctx.send(conn, &wire);
+    }
+
+    fn on_peer_established(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        conn: ConnId,
+        peer_ultrapeer: bool,
+        inbound: bool,
+        leftover: Vec<u8>,
+    ) {
+        let mut pc = PeerConn {
+            reader: MessageReader::new(),
+            ultrapeer: peer_ultrapeer,
+            qrp: QrpReceiver::new(),
+        };
+        pc.reader.push(&leftover);
+        self.conns.insert(conn, ConnKind::Peer(pc));
+        self.emit(ServentEvent::PeerUp {
+            conn,
+            addr: HostAddr::new(ctx.external_addr().ip, 0),
+            ultrapeer: peer_ultrapeer,
+            inbound,
+        });
+        if self.config.role == Role::Leaf && peer_ultrapeer {
+            self.send_qrp(ctx, conn);
+        }
+        self.send_ping(ctx, conn);
+        // Process any messages that arrived glued to the handshake.
+        self.pump_peer(ctx, conn);
+    }
+
+    /// Decodes and handles buffered messages on a peer connection.
+    fn pump_peer(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        loop {
+            let msg = {
+                let Some(ConnKind::Peer(pc)) = self.conns.get_mut(&conn) else { return };
+                match pc.reader.next_message() {
+                    Ok(Some(m)) => m,
+                    Ok(None) => return,
+                    Err(_) => {
+                        self.stats.bad_messages += 1;
+                        self.drop_conn(ctx, conn);
+                        return;
+                    }
+                }
+            };
+            self.handle_message(ctx, conn, msg.0, &msg.1);
+        }
+    }
+
+    fn handle_message(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, header: Header, payload: &[u8]) {
+        match header.msg_type {
+            MsgType::Ping => self.handle_ping(ctx, conn, header),
+            MsgType::Pong => self.handle_pong(payload),
+            MsgType::Query => self.handle_query(ctx, conn, header, payload),
+            MsgType::QueryHit => self.handle_query_hit(ctx, conn, header, payload),
+            MsgType::Push => self.handle_push(ctx, conn, header, payload),
+            MsgType::Route => self.handle_route(ctx, conn, payload),
+            MsgType::Bye => self.drop_conn(ctx, conn),
+        }
+    }
+
+    fn handle_ping(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, header: Header) {
+        if !self.remember_seen(header.guid) {
+            return;
+        }
+        let shared: u64 = self
+            .library
+            .files()
+            .iter()
+            .map(|f| f.size)
+            .sum::<u64>()
+            / 1024;
+        let pong = Pong {
+            port: self.config.listen_port,
+            ip: ctx.local_addr().ip,
+            file_count: self.library.files().len() as u32,
+            kbytes: shared as u32,
+            ggep: Vec::new(),
+        };
+        let mut wire = Vec::new();
+        encode_message(
+            header.guid,
+            MsgType::Pong,
+            header.hops.max(1),
+            0,
+            &pong.encode(),
+            &mut wire,
+        );
+        ctx.send(conn, &wire);
+        // Pong-cache style: also advertise a few known ultrapeers.
+        let extras: Vec<HostAddr> = self.host_cache.iter().rev().take(3).copied().collect();
+        for h in extras {
+            let pong = Pong {
+                port: h.port,
+                ip: h.ip,
+                file_count: 0,
+                kbytes: 0,
+                ggep: Vec::new(),
+            };
+            let mut wire = Vec::new();
+            encode_message(header.guid, MsgType::Pong, 1, 1, &pong.encode(), &mut wire);
+            ctx.send(conn, &wire);
+        }
+    }
+
+    fn handle_pong(&mut self, payload: &[u8]) {
+        let Ok(pong) = Pong::parse(payload) else {
+            self.stats.bad_messages += 1;
+            return;
+        };
+        let addr = HostAddr::new(pong.ip, pong.port);
+        if !addr.is_private() && pong.port != 0 {
+            self.add_hosts([addr]);
+        }
+    }
+
+    fn handle_query(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, header: Header, payload: &[u8]) {
+        let Ok(query) = Query::parse(payload) else {
+            self.stats.bad_messages += 1;
+            return;
+        };
+        if !self.remember_seen(header.guid) {
+            return; // duplicate via another path
+        }
+        self.stats.queries_routed += 1;
+        let at = ctx.now();
+        let text = query.text.clone();
+        self.emit(ServentEvent::QuerySeen { at, text });
+        self.route_query_back(header.guid, Some(conn));
+
+        // Answer from our own library.
+        self.answer_query(ctx, header, &query.text);
+
+        if self.config.role == Role::Leaf {
+            return; // leaves never forward
+        }
+        // Forward to other ultrapeers while TTL remains.
+        if let Some(fwd) = header.hop() {
+            let mut wire = Vec::new();
+            encode_message(fwd.guid, MsgType::Query, fwd.ttl, fwd.hops, payload, &mut wire);
+            let targets: Vec<ConnId> = self
+                .conns
+                .iter()
+                .filter(|(&c, k)| c != conn && matches!(k, ConnKind::Peer(p) if p.ultrapeer))
+                .map(|(&c, _)| c)
+                .collect();
+            for t in targets {
+                ctx.send(t, &wire);
+            }
+        }
+        // Last-hop delivery to QRP-matching leaves (always, regardless of
+        // remaining TTL).
+        let mut wire = Vec::new();
+        encode_message(header.guid, MsgType::Query, 1, header.hops.saturating_add(1), payload, &mut wire);
+        let mut suppressed = 0u64;
+        let targets: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter_map(|(&c, k)| match k {
+                ConnKind::Peer(p) if c != conn && !p.ultrapeer => {
+                    match p.qrp.table() {
+                        Some(t) if !t.might_match(&query.text) => {
+                            suppressed += 1;
+                            None
+                        }
+                        _ => Some(c),
+                    }
+                }
+                _ => None,
+            })
+            .collect();
+        self.stats.qrp_last_hop_suppressed += suppressed;
+        for t in targets {
+            ctx.send(t, &wire);
+        }
+    }
+
+    /// Builds and sends our QUERYHIT for `text`, if the library matches.
+    fn answer_query(&mut self, ctx: &mut Ctx<'_>, header: Header, text: &str) {
+        let files = self.library.respond(text, self.config.max_results);
+        if files.is_empty() {
+            return;
+        }
+        self.stats.queries_answered += 1;
+        self.stats.hits_sent += 1;
+        let is_nat = ctx.local_addr().ip != ctx.external_addr().ip;
+        let results = files
+            .iter()
+            .map(|f| HitResult {
+                index: self.index_of(f),
+                size: f.size.min(u32::MAX as u64) as u32,
+                name: f.name.clone(),
+                sha1: None,
+            })
+            .collect();
+        let hit = QueryHit {
+            port: self.config.listen_port,
+            // The advertised IP is the *locally perceived* one: NATed hosts
+            // leak RFC 1918 addresses here (the paper's source artifact).
+            ip: ctx.local_addr().ip,
+            speed: 350,
+            results,
+            vendor: *b"LIME",
+            flags: QhdFlags::new().with(QHD_PUSH, is_nat).with(QHD_UPLOADED, true),
+            ggep: Vec::new(),
+            servent_guid: self.guid,
+        };
+        let mut wire = Vec::new();
+        encode_message(
+            header.guid,
+            MsgType::QueryHit,
+            header.hops.saturating_add(2).max(3),
+            0,
+            &hit.encode(),
+            &mut wire,
+        );
+        // Send back along the path the query came from; for our own query
+        // (route None) nothing to do.
+        if let Some(Some(back)) = self.query_routes.get(&header.guid) {
+            ctx.send(*back, &wire);
+        }
+    }
+
+    /// The stable HTTP index for a shared file.
+    fn index_of(&self, f: &SharedFile) -> u32 {
+        if let ContentRef::Malware { family, size_idx } = f.content {
+            // Echo responses aren't in `files()`; give every malware
+            // response the stateless index encoding.
+            if !self.library.files().iter().any(|s| s == f) {
+                return ECHO_INDEX_BASE + (family.0 as u32) * 16 + size_idx as u32;
+            }
+        }
+        self.library
+            .files()
+            .iter()
+            .position(|s| s == f)
+            .map(|p| p as u32)
+            .unwrap_or(u32::MAX)
+    }
+
+    /// Resolves an HTTP index back to content.
+    fn resolve_index(&self, index: u32) -> Option<(String, ContentRef)> {
+        if index >= ECHO_INDEX_BASE {
+            let rel = index - ECHO_INDEX_BASE;
+            let family = p2pmal_corpus::FamilyId((rel / 16) as u16);
+            let size_idx = (rel % 16) as u8;
+            // Only serve families actually resident on this host.
+            if !self.library.infections().contains(&family) {
+                return None;
+            }
+            if (family.0 as usize) >= self.world.roster.len() {
+                return None;
+            }
+            let fam = self.world.roster.get(family);
+            if size_idx as usize >= fam.sizes.len() {
+                return None;
+            }
+            return Some((
+                format!("{}.exe", fam.name.to_ascii_lowercase()),
+                ContentRef::Malware { family, size_idx },
+            ));
+        }
+        self.library
+            .files()
+            .get(index as usize)
+            .map(|f| (f.name.clone(), f.content))
+    }
+
+    fn handle_query_hit(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        conn: ConnId,
+        header: Header,
+        payload: &[u8],
+    ) {
+        let Ok(hit) = QueryHit::parse(payload) else {
+            self.stats.bad_messages += 1;
+            return;
+        };
+        self.remember_push_route(hit.servent_guid, conn);
+        match self.query_routes.get(&header.guid) {
+            Some(None) => {
+                // Answers our own query.
+                self.stats.hits_received += 1;
+                let at = ctx.now();
+                self.emit(ServentEvent::QueryHit { at, query_guid: header.guid, hit });
+            }
+            Some(Some(back)) => {
+                self.stats.hits_routed += 1;
+                let back = *back;
+                if let Some(fwd) = header.hop() {
+                    let mut wire = Vec::new();
+                    encode_message(
+                        fwd.guid,
+                        MsgType::QueryHit,
+                        fwd.ttl,
+                        fwd.hops,
+                        payload,
+                        &mut wire,
+                    );
+                    ctx.send(back, &wire);
+                }
+            }
+            None => { /* route expired: drop silently, like real servents */ }
+        }
+    }
+
+    fn handle_push(&mut self, ctx: &mut Ctx<'_>, _conn: ConnId, header: Header, payload: &[u8]) {
+        let Ok(push) = Push::parse(payload) else {
+            self.stats.bad_messages += 1;
+            return;
+        };
+        if push.servent_guid == self.guid {
+            // We are the target: dial back and offer the file.
+            self.stats.pushes_served += 1;
+            let Some((name, _)) = self.resolve_index(push.index) else { return };
+            let conn = ctx.connect(HostAddr::new(push.ip, push.port));
+            self.conns.insert(
+                conn,
+                ConnKind::PushUpload(PushUploadConn {
+                    index: push.index,
+                    name,
+                    reader: RequestReader::new(),
+                }),
+            );
+            return;
+        }
+        // Route toward the target servent.
+        if let Some(&next) = self.push_routes.get(&push.servent_guid) {
+            if let Some(fwd) = header.hop() {
+                self.stats.pushes_routed += 1;
+                let mut wire = Vec::new();
+                encode_message(fwd.guid, MsgType::Push, fwd.ttl, fwd.hops, payload, &mut wire);
+                ctx.send(next, &wire);
+            }
+        }
+    }
+
+    fn handle_route(&mut self, _ctx: &mut Ctx<'_>, conn: ConnId, payload: &[u8]) {
+        let Ok(msg) = RouteMsg::parse(payload) else {
+            self.stats.bad_messages += 1;
+            return;
+        };
+        if let Some(ConnKind::Peer(pc)) = self.conns.get_mut(&conn) {
+            if pc.qrp.apply(&msg).is_err() {
+                self.stats.bad_messages += 1;
+            }
+        }
+    }
+
+    // -- transfer plumbing ---------------------------------------------------
+
+    fn serve_request(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, req: &HttpRequest) {
+        let content = match &req.target {
+            RequestTarget::ByIndex { index, .. } => self.resolve_index(*index),
+            RequestTarget::ByUrn(digest) => self.library.files().iter().find_map(|f| {
+                let h = self.world.store.sha1_of(
+                    f.content,
+                    &self.world.catalog,
+                    &self.world.roster,
+                );
+                (h == *digest).then(|| (f.name.clone(), f.content))
+            }),
+        };
+        match content {
+            Some((_name, r)) => {
+                self.stats.uploads_served += 1;
+                let body = self.world.payload_of(r);
+                let mut wire = encode_response_ok(&self.config.user_agent, body.len());
+                wire.extend_from_slice(&body);
+                ctx.send(conn, &wire);
+            }
+            None => {
+                ctx.send(conn, &encode_response_err(&self.config.user_agent, 404, "Not Found"));
+            }
+        }
+    }
+
+    fn finish_download(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: u64,
+        result: Result<Vec<u8>, DownloadError>,
+    ) {
+        // Remove all state referring to this download.
+        if let Some(conn) = self.active_downloads.remove(&id) {
+            self.conns.insert(conn, ConnKind::Dead);
+            ctx.close(conn);
+        }
+        self.pending_pushes.retain(|_, p| p.id != id);
+        self.direct_requests.remove(&id);
+        match &result {
+            Ok(_) => self.stats.downloads_ok += 1,
+            Err(_) => self.stats.downloads_failed += 1,
+        }
+        let at = ctx.now();
+        self.emit(ServentEvent::DownloadDone(DownloadOutcome { id, at, result }));
+    }
+
+    fn drop_conn(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        self.outbound_targets.remove(&conn);
+        if let Some(kind) = self.conns.insert(conn, ConnKind::Dead) {
+            if let ConnKind::Download(d) = kind {
+                self.active_downloads.remove(&d.id);
+                self.finish_download(ctx, d.id, Err(DownloadError::Protocol("dropped".into())));
+            }
+        }
+        ctx.close(conn);
+    }
+
+    /// Handles bytes on an inbound connection whose protocol is unknown.
+    fn sniff(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+        let buf = {
+            let Some(ConnKind::SniffIn(buf)) = self.conns.get_mut(&conn) else { return };
+            buf.extend_from_slice(data);
+            if buf.len() < 4 && !buf.starts_with(b"GIV") {
+                return; // not enough to classify yet
+            }
+            std::mem::take(buf)
+        };
+        if buf.starts_with(b"GNUTELLA") || b"GNUTELLA".starts_with(&buf[..buf.len().min(8)]) {
+            let mut resp = Responder::new(self.handshake_config(ctx));
+            self.conns.remove(&conn);
+            self.feed_responder(ctx, conn, &mut resp, &buf);
+            // feed_responder installs Peer/Dead itself when the handshake
+            // resolved; otherwise keep handshaking.
+            self.conns.entry(conn).or_insert(ConnKind::HsIn(resp));
+            return;
+        }
+        if buf.starts_with(b"GET ") || buf.starts_with(b"HEAD") {
+            let mut reader = RequestReader::new();
+            reader.push(&buf);
+            self.conns.insert(conn, ConnKind::Upload(reader));
+            self.pump_upload(ctx, conn);
+            return;
+        }
+        if buf.starts_with(b"GIV") {
+            match parse_giv(&buf) {
+                Ok(Some((giv, used))) => {
+                    self.on_giv(ctx, conn, giv, buf[used..].to_vec());
+                }
+                Ok(None) => {
+                    // keep sniffing; restore buffer
+                    self.conns.insert(conn, ConnKind::SniffIn(buf));
+                }
+                Err(_) => self.drop_conn(ctx, conn),
+            }
+            return;
+        }
+        // Unknown protocol.
+        self.drop_conn(ctx, conn);
+    }
+
+    /// An inbound GIV matched against our pending pushes becomes the
+    /// transfer connection: send the GET on it.
+    fn on_giv(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, giv: Giv, leftover: Vec<u8>) {
+        let key = (giv.servent_guid, giv.index);
+        let Some(pending) = self.pending_pushes.remove(&key) else {
+            self.drop_conn(ctx, conn);
+            return;
+        };
+        let mut reader = ResponseReader::new(self.config.max_download_bytes);
+        reader.push(&leftover);
+        self.active_downloads.insert(pending.id, conn);
+        self.conns.insert(conn, ConnKind::Download(DownloadConn { id: pending.id, reader }));
+        let target = RequestTarget::ByIndex {
+            index: pending.request.index,
+            name: pending.request.name.clone(),
+        };
+        ctx.send(conn, &encode_request(&target, &self.config.user_agent));
+    }
+
+    fn pump_upload(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        let req = {
+            let Some(ConnKind::Upload(reader)) = self.conns.get_mut(&conn) else { return };
+            match reader.request() {
+                Ok(Some(r)) => r,
+                Ok(None) => return,
+                Err(_) => {
+                    self.drop_conn(ctx, conn);
+                    return;
+                }
+            }
+        };
+        self.serve_request(ctx, conn, &req);
+    }
+
+    fn pump_download(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+        let (id, outcome) = {
+            let Some(ConnKind::Download(d)) = self.conns.get_mut(&conn) else { return };
+            d.reader.push(data);
+            match d.reader.response() {
+                Ok(Some(resp)) if resp.status == 200 => (d.id, Ok(resp.body)),
+                Ok(Some(resp)) => (d.id, Err(DownloadError::Http(resp.status))),
+                Ok(None) => return,
+                Err(e) => (d.id, Err(DownloadError::Protocol(e.to_string()))),
+            }
+        };
+        self.finish_download(ctx, id, outcome);
+    }
+}
+
+impl Servent {
+    fn feed_responder(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        conn: ConnId,
+        resp: &mut Responder,
+        data: &[u8],
+    ) {
+        match resp.on_data(data) {
+            Ok(RespEvent::NeedMore) => {}
+            Ok(RespEvent::Decide { peer }) => {
+                let accept = match self.config.role {
+                    Role::Leaf => false,
+                    Role::Ultrapeer => {
+                        if peer.ultrapeer {
+                            true // UP↔UP always welcome up to taste
+                        } else {
+                            let leaves = self
+                                .conns
+                                .values()
+                                .filter(|k| matches!(k, ConnKind::Peer(p) if !p.ultrapeer))
+                                .count();
+                            leaves < self.config.max_leaf_slots
+                        }
+                    }
+                };
+                if accept {
+                    let reply = resp.admit(Admission::Accept);
+                    ctx.send(conn, &reply);
+                    // Await the final ack; stay in HsIn. Stash peer info by
+                    // re-issuing Decide later via Established.
+                } else {
+                    let hosts: Vec<HostAddr> =
+                        self.host_cache.iter().rev().take(5).copied().collect();
+                    let reply = resp.admit(Admission::Reject(hosts));
+                    ctx.send(conn, &reply);
+                    self.drop_conn(ctx, conn);
+                }
+            }
+            Ok(RespEvent::Established { peer, leftover }) => {
+                self.on_peer_established(ctx, conn, peer.ultrapeer, true, leftover);
+            }
+            Err(_) => self.drop_conn(ctx, conn),
+        }
+    }
+}
+
+/// A QRP table with every slot present (worm saturation).
+fn saturated_table() -> QrpTable {
+    let mut rx = QrpReceiver::new();
+    rx.apply(&RouteMsg::Reset { table_len: 1 << crate::qrp::DEFAULT_LOG2_SIZE, infinity: 7 })
+        .expect("valid reset");
+    // One big patch of -6 deltas marks every slot present.
+    let data = vec![(-6i8) as u8; 1 << crate::qrp::DEFAULT_LOG2_SIZE];
+    rx.apply(&RouteMsg::Patch {
+        seq_no: 1,
+        seq_count: 1,
+        compressor: crate::qrp::Compressor::None,
+        entry_bits: 8,
+        data,
+    })
+    .expect("valid patch");
+    rx.table().expect("table built").clone()
+}
+
+impl App for Servent {
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.guid = Guid::random(ctx.rng());
+        self.started = true;
+        self.add_hosts(self.config.bootstrap.clone());
+        self.maintain_connectivity(ctx);
+        ctx.set_timer(self.config.tick, TIMER_MAINTENANCE);
+        if let Some(iv) = self.config.auto_query {
+            // Staggered first query to avoid thundering herds.
+            let jitter = SimDuration::from_micros(ctx.rng().next_u64() % iv.as_micros().max(1));
+            ctx.set_timer(jitter, TIMER_AUTO_QUERY);
+        }
+    }
+
+    fn on_connected(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, dir: Direction, _peer: HostAddr) {
+        match dir {
+            Direction::Inbound => {
+                self.conns.insert(conn, ConnKind::SniffIn(Vec::new()));
+            }
+            Direction::Outbound => match self.conns.get(&conn) {
+                Some(ConnKind::HsOut(init)) => {
+                    let greeting = init.greeting();
+                    ctx.send(conn, &greeting);
+                }
+                Some(ConnKind::Download(d)) => {
+                    // Direct download: the dial completed; send the GET.
+                    let id = d.id;
+                    if let Some(request) = self.direct_requests.remove(&id) {
+                        let target =
+                            RequestTarget::ByIndex { index: request.index, name: request.name };
+                        ctx.send(conn, &encode_request(&target, &self.config.user_agent));
+                    }
+                }
+                Some(ConnKind::PushUpload(pu)) => {
+                    let giv = Giv {
+                        index: pu.index,
+                        servent_guid: self.guid,
+                        name: pu.name.clone(),
+                    };
+                    ctx.send(conn, &encode_giv(&giv));
+                }
+                _ => {}
+            },
+        }
+    }
+
+    fn on_connect_failed(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        self.outbound_targets.remove(&conn);
+        match self.conns.remove(&conn) {
+            Some(ConnKind::Download(d)) => {
+                self.active_downloads.remove(&d.id);
+                self.finish_download(ctx, d.id, Err(DownloadError::ConnectFailed));
+            }
+            Some(ConnKind::HsOut(_)) => {
+                self.maintain_connectivity(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+        enum Route {
+            HsOut,
+            HsIn,
+            Sniff,
+            Peer,
+            Download,
+            Upload,
+            PushUpload,
+            Dead,
+        }
+        let route = match self.conns.get(&conn) {
+            Some(ConnKind::HsOut(_)) => Route::HsOut,
+            Some(ConnKind::HsIn(_)) => Route::HsIn,
+            Some(ConnKind::SniffIn(_)) => Route::Sniff,
+            Some(ConnKind::Peer(_)) => Route::Peer,
+            Some(ConnKind::Download(_)) => Route::Download,
+            Some(ConnKind::Upload(_)) => Route::Upload,
+            Some(ConnKind::PushUpload(_)) => Route::PushUpload,
+            Some(ConnKind::Dead) | None => Route::Dead,
+        };
+        match route {
+            Route::HsOut => {
+                let Some(ConnKind::HsOut(init)) = self.conns.get_mut(&conn) else { return };
+                match init.on_data(data) {
+                    Ok(HsEvent::NeedMore) => {}
+                    Ok(HsEvent::Established { peer, send, leftover }) => {
+                        ctx.send(conn, &send);
+                        self.on_peer_established(ctx, conn, peer.ultrapeer, false, leftover);
+                    }
+                    Ok(HsEvent::Rejected { try_hosts, .. }) => {
+                        self.add_hosts(try_hosts);
+                        self.drop_conn(ctx, conn);
+                        // No immediate retry: rejection means slots are
+                        // scarce; the maintenance tick retries with the
+                        // freshly learned X-Try hosts. An immediate re-dial
+                        // here degenerates into a rejection hot-loop when
+                        // the network is at capacity.
+                    }
+                    Err(_) => self.drop_conn(ctx, conn),
+                }
+            }
+            Route::HsIn => {
+                let Some(ConnKind::HsIn(mut resp)) = self.conns.remove(&conn) else {
+                    return;
+                };
+                self.feed_responder(ctx, conn, &mut resp, data);
+                // feed_responder may have replaced the entry (Peer/Dead);
+                // only restore HsIn while still handshaking.
+                self.conns.entry(conn).or_insert(ConnKind::HsIn(resp));
+            }
+            Route::Sniff => self.sniff(ctx, conn, data),
+            Route::Peer => {
+                if let Some(ConnKind::Peer(pc)) = self.conns.get_mut(&conn) {
+                    pc.reader.push(data);
+                }
+                self.pump_peer(ctx, conn);
+            }
+            Route::Download => self.pump_download(ctx, conn, data),
+            Route::Upload => {
+                if let Some(ConnKind::Upload(reader)) = self.conns.get_mut(&conn) {
+                    reader.push(data);
+                }
+                self.pump_upload(ctx, conn);
+            }
+            Route::PushUpload => {
+                let req = {
+                    let Some(ConnKind::PushUpload(pu)) = self.conns.get_mut(&conn) else {
+                        return;
+                    };
+                    pu.reader.push(data);
+                    match pu.reader.request() {
+                        Ok(Some(r)) => r,
+                        Ok(None) => return,
+                        Err(_) => {
+                            self.drop_conn(ctx, conn);
+                            return;
+                        }
+                    }
+                };
+                self.serve_request(ctx, conn, &req);
+            }
+            Route::Dead => {}
+        }
+    }
+
+    fn on_closed(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        self.outbound_targets.remove(&conn);
+        match self.conns.remove(&conn) {
+            Some(ConnKind::Peer(_)) => {
+                self.emit(ServentEvent::PeerDown { conn });
+                self.maintain_connectivity(ctx);
+            }
+            Some(ConnKind::Download(d)) => {
+                self.active_downloads.remove(&d.id);
+                self.finish_download(
+                    ctx,
+                    d.id,
+                    Err(DownloadError::Protocol("connection closed mid-transfer".into())),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TIMER_MAINTENANCE {
+            self.maintain_connectivity(ctx);
+            // Refresh the host cache occasionally.
+            let peers: Vec<ConnId> = self
+                .conns
+                .iter()
+                .filter(|(_, k)| matches!(k, ConnKind::Peer(_)))
+                .map(|(&c, _)| c)
+                .collect();
+            if !peers.is_empty() && ctx.rng().next_u64() % 6 == 0 {
+                let pick = peers[(ctx.rng().next_u64() % peers.len() as u64) as usize];
+                self.send_ping(ctx, pick);
+            }
+            // Adaptive cadence: tick fast while still hunting for peers,
+            // slowly once the overlay is stable (drops re-arm connectivity
+            // immediately via `on_closed`). Month-scale runs would
+            // otherwise spend most of their events on idle ticks.
+            let stable = self.peer_count() >= self.config.target_degree.div_ceil(2).max(1);
+            let next = if stable {
+                SimDuration::from_micros(self.config.tick.as_micros() * 30)
+            } else {
+                self.config.tick
+            };
+            ctx.set_timer(next, TIMER_MAINTENANCE);
+        } else if token == TIMER_AUTO_QUERY {
+            if let Some(iv) = self.config.auto_query {
+                let q = self.world.catalog.sample_query(ctx.rng());
+                self.search(ctx, &q);
+                ctx.set_timer(iv, TIMER_AUTO_QUERY);
+            }
+        } else if token & TIMER_DL_BASE != 0 {
+            let id = token & (TIMER_DL_BASE - 1);
+            let still_pending = self.active_downloads.contains_key(&id)
+                || self.pending_pushes.values().any(|p| p.id == id);
+            if still_pending {
+                self.finish_download(ctx, id, Err(DownloadError::Timeout));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,222 @@
+//! IPv4 addressing for the simulated internet.
+//!
+//! The paper's most surprising source-analysis result — 28% of malicious
+//! LimeWire responses advertising RFC 1918 private addresses — exists because
+//! Gnutella servents embed their *locally configured* IP in QUERYHIT
+//! payloads; hosts behind NAT therefore leak unroutable addresses. The
+//! simulator models this by giving every node an `external` (routable)
+//! address and a `local` (self-perceived) address, which differ for NATed
+//! nodes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A transport endpoint: IPv4 address plus TCP port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostAddr {
+    pub ip: Ipv4Addr,
+    pub port: u16,
+}
+
+impl HostAddr {
+    pub fn new(ip: Ipv4Addr, port: u16) -> Self {
+        HostAddr { ip, port }
+    }
+
+    /// Classification of the IP per RFC 1918 / RFC 1122 / RFC 3927.
+    pub fn class(&self) -> IpClass {
+        ip_class(self.ip)
+    }
+
+    /// True when the address is not publicly routable — the category the
+    /// paper's Table of sources calls "private address ranges".
+    pub fn is_private(&self) -> bool {
+        self.class() != IpClass::Public
+    }
+}
+
+impl fmt::Display for HostAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+/// Address-range classes used by the study's source analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpClass {
+    Public,
+    /// 10.0.0.0/8
+    Private10,
+    /// 172.16.0.0/12
+    Private172,
+    /// 192.168.0.0/16
+    Private192,
+    /// 127.0.0.0/8
+    Loopback,
+    /// 169.254.0.0/16
+    LinkLocal,
+    /// 0.0.0.0/8
+    Zero,
+}
+
+impl IpClass {
+    pub fn label(&self) -> &'static str {
+        match self {
+            IpClass::Public => "public",
+            IpClass::Private10 => "10.0.0.0/8",
+            IpClass::Private172 => "172.16.0.0/12",
+            IpClass::Private192 => "192.168.0.0/16",
+            IpClass::Loopback => "127.0.0.0/8",
+            IpClass::LinkLocal => "169.254.0.0/16",
+            IpClass::Zero => "0.0.0.0/8",
+        }
+    }
+}
+
+/// Classifies an IPv4 address into the ranges the study distinguishes.
+pub fn ip_class(ip: Ipv4Addr) -> IpClass {
+    let o = ip.octets();
+    match o {
+        [0, ..] => IpClass::Zero,
+        [10, ..] => IpClass::Private10,
+        [127, ..] => IpClass::Loopback,
+        [169, 254, ..] => IpClass::LinkLocal,
+        [172, b, ..] if (16..32).contains(&b) => IpClass::Private172,
+        [192, 168, ..] => IpClass::Private192,
+        _ => IpClass::Public,
+    }
+}
+
+/// Deterministically allocates unique IPv4 addresses from public or private
+/// pools.
+pub struct AddressAllocator {
+    used: HashSet<Ipv4Addr>,
+}
+
+impl Default for AddressAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddressAllocator {
+    pub fn new() -> Self {
+        AddressAllocator { used: HashSet::new() }
+    }
+
+    /// Allocates a fresh publicly routable address.
+    pub fn alloc_public(&mut self, rng: &mut StdRng) -> Ipv4Addr {
+        loop {
+            let ip = Ipv4Addr::new(
+                rng.gen_range(1..=223),
+                rng.gen_range(0..=255),
+                rng.gen_range(0..=255),
+                rng.gen_range(1..=254),
+            );
+            if ip_class(ip) == IpClass::Public && self.used.insert(ip) {
+                return ip;
+            }
+        }
+    }
+
+    /// Allocates a fresh RFC 1918 address, mixing all three ranges with the
+    /// relative weights observed in deployed home networks (192.168/16
+    /// dominates, then 10/8, then 172.16/12).
+    pub fn alloc_private(&mut self, rng: &mut StdRng) -> Ipv4Addr {
+        loop {
+            let ip = match rng.gen_range(0..10) {
+                0..=5 => Ipv4Addr::new(192, 168, rng.gen_range(0..=255), rng.gen_range(1..=254)),
+                6..=8 => Ipv4Addr::new(
+                    10,
+                    rng.gen_range(0..=255),
+                    rng.gen_range(0..=255),
+                    rng.gen_range(1..=254),
+                ),
+                _ => Ipv4Addr::new(
+                    172,
+                    rng.gen_range(16..32),
+                    rng.gen_range(0..=255),
+                    rng.gen_range(1..=254),
+                ),
+            };
+            if self.used.insert(ip) {
+                return ip;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classification() {
+        assert_eq!(ip_class(Ipv4Addr::new(8, 8, 8, 8)), IpClass::Public);
+        assert_eq!(ip_class(Ipv4Addr::new(10, 1, 2, 3)), IpClass::Private10);
+        assert_eq!(ip_class(Ipv4Addr::new(172, 16, 0, 1)), IpClass::Private172);
+        assert_eq!(ip_class(Ipv4Addr::new(172, 31, 255, 1)), IpClass::Private172);
+        assert_eq!(ip_class(Ipv4Addr::new(172, 32, 0, 1)), IpClass::Public);
+        assert_eq!(ip_class(Ipv4Addr::new(172, 15, 0, 1)), IpClass::Public);
+        assert_eq!(ip_class(Ipv4Addr::new(192, 168, 1, 1)), IpClass::Private192);
+        assert_eq!(ip_class(Ipv4Addr::new(192, 169, 1, 1)), IpClass::Public);
+        assert_eq!(ip_class(Ipv4Addr::new(127, 0, 0, 1)), IpClass::Loopback);
+        assert_eq!(ip_class(Ipv4Addr::new(169, 254, 9, 9)), IpClass::LinkLocal);
+        assert_eq!(ip_class(Ipv4Addr::new(0, 0, 0, 0)), IpClass::Zero);
+    }
+
+    #[test]
+    fn public_allocations_are_unique_and_public() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut a = AddressAllocator::new();
+        let mut seen = HashSet::new();
+        for _ in 0..5000 {
+            let ip = a.alloc_public(&mut rng);
+            assert_eq!(ip_class(ip), IpClass::Public, "{ip}");
+            assert!(seen.insert(ip), "duplicate {ip}");
+        }
+    }
+
+    #[test]
+    fn private_allocations_are_private_and_unique() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut a = AddressAllocator::new();
+        let mut seen = HashSet::new();
+        let mut classes = HashSet::new();
+        for _ in 0..5000 {
+            let ip = a.alloc_private(&mut rng);
+            let c = ip_class(ip);
+            assert!(
+                matches!(c, IpClass::Private10 | IpClass::Private172 | IpClass::Private192),
+                "{ip} classified {c:?}"
+            );
+            classes.insert(c);
+            assert!(seen.insert(ip), "duplicate {ip}");
+        }
+        // All three RFC1918 ranges should appear in a big enough sample.
+        assert_eq!(classes.len(), 3);
+    }
+
+    #[test]
+    fn allocation_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut a = AddressAllocator::new();
+            (0..100).map(|_| a.alloc_public(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn host_addr_display_and_privacy() {
+        let a = HostAddr::new(Ipv4Addr::new(192, 168, 0, 10), 6346);
+        assert_eq!(a.to_string(), "192.168.0.10:6346");
+        assert!(a.is_private());
+        assert!(!HostAddr::new(Ipv4Addr::new(4, 4, 4, 4), 80).is_private());
+    }
+}

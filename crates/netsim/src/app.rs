@@ -1,0 +1,147 @@
+//! The sans-IO application interface: protocol state machines implement
+//! [`App`] and interact with the outside world exclusively through [`Ctx`].
+
+use crate::addr::HostAddr;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+
+/// Identifies a node within one simulator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Identifies a connection. Allocated when `connect` is called (before the
+/// connection is established) so apps can correlate the eventual
+/// `on_connected` / `on_connect_failed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+/// App-chosen discriminator delivered back in `on_timer`.
+pub type TimerToken = u64;
+
+/// Which side of a connection this node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    Outbound,
+    Inbound,
+}
+
+/// Actions an app can request during a callback; applied by the simulator
+/// (or the live-TCP runtime) after the callback returns.
+#[derive(Debug)]
+pub(crate) enum Action {
+    Connect { conn: ConnId, target: HostAddr },
+    Send { conn: ConnId, data: Vec<u8> },
+    Close { conn: ConnId },
+    Timer { delay: SimDuration, token: TimerToken },
+    Shutdown,
+}
+
+/// Execution context handed to every [`App`] callback.
+///
+/// Commands are buffered and applied after the callback returns, which keeps
+/// the callback free of re-entrancy: an app never observes its own sends.
+pub struct Ctx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) local_addr: HostAddr,
+    pub(crate) external_addr: HostAddr,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) actions: &'a mut Vec<Action>,
+    pub(crate) next_conn: &'a mut u64,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The address this node *believes* it has. For NATed nodes this is the
+    /// RFC 1918 address — exactly what a 2006 servent would advertise in a
+    /// QUERYHIT.
+    pub fn local_addr(&self) -> HostAddr {
+        self.local_addr
+    }
+
+    /// The routable address peers can actually dial (differs from
+    /// [`Ctx::local_addr`] behind NAT).
+    pub fn external_addr(&self) -> HostAddr {
+        self.external_addr
+    }
+
+    /// Deterministic per-simulation RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Begins opening a connection to `target`. Returns the [`ConnId`] that
+    /// `on_connected` or `on_connect_failed` will later reference.
+    pub fn connect(&mut self, target: HostAddr) -> ConnId {
+        let conn = ConnId(*self.next_conn);
+        *self.next_conn += 1;
+        self.actions.push(Action::Connect { conn, target });
+        conn
+    }
+
+    /// Queues bytes on an established connection. Bytes sent on a closed or
+    /// still-pending connection are silently dropped, mirroring how a
+    /// real socket write after reset is lost.
+    pub fn send(&mut self, conn: ConnId, data: &[u8]) {
+        self.actions.push(Action::Send { conn, data: data.to_vec() });
+    }
+
+    /// Closes a connection; the peer receives `on_closed` after any
+    /// in-flight data.
+    pub fn close(&mut self, conn: ConnId) {
+        self.actions.push(Action::Close { conn });
+    }
+
+    /// Arms a one-shot timer; `on_timer(token)` fires after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
+        self.actions.push(Action::Timer { delay, token });
+    }
+
+    /// Takes this node offline: all its connections close and no further
+    /// callbacks are delivered. Used to model churn.
+    pub fn shutdown(&mut self) {
+        self.actions.push(Action::Shutdown);
+    }
+}
+
+/// A sans-IO network application (protocol node).
+///
+/// All methods have default no-op implementations so small test apps only
+/// implement what they need.
+#[allow(unused_variables)]
+pub trait App {
+    /// Downcast support for harness access via `Simulator::with_node`:
+    /// instrumented apps override this to return `Some(self)` so the
+    /// harness can recover the concrete type.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+
+    /// Called once when the node comes online.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {}
+
+    /// An outbound connect completed, or an inbound connection arrived.
+    /// `peer` is the remote's routable address (what `accept()` would show).
+    fn on_connected(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, dir: Direction, peer: HostAddr) {}
+
+    /// An outbound connect failed (no listener, NAT-blocked, or peer gone).
+    fn on_connect_failed(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {}
+
+    /// Bytes arrived. Chunk boundaries carry no meaning; apps must frame.
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {}
+
+    /// The peer closed the connection (or the node it lived on shut down).
+    fn on_closed(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {}
+
+    /// A timer armed with [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {}
+}

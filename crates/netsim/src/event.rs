@@ -1,0 +1,126 @@
+//! The event heap: a min-heap on (time, sequence) so simultaneous events
+//! dispatch in scheduling order, keeping runs deterministic.
+
+use crate::addr::HostAddr;
+use crate::app::{ConnId, NodeId, TimerToken};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    /// Deliver `on_start` to a freshly spawned node.
+    Start { node: NodeId },
+    /// An outbound SYN reaches the target address.
+    ConnAttempt { conn: ConnId, target: HostAddr },
+    /// Bytes reach the receiving endpoint of `conn`.
+    Data { conn: ConnId, to: NodeId, data: Vec<u8> },
+    /// A close notification reaches the peer.
+    CloseNotify { conn: ConnId, to: NodeId },
+    /// An app timer fires.
+    Timer { node: NodeId, token: TimerToken },
+}
+
+#[derive(Debug)]
+pub(crate) struct Event {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour inside std's max-heap.
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic event queue.
+#[derive(Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::default();
+        q.push(t(30), EventKind::Timer { node: NodeId(0), token: 3 });
+        q.push(t(10), EventKind::Timer { node: NodeId(0), token: 1 });
+        q.push(t(20), EventKind::Timer { node: NodeId(0), token: 2 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, [1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_on_insertion_order() {
+        let mut q = EventQueue::default();
+        for token in 0..100 {
+            q.push(t(5), EventKind::Timer { node: NodeId(0), token });
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::default();
+        assert_eq!(q.peek_time(), None);
+        q.push(t(50), EventKind::Timer { node: NodeId(0), token: 0 });
+        q.push(t(5), EventKind::Timer { node: NodeId(0), token: 0 });
+        assert_eq!(q.peek_time(), Some(t(5)));
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! Aggregate counters the harness reads after (or during) a run.
+
+/// Simulation-wide counters. All counts are cumulative since construction.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SimMetrics {
+    /// Events dispatched by the scheduler.
+    pub events_processed: u64,
+    /// Successful connection establishments.
+    pub conns_established: u64,
+    /// Failed connection attempts (no listener / NAT / dead node).
+    pub conns_failed: u64,
+    /// Connections torn down.
+    pub conns_closed: u64,
+    /// Application payload bytes delivered end-to-end.
+    pub bytes_delivered: u64,
+    /// Bytes dropped because they were sent on closed/pending connections.
+    pub bytes_dropped: u64,
+    /// Timers fired.
+    pub timers_fired: u64,
+    /// Nodes spawned over the lifetime of the simulation.
+    pub nodes_spawned: u64,
+    /// Nodes taken offline (churn or shutdown).
+    pub nodes_stopped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let m = SimMetrics::default();
+        assert_eq!(m.events_processed, 0);
+        assert_eq!(m.bytes_delivered, 0);
+    }
+}

@@ -1,0 +1,836 @@
+//! The simulator core: node registry, connection table and event loop.
+
+use crate::addr::{AddressAllocator, HostAddr};
+use crate::app::{Action, App, ConnId, Ctx, Direction, NodeId};
+use crate::event::{EventKind, EventQueue};
+use crate::metrics::SimMetrics;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Tunables for the simulated internet.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// One-way latency range sampled per connection, in microseconds.
+    pub latency_us: (u64, u64),
+    /// Default upload bandwidth range (bytes/sec) sampled per node,
+    /// modelling the DSL/cable mix of 2006.
+    pub upload_bps: (u64, u64),
+    /// Default download bandwidth range (bytes/sec) sampled per node.
+    pub download_bps: (u64, u64),
+    /// When set, delivered data is fragmented into chunks of at most this
+    /// many bytes, exercising protocol reframing. `None` delivers each
+    /// `send` as one chunk (cheaper for month-scale runs).
+    pub mss: Option<usize>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            latency_us: (20_000, 150_000),
+            upload_bps: (16_000, 128_000),
+            download_bps: (64_000, 512_000),
+            mss: None,
+        }
+    }
+}
+
+/// Per-node spawn parameters.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// Behind NAT: gets an RFC 1918 local address and rejects inbound dials.
+    pub nat: bool,
+    /// Port to accept connections on (ignored for NAT nodes, which cannot
+    /// be dialed).
+    pub listen_port: Option<u16>,
+    /// Override the sampled upload bandwidth.
+    pub upload_bps: Option<u64>,
+    /// Override the sampled download bandwidth.
+    pub download_bps: Option<u64>,
+}
+
+impl NodeSpec {
+    /// A publicly addressable node.
+    pub fn public() -> Self {
+        NodeSpec { nat: false, listen_port: None, upload_bps: None, download_bps: None }
+    }
+
+    /// A NATed node: advertises a private address, cannot be dialed.
+    pub fn nat() -> Self {
+        NodeSpec { nat: true, listen_port: None, upload_bps: None, download_bps: None }
+    }
+
+    /// Listen for inbound connections on `port`.
+    pub fn listen(mut self, port: u16) -> Self {
+        self.listen_port = Some(port);
+        self
+    }
+
+    pub fn upload(mut self, bps: u64) -> Self {
+        self.upload_bps = Some(bps);
+        self
+    }
+
+    pub fn download(mut self, bps: u64) -> Self {
+        self.download_bps = Some(bps);
+        self
+    }
+}
+
+struct NodeSlot {
+    app: Option<Box<dyn App>>,
+    local_addr: HostAddr,
+    external_addr: HostAddr,
+    upload_bps: u64,
+    download_bps: u64,
+    alive: bool,
+    nat: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// SYN in flight; only the initiator knows about the connection.
+    Pending,
+    Open,
+    Closed,
+}
+
+struct Conn {
+    initiator: NodeId,
+    /// Set when the connection is accepted.
+    acceptor: Option<NodeId>,
+    latency: SimDuration,
+    /// Effective bytes/sec each way: min(sender upload, receiver download).
+    bandwidth: [u64; 2],
+    /// Earliest time each direction's link is free (serialization).
+    next_free: [SimTime; 2],
+    state: ConnState,
+}
+
+/// The discrete-event simulator. See the crate docs for an end-to-end
+/// example.
+pub struct Simulator {
+    config: SimConfig,
+    rng: StdRng,
+    now: SimTime,
+    nodes: Vec<NodeSlot>,
+    conns: HashMap<u64, Conn>,
+    listeners: HashMap<HostAddr, NodeId>,
+    queue: EventQueue,
+    alloc: AddressAllocator,
+    next_conn_id: u64,
+    metrics: SimMetrics,
+}
+
+impl Simulator {
+    pub fn new(config: SimConfig, seed: u64) -> Self {
+        Simulator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            now: SimTime::ZERO,
+            nodes: Vec::new(),
+            conns: HashMap::new(),
+            listeners: HashMap::new(),
+            queue: EventQueue::default(),
+            alloc: AddressAllocator::new(),
+            next_conn_id: 0,
+            metrics: SimMetrics::default(),
+        }
+    }
+
+    /// Brings a node online now; `on_start` runs at the current time.
+    pub fn spawn(&mut self, spec: NodeSpec, app: Box<dyn App>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        let external_ip = self.alloc.alloc_public(&mut self.rng);
+        let port = spec.listen_port.unwrap_or(0);
+        let external_addr = HostAddr::new(external_ip, port);
+        let local_addr = if spec.nat {
+            HostAddr::new(self.alloc.alloc_private(&mut self.rng), port)
+        } else {
+            external_addr
+        };
+        let upload = spec
+            .upload_bps
+            .unwrap_or_else(|| self.rng.gen_range(self.config.upload_bps.0..=self.config.upload_bps.1));
+        let download = spec.download_bps.unwrap_or_else(|| {
+            self.rng.gen_range(self.config.download_bps.0..=self.config.download_bps.1)
+        });
+        self.nodes.push(NodeSlot {
+            app: Some(app),
+            local_addr,
+            external_addr,
+            upload_bps: upload,
+            download_bps: download,
+            alive: true,
+            nat: spec.nat,
+        });
+        if spec.listen_port.is_some() && !spec.nat {
+            self.listeners.insert(external_addr, id);
+        }
+        self.metrics.nodes_spawned += 1;
+        self.queue.push(self.now, EventKind::Start { node: id });
+        id
+    }
+
+    /// The routable address of `node` (where peers can dial it).
+    pub fn node_addr(&self, node: NodeId) -> HostAddr {
+        self.nodes[node.0].external_addr
+    }
+
+    /// The address `node` believes it has (private when behind NAT).
+    pub fn node_local_addr(&self, node: NodeId) -> HostAddr {
+        self.nodes[node.0].local_addr
+    }
+
+    /// Whether the node is currently online.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes[node.0].alive
+    }
+
+    /// Takes a node offline from outside the simulation (harness-driven
+    /// churn). Peers of its open connections get `on_closed`.
+    pub fn stop_node(&mut self, node: NodeId) {
+        self.shutdown_node(node);
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.metrics
+    }
+
+    /// Mutable access to the seeded RNG (for harness-level sampling that
+    /// must stay on the deterministic stream).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Runs until the queue drains or the clock passes `deadline`.
+    /// Returns the number of events dispatched.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.now = ev.time;
+            self.dispatch(ev.kind);
+            n += 1;
+        }
+        // Advance the clock to the deadline even if the queue went quiet.
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        n
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        let mut n = 0;
+        while let Some(ev) = self.queue.pop() {
+            self.now = ev.time;
+            self.dispatch(ev.kind);
+            n += 1;
+        }
+        n
+    }
+
+    /// Number of events currently scheduled.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        self.metrics.events_processed += 1;
+        match kind {
+            EventKind::Start { node } => {
+                self.with_app(node, |app, ctx| app.on_start(ctx));
+            }
+            EventKind::ConnAttempt { conn, target } => {
+                let initiator = match self.conns.get(&conn.0) {
+                    Some(c) => c.initiator,
+                    None => return,
+                };
+                let acceptor = self.listeners.get(&target).copied().filter(|&n| {
+                    self.nodes[n.0].alive && !self.nodes[n.0].nat && n != initiator
+                });
+                match acceptor {
+                    Some(acc) if self.nodes[initiator.0].alive => {
+                        let (up_i, down_i) = (self.nodes[initiator.0].upload_bps, self.nodes[initiator.0].download_bps);
+                        let (up_a, down_a) = (self.nodes[acc.0].upload_bps, self.nodes[acc.0].download_bps);
+                        {
+                            let c = self.conns.get_mut(&conn.0).expect("conn exists");
+                            c.acceptor = Some(acc);
+                            c.state = ConnState::Open;
+                            // Direction 0: initiator -> acceptor.
+                            c.bandwidth = [up_i.min(down_a).max(1), up_a.min(down_i).max(1)];
+                            c.next_free = [self.now, self.now];
+                        }
+                        self.metrics.conns_established += 1;
+                        let peer_of_acc = self.nodes[initiator.0].external_addr;
+                        let peer_of_init = target;
+                        self.with_app(acc, |app, ctx| {
+                            app.on_connected(ctx, conn, Direction::Inbound, peer_of_acc)
+                        });
+                        self.with_app(initiator, |app, ctx| {
+                            app.on_connected(ctx, conn, Direction::Outbound, peer_of_init)
+                        });
+                    }
+                    _ => {
+                        // Failed dial: drop the table entry immediately —
+                        // nothing else can reference this connection.
+                        self.conns.remove(&conn.0);
+                        self.metrics.conns_failed += 1;
+                        if self.nodes[initiator.0].alive {
+                            self.with_app(initiator, |app, ctx| app.on_connect_failed(ctx, conn));
+                        }
+                    }
+                }
+            }
+            EventKind::Data { conn, to, data } => {
+                // A Data event only exists if the connection was Open at
+                // send time; deliver it even if a close landed since (bytes
+                // already in flight arrive before the FIN, like TCP). Only
+                // a dead receiver drops data.
+                let deliver = match self.conns.get(&conn.0) {
+                    Some(_) => self.nodes[to.0].alive,
+                    None => false,
+                };
+                if deliver {
+                    self.metrics.bytes_delivered += data.len() as u64;
+                    self.with_app(to, |app, ctx| app.on_data(ctx, conn, &data));
+                } else {
+                    self.metrics.bytes_dropped += data.len() as u64;
+                }
+            }
+            EventKind::CloseNotify { conn, to } => {
+                // Reap the table entry: data queued before the close was
+                // ordered ahead of this FIN on the same direction, and
+                // reverse-direction stragglers are dropped like data in
+                // flight at a TCP reset. Month-scale runs make millions of
+                // short-lived connections; keeping dead entries would be a
+                // leak.
+                if self.conns.remove(&conn.0).is_none() {
+                    return;
+                }
+                self.metrics.conns_closed += 1;
+                if self.nodes[to.0].alive {
+                    self.with_app(to, |app, ctx| app.on_closed(ctx, conn));
+                }
+            }
+            EventKind::Timer { node, token } => {
+                if self.nodes[node.0].alive {
+                    self.metrics.timers_fired += 1;
+                    self.with_app(node, |app, ctx| app.on_timer(ctx, token));
+                }
+            }
+        }
+    }
+
+    /// Runs `f` against a node's app with a fresh command buffer, then
+    /// applies the buffered actions.
+    /// Harness entry point: runs `f` against a node's app with a live
+    /// [`Ctx`], then applies any actions the app requested (sends,
+    /// connects, timers). This is how instrumented experiments drive an
+    /// app from outside the event loop — e.g. issuing a search on a
+    /// crawler node and draining its observations. Returns `None` if the
+    /// node is offline.
+    pub fn with_node<R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn App, &mut Ctx<'_>) -> R,
+    ) -> Option<R> {
+        if !self.nodes[node.0].alive {
+            return None;
+        }
+        let mut app = self.nodes[node.0].app.take()?;
+        let mut actions = Vec::new();
+        let r;
+        {
+            let slot = &self.nodes[node.0];
+            let mut ctx = Ctx {
+                now: self.now,
+                node,
+                local_addr: slot.local_addr,
+                external_addr: slot.external_addr,
+                rng: &mut self.rng,
+                actions: &mut actions,
+                next_conn: &mut self.next_conn_id,
+            };
+            r = f(app.as_mut(), &mut ctx);
+        }
+        self.nodes[node.0].app = Some(app);
+        self.apply(node, actions);
+        Some(r)
+    }
+
+    fn with_app<F: FnOnce(&mut Box<dyn App>, &mut Ctx<'_>)>(&mut self, node: NodeId, f: F) {
+        let mut app = match self.nodes[node.0].app.take() {
+            Some(a) => a,
+            None => return, // re-entrant dispatch to a node being dropped
+        };
+        let mut actions = Vec::new();
+        {
+            let slot = &self.nodes[node.0];
+            let mut ctx = Ctx {
+                now: self.now,
+                node,
+                local_addr: slot.local_addr,
+                external_addr: slot.external_addr,
+                rng: &mut self.rng,
+                actions: &mut actions,
+                next_conn: &mut self.next_conn_id,
+            };
+            f(&mut app, &mut ctx);
+        }
+        self.nodes[node.0].app = Some(app);
+        self.apply(node, actions);
+    }
+
+    fn apply(&mut self, node: NodeId, actions: Vec<Action>) {
+        for act in actions {
+            match act {
+                Action::Connect { conn, target } => {
+                    let latency = SimDuration::from_micros(
+                        self.rng.gen_range(self.config.latency_us.0..=self.config.latency_us.1),
+                    );
+                    self.conns.insert(
+                        conn.0,
+                        Conn {
+                            initiator: node,
+                            acceptor: None,
+                            latency,
+                            bandwidth: [1, 1],
+                            next_free: [self.now, self.now],
+                            state: ConnState::Pending,
+                        },
+                    );
+                    self.queue.push(self.now + latency, EventKind::ConnAttempt { conn, target });
+                }
+                Action::Send { conn, data } => {
+                    self.send_bytes(node, conn, data);
+                }
+                Action::Close { conn, .. } => {
+                    self.close_conn(node, conn);
+                }
+                Action::Timer { delay, token } => {
+                    self.queue.push(self.now + delay, EventKind::Timer { node, token });
+                }
+                Action::Shutdown => {
+                    self.shutdown_node(node);
+                }
+            }
+        }
+    }
+
+    fn send_bytes(&mut self, from: NodeId, conn: ConnId, data: Vec<u8>) {
+        let (to, arrival_base) = {
+            let c = match self.conns.get_mut(&conn.0) {
+                Some(c) => c,
+                None => {
+                    self.metrics.bytes_dropped += data.len() as u64;
+                    return;
+                }
+            };
+            if c.state != ConnState::Open {
+                self.metrics.bytes_dropped += data.len() as u64;
+                return;
+            }
+            let acceptor = c.acceptor.expect("open conn has acceptor");
+            let dir = if from == c.initiator { 0 } else { 1 };
+            let to = if dir == 0 { acceptor } else { c.initiator };
+            let start = c.next_free[dir].max(self.now);
+            let transmit =
+                SimDuration::from_micros(data.len() as u64 * 1_000_000 / c.bandwidth[dir]);
+            c.next_free[dir] = start + transmit;
+            (to, start + transmit + c.latency)
+        };
+        match self.config.mss {
+            Some(mss) if data.len() > mss => {
+                // Spread fragments one microsecond apart to preserve order.
+                let mut t = arrival_base;
+                for chunk in data.chunks(mss) {
+                    self.queue.push(t, EventKind::Data { conn, to, data: chunk.to_vec() });
+                    t += SimDuration::from_micros(1);
+                }
+            }
+            _ => {
+                self.queue.push(arrival_base, EventKind::Data { conn, to, data });
+            }
+        }
+    }
+
+    fn close_conn(&mut self, closer: NodeId, conn: ConnId) {
+        let (peer, when) = {
+            let c = match self.conns.get_mut(&conn.0) {
+                Some(c) => c,
+                None => return,
+            };
+            match c.state {
+                ConnState::Closed => return,
+                ConnState::Pending => {
+                    // Connection abandoned before establishment; the
+                    // pending ConnAttempt event will find no entry.
+                    self.conns.remove(&conn.0);
+                    return;
+                }
+                ConnState::Open => {}
+            }
+            let acceptor = c.acceptor.expect("open conn has acceptor");
+            let dir = if closer == c.initiator { 0 } else { 1 };
+            let peer = if dir == 0 { acceptor } else { c.initiator };
+            // FIN is ordered after any queued data on this direction.
+            let when = c.next_free[dir].max(self.now) + c.latency;
+            c.state = ConnState::Closed;
+            (peer, when)
+        };
+        self.queue.push(when, EventKind::CloseNotify { conn, to: peer });
+    }
+
+    fn shutdown_node(&mut self, node: NodeId) {
+        if !self.nodes[node.0].alive {
+            return;
+        }
+        self.nodes[node.0].alive = false;
+        self.metrics.nodes_stopped += 1;
+        self.listeners.remove(&self.nodes[node.0].external_addr);
+        // Close every open connection this node participates in.
+        let involved: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.state == ConnState::Open && (c.initiator == node || c.acceptor == Some(node))
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in involved {
+            self.close_conn(node, ConnId(id));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct Log {
+        events: Vec<String>,
+    }
+
+    type SharedLog = Rc<RefCell<Log>>;
+
+    struct Echo {
+        log: SharedLog,
+    }
+
+    impl App for Echo {
+        fn on_connected(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId, dir: Direction, _p: HostAddr) {
+            self.log.borrow_mut().events.push(format!("server connected {dir:?}"));
+        }
+        fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+            self.log
+                .borrow_mut()
+                .events
+                .push(format!("server got {}", String::from_utf8_lossy(data)));
+            ctx.send(conn, data);
+        }
+        fn on_closed(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId) {
+            self.log.borrow_mut().events.push("server closed".into());
+        }
+    }
+
+    struct Client {
+        log: SharedLog,
+        server: HostAddr,
+        payload: Vec<u8>,
+    }
+
+    impl App for Client {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.connect(self.server);
+        }
+        fn on_connected(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _d: Direction, _p: HostAddr) {
+            ctx.send(conn, &self.payload.clone());
+        }
+        fn on_connect_failed(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId) {
+            self.log.borrow_mut().events.push("client connect failed".into());
+        }
+        fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+            self.log
+                .borrow_mut()
+                .events
+                .push(format!("client got {}", String::from_utf8_lossy(data)));
+            ctx.close(conn);
+        }
+    }
+
+    fn new_log() -> SharedLog {
+        Rc::new(RefCell::new(Log::default()))
+    }
+
+    #[test]
+    fn echo_roundtrip_with_close() {
+        let log = new_log();
+        let mut sim = Simulator::new(SimConfig::default(), 1);
+        let server = sim.spawn(NodeSpec::public().listen(6346), Box::new(Echo { log: log.clone() }));
+        let server_addr = sim.node_addr(server);
+        sim.spawn(
+            NodeSpec::public(),
+            Box::new(Client { log: log.clone(), server: server_addr, payload: b"ping".to_vec() }),
+        );
+        sim.run_to_quiescence();
+        let events = log.borrow().events.clone();
+        assert_eq!(
+            events,
+            vec![
+                "server connected Inbound",
+                "server got ping",
+                "client got ping",
+                "server closed"
+            ]
+        );
+        assert_eq!(sim.metrics().conns_established, 1);
+        assert_eq!(sim.metrics().conns_closed, 1);
+    }
+
+    #[test]
+    fn connect_to_nobody_fails() {
+        let log = new_log();
+        let mut sim = Simulator::new(SimConfig::default(), 2);
+        let phantom = HostAddr::new(std::net::Ipv4Addr::new(9, 9, 9, 9), 1234);
+        sim.spawn(
+            NodeSpec::public(),
+            Box::new(Client { log: log.clone(), server: phantom, payload: vec![] }),
+        );
+        sim.run_to_quiescence();
+        assert_eq!(log.borrow().events, vec!["client connect failed"]);
+        assert_eq!(sim.metrics().conns_failed, 1);
+    }
+
+    #[test]
+    fn nat_node_is_not_dialable_but_can_dial() {
+        let log = new_log();
+        let mut sim = Simulator::new(SimConfig::default(), 3);
+        // NAT "server": listener must not register.
+        let nat = sim.spawn(NodeSpec::nat().listen(6346), Box::new(Echo { log: log.clone() }));
+        let nat_addr = sim.node_addr(nat);
+        sim.spawn(
+            NodeSpec::public(),
+            Box::new(Client { log: log.clone(), server: nat_addr, payload: b"x".to_vec() }),
+        );
+        sim.run_to_quiescence();
+        assert_eq!(log.borrow().events, vec!["client connect failed"]);
+        // And the NAT node's local address is private while external is not.
+        assert!(sim.node_local_addr(nat).is_private());
+        assert!(!sim.node_addr(nat).is_private());
+
+        // NAT node can dial out.
+        let log2 = new_log();
+        let mut sim2 = Simulator::new(SimConfig::default(), 4);
+        let server =
+            sim2.spawn(NodeSpec::public().listen(6346), Box::new(Echo { log: log2.clone() }));
+        let server_addr = sim2.node_addr(server);
+        sim2.spawn(
+            NodeSpec::nat(),
+            Box::new(Client { log: log2.clone(), server: server_addr, payload: b"y".to_vec() }),
+        );
+        sim2.run_to_quiescence();
+        assert!(log2.borrow().events.iter().any(|e| e == "client got y"));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed: u64| {
+            let log = new_log();
+            let mut sim = Simulator::new(SimConfig::default(), seed);
+            let server =
+                sim.spawn(NodeSpec::public().listen(1), Box::new(Echo { log: log.clone() }));
+            let addr = sim.node_addr(server);
+            for i in 0..10 {
+                sim.spawn(
+                    NodeSpec::public(),
+                    Box::new(Client {
+                        log: log.clone(),
+                        server: addr,
+                        payload: format!("m{i}").into_bytes(),
+                    }),
+                );
+            }
+            sim.run_to_quiescence();
+            let events = log.borrow().events.clone();
+            (events, sim.metrics().clone(), sim.now())
+        };
+        assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn bandwidth_serializes_transfers() {
+        // A 100 KB send on a 10 KB/s uplink takes ≥ 10 simulated seconds.
+        struct Sender {
+            server: HostAddr,
+        }
+        impl App for Sender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.connect(self.server);
+            }
+            fn on_connected(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _d: Direction, _p: HostAddr) {
+                ctx.send(conn, &vec![0u8; 100_000]);
+            }
+        }
+        struct Sink {
+            done_at: SharedDone,
+        }
+        type SharedDone = Rc<RefCell<Option<SimTime>>>;
+        impl App for Sink {
+            fn on_data(&mut self, ctx: &mut Ctx<'_>, _c: ConnId, _d: &[u8]) {
+                *self.done_at.borrow_mut() = Some(ctx.now());
+            }
+        }
+        let done: SharedDone = Rc::new(RefCell::new(None));
+        let mut sim = Simulator::new(SimConfig::default(), 5);
+        let sink = sim.spawn(
+            NodeSpec::public().listen(80).download(1_000_000),
+            Box::new(Sink { done_at: done.clone() }),
+        );
+        let addr = sim.node_addr(sink);
+        sim.spawn(NodeSpec::public().upload(10_000), Box::new(Sender { server: addr }));
+        sim.run_to_quiescence();
+        let t = done.borrow().expect("delivered");
+        assert!(t >= SimTime::from_secs(10), "arrived too fast: {t}");
+        assert!(t <= SimTime::from_secs(11), "arrived too slow: {t}");
+    }
+
+    #[test]
+    fn mss_fragments_but_preserves_order_and_content() {
+        struct Collect {
+            got: Rc<RefCell<Vec<u8>>>,
+            chunks: Rc<RefCell<usize>>,
+        }
+        impl App for Collect {
+            fn on_data(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId, data: &[u8]) {
+                self.got.borrow_mut().extend_from_slice(data);
+                *self.chunks.borrow_mut() += 1;
+            }
+        }
+        struct Send1K {
+            server: HostAddr,
+        }
+        impl App for Send1K {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.connect(self.server);
+            }
+            fn on_connected(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _d: Direction, _p: HostAddr) {
+                let payload: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+                ctx.send(conn, &payload);
+            }
+        }
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let chunks = Rc::new(RefCell::new(0usize));
+        let mut sim = Simulator::new(SimConfig { mss: Some(100), ..SimConfig::default() }, 6);
+        let sink = sim.spawn(
+            NodeSpec::public().listen(80),
+            Box::new(Collect { got: got.clone(), chunks: chunks.clone() }),
+        );
+        let addr = sim.node_addr(sink);
+        sim.spawn(NodeSpec::public(), Box::new(Send1K { server: addr }));
+        sim.run_to_quiescence();
+        let expected: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        assert_eq!(*got.borrow(), expected);
+        assert_eq!(*chunks.borrow(), 10);
+    }
+
+    #[test]
+    fn stop_node_closes_peer_connections() {
+        let log = new_log();
+        let mut sim = Simulator::new(SimConfig::default(), 7);
+        let server = sim.spawn(NodeSpec::public().listen(1), Box::new(Echo { log: log.clone() }));
+        let addr = sim.node_addr(server);
+        struct Idle {
+            server: HostAddr,
+            closed: Rc<RefCell<bool>>,
+        }
+        impl App for Idle {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.connect(self.server);
+            }
+            fn on_closed(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId) {
+                *self.closed.borrow_mut() = true;
+            }
+        }
+        let closed = Rc::new(RefCell::new(false));
+        sim.spawn(NodeSpec::public(), Box::new(Idle { server: addr, closed: closed.clone() }));
+        sim.run_until(SimTime::from_secs(5));
+        assert!(sim.is_alive(server));
+        sim.stop_node(server);
+        sim.run_to_quiescence();
+        assert!(!sim.is_alive(server));
+        assert!(*closed.borrow(), "peer should observe close");
+        // Dialing the stopped node now fails.
+        let log3 = new_log();
+        sim.spawn(
+            NodeSpec::public(),
+            Box::new(Client { log: log3.clone(), server: addr, payload: vec![] }),
+        );
+        sim.run_to_quiescence();
+        assert_eq!(log3.borrow().events, vec!["client connect failed"]);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct Timers {
+            fired: Rc<RefCell<Vec<u64>>>,
+        }
+        impl App for Timers {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_secs(3), 3);
+                ctx.set_timer(SimDuration::from_secs(1), 1);
+                ctx.set_timer(SimDuration::from_secs(2), 2);
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+                self.fired.borrow_mut().push(token);
+            }
+        }
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(SimConfig::default(), 8);
+        sim.spawn(NodeSpec::public(), Box::new(Timers { fired: fired.clone() }));
+        sim.run_to_quiescence();
+        assert_eq!(*fired.borrow(), vec![1, 2, 3]);
+        assert_eq!(sim.metrics().timers_fired, 3);
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let mut sim = Simulator::new(SimConfig::default(), 9);
+        sim.run_until(SimTime::from_days(2));
+        assert_eq!(sim.now(), SimTime::from_days(2));
+    }
+
+    #[test]
+    fn self_dial_fails() {
+        // A node dialing its own listen address must not connect to itself.
+        struct SelfDial {
+            failed: Rc<RefCell<bool>>,
+        }
+        impl App for SelfDial {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let me = ctx.external_addr();
+                ctx.connect(me);
+            }
+            fn on_connect_failed(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId) {
+                *self.failed.borrow_mut() = true;
+            }
+        }
+        let failed = Rc::new(RefCell::new(false));
+        let mut sim = Simulator::new(SimConfig::default(), 10);
+        sim.spawn(NodeSpec::public().listen(5), Box::new(SelfDial { failed: failed.clone() }));
+        sim.run_to_quiescence();
+        assert!(*failed.borrow());
+    }
+}

@@ -1,0 +1,234 @@
+//! OpenFT's HTTP transfer channel: files are addressed by MD5.
+//!
+//! giFT served uploads over a second listening port with requests of the
+//! form `GET /md5/<hex> HTTP/1.1`. The reader/writer pairs here are sans-IO
+//! like everything else in the workspace.
+
+use p2pmal_hashes::{from_hex, Md5Digest};
+use std::fmt;
+
+const MAX_HEAD: usize = 8 * 1024;
+
+/// Transfer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    BadRequest,
+    BadStatusLine,
+    BadHeader,
+    MissingLength,
+    HeadTooLong,
+    BodyTooLong,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HttpError::BadRequest => "malformed upload request",
+            HttpError::BadStatusLine => "malformed status line",
+            HttpError::BadHeader => "malformed header",
+            HttpError::MissingLength => "missing Content-Length",
+            HttpError::HeadTooLong => "head too long",
+            HttpError::BodyTooLong => "body exceeds cap",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Builds the MD5-addressed GET.
+pub fn encode_request(md5: &Md5Digest) -> Vec<u8> {
+    format!("GET /md5/{} HTTP/1.1\r\nUser-Agent: giFT/0.11\r\nConnection: close\r\n\r\n", md5.to_hex())
+        .into_bytes()
+}
+
+/// Builds a 200 response head.
+pub fn encode_response_ok(body_len: usize) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 200 OK\r\nServer: giFT/0.11 (OpenFT)\r\nContent-Type: application/octet-stream\r\nContent-Length: {body_len}\r\n\r\n"
+    )
+    .into_bytes()
+}
+
+/// Builds an error response.
+pub fn encode_response_err(code: u16, reason: &str) -> Vec<u8> {
+    format!("HTTP/1.1 {code} {reason}\r\nServer: giFT/0.11 (OpenFT)\r\nContent-Length: 0\r\n\r\n")
+        .into_bytes()
+}
+
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Server-side request reader: yields the requested MD5.
+#[derive(Debug, Default)]
+pub struct RequestReader {
+    buf: Vec<u8>,
+}
+
+impl RequestReader {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    pub fn request(&mut self) -> Result<Option<Md5Digest>, HttpError> {
+        let end = match head_end(&self.buf) {
+            Some(i) => i,
+            None => {
+                if self.buf.len() > MAX_HEAD {
+                    return Err(HttpError::HeadTooLong);
+                }
+                return Ok(None);
+            }
+        };
+        let head = std::str::from_utf8(&self.buf[..end]).map_err(|_| HttpError::BadRequest)?;
+        let line = head.split("\r\n").next().ok_or(HttpError::BadRequest)?;
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("GET") {
+            return Err(HttpError::BadRequest);
+        }
+        let path = parts.next().ok_or(HttpError::BadRequest)?;
+        let hex = path.strip_prefix("/md5/").ok_or(HttpError::BadRequest)?;
+        let raw = from_hex(hex).ok_or(HttpError::BadRequest)?;
+        if raw.len() != 16 {
+            return Err(HttpError::BadRequest);
+        }
+        let mut d = [0u8; 16];
+        d.copy_from_slice(&raw);
+        self.buf.drain(..end + 4);
+        Ok(Some(Md5Digest(d)))
+    }
+}
+
+/// Client-side response reader (head + Content-Length body).
+#[derive(Debug)]
+pub struct ResponseReader {
+    buf: Vec<u8>,
+    body_len: Option<(u16, usize)>,
+    max_body: usize,
+}
+
+impl ResponseReader {
+    pub fn new(max_body: usize) -> Self {
+        ResponseReader { buf: Vec::new(), body_len: None, max_body }
+    }
+
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Returns `(status, body)` once complete.
+    pub fn response(&mut self) -> Result<Option<(u16, Vec<u8>)>, HttpError> {
+        if self.body_len.is_none() {
+            let end = match head_end(&self.buf) {
+                Some(i) => i,
+                None => {
+                    if self.buf.len() > MAX_HEAD {
+                        return Err(HttpError::HeadTooLong);
+                    }
+                    return Ok(None);
+                }
+            };
+            let head =
+                std::str::from_utf8(&self.buf[..end]).map_err(|_| HttpError::BadHeader)?;
+            let mut lines = head.split("\r\n");
+            let status_line = lines.next().ok_or(HttpError::BadStatusLine)?;
+            let mut parts = status_line.split_whitespace();
+            if !parts.next().unwrap_or("").starts_with("HTTP/1.") {
+                return Err(HttpError::BadStatusLine);
+            }
+            let status: u16 =
+                parts.next().and_then(|s| s.parse().ok()).ok_or(HttpError::BadStatusLine)?;
+            let mut len = None;
+            for line in lines {
+                let (k, v) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+                if k.trim().eq_ignore_ascii_case("content-length") {
+                    len = v.trim().parse::<usize>().ok();
+                }
+            }
+            let len = len.ok_or(HttpError::MissingLength)?;
+            if len > self.max_body {
+                return Err(HttpError::BodyTooLong);
+            }
+            self.buf.drain(..end + 4);
+            self.body_len = Some((status, len));
+        }
+        if let Some((status, len)) = self.body_len {
+            if self.buf.len() < len {
+                return Ok(None);
+            }
+            let body = self.buf[..len].to_vec();
+            self.buf.drain(..len);
+            self.body_len = None;
+            return Ok(Some((status, body)));
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmal_hashes::md5;
+
+    #[test]
+    fn request_roundtrip() {
+        let d = md5(b"the file");
+        let wire = encode_request(&d);
+        let mut r = RequestReader::new();
+        for chunk in wire.chunks(5) {
+            r.push(chunk);
+        }
+        assert_eq!(r.request().unwrap(), Some(d));
+    }
+
+    #[test]
+    fn bad_requests_rejected() {
+        for bad in [
+            "POST /md5/00112233445566778899aabbccddeeff HTTP/1.1\r\n\r\n",
+            "GET /file/abc HTTP/1.1\r\n\r\n",
+            "GET /md5/zz HTTP/1.1\r\n\r\n",
+            "GET /md5/0011 HTTP/1.1\r\n\r\n",
+        ] {
+            let mut r = RequestReader::new();
+            r.push(bad.as_bytes());
+            assert!(r.request().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let body = vec![7u8; 5000];
+        let mut wire = encode_response_ok(body.len());
+        wire.extend_from_slice(&body);
+        let mut r = ResponseReader::new(1 << 20);
+        let mut out = None;
+        for chunk in wire.chunks(333) {
+            r.push(chunk);
+            if let Some(resp) = r.response().unwrap() {
+                out = Some(resp);
+            }
+        }
+        let (status, got) = out.unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(got, body);
+    }
+
+    #[test]
+    fn oversized_body_refused() {
+        let mut r = ResponseReader::new(10);
+        r.push(&encode_response_ok(11));
+        assert_eq!(r.response(), Err(HttpError::BodyTooLong));
+    }
+
+    #[test]
+    fn error_response_parses() {
+        let mut r = ResponseReader::new(10);
+        r.push(&encode_response_err(404, "Not Found"));
+        assert_eq!(r.response().unwrap(), Some((404, Vec::new())));
+    }
+}

@@ -1,0 +1,922 @@
+//! The OpenFT node: USER / SEARCH / INDEX classes over
+//! [`p2pmal_netsim::App`].
+//!
+//! OpenFT is giFT's native network. Unlike Gnutella's flooding, OpenFT is
+//! *registration-based*: USER nodes pick SEARCH-class parents and register
+//! every shared file (MD5 + size + path) with them; a search is answered
+//! entirely from the parent's registration index, with results pointing at
+//! the third-party host that serves the bytes over HTTP.
+//!
+//! The simulator gives each node one listening socket, so the OpenFT packet
+//! channel and the HTTP transfer channel share the port and inbound
+//! connections are sniffed (binary packets never begin with `G`, HTTP GETs
+//! always do). `NodeInfo.http_port` is still carried on the wire.
+//!
+//! Simplifications versus giFT, documented in DESIGN.md: the multi-stage
+//! session negotiation is collapsed to one request/response; searches are
+//! answered by the queried node only (no search-peer forwarding — the
+//! crawler queries every SEARCH node it discovers, which is how giFT's
+//! default configuration effectively behaved in small deployments); the
+//! firewalled-source PUSH relay is not modelled (the study's OpenFT
+//! population is dominated by publicly reachable hosts).
+
+use crate::http::{
+    encode_request, encode_response_err, encode_response_ok, RequestReader, ResponseReader,
+};
+use crate::packet::{
+    encode_packet, AddShare, Child, Command, NodeEntry, NodeInfo, NodeList, PacketReader, Search,
+    SearchResult, Session, Version, CLASS_SEARCH, CLASS_USER,
+};
+use p2pmal_corpus::{ContentRef, HostLibrary};
+use p2pmal_gnutella::servent::SharedWorld;
+use p2pmal_hashes::Md5Digest;
+use p2pmal_netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration, SimTime};
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// Timer tokens.
+const TIMER_MAINTENANCE: u64 = 0;
+const TIMER_AUTO_QUERY: u64 = 1;
+const TIMER_DL_BASE: u64 = 1 << 32;
+
+/// Node tunables. Defaults mirror a giFT 0.11 deployment.
+#[derive(Debug, Clone)]
+pub struct FtConfig {
+    /// Class bitmask ([`CLASS_USER`], [`CLASS_SEARCH`],
+    /// [`crate::packet::CLASS_INDEX`]).
+    pub klass: u16,
+    pub alias: String,
+    pub port: u16,
+    /// Sessions to maintain with SEARCH-class nodes.
+    pub target_sessions: usize,
+    /// Parents to register shares with (USER nodes).
+    pub target_parents: usize,
+    /// Children a SEARCH node accepts.
+    pub max_children: usize,
+    pub bootstrap: Vec<HostAddr>,
+    /// Result cap per answered search.
+    pub max_results: usize,
+    /// Ambient query interval (user behaviour), if any.
+    pub auto_query: Option<SimDuration>,
+    pub collect_events: bool,
+    pub max_download_bytes: usize,
+    pub download_timeout: SimDuration,
+    pub tick: SimDuration,
+}
+
+impl FtConfig {
+    pub fn user() -> Self {
+        FtConfig {
+            klass: CLASS_USER,
+            alias: "user".into(),
+            port: 1215,
+            target_sessions: 3,
+            target_parents: 2,
+            max_children: 0,
+            bootstrap: Vec::new(),
+            max_results: 64,
+            auto_query: None,
+            collect_events: false,
+            max_download_bytes: 64 << 20,
+            download_timeout: SimDuration::from_secs(120),
+            tick: SimDuration::from_secs(10),
+        }
+    }
+
+    pub fn search_node() -> Self {
+        FtConfig {
+            klass: CLASS_USER | CLASS_SEARCH,
+            alias: "search".into(),
+            target_sessions: 4,
+            max_children: 60,
+            ..Self::user()
+        }
+    }
+
+    pub fn with_bootstrap(mut self, hosts: Vec<HostAddr>) -> Self {
+        self.bootstrap = hosts;
+        self
+    }
+}
+
+/// Download failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtDownloadError {
+    ConnectFailed,
+    Timeout,
+    Http(u16),
+    Protocol(String),
+}
+
+/// Node events for instrumented owners.
+#[derive(Debug, Clone)]
+pub enum FtEvent {
+    /// An OpenFT session reached the established state.
+    SessionUp { conn: ConnId, info: NodeInfo },
+    SessionDown { conn: ConnId },
+    /// A result for one of our searches.
+    SearchResult { at: SimTime, result: SearchResult },
+    /// The queried node finished streaming results for `id`.
+    SearchEnd { at: SimTime, id: u32 },
+    DownloadDone { at: SimTime, id: u64, result: Result<Vec<u8>, FtDownloadError> },
+}
+
+/// Counters for benches and experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FtStats {
+    pub sessions_up: u64,
+    pub searches_sent: u64,
+    pub searches_answered: u64,
+    pub results_sent: u64,
+    pub results_received: u64,
+    pub shares_registered: u64,
+    pub shares_indexed: u64,
+    pub uploads_served: u64,
+    pub downloads_ok: u64,
+    pub downloads_failed: u64,
+    pub bad_packets: u64,
+}
+
+/// One share registered by a child, denormalized for fast answering.
+#[derive(Debug, Clone)]
+struct IndexedShare {
+    owner: ConnId,
+    host: HostAddr,
+    http_port: u16,
+    md5: Md5Digest,
+    size: u32,
+    filename: String,
+    lower: String,
+}
+
+struct PeerState {
+    reader: PacketReader,
+    info: Option<NodeInfo>,
+    session: bool,
+    /// Remote's observed routable address (what we dial for transfers).
+    peer_addr: HostAddr,
+    /// They accepted us as a child (we registered shares there).
+    parent: bool,
+    /// We accepted them as a child.
+    child: bool,
+    outbound: bool,
+}
+
+struct DlState {
+    id: u64,
+    md5: Md5Digest,
+    reader: ResponseReader,
+    connected: bool,
+}
+
+enum ConnKind {
+    /// Inbound, protocol unknown; carries the observed remote address.
+    Sniff(Vec<u8>, HostAddr),
+    Peer(PeerState),
+    Download(DlState),
+    Upload(RequestReader),
+    Dead,
+}
+
+/// An OpenFT node.
+pub struct FtNode {
+    config: FtConfig,
+    world: SharedWorld,
+    library: HostLibrary,
+    conns: HashMap<ConnId, ConnKind>,
+    /// Discovered nodes (SEARCH/INDEX classes are the useful ones).
+    known: Vec<NodeEntry>,
+    /// Child-registered shares (SEARCH nodes).
+    index: Vec<IndexedShare>,
+    next_search: u32,
+    next_download: u64,
+    events: Vec<FtEvent>,
+    stats: FtStats,
+}
+
+impl FtNode {
+    pub fn new(config: FtConfig, world: SharedWorld, library: HostLibrary) -> Self {
+        FtNode {
+            config,
+            world,
+            library,
+            conns: HashMap::new(),
+            known: Vec::new(),
+            index: Vec::new(),
+            next_search: 1,
+            next_download: 1,
+            events: Vec::new(),
+            stats: FtStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &FtConfig {
+        &self.config
+    }
+
+    pub fn stats(&self) -> FtStats {
+        self.stats
+    }
+
+    pub fn library(&self) -> &HostLibrary {
+        &self.library
+    }
+
+    /// The shared content world this node lives in.
+    pub fn world(&self) -> &SharedWorld {
+        &self.world
+    }
+
+    /// Number of shares currently indexed for children (SEARCH nodes).
+    pub fn indexed_shares(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Established sessions.
+    pub fn session_count(&self) -> usize {
+        self.conns
+            .values()
+            .filter(|k| matches!(k, ConnKind::Peer(p) if p.session))
+            .count()
+    }
+
+    /// Parents that accepted our registration.
+    pub fn parent_count(&self) -> usize {
+        self.conns
+            .values()
+            .filter(|k| matches!(k, ConnKind::Peer(p) if p.parent))
+            .count()
+    }
+
+    pub fn drain_events(&mut self) -> Vec<FtEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Issues a search to every connected SEARCH session; returns the id.
+    pub fn search(&mut self, ctx: &mut Ctx<'_>, query: &str) -> u32 {
+        let id = self.next_search;
+        self.next_search += 1;
+        let pkt = Search::Request { id, query: query.to_string() }.encode();
+        let mut wire = Vec::new();
+        encode_packet(Command::Search, &pkt, &mut wire);
+        let targets: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|(_, k)| {
+                matches!(k, ConnKind::Peer(p) if p.session
+                    && p.info.as_ref().is_some_and(|i| i.is_search()))
+            })
+            .map(|(&c, _)| c)
+            .collect();
+        for t in &targets {
+            ctx.send(*t, &wire);
+        }
+        self.stats.searches_sent += 1;
+        id
+    }
+
+    /// Fetches `md5` from `addr` over HTTP; completion arrives as
+    /// [`FtEvent::DownloadDone`].
+    pub fn begin_download(&mut self, ctx: &mut Ctx<'_>, addr: HostAddr, md5: Md5Digest) -> u64 {
+        let id = self.next_download;
+        self.next_download += 1;
+        let conn = ctx.connect(addr);
+        self.conns.insert(
+            conn,
+            ConnKind::Download(DlState {
+                id,
+                md5,
+                reader: ResponseReader::new(self.config.max_download_bytes),
+                connected: false,
+            }),
+        );
+        ctx.set_timer(self.config.download_timeout, TIMER_DL_BASE | id);
+        id
+    }
+
+    // -- internals -----------------------------------------------------------
+
+    fn emit(&mut self, ev: FtEvent) {
+        if self.config.collect_events {
+            self.events.push(ev);
+        }
+    }
+
+    fn node_info(&self) -> NodeInfo {
+        NodeInfo {
+            klass: self.config.klass,
+            port: self.config.port,
+            http_port: self.config.port,
+            alias: self.config.alias.clone(),
+        }
+    }
+
+    fn add_known(&mut self, e: NodeEntry) {
+        if e.klass & (CLASS_SEARCH | crate::packet::CLASS_INDEX) == 0 {
+            return; // only supernodes are worth remembering
+        }
+        if !self.known.iter().any(|k| k.ip == e.ip && k.port == e.port) {
+            self.known.push(e);
+            if self.known.len() > 500 {
+                self.known.remove(0);
+            }
+        }
+    }
+
+    fn maintain(&mut self, ctx: &mut Ctx<'_>) {
+        let have = self
+            .conns
+            .values()
+            .filter(|k| matches!(k, ConnKind::Peer(p) if p.outbound))
+            .count();
+        if have >= self.config.target_sessions {
+            return;
+        }
+        let mut candidates: Vec<HostAddr> = self
+            .known
+            .iter()
+            .map(|e| HostAddr::new(e.ip, e.port))
+            .chain(self.config.bootstrap.iter().copied())
+            .collect();
+        let me = HostAddr::new(ctx.external_addr().ip, self.config.port);
+        // Never dial ourselves or a node we already hold a connection to.
+        let existing: std::collections::HashSet<HostAddr> = self
+            .conns
+            .values()
+            .filter_map(|k| match k {
+                ConnKind::Peer(p) if p.outbound => Some(p.peer_addr),
+                _ => None,
+            })
+            .collect();
+        candidates.retain(|&c| c != me && !existing.contains(&c));
+        candidates.sort();
+        candidates.dedup();
+        let mut dialed = 0;
+        while have + dialed < self.config.target_sessions && !candidates.is_empty() {
+            let i = (ctx.rng().next_u64() % candidates.len() as u64) as usize;
+            let target = candidates.swap_remove(i);
+            let conn = ctx.connect(target);
+            self.conns.insert(
+                conn,
+                ConnKind::Peer(PeerState {
+                    reader: PacketReader::new(),
+                    info: None,
+                    session: false,
+                    peer_addr: target,
+                    parent: false,
+                    child: false,
+                    outbound: true,
+                }),
+            );
+            dialed += 1;
+        }
+    }
+
+    fn send_packet(&self, ctx: &mut Ctx<'_>, conn: ConnId, cmd: Command, payload: &[u8]) {
+        let mut wire = Vec::new();
+        encode_packet(cmd, payload, &mut wire);
+        ctx.send(conn, &wire);
+    }
+
+    /// Registers our library with a freshly accepted parent.
+    fn register_shares(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        let mut wires = Vec::new();
+        for f in self.library.files() {
+            let md5 = self.world.store.declared_md5(f.content);
+            let add = AddShare {
+                md5,
+                size: f.size.min(u32::MAX as u64) as u32,
+                path: format!("/shared/{}", f.name),
+            };
+            let mut wire = Vec::new();
+            encode_packet(Command::AddShare, &add.encode(), &mut wire);
+            wires.push(wire);
+            self.stats.shares_registered += 1;
+        }
+        for w in wires {
+            ctx.send(conn, &w);
+        }
+    }
+
+    fn pump_peer(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        loop {
+            let (cmd, payload) = {
+                let Some(ConnKind::Peer(p)) = self.conns.get_mut(&conn) else { return };
+                match p.reader.next_packet() {
+                    Ok(Some(pkt)) => pkt,
+                    Ok(None) => return,
+                    Err(_) => {
+                        self.stats.bad_packets += 1;
+                        self.drop_conn(ctx, conn);
+                        return;
+                    }
+                }
+            };
+            self.handle_packet(ctx, conn, cmd, &payload);
+        }
+    }
+
+    fn handle_packet(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, cmd: Command, payload: &[u8]) {
+        match cmd {
+            Command::Version => {
+                if Version::parse(payload).is_err() {
+                    self.stats.bad_packets += 1;
+                    self.drop_conn(ctx, conn);
+                }
+            }
+            Command::NodeInfo => {
+                let Ok(info) = NodeInfo::parse(payload) else {
+                    self.stats.bad_packets += 1;
+                    return;
+                };
+                if let Some(ConnKind::Peer(p)) = self.conns.get_mut(&conn) {
+                    let entry = NodeEntry {
+                        ip: p.peer_addr.ip,
+                        port: info.port,
+                        klass: info.klass,
+                    };
+                    p.info = Some(info);
+                    self.add_known(entry);
+                }
+            }
+            Command::NodeList => {
+                let Ok(list) = NodeList::parse(payload) else {
+                    self.stats.bad_packets += 1;
+                    return;
+                };
+                match list {
+                    NodeList::Request => {
+                        let entries: Vec<NodeEntry> =
+                            self.known.iter().rev().take(16).copied().collect();
+                        self.send_packet(
+                            ctx,
+                            conn,
+                            Command::NodeList,
+                            &NodeList::Response(entries).encode(),
+                        );
+                    }
+                    NodeList::Response(entries) => {
+                        for e in entries {
+                            self.add_known(e);
+                        }
+                    }
+                }
+            }
+            Command::NodeCap | Command::Stats | Command::ModShare | Command::Browse => {
+                // Accepted and ignored: present for wire compatibility.
+            }
+            Command::Ping => {
+                if payload.is_empty() {
+                    self.send_packet(ctx, conn, Command::Ping, &[0, 1]);
+                }
+            }
+            Command::Session => {
+                let Ok(sess) = Session::parse(payload) else {
+                    self.stats.bad_packets += 1;
+                    return;
+                };
+                match sess {
+                    Session::Request => {
+                        self.send_packet(
+                            ctx,
+                            conn,
+                            Command::Session,
+                            &Session::Response { accepted: true }.encode(),
+                        );
+                        self.establish_session(ctx, conn);
+                    }
+                    Session::Response { accepted } => {
+                        if accepted {
+                            self.establish_session(ctx, conn);
+                        } else {
+                            self.drop_conn(ctx, conn);
+                        }
+                    }
+                }
+            }
+            Command::Child => {
+                let Ok(child) = Child::parse(payload) else {
+                    self.stats.bad_packets += 1;
+                    return;
+                };
+                match child {
+                    Child::Request => {
+                        let accept = self.config.klass & CLASS_SEARCH != 0
+                            && self
+                                .conns
+                                .values()
+                                .filter(|k| matches!(k, ConnKind::Peer(p) if p.child))
+                                .count()
+                                < self.config.max_children;
+                        if accept {
+                            if let Some(ConnKind::Peer(p)) = self.conns.get_mut(&conn) {
+                                p.child = true;
+                            }
+                        }
+                        self.send_packet(
+                            ctx,
+                            conn,
+                            Command::Child,
+                            &Child::Response { accepted: accept }.encode(),
+                        );
+                    }
+                    Child::Response { accepted } => {
+                        if accepted {
+                            if let Some(ConnKind::Peer(p)) = self.conns.get_mut(&conn) {
+                                p.parent = true;
+                            }
+                            self.register_shares(ctx, conn);
+                        }
+                    }
+                }
+            }
+            Command::AddShare => {
+                let Ok(add) = AddShare::parse(payload) else {
+                    self.stats.bad_packets += 1;
+                    return;
+                };
+                let share = {
+                    let Some(ConnKind::Peer(p)) = self.conns.get(&conn) else { return };
+                    if !p.child {
+                        return; // only accepted children may register
+                    }
+    let (port, http_port) = p
+                        .info
+                        .as_ref()
+                        .map(|i| (i.port, i.http_port))
+                        .unwrap_or((p.peer_addr.port, p.peer_addr.port));
+                    let filename =
+                        add.path.rsplit('/').next().unwrap_or(&add.path).to_string();
+                    IndexedShare {
+                        owner: conn,
+                        host: HostAddr::new(p.peer_addr.ip, port),
+                        http_port,
+                        md5: add.md5,
+                        size: add.size,
+                        lower: filename.to_ascii_lowercase(),
+                        filename,
+                    }
+                };
+                self.index.push(share);
+                self.stats.shares_indexed += 1;
+            }
+            Command::RemShare => {
+                let Ok(rem) = crate::packet::RemShare::parse(payload) else {
+                    self.stats.bad_packets += 1;
+                    return;
+                };
+                self.index.retain(|s| !(s.owner == conn && s.md5 == rem.md5));
+            }
+            Command::Search => {
+                let Ok(search) = Search::parse(payload) else {
+                    self.stats.bad_packets += 1;
+                    return;
+                };
+                match search {
+                    Search::Request { id, query } => self.answer_search(ctx, conn, id, &query),
+                    Search::Result(result) => {
+                        self.stats.results_received += 1;
+                        let at = ctx.now();
+                        self.emit(FtEvent::SearchResult { at, result });
+                    }
+                    Search::End { id } => {
+                        let at = ctx.now();
+                        self.emit(FtEvent::SearchEnd { at, id });
+                    }
+                }
+            }
+        }
+    }
+
+    fn establish_session(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        let info = {
+            let Some(ConnKind::Peer(p)) = self.conns.get_mut(&conn) else { return };
+            if p.session {
+                return;
+            }
+            p.session = true;
+            p.info.clone()
+        };
+        self.stats.sessions_up += 1;
+        if let Some(info) = info.clone() {
+            self.emit(FtEvent::SessionUp { conn, info });
+        }
+        // Discover more of the network.
+        self.send_packet(ctx, conn, Command::NodeList, &NodeList::Request.encode());
+        // Become a child of SEARCH-class peers until we have enough parents.
+        let peer_is_search = info.as_ref().is_some_and(|i| i.is_search());
+        if peer_is_search
+            && !self.library.is_empty()
+            && self.parent_count() < self.config.target_parents
+        {
+            self.send_packet(ctx, conn, Command::Child, &Child::Request.encode());
+        }
+    }
+
+    /// Answers a search from the child-share index plus our own library.
+    fn answer_search(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, id: u32, query: &str) {
+        self.stats.searches_answered += 1;
+        let terms: Vec<String> = p2pmal_corpus::library::query_terms(query);
+        let mut results = Vec::new();
+        if !terms.is_empty() {
+            for s in &self.index {
+                if results.len() >= self.config.max_results {
+                    break;
+                }
+                if terms.iter().all(|t| s.lower.contains(t.as_str())) {
+                    results.push(SearchResult {
+                        id,
+                        host: s.host.ip,
+                        port: s.host.port,
+                        http_port: s.http_port,
+                        avail: 1,
+                        md5: s.md5,
+                        size: s.size,
+                        filename: s.filename.clone(),
+                    });
+                }
+            }
+            // Our own shares answer too (SEARCH nodes are also users).
+            for f in self.library.respond(query, self.config.max_results) {
+                if results.len() >= self.config.max_results {
+                    break;
+                }
+                results.push(SearchResult {
+                    id,
+                    host: ctx.external_addr().ip,
+                    port: self.config.port,
+                    http_port: self.config.port,
+                    avail: 1,
+                    md5: self.world.store.declared_md5(f.content),
+                    size: f.size.min(u32::MAX as u64) as u32,
+                    filename: f.name.clone(),
+                });
+            }
+        }
+        self.stats.results_sent += results.len() as u64;
+        for r in results {
+            self.send_packet(ctx, conn, Command::Search, &Search::Result(r).encode());
+        }
+        self.send_packet(ctx, conn, Command::Search, &Search::End { id }.encode());
+    }
+
+    /// Serves an upload request: resolve the MD5 against our library.
+    fn serve_upload(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, md5: Md5Digest) {
+        let content: Option<ContentRef> = self
+            .library
+            .files()
+            .iter()
+            .find(|f| self.world.store.declared_md5(f.content) == md5)
+            .map(|f| f.content);
+        match content {
+            Some(r) => {
+                self.stats.uploads_served += 1;
+                let body = self.world.store.payload(r, &self.world.catalog, &self.world.roster);
+                let mut wire = encode_response_ok(body.len());
+                wire.extend_from_slice(&body);
+                ctx.send(conn, &wire);
+            }
+            None => ctx.send(conn, &encode_response_err(404, "Not Found")),
+        }
+    }
+
+    fn finish_download(&mut self, ctx: &mut Ctx<'_>, conn: Option<ConnId>, id: u64, result: Result<Vec<u8>, FtDownloadError>) {
+        if let Some(c) = conn {
+            self.conns.insert(c, ConnKind::Dead);
+            ctx.close(c);
+        }
+        match &result {
+            Ok(_) => self.stats.downloads_ok += 1,
+            Err(_) => self.stats.downloads_failed += 1,
+        }
+        let at = ctx.now();
+        self.emit(FtEvent::DownloadDone { at, id, result });
+    }
+
+    fn drop_conn(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        match self.conns.insert(conn, ConnKind::Dead) {
+            Some(ConnKind::Download(d)) => {
+                self.finish_download(
+                    ctx,
+                    Some(conn),
+                    d.id,
+                    Err(FtDownloadError::Protocol("dropped".into())),
+                );
+            }
+            Some(ConnKind::Peer(p)) => {
+                if p.child {
+                    self.index.retain(|s| s.owner != conn);
+                }
+                self.emit(FtEvent::SessionDown { conn });
+                ctx.close(conn);
+            }
+            _ => {
+                ctx.close(conn);
+            }
+        }
+    }
+
+    fn sniff(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+        let (buf, peer) = {
+            let Some(ConnKind::Sniff(buf, peer)) = self.conns.get_mut(&conn) else { return };
+            buf.extend_from_slice(data);
+            if buf.is_empty() {
+                return;
+            }
+            (std::mem::take(buf), *peer)
+        };
+        if buf[0] == b'G' || buf[0] == b'H' {
+            let mut reader = RequestReader::new();
+            reader.push(&buf);
+            self.conns.insert(conn, ConnKind::Upload(reader));
+            self.pump_upload(ctx, conn);
+        } else {
+            let mut p = PeerState {
+                reader: PacketReader::new(),
+                info: None,
+                session: false,
+                peer_addr: peer,
+                parent: false,
+                child: false,
+                outbound: false,
+            };
+            p.reader.push(&buf);
+            self.conns.insert(conn, ConnKind::Peer(p));
+            // Introduce ourselves (the dialer already did on connect).
+            self.send_packet(ctx, conn, Command::Version, &Version::CURRENT.encode());
+            let info = self.node_info();
+            self.send_packet(ctx, conn, Command::NodeInfo, &info.encode());
+            self.pump_peer(ctx, conn);
+        }
+    }
+
+    fn pump_upload(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        let md5 = {
+            let Some(ConnKind::Upload(reader)) = self.conns.get_mut(&conn) else { return };
+            match reader.request() {
+                Ok(Some(m)) => m,
+                Ok(None) => return,
+                Err(_) => {
+                    self.drop_conn(ctx, conn);
+                    return;
+                }
+            }
+        };
+        self.serve_upload(ctx, conn, md5);
+    }
+}
+
+impl App for FtNode {
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for b in self.config.bootstrap.clone() {
+            self.add_known(NodeEntry { ip: b.ip, port: b.port, klass: CLASS_SEARCH });
+        }
+        self.maintain(ctx);
+        ctx.set_timer(self.config.tick, TIMER_MAINTENANCE);
+        if let Some(iv) = self.config.auto_query {
+            let jitter = SimDuration::from_micros(ctx.rng().next_u64() % iv.as_micros().max(1));
+            ctx.set_timer(jitter, TIMER_AUTO_QUERY);
+        }
+    }
+
+    fn on_connected(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, dir: Direction, peer: HostAddr) {
+        match dir {
+            Direction::Inbound => {
+                self.conns.insert(conn, ConnKind::Sniff(Vec::new(), peer));
+            }
+            Direction::Outbound => match self.conns.get(&conn) {
+                Some(ConnKind::Peer(_)) => {
+                    self.send_packet(ctx, conn, Command::Version, &Version::CURRENT.encode());
+                    let info = self.node_info();
+                    self.send_packet(ctx, conn, Command::NodeInfo, &info.encode());
+                    self.send_packet(ctx, conn, Command::Session, &Session::Request.encode());
+                }
+                Some(ConnKind::Download(d)) => {
+                    let md5 = d.md5;
+                    if let Some(ConnKind::Download(d)) = self.conns.get_mut(&conn) {
+                        d.connected = true;
+                    }
+                    ctx.send(conn, &encode_request(&md5));
+                }
+                _ => {}
+            },
+        }
+    }
+
+    fn on_connect_failed(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        match self.conns.remove(&conn) {
+            Some(ConnKind::Download(d)) => {
+                self.finish_download(ctx, None, d.id, Err(FtDownloadError::ConnectFailed));
+            }
+            Some(ConnKind::Peer(_)) => self.maintain(ctx),
+            _ => {}
+        }
+    }
+
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+        enum R {
+            Sniff,
+            Peer,
+            Download,
+            Upload,
+            Dead,
+        }
+        let r = match self.conns.get(&conn) {
+            Some(ConnKind::Sniff(..)) => R::Sniff,
+            Some(ConnKind::Peer(_)) => R::Peer,
+            Some(ConnKind::Download(_)) => R::Download,
+            Some(ConnKind::Upload(_)) => R::Upload,
+            Some(ConnKind::Dead) | None => R::Dead,
+        };
+        match r {
+            R::Sniff => self.sniff(ctx, conn, data),
+            R::Peer => {
+                if let Some(ConnKind::Peer(p)) = self.conns.get_mut(&conn) {
+                    p.reader.push(data);
+                }
+                self.pump_peer(ctx, conn);
+            }
+            R::Download => {
+                let outcome = {
+                    let Some(ConnKind::Download(d)) = self.conns.get_mut(&conn) else { return };
+                    d.reader.push(data);
+                    match d.reader.response() {
+                        Ok(Some((200, body))) => Some((d.id, Ok(body))),
+                        Ok(Some((status, _))) => Some((d.id, Err(FtDownloadError::Http(status)))),
+                        Ok(None) => None,
+                        Err(e) => Some((d.id, Err(FtDownloadError::Protocol(e.to_string())))),
+                    }
+                };
+                if let Some((id, result)) = outcome {
+                    self.finish_download(ctx, Some(conn), id, result);
+                }
+            }
+            R::Upload => {
+                if let Some(ConnKind::Upload(reader)) = self.conns.get_mut(&conn) {
+                    reader.push(data);
+                }
+                self.pump_upload(ctx, conn);
+            }
+            R::Dead => {}
+        }
+    }
+
+    fn on_closed(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        match self.conns.remove(&conn) {
+            Some(ConnKind::Peer(p)) => {
+                if p.child {
+                    self.index.retain(|s| s.owner != conn);
+                }
+                self.emit(FtEvent::SessionDown { conn });
+                self.maintain(ctx);
+            }
+            Some(ConnKind::Download(d)) => {
+                self.finish_download(
+                    ctx,
+                    None,
+                    d.id,
+                    Err(FtDownloadError::Protocol("closed mid-transfer".into())),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TIMER_MAINTENANCE {
+            self.maintain(ctx);
+            // Adaptive cadence: slow the idle tick 30x once sessions are
+            // up (closures re-trigger maintenance directly).
+            let stable = self.session_count() >= self.config.target_sessions / 2
+                && self.session_count() >= 1;
+            let next = if stable {
+                SimDuration::from_micros(self.config.tick.as_micros() * 30)
+            } else {
+                self.config.tick
+            };
+            ctx.set_timer(next, TIMER_MAINTENANCE);
+        } else if token == TIMER_AUTO_QUERY {
+            if let Some(iv) = self.config.auto_query {
+                let q = self.world.catalog.sample_query(ctx.rng());
+                self.search(ctx, &q);
+                ctx.set_timer(iv, TIMER_AUTO_QUERY);
+            }
+        } else if token & TIMER_DL_BASE != 0 {
+            let id = token & (TIMER_DL_BASE - 1);
+            let conn = self.conns.iter().find_map(|(&c, k)| match k {
+                ConnKind::Download(d) if d.id == id => Some(c),
+                _ => None,
+            });
+            if let Some(c) = conn {
+                self.finish_download(ctx, Some(c), id, Err(FtDownloadError::Timeout));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

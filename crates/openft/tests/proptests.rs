@@ -1,0 +1,113 @@
+//! Property tests for the OpenFT codec: roundtrips for arbitrary values,
+//! and panic-freedom on arbitrary bytes.
+
+use p2pmal_hashes::Md5Digest;
+use p2pmal_openft::packet::{
+    encode_packet, AddShare, Child, Command, NodeEntry, NodeInfo, NodeList, PacketReader,
+    RemShare, Search, SearchResult, Session, Version,
+};
+use p2pmal_openft::http::{RequestReader, ResponseReader};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<[u8; 4]>().prop_map(|o| Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+}
+
+fn arb_md5() -> impl Strategy<Value = Md5Digest> {
+    any::<[u8; 16]>().prop_map(Md5Digest)
+}
+
+fn arb_str() -> impl Strategy<Value = String> {
+    "[ -~&&[^\\x00]]{0,48}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn packet_reader_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut r = PacketReader::new();
+        r.push(&data);
+        for _ in 0..64 {
+            match r.next_packet() {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    #[test]
+    fn payload_parsers_never_panic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Version::parse(&data);
+        let _ = NodeInfo::parse(&data);
+        let _ = NodeList::parse(&data);
+        let _ = Session::parse(&data);
+        let _ = Child::parse(&data);
+        let _ = AddShare::parse(&data);
+        let _ = RemShare::parse(&data);
+        let _ = Search::parse(&data);
+    }
+
+    #[test]
+    fn http_readers_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut rr = RequestReader::new();
+        rr.push(&data);
+        let _ = rr.request();
+        let mut resp = ResponseReader::new(1 << 16);
+        resp.push(&data);
+        let _ = resp.response();
+    }
+
+    #[test]
+    fn nodeinfo_roundtrip(klass in any::<u16>(), port in any::<u16>(), http in any::<u16>(), alias in arb_str()) {
+        let n = NodeInfo { klass, port, http_port: http, alias };
+        prop_assert_eq!(NodeInfo::parse(&n.encode()).unwrap(), n);
+    }
+
+    #[test]
+    fn nodelist_roundtrip(entries in proptest::collection::vec((arb_ip(), any::<u16>(), any::<u16>()), 1..16)) {
+        let list = NodeList::Response(
+            entries.into_iter().map(|(ip, port, klass)| NodeEntry { ip, port, klass }).collect(),
+        );
+        prop_assert_eq!(NodeList::parse(&list.encode()).unwrap(), list);
+    }
+
+    #[test]
+    fn addshare_roundtrip(md5 in arb_md5(), size in any::<u32>(), path in arb_str()) {
+        let a = AddShare { md5, size, path };
+        prop_assert_eq!(AddShare::parse(&a.encode()).unwrap(), a);
+    }
+
+    #[test]
+    fn search_roundtrips(
+        id in any::<u32>(),
+        query in arb_str(),
+        host in arb_ip(),
+        port in any::<u16>(),
+        http_port in any::<u16>(),
+        avail in any::<u16>(),
+        md5 in arb_md5(),
+        size in any::<u32>(),
+        filename in arb_str(),
+    ) {
+        let req = Search::Request { id, query };
+        prop_assert_eq!(Search::parse(&req.encode()).unwrap(), req);
+        let res = Search::Result(SearchResult { id, host, port, http_port, avail, md5, size, filename });
+        prop_assert_eq!(Search::parse(&res.encode()).unwrap(), res);
+        let end = Search::End { id };
+        prop_assert_eq!(Search::parse(&end.encode()).unwrap(), end);
+    }
+
+    #[test]
+    fn framing_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut wire = Vec::new();
+        encode_packet(Command::Stats, &payload, &mut wire);
+        let mut r = PacketReader::new();
+        r.push(&wire);
+        let (cmd, got) = r.next_packet().unwrap().unwrap();
+        prop_assert_eq!(cmd, Command::Stats);
+        prop_assert_eq!(got, payload);
+        prop_assert_eq!(r.buffered(), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Aho–Corasick multi-pattern string matching.
+//!
+//! Dense goto tables (256 transitions per state) keep the match loop at one
+//! array index per input byte, which is what makes scanning megabytes of
+//! downloads against hundreds of signatures cheap. Memory is bounded by the
+//! total length of the indexed patterns, which for a signature database is
+//! small.
+
+/// A compiled Aho–Corasick automaton over byte patterns.
+pub struct AhoCorasick {
+    /// `goto_[state * 256 + byte]` = next state.
+    goto_: Vec<u32>,
+    /// Pattern indices that end at each state (after fail-link merging).
+    output: Vec<Vec<u32>>,
+    patterns: Vec<Vec<u8>>,
+}
+
+/// A single match: which pattern, and the byte offset just past its end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcMatch {
+    pub pattern: usize,
+    pub end: usize,
+}
+
+impl AhoCorasick {
+    /// Builds the automaton. Empty patterns are rejected by debug assertion
+    /// and never match in release builds.
+    pub fn new(patterns: Vec<Vec<u8>>) -> Self {
+        debug_assert!(patterns.iter().all(|p| !p.is_empty()), "empty pattern");
+        // Trie construction with dense rows.
+        let mut goto_: Vec<u32> = vec![0; 256]; // state 0 = root
+        let mut output: Vec<Vec<u32>> = vec![Vec::new()];
+        let mut states = 1u32;
+        for (pi, pat) in patterns.iter().enumerate() {
+            let mut s = 0u32;
+            for &b in pat {
+                let slot = s as usize * 256 + b as usize;
+                if goto_[slot] == 0 {
+                    goto_.extend(std::iter::repeat(0).take(256));
+                    output.push(Vec::new());
+                    goto_[slot] = states;
+                    states += 1;
+                }
+                s = goto_[slot];
+            }
+            output[s as usize].push(pi as u32);
+        }
+        // BFS to compute fail links and convert to a full DFA.
+        let mut fail = vec![0u32; states as usize];
+        let mut queue = std::collections::VecDeque::new();
+        for b in 0..256usize {
+            let s = goto_[b];
+            if s != 0 {
+                fail[s as usize] = 0;
+                queue.push_back(s);
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            for b in 0..256usize {
+                let t = goto_[s as usize * 256 + b];
+                if t != 0 {
+                    queue.push_back(t);
+                    let f = goto_[fail[s as usize] as usize * 256 + b];
+                    fail[t as usize] = f;
+                    // Merge outputs along the fail chain once, here.
+                    let merged: Vec<u32> = output[f as usize].clone();
+                    output[t as usize].extend(merged);
+                } else {
+                    // DFA conversion: missing transition follows fail link.
+                    goto_[s as usize * 256 + b] = goto_[fail[s as usize] as usize * 256 + b];
+                }
+            }
+        }
+        AhoCorasick { goto_, output, patterns }
+    }
+
+    /// Number of indexed patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// The bytes of pattern `i`.
+    pub fn pattern(&self, i: usize) -> &[u8] {
+        &self.patterns[i]
+    }
+
+    /// Finds all matches (including overlapping ones) in `haystack`,
+    /// invoking `f(match)` for each. Returning `false` from `f` stops the
+    /// search early.
+    pub fn find_each<F: FnMut(AcMatch) -> bool>(&self, haystack: &[u8], mut f: F) {
+        let mut s = 0u32;
+        for (i, &b) in haystack.iter().enumerate() {
+            s = self.goto_[s as usize * 256 + b as usize];
+            for &pi in &self.output[s as usize] {
+                if !f(AcMatch { pattern: pi as usize, end: i + 1 }) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Collects all matches.
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<AcMatch> {
+        let mut out = Vec::new();
+        self.find_each(haystack, |m| {
+            out.push(m);
+            true
+        });
+        out
+    }
+
+    /// True if any pattern occurs in `haystack`.
+    pub fn any_match(&self, haystack: &[u8]) -> bool {
+        let mut hit = false;
+        self.find_each(haystack, |_| {
+            hit = true;
+            false
+        });
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pats(ps: &[&[u8]]) -> AhoCorasick {
+        AhoCorasick::new(ps.iter().map(|p| p.to_vec()).collect())
+    }
+
+    #[test]
+    fn classic_he_she_his_hers() {
+        let ac = pats(&[b"he", b"she", b"his", b"hers"]);
+        let ms = ac.find_all(b"ushers");
+        // "she" ends at 4, "he" ends at 4, "hers" ends at 6.
+        let got: Vec<(usize, usize)> = ms.iter().map(|m| (m.pattern, m.end)).collect();
+        assert!(got.contains(&(1, 4)), "she: {got:?}");
+        assert!(got.contains(&(0, 4)), "he: {got:?}");
+        assert!(got.contains(&(3, 6)), "hers: {got:?}");
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn no_match() {
+        let ac = pats(&[b"virus", b"trojan"]);
+        assert!(ac.find_all(b"perfectly clean data").is_empty());
+        assert!(!ac.any_match(b"nothing here"));
+    }
+
+    #[test]
+    fn match_at_start_and_end() {
+        let ac = pats(&[b"abc"]);
+        assert_eq!(ac.find_all(b"abc").len(), 1);
+        assert_eq!(ac.find_all(b"abcxxabc").len(), 2);
+    }
+
+    #[test]
+    fn overlapping_occurrences() {
+        let ac = pats(&[b"aa"]);
+        assert_eq!(ac.find_all(b"aaaa").len(), 3);
+    }
+
+    #[test]
+    fn duplicate_patterns_both_reported() {
+        let ac = pats(&[b"xy", b"xy"]);
+        let ms = ac.find_all(b"xy");
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn binary_patterns() {
+        let ac = pats(&[&[0x00, 0xff, 0x00], &[0xde, 0xad]]);
+        let hay = [0x01, 0x00, 0xff, 0x00, 0xde, 0xad, 0x00];
+        let ms = ac.find_all(&hay);
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn early_stop() {
+        let ac = pats(&[b"a"]);
+        let mut count = 0;
+        ac.find_each(b"aaaaaa", |_| {
+            count += 1;
+            count < 3
+        });
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn prefix_patterns() {
+        let ac = pats(&[b"abcd", b"ab", b"abcdef"]);
+        let ms = ac.find_all(b"abcdef");
+        let got: Vec<(usize, usize)> = ms.iter().map(|m| (m.pattern, m.end)).collect();
+        assert!(got.contains(&(1, 2)));
+        assert!(got.contains(&(0, 4)));
+        assert!(got.contains(&(2, 6)));
+    }
+
+    /// Reference implementation for the property test.
+    fn naive_find_all(patterns: &[Vec<u8>], hay: &[u8]) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (pi, p) in patterns.iter().enumerate() {
+            if p.is_empty() {
+                continue;
+            }
+            for start in 0..hay.len().saturating_sub(p.len() - 1) {
+                if &hay[start..start + p.len()] == p.as_slice() {
+                    out.push((pi, start + p.len()));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive(
+            patterns in proptest::collection::vec(
+                proptest::collection::vec(0u8..4, 1..6), 1..8),
+            hay in proptest::collection::vec(0u8..4, 0..200)
+        ) {
+            let ac = AhoCorasick::new(patterns.clone());
+            let mut got: Vec<(usize, usize)> =
+                ac.find_all(&hay).iter().map(|m| (m.pattern, m.end)).collect();
+            got.sort();
+            prop_assert_eq!(got, naive_find_all(&patterns, &hay));
+        }
+    }
+}

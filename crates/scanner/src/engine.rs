@@ -1,0 +1,244 @@
+//! The scan engine: signature matching plus recursive archive traversal.
+
+use crate::db::CompiledDb;
+use crate::filetype::FileKind;
+use p2pmal_archive::zip::ZipArchive;
+
+/// Engine limits, all guarding against adversarial downloads.
+#[derive(Debug, Clone)]
+pub struct ScanConfig {
+    /// Maximum nesting of archives-inside-archives.
+    pub max_archive_depth: usize,
+    /// Per-entry decompressed-size ceiling.
+    pub max_entry_bytes: u64,
+    /// Maximum members examined per archive.
+    pub max_entries: usize,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        ScanConfig { max_archive_depth: 3, max_entry_bytes: 32 << 20, max_entries: 512 }
+    }
+}
+
+/// One signature hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Detection {
+    /// Signature name, e.g. `W32.Alcan.A`.
+    pub name: String,
+    /// Where in the (possibly nested) object the hit occurred, e.g.
+    /// `pack.zip!setup.exe`.
+    pub location: String,
+}
+
+/// Result of scanning one downloaded file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// All distinct signature hits, outermost-first.
+    pub detections: Vec<Detection>,
+    /// Diagnostics: archives that could not be opened, limits hit.
+    pub notes: Vec<String>,
+}
+
+impl Verdict {
+    /// Did any signature match?
+    pub fn infected(&self) -> bool {
+        !self.detections.is_empty()
+    }
+
+    /// The first (primary) detection name, if any. The study attributes
+    /// each malicious response to one malware; like the original AV logs we
+    /// take the first hit.
+    pub fn primary(&self) -> Option<&str> {
+        self.detections.first().map(|d| d.name.as_str())
+    }
+}
+
+/// A configured scanner around a compiled signature database.
+pub struct Scanner {
+    db: CompiledDb,
+    config: ScanConfig,
+}
+
+impl Scanner {
+    pub fn new(db: CompiledDb) -> Self {
+        Scanner { db, config: ScanConfig::default() }
+    }
+
+    pub fn with_config(db: CompiledDb, config: ScanConfig) -> Self {
+        Scanner { db, config }
+    }
+
+    /// Access to the underlying database (e.g. for listing names).
+    pub fn db(&self) -> &CompiledDb {
+        &self.db
+    }
+
+    /// Scans a downloaded file: signature-matches the raw bytes, and if the
+    /// content is a ZIP archive, recurses into its members.
+    pub fn scan(&self, name: &str, data: &[u8]) -> Verdict {
+        let mut verdict = Verdict { detections: Vec::new(), notes: Vec::new() };
+        self.scan_inner(name, data, 0, &mut verdict);
+        verdict
+    }
+
+    fn scan_inner(&self, location: &str, data: &[u8], depth: usize, verdict: &mut Verdict) {
+        for hit in self.db.matches(data) {
+            let det = Detection { name: hit.to_string(), location: location.to_string() };
+            if !verdict.detections.iter().any(|d| d.name == det.name) {
+                verdict.detections.push(det);
+            }
+        }
+        if FileKind::from_magic(data) == FileKind::Zip {
+            if depth >= self.config.max_archive_depth {
+                verdict.notes.push(format!("{location}: archive depth limit reached"));
+                return;
+            }
+            match ZipArchive::parse_with_limit(data, self.config.max_entry_bytes) {
+                Ok(archive) => {
+                    for (i, entry) in archive.entries().iter().enumerate() {
+                        if i >= self.config.max_entries {
+                            verdict.notes.push(format!("{location}: entry limit reached"));
+                            break;
+                        }
+                        match archive.read(i) {
+                            Ok(bytes) => {
+                                let inner = format!("{location}!{}", entry.name);
+                                self.scan_inner(&inner, &bytes, depth + 1, verdict);
+                            }
+                            Err(e) => {
+                                verdict
+                                    .notes
+                                    .push(format!("{location}!{}: unreadable ({e})", entry.name));
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    verdict.notes.push(format!("{location}: corrupt archive ({e})"));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::SignatureDb;
+    use p2pmal_archive::zip::{Method, ZipWriter};
+
+    fn scanner(entries: &[(&str, &[u8])]) -> Scanner {
+        let mut db = SignatureDb::new();
+        for (n, p) in entries {
+            db.add_literal(n, p).unwrap();
+        }
+        Scanner::new(db.build().unwrap())
+    }
+
+    #[test]
+    fn clean_file() {
+        let s = scanner(&[("Worm.A", b"EVILBYTES")]);
+        let v = s.scan("file.exe", b"MZ nothing suspicious at all");
+        assert!(!v.infected());
+        assert_eq!(v.primary(), None);
+    }
+
+    #[test]
+    fn infected_exe() {
+        let s = scanner(&[("Worm.A", b"EVILBYTES")]);
+        let v = s.scan("file.exe", b"MZ junk EVILBYTES junk");
+        assert!(v.infected());
+        assert_eq!(v.primary(), Some("Worm.A"));
+        assert_eq!(v.detections[0].location, "file.exe");
+    }
+
+    /// A compressible executable body carrying the signature: after DEFLATE
+    /// the signature bytes are no longer visible in the raw archive, so a
+    /// detection proves the engine actually decompressed the member.
+    fn infected_exe_body() -> Vec<u8> {
+        let mut body = b"MZ ".to_vec();
+        body.extend(std::iter::repeat(b'x').take(400));
+        body.extend_from_slice(b"EVILBYTES");
+        body.extend(std::iter::repeat(b'y').take(400));
+        body
+    }
+
+    #[test]
+    fn infected_inside_zip() {
+        let s = scanner(&[("Worm.A", b"EVILBYTES")]);
+        let mut w = ZipWriter::new();
+        w.add("setup.exe", &infected_exe_body(), Method::Deflate);
+        w.add("readme.txt", b"totally normal", Method::Stored);
+        let archive = w.finish();
+        // Signature must not be visible raw, or the test proves nothing.
+        assert!(!s.db().is_infected(&archive[..archive.len().min(30)]));
+        let v = s.scan("bundle.zip", &archive);
+        assert!(v.infected());
+        assert_eq!(v.detections[0].location, "bundle.zip!setup.exe");
+    }
+
+    #[test]
+    fn nested_zip_recursion() {
+        let s = scanner(&[("Worm.A", b"EVILBYTES")]);
+        let mut inner = ZipWriter::new();
+        inner.add("x.exe", &infected_exe_body(), Method::Deflate);
+        let mut outer = ZipWriter::new();
+        outer.add("inner.zip", &inner.finish(), Method::Stored);
+        let v = s.scan("outer.zip", &outer.finish());
+        assert!(v.infected());
+        assert_eq!(v.detections[0].location, "outer.zip!inner.zip!x.exe");
+    }
+
+    #[test]
+    fn depth_limit_stops_recursion() {
+        let s = Scanner::with_config(
+            {
+                let mut db = SignatureDb::new();
+                db.add_literal("Worm.A", b"EVILBYTES").unwrap();
+                db.build().unwrap()
+            },
+            ScanConfig { max_archive_depth: 1, ..Default::default() },
+        );
+        let mut inner = ZipWriter::new();
+        inner.add("x.exe", &infected_exe_body(), Method::Deflate);
+        let mut outer = ZipWriter::new();
+        outer.add("inner.zip", &inner.finish(), Method::Stored);
+        let v = s.scan("outer.zip", &outer.finish());
+        // Depth 1 allows opening outer but not inner.
+        assert!(!v.infected());
+        assert!(v.notes.iter().any(|n| n.contains("depth limit")));
+    }
+
+    #[test]
+    fn corrupt_zip_noted_not_fatal() {
+        let s = scanner(&[("Worm.A", b"EVILBYTES")]);
+        let mut fake = b"PK\x03\x04".to_vec();
+        fake.extend_from_slice(b"garbage that is not a zip EVILBYTES");
+        let v = s.scan("broken.zip", &fake);
+        // Raw-byte signature still fires even though the archive is corrupt.
+        assert!(v.infected());
+        assert!(v.notes.iter().any(|n| n.contains("corrupt archive")));
+    }
+
+    #[test]
+    fn multiple_distinct_malware_reported_once_each() {
+        let s = scanner(&[("Worm.A", b"AAAAAA"), ("Trojan.B", b"BBBBBB")]);
+        let v = s.scan("f.exe", b"AAAAAA BBBBBB AAAAAA");
+        let names: Vec<&str> = v.detections.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["Worm.A", "Trojan.B"]);
+    }
+
+    #[test]
+    fn same_malware_in_zip_and_raw_deduped() {
+        // Stored members leave the signature visible in the raw archive
+        // too; the verdict still reports the name exactly once.
+        let s = scanner(&[("Worm.A", b"EVILBYTES")]);
+        let mut w = ZipWriter::new();
+        w.add("a.exe", b"EVILBYTES", Method::Stored);
+        w.add("b.exe", b"EVILBYTES", Method::Stored);
+        let v = s.scan("two.zip", &w.finish());
+        assert_eq!(v.detections.len(), 1, "one name, one report");
+        assert_eq!(v.detections[0].location, "two.zip");
+    }
+}

@@ -1,0 +1,165 @@
+//! File-type identification, by magic bytes and by filename extension.
+//!
+//! The study keys on both: query *responses* only carry filenames, so the
+//! crawler selects downloads by extension ("archives and executables"); the
+//! scanner then types the downloaded *bytes* by magic to decide whether to
+//! recurse into an archive.
+
+/// Concrete file kinds the study distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileKind {
+    /// MS-DOS / Windows PE executable (`MZ`).
+    Exe,
+    /// ZIP archive (`PK\x03\x04` or empty-archive `PK\x05\x06`).
+    Zip,
+    /// RAR archive (`Rar!\x1a\x07`).
+    Rar,
+    /// MP3 audio (ID3 tag or MPEG frame sync).
+    Mp3,
+    /// AVI video (RIFF....AVI ).
+    Avi,
+    /// JPEG image.
+    Jpeg,
+    /// Anything else.
+    Unknown,
+}
+
+/// The coarse classes the paper's tables use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileClass {
+    Executable,
+    Archive,
+    Media,
+    Other,
+}
+
+impl FileKind {
+    /// Types `data` by magic bytes.
+    pub fn from_magic(data: &[u8]) -> FileKind {
+        if data.len() >= 2 && &data[..2] == b"MZ" {
+            return FileKind::Exe;
+        }
+        if data.len() >= 4 && (&data[..4] == b"PK\x03\x04" || &data[..4] == b"PK\x05\x06") {
+            return FileKind::Zip;
+        }
+        if data.len() >= 6 && &data[..6] == b"Rar!\x1a\x07" {
+            return FileKind::Rar;
+        }
+        if data.len() >= 3 && &data[..3] == b"ID3" {
+            return FileKind::Mp3;
+        }
+        if data.len() >= 2 && data[0] == 0xFF && (data[1] & 0xE0) == 0xE0 {
+            return FileKind::Mp3;
+        }
+        if data.len() >= 12 && &data[..4] == b"RIFF" && &data[8..12] == b"AVI " {
+            return FileKind::Avi;
+        }
+        if data.len() >= 3 && data[..3] == [0xFF, 0xD8, 0xFF] {
+            return FileKind::Jpeg;
+        }
+        FileKind::Unknown
+    }
+
+    /// Types a filename by its extension (case-insensitive).
+    pub fn from_name(name: &str) -> FileKind {
+        let ext = name.rsplit('.').next().unwrap_or("").to_ascii_lowercase();
+        match ext.as_str() {
+            "exe" | "scr" | "com" | "bat" | "pif" | "cpl" | "msi" => FileKind::Exe,
+            "zip" => FileKind::Zip,
+            "rar" => FileKind::Rar,
+            "mp3" => FileKind::Mp3,
+            "avi" | "mpg" | "mpeg" | "wmv" | "mov" => FileKind::Avi,
+            "jpg" | "jpeg" | "gif" | "png" | "bmp" => FileKind::Jpeg,
+            _ => FileKind::Unknown,
+        }
+    }
+
+    /// Coarse class used in the paper's breakdowns.
+    pub fn class(self) -> FileClass {
+        match self {
+            FileKind::Exe => FileClass::Executable,
+            FileKind::Zip | FileKind::Rar => FileClass::Archive,
+            FileKind::Mp3 | FileKind::Avi | FileKind::Jpeg => FileClass::Media,
+            FileKind::Unknown => FileClass::Other,
+        }
+    }
+
+    /// Would the study download-and-scan a response with this kind?
+    /// ("downloadable responses containing archives and executables")
+    pub fn is_scannable(self) -> bool {
+        matches!(self.class(), FileClass::Executable | FileClass::Archive)
+    }
+}
+
+/// Convenience: is this filename one the study's crawler would download?
+pub fn scannable_name(name: &str) -> bool {
+    FileKind::from_name(name).is_scannable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magic_exe() {
+        assert_eq!(FileKind::from_magic(b"MZ\x90\x00rest"), FileKind::Exe);
+    }
+
+    #[test]
+    fn magic_zip() {
+        assert_eq!(FileKind::from_magic(b"PK\x03\x04...."), FileKind::Zip);
+        assert_eq!(FileKind::from_magic(b"PK\x05\x06...."), FileKind::Zip);
+    }
+
+    #[test]
+    fn magic_rar() {
+        assert_eq!(FileKind::from_magic(b"Rar!\x1a\x07\x00"), FileKind::Rar);
+    }
+
+    #[test]
+    fn magic_media() {
+        assert_eq!(FileKind::from_magic(b"ID3\x04tagdata"), FileKind::Mp3);
+        assert_eq!(FileKind::from_magic(&[0xFF, 0xFB, 0x90, 0x44]), FileKind::Mp3);
+        assert_eq!(FileKind::from_magic(b"RIFF\x00\x00\x00\x00AVI listdata"), FileKind::Avi);
+        assert_eq!(FileKind::from_magic(&[0xFF, 0xD8, 0xFF, 0xE0]), FileKind::Jpeg);
+    }
+
+    #[test]
+    fn magic_unknown_and_short() {
+        assert_eq!(FileKind::from_magic(b""), FileKind::Unknown);
+        assert_eq!(FileKind::from_magic(b"M"), FileKind::Unknown);
+        assert_eq!(FileKind::from_magic(b"plain text"), FileKind::Unknown);
+    }
+
+    #[test]
+    fn name_classification() {
+        assert_eq!(FileKind::from_name("setup.exe"), FileKind::Exe);
+        assert_eq!(FileKind::from_name("SETUP.EXE"), FileKind::Exe);
+        assert_eq!(FileKind::from_name("movie.avi"), FileKind::Avi);
+        assert_eq!(FileKind::from_name("song.mp3"), FileKind::Mp3);
+        assert_eq!(FileKind::from_name("pack.zip"), FileKind::Zip);
+        assert_eq!(FileKind::from_name("pack.rar"), FileKind::Rar);
+        assert_eq!(FileKind::from_name("screensaver.scr"), FileKind::Exe);
+        assert_eq!(FileKind::from_name("noext"), FileKind::Unknown);
+        assert_eq!(FileKind::from_name("weird.xyz"), FileKind::Unknown);
+    }
+
+    #[test]
+    fn scannable_selection_matches_study() {
+        assert!(scannable_name("installer.exe"));
+        assert!(scannable_name("album.zip"));
+        assert!(scannable_name("archive.rar"));
+        assert!(!scannable_name("song.mp3"));
+        assert!(!scannable_name("movie.avi"));
+        assert!(!scannable_name("readme.txt"));
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(FileKind::Exe.class(), FileClass::Executable);
+        assert_eq!(FileKind::Zip.class(), FileClass::Archive);
+        assert_eq!(FileKind::Rar.class(), FileClass::Archive);
+        assert_eq!(FileKind::Mp3.class(), FileClass::Media);
+        assert_eq!(FileKind::Unknown.class(), FileClass::Other);
+    }
+}

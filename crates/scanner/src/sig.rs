@@ -1,0 +1,305 @@
+//! Malware signatures: hex byte patterns with wildcards.
+//!
+//! The format follows the spirit of ClamAV body signatures:
+//!
+//! * pairs of hex digits are literal bytes (`deadbeef`),
+//! * `??` matches any single byte,
+//! * `*` matches any gap (zero or more bytes), splitting the signature into
+//!   parts that must occur in order.
+//!
+//! Every `*`-separated part must contain at least [`MIN_ANCHOR`] consecutive
+//! literal bytes; the longest such run is the part's *anchor*, which the
+//! database indexes in the Aho–Corasick prefilter so scanning stays linear.
+
+/// Minimum length of a literal run required in every signature part.
+pub const MIN_ANCHOR: usize = 4;
+
+/// One element of a fixed-length pattern part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    Byte(u8),
+    /// `??` — any single byte.
+    Any,
+}
+
+/// A `*`-separated part: fixed length, may contain `??` holes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Part {
+    pub tokens: Vec<Token>,
+    /// Byte offset of the anchor run within the part.
+    pub anchor_offset: usize,
+    /// The literal anchor bytes (longest literal run).
+    pub anchor: Vec<u8>,
+}
+
+impl Part {
+    /// Does this part match `data` starting exactly at `pos`?
+    pub fn matches_at(&self, data: &[u8], pos: usize) -> bool {
+        if pos + self.tokens.len() > data.len() {
+            return false;
+        }
+        self.tokens.iter().enumerate().all(|(i, t)| match t {
+            Token::Byte(b) => data[pos + i] == *b,
+            Token::Any => true,
+        })
+    }
+
+    /// Finds the first match of this part at or after `from`, returning the
+    /// start offset. Linear scan; the engine normally uses the anchor
+    /// prefilter instead and only falls back to this for trailing parts.
+    pub fn find_from(&self, data: &[u8], from: usize) -> Option<usize> {
+        if self.tokens.len() > data.len() {
+            return None;
+        }
+        (from..=data.len() - self.tokens.len()).find(|&pos| self.matches_at(data, pos))
+    }
+
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+/// A compiled signature: named pattern of one or more parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    pub name: String,
+    pub parts: Vec<Part>,
+}
+
+/// Signature parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Character outside `[0-9a-fA-F?*]`.
+    BadCharacter(char),
+    /// Hex digits must come in pairs; `?` must come as `??`.
+    UnpairedDigit,
+    /// Empty pattern or empty `*`-separated part.
+    EmptyPart,
+    /// A part lacks a literal run of [`MIN_ANCHOR`] bytes to anchor on.
+    NoAnchor,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadCharacter(c) => write!(f, "bad signature character {c:?}"),
+            ParseError::UnpairedDigit => write!(f, "unpaired hex digit"),
+            ParseError::EmptyPart => write!(f, "empty signature part"),
+            ParseError::NoAnchor => {
+                write!(f, "signature part needs {MIN_ANCHOR}+ literal bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the hex/wildcard body of a signature into parts.
+pub fn parse_pattern(s: &str) -> Result<Vec<Part>, ParseError> {
+    let mut parts = Vec::new();
+    for chunk in s.split('*') {
+        let chunk = chunk.trim();
+        if chunk.is_empty() {
+            return Err(ParseError::EmptyPart);
+        }
+        let mut tokens = Vec::new();
+        let mut chars = chunk.chars().filter(|c| !c.is_whitespace()).peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                '?' => match chars.next() {
+                    Some('?') => tokens.push(Token::Any),
+                    _ => return Err(ParseError::UnpairedDigit),
+                },
+                c if c.is_ascii_hexdigit() => {
+                    let d1 = c.to_digit(16).expect("hexdigit");
+                    let c2 = chars.next().ok_or(ParseError::UnpairedDigit)?;
+                    if !c2.is_ascii_hexdigit() {
+                        return Err(if c2 == '?' {
+                            ParseError::UnpairedDigit
+                        } else {
+                            ParseError::BadCharacter(c2)
+                        });
+                    }
+                    let d2 = c2.to_digit(16).expect("hexdigit");
+                    tokens.push(Token::Byte(((d1 << 4) | d2) as u8));
+                }
+                c => return Err(ParseError::BadCharacter(c)),
+            }
+        }
+        if tokens.is_empty() {
+            return Err(ParseError::EmptyPart);
+        }
+        let (anchor_offset, anchor) = longest_literal_run(&tokens);
+        if anchor.len() < MIN_ANCHOR {
+            return Err(ParseError::NoAnchor);
+        }
+        parts.push(Part { tokens, anchor_offset, anchor });
+    }
+    if parts.is_empty() {
+        return Err(ParseError::EmptyPart);
+    }
+    Ok(parts)
+}
+
+fn longest_literal_run(tokens: &[Token]) -> (usize, Vec<u8>) {
+    let mut best: (usize, Vec<u8>) = (0, Vec::new());
+    let mut cur_start = 0usize;
+    let mut cur: Vec<u8> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        match t {
+            Token::Byte(b) => {
+                if cur.is_empty() {
+                    cur_start = i;
+                }
+                cur.push(*b);
+            }
+            Token::Any => {
+                if cur.len() > best.1.len() {
+                    best = (cur_start, cur.clone());
+                }
+                cur.clear();
+            }
+        }
+    }
+    if cur.len() > best.1.len() {
+        best = (cur_start, cur);
+    }
+    best
+}
+
+impl Signature {
+    /// Parses `name` + hex body into a signature.
+    pub fn parse(name: &str, pattern: &str) -> Result<Self, ParseError> {
+        Ok(Signature { name: name.to_string(), parts: parse_pattern(pattern)? })
+    }
+
+    /// Full match check given the *start* position of part 0. Later parts
+    /// (after `*` gaps) are located with a forward scan.
+    pub fn matches_with_first_at(&self, data: &[u8], first_start: usize) -> bool {
+        if !self.parts[0].matches_at(data, first_start) {
+            return false;
+        }
+        let mut cursor = first_start + self.parts[0].len();
+        for part in &self.parts[1..] {
+            match part.find_from(data, cursor) {
+                Some(pos) => cursor = pos + part.len(),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Slow-path scan used by tests and as a fallback: does the signature
+    /// occur anywhere in `data`?
+    pub fn matches(&self, data: &[u8]) -> bool {
+        let first = &self.parts[0];
+        let mut from = 0;
+        while let Some(pos) = first.find_from(data, from) {
+            if self.matches_with_first_at(data, pos) {
+                return true;
+            }
+            from = pos + 1;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_plain_hex() {
+        let sig = Signature::parse("X", "deadbeef").unwrap();
+        assert_eq!(sig.parts.len(), 1);
+        assert_eq!(sig.parts[0].tokens.len(), 4);
+        assert_eq!(sig.parts[0].anchor, vec![0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(sig.parts[0].anchor_offset, 0);
+    }
+
+    #[test]
+    fn parse_with_wildcard_byte() {
+        let sig = Signature::parse("X", "deadbeef??c0dec0de").unwrap();
+        let p = &sig.parts[0];
+        assert_eq!(p.tokens.len(), 9);
+        assert_eq!(p.tokens[4], Token::Any);
+        // Longest run is the 4 leading bytes (first wins ties of length 4).
+        assert_eq!(p.anchor, vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn parse_with_gap() {
+        let sig = Signature::parse("X", "11223344*aabbccdd").unwrap();
+        assert_eq!(sig.parts.len(), 2);
+    }
+
+    #[test]
+    fn parse_uppercase_and_whitespace() {
+        let sig = Signature::parse("X", "DE AD BE EF").unwrap();
+        assert_eq!(sig.parts[0].anchor, vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(Signature::parse("X", "").unwrap_err(), ParseError::EmptyPart);
+        assert_eq!(Signature::parse("X", "abc").unwrap_err(), ParseError::UnpairedDigit);
+        assert_eq!(Signature::parse("X", "zz").unwrap_err(), ParseError::BadCharacter('z'));
+        assert_eq!(Signature::parse("X", "a?").unwrap_err(), ParseError::UnpairedDigit);
+        assert_eq!(Signature::parse("X", "????aabb").unwrap_err(), ParseError::NoAnchor);
+        assert_eq!(Signature::parse("X", "11223344*").unwrap_err(), ParseError::EmptyPart);
+    }
+
+    #[test]
+    fn plain_match() {
+        let sig = Signature::parse("X", "6d616c77617265").unwrap(); // "malware"
+        assert!(sig.matches(b"this contains malware somewhere"));
+        assert!(!sig.matches(b"this is clean"));
+    }
+
+    #[test]
+    fn wildcard_byte_match() {
+        let sig = Signature::parse("X", "6d616c77??7265").unwrap(); // malw?re
+        assert!(sig.matches(b"xx malware yy"));
+        assert!(sig.matches(b"xx malwXre yy"));
+        assert!(!sig.matches(b"xx malw"));
+    }
+
+    #[test]
+    fn gap_match_in_order_only() {
+        let sig = Signature::parse("X", "6669727374*7365636f6e64").unwrap(); // first*second
+        assert!(sig.matches(b"first then second"));
+        assert!(sig.matches(b"firstsecond"));
+        assert!(!sig.matches(b"second then first"));
+    }
+
+    #[test]
+    fn gap_with_repeated_first_part() {
+        // The first part occurs twice; only the second occurrence is
+        // followed by part two. matches() must backtrack over candidates.
+        let sig = Signature::parse("X", "61626364*31323334").unwrap(); // abcd*1234
+        assert!(sig.matches(b"abcd nope abcd yes 1234"));
+        assert!(sig.matches(b"zzz abcd1234"));
+        assert!(!sig.matches(b"abcd 12 34"));
+    }
+
+    #[test]
+    fn match_at_boundaries() {
+        let sig = Signature::parse("X", "61616161").unwrap();
+        assert!(sig.matches(b"aaaa"));
+        assert!(sig.matches(b"aaaab"));
+        assert!(sig.matches(b"baaaa"));
+        assert!(!sig.matches(b"aaa"));
+    }
+
+    #[test]
+    fn anchor_picks_longest_run() {
+        let sig = Signature::parse("X", "aabb??ccddeeff00??1122").unwrap();
+        // Runs: [aa bb](2), [cc dd ee ff 00](5), [11 22](2).
+        assert_eq!(sig.parts[0].anchor, vec![0xcc, 0xdd, 0xee, 0xff, 0x00]);
+        assert_eq!(sig.parts[0].anchor_offset, 3);
+    }
+}

@@ -1,0 +1,186 @@
+//! Live TCP demonstration: the same sans-IO Gnutella servents that power
+//! the month-scale simulation, attached to real sockets on localhost.
+//!
+//! ```sh
+//! cargo run --release --example live_gnutella
+//! ```
+//!
+//! Topology: one ultrapeer, one sharing leaf (carrying a query-echo worm
+//! infection), and a searching leaf, all on 127.0.0.1. The searcher issues
+//! a query over real TCP, receives a wire-format QUERYHIT fabricated by the
+//! worm, downloads the payload over HTTP on the same socket pair, and
+//! scans it — the full measurement pipeline, no simulator involved.
+
+use p2pmal::corpus::catalog::{Catalog, CatalogConfig};
+use p2pmal::corpus::{ContentStore, FamilyId, HostLibrary, Roster};
+use p2pmal::gnutella::servent::{
+    DownloadMethod, DownloadRequest, Servent, ServentConfig, ServentEvent, SharedWorld,
+};
+use p2pmal::netsim::live::LiveNode;
+use p2pmal::netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration};
+use p2pmal::scanner::Scanner;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+
+/// Wraps the stock servent: search after a settle delay, then download the
+/// first hit and report over a channel.
+struct Searcher {
+    servent: Servent,
+    query: String,
+    tx: Sender<(String, u64, Vec<u8>)>,
+    searched: bool,
+    downloading: bool,
+    hit_name: String,
+}
+
+const T_SEARCH: u64 = 1 << 50;
+
+impl App for Searcher {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.servent.on_start(ctx);
+        ctx.set_timer(SimDuration::from_secs(2), T_SEARCH);
+    }
+    fn on_connected(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, dir: Direction, peer: HostAddr) {
+        self.servent.on_connected(ctx, conn, dir, peer);
+    }
+    fn on_connect_failed(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        self.servent.on_connect_failed(ctx, conn);
+    }
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+        self.servent.on_data(ctx, conn, data);
+        self.pump(ctx);
+    }
+    fn on_closed(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        self.servent.on_closed(ctx, conn);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == T_SEARCH {
+            if !self.searched {
+                self.searched = true;
+                eprintln!("[searcher] querying: {:?}", self.query);
+                let q = self.query.clone();
+                self.servent.search(ctx, &q);
+            }
+        } else {
+            self.servent.on_timer(ctx, token);
+        }
+        self.pump(ctx);
+    }
+}
+
+impl Searcher {
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        for ev in self.servent.drain_events() {
+            match ev {
+                ServentEvent::QueryHit { hit, .. } if !self.downloading => {
+                    let res = &hit.results[0];
+                    eprintln!(
+                        "[searcher] hit from {}:{} — {:?} ({} bytes)",
+                        hit.ip, hit.port, res.name, res.size
+                    );
+                    self.downloading = true;
+                    self.hit_name = res.name.clone();
+                    self.servent.begin_download(
+                        ctx,
+                        DownloadRequest {
+                            addr: HostAddr::new(hit.ip, hit.port),
+                            index: res.index,
+                            name: res.name.clone(),
+                            servent_guid: hit.servent_guid,
+                            method: DownloadMethod::Direct,
+                        },
+                    );
+                }
+                ServentEvent::DownloadDone(done) => {
+                    if let Ok(body) = done.result {
+                        let _ = self.tx.send((
+                            self.hit_name.clone(),
+                            body.len() as u64,
+                            body,
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let catalog =
+        Catalog::generate(&CatalogConfig { titles: 50, ..Default::default() }, &mut rng);
+    let world = SharedWorld::new(
+        Arc::new(catalog),
+        Arc::new(Roster::limewire_2006()),
+        Arc::new(ContentStore::new(1)),
+    );
+
+    // Servents advertise `config.listen_port` in query hits and pongs, so
+    // the live socket must be bound to that same port. Derive a base from
+    // the PID to dodge collisions with other local runs.
+    let base = 20_000 + (std::process::id() % 20_000) as u16;
+
+    // Ultrapeer on a real socket.
+    let mut up_cfg = ServentConfig::ultrapeer();
+    up_cfg.listen_port = base;
+    let up = LiveNode::spawn(
+        Box::new(Servent::new(up_cfg, world.clone(), HostLibrary::new())),
+        base,
+    )
+    .expect("bind ultrapeer");
+    eprintln!("[up] ultrapeer listening on {}", up.addr());
+
+    // Infected leaf (query-echo worm).
+    let mut lib = HostLibrary::new();
+    lib.infect(world.roster.get(FamilyId(0)), &world.catalog, &mut rng);
+    let mut leaf_cfg = ServentConfig::leaf().with_bootstrap(vec![up.addr()]);
+    leaf_cfg.listen_port = base + 1;
+    let leaf = LiveNode::spawn(
+        Box::new(Servent::new(leaf_cfg, world.clone(), lib)),
+        base + 1,
+    )
+    .expect("bind sharer");
+    eprintln!("[leaf] infected leaf on {}", leaf.addr());
+
+    // Searching leaf with a reporting channel.
+    let (tx, rx) = channel();
+    let mut cfg = ServentConfig::leaf().with_bootstrap(vec![up.addr()]);
+    cfg.listen_port = base + 2;
+    cfg.collect_events = true;
+    let searcher_port = base + 2;
+    let searcher = LiveNode::spawn(
+        Box::new(Searcher {
+            servent: Servent::new(cfg, world.clone(), HostLibrary::new()),
+            query: "totally arbitrary search".into(),
+            tx,
+            searched: false,
+            downloading: false,
+            hit_name: String::new(),
+        }),
+        searcher_port,
+    )
+    .expect("bind searcher");
+    eprintln!("[searcher] on {}", searcher.addr());
+
+    let (name, len, body) = rx
+        .recv_timeout(std::time::Duration::from_secs(30))
+        .expect("download completes over live TCP");
+    println!("downloaded {name:?}: {len} bytes over real TCP");
+
+    let scanner =
+        Scanner::new(world.roster.signature_db().unwrap().build().unwrap());
+    let verdict = scanner.scan(&name, &body);
+    match verdict.primary() {
+        Some(fam) => println!("scanner verdict: INFECTED — {fam}"),
+        None => println!("scanner verdict: clean"),
+    }
+    assert_eq!(verdict.primary(), Some(world.roster.get(FamilyId(0)).name.as_str()));
+    println!("live wire-level round trip complete.");
+
+    searcher.stop();
+    leaf.stop();
+    up.stop();
+}

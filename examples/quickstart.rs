@@ -1,0 +1,46 @@
+//! Quickstart: run a scaled-down version of the full study on both
+//! networks and print the report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This spins up two simulated P2P ecosystems (a Gnutella ultrapeer/leaf
+//! overlay and an OpenFT search/user topology), populates them with benign
+//! sharers and 2006-era malware behaviours, runs two simulated days of
+//! instrumented crawling on each — queries, response logging, deduplicated
+//! downloads, signature scanning — and prints every reconstructed table of
+//! the IMC 2006 paper. For the paper-scale 35-day run, use the
+//! `p2pmal-bench` experiment binaries.
+
+use p2pmal::core::Study;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    eprintln!("running the quick two-network study (seed {seed})...");
+    let report = Study::quick(seed).run_with_progress(|network, day| {
+        eprintln!("  {network}: finished simulated day {day}");
+    });
+    println!("{}", report.render_markdown());
+
+    let comparisons = report.comparisons();
+    if comparisons.all_hold() {
+        eprintln!("all paper-shape expectations hold at quick scale");
+    } else {
+        eprintln!(
+            "note: {} expectation(s) outside their bands at quick scale — \
+             the calibrated numbers are produced by the paper-scale runs \
+             (see EXPERIMENTS.md):",
+            comparisons.failures().len()
+        );
+        for f in comparisons.failures() {
+            eprintln!(
+                "  {}: paper {:.1} vs measured {:.1}",
+                f.id, f.paper, f.measured
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # p2pmal — a study of malware in peer-to-peer networks, reproduced
+//!
+//! Umbrella crate for the workspace reproducing Kalafut, Acharya and Gupta,
+//! *"A study of malware in peer-to-peer networks"* (IMC 2006). It re-exports
+//! every subsystem so examples and downstream users can depend on a single
+//! crate:
+//!
+//! * [`netsim`] — deterministic discrete-event network simulator.
+//! * [`hashes`] — SHA-1 / MD5 / Base32 (content addressing).
+//! * [`archive`] — CRC-32, DEFLATE, ZIP.
+//! * [`scanner`] — signature-based anti-virus engine.
+//! * [`corpus`] — synthetic benign + malware content ecosystem.
+//! * [`gnutella`] — Gnutella 0.6 servent (LimeWire's network).
+//! * [`openft`] — OpenFT node (giFT's network).
+//! * [`crawler`] — the paper's measurement instrumentation.
+//! * [`filter`] — size-based malware filtering and baselines.
+//! * [`analysis`] — statistics and table/figure generation.
+//! * [`core`] — calibrated end-to-end study scenarios.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use p2pmal_analysis as analysis;
+pub use p2pmal_archive as archive;
+pub use p2pmal_core as core;
+pub use p2pmal_corpus as corpus;
+pub use p2pmal_crawler as crawler;
+pub use p2pmal_filter as filter;
+pub use p2pmal_gnutella as gnutella;
+pub use p2pmal_hashes as hashes;
+pub use p2pmal_netsim as netsim;
+pub use p2pmal_openft as openft;
+pub use p2pmal_scanner as scanner;
