@@ -7,10 +7,10 @@
 //! the measured value.
 
 use crate::table::Table;
-use serde::Serialize;
+use p2pmal_json::Value;
 
 /// One paper-vs-measured check.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Expectation {
     /// Experiment id (e.g. "T1-limewire").
     pub id: String,
@@ -42,7 +42,7 @@ impl Expectation {
 }
 
 /// A set of expectations with rendering helpers.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Comparison {
     pub expectations: Vec<Expectation>,
 }
@@ -87,7 +87,21 @@ impl Comparison {
 
     /// Machine-readable form for EXPERIMENTS.md tooling.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("comparison serializes")
+        let expectations = self
+            .expectations
+            .iter()
+            .map(|e| {
+                Value::Obj(vec![
+                    ("id".into(), e.id.as_str().into()),
+                    ("metric".into(), e.metric.as_str().into()),
+                    ("paper".into(), e.paper.into()),
+                    ("tolerance".into(), e.tolerance.into()),
+                    ("measured".into(), e.measured.into()),
+                    ("holds".into(), e.holds().into()),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![("expectations".into(), Value::Arr(expectations))]).to_string_pretty()
     }
 }
 
@@ -119,7 +133,8 @@ mod tests {
     fn json_is_parseable() {
         let mut c = Comparison::new();
         c.push(Expectation::new("a", "m", 3.0, 2.0, 2.5));
-        let parsed: serde_json::Value = serde_json::from_str(&c.to_json()).unwrap();
+        let parsed = p2pmal_json::parse(&c.to_json()).unwrap();
         assert_eq!(parsed["expectations"][0]["id"], "a");
+        assert_eq!(parsed["expectations"][0]["holds"].as_bool(), Some(true));
     }
 }

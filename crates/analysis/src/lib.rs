@@ -16,10 +16,9 @@ pub mod table;
 
 pub use compare::{Comparison, Expectation};
 pub use report::{
-    daily_fraction, daily_table, echo_amplification, host_concentration, host_table,
-    size_census, size_table, source_breakdown, source_table, summarize, summary_table,
-    top_malware, top_malware_table, EchoAmplification, HostShare, SizeCensus, SourceBreakdown,
-    Summary,
+    daily_fraction, daily_table, echo_amplification, host_concentration, host_table, size_census,
+    size_table, source_breakdown, source_table, summarize, summary_table, top_malware,
+    top_malware_table, EchoAmplification, HostShare, SizeCensus, SourceBreakdown, Summary,
 };
 pub use stats::{ecdf, histogram, pct, ranked_shares, tally, RankedShare};
 pub use table::{fmt_count, fmt_pct, Table};

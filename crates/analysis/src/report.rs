@@ -32,8 +32,10 @@ pub fn summarize(network: &str, log: &CrawlLog, resolved: &[ResolvedResponse]) -
     let scanned = downloadable.iter().filter(|r| r.scanned).count() as u64;
     let malicious = downloadable.iter().filter(|r| r.malware.is_some()).count() as u64;
     let hosts: HashSet<&HostKey> = resolved.iter().map(|r| &r.record.host).collect();
-    let malware: HashSet<&str> =
-        resolved.iter().filter_map(|r| r.malware.as_deref()).collect();
+    let malware: HashSet<&str> = resolved
+        .iter()
+        .filter_map(|r| r.malware.as_deref())
+        .collect();
     Summary {
         network: network.to_string(),
         queries: log.queries_issued,
@@ -82,16 +84,20 @@ pub fn summary_table(summaries: &[Summary]) -> Table {
 /// T2/T3 — malware prevalence ranking: share of malicious responses per
 /// distinct malware.
 pub fn top_malware(resolved: &[ResolvedResponse]) -> Vec<RankedShare<String>> {
-    ranked_shares(tally(
-        resolved.iter().filter_map(|r| r.malware.clone()),
-    ))
+    ranked_shares(tally(resolved.iter().filter_map(|r| r.malware.clone())))
 }
 
 /// Renders a top-malware ranking.
 pub fn top_malware_table(title: &str, shares: &[RankedShare<String>], top: usize) -> Table {
     let mut t = Table::new(
         title,
-        &["rank", "malware", "malicious responses", "% of malicious", "cumulative %"],
+        &[
+            "rank",
+            "malware",
+            "malicious responses",
+            "% of malicious",
+            "cumulative %",
+        ],
     );
     for s in shares.iter().take(top) {
         t.row(vec![
@@ -123,10 +129,17 @@ pub fn source_breakdown(resolved: &[ResolvedResponse]) -> SourceBreakdown {
         counts.entry(class.label()).or_insert((class, 0)).1 += 1;
     }
     let mut rows: Vec<(IpClass, u64)> = counts.into_values().collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1));
-    let private: u64 =
-        rows.iter().filter(|(c, _)| *c != IpClass::Public).map(|(_, n)| n).sum();
-    SourceBreakdown { rows, total, private_pct: pct(private, total) }
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+    let private: u64 = rows
+        .iter()
+        .filter(|(c, _)| *c != IpClass::Public)
+        .map(|(_, n)| n)
+        .sum();
+    SourceBreakdown {
+        rows,
+        total,
+        private_pct: pct(private, total),
+    }
 }
 
 pub fn source_table(network: &str, b: &SourceBreakdown) -> Table {
@@ -135,9 +148,17 @@ pub fn source_table(network: &str, b: &SourceBreakdown) -> Table {
         &["address class", "malicious responses", "% of malicious"],
     );
     for (class, n) in &b.rows {
-        t.row(vec![class.label().to_string(), fmt_count(*n), fmt_pct(pct(*n, b.total))]);
+        t.row(vec![
+            class.label().to_string(),
+            fmt_count(*n),
+            fmt_pct(pct(*n, b.total)),
+        ]);
     }
-    t.row(vec!["all private ranges".into(), String::new(), fmt_pct(b.private_pct)]);
+    t.row(vec![
+        "all private ranges".into(),
+        String::new(),
+        fmt_pct(b.private_pct),
+    ]);
     t
 }
 
@@ -189,7 +210,13 @@ pub fn host_concentration(resolved: &[ResolvedResponse]) -> Vec<HostShare> {
 pub fn host_table(network: &str, hosts: &[HostShare], top: usize) -> Table {
     let mut t = Table::new(
         &format!("T5 — Host concentration of malicious responses ({network})"),
-        &["rank", "host", "malicious responses", "% of malicious", "families"],
+        &[
+            "rank",
+            "host",
+            "malicious responses",
+            "% of malicious",
+            "families",
+        ],
     );
     for h in hosts.iter().take(top) {
         t.row(vec![
@@ -229,7 +256,12 @@ pub fn daily_table(network: &str, rows: &[(u64, u64, u64, f64)]) -> Table {
         &["day", "scanned downloadable", "malicious", "fraction"],
     );
     for (day, d, m, f) in rows {
-        t.row(vec![day.to_string(), fmt_count(*d), fmt_count(*m), format!("{f:.3}")]);
+        t.row(vec![
+            day.to_string(),
+            fmt_count(*d),
+            fmt_count(*m),
+            format!("{f:.3}"),
+        ]);
     }
     t
 }
@@ -255,7 +287,10 @@ pub fn size_census(resolved: &[ResolvedResponse]) -> SizeCensus {
         }
         match &r.malware {
             Some(fam) => {
-                malware.entry(fam.clone()).or_default().insert(r.record.size);
+                malware
+                    .entry(fam.clone())
+                    .or_default()
+                    .insert(r.record.size);
             }
             None if r.scanned => {
                 benign
@@ -291,7 +326,11 @@ pub fn size_table(network: &str, census: &SizeCensus) -> Table {
         t.row(vec![
             fam.clone(),
             sizes.len().to_string(),
-            sizes.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(" "),
+            sizes
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
         ]);
     }
     t
@@ -314,7 +353,10 @@ pub fn echo_amplification(resolved: &[ResolvedResponse]) -> EchoAmplification {
     let mut queries: HashMap<&HostKey, HashSet<&str>> = HashMap::new();
     let mut dirty: HashSet<&HostKey> = HashSet::new();
     for r in resolved {
-        queries.entry(&r.record.host).or_default().insert(r.record.query.as_str());
+        queries
+            .entry(&r.record.host)
+            .or_default()
+            .insert(r.record.query.as_str());
         if r.malware.is_some() {
             dirty.insert(&r.record.host);
         }
@@ -344,6 +386,7 @@ mod tests {
     use p2pmal_netsim::SimTime;
     use std::net::Ipv4Addr;
 
+    #[allow(clippy::too_many_arguments)]
     fn resp(
         day: u64,
         query: &str,
@@ -462,7 +505,9 @@ mod tests {
         let s = summarize("X", &log, &resolved);
         assert!(summary_table(&[s]).to_markdown().contains("T1"));
         let tm = top_malware(&resolved);
-        assert!(top_malware_table("T2", &tm, 10).to_markdown().contains("W32.A"));
+        assert!(top_malware_table("T2", &tm, 10)
+            .to_markdown()
+            .contains("W32.A"));
         let sb = source_breakdown(&resolved);
         assert!(source_table("X", &sb).to_markdown().contains("10.0.0.0/8"));
         let hc = host_concentration(&resolved);

@@ -24,7 +24,11 @@ struct BitWriter {
 
 impl BitWriter {
     fn new() -> Self {
-        BitWriter { out: Vec::new(), bit_buf: 0, bit_count: 0 }
+        BitWriter {
+            out: Vec::new(),
+            bit_buf: 0,
+            bit_count: 0,
+        }
     }
 
     /// Writes `n` bits of `v`, LSB first (extra-bit fields, block headers).
@@ -80,7 +84,11 @@ fn length_code(len: usize) -> (u16, u32, u32) {
     while BASE[i] as usize > len {
         i -= 1;
     }
-    (257 + i as u16, EXTRA[i] as u32, (len - BASE[i] as usize) as u32)
+    (
+        257 + i as u16,
+        EXTRA[i] as u32,
+        (len - BASE[i] as usize) as u32,
+    )
 }
 
 /// Maps a match distance (1..=32768) to `(symbol, extra_bits, extra_value)`.
@@ -247,7 +255,7 @@ mod tests {
             if rng.gen_bool(0.5) {
                 let b: u8 = rng.gen();
                 let n = rng.gen_range(1..300);
-                data.extend(std::iter::repeat(b).take(n));
+                data.extend(std::iter::repeat_n(b, n));
             } else {
                 let n = rng.gen_range(1..50);
                 data.extend((0..n).map(|_| rng.gen::<u8>()));
@@ -282,7 +290,7 @@ mod tests {
         ) {
             let mut data = Vec::new();
             for (b, n) in runs {
-                data.extend(std::iter::repeat(b).take(n));
+                data.extend(std::iter::repeat_n(b, n));
             }
             let comp = deflate(&data);
             prop_assert_eq!(inflate(&comp, data.len() + 64).unwrap(), data);

@@ -59,7 +59,12 @@ struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     fn new(data: &'a [u8]) -> Self {
-        BitReader { data, pos: 0, bit_buf: 0, bit_count: 0 }
+        BitReader {
+            data,
+            pos: 0,
+            bit_buf: 0,
+            bit_count: 0,
+        }
     }
 
     fn bits(&mut self, n: u32) -> Result<u32, InflateError> {
@@ -117,13 +122,16 @@ impl Huffman {
         }
         if count[0] as usize == lengths.len() {
             // No codes at all: callers treat this as an always-failing table.
-            return Ok(Huffman { count, symbol: Vec::new() });
+            return Ok(Huffman {
+                count,
+                symbol: Vec::new(),
+            });
         }
         // Check for an over-subscribed or incomplete set of codes.
         let mut left: i32 = 1;
-        for l in 1..=MAX_BITS {
+        for &c in &count[1..=MAX_BITS] {
             left <<= 1;
-            left -= count[l] as i32;
+            left -= c as i32;
             if left < 0 {
                 return Err(InflateError::InvalidHuffmanTable);
             }
@@ -188,7 +196,9 @@ const DIST_EXTRA: [u8; 30] = [
 ];
 
 /// Code-length code order, RFC 1951 section 3.2.7.
-const CLEN_ORDER: [usize; 19] = [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+const CLEN_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
 
 fn fixed_tables() -> (Huffman, Huffman) {
     let mut lit_lengths = [0u8; 288];
@@ -374,7 +384,10 @@ mod tests {
     #[test]
     fn reserved_block_type_rejected() {
         // BFINAL=1, BTYPE=11.
-        assert_eq!(inflate(&[0b0000_0111], 1024), Err(InflateError::InvalidBlockType));
+        assert_eq!(
+            inflate(&[0b0000_0111], 1024),
+            Err(InflateError::InvalidBlockType)
+        );
     }
 
     #[test]

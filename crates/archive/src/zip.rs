@@ -164,7 +164,8 @@ impl<'a> ZipArchive<'a> {
                 return Err(ZipError::BadSignature);
             }
             let method_id = le16(data, pos + 10)?;
-            let method = Method::from_id(method_id).ok_or(ZipError::UnsupportedMethod(method_id))?;
+            let method =
+                Method::from_id(method_id).ok_or(ZipError::UnsupportedMethod(method_id))?;
             let crc = le32(data, pos + 16)?;
             let csize = le32(data, pos + 20)?;
             let usize_ = le32(data, pos + 24)?;
@@ -172,8 +173,12 @@ impl<'a> ZipArchive<'a> {
             let extra_len = le16(data, pos + 30)? as usize;
             let comment_len = le16(data, pos + 32)? as usize;
             let lho = le32(data, pos + 42)?;
-            let name_bytes = data.get(pos + 46..pos + 46 + name_len).ok_or(ZipError::Truncated)?;
-            let name = std::str::from_utf8(name_bytes).map_err(|_| ZipError::BadName)?.to_string();
+            let name_bytes = data
+                .get(pos + 46..pos + 46 + name_len)
+                .ok_or(ZipError::Truncated)?;
+            let name = std::str::from_utf8(name_bytes)
+                .map_err(|_| ZipError::BadName)?
+                .to_string();
             entries.push(ZipEntry {
                 name,
                 method,
@@ -184,7 +189,11 @@ impl<'a> ZipArchive<'a> {
             });
             pos += 46 + name_len + extra_len + comment_len;
         }
-        Ok(ZipArchive { data, entries, max_entry_size })
+        Ok(ZipArchive {
+            data,
+            entries,
+            max_entry_size,
+        })
     }
 
     /// Central-directory entries in archive order.
@@ -203,7 +212,10 @@ impl<'a> ZipArchive<'a> {
 
     /// Extracts and CRC-verifies entry `index`.
     pub fn read(&self, index: usize) -> Result<Vec<u8>, ZipError> {
-        let entry = self.entries.get(index).ok_or(ZipError::NoSuchEntry(index))?;
+        let entry = self
+            .entries
+            .get(index)
+            .ok_or(ZipError::NoSuchEntry(index))?;
         if entry.uncompressed_size as u64 > self.max_entry_size {
             return Err(ZipError::EntryTooLarge(entry.uncompressed_size as u64));
         }
@@ -230,7 +242,10 @@ impl<'a> ZipArchive<'a> {
         }
         let actual = crc32(&raw);
         if actual != entry.crc32 {
-            return Err(ZipError::CrcMismatch { expected: entry.crc32, actual });
+            return Err(ZipError::CrcMismatch {
+                expected: entry.crc32,
+                actual,
+            });
         }
         Ok(raw)
     }
@@ -267,7 +282,10 @@ impl Default for ZipWriter {
 
 impl ZipWriter {
     pub fn new() -> Self {
-        ZipWriter { out: Vec::new(), entries: Vec::new() }
+        ZipWriter {
+            out: Vec::new(),
+            entries: Vec::new(),
+        }
     }
 
     /// Appends a member. With [`Method::Deflate`] the data is compressed but
@@ -295,9 +313,12 @@ impl ZipWriter {
         self.out.extend_from_slice(&0u16.to_le_bytes()); // mod time
         self.out.extend_from_slice(&0u16.to_le_bytes()); // mod date
         self.out.extend_from_slice(&crc.to_le_bytes());
-        self.out.extend_from_slice(&(compressed.len() as u32).to_le_bytes());
-        self.out.extend_from_slice(&(data.len() as u32).to_le_bytes());
-        self.out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        self.out
+            .extend_from_slice(&(compressed.len() as u32).to_le_bytes());
+        self.out
+            .extend_from_slice(&(data.len() as u32).to_le_bytes());
+        self.out
+            .extend_from_slice(&(name.len() as u16).to_le_bytes());
         self.out.extend_from_slice(&0u16.to_le_bytes()); // extra len
         self.out.extend_from_slice(name.as_bytes());
         self.out.extend_from_slice(&compressed);
@@ -323,15 +344,19 @@ impl ZipWriter {
             self.out.extend_from_slice(&0u16.to_le_bytes()); // time
             self.out.extend_from_slice(&0u16.to_le_bytes()); // date
             self.out.extend_from_slice(&e.crc32.to_le_bytes());
-            self.out.extend_from_slice(&(e.compressed.len() as u32).to_le_bytes());
-            self.out.extend_from_slice(&e.uncompressed_size.to_le_bytes());
-            self.out.extend_from_slice(&(e.name.len() as u16).to_le_bytes());
+            self.out
+                .extend_from_slice(&(e.compressed.len() as u32).to_le_bytes());
+            self.out
+                .extend_from_slice(&e.uncompressed_size.to_le_bytes());
+            self.out
+                .extend_from_slice(&(e.name.len() as u16).to_le_bytes());
             self.out.extend_from_slice(&0u16.to_le_bytes()); // extra
             self.out.extend_from_slice(&0u16.to_le_bytes()); // comment
             self.out.extend_from_slice(&0u16.to_le_bytes()); // disk number
             self.out.extend_from_slice(&0u16.to_le_bytes()); // internal attrs
             self.out.extend_from_slice(&0u32.to_le_bytes()); // external attrs
-            self.out.extend_from_slice(&e.local_header_offset.to_le_bytes());
+            self.out
+                .extend_from_slice(&e.local_header_offset.to_le_bytes());
             self.out.extend_from_slice(e.name.as_bytes());
         }
         let cd_size = self.out.len() as u32 - cd_offset;
@@ -402,7 +427,10 @@ mod tests {
 
     #[test]
     fn missing_eocd_rejected() {
-        assert_eq!(ZipArchive::parse(b"PK\x03\x04not a real zip").err(), Some(ZipError::MissingEocd));
+        assert_eq!(
+            ZipArchive::parse(b"PK\x03\x04not a real zip").err(),
+            Some(ZipError::MissingEocd)
+        );
         assert_eq!(ZipArchive::parse(b"").err(), Some(ZipError::MissingEocd));
     }
 
@@ -414,7 +442,10 @@ mod tests {
         // Patch the central directory method field (offset cd+10) to 99.
         let cd = bytes.len() - 22 - (46 + 1); // EOCD is 22, one CD entry with 1-char name
         bytes[cd + 10] = 99;
-        assert_eq!(ZipArchive::parse(&bytes).err(), Some(ZipError::UnsupportedMethod(99)));
+        assert_eq!(
+            ZipArchive::parse(&bytes).err(),
+            Some(ZipError::UnsupportedMethod(99))
+        );
     }
 
     #[test]
@@ -436,7 +467,11 @@ mod tests {
     #[test]
     fn truncation_never_panics() {
         let mut w = ZipWriter::new();
-        w.add("file.exe", b"some content that is long enough", Method::Deflate);
+        w.add(
+            "file.exe",
+            b"some content that is long enough",
+            Method::Deflate,
+        );
         let bytes = w.finish();
         for cut in 0..bytes.len() {
             if let Ok(a) = ZipArchive::parse(&bytes[..cut]) {

@@ -30,8 +30,12 @@ fn main() {
         benign_multi
     );
 
-    let max_sizes =
-        census.malware_sizes.values().map(|v| v.len() as u64).max().unwrap_or(0);
+    let max_sizes = census
+        .malware_sizes
+        .values()
+        .map(|v| v.len() as u64)
+        .max()
+        .unwrap_or(0);
     let mut c = Comparison::new();
     c.push(Expectation::new(
         "F2-few-sizes",

@@ -45,7 +45,14 @@ fn sample_hit_wire() -> Vec<u8> {
         servent_guid: Guid::random(&mut rng),
     };
     let mut out = Vec::new();
-    encode_message(Guid::random(&mut rng), MsgType::QueryHit, 4, 0, &hit.encode(), &mut out);
+    encode_message(
+        Guid::random(&mut rng),
+        MsgType::QueryHit,
+        4,
+        0,
+        &hit.encode(),
+        &mut out,
+    );
     out
 }
 

@@ -34,7 +34,8 @@ fn responses(n: usize) -> Vec<ResolvedResponse> {
 fn bench_filters(c: &mut Criterion) {
     let rs = responses(10_000);
     let size = SizeFilter::from_sizes([58_368u64, 92_672, 178_176, 180_224]);
-    let size_tol = SizeFilter::from_sizes([58_368u64, 92_672, 178_176, 180_224]).with_tolerance(1024);
+    let size_tol =
+        SizeFilter::from_sizes([58_368u64, 92_672, 178_176, 180_224]).with_tolerance(1024);
     let builtin = LimewireBuiltin::new();
     let echo = EchoHeuristicFilter::new();
 

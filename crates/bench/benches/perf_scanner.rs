@@ -12,7 +12,9 @@ fn clean_sample(len: usize) -> Vec<u8> {
     let mut v = Vec::with_capacity(len);
     let mut x = 0x12345678u64;
     while v.len() < len {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         v.extend_from_slice(&x.to_le_bytes());
     }
     v.truncate(len);
@@ -56,14 +58,23 @@ fn bench_scan(c: &mut Criterion) {
     let catalog = {
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
         p2pmal_corpus::Catalog::generate(
-            &p2pmal_corpus::catalog::CatalogConfig { titles: 10, ..Default::default() },
+            &p2pmal_corpus::catalog::CatalogConfig {
+                titles: 10,
+                ..Default::default()
+            },
             &mut rng,
         )
     };
-    let zip_family =
-        roster.families().iter().find(|f| f.name == "W32.Bagle.DL").unwrap();
+    let zip_family = roster
+        .families()
+        .iter()
+        .find(|f| f.name == "W32.Bagle.DL")
+        .unwrap();
     let payload = store.payload(
-        p2pmal_corpus::ContentRef::Malware { family: zip_family.id, size_idx: 0 },
+        p2pmal_corpus::ContentRef::Malware {
+            family: zip_family.id,
+            size_idx: 0,
+        },
         &catalog,
         &roster,
     );
@@ -76,9 +87,7 @@ fn bench_scan(c: &mut Criterion) {
 
 fn bench_automaton_build(c: &mut Criterion) {
     let patterns: Vec<Vec<u8>> = (0..512u32)
-        .map(|i| {
-            p2pmal_hashes::sha1(&i.to_le_bytes()).0[..16].to_vec()
-        })
+        .map(|i| p2pmal_hashes::sha1(&i.to_le_bytes()).0[..16].to_vec())
         .collect();
     c.bench_function("aho_corasick_build_512_patterns", |b| {
         b.iter(|| black_box(AhoCorasick::new(black_box(patterns.clone()))));

@@ -1,22 +1,37 @@
-//! Perf: discrete-event simulator throughput — events/second on a small
-//! Gnutella overlay under query load, with QRP on vs off at the last hop
-//! (the protocol ablation DESIGN.md calls out: QRP's whole point is
-//! sparing leaves non-matching traffic).
+//! Perf: discrete-event simulator throughput.
+//!
+//! Two measurements:
+//!
+//! * **Scheduler head-to-head** — the bucketed calendar queue vs the
+//!   original `(time, seq)` binary heap on the classic *hold model*
+//!   (pre-fill to a working depth, then pop one / push one at a jittered
+//!   future time), the access pattern a running simulation produces. This
+//!   isolates the scheduler itself; events/second for both go to stdout.
+//! * **Whole-simulation overlay** — a small Gnutella overlay under query
+//!   load, run once per scheduler, so the end-to-end effect (scheduler +
+//!   pooled payload buffers) is visible in events/second.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use p2pmal_core::LimewireScenario;
 use p2pmal_corpus::catalog::{Catalog, CatalogConfig};
 use p2pmal_corpus::{ContentStore, HostLibrary, Roster};
 use p2pmal_gnutella::servent::{Servent, ServentConfig, SharedWorld};
-use p2pmal_netsim::{NodeSpec, SimConfig, SimTime, Simulator};
+use p2pmal_netsim::queue::{CalendarQueue, HeapQueue, Scheduler};
+use p2pmal_netsim::{NodeSpec, SchedulerKind, SimConfig, SimTime, Simulator};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use std::sync::Arc;
 
 fn world(seed: u64) -> SharedWorld {
     let mut rng = StdRng::seed_from_u64(seed);
-    let catalog =
-        Catalog::generate(&CatalogConfig { titles: 200, ..Default::default() }, &mut rng);
+    let catalog = Catalog::generate(
+        &CatalogConfig {
+            titles: 200,
+            ..Default::default()
+        },
+        &mut rng,
+    );
     SharedWorld::new(
         Arc::new(catalog),
         Arc::new(Roster::limewire_2006()),
@@ -24,12 +39,44 @@ fn world(seed: u64) -> SharedWorld {
     )
 }
 
+/// Hold model: `depth` events resident, `ops` pop+push rounds with
+/// deliveries jittered up to ~2 simulated seconds ahead (plus rare
+/// far-future timers that exercise the calendar's overflow heap).
+fn hold_model<S: Scheduler<u64>>(q: &mut S, depth: usize, ops: usize) -> u64 {
+    let mut rng = StdRng::seed_from_u64(0x401D);
+    let mut now = 0u64;
+    for i in 0..depth {
+        q.push(
+            SimTime::from_micros(rng.gen_range(0..2_000_000u64)),
+            i as u64,
+        );
+    }
+    let mut acc = 0u64;
+    for i in 0..ops {
+        let (t, id) = q.pop().expect("hold model never drains");
+        now = now.max(t.as_micros());
+        acc = acc.wrapping_add(id);
+        let ahead = if rng.gen_bool(0.001) {
+            rng.gen_range(150_000_000..600_000_000u64) // far-future timer
+        } else {
+            rng.gen_range(1..2_000_000u64)
+        };
+        q.push(SimTime::from_micros(now + ahead), i as u64);
+    }
+    acc
+}
+
 /// Builds a 3-ultrapeer, 12-leaf overlay with ambient query load and runs
 /// it for `sim_secs` of virtual time; returns events processed.
-fn run_overlay(seed: u64, sim_secs: u64) -> u64 {
+fn run_overlay(seed: u64, sim_secs: u64, scheduler: SchedulerKind) -> u64 {
     let w = world(seed);
-    let mut rng = StdRng::seed_from_u64(seed ^ 9);
-    let mut sim = Simulator::new(SimConfig::default(), seed);
+    let mut sim = Simulator::new(
+        SimConfig {
+            scheduler,
+            ..SimConfig::default()
+        },
+        seed,
+    );
     let mut ups = Vec::new();
     for _ in 0..3 {
         let cfg = ServentConfig::ultrapeer().with_bootstrap(ups.clone());
@@ -45,31 +92,134 @@ fn run_overlay(seed: u64, sim_secs: u64) -> u64 {
         lib.add_benign(item, 0);
         let mut cfg = ServentConfig::leaf().with_bootstrap(ups.clone());
         cfg.auto_query = Some(p2pmal_netsim::SimDuration::from_secs(20));
-        let _ = &mut rng;
-        sim.spawn(NodeSpec::public().listen(6346), Box::new(Servent::new(cfg, w.clone(), lib)));
+        sim.spawn(
+            NodeSpec::public().listen(6346),
+            Box::new(Servent::new(cfg, w.clone(), lib)),
+        );
     }
     sim.run_until(SimTime::from_secs(sim_secs));
     sim.metrics().events_processed
 }
 
-fn bench_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
+/// One simulated day of the quick LimeWire study scenario under the given
+/// scheduler; returns events processed.
+fn run_quick_scenario(seed: u64, scheduler: SchedulerKind) -> u64 {
+    let mut sc = LimewireScenario::quick(seed);
+    sc.days = 1;
+    sc.scheduler = scheduler;
+    sc.run().sim_metrics.events_processed
+}
+
+const HOLD_DEPTH: usize = 100_000;
+const HOLD_OPS: usize = 200_000;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
     g.sample_size(10);
-    g.bench_function("overlay_3up_12leaf_600s_sim", |b| {
-        let mut seed = 0u64;
+    g.bench_function(&format!("heap_hold_{HOLD_DEPTH}"), |b| {
         b.iter(|| {
-            seed += 1;
-            black_box(run_overlay(seed, 600))
+            let mut q = HeapQueue::default();
+            black_box(hold_model(&mut q, HOLD_DEPTH, HOLD_OPS))
+        });
+    });
+    g.bench_function(&format!("calendar_hold_{HOLD_DEPTH}"), |b| {
+        b.iter(|| {
+            let mut q = CalendarQueue::default();
+            black_box(hold_model(&mut q, HOLD_DEPTH, HOLD_OPS))
         });
     });
     g.finish();
 
-    // Report the event rate once for the logs.
-    let t0 = std::time::Instant::now();
-    let events = run_overlay(99, 1200);
-    let rate = events as f64 / t0.elapsed().as_secs_f64();
-    println!("simulator: {events} events in {:.2}s wall = {:.0} events/s", t0.elapsed().as_secs_f64(), rate);
+    // Head-to-head events/second for the logs (EXPERIMENTS.md records
+    // these): same workload, scheduler is the only variable.
+    let rate = |f: &dyn Fn() -> u64| {
+        let t0 = std::time::Instant::now();
+        let mut reps = 0u32;
+        while reps < 3 || t0.elapsed().as_millis() < 300 {
+            black_box(f());
+            reps += 1;
+        }
+        (reps as u64 * (HOLD_DEPTH + HOLD_OPS) as u64) as f64 / t0.elapsed().as_secs_f64()
+    };
+    let heap = rate(&|| hold_model(&mut HeapQueue::default(), HOLD_DEPTH, HOLD_OPS));
+    let cal = rate(&|| hold_model(&mut CalendarQueue::default(), HOLD_DEPTH, HOLD_OPS));
+    println!(
+        "scheduler hold({HOLD_DEPTH}): heap {:.0} events/s, calendar {:.0} events/s ({:.2}x)",
+        heap,
+        cal,
+        cal / heap
+    );
 }
 
-criterion_group!(benches, bench_sim);
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    for (label, kind) in [
+        ("overlay_600s_heap", SchedulerKind::Heap),
+        ("overlay_600s_calendar", SchedulerKind::Calendar),
+    ] {
+        g.bench_function(label, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_overlay(seed, 600, kind))
+            });
+        });
+    }
+    g.finish();
+
+    // Report the end-to-end event rates once for the logs.
+    for (label, kind) in [
+        ("heap", SchedulerKind::Heap),
+        ("calendar", SchedulerKind::Calendar),
+    ] {
+        let t0 = std::time::Instant::now();
+        let mut events = 0u64;
+        for rep in 0..20 {
+            events += run_overlay(99 + rep, 1200, kind);
+        }
+        let rate = events as f64 / t0.elapsed().as_secs_f64();
+        println!(
+            "simulator[{label}]: {events} events in {:.2}s wall = {:.0} events/s",
+            t0.elapsed().as_secs_f64(),
+            rate
+        );
+    }
+}
+
+fn bench_quick_scenario(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quick_scenario");
+    g.sample_size(10);
+    for (label, kind) in [
+        ("limewire_1day_heap", SchedulerKind::Heap),
+        ("limewire_1day_calendar", SchedulerKind::Calendar),
+    ] {
+        g.bench_function(label, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_quick_scenario(seed, kind))
+            });
+        });
+    }
+    g.finish();
+
+    for (label, kind) in [
+        ("heap", SchedulerKind::Heap),
+        ("calendar", SchedulerKind::Calendar),
+    ] {
+        let t0 = std::time::Instant::now();
+        let mut events = 0u64;
+        for rep in 0..4 {
+            events += run_quick_scenario(7 + rep, kind);
+        }
+        println!(
+            "quick_scenario[{label}]: {events} events in {:.2}s wall = {:.0} events/s",
+            t0.elapsed().as_secs_f64(),
+            events as f64 / t0.elapsed().as_secs_f64()
+        );
+    }
+}
+
+criterion_group!(benches, bench_scheduler, bench_sim, bench_quick_scenario);
 criterion_main!(benches);

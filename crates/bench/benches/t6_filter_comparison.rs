@@ -29,7 +29,16 @@ fn main() {
 
     let mut t = Table::new(
         "T6 — Filter comparison (LimeWire log)",
-        &["filter", "detection", "false positives", "precision", "TP", "FN", "FP", "TN"],
+        &[
+            "filter",
+            "detection",
+            "false positives",
+            "precision",
+            "TP",
+            "FN",
+            "FP",
+            "TN",
+        ],
     );
     let mut builtin_det = 0.0;
     let mut size_det = 0.0;
@@ -57,9 +66,27 @@ fn main() {
     println!("{}", t.to_markdown());
 
     let mut c = Comparison::new();
-    c.push(Expectation::new("T6-builtin", "LimeWire built-in detection rate", 6.0, 4.0, builtin_det));
-    c.push(Expectation::new("T6-size-detection", "size-based detection rate", 99.0, 1.5, size_det));
-    c.push(Expectation::new("T6-size-fp", "size-based false-positive rate", 0.0, 1.0, size_fp));
+    c.push(Expectation::new(
+        "T6-builtin",
+        "LimeWire built-in detection rate",
+        6.0,
+        4.0,
+        builtin_det,
+    ));
+    c.push(Expectation::new(
+        "T6-size-detection",
+        "size-based detection rate",
+        99.0,
+        1.5,
+        size_det,
+    ));
+    c.push(Expectation::new(
+        "T6-size-fp",
+        "size-based false-positive rate",
+        0.0,
+        1.0,
+        size_fp,
+    ));
     println!("{}", c.to_table().to_markdown());
     if !cfg.quick && !c.all_hold() {
         eprintln!("WARNING: paper-scale expectations out of band");

@@ -4,13 +4,67 @@
 //! ```sh
 //! cargo run --release -p p2pmal-bench --bin run_study           # paper scale
 //! P2PMAL_QUICK=1 cargo run --release -p p2pmal-bench --bin run_study
+//! # Multi-seed sweep, one study per thread:
+//! P2PMAL_QUICK=1 P2PMAL_SEEDS=1,2,3 cargo run --release -p p2pmal-bench --bin run_study
 //! ```
 
-use p2pmal_bench::BenchConfig;
+use p2pmal_bench::{run_seeds, BenchConfig, RunArtifact};
 use p2pmal_core::{LimewireScenario, OpenFtScenario, Study};
+
+fn artifact_line(a: &RunArtifact) {
+    let downloadable = a.resolved.iter().filter(|r| r.record.downloadable).count();
+    let scanned = a
+        .resolved
+        .iter()
+        .filter(|r| r.record.downloadable && r.scanned)
+        .count();
+    let malicious = a
+        .resolved
+        .iter()
+        .filter(|r| r.record.downloadable && r.malware.is_some())
+        .count();
+    let pct = if scanned > 0 {
+        100.0 * malicious as f64 / scanned as f64
+    } else {
+        0.0
+    };
+    println!(
+        "  {:8} seed={:<6} responses={:<6} downloadable={:<6} malicious={:<5} ({:.1}%)  sim_events={}",
+        match a.network {
+            p2pmal_crawler::Network::Limewire => "LimeWire",
+            p2pmal_crawler::Network::OpenFt => "OpenFT",
+        },
+        a.seed,
+        a.resolved.len(),
+        downloadable,
+        malicious,
+        pct,
+        a.sim_events,
+    );
+}
+
+fn sweep(cfg: &BenchConfig, seeds: &[u64]) {
+    eprintln!("[run_study] multi-seed sweep over {seeds:?}, one study per thread");
+    let started = std::time::Instant::now();
+    let runs = run_seeds(cfg, seeds);
+    eprintln!(
+        "[run_study] sweep took {:.1}s wall",
+        started.elapsed().as_secs_f64()
+    );
+    println!("# Multi-seed sweep");
+    for run in &runs {
+        println!("seed {}:", run.seed);
+        artifact_line(&run.limewire);
+        artifact_line(&run.openft);
+    }
+}
 
 fn main() {
     let cfg = BenchConfig::from_env();
+    if let Some(seeds) = cfg.seeds.clone() {
+        sweep(&cfg, &seeds);
+        return;
+    }
     let mut lw = if cfg.quick {
         LimewireScenario::quick(cfg.seed)
     } else {
@@ -34,9 +88,15 @@ fn main() {
     let comparisons = report.comparisons();
     eprintln!("{}", comparisons.to_json());
     if comparisons.all_hold() {
-        eprintln!("[run_study] all {} expectations hold", comparisons.expectations.len());
+        eprintln!(
+            "[run_study] all {} expectations hold",
+            comparisons.expectations.len()
+        );
     } else {
-        eprintln!("[run_study] {} expectation(s) out of band", comparisons.failures().len());
+        eprintln!(
+            "[run_study] {} expectation(s) out of band",
+            comparisons.failures().len()
+        );
         if !cfg.quick {
             std::process::exit(1);
         }

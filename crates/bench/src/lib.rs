@@ -12,17 +12,21 @@
 //!
 //! * `P2PMAL_QUICK=1` — run the minutes-scale `quick()` scenarios;
 //! * `P2PMAL_SEED=<n>` — change the seed (default 2006);
+//! * `P2PMAL_SEEDS=<a,b,c>` — multi-seed sweep: every seed's two-network
+//!   study runs on its own thread (see [`run_seeds`]);
 //! * `P2PMAL_DAYS=<n>` — override the collection length;
-//! * `P2PMAL_TRACE=1` — per-day event/wall-time trace during simulation.
+//! * `P2PMAL_TRACE=1` — per-day event/wall-time trace during simulation,
+//!   including buffer-pool and queue-depth statistics.
 
 use p2pmal_core::{LimewireScenario, OpenFtScenario};
-use p2pmal_crawler::{Network, ResolvedResponse};
-use serde::{Deserialize, Serialize};
+use p2pmal_crawler::{HostKey, Network, ResolvedResponse, ResponseRecord};
+use p2pmal_json::Value;
+use p2pmal_netsim::SimTime;
 use std::io::Write;
+use std::net::Ipv4Addr;
 use std::path::PathBuf;
 
 /// The cached form of one network run: everything the analyses consume.
-#[derive(Serialize, Deserialize)]
 pub struct RunArtifact {
     pub network: Network,
     pub seed: u64,
@@ -35,24 +39,62 @@ pub struct RunArtifact {
 }
 
 /// Harness configuration from the environment.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BenchConfig {
     pub quick: bool,
     pub seed: u64,
     pub days: Option<u64>,
+    /// `P2PMAL_SEEDS=a,b,c` — seeds for a multi-seed sweep. When set,
+    /// `run_study` runs one full two-network study per seed, each on its
+    /// own thread.
+    pub seeds: Option<Vec<u64>>,
 }
 
 impl BenchConfig {
     pub fn from_env() -> Self {
-        let quick = std::env::var("P2PMAL_QUICK").map(|v| v == "1").unwrap_or(false);
-        let seed = std::env::var("P2PMAL_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(2006);
-        let days = std::env::var("P2PMAL_DAYS").ok().and_then(|v| v.parse().ok());
-        BenchConfig { quick, seed, days }
+        let quick = std::env::var("P2PMAL_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        let seed = std::env::var("P2PMAL_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2006);
+        let days = std::env::var("P2PMAL_DAYS")
+            .ok()
+            .and_then(|v| v.parse().ok());
+        let seeds = std::env::var("P2PMAL_SEEDS").ok().map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect::<Vec<u64>>()
+        });
+        BenchConfig {
+            quick,
+            seed,
+            days,
+            seeds: seeds.filter(|s| !s.is_empty()),
+        }
+    }
+
+    /// This configuration re-keyed to another seed (for sweeps).
+    pub fn with_seed(&self, seed: u64) -> Self {
+        BenchConfig {
+            seed,
+            seeds: None,
+            ..self.clone()
+        }
     }
 
     fn tag(&self) -> String {
-        let days = self.days.map(|d| d.to_string()).unwrap_or_else(|| "default".into());
-        format!("{}-{}-{}", if self.quick { "quick" } else { "paper" }, self.seed, days)
+        let days = self
+            .days
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "default".into());
+        format!(
+            "{}-{}-{}",
+            if self.quick { "quick" } else { "paper" },
+            self.seed,
+            days
+        )
     }
 }
 
@@ -78,8 +120,8 @@ fn cache_path(network: &str, cfg: &BenchConfig) -> PathBuf {
 }
 
 fn load(path: &PathBuf) -> Option<RunArtifact> {
-    let bytes = std::fs::read(path).ok()?;
-    serde_json::from_slice(&bytes).ok()
+    let text = std::fs::read_to_string(path).ok()?;
+    artifact_from_json(&p2pmal_json::parse(&text).ok()?)
 }
 
 fn store(path: &PathBuf, artifact: &RunArtifact) {
@@ -87,19 +129,140 @@ fn store(path: &PathBuf, artifact: &RunArtifact) {
         let _ = std::fs::create_dir_all(dir);
     }
     if let Ok(mut f) = std::fs::File::create(path) {
-        let _ = f.write_all(&serde_json::to_vec(artifact).expect("artifact serializes"));
+        let _ = f.write_all(artifact_to_json(artifact).to_string_compact().as_bytes());
     }
+}
+
+fn host_to_json(h: &HostKey) -> Value {
+    match h {
+        HostKey::Guid(guid) => {
+            Value::Obj(vec![("guid".into(), p2pmal_hashes::to_hex(guid).into())])
+        }
+        HostKey::Addr(ip, port) => Value::Obj(vec![
+            ("ip".into(), ip.to_string().into()),
+            ("port".into(), (*port as u64).into()),
+        ]),
+    }
+}
+
+fn host_from_json(v: &Value) -> Option<HostKey> {
+    if let Some(hex) = v.get("guid").and_then(Value::as_str) {
+        let bytes = p2pmal_hashes::from_hex(hex)?;
+        return Some(HostKey::Guid(bytes.try_into().ok()?));
+    }
+    let ip: Ipv4Addr = v.get("ip")?.as_str()?.parse().ok()?;
+    let port = v.get("port")?.as_u64()? as u16;
+    Some(HostKey::Addr(ip, port))
+}
+
+fn resolved_to_json(r: &ResolvedResponse) -> Value {
+    let rec = &r.record;
+    Value::Obj(vec![
+        ("at".into(), rec.at.as_micros().into()),
+        ("day".into(), rec.day.into()),
+        ("query".into(), rec.query.as_str().into()),
+        ("filename".into(), rec.filename.as_str().into()),
+        ("size".into(), rec.size.into()),
+        ("source_ip".into(), rec.source_ip.to_string().into()),
+        ("source_port".into(), (rec.source_port as u64).into()),
+        ("needs_push".into(), rec.needs_push.into()),
+        ("host".into(), host_to_json(&rec.host)),
+        ("downloadable".into(), rec.downloadable.into()),
+        ("malware".into(), r.malware.as_deref().into()),
+        ("scanned".into(), r.scanned.into()),
+        ("sha1".into(), r.sha1.map(|d| d.to_hex()).into()),
+    ])
+}
+
+fn resolved_from_json(v: &Value) -> Option<ResolvedResponse> {
+    let record = ResponseRecord {
+        at: SimTime::from_micros(v.get("at")?.as_u64()?),
+        day: v.get("day")?.as_u64()?,
+        query: v.get("query")?.as_str()?.to_string(),
+        filename: v.get("filename")?.as_str()?.to_string(),
+        size: v.get("size")?.as_u64()?,
+        source_ip: v.get("source_ip")?.as_str()?.parse().ok()?,
+        source_port: v.get("source_port")?.as_u64()? as u16,
+        needs_push: v.get("needs_push")?.as_bool()?,
+        host: host_from_json(v.get("host")?)?,
+        downloadable: v.get("downloadable")?.as_bool()?,
+    };
+    let sha1 = match v.get("sha1")? {
+        Value::Null => None,
+        s => Some(p2pmal_hashes::Sha1Digest(
+            p2pmal_hashes::from_hex(s.as_str()?)?.try_into().ok()?,
+        )),
+    };
+    Some(ResolvedResponse {
+        record,
+        malware: v.get("malware")?.as_str().map(str::to_string),
+        scanned: v.get("scanned")?.as_bool()?,
+        sha1,
+    })
+}
+
+fn artifact_to_json(a: &RunArtifact) -> Value {
+    Value::Obj(vec![
+        (
+            "network".into(),
+            match a.network {
+                Network::Limewire => "limewire",
+                Network::OpenFt => "openft",
+            }
+            .into(),
+        ),
+        ("seed".into(), a.seed.into()),
+        ("days".into(), a.days.into()),
+        ("queries_issued".into(), a.queries_issued.into()),
+        ("downloads_attempted".into(), a.downloads_attempted.into()),
+        ("downloads_failed".into(), a.downloads_failed.into()),
+        ("sim_events".into(), a.sim_events.into()),
+        (
+            "resolved".into(),
+            Value::Arr(a.resolved.iter().map(resolved_to_json).collect()),
+        ),
+    ])
+}
+
+fn artifact_from_json(v: &Value) -> Option<RunArtifact> {
+    let network = match v.get("network")?.as_str()? {
+        "limewire" => Network::Limewire,
+        "openft" => Network::OpenFt,
+        _ => return None,
+    };
+    let resolved = v
+        .get("resolved")?
+        .as_arr()?
+        .iter()
+        .map(resolved_from_json)
+        .collect::<Option<Vec<_>>>()?;
+    Some(RunArtifact {
+        network,
+        seed: v.get("seed")?.as_u64()?,
+        days: v.get("days")?.as_u64()?,
+        queries_issued: v.get("queries_issued")?.as_u64()?,
+        downloads_attempted: v.get("downloads_attempted")?.as_u64()?,
+        downloads_failed: v.get("downloads_failed")?.as_u64()?,
+        sim_events: v.get("sim_events")?.as_u64()?,
+        resolved,
+    })
 }
 
 /// Returns the (possibly cached) LimeWire measurement run.
 pub fn limewire_run(cfg: &BenchConfig) -> RunArtifact {
     let path = cache_path("limewire", cfg);
     if let Some(a) = load(&path) {
-        eprintln!("[p2pmal] loaded cached LimeWire run from {}", path.display());
+        eprintln!(
+            "[p2pmal] loaded cached LimeWire run from {}",
+            path.display()
+        );
         return a;
     }
-    let mut scenario =
-        if cfg.quick { LimewireScenario::quick(cfg.seed) } else { LimewireScenario::paper_scale(cfg.seed) };
+    let mut scenario = if cfg.quick {
+        LimewireScenario::quick(cfg.seed)
+    } else {
+        LimewireScenario::paper_scale(cfg.seed)
+    };
     if let Some(days) = cfg.days {
         scenario.days = days;
     }
@@ -109,7 +272,10 @@ pub fn limewire_run(cfg: &BenchConfig) -> RunArtifact {
     );
     let started = std::time::Instant::now();
     let run = scenario.run_with_progress(|d| eprintln!("[p2pmal]   LimeWire day {d} done"));
-    eprintln!("[p2pmal] LimeWire run took {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!(
+        "[p2pmal] LimeWire run took {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
     let artifact = RunArtifact {
         network: Network::Limewire,
         seed: cfg.seed,
@@ -145,7 +311,10 @@ pub fn openft_run(cfg: &BenchConfig) -> RunArtifact {
     );
     let started = std::time::Instant::now();
     let run = scenario.run_with_progress(|d| eprintln!("[p2pmal]   OpenFT day {d} done"));
-    eprintln!("[p2pmal] OpenFT run took {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!(
+        "[p2pmal] OpenFT run took {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
     let artifact = RunArtifact {
         network: Network::OpenFt,
         seed: cfg.seed,
@@ -158,6 +327,55 @@ pub fn openft_run(cfg: &BenchConfig) -> RunArtifact {
     };
     store(&path, &artifact);
     artifact
+}
+
+/// Runs (or loads) both network measurements, LimeWire and OpenFT each on
+/// its own thread. The artifacts are bit-identical to sequential
+/// [`limewire_run`] + [`openft_run`] calls: each simulation owns its
+/// simulator, world and RNG streams, and the on-disk cache key is the same.
+pub fn both_runs(cfg: &BenchConfig) -> (RunArtifact, RunArtifact) {
+    std::thread::scope(|scope| {
+        let lw = scope.spawn(|| limewire_run(cfg));
+        let ft = scope.spawn(|| openft_run(cfg));
+        (
+            lw.join().expect("LimeWire thread panicked"),
+            ft.join().expect("OpenFT thread panicked"),
+        )
+    })
+}
+
+/// One seed's worth of a multi-seed sweep.
+pub struct SeedRun {
+    pub seed: u64,
+    pub limewire: RunArtifact,
+    pub openft: RunArtifact,
+}
+
+/// Multi-seed sweep: one full two-network study per seed, every study on
+/// its own thread (and the two networks within a study on threads of their
+/// own). Results come back in the order of `seeds`, and each entry matches
+/// what a sequential single-seed run of that seed produces.
+pub fn run_seeds(cfg: &BenchConfig, seeds: &[u64]) -> Vec<SeedRun> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                scope.spawn(move || {
+                    let cfg = cfg.with_seed(seed);
+                    let (limewire, openft) = both_runs(&cfg);
+                    SeedRun {
+                        seed,
+                        limewire,
+                        openft,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("seed thread panicked"))
+            .collect()
+    })
 }
 
 /// Banner printed by every experiment bench.

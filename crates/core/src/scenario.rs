@@ -27,7 +27,7 @@ use p2pmal_crawler::{
 };
 use p2pmal_gnutella::servent::{Servent, ServentConfig, SharedWorld};
 use p2pmal_netsim::{
-    NodeSpec, SimConfig, SimDuration, SimMetrics, SimTime, Simulator,
+    NodeSpec, SchedulerKind, SimConfig, SimDuration, SimMetrics, SimTime, Simulator,
 };
 use p2pmal_openft::node::{FtConfig, FtNode};
 use p2pmal_scanner::Scanner;
@@ -48,7 +48,11 @@ pub struct InfectionSpec {
 impl InfectionSpec {
     pub fn new(family: u16, hosts: usize, nat_hosts: usize) -> Self {
         assert!(nat_hosts <= hosts);
-        InfectionSpec { family: FamilyId(family), hosts, nat_hosts }
+        InfectionSpec {
+            family: FamilyId(family),
+            hosts,
+            nat_hosts,
+        }
     }
 }
 
@@ -61,15 +65,43 @@ pub struct NetworkRun {
     pub sim_metrics: SimMetrics,
 }
 
+/// `P2PMAL_TRACE=1`: per-day progress line with scheduler and buffer-pool
+/// health (queue depth + peak, pool hit rate, bytes recycled).
+fn trace_day(net: &str, day: u64, events: u64, delta: u64, wall_secs: f64, sim: &Simulator) {
+    if std::env::var("P2PMAL_TRACE").is_err() {
+        return;
+    }
+    let m = sim.metrics();
+    eprintln!(
+        "[trace] {net} day {day}: {events} events (+{delta}), {wall_secs:.1}s wall, \
+         queue {} pending (peak {}), pool {} hits / {} misses / {} KiB recycled (free peak {})",
+        sim.pending_events(),
+        m.queue_high_water,
+        m.pool_hits,
+        m.pool_misses,
+        m.pool_recycled_bytes / 1024,
+        m.pool_high_water,
+    );
+}
+
 fn make_world(seed: u64, catalog_cfg: &CatalogConfig, roster: Roster) -> SharedWorld {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xCA7A_106);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0CA7_A106);
     let catalog = Catalog::generate(catalog_cfg, &mut rng);
-    SharedWorld::new(Arc::new(catalog), Arc::new(roster), Arc::new(ContentStore::new(seed)))
+    SharedWorld::new(
+        Arc::new(catalog),
+        Arc::new(roster),
+        Arc::new(ContentStore::new(seed)),
+    )
 }
 
 fn make_scanner(world: &SharedWorld) -> Arc<Scanner> {
     Arc::new(Scanner::new(
-        world.roster.signature_db().expect("roster db").build().expect("db compiles"),
+        world
+            .roster
+            .signature_db()
+            .expect("roster db")
+            .build()
+            .expect("db compiles"),
     ))
 }
 
@@ -114,6 +146,8 @@ pub struct LimewireScenario {
     pub workload: WorkloadConfig,
     /// Ambient query interval for clean leaves (None = silent population).
     pub ambient_query: Option<SimDuration>,
+    /// Event scheduler (the heap is kept around for benchmarking).
+    pub scheduler: SchedulerKind,
 }
 
 impl LimewireScenario {
@@ -128,9 +162,16 @@ impl LimewireScenario {
             files_per_leaf: 34,
             infections: Self::default_infections(),
             infected_benign_files: 5,
-            catalog: CatalogConfig { titles: 2500, ..Default::default() },
-            workload: WorkloadConfig { base_interval_secs: 60, ..Default::default() },
+            catalog: CatalogConfig {
+                titles: 2500,
+                ..Default::default()
+            },
+            workload: WorkloadConfig {
+                base_interval_secs: 60,
+                ..Default::default()
+            },
             ambient_query: Some(SimDuration::from_hours(1)),
+            scheduler: SchedulerKind::Calendar,
         }
     }
 
@@ -141,8 +182,14 @@ impl LimewireScenario {
             ultrapeers: 4,
             clean_leaves: 30,
             files_per_leaf: 10,
-            catalog: CatalogConfig { titles: 400, ..Default::default() },
-            workload: WorkloadConfig { base_interval_secs: 120, ..Default::default() },
+            catalog: CatalogConfig {
+                titles: 400,
+                ..Default::default()
+            },
+            workload: WorkloadConfig {
+                base_interval_secs: 120,
+                ..Default::default()
+            },
             ambient_query: None,
             infections: vec![
                 InfectionSpec::new(0, 4, 2),
@@ -180,15 +227,19 @@ impl LimewireScenario {
     pub fn run_with_progress(&self, mut progress: impl FnMut(u64)) -> NetworkRun {
         let world = make_world(self.seed, &self.catalog, Roster::limewire_2006());
         let scanner = make_scanner(&world);
-        let mut sim = Simulator::new(SimConfig::default(), self.seed);
+        let mut sim = Simulator::new(
+            SimConfig {
+                scheduler: self.scheduler,
+                ..SimConfig::default()
+            },
+            self.seed,
+        );
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x11FE);
 
         // Ultrapeer backbone. Leaf slots must cover the population
         // (every leaf holds `target_degree` ultrapeer connections) or the
         // overflow would churn through rejection/retry forever.
-        let leaves = self.clean_leaves
-            + self.infections.iter().map(|i| i.hosts).sum::<usize>()
-            + 1; // the crawler
+        let leaves = self.clean_leaves + self.infections.iter().map(|i| i.hosts).sum::<usize>() + 1; // the crawler
         let slots_needed = leaves * ServentConfig::leaf().target_degree;
         let slots_per_up = (slots_needed * 13 / 10 / self.ultrapeers.max(1)).max(30);
         let mut up_addrs = Vec::new();
@@ -202,12 +253,17 @@ impl LimewireScenario {
             up_addrs.push(sim.node_addr(id));
         }
 
-        let spawn_leaf = |sim: &mut Simulator, lib: HostLibrary, nat: bool, ambient: Option<SimDuration>| {
-            let mut cfg = ServentConfig::leaf().with_bootstrap(up_addrs.clone());
-            cfg.auto_query = ambient;
-            let spec = if nat { NodeSpec::nat() } else { NodeSpec::public().listen(6346) };
-            sim.spawn(spec, Box::new(Servent::new(cfg, world.clone(), lib)))
-        };
+        let spawn_leaf =
+            |sim: &mut Simulator, lib: HostLibrary, nat: bool, ambient: Option<SimDuration>| {
+                let mut cfg = ServentConfig::leaf().with_bootstrap(up_addrs.clone());
+                cfg.auto_query = ambient;
+                let spec = if nat {
+                    NodeSpec::nat()
+                } else {
+                    NodeSpec::public().listen(6346)
+                };
+                sim.spawn(spec, Box::new(Servent::new(cfg, world.clone(), lib)))
+            };
 
         // Clean population.
         for i in 0..self.clean_leaves {
@@ -244,15 +300,14 @@ impl LimewireScenario {
             let t0 = std::time::Instant::now();
             sim.run_until(SimTime::from_days(day));
             let ev = sim.metrics().events_processed;
-            if std::env::var("P2PMAL_TRACE").is_ok() {
-                eprintln!(
-                    "[trace] LW day {day}: {} events (+{}), {:.1}s wall, {} pending",
-                    ev,
-                    ev - last_events,
-                    t0.elapsed().as_secs_f64(),
-                    sim.pending_events(),
-                );
-            }
+            trace_day(
+                "LW",
+                day,
+                ev,
+                ev - last_events,
+                t0.elapsed().as_secs_f64(),
+                &sim,
+            );
             last_events = ev;
             progress(day);
         }
@@ -299,6 +354,8 @@ pub struct OpenFtScenario {
     pub catalog: CatalogConfig,
     pub workload: WorkloadConfig,
     pub ambient_query: Option<SimDuration>,
+    /// Event scheduler (the heap is kept around for benchmarking).
+    pub scheduler: SchedulerKind,
 }
 
 impl OpenFtScenario {
@@ -325,9 +382,16 @@ impl OpenFtScenario {
                 (FamilyId(6), 1, 7),
                 (FamilyId(7), 1, 7),
             ],
-            catalog: CatalogConfig { titles: 2500, ..Default::default() },
-            workload: WorkloadConfig { base_interval_secs: 60, ..Default::default() },
+            catalog: CatalogConfig {
+                titles: 2500,
+                ..Default::default()
+            },
+            workload: WorkloadConfig {
+                base_interval_secs: 60,
+                ..Default::default()
+            },
             ambient_query: Some(SimDuration::from_hours(1)),
+            scheduler: SchedulerKind::Calendar,
         }
     }
 
@@ -343,8 +407,14 @@ impl OpenFtScenario {
                 (FamilyId(2), 1, 4),
                 (FamilyId(3), 1, 4),
             ],
-            catalog: CatalogConfig { titles: 400, ..Default::default() },
-            workload: WorkloadConfig { base_interval_secs: 120, ..Default::default() },
+            catalog: CatalogConfig {
+                titles: 400,
+                ..Default::default()
+            },
+            workload: WorkloadConfig {
+                base_interval_secs: 120,
+                ..Default::default()
+            },
             ambient_query: None,
             ..Self::paper_scale(seed)
         }
@@ -357,7 +427,13 @@ impl OpenFtScenario {
     pub fn run_with_progress(&self, mut progress: impl FnMut(u64)) -> NetworkRun {
         let world = make_world(self.seed, &self.catalog, Roster::openft_2006());
         let scanner = make_scanner(&world);
-        let mut sim = Simulator::new(SimConfig::default(), self.seed);
+        let mut sim = Simulator::new(
+            SimConfig {
+                scheduler: self.scheduler,
+                ..SimConfig::default()
+            },
+            self.seed,
+        );
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0F7);
 
         let mut search_addrs = Vec::new();
@@ -426,12 +502,27 @@ impl OpenFtScenario {
                 crawler_cfg,
                 world.clone(),
                 scanner,
-                FtCrawlerConfig { workload: self.workload.clone(), ..Default::default() },
+                FtCrawlerConfig {
+                    workload: self.workload.clone(),
+                    ..Default::default()
+                },
             )),
         );
 
+        let mut last_events = 0u64;
         for day in 1..=self.days {
+            let t0 = std::time::Instant::now();
             sim.run_until(SimTime::from_days(day));
+            let ev = sim.metrics().events_processed;
+            trace_day(
+                "FT",
+                day,
+                ev,
+                ev - last_events,
+                t0.elapsed().as_secs_f64(),
+                &sim,
+            );
+            last_events = ev;
             progress(day);
         }
         let log = sim

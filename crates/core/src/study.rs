@@ -56,8 +56,43 @@ impl Study {
 
     /// Runs with a `(network_label, finished_day)` progress callback.
     pub fn run_with_progress(self, mut progress: impl FnMut(&str, u64)) -> StudyReport {
-        let limewire = self.limewire.map(|s| s.run_with_progress(|d| progress("LimeWire", d)));
-        let openft = self.openft.map(|s| s.run_with_progress(|d| progress("OpenFT", d)));
+        let limewire = self
+            .limewire
+            .map(|s| s.run_with_progress(|d| progress("LimeWire", d)));
+        let openft = self
+            .openft
+            .map(|s| s.run_with_progress(|d| progress("OpenFT", d)));
+        StudyReport { limewire, openft }
+    }
+
+    /// Like [`Study::run`], but the two networks simulate on separate
+    /// threads. Each scenario owns its simulator, RNG streams and world, so
+    /// the results are bit-identical to the sequential run.
+    pub fn run_parallel(self) -> StudyReport {
+        self.run_parallel_with_progress(|_, _| {})
+    }
+
+    /// Parallel variant of [`Study::run_with_progress`]; the callback is
+    /// serialized across the two network threads.
+    pub fn run_parallel_with_progress(self, progress: impl FnMut(&str, u64) + Send) -> StudyReport {
+        let progress = std::sync::Mutex::new(progress);
+        let (limewire, openft) = std::thread::scope(|scope| {
+            let lw = self.limewire.map(|s| {
+                let progress = &progress;
+                scope.spawn(move || {
+                    s.run_with_progress(|d| (progress.lock().unwrap())("LimeWire", d))
+                })
+            });
+            let ft = self.openft.map(|s| {
+                let progress = &progress;
+                scope
+                    .spawn(move || s.run_with_progress(|d| (progress.lock().unwrap())("OpenFT", d)))
+            });
+            (
+                lw.map(|h| h.join().expect("LimeWire thread panicked")),
+                ft.map(|h| h.join().expect("OpenFT thread panicked")),
+            )
+        });
         StudyReport { limewire, openft }
     }
 }
@@ -93,7 +128,9 @@ impl StudyReport {
     /// heuristic vs hash blacklist vs the size-based filter (top 3
     /// families, up to 2 sizes each — the paper's recipe).
     pub fn filter_comparison(&self) -> Vec<FilterRow> {
-        let Some(run) = &self.limewire else { return Vec::new() };
+        let Some(run) = &self.limewire else {
+            return Vec::new();
+        };
         let resolved = &run.resolved;
         let size = SizeFilter::learn(resolved, 3, 2);
         let builtin = LimewireBuiltin::new();
@@ -249,9 +286,7 @@ impl StudyReport {
             out.push('\n');
             out.push_str(&source_table(label, &source_breakdown(&run.resolved)).to_markdown());
             out.push('\n');
-            out.push_str(
-                &host_table(label, &host_concentration(&run.resolved), 10).to_markdown(),
-            );
+            out.push_str(&host_table(label, &host_concentration(&run.resolved), 10).to_markdown());
             out.push('\n');
             out.push_str(&daily_table(label, &daily_fraction(&run.resolved)).to_markdown());
             out.push('\n');
@@ -271,9 +306,7 @@ impl StudyReport {
             out.push('\n');
             out.push_str(&source_table(label, &source_breakdown(&run.resolved)).to_markdown());
             out.push('\n');
-            out.push_str(
-                &host_table(label, &host_concentration(&run.resolved), 10).to_markdown(),
-            );
+            out.push_str(&host_table(label, &host_concentration(&run.resolved), 10).to_markdown());
             out.push('\n');
             out.push_str(&daily_table(label, &daily_fraction(&run.resolved)).to_markdown());
             out.push('\n');

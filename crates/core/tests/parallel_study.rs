@@ -1,0 +1,49 @@
+//! The parallel runner must be an exact drop-in: every scenario owns its
+//! simulator and RNG streams, so running the two networks on separate
+//! threads (or several seeds at once) cannot change a single count.
+
+use p2pmal_core::{LimewireScenario, OpenFtScenario, Study};
+
+fn one_day_study(seed: u64) -> Study {
+    let mut lw = LimewireScenario::quick(seed);
+    lw.days = 1;
+    let mut ft = OpenFtScenario::quick(seed ^ 0xF7);
+    ft.days = 1;
+    Study::new().with_limewire(lw).with_openft(ft)
+}
+
+#[test]
+fn parallel_run_matches_sequential_exactly() {
+    let sequential = one_day_study(7).run();
+    let parallel = one_day_study(7).run_parallel();
+
+    let seq_lw = sequential.limewire.as_ref().expect("limewire ran");
+    let par_lw = parallel.limewire.as_ref().expect("limewire ran");
+    assert_eq!(seq_lw.sim_metrics, par_lw.sim_metrics);
+    assert_eq!(seq_lw.log.queries_issued, par_lw.log.queries_issued);
+    assert_eq!(seq_lw.resolved.len(), par_lw.resolved.len());
+    for (a, b) in seq_lw.resolved.iter().zip(&par_lw.resolved) {
+        assert_eq!(a.record.filename, b.record.filename);
+        assert_eq!(a.malware, b.malware);
+        assert_eq!(a.sha1, b.sha1);
+    }
+
+    let seq_ft = sequential.openft.as_ref().expect("openft ran");
+    let par_ft = parallel.openft.as_ref().expect("openft ran");
+    assert_eq!(seq_ft.sim_metrics, par_ft.sim_metrics);
+    assert_eq!(seq_ft.log.queries_issued, par_ft.log.queries_issued);
+    assert_eq!(seq_ft.resolved.len(), par_ft.resolved.len());
+}
+
+#[test]
+fn parallel_progress_reports_both_networks() {
+    let mut seen = Vec::new();
+    {
+        let seen = std::sync::Mutex::new(&mut seen);
+        one_day_study(9).run_parallel_with_progress(|net, day| {
+            seen.lock().unwrap().push((net.to_string(), day));
+        });
+    }
+    assert!(seen.contains(&("LimeWire".to_string(), 1)));
+    assert!(seen.contains(&("OpenFT".to_string(), 1)));
+}

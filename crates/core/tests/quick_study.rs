@@ -12,15 +12,29 @@ fn quick_study_runs_and_has_paper_shape() {
     // Both networks produced data.
     let lw = report.limewire.as_ref().expect("limewire ran");
     let ft = report.openft.as_ref().expect("openft ran");
-    assert!(lw.log.queries_issued > 100, "lw queries {}", lw.log.queries_issued);
-    assert!(ft.log.queries_issued > 100, "ft queries {}", ft.log.queries_issued);
+    assert!(
+        lw.log.queries_issued > 100,
+        "lw queries {}",
+        lw.log.queries_issued
+    );
+    assert!(
+        ft.log.queries_issued > 100,
+        "ft queries {}",
+        ft.log.queries_issued
+    );
 
     let lw_sum = summarize("LimeWire", &lw.log, &lw.resolved);
     let ft_sum = summarize("OpenFT", &ft.log, &ft.resolved);
     eprintln!("LimeWire: {lw_sum:#?}");
     eprintln!("OpenFT: {ft_sum:#?}");
-    eprintln!("LW top malware: {:#?}", top_malware(&lw.resolved).iter().take(4).collect::<Vec<_>>());
-    eprintln!("FT top malware: {:#?}", top_malware(&ft.resolved).iter().take(4).collect::<Vec<_>>());
+    eprintln!(
+        "LW top malware: {:#?}",
+        top_malware(&lw.resolved).iter().take(4).collect::<Vec<_>>()
+    );
+    eprintln!(
+        "FT top malware: {:#?}",
+        top_malware(&ft.resolved).iter().take(4).collect::<Vec<_>>()
+    );
     eprintln!("LW sources: {:#?}", source_breakdown(&lw.resolved));
     eprintln!("LW filters:");
     for f in report.filter_comparison() {
@@ -38,8 +52,16 @@ fn quick_study_runs_and_has_paper_shape() {
         lw_sum.malicious_pct,
         ft_sum.malicious_pct
     );
-    assert!(lw_sum.malicious_pct > 30.0, "lw {:.1}%", lw_sum.malicious_pct);
-    assert!(ft_sum.malicious_pct < 20.0, "ft {:.1}%", ft_sum.malicious_pct);
+    assert!(
+        lw_sum.malicious_pct > 30.0,
+        "lw {:.1}%",
+        lw_sum.malicious_pct
+    );
+    assert!(
+        ft_sum.malicious_pct < 20.0,
+        "ft {:.1}%",
+        ft_sum.malicious_pct
+    );
 
     // Top-3 dominance on LimeWire.
     let lw_top = top_malware(&lw.resolved);
@@ -49,14 +71,26 @@ fn quick_study_runs_and_has_paper_shape() {
 
     // Private addresses appear among LimeWire malicious sources.
     let sources = source_breakdown(&lw.resolved);
-    assert!(sources.private_pct > 5.0, "private share {:.1}%", sources.private_pct);
+    assert!(
+        sources.private_pct > 5.0,
+        "private share {:.1}%",
+        sources.private_pct
+    );
 
     // Filters: size-based beats the built-in by a wide margin.
     let rows = report.filter_comparison();
     let builtin = rows.iter().find(|r| r.name == "LimeWire built-in").unwrap();
     let size = rows.iter().find(|r| r.name == "size-based").unwrap();
-    assert!(size.detection_pct > 90.0, "size filter detects {:.1}%", size.detection_pct);
-    assert!(size.false_positive_pct < 2.0, "size filter FP {:.2}%", size.false_positive_pct);
+    assert!(
+        size.detection_pct > 90.0,
+        "size filter detects {:.1}%",
+        size.detection_pct
+    );
+    assert!(
+        size.false_positive_pct < 2.0,
+        "size filter FP {:.2}%",
+        size.false_positive_pct
+    );
     assert!(
         builtin.detection_pct < size.detection_pct / 2.0,
         "builtin {:.1}% vs size {:.1}%",

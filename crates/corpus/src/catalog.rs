@@ -179,7 +179,12 @@ impl Catalog {
                     Variant { name, size }
                 })
                 .collect();
-            items.push(BenignItem { id, keywords, media, variants });
+            items.push(BenignItem {
+                id,
+                keywords,
+                media,
+                variants,
+            });
         }
         let popularity = Zipf::new(config.titles, config.alpha);
         Catalog { items, popularity }
@@ -274,14 +279,45 @@ const SECOND_WORDS: &[&str] = &[
 ];
 
 const WORK_WORDS: &[&str] = &[
-    "remix", "live", "sessions", "unplugged", "deluxe", "edition", "collection", "trilogy",
-    "chronicles", "returns", "forever", "nights", "dreams", "stories", "tapes", "vault",
-    "anthology", "bootleg", "special", "ultimate",
+    "remix",
+    "live",
+    "sessions",
+    "unplugged",
+    "deluxe",
+    "edition",
+    "collection",
+    "trilogy",
+    "chronicles",
+    "returns",
+    "forever",
+    "nights",
+    "dreams",
+    "stories",
+    "tapes",
+    "vault",
+    "anthology",
+    "bootleg",
+    "special",
+    "ultimate",
 ];
 
 const APP_WORDS: &[&str] = &[
-    "toolkit", "studio", "manager", "optimizer", "designer", "converter", "player", "editor",
-    "builder", "suite", "wizard", "express", "deluxe", "professional", "cleaner", "tuner",
+    "toolkit",
+    "studio",
+    "manager",
+    "optimizer",
+    "designer",
+    "converter",
+    "player",
+    "editor",
+    "builder",
+    "suite",
+    "wizard",
+    "express",
+    "deluxe",
+    "professional",
+    "cleaner",
+    "tuner",
 ];
 
 fn title_keywords(media: MediaType, rng: &mut StdRng) -> Vec<String> {
@@ -309,7 +345,10 @@ fn variant_name(keywords: &[String], media: MediaType, variant: usize, rng: &mut
     let stem = keywords.join("_");
     let tag = match variant {
         0 => String::new(),
-        _ => format!("_{}", ["hq", "rip", "full", "v2", "final"][rng.gen_range(0..5)]),
+        _ => format!(
+            "_{}",
+            ["hq", "rip", "full", "v2", "final"][rng.gen_range(0..5usize)]
+        ),
     };
     format!("{stem}{tag}.{}", media.extension())
 }
@@ -321,7 +360,13 @@ mod tests {
 
     fn small_catalog(seed: u64) -> Catalog {
         let mut rng = StdRng::seed_from_u64(seed);
-        Catalog::generate(&CatalogConfig { titles: 300, ..Default::default() }, &mut rng)
+        Catalog::generate(
+            &CatalogConfig {
+                titles: 300,
+                ..Default::default()
+            },
+            &mut rng,
+        )
     }
 
     #[test]
@@ -337,9 +382,16 @@ mod tests {
     #[test]
     fn media_mix_roughly_matches_weights() {
         let mut rng = StdRng::seed_from_u64(11);
-        let cfg = CatalogConfig { titles: 6000, ..Default::default() };
+        let cfg = CatalogConfig {
+            titles: 6000,
+            ..Default::default()
+        };
         let cat = Catalog::generate(&cfg, &mut rng);
-        let audio = cat.items().iter().filter(|i| i.media == MediaType::Audio).count();
+        let audio = cat
+            .items()
+            .iter()
+            .filter(|i| i.media == MediaType::Audio)
+            .count();
         let frac = audio as f64 / cat.len() as f64;
         assert!((frac - 0.58).abs() < 0.03, "audio fraction {frac}");
     }
@@ -365,7 +417,10 @@ mod tests {
         let k1 = item.keywords[1].clone();
         assert!(item.matches_query(&[&k0]));
         assert!(item.matches_query(&[&k0, &k1]));
-        assert!(item.matches_query(&[&k0.to_ascii_uppercase()]), "case-insensitive");
+        assert!(
+            item.matches_query(&[&k0.to_ascii_uppercase()]),
+            "case-insensitive"
+        );
         assert!(!item.matches_query(&[&k0, "zzzzqqq"]));
         assert!(!item.matches_query(&[]), "empty query matches nothing");
     }
@@ -377,7 +432,10 @@ mod tests {
         for _ in 0..50 {
             let q = cat.sample_query(&mut rng);
             let terms: Vec<&str> = q.split_whitespace().collect();
-            assert!(!cat.matching(&terms).is_empty(), "query {q:?} matched nothing");
+            assert!(
+                !cat.matching(&terms).is_empty(),
+                "query {q:?} matched nothing"
+            );
         }
     }
 

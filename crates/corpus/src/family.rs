@@ -42,7 +42,10 @@ pub enum NamingStrategy {
     /// (spaces preserved) — the Mandragore-style shape LimeWire's built-in
     /// filter recognizes; non-verbatim worms join terms with underscores
     /// and evade it.
-    QueryEcho { extensions: Vec<String>, verbatim: bool },
+    QueryEcho {
+        extensions: Vec<String>,
+        verbatim: bool,
+    },
     /// Share a fixed set of enticing filenames; answer only queries whose
     /// terms all occur in one of them.
     FixedNames(Vec<String>),
@@ -96,7 +99,10 @@ impl MalwareFamily {
         prevalence_weight: f64,
     ) -> Self {
         assert!(!sizes.is_empty(), "family {name} needs at least one size");
-        assert!(prevalence_weight > 0.0, "family {name} needs positive weight");
+        assert!(
+            prevalence_weight > 0.0,
+            "family {name} needs positive weight"
+        );
         MalwareFamily {
             id,
             name: name.to_string(),
@@ -193,7 +199,10 @@ impl Roster {
             FamilyId(id),
             "W32.Padobot.P2P",
             vec![58_368],
-            NamingStrategy::QueryEcho { extensions: vec!["exe".into()], verbatim: false },
+            NamingStrategy::QueryEcho {
+                extensions: vec!["exe".into()],
+                verbatim: false,
+            },
             Container::Executable,
             60.0,
         ));
@@ -214,7 +223,10 @@ impl Roster {
             FamilyId(id),
             "W32.Bagle.DL",
             vec![92_672],
-            NamingStrategy::QueryEcho { extensions: vec!["exe".into()], verbatim: true },
+            NamingStrategy::QueryEcho {
+                extensions: vec!["exe".into()],
+                verbatim: true,
+            },
             Container::ZipOfExecutable,
             6.5,
         ));
@@ -234,11 +246,23 @@ impl Roster {
             let naming = if *fixed {
                 NamingStrategy::FixedNames(fixed_name_list(name))
             } else {
-                NamingStrategy::PopularBait { extension: "exe".into() }
+                NamingStrategy::PopularBait {
+                    extension: "exe".into(),
+                }
             };
-            let container =
-                if i % 3 == 2 { Container::ZipOfExecutable } else { Container::Executable };
-            push(MalwareFamily::new(FamilyId(id), name, vec![*size], naming, container, 0.3));
+            let container = if i % 3 == 2 {
+                Container::ZipOfExecutable
+            } else {
+                Container::Executable
+            };
+            push(MalwareFamily::new(
+                FamilyId(id),
+                name,
+                vec![*size],
+                naming,
+                container,
+                0.3,
+            ));
             id += 1;
         }
         Roster::new(v)
@@ -270,13 +294,15 @@ impl Roster {
             FamilyId(2),
             "W32.Polipos.A",
             vec![196_608, 198_656],
-            NamingStrategy::PopularBait { extension: "exe".into() },
+            NamingStrategy::PopularBait {
+                extension: "exe".into(),
+            },
             Container::Executable,
             3.5,
         ));
         // Diffuse 25% tail across five families.
         let tail: [(&str, u64); 5] = [
-            ("Trojan.Istbar.FT", 24_576, ),
+            ("Trojan.Istbar.FT", 24_576),
             ("W32.Bacalid.A", 154_112),
             ("Trojan.Dialer.QN", 45_056),
             ("W32.Looked.P", 61_440),
@@ -286,7 +312,9 @@ impl Roster {
             let naming = if i % 2 == 0 {
                 NamingStrategy::FixedNames(fixed_name_list(name))
             } else {
-                NamingStrategy::PopularBait { extension: "exe".into() }
+                NamingStrategy::PopularBait {
+                    extension: "exe".into(),
+                }
             };
             v.push(MalwareFamily::new(
                 FamilyId(3 + i as u16),
@@ -334,7 +362,11 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for f in r.families() {
             assert_eq!(f.signature.len(), 24, "{}", f.name);
-            assert!(seen.insert(f.signature.clone()), "duplicate signature {}", f.name);
+            assert!(
+                seen.insert(f.signature.clone()),
+                "duplicate signature {}",
+                f.name
+            );
             assert_eq!(&f.signature[20..], &[0xDE, 0xAD, 0xF1, 0x1E]);
         }
     }
@@ -363,7 +395,11 @@ mod tests {
         assert!(top3 / total > 0.95, "top3 weight share {}", top3 / total);
         // And the top three are all echo worms — the response amplifiers.
         for f in &r.families()[..3] {
-            assert!(matches!(f.naming, NamingStrategy::QueryEcho { .. }), "{}", f.name);
+            assert!(
+                matches!(f.naming, NamingStrategy::QueryEcho { .. }),
+                "{}",
+                f.name
+            );
         }
     }
 

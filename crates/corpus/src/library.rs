@@ -127,7 +127,10 @@ impl HostLibrary {
         self.files.push(SharedFile {
             name: v.name.clone(),
             size: v.size,
-            content: ContentRef::Benign { item: item.id, variant: variant as u8 },
+            content: ContentRef::Benign {
+                item: item.id,
+                variant: variant as u8,
+            },
         });
     }
 
@@ -148,9 +151,15 @@ impl HostLibrary {
     pub fn infect(&mut self, family: &MalwareFamily, catalog: &Catalog, rng: &mut StdRng) {
         let size_idx = pick_size_idx(family, rng);
         let size = family.sizes[size_idx as usize];
-        let content = ContentRef::Malware { family: family.id, size_idx };
+        let content = ContentRef::Malware {
+            family: family.id,
+            size_idx,
+        };
         match &family.naming {
-            NamingStrategy::QueryEcho { extensions, verbatim } => {
+            NamingStrategy::QueryEcho {
+                extensions,
+                verbatim,
+            } => {
                 self.echoes.push(EchoInfection {
                     family: family.id,
                     size_idx,
@@ -161,7 +170,11 @@ impl HostLibrary {
             }
             NamingStrategy::FixedNames(names) => {
                 for name in names {
-                    self.files.push(SharedFile { name: name.clone(), size, content });
+                    self.files.push(SharedFile {
+                        name: name.clone(),
+                        size,
+                        content,
+                    });
                 }
             }
             NamingStrategy::PopularBait { extension } => {
@@ -175,7 +188,11 @@ impl HostLibrary {
                     let name = format!("{}.{extension}", title.keywords.join("_"));
                     // Avoid duplicate names if sampling repeats a title.
                     if !self.files.iter().any(|f| f.name == name) {
-                        self.files.push(SharedFile { name, size, content });
+                        self.files.push(SharedFile {
+                            name,
+                            size,
+                            content,
+                        });
                     }
                 }
             }
@@ -197,7 +214,10 @@ impl HostLibrary {
     ) {
         let size_idx = pick_size_idx(family, rng);
         let size = family.sizes[size_idx as usize];
-        let content = ContentRef::Malware { family: family.id, size_idx };
+        let content = ContentRef::Malware {
+            family: family.id,
+            size_idx,
+        };
         let mut added = 0;
         let mut attempts = 0;
         // Bait titles come uniformly from below the top popularity decile:
@@ -213,7 +233,11 @@ impl HostLibrary {
             let title = catalog.item(rank as u32);
             let name = format!("{}.exe", title.keywords.join("_"));
             if !self.files.iter().any(|f| f.name == name) {
-                self.files.push(SharedFile { name, size, content });
+                self.files.push(SharedFile {
+                    name,
+                    size,
+                    content,
+                });
                 added += 1;
             }
         }
@@ -234,8 +258,11 @@ impl HostLibrary {
             // Verbatim worms echo the raw query text (Mandragore-style);
             // the rest join terms with underscores, evading exact-echo
             // filters.
-            let stem: String =
-                if echo.verbatim { query.trim().to_string() } else { terms.join("_") };
+            let stem: String = if echo.verbatim {
+                query.trim().to_string()
+            } else {
+                terms.join("_")
+            };
             for ext in &echo.extensions {
                 if out.len() >= max {
                     return out;
@@ -243,7 +270,10 @@ impl HostLibrary {
                 out.push(SharedFile {
                     name: format!("{stem}.{ext}"),
                     size: echo.size,
-                    content: ContentRef::Malware { family: echo.family, size_idx: echo.size_idx },
+                    content: ContentRef::Malware {
+                        family: echo.family,
+                        size_idx: echo.size_idx,
+                    },
                 });
             }
         }
@@ -284,7 +314,13 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut rng = StdRng::seed_from_u64(1);
-        Catalog::generate(&CatalogConfig { titles: 200, ..Default::default() }, &mut rng)
+        Catalog::generate(
+            &CatalogConfig {
+                titles: 200,
+                ..Default::default()
+            },
+            &mut rng,
+        )
     }
 
     #[test]
@@ -342,7 +378,10 @@ mod tests {
         lib.infect(alcra, &cat, &mut rng);
         let rs = lib.respond("test", 64);
         assert_eq!(rs.len(), 2);
-        let exts: Vec<&str> = rs.iter().map(|f| f.name.rsplit('.').next().unwrap()).collect();
+        let exts: Vec<&str> = rs
+            .iter()
+            .map(|f| f.name.rsplit('.').next().unwrap())
+            .collect();
         assert_eq!(exts, vec!["exe", "zip"]);
     }
 

@@ -21,8 +21,8 @@ use crate::family::{Container, Roster};
 use crate::library::ContentRef;
 use p2pmal_archive::{Method, ZipWriter};
 use p2pmal_hashes::{md5, sha1, Md5Digest, Sha1Digest};
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Offset of the embedded family signature inside a malicious executable
 /// image (right after a plausible DOS header area).
@@ -48,7 +48,10 @@ pub struct ContentStore {
 
 impl ContentStore {
     pub fn new(seed: u64) -> Self {
-        ContentStore { seed, hash_cache: Mutex::new(HashMap::new()) }
+        ContentStore {
+            seed,
+            hash_cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The exact transfer size of `r` in bytes, without materializing the
@@ -58,9 +61,7 @@ impl ContentStore {
             ContentRef::Benign { item, variant } => {
                 catalog.item(item).variants[variant as usize].size
             }
-            ContentRef::Malware { family, size_idx } => {
-                roster.get(family).sizes[size_idx as usize]
-            }
+            ContentRef::Malware { family, size_idx } => roster.get(family).sizes[size_idx as usize],
         }
     }
 
@@ -78,9 +79,7 @@ impl ContentStore {
                 let size = fam.sizes[size_idx as usize] as usize;
                 match fam.container {
                     Container::Executable => infected_exe(size, &fam.signature, key),
-                    Container::ZipOfExecutable => {
-                        infected_zip(size, &fam.signature, key)
-                    }
+                    Container::ZipOfExecutable => infected_zip(size, &fam.signature, key),
                 }
             }
         }
@@ -88,12 +87,15 @@ impl ContentStore {
 
     /// SHA-1 and MD5 of the payload, cached after first computation.
     pub fn hashes(&self, r: ContentRef, catalog: &Catalog, roster: &Roster) -> HashPair {
-        if let Some(h) = self.hash_cache.lock().get(&r) {
+        if let Some(h) = self.hash_cache.lock().unwrap().get(&r) {
             return *h;
         }
         let data = self.payload(r, catalog, roster);
-        let pair = HashPair { sha1: sha1(&data), md5: md5(&data) };
-        self.hash_cache.lock().insert(r, pair);
+        let pair = HashPair {
+            sha1: sha1(&data),
+            md5: md5(&data),
+        };
+        self.hash_cache.lock().unwrap().insert(r, pair);
         pair
     }
 
@@ -109,7 +111,7 @@ impl ContentStore {
 
     /// Number of distinct contents hashed so far.
     pub fn cached_hashes(&self) -> usize {
-        self.hash_cache.lock().len()
+        self.hash_cache.lock().unwrap().len()
     }
 
     /// A cheap, deterministic MD5-shaped identifier for `r`, computed over
@@ -194,7 +196,11 @@ fn benign_payload(media: MediaType, size: usize, key: u64) -> Vec<u8> {
 
 /// Builds a real one-entry stored ZIP of exactly `target` bytes by sizing
 /// the inner member to absorb the container overhead.
-fn exact_size_zip(target: usize, inner_name: &str, build_inner: impl Fn(usize) -> Vec<u8>) -> Vec<u8> {
+fn exact_size_zip(
+    target: usize,
+    inner_name: &str,
+    build_inner: impl Fn(usize) -> Vec<u8>,
+) -> Vec<u8> {
     // Measure the fixed overhead with a zero-length member.
     let mut probe = ZipWriter::new();
     probe.add(inner_name, &[], Method::Stored);
@@ -222,7 +228,10 @@ fn benign_zip(size: usize, key: u64) -> Vec<u8> {
 /// An infected `MZ` image: DOS-stub-shaped head, the family signature at
 /// [`SIG_OFFSET`], pseudorandom tail.
 fn infected_exe(size: usize, signature: &[u8], key: u64) -> Vec<u8> {
-    assert!(size >= SIG_OFFSET + signature.len() + 16, "exe size {size} too small");
+    assert!(
+        size >= SIG_OFFSET + signature.len() + 16,
+        "exe size {size} too small"
+    );
     let mut buf = vec![0u8; size];
     fill_deterministic(&mut buf, key);
     buf[0] = b'M';
@@ -260,7 +269,10 @@ fn infected_zip(size: usize, signature: &[u8], key: u64) -> Vec<u8> {
         w.finish()
     };
     let base = build(&[]).len();
-    assert!(size >= base, "target zip size {size} too small (needs {base})");
+    assert!(
+        size >= base,
+        "target zip size {size} too small (needs {base})"
+    );
     let pad = vec![0u8; size - base];
     let out = build(&pad);
     debug_assert_eq!(out.len(), size);
@@ -278,9 +290,18 @@ mod tests {
 
     fn fixtures() -> (Catalog, Roster, ContentStore) {
         let mut rng = StdRng::seed_from_u64(2);
-        let catalog =
-            Catalog::generate(&CatalogConfig { titles: 120, ..Default::default() }, &mut rng);
-        (catalog, Roster::limewire_2006(), ContentStore::new(0xC0FFEE))
+        let catalog = Catalog::generate(
+            &CatalogConfig {
+                titles: 120,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        (
+            catalog,
+            Roster::limewire_2006(),
+            ContentStore::new(0xC0FFEE),
+        )
     }
 
     fn scanner(roster: &Roster) -> Scanner {
@@ -294,15 +315,30 @@ mod tests {
     fn payload_length_matches_size_for_all_shapes() {
         let (catalog, roster, store) = fixtures();
         let mut refs = vec![
-            ContentRef::Benign { item: 0, variant: 0 },
-            ContentRef::Malware { family: FamilyId(0), size_idx: 0 },
-            ContentRef::Malware { family: FamilyId(1), size_idx: 1 },
-            ContentRef::Malware { family: FamilyId(2), size_idx: 0 }, // zip container
+            ContentRef::Benign {
+                item: 0,
+                variant: 0,
+            },
+            ContentRef::Malware {
+                family: FamilyId(0),
+                size_idx: 0,
+            },
+            ContentRef::Malware {
+                family: FamilyId(1),
+                size_idx: 1,
+            },
+            ContentRef::Malware {
+                family: FamilyId(2),
+                size_idx: 0,
+            }, // zip container
         ];
         // Add one benign ref per media type that we can afford to build.
         for it in catalog.items() {
             if it.media != MediaType::Video && it.variants[0].size < 4_000_000 {
-                refs.push(ContentRef::Benign { item: it.id, variant: 0 });
+                refs.push(ContentRef::Benign {
+                    item: it.id,
+                    variant: 0,
+                });
             }
             if refs.len() > 24 {
                 break;
@@ -319,11 +355,20 @@ mod tests {
     fn payloads_are_deterministic_and_replica_identical() {
         let (catalog, roster, store) = fixtures();
         let other = ContentStore::new(0xC0FFEE);
-        let r = ContentRef::Malware { family: FamilyId(0), size_idx: 0 };
-        assert_eq!(store.payload(r, &catalog, &roster), other.payload(r, &catalog, &roster));
+        let r = ContentRef::Malware {
+            family: FamilyId(0),
+            size_idx: 0,
+        };
+        assert_eq!(
+            store.payload(r, &catalog, &roster),
+            other.payload(r, &catalog, &roster)
+        );
         // Different seed => different bytes (same size).
         let third = ContentStore::new(1);
-        assert_ne!(store.payload(r, &catalog, &roster), third.payload(r, &catalog, &roster));
+        assert_ne!(
+            store.payload(r, &catalog, &roster),
+            third.payload(r, &catalog, &roster)
+        );
     }
 
     #[test]
@@ -332,10 +377,18 @@ mod tests {
         let sc = scanner(&roster);
         for fam in roster.families() {
             for (i, _) in fam.sizes.iter().enumerate() {
-                let r = ContentRef::Malware { family: fam.id, size_idx: i as u8 };
+                let r = ContentRef::Malware {
+                    family: fam.id,
+                    size_idx: i as u8,
+                };
                 let data = store.payload(r, &catalog, &roster);
                 let v = sc.scan("sample.bin", &data);
-                assert_eq!(v.primary(), Some(fam.name.as_str()), "{} size {i}", fam.name);
+                assert_eq!(
+                    v.primary(),
+                    Some(fam.name.as_str()),
+                    "{} size {i}",
+                    fam.name
+                );
             }
         }
     }
@@ -345,7 +398,10 @@ mod tests {
         let (catalog, roster, store) = fixtures();
         let bagle = roster.by_name("W32.Bagle.DL").unwrap();
         assert_eq!(bagle.container, Container::ZipOfExecutable);
-        let r = ContentRef::Malware { family: bagle.id, size_idx: 0 };
+        let r = ContentRef::Malware {
+            family: bagle.id,
+            size_idx: 0,
+        };
         let data = store.payload(r, &catalog, &roster);
         assert_eq!(&data[..2], b"PK", "outer container is a real zip");
         let v = scanner(&roster).scan("pack.zip", &data);
@@ -366,9 +422,16 @@ mod tests {
             if it.media == MediaType::Video || it.variants[0].size > 2_000_000 {
                 continue;
             }
-            let r = ContentRef::Benign { item: it.id, variant: 0 };
+            let r = ContentRef::Benign {
+                item: it.id,
+                variant: 0,
+            };
             let data = store.payload(r, &catalog, &roster);
-            assert!(!sc.scan(&it.variants[0].name, &data).infected(), "{}", it.variants[0].name);
+            assert!(
+                !sc.scan(&it.variants[0].name, &data).infected(),
+                "{}",
+                it.variants[0].name
+            );
             checked += 1;
             if checked >= 20 {
                 break;
@@ -384,8 +447,14 @@ mod tests {
             if it.media == MediaType::Video || it.variants[0].size > 2_000_000 {
                 continue;
             }
-            let data =
-                store.payload(ContentRef::Benign { item: it.id, variant: 0 }, &catalog, &roster);
+            let data = store.payload(
+                ContentRef::Benign {
+                    item: it.id,
+                    variant: 0,
+                },
+                &catalog,
+                &roster,
+            );
             match it.media {
                 MediaType::Audio => assert_eq!(&data[..3], b"ID3"),
                 MediaType::Application => assert_eq!(&data[..2], b"MZ"),
@@ -400,7 +469,10 @@ mod tests {
     #[test]
     fn hashes_are_cached_and_stable() {
         let (catalog, roster, store) = fixtures();
-        let r = ContentRef::Malware { family: FamilyId(0), size_idx: 0 };
+        let r = ContentRef::Malware {
+            family: FamilyId(0),
+            size_idx: 0,
+        };
         let a = store.hashes(r, &catalog, &roster);
         assert_eq!(store.cached_hashes(), 1);
         let b = store.hashes(r, &catalog, &roster);

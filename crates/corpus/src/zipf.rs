@@ -39,7 +39,10 @@ impl Zipf {
     /// a configuration bug, not a data-dependent condition.
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n > 0, "Zipf over zero ranks");
-        assert!(alpha.is_finite() && alpha >= 0.0, "bad Zipf exponent {alpha}");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "bad Zipf exponent {alpha}"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 0..n {
@@ -118,7 +121,7 @@ mod tests {
     fn empirical_frequencies_track_pmf() {
         let z = Zipf::new(50, 1.2);
         let mut rng = StdRng::seed_from_u64(99);
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         let n = 200_000;
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;

@@ -144,12 +144,10 @@ impl GnutellaCrawler {
                 host: HostKey::Guid(hit.servent_guid.0),
                 downloadable: crate::log::is_downloadable_name(&res.name),
             };
-            let want_download = record.downloadable
-                && self.log.outcome_of(&record).is_none()
-                && {
-                    let (nk, hk) = CrawlLog::keys_of(&record);
-                    !self.busy_name_size.contains(&nk) && !self.busy_host_size.contains(&hk)
-                };
+            let want_download = record.downloadable && self.log.outcome_of(&record).is_none() && {
+                let (nk, hk) = CrawlLog::keys_of(&record);
+                !self.busy_name_size.contains(&nk) && !self.busy_host_size.contains(&hk)
+            };
             if want_download {
                 let (nk, hk) = CrawlLog::keys_of(&record);
                 self.busy_name_size.insert(nk);
@@ -175,12 +173,18 @@ impl GnutellaCrawler {
 
     fn start_downloads(&mut self, ctx: &mut Ctx<'_>) {
         while self.in_flight.len() < self.config.max_concurrent_downloads {
-            let Some((record, request)) = self.pending.pop_front() else { break };
+            let Some((record, request)) = self.pending.pop_front() else {
+                break;
+            };
             self.log.downloads_attempted += 1;
             let id = self.servent.begin_download(ctx, request.clone());
             self.in_flight.insert(
                 id,
-                InFlight { record, request, pushes_left: self.config.push_retries },
+                InFlight {
+                    record,
+                    request,
+                    pushes_left: self.config.push_retries,
+                },
             );
         }
     }
@@ -198,16 +202,21 @@ impl GnutellaCrawler {
         id: u64,
         result: Result<Vec<u8>, DownloadError>,
     ) {
-        let Some(mut fl) = self.in_flight.remove(&id) else { return };
+        let Some(mut fl) = self.in_flight.remove(&id) else {
+            return;
+        };
         match result {
             Ok(body) => {
                 let sha1 = p2pmal_hashes::sha1(&body);
                 let verdict = self.scanner.scan(&fl.record.filename, &body);
-                let detections =
-                    verdict.detections.iter().map(|d| d.name.clone()).collect();
+                let detections = verdict.detections.iter().map(|d| d.name.clone()).collect();
                 self.finish(
                     &fl.record.clone(),
-                    ScanOutcome::Scanned { sha1, len: body.len() as u64, detections },
+                    ScanOutcome::Scanned {
+                        sha1,
+                        len: body.len() as u64,
+                        detections,
+                    },
                 );
             }
             Err(_) if fl.pushes_left > 0 => {
@@ -231,7 +240,9 @@ impl GnutellaCrawler {
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
         for ev in self.servent.drain_events() {
             match ev {
-                ServentEvent::QueryHit { query_guid, hit, .. } => {
+                ServentEvent::QueryHit {
+                    query_guid, hit, ..
+                } => {
                     self.ingest_hit(ctx, query_guid, &hit);
                 }
                 ServentEvent::DownloadDone(outcome) => {

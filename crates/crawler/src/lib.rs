@@ -26,8 +26,7 @@ pub mod workload;
 
 pub use gnutella::{GnutellaCrawler, GnutellaCrawlerConfig};
 pub use log::{
-    is_downloadable_name, CrawlLog, HostKey, Network, ResolvedResponse, ResponseRecord,
-    ScanOutcome,
+    is_downloadable_name, CrawlLog, HostKey, Network, ResolvedResponse, ResponseRecord, ScanOutcome,
 };
 pub use openft::{FtCrawler, FtCrawlerConfig};
 pub use workload::{Workload, WorkloadConfig, GENERIC_TERMS};

@@ -14,13 +14,12 @@
 //! per response.
 
 use p2pmal_hashes::Sha1Digest;
-use serde::{Deserialize, Serialize};
 use p2pmal_netsim::SimTime;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// Which instrumented network produced a log.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Network {
     Limewire,
     OpenFt,
@@ -36,8 +35,7 @@ impl Network {
 }
 
 /// Extensions the study counted as the "archives and executables" class.
-pub const DOWNLOADABLE_EXTENSIONS: [&str; 7] =
-    ["exe", "zip", "rar", "com", "scr", "bat", "msi"];
+pub const DOWNLOADABLE_EXTENSIONS: [&str; 7] = ["exe", "zip", "rar", "com", "scr", "bat", "msi"];
 
 /// True when `name`'s extension puts it in the downloadable class.
 pub fn is_downloadable_name(name: &str) -> bool {
@@ -53,14 +51,14 @@ pub fn is_downloadable_name(name: &str) -> bool {
 /// Identity of a responding host, as well as the crawler can observe it.
 /// Gnutella hits carry a stable servent GUID; OpenFT results carry the
 /// serving host's address.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum HostKey {
     Guid([u8; 16]),
     Addr(Ipv4Addr, u16),
 }
 
 /// One logged query response.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ResponseRecord {
     pub at: SimTime,
     /// Simulated-day index, the time-series bucket.
@@ -79,7 +77,7 @@ pub struct ResponseRecord {
 }
 
 /// Content-level result of downloading + scanning one deduplicated object.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum ScanOutcome {
     /// Downloaded and scanned.
     Scanned {
@@ -107,15 +105,15 @@ impl ScanOutcome {
 }
 
 /// Dedup keys a response resolves through.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct NameSizeKey(pub String, pub u64);
 
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct HostSizeKey(pub HostKey, pub u64);
 
 /// A response joined with its scan verdict (produced by
 /// [`CrawlLog::resolved`]).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ResolvedResponse {
     pub record: ResponseRecord,
     /// `None` when the content was never successfully scanned.
@@ -127,7 +125,7 @@ pub struct ResolvedResponse {
 }
 
 /// The full measurement log for one network over one collection run.
-#[derive(Debug, Default, Serialize, Deserialize)]
+#[derive(Debug, Default)]
 pub struct CrawlLog {
     pub responses: Vec<ResponseRecord>,
     /// Scan outcomes by dedup key.
@@ -156,7 +154,9 @@ impl CrawlLog {
     /// get) a verdict.
     pub fn outcome_of(&self, r: &ResponseRecord) -> Option<&ScanOutcome> {
         let (nk, hk) = Self::keys_of(r);
-        self.by_name_size.get(&nk).or_else(|| self.by_host_size.get(&hk))
+        self.by_name_size
+            .get(&nk)
+            .or_else(|| self.by_host_size.get(&hk))
     }
 
     /// Records a scan outcome under both dedup keys.
@@ -178,7 +178,12 @@ impl CrawlLog {
                     Some(ScanOutcome::Scanned { sha1, .. }) => Some(*sha1),
                     _ => None,
                 };
-                ResolvedResponse { record: r.clone(), malware, scanned, sha1 }
+                ResolvedResponse {
+                    record: r.clone(),
+                    malware,
+                    scanned,
+                    sha1,
+                }
             })
             .collect()
     }
@@ -222,8 +227,16 @@ mod tests {
     #[test]
     fn dedup_by_name_size_spans_hosts() {
         let mut log = CrawlLog::new();
-        let a = record("tool.exe", 1000, HostKey::Addr(Ipv4Addr::new(1, 1, 1, 1), 80));
-        let b = record("tool.exe", 1000, HostKey::Addr(Ipv4Addr::new(2, 2, 2, 2), 80));
+        let a = record(
+            "tool.exe",
+            1000,
+            HostKey::Addr(Ipv4Addr::new(1, 1, 1, 1), 80),
+        );
+        let b = record(
+            "tool.exe",
+            1000,
+            HostKey::Addr(Ipv4Addr::new(2, 2, 2, 2), 80),
+        );
         log.record_outcome(
             &a,
             ScanOutcome::Scanned {
@@ -232,7 +245,10 @@ mod tests {
                 detections: vec!["W32.Test".into()],
             },
         );
-        assert!(log.outcome_of(&b).is_some(), "same name+size resolves across hosts");
+        assert!(
+            log.outcome_of(&b).is_some(),
+            "same name+size resolves across hosts"
+        );
         assert!(log.outcome_of(&b).unwrap().is_malicious());
     }
 
@@ -245,9 +261,16 @@ mod tests {
         let c = record("query_two.exe", 1111, host); // different size: miss
         log.record_outcome(
             &a,
-            ScanOutcome::Scanned { sha1: p2pmal_hashes::sha1(b"worm"), len: 58_368, detections: vec![] },
+            ScanOutcome::Scanned {
+                sha1: p2pmal_hashes::sha1(b"worm"),
+                len: 58_368,
+                detections: vec![],
+            },
         );
-        assert!(log.outcome_of(&b).is_some(), "echo worm resolves by host+size");
+        assert!(
+            log.outcome_of(&b).is_some(),
+            "echo worm resolves by host+size"
+        );
         assert!(log.outcome_of(&c).is_none());
     }
 
@@ -269,7 +292,11 @@ mod tests {
         );
         log.record_outcome(&c, ScanOutcome::Unreachable);
         let resolved = log.resolved();
-        assert_eq!(resolved[0].malware.as_deref(), Some("W32.X"), "primary detection");
+        assert_eq!(
+            resolved[0].malware.as_deref(),
+            Some("W32.X"),
+            "primary detection"
+        );
         assert!(resolved[0].scanned);
         assert!(!resolved[1].scanned);
         assert_eq!(resolved[1].malware, None);

@@ -5,9 +5,9 @@
 use crate::log::{CrawlLog, HostKey, HostSizeKey, NameSizeKey, ResponseRecord, ScanOutcome};
 use crate::workload::{Workload, WorkloadConfig};
 use p2pmal_gnutella::servent::SharedWorld;
+use p2pmal_netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration};
 use p2pmal_openft::node::{FtConfig, FtDownloadError, FtEvent, FtNode};
 use p2pmal_openft::packet::SearchResult;
-use p2pmal_netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration};
 use p2pmal_scanner::Scanner;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -108,7 +108,9 @@ impl FtCrawler {
     }
 
     fn ingest_result(&mut self, ctx: &mut Ctx<'_>, result: &SearchResult) {
-        let Some(query) = self.queries.get(&result.id).cloned() else { return };
+        let Some(query) = self.queries.get(&result.id).cloned() else {
+            return;
+        };
         let at = ctx.now();
         let record = ResponseRecord {
             at,
@@ -139,12 +141,19 @@ impl FtCrawler {
 
     fn start_downloads(&mut self, ctx: &mut Ctx<'_>) {
         while self.in_flight.len() < self.config.max_concurrent_downloads {
-            let Some((record, addr, md5)) = self.pending.pop_front() else { break };
+            let Some((record, addr, md5)) = self.pending.pop_front() else {
+                break;
+            };
             self.log.downloads_attempted += 1;
             let id = self.node.begin_download(ctx, addr, md5);
             self.in_flight.insert(
                 id,
-                InFlight { record, addr, md5, retries_left: self.config.retries },
+                InFlight {
+                    record,
+                    addr,
+                    md5,
+                    retries_left: self.config.retries,
+                },
             );
         }
     }
@@ -162,16 +171,21 @@ impl FtCrawler {
         id: u64,
         result: Result<Vec<u8>, FtDownloadError>,
     ) {
-        let Some(mut fl) = self.in_flight.remove(&id) else { return };
+        let Some(mut fl) = self.in_flight.remove(&id) else {
+            return;
+        };
         match result {
             Ok(body) => {
                 let sha1 = p2pmal_hashes::sha1(&body);
                 let verdict = self.scanner.scan(&fl.record.filename, &body);
-                let detections =
-                    verdict.detections.iter().map(|d| d.name.clone()).collect();
+                let detections = verdict.detections.iter().map(|d| d.name.clone()).collect();
                 self.finish(
                     &fl.record.clone(),
-                    ScanOutcome::Scanned { sha1, len: body.len() as u64, detections },
+                    ScanOutcome::Scanned {
+                        sha1,
+                        len: body.len() as u64,
+                        detections,
+                    },
                 );
             }
             Err(_) if fl.retries_left > 0 => {
@@ -192,9 +206,7 @@ impl FtCrawler {
         for ev in self.node.drain_events() {
             match ev {
                 FtEvent::SearchResult { result, .. } => self.ingest_result(ctx, &result),
-                FtEvent::DownloadDone { id, result, .. } => {
-                    self.on_download_done(ctx, id, result)
-                }
+                FtEvent::DownloadDone { id, result, .. } => self.on_download_done(ctx, id, result),
                 _ => {}
             }
         }

@@ -48,7 +48,11 @@ pub struct WorkloadConfig {
 
 impl Default for WorkloadConfig {
     fn default() -> Self {
-        WorkloadConfig { generic_fraction: 0.25, base_interval_secs: 60, diurnal_floor: 0.4 }
+        WorkloadConfig {
+            generic_fraction: 0.25,
+            base_interval_secs: 60,
+            diurnal_floor: 0.4,
+        }
     }
 }
 
@@ -82,8 +86,7 @@ impl Workload {
     /// The diurnal rate multiplier at `now` (1.0 at peak, `diurnal_floor`
     /// at trough), a smooth cosine over the 24h simulated day.
     pub fn diurnal_factor(&self, now: SimTime) -> f64 {
-        let day_fraction =
-            (now.as_micros() % (86_400 * 1_000_000)) as f64 / (86_400.0 * 1e6);
+        let day_fraction = (now.as_micros() % (86_400 * 1_000_000)) as f64 / (86_400.0 * 1e6);
         let floor = self.config.diurnal_floor;
         // Peak at 20:00, trough at 08:00 simulated time.
         let phase = (day_fraction - 20.0 / 24.0) * std::f64::consts::TAU;
@@ -109,12 +112,21 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut rng = StdRng::seed_from_u64(1);
-        Catalog::generate(&CatalogConfig { titles: 100, ..Default::default() }, &mut rng)
+        Catalog::generate(
+            &CatalogConfig {
+                titles: 100,
+                ..Default::default()
+            },
+            &mut rng,
+        )
     }
 
     #[test]
     fn queries_mix_generic_and_catalog() {
-        let w = Workload::new(WorkloadConfig { generic_fraction: 0.5, ..Default::default() });
+        let w = Workload::new(WorkloadConfig {
+            generic_fraction: 0.5,
+            ..Default::default()
+        });
         let cat = catalog();
         let mut rng = StdRng::seed_from_u64(2);
         let mut generic = 0;
@@ -151,8 +163,9 @@ mod tests {
         });
         let mut rng = StdRng::seed_from_u64(3);
         let n = 20_000;
-        let total: u64 =
-            (0..n).map(|_| w.next_interval_secs(SimTime::ZERO, &mut rng)).sum();
+        let total: u64 = (0..n)
+            .map(|_| w.next_interval_secs(SimTime::ZERO, &mut rng))
+            .sum();
         let mean = total as f64 / n as f64;
         // Exponential clipped to [1, 8*mean]: mean lands near 60.
         assert!((mean - 60.0).abs() < 5.0, "mean {mean}");

@@ -6,7 +6,7 @@ use p2pmal_corpus::catalog::{Catalog, CatalogConfig};
 use p2pmal_corpus::{ContentStore, FamilyId, HostLibrary, Roster};
 use p2pmal_crawler::{FtCrawler, FtCrawlerConfig, GnutellaCrawler, GnutellaCrawlerConfig};
 use p2pmal_gnutella::servent::{Servent, ServentConfig, SharedWorld};
-use p2pmal_netsim::{NodeSpec, SimConfig, SimDuration, Simulator, SimTime};
+use p2pmal_netsim::{NodeSpec, SimConfig, SimDuration, SimTime, Simulator};
 use p2pmal_openft::node::{FtConfig, FtNode};
 use p2pmal_scanner::Scanner;
 use rand::rngs::StdRng;
@@ -16,12 +16,24 @@ use std::sync::Arc;
 fn world(seed: u64, roster: Roster) -> SharedWorld {
     let mut rng = StdRng::seed_from_u64(seed);
     // Small sizes keep the mini-study's transfers fast.
-    let catalog = Catalog::generate(&CatalogConfig { titles: 200, ..Default::default() }, &mut rng);
-    SharedWorld::new(Arc::new(catalog), Arc::new(roster), Arc::new(ContentStore::new(seed)))
+    let catalog = Catalog::generate(
+        &CatalogConfig {
+            titles: 200,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    SharedWorld::new(
+        Arc::new(catalog),
+        Arc::new(roster),
+        Arc::new(ContentStore::new(seed)),
+    )
 }
 
 fn scanner(world: &SharedWorld) -> Arc<Scanner> {
-    Arc::new(Scanner::new(world.roster.signature_db().unwrap().build().unwrap()))
+    Arc::new(Scanner::new(
+        world.roster.signature_db().unwrap().build().unwrap(),
+    ))
 }
 
 #[test]
@@ -52,7 +64,10 @@ fn gnutella_mini_study_measures_ground_truth() {
         .map(|it| it.id)
         .collect();
     small_apps.truncate(3);
-    assert!(!small_apps.is_empty(), "catalog needs small apps for this test");
+    assert!(
+        !small_apps.is_empty(),
+        "catalog needs small apps for this test"
+    );
     for &id in &small_apps {
         let mut lib = HostLibrary::new();
         lib.add_benign(w.catalog.item(id), 0);
@@ -66,7 +81,11 @@ fn gnutella_mini_study_measures_ground_truth() {
         let mut lib = HostLibrary::new();
         lib.infect(w.roster.get(FamilyId(0)), &w.catalog, &mut rng);
         let cfg = ServentConfig::leaf().with_bootstrap(up_addrs.clone());
-        let spec = if nat { NodeSpec::nat() } else { NodeSpec::public().listen(6346) };
+        let spec = if nat {
+            NodeSpec::nat()
+        } else {
+            NodeSpec::public().listen(6346)
+        };
         sim.spawn(spec, Box::new(Servent::new(cfg, w.clone(), lib)));
     }
 
@@ -89,7 +108,11 @@ fn gnutella_mini_study_measures_ground_truth() {
 
     let log = sim
         .with_node(crawler, |app, _| {
-            app.as_any_mut().unwrap().downcast_mut::<GnutellaCrawler>().unwrap().take_log()
+            app.as_any_mut()
+                .unwrap()
+                .downcast_mut::<GnutellaCrawler>()
+                .unwrap()
+                .take_log()
         })
         .unwrap();
 
@@ -101,10 +124,16 @@ fn gnutella_mini_study_measures_ground_truth() {
     let scanned = downloadable.iter().filter(|r| r.scanned).count();
     assert!(scanned > 0, "some downloadable responses were scanned");
     let malicious = downloadable.iter().filter(|r| r.malware.is_some()).count();
-    assert!(malicious > 0, "echo worms must show up as malicious responses");
+    assert!(
+        malicious > 0,
+        "echo worms must show up as malicious responses"
+    );
     // Every malicious verdict names the planted family.
     for r in downloadable.iter().filter(|r| r.malware.is_some()) {
-        assert_eq!(r.malware.as_deref(), Some(w.roster.get(FamilyId(0)).name.as_str()));
+        assert_eq!(
+            r.malware.as_deref(),
+            Some(w.roster.get(FamilyId(0)).name.as_str())
+        );
         assert_eq!(r.record.size, w.roster.get(FamilyId(0)).sizes[0]);
     }
     // The NATed worm produced private-source responses.
@@ -145,7 +174,10 @@ fn openft_mini_study_measures_ground_truth() {
             let mut lib = HostLibrary::new();
             lib.add_benign(it, 0);
             let cfg = FtConfig::user().with_bootstrap(search_addrs.clone());
-            sim.spawn(NodeSpec::public().listen(1215), Box::new(FtNode::new(cfg, w.clone(), lib)));
+            sim.spawn(
+                NodeSpec::public().listen(1215),
+                Box::new(FtNode::new(cfg, w.clone(), lib)),
+            );
             added += 1;
         }
     }
@@ -165,7 +197,10 @@ fn openft_mini_study_measures_ground_truth() {
             FtConfig::user().with_bootstrap(search_addrs.clone()),
             w.clone(),
             scanner(&w),
-            FtCrawlerConfig { start_delay: SimDuration::from_secs(120), ..Default::default() },
+            FtCrawlerConfig {
+                start_delay: SimDuration::from_secs(120),
+                ..Default::default()
+            },
         )),
     );
 
@@ -173,7 +208,11 @@ fn openft_mini_study_measures_ground_truth() {
 
     let log = sim
         .with_node(crawler, |app, _| {
-            app.as_any_mut().unwrap().downcast_mut::<FtCrawler>().unwrap().take_log()
+            app.as_any_mut()
+                .unwrap()
+                .downcast_mut::<FtCrawler>()
+                .unwrap()
+                .take_log()
         })
         .unwrap();
 
@@ -185,6 +224,9 @@ fn openft_mini_study_measures_ground_truth() {
     // All malicious responses trace back to the single spreader host.
     for r in &malicious {
         assert_eq!(r.record.source_ip, spreader_ip);
-        assert_eq!(r.malware.as_deref(), Some(w.roster.get(FamilyId(0)).name.as_str()));
+        assert_eq!(
+            r.malware.as_deref(),
+            Some(w.roster.get(FamilyId(0)).name.as_str())
+        );
     }
 }

@@ -52,7 +52,9 @@ pub struct HashBlacklist {
 
 impl HashBlacklist {
     pub fn new(known_bad: impl IntoIterator<Item = Sha1Digest>) -> Self {
-        HashBlacklist { known_bad: known_bad.into_iter().collect() }
+        HashBlacklist {
+            known_bad: known_bad.into_iter().collect(),
+        }
     }
 
     /// Learns every malicious content hash from a training log.
@@ -108,7 +110,12 @@ mod tests {
         // A user searching the exact title of a benign app gets the honest
         // result blocked — the FP cost of name heuristics.
         let f = EchoHeuristicFilter::new();
-        assert!(f.blocks(&resp("silver echo toolkit", "silver_echo_toolkit.exe", 1, None)));
+        assert!(f.blocks(&resp(
+            "silver echo toolkit",
+            "silver_echo_toolkit.exe",
+            1,
+            None
+        )));
     }
 
     #[test]
@@ -121,7 +128,13 @@ mod tests {
         ];
         let f = HashBlacklist::learn(&train);
         assert_eq!(f.len(), 1);
-        assert!(f.blocks(&resp_with_sha1("other", "renamed.exe", 10, Some("W32.A"), Some(bad))));
+        assert!(f.blocks(&resp_with_sha1(
+            "other",
+            "renamed.exe",
+            10,
+            Some("W32.A"),
+            Some(bad)
+        )));
         assert!(!f.blocks(&resp_with_sha1("other", "ok.exe", 20, None, Some(good))));
         // Unscanned content can't be hash-matched.
         assert!(!f.blocks(&resp("q", "unknown.exe", 30, None)));

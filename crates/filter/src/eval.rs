@@ -99,13 +99,14 @@ pub mod test_support {
     use p2pmal_netsim::SimTime;
     use std::net::Ipv4Addr;
 
-    pub fn resp(
-        query: &str,
-        name: &str,
-        size: u64,
-        malware: Option<&str>,
-    ) -> ResolvedResponse {
-        resp_with_sha1(query, name, size, malware, Some(p2pmal_hashes::sha1(name.as_bytes())))
+    pub fn resp(query: &str, name: &str, size: u64, malware: Option<&str>) -> ResolvedResponse {
+        resp_with_sha1(
+            query,
+            name,
+            size,
+            malware,
+            Some(p2pmal_hashes::sha1(name.as_bytes())),
+        )
     }
 
     pub fn resp_with_sha1(

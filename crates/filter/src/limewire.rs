@@ -39,7 +39,12 @@ impl LimewireBuiltin {
     }
 
     pub fn with_keywords(keywords: Vec<String>) -> Self {
-        LimewireBuiltin { keywords: keywords.into_iter().map(|k| k.to_ascii_lowercase()).collect() }
+        LimewireBuiltin {
+            keywords: keywords
+                .into_iter()
+                .map(|k| k.to_ascii_lowercase())
+                .collect(),
+        }
     }
 
     /// The Mandragore check: filename == query + ".exe"/".zip", verbatim.
@@ -83,12 +88,24 @@ mod tests {
 
     #[test]
     fn mandragore_check_is_verbatim_only() {
-        assert!(LimewireBuiltin::is_query_echo("free music", "free music.exe"));
-        assert!(LimewireBuiltin::is_query_echo("Free Music", "free music.zip"));
+        assert!(LimewireBuiltin::is_query_echo(
+            "free music",
+            "free music.exe"
+        ));
+        assert!(LimewireBuiltin::is_query_echo(
+            "Free Music",
+            "free music.zip"
+        ));
         // The evasion every 2006 worm used: underscores.
-        assert!(!LimewireBuiltin::is_query_echo("free music", "free_music.exe"));
+        assert!(!LimewireBuiltin::is_query_echo(
+            "free music",
+            "free_music.exe"
+        ));
         // Not merely containing the query.
-        assert!(!LimewireBuiltin::is_query_echo("free music", "free music remix.exe"));
+        assert!(!LimewireBuiltin::is_query_echo(
+            "free music",
+            "free music remix.exe"
+        ));
         assert!(!LimewireBuiltin::is_query_echo("", ".exe"));
     }
 
@@ -103,8 +120,18 @@ mod tests {
     #[test]
     fn blocks_verbatim_echo_responses() {
         let f = LimewireBuiltin::new();
-        assert!(f.blocks(&resp("top hits 2006", "top hits 2006.exe", 92_672, Some("W32.Bagle.DL"))));
-        assert!(!f.blocks(&resp("top hits 2006", "top_hits_2006.exe", 58_368, Some("W32.Padobot.P2P"))));
+        assert!(f.blocks(&resp(
+            "top hits 2006",
+            "top hits 2006.exe",
+            92_672,
+            Some("W32.Bagle.DL")
+        )));
+        assert!(!f.blocks(&resp(
+            "top hits 2006",
+            "top_hits_2006.exe",
+            58_368,
+            Some("W32.Padobot.P2P")
+        )));
     }
 
     #[test]

@@ -62,7 +62,11 @@ impl SizeFilter {
                 blocked.insert(s);
             }
         }
-        SizeFilter { blocked, tolerance: 0, name: "size-based".to_string() }
+        SizeFilter {
+            blocked,
+            tolerance: 0,
+            name: "size-based".to_string(),
+        }
     }
 
     /// Switches to tolerant matching: block sizes within `bytes` of a
@@ -145,7 +149,11 @@ mod tests {
         }
 
         let f = SizeFilter::learn(&train, 2, 1);
-        assert_eq!(f.blocked_sizes(), vec![100, 200], "top-2 families, 1 size each");
+        assert_eq!(
+            f.blocked_sizes(),
+            vec![100, 200],
+            "top-2 families, 1 size each"
+        );
         let f = SizeFilter::learn(&train, 2, 2);
         assert_eq!(f.blocked_sizes(), vec![100, 101, 200]);
         let f = SizeFilter::learn(&train, 3, 1);
@@ -156,7 +164,10 @@ mod tests {
     fn non_downloadable_responses_pass() {
         let f = SizeFilter::from_sizes([100]);
         let mp3 = resp("q", "song.mp3", 100, None);
-        assert!(!f.blocks(&mp3), "size filter applies to the downloadable class only");
+        assert!(
+            !f.blocks(&mp3),
+            "size filter applies to the downloadable class only"
+        );
         let exe = resp("q", "x.exe", 100, None);
         assert!(f.blocks(&exe));
     }

@@ -39,7 +39,11 @@ pub fn size_filter_sweep(
         .map(|&k| {
             let sizes: Vec<u64> = ranked.iter().take(k).map(|(s, _)| *s).collect();
             let filter = SizeFilter::from_sizes(sizes.iter().copied());
-            SweepPoint { k, blocked_sizes: sizes, eval: evaluate(&filter, test) }
+            SweepPoint {
+                k,
+                blocked_sizes: sizes,
+                eval: evaluate(&filter, test),
+            }
         })
         .collect()
 }

@@ -2,7 +2,7 @@
 
 use p2pmal_crawler::log::{HostKey, ResponseRecord};
 use p2pmal_crawler::ResolvedResponse;
-use p2pmal_filter::{evaluate, ResponseFilter, SizeFilter};
+use p2pmal_filter::{evaluate, SizeFilter};
 use p2pmal_netsim::SimTime;
 use proptest::prelude::*;
 use std::net::Ipv4Addr;

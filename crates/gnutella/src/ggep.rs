@@ -63,12 +63,22 @@ impl std::error::Error for GgepError {}
 /// than 15 bytes, or non-ASCII, or if data exceeds [`MAX_EXT_LEN`] — those
 /// are caller bugs, not data-dependent conditions.
 pub fn encode(extensions: &[Extension]) -> Vec<u8> {
-    assert!(!extensions.is_empty(), "GGEP block needs at least one extension");
+    assert!(
+        !extensions.is_empty(),
+        "GGEP block needs at least one extension"
+    );
     let mut out = vec![GGEP_MAGIC];
     for (i, ext) in extensions.iter().enumerate() {
         let id = ext.id.as_bytes();
-        assert!(!id.is_empty() && id.len() <= 15, "GGEP id length {}", id.len());
-        assert!(id.iter().all(|b| b.is_ascii() && *b != 0), "GGEP id must be ASCII");
+        assert!(
+            !id.is_empty() && id.len() <= 15,
+            "GGEP id length {}",
+            id.len()
+        );
+        assert!(
+            id.iter().all(|b| b.is_ascii() && *b != 0),
+            "GGEP id must be ASCII"
+        );
         assert!(ext.data.len() <= MAX_EXT_LEN, "GGEP data too long");
         let last = i + 1 == extensions.len();
         let mut flags = id.len() as u8;
@@ -146,7 +156,10 @@ pub fn parse(data: &[u8]) -> Result<(Vec<Extension>, usize), GgepError> {
         }
         let body = data.get(pos..pos + len).ok_or(GgepError::Truncated)?;
         pos += len;
-        exts.push(Extension { id, data: body.to_vec() });
+        exts.push(Extension {
+            id,
+            data: body.to_vec(),
+        });
         if flags & 0x80 != 0 {
             return Ok((exts, pos));
         }
@@ -163,7 +176,10 @@ mod tests {
     use super::*;
 
     fn ext(id: &str, data: &[u8]) -> Extension {
-        Extension { id: id.to_string(), data: data.to_vec() }
+        Extension {
+            id: id.to_string(),
+            data: data.to_vec(),
+        }
     }
 
     #[test]

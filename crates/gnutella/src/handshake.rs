@@ -47,7 +47,10 @@ impl HandshakeConfig {
     fn headers(&self) -> String {
         let mut h = String::new();
         h.push_str(&format!("User-Agent: {}\r\n", self.user_agent));
-        h.push_str(&format!("X-Ultrapeer: {}\r\n", if self.ultrapeer { "True" } else { "False" }));
+        h.push_str(&format!(
+            "X-Ultrapeer: {}\r\n",
+            if self.ultrapeer { "True" } else { "False" }
+        ));
         h.push_str("X-Query-Routing: 0.1\r\n");
         if let Some(a) = self.listen_addr {
             h.push_str(&format!("Listen-IP: {a}\r\n"));
@@ -64,10 +67,18 @@ pub enum HsEvent {
     /// Handshake complete. `send` must be written to the peer (empty for
     /// the initiator), `leftover` is binary data that followed the final
     /// header group in the same read.
-    Established { peer: PeerInfo, send: Vec<u8>, leftover: Vec<u8> },
+    Established {
+        peer: PeerInfo,
+        send: Vec<u8>,
+        leftover: Vec<u8>,
+    },
     /// The peer rejected us (or we rejected them); the connection should be
     /// closed after `send` (possibly empty) is flushed.
-    Rejected { code: u16, try_hosts: Vec<HostAddr>, send: Vec<u8> },
+    Rejected {
+        code: u16,
+        try_hosts: Vec<HostAddr>,
+        send: Vec<u8>,
+    },
 }
 
 /// Handshake protocol violations.
@@ -121,7 +132,11 @@ fn parse_group(buf: &[u8]) -> Result<Option<Group>, HsError> {
         let (k, v) = line.split_once(':').ok_or(HsError::HeaderSyntax)?;
         headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
     }
-    Ok(Some(Group { first_line, headers, consumed: end + 4 }))
+    Ok(Some(Group {
+        first_line,
+        headers,
+        consumed: end + 4,
+    }))
 }
 
 fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
@@ -143,7 +158,10 @@ fn peer_info(g: &Group) -> PeerInfo {
 
 fn parse_host(s: &str) -> Option<HostAddr> {
     let (ip, port) = s.split_once(':')?;
-    Some(HostAddr::new(Ipv4Addr::from_str(ip.trim()).ok()?, port.trim().parse().ok()?))
+    Some(HostAddr::new(
+        Ipv4Addr::from_str(ip.trim()).ok()?,
+        port.trim().parse().ok()?,
+    ))
 }
 
 fn parse_status(line: &str) -> Result<u16, HsError> {
@@ -152,7 +170,10 @@ fn parse_status(line: &str) -> Result<u16, HsError> {
     if parts.next() != Some("GNUTELLA/0.6") {
         return Err(HsError::BadStatusLine);
     }
-    parts.next().and_then(|c| c.parse().ok()).ok_or(HsError::BadStatusLine)
+    parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or(HsError::BadStatusLine)
 }
 
 fn parse_try_hosts(g: &Group) -> Vec<HostAddr> {
@@ -175,7 +196,10 @@ pub struct Initiator {
 
 impl Initiator {
     pub fn new(config: HandshakeConfig) -> Self {
-        Initiator { config, buf: Vec::new() }
+        Initiator {
+            config,
+            buf: Vec::new(),
+        }
     }
 
     /// The opening `GNUTELLA CONNECT/0.6` group to send on connect.
@@ -203,7 +227,11 @@ impl Initiator {
         // Final ack: minimal headers (vendors echoed content negotiation
         // here; we confirm the connection only).
         let send = b"GNUTELLA/0.6 200 OK\r\n\r\n".to_vec();
-        Ok(HsEvent::Established { peer, send, leftover })
+        Ok(HsEvent::Established {
+            peer,
+            send,
+            leftover,
+        })
     }
 }
 
@@ -234,7 +262,9 @@ enum RespState {
     /// Waiting for `GNUTELLA CONNECT/0.6` + headers.
     AwaitConnect,
     /// Sent 200 OK; waiting for the initiator's final ack.
-    AwaitAck { peer: PeerInfo },
+    AwaitAck {
+        peer: PeerInfo,
+    },
     Done,
 }
 
@@ -244,52 +274,59 @@ pub enum RespEvent {
     NeedMore,
     /// Initiator headers arrived: the caller must decide admission via
     /// [`Responder::admit`]. `peer` is what the initiator advertised.
-    Decide { peer: PeerInfo },
+    Decide {
+        peer: PeerInfo,
+    },
     /// Handshake complete (after ack); `leftover` is early binary data.
-    Established { peer: PeerInfo, leftover: Vec<u8> },
+    Established {
+        peer: PeerInfo,
+        leftover: Vec<u8>,
+    },
 }
 
 impl Responder {
     pub fn new(config: HandshakeConfig) -> Self {
-        Responder { config, buf: Vec::new(), state: RespState::AwaitConnect }
+        Responder {
+            config,
+            buf: Vec::new(),
+            state: RespState::AwaitConnect,
+        }
     }
 
     /// Feed initiator bytes.
     pub fn on_data(&mut self, data: &[u8]) -> Result<RespEvent, HsError> {
         self.buf.extend_from_slice(data);
-        loop {
-            match &self.state {
-                RespState::AwaitConnect => {
-                    let group = match parse_group(&self.buf)? {
-                        Some(g) => g,
-                        None => return Ok(RespEvent::NeedMore),
-                    };
-                    if group.first_line != "GNUTELLA CONNECT/0.6" {
-                        return Err(HsError::BadGreeting);
-                    }
-                    let peer = peer_info(&group);
-                    self.buf.drain(..group.consumed);
-                    // Hold in a deciding state; `admit` moves us forward.
-                    self.state = RespState::AwaitAck { peer: peer.clone() };
-                    return Ok(RespEvent::Decide { peer });
+        match &self.state {
+            RespState::AwaitConnect => {
+                let group = match parse_group(&self.buf)? {
+                    Some(g) => g,
+                    None => return Ok(RespEvent::NeedMore),
+                };
+                if group.first_line != "GNUTELLA CONNECT/0.6" {
+                    return Err(HsError::BadGreeting);
                 }
-                RespState::AwaitAck { peer } => {
-                    let group = match parse_group(&self.buf)? {
-                        Some(g) => g,
-                        None => return Ok(RespEvent::NeedMore),
-                    };
-                    let code = parse_status(&group.first_line)?;
-                    if code != 200 {
-                        return Err(HsError::BadStatusLine);
-                    }
-                    let peer = peer.clone();
-                    let leftover = self.buf[group.consumed..].to_vec();
-                    self.buf.clear();
-                    self.state = RespState::Done;
-                    return Ok(RespEvent::Established { peer, leftover });
-                }
-                RespState::Done => return Ok(RespEvent::NeedMore),
+                let peer = peer_info(&group);
+                self.buf.drain(..group.consumed);
+                // Hold in a deciding state; `admit` moves us forward.
+                self.state = RespState::AwaitAck { peer: peer.clone() };
+                Ok(RespEvent::Decide { peer })
             }
+            RespState::AwaitAck { peer } => {
+                let group = match parse_group(&self.buf)? {
+                    Some(g) => g,
+                    None => return Ok(RespEvent::NeedMore),
+                };
+                let code = parse_status(&group.first_line)?;
+                if code != 200 {
+                    return Err(HsError::BadStatusLine);
+                }
+                let peer = peer.clone();
+                let leftover = self.buf[group.consumed..].to_vec();
+                self.buf.clear();
+                self.state = RespState::Done;
+                Ok(RespEvent::Established { peer, leftover })
+            }
+            RespState::Done => Ok(RespEvent::NeedMore),
         }
     }
 
@@ -302,8 +339,11 @@ impl Responder {
             }
             Admission::Reject(hosts) => {
                 self.state = RespState::Done;
-                let list =
-                    hosts.iter().map(|h| h.to_string()).collect::<Vec<_>>().join(",");
+                let list = hosts
+                    .iter()
+                    .map(|h| h.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
                 format!(
                     "GNUTELLA/0.6 503 Service unavailable\r\nUser-Agent: {}\r\nX-Try-Ultrapeers: {list}\r\n\r\n",
                     self.config.user_agent
@@ -347,7 +387,10 @@ mod tests {
         assert_eq!(peer.user_agent, "LimeWire/4.12");
         assert!(!peer.ultrapeer);
         assert!(peer.query_routing);
-        assert_eq!(peer.listen_addr, Some(HostAddr::new(Ipv4Addr::new(10, 0, 0, 5), 6346)));
+        assert_eq!(
+            peer.listen_addr,
+            Some(HostAddr::new(Ipv4Addr::new(10, 0, 0, 5), 6346))
+        );
 
         // responder accepts
         let ok = resp.admit(Admission::Accept);
@@ -355,7 +398,11 @@ mod tests {
         // responder -> initiator
         let ev = init.on_data(&ok).unwrap();
         let (peer2, ack, leftover) = match ev {
-            HsEvent::Established { peer, send, leftover } => (peer, send, leftover),
+            HsEvent::Established {
+                peer,
+                send,
+                leftover,
+            } => (peer, send, leftover),
             e => panic!("unexpected {e:?}"),
         };
         assert_eq!(peer2.user_agent, "UltraNode/1.0");
@@ -386,7 +433,9 @@ mod tests {
         ];
         let reply = resp.admit(Admission::Reject(hosts.clone()));
         match init.on_data(&reply).unwrap() {
-            HsEvent::Rejected { code, try_hosts, .. } => {
+            HsEvent::Rejected {
+                code, try_hosts, ..
+            } => {
                 assert_eq!(code, 503);
                 assert_eq!(try_hosts, hosts);
             }
@@ -404,7 +453,10 @@ mod tests {
     #[test]
     fn initiator_rejects_garbage_status() {
         let mut init = Initiator::new(cfg("L/1", false));
-        assert_eq!(init.on_data(b"HTTP/1.1 200 OK\r\n\r\n"), Err(HsError::BadStatusLine));
+        assert_eq!(
+            init.on_data(b"HTTP/1.1 200 OK\r\n\r\n"),
+            Err(HsError::BadStatusLine)
+        );
     }
 
     #[test]

@@ -114,10 +114,8 @@ pub fn encode_request(target: &RequestTarget, user_agent: &str) -> Vec<u8> {
         }
         RequestTarget::ByUrn(d) => format!("/uri-res/N2R?{}", d.to_urn()),
     };
-    format!(
-        "GET {path} HTTP/1.1\r\nUser-Agent: {user_agent}\r\nConnection: close\r\n\r\n"
-    )
-    .into_bytes()
+    format!("GET {path} HTTP/1.1\r\nUser-Agent: {user_agent}\r\nConnection: close\r\n\r\n")
+        .into_bytes()
 }
 
 /// Builds a `200 OK` response head for a `body_len`-byte upload.
@@ -130,10 +128,8 @@ pub fn encode_response_ok(server: &str, body_len: usize) -> Vec<u8> {
 
 /// Builds an error response (404 style) with an empty body.
 pub fn encode_response_err(server: &str, code: u16, reason: &str) -> Vec<u8> {
-    format!(
-        "HTTP/1.1 {code} {reason}\r\nServer: {server}\r\nContent-Length: 0\r\n\r\n"
-    )
-    .into_bytes()
+    format!("HTTP/1.1 {code} {reason}\r\nServer: {server}\r\nContent-Length: 0\r\n\r\n")
+        .into_bytes()
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -171,8 +167,7 @@ impl RequestReader {
                 return Ok(None);
             }
         };
-        let head =
-            std::str::from_utf8(&self.buf[..end]).map_err(|_| HttpError::BadHeader)?;
+        let head = std::str::from_utf8(&self.buf[..end]).map_err(|_| HttpError::BadHeader)?;
         let mut lines = head.split("\r\n");
         let request_line = lines.next().ok_or(HttpError::BadRequestLine)?;
         let mut parts = request_line.split_whitespace();
@@ -203,7 +198,10 @@ fn parse_target(path: &str) -> Result<RequestTarget, HttpError> {
         if name.is_empty() {
             return Err(HttpError::BadTarget);
         }
-        return Ok(RequestTarget::ByIndex { index, name: percent_decode(name) });
+        return Ok(RequestTarget::ByIndex {
+            index,
+            name: percent_decode(name),
+        });
     }
     if let Some(urn) = path.strip_prefix("/uri-res/N2R?") {
         let b32 = urn.strip_prefix("urn:sha1:").ok_or(HttpError::BadTarget)?;
@@ -248,7 +246,11 @@ pub struct HttpResponse {
 
 impl ResponseReader {
     pub fn new(max_body: usize) -> Self {
-        ResponseReader { buf: Vec::new(), state: RespState::Head, max_body }
+        ResponseReader {
+            buf: Vec::new(),
+            state: RespState::Head,
+            max_body,
+        }
     }
 
     pub fn push(&mut self, data: &[u8]) {
@@ -267,8 +269,7 @@ impl ResponseReader {
                     return Ok(None);
                 }
             };
-            let head =
-                std::str::from_utf8(&self.buf[..end]).map_err(|_| HttpError::BadHeader)?;
+            let head = std::str::from_utf8(&self.buf[..end]).map_err(|_| HttpError::BadHeader)?;
             let mut lines = head.split("\r\n");
             let status_line = lines.next().ok_or(HttpError::BadStatusLine)?;
             let mut parts = status_line.split_whitespace();
@@ -321,8 +322,13 @@ pub struct Giv {
 
 /// Encodes `GIV <index>:<guid-hex>/<filename>\n\n`.
 pub fn encode_giv(giv: &Giv) -> Vec<u8> {
-    format!("GIV {}:{}/{}\n\n", giv.index, giv.servent_guid.to_hex(), percent_encode(&giv.name))
-        .into_bytes()
+    format!(
+        "GIV {}:{}/{}\n\n",
+        giv.index,
+        giv.servent_guid.to_hex(),
+        percent_encode(&giv.name)
+    )
+    .into_bytes()
 }
 
 /// Parses a GIV line from the front of `data`; returns the line and bytes
@@ -358,9 +364,15 @@ mod tests {
 
     #[test]
     fn request_roundtrip_by_index() {
-        let t = RequestTarget::ByIndex { index: 42, name: "free music.exe".into() };
+        let t = RequestTarget::ByIndex {
+            index: 42,
+            name: "free music.exe".into(),
+        };
         let wire = encode_request(&t, "LimeWire/4.12");
-        assert!(wire.windows(3).any(|w| w == b"%20"), "space must be escaped");
+        assert!(
+            wire.windows(3).any(|w| w == b"%20"),
+            "space must be escaped"
+        );
         let mut r = RequestReader::new();
         for chunk in wire.chunks(9) {
             r.push(chunk);
@@ -382,9 +394,14 @@ mod tests {
 
     #[test]
     fn bad_targets_are_rejected() {
-        for path in
-            ["/", "/get/", "/get/12", "/get/x/file.exe", "/uri-res/N2R?urn:md5:abc", "/favicon.ico"]
-        {
+        for path in [
+            "/",
+            "/get/",
+            "/get/12",
+            "/get/x/file.exe",
+            "/uri-res/N2R?urn:md5:abc",
+            "/favicon.ico",
+        ] {
             let wire = format!("GET {path} HTTP/1.1\r\n\r\n");
             let mut r = RequestReader::new();
             r.push(wire.as_bytes());
@@ -445,7 +462,11 @@ mod tests {
     #[test]
     fn giv_roundtrip() {
         let guid = Guid::random(&mut StdRng::seed_from_u64(4));
-        let giv = Giv { index: 9, servent_guid: guid, name: "my file.exe".into() };
+        let giv = Giv {
+            index: 9,
+            servent_guid: guid,
+            name: "my file.exe".into(),
+        };
         let wire = encode_giv(&giv);
         let (parsed, used) = parse_giv(&wire).unwrap().unwrap();
         assert_eq!(parsed, giv);
@@ -456,7 +477,12 @@ mod tests {
 
     #[test]
     fn giv_rejects_malformed_lines() {
-        for bad in ["GIVE 1:00/x\n\n", "GIV 1-00/x\n\n", "GIV x:0011/y\n\n", "GIV 1:zz/y\n\n"] {
+        for bad in [
+            "GIVE 1:00/x\n\n",
+            "GIV 1-00/x\n\n",
+            "GIV x:0011/y\n\n",
+            "GIV 1:zz/y\n\n",
+        ] {
             assert!(parse_giv(bad.as_bytes()).is_err(), "{bad:?}");
         }
     }

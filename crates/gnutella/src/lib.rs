@@ -52,6 +52,6 @@ pub use guid::Guid;
 pub use message::{FrameError, Header, MessageReader, MsgType};
 pub use payload::{Bye, HitResult, Ping, Pong, Push, Query, QueryHit};
 pub use servent::{
-    DownloadError, DownloadMethod, DownloadOutcome, DownloadRequest, Role, Servent,
-    ServentConfig, ServentEvent, ServentStats, SharedWorld, ECHO_INDEX_BASE,
+    DownloadError, DownloadMethod, DownloadOutcome, DownloadRequest, Role, Servent, ServentConfig,
+    ServentEvent, ServentStats, SharedWorld, ECHO_INDEX_BASE,
 };

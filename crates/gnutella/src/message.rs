@@ -100,7 +100,13 @@ impl Header {
         if payload_len as usize > MAX_PAYLOAD {
             return Err(FrameError::Oversized(payload_len));
         }
-        Ok(Header { guid, msg_type, ttl: data[17], hops: data[18], payload_len })
+        Ok(Header {
+            guid,
+            msg_type,
+            ttl: data[17],
+            hops: data[18],
+            payload_len,
+        })
     }
 
     /// Standard hop bookkeeping when forwarding: decrement TTL, increment
@@ -140,10 +146,22 @@ impl fmt::Display for FrameError {
 impl std::error::Error for FrameError {}
 
 /// Encodes a complete message (header + payload) into `out`.
-pub fn encode_message(guid: Guid, msg_type: MsgType, ttl: u8, hops: u8, payload: &[u8], out: &mut Vec<u8>) {
+pub fn encode_message(
+    guid: Guid,
+    msg_type: MsgType,
+    ttl: u8,
+    hops: u8,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
     debug_assert!(payload.len() <= MAX_PAYLOAD);
-    let header =
-        Header { guid, msg_type, ttl, hops, payload_len: payload.len() as u32 };
+    let header = Header {
+        guid,
+        msg_type,
+        ttl,
+        hops,
+        payload_len: payload.len() as u32,
+    };
     out.extend_from_slice(&header.encode());
     out.extend_from_slice(payload);
 }
@@ -204,7 +222,13 @@ mod tests {
 
     #[test]
     fn header_roundtrip() {
-        let h = Header { guid: guid(), msg_type: MsgType::Query, ttl: 4, hops: 2, payload_len: 77 };
+        let h = Header {
+            guid: guid(),
+            msg_type: MsgType::Query,
+            ttl: 4,
+            hops: 2,
+            payload_len: 77,
+        };
         let parsed = Header::parse(&h.encode()).unwrap();
         assert_eq!(parsed, h);
     }
@@ -259,8 +283,13 @@ mod tests {
 
     #[test]
     fn oversized_payload_is_rejected() {
-        let h =
-            Header { guid: guid(), msg_type: MsgType::Query, ttl: 1, hops: 0, payload_len: 0 };
+        let h = Header {
+            guid: guid(),
+            msg_type: MsgType::Query,
+            ttl: 1,
+            hops: 0,
+            payload_len: 0,
+        };
         let mut raw = h.encode().to_vec();
         raw[19..23].copy_from_slice(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
         let mut r = MessageReader::new();
@@ -270,7 +299,13 @@ mod tests {
 
     #[test]
     fn hop_decrements_ttl_until_exhausted() {
-        let h = Header { guid: guid(), msg_type: MsgType::Query, ttl: 2, hops: 0, payload_len: 0 };
+        let h = Header {
+            guid: guid(),
+            msg_type: MsgType::Query,
+            ttl: 2,
+            hops: 0,
+            payload_len: 0,
+        };
         let h2 = h.hop().unwrap();
         assert_eq!((h2.ttl, h2.hops), (1, 1));
         assert!(h2.hop().is_none(), "TTL 1 must not be forwarded");

@@ -88,7 +88,10 @@ impl<'a> Reader<'a> {
     /// Reads up to (not including) the next NUL, consuming the NUL.
     fn cstr(&mut self) -> Result<&'a [u8], PayloadError> {
         let rest = &self.data[self.pos..];
-        let nul = rest.iter().position(|&b| b == 0).ok_or(PayloadError::MissingNul)?;
+        let nul = rest
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or(PayloadError::MissingNul)?;
         let s = &rest[..nul];
         self.pos += nul + 1;
         Ok(s)
@@ -129,8 +132,7 @@ impl Ping {
         if data.is_empty() {
             return Ok(Ping::default());
         }
-        let (exts, used) =
-            ggep::parse(data).map_err(|e| PayloadError::BadGgep(e.to_string()))?;
+        let (exts, used) = ggep::parse(data).map_err(|e| PayloadError::BadGgep(e.to_string()))?;
         if used != data.len() {
             return Err(PayloadError::Malformed("trailing bytes after PING GGEP"));
         }
@@ -184,7 +186,13 @@ impl Pong {
             }
             exts
         };
-        Ok(Pong { port, ip, file_count, kbytes, ggep })
+        Ok(Pong {
+            port,
+            ip,
+            file_count,
+            kbytes,
+            ggep,
+        })
     }
 }
 
@@ -250,7 +258,12 @@ impl Query {
         let text = utf8(r.cstr()?)?;
         let ext_area = r.rest();
         let (urns, ggep) = parse_gem_extensions(ext_area)?;
-        Ok(Query { min_speed, text, urns, ggep })
+        Ok(Query {
+            min_speed,
+            text,
+            urns,
+            ggep,
+        })
     }
 }
 
@@ -266,8 +279,8 @@ fn parse_gem_extensions(area: &[u8]) -> Result<(Vec<String>, Vec<Extension>), Pa
             continue;
         }
         if area[pos] == ggep::GGEP_MAGIC {
-            let (mut e, used) = ggep::parse(&area[pos..])
-                .map_err(|err| PayloadError::BadGgep(err.to_string()))?;
+            let (mut e, used) =
+                ggep::parse(&area[pos..]).map_err(|err| PayloadError::BadGgep(err.to_string()))?;
             exts.append(&mut e);
             pos += used;
             continue;
@@ -336,7 +349,12 @@ impl HitResult {
                 sha1 = Some(Sha1Digest(d));
             }
         }
-        Ok(HitResult { index, size, name, sha1 })
+        Ok(HitResult {
+            index,
+            size,
+            name,
+            sha1,
+        })
     }
 }
 
@@ -406,7 +424,10 @@ pub struct QueryHit {
 
 impl QueryHit {
     pub fn encode(&self) -> Vec<u8> {
-        assert!(self.results.len() <= 255, "QUERYHIT carries at most 255 results");
+        assert!(
+            self.results.len() <= 255,
+            "QUERYHIT carries at most 255 results"
+        );
         let mut out = Vec::new();
         out.push(self.results.len() as u8);
         out.extend_from_slice(&self.port.to_le_bytes());
@@ -451,7 +472,10 @@ impl QueryHit {
             return Err(PayloadError::Malformed("QHD open data too short"));
         }
         let open = r.take(open_size)?;
-        let flags = QhdFlags { flags: open[0], mask: open[1] };
+        let flags = QhdFlags {
+            flags: open[0],
+            mask: open[1],
+        };
         let private = r.rest();
         let ggep = if private.is_empty() {
             Vec::new()
@@ -462,7 +486,16 @@ impl QueryHit {
         } else {
             Vec::new() // unknown vendor private data: tolerated, skipped
         };
-        Ok(QueryHit { port, ip, speed, results, vendor, flags, ggep, servent_guid })
+        Ok(QueryHit {
+            port,
+            ip,
+            speed,
+            results,
+            vendor,
+            flags,
+            ggep,
+            servent_guid,
+        })
     }
 }
 
@@ -498,7 +531,12 @@ impl Push {
         let index = r.u32_le()?;
         let ip = r.ipv4()?;
         let port = r.u16_le()?;
-        Ok(Push { servent_guid, index, ip, port })
+        Ok(Push {
+            servent_guid,
+            index,
+            ip,
+            port,
+        })
     }
 }
 
@@ -545,8 +583,16 @@ mod tests {
 
     #[test]
     fn ping_roundtrip_empty_and_ggep() {
-        assert_eq!(Ping::parse(&Ping::default().encode()).unwrap(), Ping::default());
-        let p = Ping { ggep: vec![Extension { id: "SCP".into(), data: vec![1] }] };
+        assert_eq!(
+            Ping::parse(&Ping::default().encode()).unwrap(),
+            Ping::default()
+        );
+        let p = Ping {
+            ggep: vec![Extension {
+                id: "SCP".into(),
+                data: vec![1],
+            }],
+        };
         assert_eq!(Ping::parse(&p.encode()).unwrap(), p);
     }
 
@@ -557,7 +603,10 @@ mod tests {
             ip: Ipv4Addr::new(10, 1, 2, 3),
             file_count: 420,
             kbytes: 123_456,
-            ggep: vec![Extension { id: "DU".into(), data: vec![0x10, 0x27] }],
+            ggep: vec![Extension {
+                id: "DU".into(),
+                data: vec![0x10, 0x27],
+            }],
         };
         assert_eq!(Pong::parse(&p.encode()).unwrap(), p);
     }
@@ -593,8 +642,14 @@ mod tests {
         let q = Query {
             min_speed: 0,
             text: String::new(),
-            urns: vec![format!("urn:sha1:{}", p2pmal_hashes::base32_encode(&digest.0))],
-            ggep: vec![Extension { id: "M".into(), data: vec![4] }],
+            urns: vec![format!(
+                "urn:sha1:{}",
+                p2pmal_hashes::base32_encode(&digest.0)
+            )],
+            ggep: vec![Extension {
+                id: "M".into(),
+                data: vec![4],
+            }],
         };
         let parsed = Query::parse(&q.encode()).unwrap();
         assert_eq!(parsed.urns, q.urns);
@@ -603,7 +658,10 @@ mod tests {
 
     #[test]
     fn query_missing_nul_is_rejected() {
-        assert_eq!(Query::parse(&[0, 0, b'a', b'b']), Err(PayloadError::MissingNul));
+        assert_eq!(
+            Query::parse(&[0, 0, b'a', b'b']),
+            Err(PayloadError::MissingNul)
+        );
     }
 
     fn sample_hit() -> QueryHit {
@@ -618,10 +676,17 @@ mod tests {
                     name: "free_music.exe".into(),
                     sha1: Some(sha1(b"malware bytes")),
                 },
-                HitResult { index: 12, size: 4_111_222, name: "song.mp3".into(), sha1: None },
+                HitResult {
+                    index: 12,
+                    size: 4_111_222,
+                    name: "song.mp3".into(),
+                    sha1: None,
+                },
             ],
             vendor: *b"LIME",
-            flags: QhdFlags::new().with(QHD_PUSH, true).with(QHD_UPLOADED, false),
+            flags: QhdFlags::new()
+                .with(QHD_PUSH, true)
+                .with(QHD_UPLOADED, false),
             ggep: Vec::new(),
             servent_guid: guid(),
         }
@@ -634,7 +699,11 @@ mod tests {
         assert_eq!(parsed, qh);
         assert!(parsed.flags.needs_push());
         assert_eq!(parsed.flags.get(QHD_UPLOADED), Some(false));
-        assert_eq!(parsed.flags.get(QHD_BUSY), None, "unmasked bit is meaningless");
+        assert_eq!(
+            parsed.flags.get(QHD_BUSY),
+            None,
+            "unmasked bit is meaningless"
+        );
         assert_eq!(parsed.results[0].sha1, Some(sha1(b"malware bytes")));
     }
 
@@ -662,21 +731,32 @@ mod tests {
 
     #[test]
     fn push_roundtrip() {
-        let p = Push { servent_guid: guid(), index: 7, ip: Ipv4Addr::new(4, 5, 6, 7), port: 6348 };
+        let p = Push {
+            servent_guid: guid(),
+            index: 7,
+            ip: Ipv4Addr::new(4, 5, 6, 7),
+            port: 6348,
+        };
         assert_eq!(Push::parse(&p.encode()).unwrap(), p);
         assert!(Push::parse(&p.encode()[..20]).is_err());
     }
 
     #[test]
     fn bye_roundtrip() {
-        let b = Bye { code: 503, reason: "shutting down".into() };
+        let b = Bye {
+            code: 503,
+            reason: "shutting down".into(),
+        };
         assert_eq!(Bye::parse(&b.encode()).unwrap(), b);
     }
 
     #[test]
     fn gem_extension_area_mixes_urn_and_ggep_any_order() {
         let mut area = Vec::new();
-        area.extend_from_slice(&ggep::encode(&[Extension { id: "Z".into(), data: vec![] }]));
+        area.extend_from_slice(&ggep::encode(&[Extension {
+            id: "Z".into(),
+            data: vec![],
+        }]));
         area.push(GEM_SEP);
         area.extend_from_slice(b"urn:sha1:");
         let (urns, exts) = parse_gem_extensions(&area).unwrap();

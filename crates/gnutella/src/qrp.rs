@@ -56,7 +56,11 @@ impl QrpTable {
     pub fn new(log2_size: u8, infinity: u8) -> Self {
         assert!((8..=24).contains(&log2_size), "unreasonable QRP table size");
         assert!(infinity >= 1);
-        QrpTable { log2_size, infinity, entries: vec![infinity; 1usize << log2_size] }
+        QrpTable {
+            log2_size,
+            infinity,
+            entries: vec![infinity; 1usize << log2_size],
+        }
     }
 
     /// LimeWire-default table.
@@ -125,7 +129,10 @@ impl QrpTable {
         let (payloads, compressor) = if compress {
             (vec![deflate(&deltas)], Compressor::Deflate)
         } else {
-            (deltas.chunks(chunk).map(|c| c.to_vec()).collect(), Compressor::None)
+            (
+                deltas.chunks(chunk).map(|c| c.to_vec()).collect(),
+                Compressor::None,
+            )
         };
         let count = payloads.len() as u8;
         for (i, data) in payloads.into_iter().enumerate() {
@@ -161,7 +168,10 @@ impl QrpReceiver {
     /// Applies one route message. Errors are protocol violations.
     pub fn apply(&mut self, msg: &RouteMsg) -> Result<(), QrpError> {
         match msg {
-            RouteMsg::Reset { table_len, infinity } => {
+            RouteMsg::Reset {
+                table_len,
+                infinity,
+            } => {
                 let log2 = (*table_len as f64).log2();
                 if log2.fract() != 0.0 || !(8.0..=24.0).contains(&log2) {
                     return Err(QrpError::BadTableLen(*table_len));
@@ -169,7 +179,12 @@ impl QrpReceiver {
                 self.table = Some(QrpTable::new(log2 as u8, *infinity));
                 self.next_offset = 0;
             }
-            RouteMsg::Patch { compressor, entry_bits, data, .. } => {
+            RouteMsg::Patch {
+                compressor,
+                entry_bits,
+                data,
+                ..
+            } => {
                 let table = self.table.as_mut().ok_or(QrpError::PatchBeforeReset)?;
                 if *entry_bits != 8 {
                     return Err(QrpError::UnsupportedEntryBits(*entry_bits));
@@ -206,8 +221,17 @@ pub enum Compressor {
 /// A ROUTE_TABLE_UPDATE message (payload of descriptor type 0x30).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RouteMsg {
-    Reset { table_len: u32, infinity: u8 },
-    Patch { seq_no: u8, seq_count: u8, compressor: Compressor, entry_bits: u8, data: Vec<u8> },
+    Reset {
+        table_len: u32,
+        infinity: u8,
+    },
+    Patch {
+        seq_no: u8,
+        seq_count: u8,
+        compressor: Compressor,
+        entry_bits: u8,
+        data: Vec<u8>,
+    },
 }
 
 /// QRP errors.
@@ -243,13 +267,22 @@ impl std::error::Error for QrpError {}
 impl RouteMsg {
     pub fn encode(&self) -> Vec<u8> {
         match self {
-            RouteMsg::Reset { table_len, infinity } => {
+            RouteMsg::Reset {
+                table_len,
+                infinity,
+            } => {
                 let mut out = vec![0x00];
                 out.extend_from_slice(&table_len.to_le_bytes());
                 out.push(*infinity);
                 out
             }
-            RouteMsg::Patch { seq_no, seq_count, compressor, entry_bits, data } => {
+            RouteMsg::Patch {
+                seq_no,
+                seq_count,
+                compressor,
+                entry_bits,
+                data,
+            } => {
                 let mut out = vec![0x01, *seq_no, *seq_count];
                 out.push(match compressor {
                     Compressor::None => 0x00,
@@ -270,7 +303,10 @@ impl RouteMsg {
                     return Err(QrpError::Truncated);
                 }
                 let table_len = u32::from_le_bytes([data[1], data[2], data[3], data[4]]);
-                Ok(RouteMsg::Reset { table_len, infinity: data[5] })
+                Ok(RouteMsg::Reset {
+                    table_len,
+                    infinity: data[5],
+                })
             }
             Some(0x01) => {
                 if data.len() < 5 {
@@ -312,7 +348,10 @@ mod tests {
 
     #[test]
     fn keyword_extraction() {
-        assert_eq!(keywords("crimson_horizon-remix.mp3"), vec!["crimson", "horizon", "remix", "mp3"]);
+        assert_eq!(
+            keywords("crimson_horizon-remix.mp3"),
+            vec!["crimson", "horizon", "remix", "mp3"]
+        );
         assert_eq!(keywords("a bb ccc"), vec!["ccc"], "short words dropped");
         assert!(keywords("--//--").is_empty());
     }
@@ -324,14 +363,20 @@ mod tests {
         assert!(t.might_match("crimson horizon"));
         assert!(t.might_match("CRIMSON"));
         assert!(!t.might_match("crimson missingword"));
-        assert!(t.might_match("zz"), "keyword-free queries pass conservatively");
+        assert!(
+            t.might_match("zz"),
+            "keyword-free queries pass conservatively"
+        );
         assert!(t.population() >= 3);
     }
 
     #[test]
     fn route_msg_roundtrip() {
         let msgs = [
-            RouteMsg::Reset { table_len: 65536, infinity: 7 },
+            RouteMsg::Reset {
+                table_len: 65536,
+                infinity: 7,
+            },
             RouteMsg::Patch {
                 seq_no: 1,
                 seq_count: 2,
@@ -392,8 +437,16 @@ mod tests {
             data: vec![0; 16],
         };
         assert_eq!(rx.apply(&patch), Err(QrpError::PatchBeforeReset));
-        rx.apply(&RouteMsg::Reset { table_len: 1000, infinity: 7 }).unwrap_err(); // not a power of two
-        rx.apply(&RouteMsg::Reset { table_len: 256, infinity: 7 }).unwrap();
+        rx.apply(&RouteMsg::Reset {
+            table_len: 1000,
+            infinity: 7,
+        })
+        .unwrap_err(); // not a power of two
+        rx.apply(&RouteMsg::Reset {
+            table_len: 256,
+            infinity: 7,
+        })
+        .unwrap();
         let overrun = RouteMsg::Patch {
             seq_no: 1,
             seq_count: 1,

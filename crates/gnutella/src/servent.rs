@@ -13,9 +13,7 @@
 //! servent GUID.
 
 use crate::guid::Guid;
-use crate::handshake::{
-    Admission, HandshakeConfig, HsEvent, Initiator, Responder, RespEvent,
-};
+use crate::handshake::{Admission, HandshakeConfig, HsEvent, Initiator, RespEvent, Responder};
 use crate::http::{
     encode_giv, encode_request, encode_response_err, encode_response_ok, parse_giv, Giv,
     HttpRequest, RequestReader, RequestTarget, ResponseReader,
@@ -58,7 +56,11 @@ pub struct SharedWorld {
 
 impl SharedWorld {
     pub fn new(catalog: Arc<Catalog>, roster: Arc<Roster>, store: Arc<ContentStore>) -> Self {
-        SharedWorld { catalog, roster, store }
+        SharedWorld {
+            catalog,
+            roster,
+            store,
+        }
     }
 
     fn payload_of(&self, r: ContentRef) -> Vec<u8> {
@@ -158,12 +160,26 @@ pub struct DownloadOutcome {
 #[derive(Debug, Clone)]
 pub enum ServentEvent {
     /// An overlay connection finished its handshake.
-    PeerUp { conn: ConnId, addr: HostAddr, ultrapeer: bool, inbound: bool },
-    PeerDown { conn: ConnId },
+    PeerUp {
+        conn: ConnId,
+        addr: HostAddr,
+        ultrapeer: bool,
+        inbound: bool,
+    },
+    PeerDown {
+        conn: ConnId,
+    },
     /// A query hit answering one of *our* queries arrived.
-    QueryHit { at: SimTime, query_guid: Guid, hit: QueryHit },
+    QueryHit {
+        at: SimTime,
+        query_guid: Guid,
+        hit: QueryHit,
+    },
     /// We saw (routed or received) a query.
-    QuerySeen { at: SimTime, text: String },
+    QuerySeen {
+        at: SimTime,
+        text: String,
+    },
     DownloadDone(DownloadOutcome),
 }
 
@@ -342,7 +358,10 @@ impl Servent {
 
     /// Established overlay connections.
     pub fn peer_count(&self) -> usize {
-        self.conns.values().filter(|k| matches!(k, ConnKind::Peer(_))).count()
+        self.conns
+            .values()
+            .filter(|k| matches!(k, ConnKind::Peer(_)))
+            .count()
     }
 
     /// Drains collected events (empty unless `collect_events`).
@@ -359,7 +378,14 @@ impl Servent {
         let q = Query::keyword(text);
         let payload = q.encode();
         let mut wire = Vec::with_capacity(payload.len() + 23);
-        encode_message(guid, MsgType::Query, self.config.query_ttl, 0, &payload, &mut wire);
+        encode_message(
+            guid,
+            MsgType::Query,
+            self.config.query_ttl,
+            0,
+            &payload,
+            &mut wire,
+        );
         for (&conn, kind) in &self.conns {
             if matches!(kind, ConnKind::Peer(_)) {
                 ctx.send(conn, &wire);
@@ -391,11 +417,7 @@ impl Servent {
             }
             DownloadMethod::Push => {
                 let Some(&route) = self.push_routes.get(&request.servent_guid) else {
-                    self.finish_download(
-                        ctx,
-                        id,
-                        Err(DownloadError::NoPushRoute),
-                    );
+                    self.finish_download(ctx, id, Err(DownloadError::NoPushRoute));
                     return id;
                 };
                 let push = Push {
@@ -507,8 +529,7 @@ impl Servent {
         candidates.dedup();
         // Never dial ourselves or a host we already dialed.
         let me = HostAddr::new(ctx.external_addr().ip, self.config.listen_port);
-        candidates
-            .retain(|c| *c != me && !self.outbound_targets.values().any(|t| t == c));
+        candidates.retain(|c| *c != me && !self.outbound_targets.values().any(|t| t == c));
         let mut dialed = 0;
         while have + dialed < self.config.target_degree && !candidates.is_empty() {
             let i = (ctx.rng().next_u64() % candidates.len() as u64) as usize;
@@ -545,7 +566,14 @@ impl Servent {
     fn send_ping(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
         let guid = Guid::random(ctx.rng());
         let mut wire = Vec::new();
-        encode_message(guid, MsgType::Ping, 2, 0, &Ping::default().encode(), &mut wire);
+        encode_message(
+            guid,
+            MsgType::Ping,
+            2,
+            0,
+            &Ping::default().encode(),
+            &mut wire,
+        );
         ctx.send(conn, &wire);
     }
 
@@ -582,7 +610,9 @@ impl Servent {
     fn pump_peer(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
         loop {
             let msg = {
-                let Some(ConnKind::Peer(pc)) = self.conns.get_mut(&conn) else { return };
+                let Some(ConnKind::Peer(pc)) = self.conns.get_mut(&conn) else {
+                    return;
+                };
                 match pc.reader.next_message() {
                     Ok(Some(m)) => m,
                     Ok(None) => return,
@@ -613,13 +643,7 @@ impl Servent {
         if !self.remember_seen(header.guid) {
             return;
         }
-        let shared: u64 = self
-            .library
-            .files()
-            .iter()
-            .map(|f| f.size)
-            .sum::<u64>()
-            / 1024;
+        let shared: u64 = self.library.files().iter().map(|f| f.size).sum::<u64>() / 1024;
         let pong = Pong {
             port: self.config.listen_port,
             ip: ctx.local_addr().ip,
@@ -687,7 +711,14 @@ impl Servent {
         // Forward to other ultrapeers while TTL remains.
         if let Some(fwd) = header.hop() {
             let mut wire = Vec::new();
-            encode_message(fwd.guid, MsgType::Query, fwd.ttl, fwd.hops, payload, &mut wire);
+            encode_message(
+                fwd.guid,
+                MsgType::Query,
+                fwd.ttl,
+                fwd.hops,
+                payload,
+                &mut wire,
+            );
             let targets: Vec<ConnId> = self
                 .conns
                 .iter()
@@ -701,21 +732,26 @@ impl Servent {
         // Last-hop delivery to QRP-matching leaves (always, regardless of
         // remaining TTL).
         let mut wire = Vec::new();
-        encode_message(header.guid, MsgType::Query, 1, header.hops.saturating_add(1), payload, &mut wire);
+        encode_message(
+            header.guid,
+            MsgType::Query,
+            1,
+            header.hops.saturating_add(1),
+            payload,
+            &mut wire,
+        );
         let mut suppressed = 0u64;
         let targets: Vec<ConnId> = self
             .conns
             .iter()
             .filter_map(|(&c, k)| match k {
-                ConnKind::Peer(p) if c != conn && !p.ultrapeer => {
-                    match p.qrp.table() {
-                        Some(t) if !t.might_match(&query.text) => {
-                            suppressed += 1;
-                            None
-                        }
-                        _ => Some(c),
+                ConnKind::Peer(p) if c != conn && !p.ultrapeer => match p.qrp.table() {
+                    Some(t) if !t.might_match(&query.text) => {
+                        suppressed += 1;
+                        None
                     }
-                }
+                    _ => Some(c),
+                },
                 _ => None,
             })
             .collect();
@@ -751,7 +787,9 @@ impl Servent {
             speed: 350,
             results,
             vendor: *b"LIME",
-            flags: QhdFlags::new().with(QHD_PUSH, is_nat).with(QHD_UPLOADED, true),
+            flags: QhdFlags::new()
+                .with(QHD_PUSH, is_nat)
+                .with(QHD_UPLOADED, true),
             ggep: Vec::new(),
             servent_guid: self.guid,
         };
@@ -833,7 +871,11 @@ impl Servent {
                 // Answers our own query.
                 self.stats.hits_received += 1;
                 let at = ctx.now();
-                self.emit(ServentEvent::QueryHit { at, query_guid: header.guid, hit });
+                self.emit(ServentEvent::QueryHit {
+                    at,
+                    query_guid: header.guid,
+                    hit,
+                });
             }
             Some(Some(back)) => {
                 self.stats.hits_routed += 1;
@@ -863,7 +905,9 @@ impl Servent {
         if push.servent_guid == self.guid {
             // We are the target: dial back and offer the file.
             self.stats.pushes_served += 1;
-            let Some((name, _)) = self.resolve_index(push.index) else { return };
+            let Some((name, _)) = self.resolve_index(push.index) else {
+                return;
+            };
             let conn = ctx.connect(HostAddr::new(push.ip, push.port));
             self.conns.insert(
                 conn,
@@ -880,7 +924,14 @@ impl Servent {
             if let Some(fwd) = header.hop() {
                 self.stats.pushes_routed += 1;
                 let mut wire = Vec::new();
-                encode_message(fwd.guid, MsgType::Push, fwd.ttl, fwd.hops, payload, &mut wire);
+                encode_message(
+                    fwd.guid,
+                    MsgType::Push,
+                    fwd.ttl,
+                    fwd.hops,
+                    payload,
+                    &mut wire,
+                );
                 ctx.send(next, &wire);
             }
         }
@@ -904,11 +955,10 @@ impl Servent {
         let content = match &req.target {
             RequestTarget::ByIndex { index, .. } => self.resolve_index(*index),
             RequestTarget::ByUrn(digest) => self.library.files().iter().find_map(|f| {
-                let h = self.world.store.sha1_of(
-                    f.content,
-                    &self.world.catalog,
-                    &self.world.roster,
-                );
+                let h =
+                    self.world
+                        .store
+                        .sha1_of(f.content, &self.world.catalog, &self.world.roster);
                 (h == *digest).then(|| (f.name.clone(), f.content))
             }),
         };
@@ -921,7 +971,10 @@ impl Servent {
                 ctx.send(conn, &wire);
             }
             None => {
-                ctx.send(conn, &encode_response_err(&self.config.user_agent, 404, "Not Found"));
+                ctx.send(
+                    conn,
+                    &encode_response_err(&self.config.user_agent, 404, "Not Found"),
+                );
             }
         }
     }
@@ -944,16 +997,18 @@ impl Servent {
             Err(_) => self.stats.downloads_failed += 1,
         }
         let at = ctx.now();
-        self.emit(ServentEvent::DownloadDone(DownloadOutcome { id, at, result }));
+        self.emit(ServentEvent::DownloadDone(DownloadOutcome {
+            id,
+            at,
+            result,
+        }));
     }
 
     fn drop_conn(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
         self.outbound_targets.remove(&conn);
-        if let Some(kind) = self.conns.insert(conn, ConnKind::Dead) {
-            if let ConnKind::Download(d) = kind {
-                self.active_downloads.remove(&d.id);
-                self.finish_download(ctx, d.id, Err(DownloadError::Protocol("dropped".into())));
-            }
+        if let Some(ConnKind::Download(d)) = self.conns.insert(conn, ConnKind::Dead) {
+            self.active_downloads.remove(&d.id);
+            self.finish_download(ctx, d.id, Err(DownloadError::Protocol("dropped".into())));
         }
         ctx.close(conn);
     }
@@ -961,7 +1016,9 @@ impl Servent {
     /// Handles bytes on an inbound connection whose protocol is unknown.
     fn sniff(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
         let buf = {
-            let Some(ConnKind::SniffIn(buf)) = self.conns.get_mut(&conn) else { return };
+            let Some(ConnKind::SniffIn(buf)) = self.conns.get_mut(&conn) else {
+                return;
+            };
             buf.extend_from_slice(data);
             if buf.len() < 4 && !buf.starts_with(b"GIV") {
                 return; // not enough to classify yet
@@ -1012,7 +1069,13 @@ impl Servent {
         let mut reader = ResponseReader::new(self.config.max_download_bytes);
         reader.push(&leftover);
         self.active_downloads.insert(pending.id, conn);
-        self.conns.insert(conn, ConnKind::Download(DownloadConn { id: pending.id, reader }));
+        self.conns.insert(
+            conn,
+            ConnKind::Download(DownloadConn {
+                id: pending.id,
+                reader,
+            }),
+        );
         let target = RequestTarget::ByIndex {
             index: pending.request.index,
             name: pending.request.name.clone(),
@@ -1022,7 +1085,9 @@ impl Servent {
 
     fn pump_upload(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
         let req = {
-            let Some(ConnKind::Upload(reader)) = self.conns.get_mut(&conn) else { return };
+            let Some(ConnKind::Upload(reader)) = self.conns.get_mut(&conn) else {
+                return;
+            };
             match reader.request() {
                 Ok(Some(r)) => r,
                 Ok(None) => return,
@@ -1037,7 +1102,9 @@ impl Servent {
 
     fn pump_download(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
         let (id, outcome) = {
-            let Some(ConnKind::Download(d)) = self.conns.get_mut(&conn) else { return };
+            let Some(ConnKind::Download(d)) = self.conns.get_mut(&conn) else {
+                return;
+            };
             d.reader.push(data);
             match d.reader.response() {
                 Ok(Some(resp)) if resp.status == 200 => (d.id, Ok(resp.body)),
@@ -1100,8 +1167,11 @@ impl Servent {
 /// A QRP table with every slot present (worm saturation).
 fn saturated_table() -> QrpTable {
     let mut rx = QrpReceiver::new();
-    rx.apply(&RouteMsg::Reset { table_len: 1 << crate::qrp::DEFAULT_LOG2_SIZE, infinity: 7 })
-        .expect("valid reset");
+    rx.apply(&RouteMsg::Reset {
+        table_len: 1 << crate::qrp::DEFAULT_LOG2_SIZE,
+        infinity: 7,
+    })
+    .expect("valid reset");
     // One big patch of -6 deltas marks every slot present.
     let data = vec![(-6i8) as u8; 1 << crate::qrp::DEFAULT_LOG2_SIZE];
     rx.apply(&RouteMsg::Patch {
@@ -1147,8 +1217,10 @@ impl App for Servent {
                     // Direct download: the dial completed; send the GET.
                     let id = d.id;
                     if let Some(request) = self.direct_requests.remove(&id) {
-                        let target =
-                            RequestTarget::ByIndex { index: request.index, name: request.name };
+                        let target = RequestTarget::ByIndex {
+                            index: request.index,
+                            name: request.name,
+                        };
                         ctx.send(conn, &encode_request(&target, &self.config.user_agent));
                     }
                 }
@@ -1202,10 +1274,16 @@ impl App for Servent {
         };
         match route {
             Route::HsOut => {
-                let Some(ConnKind::HsOut(init)) = self.conns.get_mut(&conn) else { return };
+                let Some(ConnKind::HsOut(init)) = self.conns.get_mut(&conn) else {
+                    return;
+                };
                 match init.on_data(data) {
                     Ok(HsEvent::NeedMore) => {}
-                    Ok(HsEvent::Established { peer, send, leftover }) => {
+                    Ok(HsEvent::Established {
+                        peer,
+                        send,
+                        leftover,
+                    }) => {
                         ctx.send(conn, &send);
                         self.on_peer_established(ctx, conn, peer.ultrapeer, false, leftover);
                     }
@@ -1277,7 +1355,9 @@ impl App for Servent {
                 self.finish_download(
                     ctx,
                     d.id,
-                    Err(DownloadError::Protocol("connection closed mid-transfer".into())),
+                    Err(DownloadError::Protocol(
+                        "connection closed mid-transfer".into(),
+                    )),
                 );
             }
             _ => {}

@@ -4,13 +4,19 @@
 use super::*;
 use p2pmal_corpus::catalog::{Catalog, CatalogConfig};
 use p2pmal_corpus::{ContentStore, FamilyId, HostLibrary, Roster};
-use p2pmal_netsim::{NodeId, NodeSpec, SimConfig, Simulator, SimTime};
+use p2pmal_netsim::{NodeId, NodeSpec, SimConfig, SimTime, Simulator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn world(seed: u64) -> SharedWorld {
     let mut rng = StdRng::seed_from_u64(seed);
-    let catalog = Catalog::generate(&CatalogConfig { titles: 150, ..Default::default() }, &mut rng);
+    let catalog = Catalog::generate(
+        &CatalogConfig {
+            titles: 150,
+            ..Default::default()
+        },
+        &mut rng,
+    );
     SharedWorld::new(
         Arc::new(catalog),
         Arc::new(Roster::limewire_2006()),
@@ -43,13 +49,22 @@ fn build_net(seed: u64, ups: usize, leaf_libs: Vec<(HostLibrary, bool)>) -> Test
     for (lib, nat) in leaf_libs {
         let cfg = ServentConfig::leaf().with_bootstrap(up_addrs.clone());
         let servent = Servent::new(cfg, world.clone(), lib);
-        let spec = if nat { NodeSpec::nat() } else { NodeSpec::public().listen(6346) };
+        let spec = if nat {
+            NodeSpec::nat()
+        } else {
+            NodeSpec::public().listen(6346)
+        };
         let id = sim.spawn(spec, Box::new(servent));
         leaf_ids.push(id);
     }
     // Let the overlay converge.
     sim.run_until(SimTime::from_secs(60));
-    TestNet { sim, ups: up_ids, leaves: leaf_ids, world }
+    TestNet {
+        sim,
+        ups: up_ids,
+        leaves: leaf_ids,
+        world,
+    }
 }
 
 fn with_servent<R>(
@@ -84,11 +99,15 @@ fn query_flood_and_hit_routing() {
             ..ServentConfig::leaf().with_bootstrap(vec![net.sim.node_addr(net.ups[0])])
         };
         let servent = Servent::new(cfg, net.world.clone(), HostLibrary::new());
-        net.sim.spawn(NodeSpec::public().listen(6346), Box::new(servent))
+        net.sim
+            .spawn(NodeSpec::public().listen(6346), Box::new(servent))
     };
     net.sim.run_until(SimTime::from_secs(120));
 
-    assert!(with_servent(&mut net.sim, crawler, |s, _| s.peer_count()) > 0, "crawler connected");
+    assert!(
+        with_servent(&mut net.sim, crawler, |s, _| s.peer_count()) > 0,
+        "crawler connected"
+    );
     let query = kw.join(" ");
     with_servent(&mut net.sim, crawler, |s, ctx| s.search(ctx, &query));
     net.sim.run_until(SimTime::from_secs(180));
@@ -101,9 +120,15 @@ fn query_flood_and_hit_routing() {
             _ => None,
         })
         .collect();
-    assert!(!hits.is_empty(), "expected a query hit, got events: {}", events.len());
-    let names: Vec<&str> =
-        hits.iter().flat_map(|h| h.results.iter().map(|r| r.name.as_str())).collect();
+    assert!(
+        !hits.is_empty(),
+        "expected a query hit, got events: {}",
+        events.len()
+    );
+    let names: Vec<&str> = hits
+        .iter()
+        .flat_map(|h| h.results.iter().map(|r| r.name.as_str()))
+        .collect();
     assert!(
         names.iter().any(|n| n.contains(&kw[0])),
         "hit should name the shared file: {names:?}"
@@ -134,7 +159,9 @@ fn echo_worm_answers_everything_and_download_scans_dirty() {
     };
     net.sim.run_until(SimTime::from_secs(120));
 
-    with_servent(&mut net.sim, crawler, |s, ctx| s.search(ctx, "definitely nonexistent words"));
+    with_servent(&mut net.sim, crawler, |s, ctx| {
+        s.search(ctx, "definitely nonexistent words")
+    });
     net.sim.run_until(SimTime::from_secs(200));
     let events = with_servent(&mut net.sim, crawler, |s, _| s.drain_events());
     let hit = events
@@ -173,11 +200,12 @@ fn echo_worm_answers_everything_and_download_scans_dirty() {
         })
         .expect("download completed");
     assert_eq!(body.len() as u64, w.roster.get(FamilyId(0)).sizes[0]);
-    let scanner = p2pmal_scanner::Scanner::new(
-        w.roster.signature_db().unwrap().build().unwrap(),
-    );
+    let scanner = p2pmal_scanner::Scanner::new(w.roster.signature_db().unwrap().build().unwrap());
     let verdict = scanner.scan(&res.name, &body);
-    assert_eq!(verdict.primary(), Some(w.roster.get(FamilyId(0)).name.as_str()));
+    assert_eq!(
+        verdict.primary(),
+        Some(w.roster.get(FamilyId(0)).name.as_str())
+    );
 }
 
 /// A NATed infected leaf advertises its private address; direct dialing
@@ -202,7 +230,9 @@ fn nat_leaf_requires_push_and_giv_transfer_works() {
     };
     net.sim.run_until(SimTime::from_secs(120));
 
-    with_servent(&mut net.sim, crawler, |s, ctx| s.search(ctx, "any random thing"));
+    with_servent(&mut net.sim, crawler, |s, ctx| {
+        s.search(ctx, "any random thing")
+    });
     net.sim.run_until(SimTime::from_secs(200));
     let events = with_servent(&mut net.sim, crawler, |s, _| s.drain_events());
     let hit = events
@@ -213,7 +243,11 @@ fn nat_leaf_requires_push_and_giv_transfer_works() {
         })
         .expect("worm answered");
     // The paper's artifact: the advertised address is RFC 1918.
-    assert!(HostAddr::new(hit.ip, hit.port).is_private(), "advertised {}", hit.ip);
+    assert!(
+        HostAddr::new(hit.ip, hit.port).is_private(),
+        "advertised {}",
+        hit.ip
+    );
     assert!(hit.flags.needs_push());
 
     // Direct download fails (private address unroutable)...
@@ -306,7 +340,11 @@ fn qrp_suppresses_clean_leaves_but_not_worms() {
     let clean_stats = with_servent(&mut net.sim, net.leaves[0], |s, _| s.stats());
     let dirty_stats = with_servent(&mut net.sim, net.leaves[1], |s, _| s.stats());
     assert_eq!(clean_stats.queries_answered, 0);
-    assert!(dirty_stats.queries_answered >= 10, "worm answered {}", dirty_stats.queries_answered);
+    assert!(
+        dirty_stats.queries_answered >= 10,
+        "worm answered {}",
+        dirty_stats.queries_answered
+    );
 }
 
 /// Ultrapeers hand out their host cache on leaf-slot exhaustion, and the
@@ -337,14 +375,23 @@ fn leaf_slot_rejection_redirects_to_other_ultrapeers() {
 
     let leaf = {
         let cfg = ServentConfig::leaf().with_bootstrap(vec![full_addr]);
-        sim.spawn(NodeSpec::public().listen(6346), Box::new(Servent::new(cfg, w, HostLibrary::new())))
+        sim.spawn(
+            NodeSpec::public().listen(6346),
+            Box::new(Servent::new(cfg, w, HostLibrary::new())),
+        )
     };
     sim.run_until(SimTime::from_secs(300));
     let peers = sim
         .with_node(leaf, |app, _| {
-            app.as_any_mut().unwrap().downcast_mut::<Servent>().unwrap().peer_count()
+            app.as_any_mut()
+                .unwrap()
+                .downcast_mut::<Servent>()
+                .unwrap()
+                .peer_count()
         })
         .unwrap();
-    assert!(peers >= 1, "leaf found the open ultrapeer via X-Try-Ultrapeers");
+    assert!(
+        peers >= 1,
+        "leaf found the open ultrapeer via X-Try-Ultrapeers"
+    );
 }
-

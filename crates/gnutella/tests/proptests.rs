@@ -3,11 +3,11 @@
 
 use p2pmal_gnutella::ggep::{self, Extension};
 use p2pmal_gnutella::guid::Guid;
+use p2pmal_gnutella::handshake::{HandshakeConfig, Initiator, Responder};
 use p2pmal_gnutella::http::{parse_giv, RequestReader, ResponseReader};
 use p2pmal_gnutella::message::{encode_message, Header, MessageReader, MsgType};
 use p2pmal_gnutella::payload::{Bye, HitResult, Ping, Pong, Push, QhdFlags, Query, QueryHit};
 use p2pmal_gnutella::qrp::{keywords, QrpReceiver, QrpTable, RouteMsg};
-use p2pmal_gnutella::handshake::{HandshakeConfig, Initiator, Responder};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 

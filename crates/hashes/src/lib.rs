@@ -38,11 +38,16 @@ pub fn to_hex(bytes: &[u8]) -> String {
 ///
 /// Returns `None` on odd length or non-hex characters.
 pub fn from_hex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let digits: Vec<u32> = s.chars().map(|c| c.to_digit(16)).collect::<Option<_>>()?;
-    Some(digits.chunks(2).map(|p| ((p[0] << 4) | p[1]) as u8).collect())
+    Some(
+        digits
+            .chunks(2)
+            .map(|p| ((p[0] << 4) | p[1]) as u8)
+            .collect(),
+    )
 }
 
 #[cfg(test)]

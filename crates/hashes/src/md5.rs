@@ -4,7 +4,7 @@
 //! a wire-compatibility feature, not a security claim.
 
 /// A finished 16-byte MD5 digest.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Md5Digest(pub [u8; 16]);
 
 impl Md5Digest {
@@ -165,7 +165,10 @@ mod tests {
 
     #[test]
     fn vector_message_digest() {
-        assert_eq!(md5(b"message digest").to_hex(), "f96b697d7cb7938d525a2f31aaf161d0");
+        assert_eq!(
+            md5(b"message digest").to_hex(),
+            "f96b697d7cb7938d525a2f31aaf161d0"
+        );
     }
 
     #[test]
@@ -187,8 +190,10 @@ mod tests {
     #[test]
     fn vector_numbers() {
         assert_eq!(
-            md5(b"12345678901234567890123456789012345678901234567890123456789012345678901234567890")
-                .to_hex(),
+            md5(
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+            )
+            .to_hex(),
             "57edf4a22be3c955ac49da2e2107b67a"
         );
     }

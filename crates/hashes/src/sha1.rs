@@ -8,7 +8,7 @@
 use crate::base32::base32_encode;
 
 /// A finished 20-byte SHA-1 digest.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Sha1Digest(pub [u8; 20]);
 
 impl Sha1Digest {
@@ -155,12 +155,18 @@ mod tests {
     // FIPS 180-1 / RFC 3174 test vectors.
     #[test]
     fn vector_empty() {
-        assert_eq!(sha1(b"").to_hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            sha1(b"").to_hex(),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
     }
 
     #[test]
     fn vector_abc() {
-        assert_eq!(sha1(b"abc").to_hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            sha1(b"abc").to_hex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
@@ -174,14 +180,20 @@ mod tests {
     #[test]
     fn vector_million_a() {
         let data = vec![b'a'; 1_000_000];
-        assert_eq!(sha1(&data).to_hex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            sha1(&data).to_hex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]
     fn vector_exact_block() {
         // 64-byte input exercises the no-buffer fast path plus padding block.
         let data = [0x61u8; 64];
-        assert_eq!(sha1(&data).to_hex(), "0098ba824b5c16427bd7a1122a5a442a25ec644d");
+        assert_eq!(
+            sha1(&data).to_hex(),
+            "0098ba824b5c16427bd7a1122a5a442a25ec644d"
+        );
     }
 
     #[test]

@@ -104,7 +104,9 @@ impl Default for AddressAllocator {
 
 impl AddressAllocator {
     pub fn new() -> Self {
-        AddressAllocator { used: HashSet::new() }
+        AddressAllocator {
+            used: HashSet::new(),
+        }
     }
 
     /// Allocates a fresh publicly routable address.
@@ -159,7 +161,10 @@ mod tests {
         assert_eq!(ip_class(Ipv4Addr::new(8, 8, 8, 8)), IpClass::Public);
         assert_eq!(ip_class(Ipv4Addr::new(10, 1, 2, 3)), IpClass::Private10);
         assert_eq!(ip_class(Ipv4Addr::new(172, 16, 0, 1)), IpClass::Private172);
-        assert_eq!(ip_class(Ipv4Addr::new(172, 31, 255, 1)), IpClass::Private172);
+        assert_eq!(
+            ip_class(Ipv4Addr::new(172, 31, 255, 1)),
+            IpClass::Private172
+        );
         assert_eq!(ip_class(Ipv4Addr::new(172, 32, 0, 1)), IpClass::Public);
         assert_eq!(ip_class(Ipv4Addr::new(172, 15, 0, 1)), IpClass::Public);
         assert_eq!(ip_class(Ipv4Addr::new(192, 168, 1, 1)), IpClass::Private192);
@@ -191,7 +196,10 @@ mod tests {
             let ip = a.alloc_private(&mut rng);
             let c = ip_class(ip);
             assert!(
-                matches!(c, IpClass::Private10 | IpClass::Private172 | IpClass::Private192),
+                matches!(
+                    c,
+                    IpClass::Private10 | IpClass::Private172 | IpClass::Private192
+                ),
                 "{ip} classified {c:?}"
             );
             classes.insert(c);
@@ -206,7 +214,9 @@ mod tests {
         let run = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut a = AddressAllocator::new();
-            (0..100).map(|_| a.alloc_public(&mut rng)).collect::<Vec<_>>()
+            (0..100)
+                .map(|_| a.alloc_public(&mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));

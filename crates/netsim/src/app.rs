@@ -2,6 +2,7 @@
 //! [`App`] and interact with the outside world exclusively through [`Ctx`].
 
 use crate::addr::HostAddr;
+use crate::pool::BufferPool;
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 
@@ -29,10 +30,21 @@ pub enum Direction {
 /// (or the live-TCP runtime) after the callback returns.
 #[derive(Debug)]
 pub(crate) enum Action {
-    Connect { conn: ConnId, target: HostAddr },
-    Send { conn: ConnId, data: Vec<u8> },
-    Close { conn: ConnId },
-    Timer { delay: SimDuration, token: TimerToken },
+    Connect {
+        conn: ConnId,
+        target: HostAddr,
+    },
+    Send {
+        conn: ConnId,
+        data: Vec<u8>,
+    },
+    Close {
+        conn: ConnId,
+    },
+    Timer {
+        delay: SimDuration,
+        token: TimerToken,
+    },
     Shutdown,
 }
 
@@ -48,6 +60,7 @@ pub struct Ctx<'a> {
     pub(crate) rng: &'a mut StdRng,
     pub(crate) actions: &'a mut Vec<Action>,
     pub(crate) next_conn: &'a mut u64,
+    pub(crate) pool: &'a mut BufferPool,
 }
 
 impl<'a> Ctx<'a> {
@@ -90,9 +103,11 @@ impl<'a> Ctx<'a> {
 
     /// Queues bytes on an established connection. Bytes sent on a closed or
     /// still-pending connection are silently dropped, mirroring how a
-    /// real socket write after reset is lost.
+    /// real socket write after reset is lost. The copy lands in a pooled
+    /// buffer that is recycled once the bytes are delivered.
     pub fn send(&mut self, conn: ConnId, data: &[u8]) {
-        self.actions.push(Action::Send { conn, data: data.to_vec() });
+        let buf = self.pool.acquire(data);
+        self.actions.push(Action::Send { conn, data: buf });
     }
 
     /// Closes a connection; the peer receives `on_closed` after any

@@ -1,11 +1,13 @@
-//! The event heap: a min-heap on (time, sequence) so simultaneous events
-//! dispatch in scheduling order, keeping runs deterministic.
+//! The simulator's event queue: a thin wrapper that binds [`EventKind`] to
+//! one of the [`crate::queue`] schedulers. Simultaneous events dispatch in
+//! scheduling order (the schedulers' `(time, seq)` contract), keeping runs
+//! deterministic regardless of which scheduler backs the queue.
 
 use crate::addr::HostAddr;
 use crate::app::{ConnId, NodeId, TimerToken};
+use crate::pool::Payload;
+use crate::queue::{CalendarQueue, HeapQueue, Scheduler, SchedulerKind};
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 #[derive(Debug)]
 pub(crate) enum EventKind {
@@ -14,65 +16,78 @@ pub(crate) enum EventKind {
     /// An outbound SYN reaches the target address.
     ConnAttempt { conn: ConnId, target: HostAddr },
     /// Bytes reach the receiving endpoint of `conn`.
-    Data { conn: ConnId, to: NodeId, data: Vec<u8> },
+    Data {
+        conn: ConnId,
+        to: NodeId,
+        data: Payload,
+    },
     /// A close notification reaches the peer.
     CloseNotify { conn: ConnId, to: NodeId },
     /// An app timer fires.
     Timer { node: NodeId, token: TimerToken },
 }
 
-#[derive(Debug)]
-pub(crate) struct Event {
-    pub time: SimTime,
-    pub seq: u64,
-    pub kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl Eq for Event {}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for min-heap behaviour inside std's max-heap.
-        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
-    }
+enum QueueImpl {
+    Calendar(CalendarQueue<EventKind>),
+    Heap(HeapQueue<EventKind>),
 }
 
 /// Deterministic event queue.
-#[derive(Default)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<Event>,
-    next_seq: u64,
+    q: QueueImpl,
+    high_water: usize,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::new(SchedulerKind::Calendar)
+    }
 }
 
 impl EventQueue {
+    pub fn new(kind: SchedulerKind) -> Self {
+        let q = match kind {
+            SchedulerKind::Calendar => QueueImpl::Calendar(CalendarQueue::default()),
+            SchedulerKind::Heap => QueueImpl::Heap(HeapQueue::default()),
+        };
+        EventQueue { q, high_water: 0 }
+    }
+
     pub fn push(&mut self, time: SimTime, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        match &mut self.q {
+            QueueImpl::Calendar(q) => q.push(time, kind),
+            QueueImpl::Heap(q) => q.push(time, kind),
+        }
+        let len = self.len();
+        if len > self.high_water {
+            self.high_water = len;
+        }
     }
 
-    pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        match &mut self.q {
+            QueueImpl::Calendar(q) => q.pop(),
+            QueueImpl::Heap(q) => q.pop(),
+        }
     }
 
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        match &mut self.q {
+            QueueImpl::Calendar(q) => q.peek_time(),
+            QueueImpl::Heap(q) => q.peek_time(),
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.q {
+            QueueImpl::Calendar(q) => q.len(),
+            QueueImpl::Heap(q) => q.len(),
+        }
+    }
+
+    /// Peak number of simultaneously scheduled events.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -84,43 +99,91 @@ mod tests {
         SimTime::from_micros(us)
     }
 
+    fn queues() -> [EventQueue; 2] {
+        [
+            EventQueue::new(SchedulerKind::Calendar),
+            EventQueue::new(SchedulerKind::Heap),
+        ]
+    }
+
+    fn token(kind: EventKind) -> u64 {
+        match kind {
+            EventKind::Timer { token, .. } => token,
+            _ => unreachable!(),
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::default();
-        q.push(t(30), EventKind::Timer { node: NodeId(0), token: 3 });
-        q.push(t(10), EventKind::Timer { node: NodeId(0), token: 1 });
-        q.push(t(20), EventKind::Timer { node: NodeId(0), token: 2 });
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Timer { token, .. } => token,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, [1, 2, 3]);
+        for mut q in queues() {
+            q.push(
+                t(30),
+                EventKind::Timer {
+                    node: NodeId(0),
+                    token: 3,
+                },
+            );
+            q.push(
+                t(10),
+                EventKind::Timer {
+                    node: NodeId(0),
+                    token: 1,
+                },
+            );
+            q.push(
+                t(20),
+                EventKind::Timer {
+                    node: NodeId(0),
+                    token: 2,
+                },
+            );
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|(_, kind)| token(kind))
+                .collect();
+            assert_eq!(order, [1, 2, 3]);
+        }
     }
 
     #[test]
     fn ties_break_on_insertion_order() {
-        let mut q = EventQueue::default();
-        for token in 0..100 {
-            q.push(t(5), EventKind::Timer { node: NodeId(0), token });
+        for mut q in queues() {
+            for tok in 0..100 {
+                q.push(
+                    t(5),
+                    EventKind::Timer {
+                        node: NodeId(0),
+                        token: tok,
+                    },
+                );
+            }
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|(_, kind)| token(kind))
+                .collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>());
         }
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Timer { token, .. } => token,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn peek_time_reports_earliest() {
-        let mut q = EventQueue::default();
-        assert_eq!(q.peek_time(), None);
-        q.push(t(50), EventKind::Timer { node: NodeId(0), token: 0 });
-        q.push(t(5), EventKind::Timer { node: NodeId(0), token: 0 });
-        assert_eq!(q.peek_time(), Some(t(5)));
-        assert_eq!(q.len(), 2);
+        for mut q in queues() {
+            assert_eq!(q.peek_time(), None);
+            q.push(
+                t(50),
+                EventKind::Timer {
+                    node: NodeId(0),
+                    token: 0,
+                },
+            );
+            q.push(
+                t(5),
+                EventKind::Timer {
+                    node: NodeId(0),
+                    token: 0,
+                },
+            );
+            assert_eq!(q.peek_time(), Some(t(5)));
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.high_water(), 2);
+        }
     }
 }

@@ -55,11 +55,14 @@ mod app;
 mod event;
 pub mod live;
 mod metrics;
+mod pool;
+pub mod queue;
 mod sim;
 mod time;
 
 pub use addr::{ip_class, AddressAllocator, HostAddr, IpClass};
 pub use app::{App, ConnId, Ctx, Direction, NodeId, TimerToken};
 pub use metrics::SimMetrics;
+pub use queue::{CalendarQueue, HeapQueue, Scheduler, SchedulerKind};
 pub use sim::{NodeSpec, SimConfig, Simulator};
 pub use time::{SimDuration, SimTime};

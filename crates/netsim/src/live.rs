@@ -11,8 +11,9 @@
 //! integration tests; month-scale studies stay on the simulator.
 
 use crate::addr::HostAddr;
-use crate::app::{Action, App, ConnId, Ctx, Direction, TimerToken};
 use crate::app::NodeId;
+use crate::app::{Action, App, ConnId, Ctx, Direction, TimerToken};
+use crate::pool::BufferPool;
 use crate::time::SimTime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,11 +28,25 @@ use std::time::{Duration, Instant};
 
 enum LiveEvent {
     Start,
-    Connected { conn: ConnId, dir: Direction, peer: HostAddr, stream: TcpStream },
-    ConnectFailed { conn: ConnId },
-    Data { conn: ConnId, data: Vec<u8> },
-    Closed { conn: ConnId },
-    Timer { token: TimerToken },
+    Connected {
+        conn: ConnId,
+        dir: Direction,
+        peer: HostAddr,
+        stream: TcpStream,
+    },
+    ConnectFailed {
+        conn: ConnId,
+    },
+    Data {
+        conn: ConnId,
+        data: Vec<u8>,
+    },
+    Closed {
+        conn: ConnId,
+    },
+    Timer {
+        token: TimerToken,
+    },
     Stop,
 }
 
@@ -53,7 +68,13 @@ fn spawn_reader(conn: ConnId, stream: TcpStream, tx: Sender<LiveEvent>) {
                     return;
                 }
                 Ok(n) => {
-                    if tx.send(LiveEvent::Data { conn, data: buf[..n].to_vec() }).is_err() {
+                    if tx
+                        .send(LiveEvent::Data {
+                            conn,
+                            data: buf[..n].to_vec(),
+                        })
+                        .is_err()
+                    {
                         return;
                     }
                 }
@@ -116,7 +137,12 @@ impl LiveNode {
             })
         };
         let _ = tx.send(LiveEvent::Start);
-        Ok(LiveNode { addr, tx, stopped, thread: Some(thread) })
+        Ok(LiveNode {
+            addr,
+            tx,
+            stopped,
+            thread: Some(thread),
+        })
     }
 
     /// The address peers can dial.
@@ -154,6 +180,7 @@ fn run_app_loop(
 ) {
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(0x11_7e_c0_de);
+    let mut pool = BufferPool::default();
     let mut streams: HashMap<u64, TcpStream> = HashMap::new();
     // `Ctx.next_conn` needs a plain &mut u64; reconcile with the shared
     // atomic after each callback.
@@ -172,10 +199,16 @@ fn run_app_loop(
                 rng: &mut rng,
                 actions: &mut actions,
                 next_conn: &mut conn_counter,
+                pool: &mut pool,
             };
             match ev {
                 LiveEvent::Start => app.on_start(&mut ctx),
-                LiveEvent::Connected { conn, dir, peer, stream } => {
+                LiveEvent::Connected {
+                    conn,
+                    dir,
+                    peer,
+                    stream,
+                } => {
                     if let Ok(reader) = stream.try_clone() {
                         spawn_reader(conn, reader, tx.clone());
                     }
@@ -202,9 +235,8 @@ fn run_app_loop(
                         let sa = SocketAddrV4::new(target.ip, target.port);
                         match TcpStream::connect_timeout(&sa.into(), Duration::from_secs(5)) {
                             Ok(stream) => {
-                                let peer = to_host_addr(
-                                    stream.peer_addr().unwrap_or_else(|_| sa.into()),
-                                );
+                                let peer =
+                                    to_host_addr(stream.peer_addr().unwrap_or_else(|_| sa.into()));
                                 let _ = tx.send(LiveEvent::Connected {
                                     conn,
                                     dir: Direction::Outbound,
@@ -223,6 +255,7 @@ fn run_app_loop(
                     if let Some(s) = streams.get_mut(&conn.0) {
                         failed = s.write_all(&data).is_err();
                     }
+                    pool.release(data);
                     if failed {
                         streams.remove(&conn.0);
                         let _ = tx.send(LiveEvent::Closed { conn });
@@ -287,7 +320,10 @@ mod tests {
         let server = LiveNode::spawn(Box::new(EchoServer), 0).unwrap();
         let got = Arc::new(Mutex::new(Vec::new()));
         let client = LiveNode::spawn(
-            Box::new(OnceClient { target: server.addr(), got: got.clone() }),
+            Box::new(OnceClient {
+                target: server.addr(),
+                got: got.clone(),
+            }),
             0,
         )
         .unwrap();

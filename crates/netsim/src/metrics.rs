@@ -21,6 +21,16 @@ pub struct SimMetrics {
     pub nodes_spawned: u64,
     /// Nodes taken offline (churn or shutdown).
     pub nodes_stopped: u64,
+    /// Payload buffer acquisitions served from the recycling pool.
+    pub pool_hits: u64,
+    /// Payload buffer acquisitions that had to allocate.
+    pub pool_misses: u64,
+    /// Total buffer capacity (bytes) returned to the pool.
+    pub pool_recycled_bytes: u64,
+    /// Peak number of buffers held on the pool's free list.
+    pub pool_high_water: u64,
+    /// Peak number of simultaneously scheduled events.
+    pub queue_high_water: u64,
 }
 
 #[cfg(test)]

@@ -1,0 +1,198 @@
+//! Payload buffer recycling.
+//!
+//! Every `Ctx::send` used to allocate a fresh `Vec<u8>`, and every MSS
+//! fragment another one — at paper scale that is tens of millions of
+//! short-lived allocations whose lifetimes all end inside `on_data`. The
+//! pool keeps freed buffers on a free list and hands them back out, and the
+//! MSS fan-out path shares one buffer across all fragments instead of
+//! copying each chunk.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Buffers retained on the free list; beyond this, freed buffers drop.
+const MAX_POOLED_BUFFERS: usize = 1024;
+/// Buffers whose payload exceeds this are not retained, and retained
+/// buffers are shrunk to at most this capacity (a month-scale run
+/// occasionally moves multi-megabyte payloads; hoarding those would pin
+/// memory long after the transfer).
+const MAX_POOLED_CAPACITY: usize = 256 * 1024;
+
+/// Counters the simulator mirrors into `SimMetrics`.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct PoolStats {
+    /// Acquisitions served from the free list.
+    pub hits: u64,
+    /// Acquisitions that had to allocate.
+    pub misses: u64,
+    /// Total payload bytes whose buffers returned to the free list. This
+    /// counts buffer *contents*, not capacity: the simulated apps fan
+    /// messages out over `HashMap`-ordered peer sets, so while every
+    /// payload is delivered at a deterministic time, the pairing of
+    /// payloads to recycled buffers (and hence capacity growth) is not —
+    /// content bytes are, keeping the metric reproducible run to run.
+    pub recycled_bytes: u64,
+    /// Peak free-list length.
+    pub high_water: u64,
+}
+
+/// A free list of reusable byte buffers.
+#[derive(Default)]
+pub(crate) struct BufferPool {
+    free: Vec<Vec<u8>>,
+    pub stats: PoolStats,
+}
+
+impl BufferPool {
+    /// Returns a buffer containing a copy of `data`, reusing a freed
+    /// buffer when one is available.
+    pub fn acquire(&mut self, data: &[u8]) -> Vec<u8> {
+        let mut buf = match self.free.pop() {
+            Some(b) => {
+                self.stats.hits += 1;
+                b
+            }
+            None => {
+                self.stats.misses += 1;
+                Vec::new()
+            }
+        };
+        buf.clear();
+        buf.extend_from_slice(data);
+        buf
+    }
+
+    /// Returns a buffer to the free list (or drops it if the list is full
+    /// or the payload it carried is oversized).
+    pub fn release(&mut self, mut buf: Vec<u8>) {
+        if self.free.len() >= MAX_POOLED_BUFFERS || buf.len() > MAX_POOLED_CAPACITY {
+            return;
+        }
+        self.stats.recycled_bytes += buf.len() as u64;
+        if buf.capacity() > MAX_POOLED_CAPACITY {
+            buf.shrink_to(MAX_POOLED_CAPACITY);
+        }
+        self.free.push(buf);
+        let len = self.free.len() as u64;
+        if len > self.stats.high_water {
+            self.stats.high_water = len;
+        }
+    }
+
+    /// Reclaims a delivered payload's storage where possible: owned
+    /// buffers always return; a shared buffer returns when this was the
+    /// last fragment referencing it.
+    pub fn recycle(&mut self, payload: Payload) {
+        match payload {
+            Payload::Owned(buf) => self.release(buf),
+            Payload::Shared { buf, .. } => {
+                if let Ok(inner) = Arc::try_unwrap(buf) {
+                    self.release(inner);
+                }
+            }
+        }
+    }
+}
+
+/// Bytes in flight: either a whole (pooled) buffer, or a zero-copy window
+/// into a buffer shared by every fragment of one MSS fan-out.
+#[derive(Debug, Clone)]
+pub(crate) enum Payload {
+    Owned(Vec<u8>),
+    Shared {
+        buf: Arc<Vec<u8>>,
+        start: usize,
+        end: usize,
+    },
+}
+
+impl Payload {
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Owned(v) => v.len(),
+            Payload::Shared { start, end, .. } => end - start,
+        }
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            Payload::Owned(v) => v,
+            Payload::Shared { buf, start, end } => &buf[*start..*end],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_copies_and_reuses() {
+        let mut pool = BufferPool::default();
+        let a = pool.acquire(b"hello");
+        assert_eq!(a, b"hello");
+        assert_eq!(pool.stats.misses, 1);
+        pool.release(a);
+        assert_eq!(pool.stats.recycled_bytes, 5);
+        let b = pool.acquire(b"hi");
+        assert_eq!(b, b"hi");
+        assert_eq!(pool.stats.hits, 1);
+    }
+
+    #[test]
+    fn oversized_payloads_are_not_retained() {
+        let mut pool = BufferPool::default();
+        pool.release(vec![0u8; MAX_POOLED_CAPACITY + 1]);
+        assert_eq!(pool.free.len(), 0);
+        assert_eq!(pool.stats.recycled_bytes, 0);
+    }
+
+    #[test]
+    fn retained_buffers_are_shrunk_to_the_cap() {
+        let mut pool = BufferPool::default();
+        let mut big = Vec::with_capacity(MAX_POOLED_CAPACITY * 4);
+        big.resize(10, 0u8);
+        pool.release(big);
+        assert_eq!(pool.free.len(), 1);
+        assert!(pool.free[0].capacity() <= MAX_POOLED_CAPACITY);
+        assert_eq!(pool.stats.recycled_bytes, 10);
+    }
+
+    #[test]
+    fn shared_payload_recycles_on_last_fragment() {
+        let mut pool = BufferPool::default();
+        let buf = Arc::new(vec![0u8; 300]);
+        let a = Payload::Shared {
+            buf: buf.clone(),
+            start: 0,
+            end: 100,
+        };
+        let b = Payload::Shared {
+            buf: buf.clone(),
+            start: 100,
+            end: 300,
+        };
+        drop(buf);
+        assert_eq!(a.len(), 100);
+        assert_eq!(&b[..4], &[0, 0, 0, 0]);
+        pool.recycle(a);
+        assert_eq!(pool.free.len(), 0, "still referenced by b");
+        pool.recycle(b);
+        assert_eq!(pool.free.len(), 1, "last fragment returns the buffer");
+        assert_eq!(pool.stats.recycled_bytes, 300);
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let mut pool = BufferPool::default();
+        for _ in 0..MAX_POOLED_BUFFERS + 50 {
+            pool.release(vec![1, 2, 3]);
+        }
+        assert_eq!(pool.free.len(), MAX_POOLED_BUFFERS);
+        assert_eq!(pool.stats.high_water, MAX_POOLED_BUFFERS as u64);
+    }
+}

@@ -4,10 +4,13 @@ use crate::addr::{AddressAllocator, HostAddr};
 use crate::app::{Action, App, ConnId, Ctx, Direction, NodeId};
 use crate::event::{EventKind, EventQueue};
 use crate::metrics::SimMetrics;
+use crate::pool::{BufferPool, Payload};
+use crate::queue::SchedulerKind;
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Tunables for the simulated internet.
 #[derive(Debug, Clone)]
@@ -23,6 +26,10 @@ pub struct SimConfig {
     /// many bytes, exercising protocol reframing. `None` delivers each
     /// `send` as one chunk (cheaper for month-scale runs).
     pub mss: Option<usize>,
+    /// Which event scheduler backs the run. [`SchedulerKind::Calendar`] is
+    /// the fast default; [`SchedulerKind::Heap`] keeps the original binary
+    /// heap for head-to-head benchmarks. Both dispatch identically.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for SimConfig {
@@ -32,6 +39,7 @@ impl Default for SimConfig {
             upload_bps: (16_000, 128_000),
             download_bps: (64_000, 512_000),
             mss: None,
+            scheduler: SchedulerKind::Calendar,
         }
     }
 }
@@ -53,12 +61,22 @@ pub struct NodeSpec {
 impl NodeSpec {
     /// A publicly addressable node.
     pub fn public() -> Self {
-        NodeSpec { nat: false, listen_port: None, upload_bps: None, download_bps: None }
+        NodeSpec {
+            nat: false,
+            listen_port: None,
+            upload_bps: None,
+            download_bps: None,
+        }
     }
 
     /// A NATed node: advertises a private address, cannot be dialed.
     pub fn nat() -> Self {
-        NodeSpec { nat: true, listen_port: None, upload_bps: None, download_bps: None }
+        NodeSpec {
+            nat: true,
+            listen_port: None,
+            upload_bps: None,
+            download_bps: None,
+        }
     }
 
     /// Listen for inbound connections on `port`.
@@ -121,10 +139,12 @@ pub struct Simulator {
     alloc: AddressAllocator,
     next_conn_id: u64,
     metrics: SimMetrics,
+    pool: BufferPool,
 }
 
 impl Simulator {
     pub fn new(config: SimConfig, seed: u64) -> Self {
+        let queue = EventQueue::new(config.scheduler);
         Simulator {
             config,
             rng: StdRng::seed_from_u64(seed),
@@ -132,10 +152,11 @@ impl Simulator {
             nodes: Vec::new(),
             conns: HashMap::new(),
             listeners: HashMap::new(),
-            queue: EventQueue::default(),
+            queue,
             alloc: AddressAllocator::new(),
             next_conn_id: 0,
             metrics: SimMetrics::default(),
+            pool: BufferPool::default(),
         }
     }
 
@@ -150,11 +171,13 @@ impl Simulator {
         } else {
             external_addr
         };
-        let upload = spec
-            .upload_bps
-            .unwrap_or_else(|| self.rng.gen_range(self.config.upload_bps.0..=self.config.upload_bps.1));
+        let upload = spec.upload_bps.unwrap_or_else(|| {
+            self.rng
+                .gen_range(self.config.upload_bps.0..=self.config.upload_bps.1)
+        });
         let download = spec.download_bps.unwrap_or_else(|| {
-            self.rng.gen_range(self.config.download_bps.0..=self.config.download_bps.1)
+            self.rng
+                .gen_range(self.config.download_bps.0..=self.config.download_bps.1)
         });
         self.nodes.push(NodeSlot {
             app: Some(app),
@@ -216,9 +239,9 @@ impl Simulator {
             if t > deadline {
                 break;
             }
-            let ev = self.queue.pop().expect("peeked");
-            self.now = ev.time;
-            self.dispatch(ev.kind);
+            let (time, kind) = self.queue.pop().expect("peeked");
+            self.now = time;
+            self.dispatch(kind);
             n += 1;
         }
         // Advance the clock to the deadline even if the queue went quiet.
@@ -231,9 +254,9 @@ impl Simulator {
     /// Runs until the event queue is empty.
     pub fn run_to_quiescence(&mut self) -> u64 {
         let mut n = 0;
-        while let Some(ev) = self.queue.pop() {
-            self.now = ev.time;
-            self.dispatch(ev.kind);
+        while let Some((time, kind)) = self.queue.pop() {
+            self.now = time;
+            self.dispatch(kind);
             n += 1;
         }
         n
@@ -242,6 +265,16 @@ impl Simulator {
     /// Number of events currently scheduled.
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Mirrors pool and queue statistics into the metrics snapshot.
+    fn sync_stats(&mut self) {
+        let s = &self.pool.stats;
+        self.metrics.pool_hits = s.hits;
+        self.metrics.pool_misses = s.misses;
+        self.metrics.pool_recycled_bytes = s.recycled_bytes;
+        self.metrics.pool_high_water = s.high_water;
+        self.metrics.queue_high_water = self.queue.high_water() as u64;
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -255,13 +288,18 @@ impl Simulator {
                     Some(c) => c.initiator,
                     None => return,
                 };
-                let acceptor = self.listeners.get(&target).copied().filter(|&n| {
-                    self.nodes[n.0].alive && !self.nodes[n.0].nat && n != initiator
-                });
+                let acceptor =
+                    self.listeners.get(&target).copied().filter(|&n| {
+                        self.nodes[n.0].alive && !self.nodes[n.0].nat && n != initiator
+                    });
                 match acceptor {
                     Some(acc) if self.nodes[initiator.0].alive => {
-                        let (up_i, down_i) = (self.nodes[initiator.0].upload_bps, self.nodes[initiator.0].download_bps);
-                        let (up_a, down_a) = (self.nodes[acc.0].upload_bps, self.nodes[acc.0].download_bps);
+                        let (up_i, down_i) = (
+                            self.nodes[initiator.0].upload_bps,
+                            self.nodes[initiator.0].download_bps,
+                        );
+                        let (up_a, down_a) =
+                            (self.nodes[acc.0].upload_bps, self.nodes[acc.0].download_bps);
                         {
                             let c = self.conns.get_mut(&conn.0).expect("conn exists");
                             c.acceptor = Some(acc);
@@ -306,6 +344,7 @@ impl Simulator {
                 } else {
                     self.metrics.bytes_dropped += data.len() as u64;
                 }
+                self.pool.recycle(data);
             }
             EventKind::CloseNotify { conn, to } => {
                 // Reap the table entry: data queued before the close was
@@ -329,6 +368,7 @@ impl Simulator {
                 }
             }
         }
+        self.sync_stats();
     }
 
     /// Runs `f` against a node's app with a fresh command buffer, then
@@ -360,11 +400,13 @@ impl Simulator {
                 rng: &mut self.rng,
                 actions: &mut actions,
                 next_conn: &mut self.next_conn_id,
+                pool: &mut self.pool,
             };
             r = f(app.as_mut(), &mut ctx);
         }
         self.nodes[node.0].app = Some(app);
         self.apply(node, actions);
+        self.sync_stats();
         Some(r)
     }
 
@@ -384,6 +426,7 @@ impl Simulator {
                 rng: &mut self.rng,
                 actions: &mut actions,
                 next_conn: &mut self.next_conn_id,
+                pool: &mut self.pool,
             };
             f(&mut app, &mut ctx);
         }
@@ -396,7 +439,8 @@ impl Simulator {
             match act {
                 Action::Connect { conn, target } => {
                     let latency = SimDuration::from_micros(
-                        self.rng.gen_range(self.config.latency_us.0..=self.config.latency_us.1),
+                        self.rng
+                            .gen_range(self.config.latency_us.0..=self.config.latency_us.1),
                     );
                     self.conns.insert(
                         conn.0,
@@ -409,7 +453,8 @@ impl Simulator {
                             state: ConnState::Pending,
                         },
                     );
-                    self.queue.push(self.now + latency, EventKind::ConnAttempt { conn, target });
+                    self.queue
+                        .push(self.now + latency, EventKind::ConnAttempt { conn, target });
                 }
                 Action::Send { conn, data } => {
                     self.send_bytes(node, conn, data);
@@ -418,7 +463,8 @@ impl Simulator {
                     self.close_conn(node, conn);
                 }
                 Action::Timer { delay, token } => {
-                    self.queue.push(self.now + delay, EventKind::Timer { node, token });
+                    self.queue
+                        .push(self.now + delay, EventKind::Timer { node, token });
                 }
                 Action::Shutdown => {
                     self.shutdown_node(node);
@@ -433,11 +479,13 @@ impl Simulator {
                 Some(c) => c,
                 None => {
                     self.metrics.bytes_dropped += data.len() as u64;
+                    self.pool.release(data);
                     return;
                 }
             };
             if c.state != ConnState::Open {
                 self.metrics.bytes_dropped += data.len() as u64;
+                self.pool.release(data);
                 return;
             }
             let acceptor = c.acceptor.expect("open conn has acceptor");
@@ -451,15 +499,42 @@ impl Simulator {
         };
         match self.config.mss {
             Some(mss) if data.len() > mss => {
-                // Spread fragments one microsecond apart to preserve order.
+                // Zero-copy fan-out: every fragment is a window into one
+                // shared buffer, spread one microsecond apart to preserve
+                // order. The buffer returns to the pool when the last
+                // fragment is delivered.
+                let total = data.len();
+                let buf = Arc::new(data);
                 let mut t = arrival_base;
-                for chunk in data.chunks(mss) {
-                    self.queue.push(t, EventKind::Data { conn, to, data: chunk.to_vec() });
+                let mut start = 0;
+                while start < total {
+                    let end = (start + mss).min(total);
+                    let payload = Payload::Shared {
+                        buf: buf.clone(),
+                        start,
+                        end,
+                    };
+                    self.queue.push(
+                        t,
+                        EventKind::Data {
+                            conn,
+                            to,
+                            data: payload,
+                        },
+                    );
                     t += SimDuration::from_micros(1);
+                    start = end;
                 }
             }
             _ => {
-                self.queue.push(arrival_base, EventKind::Data { conn, to, data });
+                self.queue.push(
+                    arrival_base,
+                    EventKind::Data {
+                        conn,
+                        to,
+                        data: Payload::Owned(data),
+                    },
+                );
             }
         }
     }
@@ -488,7 +563,8 @@ impl Simulator {
             c.state = ConnState::Closed;
             (peer, when)
         };
-        self.queue.push(when, EventKind::CloseNotify { conn, to: peer });
+        self.queue
+            .push(when, EventKind::CloseNotify { conn, to: peer });
     }
 
     fn shutdown_node(&mut self, node: NodeId) {
@@ -532,7 +608,10 @@ mod tests {
 
     impl App for Echo {
         fn on_connected(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId, dir: Direction, _p: HostAddr) {
-            self.log.borrow_mut().events.push(format!("server connected {dir:?}"));
+            self.log
+                .borrow_mut()
+                .events
+                .push(format!("server connected {dir:?}"));
         }
         fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
             self.log
@@ -560,7 +639,10 @@ mod tests {
             ctx.send(conn, &self.payload.clone());
         }
         fn on_connect_failed(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId) {
-            self.log.borrow_mut().events.push("client connect failed".into());
+            self.log
+                .borrow_mut()
+                .events
+                .push("client connect failed".into());
         }
         fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
             self.log
@@ -579,11 +661,18 @@ mod tests {
     fn echo_roundtrip_with_close() {
         let log = new_log();
         let mut sim = Simulator::new(SimConfig::default(), 1);
-        let server = sim.spawn(NodeSpec::public().listen(6346), Box::new(Echo { log: log.clone() }));
+        let server = sim.spawn(
+            NodeSpec::public().listen(6346),
+            Box::new(Echo { log: log.clone() }),
+        );
         let server_addr = sim.node_addr(server);
         sim.spawn(
             NodeSpec::public(),
-            Box::new(Client { log: log.clone(), server: server_addr, payload: b"ping".to_vec() }),
+            Box::new(Client {
+                log: log.clone(),
+                server: server_addr,
+                payload: b"ping".to_vec(),
+            }),
         );
         sim.run_to_quiescence();
         let events = log.borrow().events.clone();
@@ -607,7 +696,11 @@ mod tests {
         let phantom = HostAddr::new(std::net::Ipv4Addr::new(9, 9, 9, 9), 1234);
         sim.spawn(
             NodeSpec::public(),
-            Box::new(Client { log: log.clone(), server: phantom, payload: vec![] }),
+            Box::new(Client {
+                log: log.clone(),
+                server: phantom,
+                payload: vec![],
+            }),
         );
         sim.run_to_quiescence();
         assert_eq!(log.borrow().events, vec!["client connect failed"]);
@@ -619,11 +712,18 @@ mod tests {
         let log = new_log();
         let mut sim = Simulator::new(SimConfig::default(), 3);
         // NAT "server": listener must not register.
-        let nat = sim.spawn(NodeSpec::nat().listen(6346), Box::new(Echo { log: log.clone() }));
+        let nat = sim.spawn(
+            NodeSpec::nat().listen(6346),
+            Box::new(Echo { log: log.clone() }),
+        );
         let nat_addr = sim.node_addr(nat);
         sim.spawn(
             NodeSpec::public(),
-            Box::new(Client { log: log.clone(), server: nat_addr, payload: b"x".to_vec() }),
+            Box::new(Client {
+                log: log.clone(),
+                server: nat_addr,
+                payload: b"x".to_vec(),
+            }),
         );
         sim.run_to_quiescence();
         assert_eq!(log.borrow().events, vec!["client connect failed"]);
@@ -634,12 +734,18 @@ mod tests {
         // NAT node can dial out.
         let log2 = new_log();
         let mut sim2 = Simulator::new(SimConfig::default(), 4);
-        let server =
-            sim2.spawn(NodeSpec::public().listen(6346), Box::new(Echo { log: log2.clone() }));
+        let server = sim2.spawn(
+            NodeSpec::public().listen(6346),
+            Box::new(Echo { log: log2.clone() }),
+        );
         let server_addr = sim2.node_addr(server);
         sim2.spawn(
             NodeSpec::nat(),
-            Box::new(Client { log: log2.clone(), server: server_addr, payload: b"y".to_vec() }),
+            Box::new(Client {
+                log: log2.clone(),
+                server: server_addr,
+                payload: b"y".to_vec(),
+            }),
         );
         sim2.run_to_quiescence();
         assert!(log2.borrow().events.iter().any(|e| e == "client got y"));
@@ -650,8 +756,10 @@ mod tests {
         let run = |seed: u64| {
             let log = new_log();
             let mut sim = Simulator::new(SimConfig::default(), seed);
-            let server =
-                sim.spawn(NodeSpec::public().listen(1), Box::new(Echo { log: log.clone() }));
+            let server = sim.spawn(
+                NodeSpec::public().listen(1),
+                Box::new(Echo { log: log.clone() }),
+            );
             let addr = sim.node_addr(server);
             for i in 0..10 {
                 sim.spawn(
@@ -680,7 +788,13 @@ mod tests {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
                 ctx.connect(self.server);
             }
-            fn on_connected(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _d: Direction, _p: HostAddr) {
+            fn on_connected(
+                &mut self,
+                ctx: &mut Ctx<'_>,
+                conn: ConnId,
+                _d: Direction,
+                _p: HostAddr,
+            ) {
                 ctx.send(conn, &vec![0u8; 100_000]);
             }
         }
@@ -697,10 +811,15 @@ mod tests {
         let mut sim = Simulator::new(SimConfig::default(), 5);
         let sink = sim.spawn(
             NodeSpec::public().listen(80).download(1_000_000),
-            Box::new(Sink { done_at: done.clone() }),
+            Box::new(Sink {
+                done_at: done.clone(),
+            }),
         );
         let addr = sim.node_addr(sink);
-        sim.spawn(NodeSpec::public().upload(10_000), Box::new(Sender { server: addr }));
+        sim.spawn(
+            NodeSpec::public().upload(10_000),
+            Box::new(Sender { server: addr }),
+        );
         sim.run_to_quiescence();
         let t = done.borrow().expect("delivered");
         assert!(t >= SimTime::from_secs(10), "arrived too fast: {t}");
@@ -726,17 +845,32 @@ mod tests {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
                 ctx.connect(self.server);
             }
-            fn on_connected(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _d: Direction, _p: HostAddr) {
+            fn on_connected(
+                &mut self,
+                ctx: &mut Ctx<'_>,
+                conn: ConnId,
+                _d: Direction,
+                _p: HostAddr,
+            ) {
                 let payload: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
                 ctx.send(conn, &payload);
             }
         }
         let got = Rc::new(RefCell::new(Vec::new()));
         let chunks = Rc::new(RefCell::new(0usize));
-        let mut sim = Simulator::new(SimConfig { mss: Some(100), ..SimConfig::default() }, 6);
+        let mut sim = Simulator::new(
+            SimConfig {
+                mss: Some(100),
+                ..SimConfig::default()
+            },
+            6,
+        );
         let sink = sim.spawn(
             NodeSpec::public().listen(80),
-            Box::new(Collect { got: got.clone(), chunks: chunks.clone() }),
+            Box::new(Collect {
+                got: got.clone(),
+                chunks: chunks.clone(),
+            }),
         );
         let addr = sim.node_addr(sink);
         sim.spawn(NodeSpec::public(), Box::new(Send1K { server: addr }));
@@ -750,7 +884,10 @@ mod tests {
     fn stop_node_closes_peer_connections() {
         let log = new_log();
         let mut sim = Simulator::new(SimConfig::default(), 7);
-        let server = sim.spawn(NodeSpec::public().listen(1), Box::new(Echo { log: log.clone() }));
+        let server = sim.spawn(
+            NodeSpec::public().listen(1),
+            Box::new(Echo { log: log.clone() }),
+        );
         let addr = sim.node_addr(server);
         struct Idle {
             server: HostAddr,
@@ -765,7 +902,13 @@ mod tests {
             }
         }
         let closed = Rc::new(RefCell::new(false));
-        sim.spawn(NodeSpec::public(), Box::new(Idle { server: addr, closed: closed.clone() }));
+        sim.spawn(
+            NodeSpec::public(),
+            Box::new(Idle {
+                server: addr,
+                closed: closed.clone(),
+            }),
+        );
         sim.run_until(SimTime::from_secs(5));
         assert!(sim.is_alive(server));
         sim.stop_node(server);
@@ -776,7 +919,11 @@ mod tests {
         let log3 = new_log();
         sim.spawn(
             NodeSpec::public(),
-            Box::new(Client { log: log3.clone(), server: addr, payload: vec![] }),
+            Box::new(Client {
+                log: log3.clone(),
+                server: addr,
+                payload: vec![],
+            }),
         );
         sim.run_to_quiescence();
         assert_eq!(log3.borrow().events, vec!["client connect failed"]);
@@ -799,7 +946,12 @@ mod tests {
         }
         let fired = Rc::new(RefCell::new(Vec::new()));
         let mut sim = Simulator::new(SimConfig::default(), 8);
-        sim.spawn(NodeSpec::public(), Box::new(Timers { fired: fired.clone() }));
+        sim.spawn(
+            NodeSpec::public(),
+            Box::new(Timers {
+                fired: fired.clone(),
+            }),
+        );
         sim.run_to_quiescence();
         assert_eq!(*fired.borrow(), vec![1, 2, 3]);
         assert_eq!(sim.metrics().timers_fired, 3);
@@ -829,7 +981,12 @@ mod tests {
         }
         let failed = Rc::new(RefCell::new(false));
         let mut sim = Simulator::new(SimConfig::default(), 10);
-        sim.spawn(NodeSpec::public().listen(5), Box::new(SelfDial { failed: failed.clone() }));
+        sim.spawn(
+            NodeSpec::public().listen(5),
+            Box::new(SelfDial {
+                failed: failed.clone(),
+            }),
+        );
         sim.run_to_quiescence();
         assert!(*failed.borrow());
     }

@@ -38,8 +38,11 @@ impl std::error::Error for HttpError {}
 
 /// Builds the MD5-addressed GET.
 pub fn encode_request(md5: &Md5Digest) -> Vec<u8> {
-    format!("GET /md5/{} HTTP/1.1\r\nUser-Agent: giFT/0.11\r\nConnection: close\r\n\r\n", md5.to_hex())
-        .into_bytes()
+    format!(
+        "GET /md5/{} HTTP/1.1\r\nUser-Agent: giFT/0.11\r\nConnection: close\r\n\r\n",
+        md5.to_hex()
+    )
+    .into_bytes()
 }
 
 /// Builds a 200 response head.
@@ -114,7 +117,11 @@ pub struct ResponseReader {
 
 impl ResponseReader {
     pub fn new(max_body: usize) -> Self {
-        ResponseReader { buf: Vec::new(), body_len: None, max_body }
+        ResponseReader {
+            buf: Vec::new(),
+            body_len: None,
+            max_body,
+        }
     }
 
     pub fn push(&mut self, data: &[u8]) {
@@ -133,16 +140,17 @@ impl ResponseReader {
                     return Ok(None);
                 }
             };
-            let head =
-                std::str::from_utf8(&self.buf[..end]).map_err(|_| HttpError::BadHeader)?;
+            let head = std::str::from_utf8(&self.buf[..end]).map_err(|_| HttpError::BadHeader)?;
             let mut lines = head.split("\r\n");
             let status_line = lines.next().ok_or(HttpError::BadStatusLine)?;
             let mut parts = status_line.split_whitespace();
             if !parts.next().unwrap_or("").starts_with("HTTP/1.") {
                 return Err(HttpError::BadStatusLine);
             }
-            let status: u16 =
-                parts.next().and_then(|s| s.parse().ok()).ok_or(HttpError::BadStatusLine)?;
+            let status: u16 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(HttpError::BadStatusLine)?;
             let mut len = None;
             for line in lines {
                 let (k, v) = line.split_once(':').ok_or(HttpError::BadHeader)?;

@@ -112,13 +112,28 @@ pub enum FtDownloadError {
 #[derive(Debug, Clone)]
 pub enum FtEvent {
     /// An OpenFT session reached the established state.
-    SessionUp { conn: ConnId, info: NodeInfo },
-    SessionDown { conn: ConnId },
+    SessionUp {
+        conn: ConnId,
+        info: NodeInfo,
+    },
+    SessionDown {
+        conn: ConnId,
+    },
     /// A result for one of our searches.
-    SearchResult { at: SimTime, result: SearchResult },
+    SearchResult {
+        at: SimTime,
+        result: SearchResult,
+    },
     /// The queried node finished streaming results for `id`.
-    SearchEnd { at: SimTime, id: u32 },
-    DownloadDone { at: SimTime, id: u64, result: Result<Vec<u8>, FtDownloadError> },
+    SearchEnd {
+        at: SimTime,
+        id: u32,
+    },
+    DownloadDone {
+        at: SimTime,
+        id: u64,
+        result: Result<Vec<u8>, FtDownloadError>,
+    },
 }
 
 /// Counters for benches and experiments.
@@ -256,7 +271,11 @@ impl FtNode {
     pub fn search(&mut self, ctx: &mut Ctx<'_>, query: &str) -> u32 {
         let id = self.next_search;
         self.next_search += 1;
-        let pkt = Search::Request { id, query: query.to_string() }.encode();
+        let pkt = Search::Request {
+            id,
+            query: query.to_string(),
+        }
+        .encode();
         let mut wire = Vec::new();
         encode_packet(Command::Search, &pkt, &mut wire);
         let targets: Vec<ConnId> = self
@@ -401,7 +420,9 @@ impl FtNode {
     fn pump_peer(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
         loop {
             let (cmd, payload) = {
-                let Some(ConnKind::Peer(p)) = self.conns.get_mut(&conn) else { return };
+                let Some(ConnKind::Peer(p)) = self.conns.get_mut(&conn) else {
+                    return;
+                };
                 match p.reader.next_packet() {
                     Ok(Some(pkt)) => pkt,
                     Ok(None) => return,
@@ -536,17 +557,18 @@ impl FtNode {
                     return;
                 };
                 let share = {
-                    let Some(ConnKind::Peer(p)) = self.conns.get(&conn) else { return };
+                    let Some(ConnKind::Peer(p)) = self.conns.get(&conn) else {
+                        return;
+                    };
                     if !p.child {
                         return; // only accepted children may register
                     }
-    let (port, http_port) = p
+                    let (port, http_port) = p
                         .info
                         .as_ref()
                         .map(|i| (i.port, i.http_port))
                         .unwrap_or((p.peer_addr.port, p.peer_addr.port));
-                    let filename =
-                        add.path.rsplit('/').next().unwrap_or(&add.path).to_string();
+                    let filename = add.path.rsplit('/').next().unwrap_or(&add.path).to_string();
                     IndexedShare {
                         owner: conn,
                         host: HostAddr::new(p.peer_addr.ip, port),
@@ -565,7 +587,8 @@ impl FtNode {
                     self.stats.bad_packets += 1;
                     return;
                 };
-                self.index.retain(|s| !(s.owner == conn && s.md5 == rem.md5));
+                self.index
+                    .retain(|s| !(s.owner == conn && s.md5 == rem.md5));
             }
             Command::Search => {
                 let Ok(search) = Search::parse(payload) else {
@@ -590,7 +613,9 @@ impl FtNode {
 
     fn establish_session(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
         let info = {
-            let Some(ConnKind::Peer(p)) = self.conns.get_mut(&conn) else { return };
+            let Some(ConnKind::Peer(p)) = self.conns.get_mut(&conn) else {
+                return;
+            };
             if p.session {
                 return;
             }
@@ -671,7 +696,10 @@ impl FtNode {
         match content {
             Some(r) => {
                 self.stats.uploads_served += 1;
-                let body = self.world.store.payload(r, &self.world.catalog, &self.world.roster);
+                let body = self
+                    .world
+                    .store
+                    .payload(r, &self.world.catalog, &self.world.roster);
                 let mut wire = encode_response_ok(body.len());
                 wire.extend_from_slice(&body);
                 ctx.send(conn, &wire);
@@ -680,7 +708,13 @@ impl FtNode {
         }
     }
 
-    fn finish_download(&mut self, ctx: &mut Ctx<'_>, conn: Option<ConnId>, id: u64, result: Result<Vec<u8>, FtDownloadError>) {
+    fn finish_download(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        conn: Option<ConnId>,
+        id: u64,
+        result: Result<Vec<u8>, FtDownloadError>,
+    ) {
         if let Some(c) = conn {
             self.conns.insert(c, ConnKind::Dead);
             ctx.close(c);
@@ -718,7 +752,9 @@ impl FtNode {
 
     fn sniff(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
         let (buf, peer) = {
-            let Some(ConnKind::Sniff(buf, peer)) = self.conns.get_mut(&conn) else { return };
+            let Some(ConnKind::Sniff(buf, peer)) = self.conns.get_mut(&conn) else {
+                return;
+            };
             buf.extend_from_slice(data);
             if buf.is_empty() {
                 return;
@@ -752,7 +788,9 @@ impl FtNode {
 
     fn pump_upload(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
         let md5 = {
-            let Some(ConnKind::Upload(reader)) = self.conns.get_mut(&conn) else { return };
+            let Some(ConnKind::Upload(reader)) = self.conns.get_mut(&conn) else {
+                return;
+            };
             match reader.request() {
                 Ok(Some(m)) => m,
                 Ok(None) => return,
@@ -773,7 +811,11 @@ impl App for FtNode {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         for b in self.config.bootstrap.clone() {
-            self.add_known(NodeEntry { ip: b.ip, port: b.port, klass: CLASS_SEARCH });
+            self.add_known(NodeEntry {
+                ip: b.ip,
+                port: b.port,
+                klass: CLASS_SEARCH,
+            });
         }
         self.maintain(ctx);
         ctx.set_timer(self.config.tick, TIMER_MAINTENANCE);
@@ -842,7 +884,9 @@ impl App for FtNode {
             }
             R::Download => {
                 let outcome = {
-                    let Some(ConnKind::Download(d)) = self.conns.get_mut(&conn) else { return };
+                    let Some(ConnKind::Download(d)) = self.conns.get_mut(&conn) else {
+                        return;
+                    };
                     d.reader.push(data);
                     match d.reader.response() {
                         Ok(Some((200, body))) => Some((d.id, Ok(body))),

@@ -3,14 +3,20 @@
 use super::*;
 use p2pmal_corpus::catalog::{Catalog, CatalogConfig};
 use p2pmal_corpus::{ContentStore, FamilyId, Roster};
-use p2pmal_netsim::{NodeId, NodeSpec, SimConfig, Simulator, SimTime};
+use p2pmal_netsim::{NodeId, NodeSpec, SimConfig, SimTime, Simulator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
 fn world(seed: u64) -> SharedWorld {
     let mut rng = StdRng::seed_from_u64(seed);
-    let catalog = Catalog::generate(&CatalogConfig { titles: 150, ..Default::default() }, &mut rng);
+    let catalog = Catalog::generate(
+        &CatalogConfig {
+            titles: 150,
+            ..Default::default()
+        },
+        &mut rng,
+    );
     SharedWorld::new(
         Arc::new(catalog),
         Arc::new(Roster::openft_2006()),
@@ -50,7 +56,12 @@ fn build(seed: u64, n_search: usize) -> Net {
         search_nodes.push(id);
     }
     sim.run_until(SimTime::from_secs(60));
-    Net { sim, search_nodes, world, search_addrs }
+    Net {
+        sim,
+        search_nodes,
+        world,
+        search_addrs,
+    }
 }
 
 fn spawn_user(net: &mut Net, library: HostLibrary, collect: bool) -> NodeId {
@@ -59,7 +70,8 @@ fn spawn_user(net: &mut Net, library: HostLibrary, collect: bool) -> NodeId {
         ..FtConfig::user().with_bootstrap(net.search_addrs.clone())
     };
     let node = FtNode::new(cfg, net.world.clone(), library);
-    net.sim.spawn(NodeSpec::public().listen(1215), Box::new(node))
+    net.sim
+        .spawn(NodeSpec::public().listen(1215), Box::new(node))
 }
 
 /// A user registers shares with a search parent; a crawler's search returns
@@ -68,16 +80,20 @@ fn spawn_user(net: &mut Net, library: HostLibrary, collect: bool) -> NodeId {
 #[test]
 fn register_search_download_roundtrip() {
     let mut net = build(1, 2);
-    // Pick a small title so the transfer finishes within the timeout at
-    // simulated 2006 bandwidths.
+    // Pick the smallest title so the transfer finishes within the timeout
+    // at simulated 2006 bandwidths.
     let small = net
         .world
         .catalog
         .items()
         .iter()
-        .find(|it| it.variants[0].size < 400_000)
-        .expect("catalog has a small title")
+        .min_by_key(|it| it.variants[0].size)
+        .expect("catalog is non-empty")
         .clone();
+    assert!(
+        small.variants[0].size < 2_000_000,
+        "smallest title transfers quickly"
+    );
     let mut lib = HostLibrary::new();
     lib.add_benign(&small, 0);
     let kw = small.keywords.clone();
@@ -85,7 +101,10 @@ fn register_search_download_roundtrip() {
 
     let sharer = spawn_user(&mut net, lib, false);
     net.sim.run_until(SimTime::from_secs(180));
-    assert!(with_node(&mut net.sim, sharer, |n, _| n.parent_count()) > 0, "sharer got a parent");
+    assert!(
+        with_node(&mut net.sim, sharer, |n, _| n.parent_count()) > 0,
+        "sharer got a parent"
+    );
 
     let crawler = spawn_user(&mut net, HostLibrary::new(), true);
     net.sim.run_until(SimTime::from_secs(300));
@@ -102,14 +121,27 @@ fn register_search_download_roundtrip() {
         })
         .expect("search returned the registered share");
     assert_eq!(result.size as u64, expected_size);
-    assert_eq!(result.host, net.sim.node_addr(sharer).ip, "result points at the sharer");
-    assert!(events.iter().any(|e| matches!(e, FtEvent::SearchEnd { .. })), "stream terminated");
+    assert_eq!(
+        result.host,
+        net.sim.node_addr(sharer).ip,
+        "result points at the sharer"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, FtEvent::SearchEnd { .. })),
+        "stream terminated"
+    );
 
     // Download from the result's host by MD5.
     with_node(&mut net.sim, crawler, |n, ctx| {
-        n.begin_download(ctx, HostAddr::new(result.host, result.http_port), result.md5)
+        n.begin_download(
+            ctx,
+            HostAddr::new(result.host, result.http_port),
+            result.md5,
+        )
     });
-    net.sim.run_until(SimTime::from_secs(600));
+    net.sim.run_until(SimTime::from_secs(900));
     let events = with_node(&mut net.sim, crawler, |n, _| n.drain_events());
     let body = events
         .iter()
@@ -156,7 +188,10 @@ fn superspreader_dominates_malicious_results() {
     assert!(!results.is_empty());
     let spreader_ip = net.sim.node_addr(spreader).ip;
     let from_spreader = results.iter().filter(|r| r.host == spreader_ip).count();
-    assert!(from_spreader > 0, "superspreader shows up in popular searches");
+    assert!(
+        from_spreader > 0,
+        "superspreader shows up in popular searches"
+    );
     // Every spreader result has the family's characteristic size.
     for r in results.iter().filter(|r| r.host == spreader_ip) {
         assert!(fam.sizes.contains(&(r.size as u64)), "size {}", r.size);
@@ -189,7 +224,11 @@ fn downloaded_malware_scans_dirty() {
         })
         .expect("bait found");
     with_node(&mut net.sim, crawler, |n, ctx| {
-        n.begin_download(ctx, HostAddr::new(result.host, result.http_port), result.md5)
+        n.begin_download(
+            ctx,
+            HostAddr::new(result.host, result.http_port),
+            result.md5,
+        )
     });
     net.sim.run_until(SimTime::from_secs(600));
     let events = with_node(&mut net.sim, crawler, |n, _| n.drain_events());
@@ -200,10 +239,12 @@ fn downloaded_malware_scans_dirty() {
             _ => None,
         })
         .expect("download done");
-    let scanner = p2pmal_scanner::Scanner::new(
-        net.world.roster.signature_db().unwrap().build().unwrap(),
+    let scanner =
+        p2pmal_scanner::Scanner::new(net.world.roster.signature_db().unwrap().build().unwrap());
+    assert_eq!(
+        scanner.scan(&result.filename, &body).primary(),
+        Some(fam.name.as_str())
     );
-    assert_eq!(scanner.scan(&result.filename, &body).primary(), Some(fam.name.as_str()));
     let _ = spreader;
 }
 
@@ -213,9 +254,14 @@ fn downloaded_malware_scans_dirty() {
 fn nodelist_discovery_expands_sessions() {
     let mut net = build(4, 3);
     let one = vec![net.search_addrs[0]];
-    let cfg = FtConfig { target_sessions: 3, ..FtConfig::user().with_bootstrap(one) };
+    let cfg = FtConfig {
+        target_sessions: 3,
+        ..FtConfig::user().with_bootstrap(one)
+    };
     let node = FtNode::new(cfg, net.world.clone(), HostLibrary::new());
-    let user = net.sim.spawn(NodeSpec::public().listen(1215), Box::new(node));
+    let user = net
+        .sim
+        .spawn(NodeSpec::public().listen(1215), Box::new(node));
     net.sim.run_until(SimTime::from_secs(400));
     let sessions = with_node(&mut net.sim, user, |n, _| n.session_count());
     assert!(sessions >= 2, "discovered beyond bootstrap: {sessions}");
@@ -252,8 +298,7 @@ fn remshare_removes_from_index() {
     let content = lib.files()[0].content;
     let sharer = spawn_user(&mut net, lib, false);
     net.sim.run_until(SimTime::from_secs(200));
-    let indexed =
-        with_node(&mut net.sim, net.search_nodes[0], |n, _| n.indexed_shares());
+    let indexed = with_node(&mut net.sim, net.search_nodes[0], |n, _| n.indexed_shares());
     assert_eq!(indexed, 1);
 
     // Withdraw by sending REMSHARE over the parent connection.
@@ -266,12 +311,16 @@ fn remshare_removes_from_index() {
             .map(|(&c, _)| c)
             .collect();
         for c in parents {
-            n.send_packet(ctx, c, Command::RemShare, &crate::packet::RemShare { md5 }.encode());
+            n.send_packet(
+                ctx,
+                c,
+                Command::RemShare,
+                &crate::packet::RemShare { md5 }.encode(),
+            );
         }
     });
     net.sim.run_until(SimTime::from_secs(260));
-    let indexed =
-        with_node(&mut net.sim, net.search_nodes[0], |n, _| n.indexed_shares());
+    let indexed = with_node(&mut net.sim, net.search_nodes[0], |n, _| n.indexed_shares());
     assert_eq!(indexed, 0);
 }
 
@@ -283,7 +332,10 @@ fn child_departure_cleans_index() {
     lib.add_benign(net.world.catalog.item(2), 0);
     let sharer = spawn_user(&mut net, lib, false);
     net.sim.run_until(SimTime::from_secs(200));
-    assert_eq!(with_node(&mut net.sim, net.search_nodes[0], |n, _| n.indexed_shares()), 1);
+    assert_eq!(
+        with_node(&mut net.sim, net.search_nodes[0], |n, _| n.indexed_shares()),
+        1
+    );
     net.sim.stop_node(sharer);
     net.sim.run_until(SimTime::from_secs(300));
     assert_eq!(

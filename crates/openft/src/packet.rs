@@ -92,7 +92,11 @@ impl std::error::Error for PacketError {}
 
 /// Encodes one packet into `out`.
 pub fn encode_packet(cmd: Command, payload: &[u8], out: &mut Vec<u8>) {
-    assert!(payload.len() <= MAX_PAYLOAD, "payload {} too long", payload.len());
+    assert!(
+        payload.len() <= MAX_PAYLOAD,
+        "payload {} too long",
+        payload.len()
+    );
     out.extend_from_slice(&(payload.len() as u16).to_be_bytes());
     out.extend_from_slice(&(cmd as u16).to_be_bytes());
     out.extend_from_slice(payload);
@@ -179,7 +183,10 @@ impl<'a> Reader<'a> {
 
     fn cstr(&mut self) -> Result<String, PacketError> {
         let rest = &self.data[self.pos..];
-        let nul = rest.iter().position(|&b| b == 0).ok_or(PacketError::MissingNul)?;
+        let nul = rest
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or(PacketError::MissingNul)?;
         let s = std::str::from_utf8(&rest[..nul]).map_err(|_| PacketError::BadUtf8)?;
         self.pos += nul + 1;
         Ok(s.to_string())
@@ -207,7 +214,11 @@ pub struct Version {
 
 impl Version {
     /// The protocol revision this crate speaks (giFT 0.11.x era).
-    pub const CURRENT: Version = Version { major: 0, minor: 2, micro: 1 };
+    pub const CURRENT: Version = Version {
+        major: 0,
+        minor: 2,
+        micro: 1,
+    };
 
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(6);
@@ -219,7 +230,11 @@ impl Version {
 
     pub fn parse(data: &[u8]) -> Result<Self, PacketError> {
         let mut r = Reader::new(data);
-        Ok(Version { major: r.u16()?, minor: r.u16()?, micro: r.u16()? })
+        Ok(Version {
+            major: r.u16()?,
+            minor: r.u16()?,
+            micro: r.u16()?,
+        })
     }
 }
 
@@ -296,13 +311,17 @@ impl NodeList {
         if data.is_empty() {
             return Ok(NodeList::Request);
         }
-        if data.len() % 8 != 0 {
+        if !data.len().is_multiple_of(8) {
             return Err(PacketError::Truncated);
         }
         let mut r = Reader::new(data);
         let mut entries = Vec::with_capacity(data.len() / 8);
         while !r.at_end() {
-            entries.push(NodeEntry { ip: r.ipv4()?, port: r.u16()?, klass: r.u16()? });
+            entries.push(NodeEntry {
+                ip: r.ipv4()?,
+                port: r.u16()?,
+                klass: r.u16()?,
+            });
         }
         Ok(NodeList::Response(entries))
     }
@@ -327,7 +346,9 @@ impl Session {
         let mut r = Reader::new(data);
         match r.u16()? {
             0 => Ok(Session::Request),
-            1 => Ok(Session::Response { accepted: r.u16()? != 0 }),
+            1 => Ok(Session::Response {
+                accepted: r.u16()? != 0,
+            }),
             _ => Err(PacketError::Truncated),
         }
     }
@@ -353,7 +374,9 @@ impl Child {
             return Ok(Child::Request);
         }
         let mut r = Reader::new(data);
-        Ok(Child::Response { accepted: r.u16()? != 0 })
+        Ok(Child::Response {
+            accepted: r.u16()? != 0,
+        })
     }
 }
 
@@ -376,7 +399,11 @@ impl AddShare {
 
     pub fn parse(data: &[u8]) -> Result<Self, PacketError> {
         let mut r = Reader::new(data);
-        Ok(AddShare { md5: r.md5()?, size: r.u32()?, path: r.cstr()? })
+        Ok(AddShare {
+            md5: r.md5()?,
+            size: r.u32()?,
+            path: r.cstr()?,
+        })
     }
 }
 
@@ -458,7 +485,10 @@ impl Search {
         let mut r = Reader::new(data);
         let id = r.u32()?;
         match r.u16()? {
-            1 => Ok(Search::Request { id, query: r.cstr()? }),
+            1 => Ok(Search::Request {
+                id,
+                query: r.cstr()?,
+            }),
             2 => Ok(Search::Result(SearchResult {
                 id,
                 host: r.ipv4()?,
@@ -487,7 +517,11 @@ mod tests {
         encode_packet(Command::Ping, &[], &mut wire);
         encode_packet(
             Command::Search,
-            &Search::Request { id: 7, query: "free stuff".into() }.encode(),
+            &Search::Request {
+                id: 7,
+                query: "free stuff".into(),
+            }
+            .encode(),
             &mut wire,
         );
         let mut r = PacketReader::new();
@@ -502,7 +536,13 @@ mod tests {
         assert_eq!(got[0].0, Command::Version);
         assert_eq!(got[1].0, Command::Ping);
         assert!(got[1].1.is_empty());
-        assert_eq!(Search::parse(&got[2].1).unwrap(), Search::Request { id: 7, query: "free stuff".into() });
+        assert_eq!(
+            Search::parse(&got[2].1).unwrap(),
+            Search::Request {
+                id: 7,
+                query: "free stuff".into()
+            }
+        );
         assert_eq!(r.buffered(), 0);
     }
 
@@ -515,7 +555,11 @@ mod tests {
 
     #[test]
     fn version_roundtrip() {
-        let v = Version { major: 1, minor: 2, micro: 3 };
+        let v = Version {
+            major: 1,
+            minor: 2,
+            micro: 3,
+        };
         assert_eq!(Version::parse(&v.encode()).unwrap(), v);
         assert!(Version::parse(&[0, 1]).is_err());
     }
@@ -536,10 +580,21 @@ mod tests {
 
     #[test]
     fn nodelist_roundtrip() {
-        assert_eq!(NodeList::parse(&NodeList::Request.encode()).unwrap(), NodeList::Request);
+        assert_eq!(
+            NodeList::parse(&NodeList::Request.encode()).unwrap(),
+            NodeList::Request
+        );
         let resp = NodeList::Response(vec![
-            NodeEntry { ip: Ipv4Addr::new(1, 2, 3, 4), port: 1215, klass: CLASS_SEARCH },
-            NodeEntry { ip: Ipv4Addr::new(9, 9, 9, 9), port: 1999, klass: CLASS_INDEX },
+            NodeEntry {
+                ip: Ipv4Addr::new(1, 2, 3, 4),
+                port: 1215,
+                klass: CLASS_SEARCH,
+            },
+            NodeEntry {
+                ip: Ipv4Addr::new(9, 9, 9, 9),
+                port: 1999,
+                klass: CLASS_INDEX,
+            },
         ]);
         assert_eq!(NodeList::parse(&resp.encode()).unwrap(), resp);
         // Non-multiple-of-8 payload is corrupt.
@@ -548,17 +603,29 @@ mod tests {
 
     #[test]
     fn session_and_child_roundtrip() {
-        for s in [Session::Request, Session::Response { accepted: true }, Session::Response { accepted: false }] {
+        for s in [
+            Session::Request,
+            Session::Response { accepted: true },
+            Session::Response { accepted: false },
+        ] {
             assert_eq!(Session::parse(&s.encode()).unwrap(), s);
         }
-        for c in [Child::Request, Child::Response { accepted: true }, Child::Response { accepted: false }] {
+        for c in [
+            Child::Request,
+            Child::Response { accepted: true },
+            Child::Response { accepted: false },
+        ] {
             assert_eq!(Child::parse(&c.encode()).unwrap(), c);
         }
     }
 
     #[test]
     fn share_packets_roundtrip() {
-        let a = AddShare { md5: md5(b"x"), size: 12345, path: "/shared/thing.exe".into() };
+        let a = AddShare {
+            md5: md5(b"x"),
+            size: 12345,
+            path: "/shared/thing.exe".into(),
+        };
         assert_eq!(AddShare::parse(&a.encode()).unwrap(), a);
         let rm = RemShare { md5: md5(b"x") };
         assert_eq!(RemShare::parse(&rm.encode()).unwrap(), rm);
@@ -578,7 +645,10 @@ mod tests {
         };
         let s = Search::Result(res.clone());
         assert_eq!(Search::parse(&s.encode()).unwrap(), s);
-        assert_eq!(Search::parse(&Search::End { id: 42 }.encode()).unwrap(), Search::End { id: 42 });
+        assert_eq!(
+            Search::parse(&Search::End { id: 42 }.encode()).unwrap(),
+            Search::End { id: 42 }
+        );
     }
 
     #[test]

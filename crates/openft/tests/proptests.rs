@@ -2,11 +2,11 @@
 //! and panic-freedom on arbitrary bytes.
 
 use p2pmal_hashes::Md5Digest;
-use p2pmal_openft::packet::{
-    encode_packet, AddShare, Child, Command, NodeEntry, NodeInfo, NodeList, PacketReader,
-    RemShare, Search, SearchResult, Session, Version,
-};
 use p2pmal_openft::http::{RequestReader, ResponseReader};
+use p2pmal_openft::packet::{
+    encode_packet, AddShare, Child, Command, NodeEntry, NodeInfo, NodeList, PacketReader, RemShare,
+    Search, SearchResult, Session, Version,
+};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 

@@ -36,7 +36,7 @@ impl AhoCorasick {
             for &b in pat {
                 let slot = s as usize * 256 + b as usize;
                 if goto_[slot] == 0 {
-                    goto_.extend(std::iter::repeat(0).take(256));
+                    goto_.extend(std::iter::repeat_n(0, 256));
                     output.push(Vec::new());
                     goto_[slot] = states;
                     states += 1;
@@ -48,8 +48,7 @@ impl AhoCorasick {
         // BFS to compute fail links and convert to a full DFA.
         let mut fail = vec![0u32; states as usize];
         let mut queue = std::collections::VecDeque::new();
-        for b in 0..256usize {
-            let s = goto_[b];
+        for &s in &goto_[..256] {
             if s != 0 {
                 fail[s as usize] = 0;
                 queue.push_back(s);
@@ -71,7 +70,11 @@ impl AhoCorasick {
                 }
             }
         }
-        AhoCorasick { goto_, output, patterns }
+        AhoCorasick {
+            goto_,
+            output,
+            patterns,
+        }
     }
 
     /// Number of indexed patterns.
@@ -92,7 +95,10 @@ impl AhoCorasick {
         for (i, &b) in haystack.iter().enumerate() {
             s = self.goto_[s as usize * 256 + b as usize];
             for &pi in &self.output[s as usize] {
-                if !f(AcMatch { pattern: pi as usize, end: i + 1 }) {
+                if !f(AcMatch {
+                    pattern: pi as usize,
+                    end: i + 1,
+                }) {
                     return;
                 }
             }

@@ -114,9 +114,16 @@ impl SignatureDb {
                 return Err(SignatureError::DuplicateName(s.name.clone()));
             }
         }
-        let anchors: Vec<Vec<u8>> = self.sigs.iter().map(|s| s.parts[0].anchor.clone()).collect();
+        let anchors: Vec<Vec<u8>> = self
+            .sigs
+            .iter()
+            .map(|s| s.parts[0].anchor.clone())
+            .collect();
         let ac = AhoCorasick::new(anchors);
-        Ok(CompiledDb { sigs: self.sigs, ac })
+        Ok(CompiledDb {
+            sigs: self.sigs,
+            ac,
+        })
     }
 }
 
@@ -206,7 +213,10 @@ mod tests {
     #[test]
     fn wildcard_signature_through_prefilter() {
         // Anchor is the tail run; the hole must still verify.
-        let db = build(&[("Poly.X", "4d5a??????${}".replace("${}", "90904c4f4144").as_str())]);
+        let db = build(&[(
+            "Poly.X",
+            "4d5a??????${}".replace("${}", "90904c4f4144").as_str(),
+        )]);
         let mut data = vec![0u8; 64];
         data[10..12].copy_from_slice(&[0x4d, 0x5a]);
         data[12..15].copy_from_slice(&[1, 2, 3]);
@@ -237,7 +247,10 @@ mod tests {
         let mut db = SignatureDb::new();
         db.add_hex("Same", "11223344").unwrap();
         db.add_hex("Same", "55667788").unwrap();
-        assert_eq!(db.build().err(), Some(SignatureError::DuplicateName("Same".into())));
+        assert_eq!(
+            db.build().err(),
+            Some(SignatureError::DuplicateName("Same".into()))
+        );
     }
 
     #[test]

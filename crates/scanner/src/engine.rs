@@ -17,7 +17,11 @@ pub struct ScanConfig {
 
 impl Default for ScanConfig {
     fn default() -> Self {
-        ScanConfig { max_archive_depth: 3, max_entry_bytes: 32 << 20, max_entries: 512 }
+        ScanConfig {
+            max_archive_depth: 3,
+            max_entry_bytes: 32 << 20,
+            max_entries: 512,
+        }
     }
 }
 
@@ -62,7 +66,10 @@ pub struct Scanner {
 
 impl Scanner {
     pub fn new(db: CompiledDb) -> Self {
-        Scanner { db, config: ScanConfig::default() }
+        Scanner {
+            db,
+            config: ScanConfig::default(),
+        }
     }
 
     pub fn with_config(db: CompiledDb, config: ScanConfig) -> Self {
@@ -77,28 +84,38 @@ impl Scanner {
     /// Scans a downloaded file: signature-matches the raw bytes, and if the
     /// content is a ZIP archive, recurses into its members.
     pub fn scan(&self, name: &str, data: &[u8]) -> Verdict {
-        let mut verdict = Verdict { detections: Vec::new(), notes: Vec::new() };
+        let mut verdict = Verdict {
+            detections: Vec::new(),
+            notes: Vec::new(),
+        };
         self.scan_inner(name, data, 0, &mut verdict);
         verdict
     }
 
     fn scan_inner(&self, location: &str, data: &[u8], depth: usize, verdict: &mut Verdict) {
         for hit in self.db.matches(data) {
-            let det = Detection { name: hit.to_string(), location: location.to_string() };
+            let det = Detection {
+                name: hit.to_string(),
+                location: location.to_string(),
+            };
             if !verdict.detections.iter().any(|d| d.name == det.name) {
                 verdict.detections.push(det);
             }
         }
         if FileKind::from_magic(data) == FileKind::Zip {
             if depth >= self.config.max_archive_depth {
-                verdict.notes.push(format!("{location}: archive depth limit reached"));
+                verdict
+                    .notes
+                    .push(format!("{location}: archive depth limit reached"));
                 return;
             }
             match ZipArchive::parse_with_limit(data, self.config.max_entry_bytes) {
                 Ok(archive) => {
                     for (i, entry) in archive.entries().iter().enumerate() {
                         if i >= self.config.max_entries {
-                            verdict.notes.push(format!("{location}: entry limit reached"));
+                            verdict
+                                .notes
+                                .push(format!("{location}: entry limit reached"));
                             break;
                         }
                         match archive.read(i) {
@@ -115,7 +132,9 @@ impl Scanner {
                     }
                 }
                 Err(e) => {
-                    verdict.notes.push(format!("{location}: corrupt archive ({e})"));
+                    verdict
+                        .notes
+                        .push(format!("{location}: corrupt archive ({e})"));
                 }
             }
         }
@@ -158,9 +177,9 @@ mod tests {
     /// detection proves the engine actually decompressed the member.
     fn infected_exe_body() -> Vec<u8> {
         let mut body = b"MZ ".to_vec();
-        body.extend(std::iter::repeat(b'x').take(400));
+        body.extend(std::iter::repeat_n(b'x', 400));
         body.extend_from_slice(b"EVILBYTES");
-        body.extend(std::iter::repeat(b'y').take(400));
+        body.extend(std::iter::repeat_n(b'y', 400));
         body
     }
 
@@ -198,7 +217,10 @@ mod tests {
                 db.add_literal("Worm.A", b"EVILBYTES").unwrap();
                 db.build().unwrap()
             },
-            ScanConfig { max_archive_depth: 1, ..Default::default() },
+            ScanConfig {
+                max_archive_depth: 1,
+                ..Default::default()
+            },
         );
         let mut inner = ZipWriter::new();
         inner.add("x.exe", &infected_exe_body(), Method::Deflate);

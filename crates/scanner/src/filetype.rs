@@ -119,9 +119,18 @@ mod tests {
     #[test]
     fn magic_media() {
         assert_eq!(FileKind::from_magic(b"ID3\x04tagdata"), FileKind::Mp3);
-        assert_eq!(FileKind::from_magic(&[0xFF, 0xFB, 0x90, 0x44]), FileKind::Mp3);
-        assert_eq!(FileKind::from_magic(b"RIFF\x00\x00\x00\x00AVI listdata"), FileKind::Avi);
-        assert_eq!(FileKind::from_magic(&[0xFF, 0xD8, 0xFF, 0xE0]), FileKind::Jpeg);
+        assert_eq!(
+            FileKind::from_magic(&[0xFF, 0xFB, 0x90, 0x44]),
+            FileKind::Mp3
+        );
+        assert_eq!(
+            FileKind::from_magic(b"RIFF\x00\x00\x00\x00AVI listdata"),
+            FileKind::Avi
+        );
+        assert_eq!(
+            FileKind::from_magic(&[0xFF, 0xD8, 0xFF, 0xE0]),
+            FileKind::Jpeg
+        );
     }
 
     #[test]

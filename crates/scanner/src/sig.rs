@@ -137,7 +137,11 @@ pub fn parse_pattern(s: &str) -> Result<Vec<Part>, ParseError> {
         if anchor.len() < MIN_ANCHOR {
             return Err(ParseError::NoAnchor);
         }
-        parts.push(Part { tokens, anchor_offset, anchor });
+        parts.push(Part {
+            tokens,
+            anchor_offset,
+            anchor,
+        });
     }
     if parts.is_empty() {
         return Err(ParseError::EmptyPart);
@@ -174,7 +178,10 @@ fn longest_literal_run(tokens: &[Token]) -> (usize, Vec<u8>) {
 impl Signature {
     /// Parses `name` + hex body into a signature.
     pub fn parse(name: &str, pattern: &str) -> Result<Self, ParseError> {
-        Ok(Signature { name: name.to_string(), parts: parse_pattern(pattern)? })
+        Ok(Signature {
+            name: name.to_string(),
+            parts: parse_pattern(pattern)?,
+        })
     }
 
     /// Full match check given the *start* position of part 0. Later parts
@@ -245,12 +252,30 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert_eq!(Signature::parse("X", "").unwrap_err(), ParseError::EmptyPart);
-        assert_eq!(Signature::parse("X", "abc").unwrap_err(), ParseError::UnpairedDigit);
-        assert_eq!(Signature::parse("X", "zz").unwrap_err(), ParseError::BadCharacter('z'));
-        assert_eq!(Signature::parse("X", "a?").unwrap_err(), ParseError::UnpairedDigit);
-        assert_eq!(Signature::parse("X", "????aabb").unwrap_err(), ParseError::NoAnchor);
-        assert_eq!(Signature::parse("X", "11223344*").unwrap_err(), ParseError::EmptyPart);
+        assert_eq!(
+            Signature::parse("X", "").unwrap_err(),
+            ParseError::EmptyPart
+        );
+        assert_eq!(
+            Signature::parse("X", "abc").unwrap_err(),
+            ParseError::UnpairedDigit
+        );
+        assert_eq!(
+            Signature::parse("X", "zz").unwrap_err(),
+            ParseError::BadCharacter('z')
+        );
+        assert_eq!(
+            Signature::parse("X", "a?").unwrap_err(),
+            ParseError::UnpairedDigit
+        );
+        assert_eq!(
+            Signature::parse("X", "????aabb").unwrap_err(),
+            ParseError::NoAnchor
+        );
+        assert_eq!(
+            Signature::parse("X", "11223344*").unwrap_err(),
+            ParseError::EmptyPart
+        );
     }
 
     #[test]

@@ -95,11 +95,9 @@ impl Searcher {
                 }
                 ServentEvent::DownloadDone(done) => {
                     if let Ok(body) = done.result {
-                        let _ = self.tx.send((
-                            self.hit_name.clone(),
-                            body.len() as u64,
-                            body,
-                        ));
+                        let _ = self
+                            .tx
+                            .send((self.hit_name.clone(), body.len() as u64, body));
                     }
                 }
                 _ => {}
@@ -110,8 +108,13 @@ impl Searcher {
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(1);
-    let catalog =
-        Catalog::generate(&CatalogConfig { titles: 50, ..Default::default() }, &mut rng);
+    let catalog = Catalog::generate(
+        &CatalogConfig {
+            titles: 50,
+            ..Default::default()
+        },
+        &mut rng,
+    );
     let world = SharedWorld::new(
         Arc::new(catalog),
         Arc::new(Roster::limewire_2006()),
@@ -170,14 +173,16 @@ fn main() {
         .expect("download completes over live TCP");
     println!("downloaded {name:?}: {len} bytes over real TCP");
 
-    let scanner =
-        Scanner::new(world.roster.signature_db().unwrap().build().unwrap());
+    let scanner = Scanner::new(world.roster.signature_db().unwrap().build().unwrap());
     let verdict = scanner.scan(&name, &body);
     match verdict.primary() {
         Some(fam) => println!("scanner verdict: INFECTED — {fam}"),
         None => println!("scanner verdict: clean"),
     }
-    assert_eq!(verdict.primary(), Some(world.roster.get(FamilyId(0)).name.as_str()));
+    assert_eq!(
+        verdict.primary(),
+        Some(world.roster.get(FamilyId(0)).name.as_str())
+    );
     println!("live wire-level round trip complete.");
 
     searcher.stop();

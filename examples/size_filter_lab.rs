@@ -21,10 +21,12 @@ use p2pmal::filter::{
 };
 
 fn main() {
-    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7u64);
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7u64);
     eprintln!("collecting a quick LimeWire crawl (seed {seed})...");
-    let run = LimewireScenario::quick(seed)
-        .run_with_progress(|d| eprintln!("  day {d} done"));
+    let run = LimewireScenario::quick(seed).run_with_progress(|d| eprintln!("  day {d} done"));
     let resolved = run.resolved;
     eprintln!(
         "collected {} responses ({} queries)\n",
@@ -41,7 +43,10 @@ fn main() {
 
     // The paper's recipe.
     let size = SizeFilter::learn(&train, 3, 2);
-    println!("learned blocklist (top-3 families, <=2 sizes each): {:?}\n", size.blocked_sizes());
+    println!(
+        "learned blocklist (top-3 families, <=2 sizes each): {:?}\n",
+        size.blocked_sizes()
+    );
 
     // Panel comparison.
     let builtin = LimewireBuiltin::new();
@@ -73,7 +78,10 @@ fn main() {
     println!("{}", t.to_markdown());
 
     // Tolerance ablation.
-    let mut t = Table::new("tolerance ablation (k=4)", &["± bytes", "detection", "false positives"]);
+    let mut t = Table::new(
+        "tolerance ablation (k=4)",
+        &["± bytes", "detection", "false positives"],
+    );
     for (tol, ev) in tolerance_ablation(&train, &test, 4, &[0, 1024, 16384]) {
         t.row(vec![
             tol.to_string(),

@@ -21,7 +21,13 @@ fn hexdump(label: &str, bytes: &[u8]) {
         let hex: Vec<String> = chunk.iter().map(|b| format!("{b:02x}")).collect();
         let ascii: String = chunk
             .iter()
-            .map(|&b| if (0x20..0x7f).contains(&b) { b as char } else { '.' })
+            .map(|&b| {
+                if (0x20..0x7f).contains(&b) {
+                    b as char
+                } else {
+                    '.'
+                }
+            })
             .collect();
         println!("  {:04x}  {:<47}  {ascii}", i * 16, hex.join(" "));
         if i >= 5 {
@@ -61,8 +67,18 @@ fn main() {
         servent_guid,
     };
     let mut hit_wire = Vec::new();
-    encode_message(query_guid, MsgType::QueryHit, 4, 0, &hit.encode(), &mut hit_wire);
-    hexdump("QUERYHIT answering it (note the private source address)", &hit_wire);
+    encode_message(
+        query_guid,
+        MsgType::QueryHit,
+        4,
+        0,
+        &hit.encode(),
+        &mut hit_wire,
+    );
+    hexdump(
+        "QUERYHIT answering it (note the private source address)",
+        &hit_wire,
+    );
 
     // Reassemble both from a dribbled byte stream.
     let mut reader = MessageReader::new();
@@ -91,8 +107,12 @@ fn main() {
     table.insert_name("crimson_horizon_remix.mp3");
     table.insert_name("silver_echo_toolkit_3.1.exe");
     let msgs = table.to_messages(4096, true);
-    println!("QRP table: {} slots, {} populated, shipped as {} messages",
-        table.len(), table.population(), msgs.len());
+    println!(
+        "QRP table: {} slots, {} populated, shipped as {} messages",
+        table.len(),
+        table.population(),
+        msgs.len()
+    );
     let mut rx = QrpReceiver::new();
     for m in &msgs {
         rx.apply(m).unwrap();
@@ -106,10 +126,16 @@ fn main() {
 
     // --- OpenFT: a search round trip -------------------------------------
     println!("== OpenFT ==\n");
-    let req = Search::Request { id: 1, query: "silver echo toolkit".into() };
+    let req = Search::Request {
+        id: 1,
+        query: "silver echo toolkit".into(),
+    };
     let mut ft_wire = Vec::new();
     encode_packet(Command::Search, &req.encode(), &mut ft_wire);
-    hexdump("SEARCH request packet (u16 len + u16 command framing)", &ft_wire);
+    hexdump(
+        "SEARCH request packet (u16 len + u16 command framing)",
+        &ft_wire,
+    );
 
     let result = Search::Result(SearchResult {
         id: 1,
@@ -123,7 +149,11 @@ fn main() {
     });
     let mut res_wire = Vec::new();
     encode_packet(Command::Search, &result.encode(), &mut res_wire);
-    encode_packet(Command::Search, &Search::End { id: 1 }.encode(), &mut res_wire);
+    encode_packet(
+        Command::Search,
+        &Search::End { id: 1 }.encode(),
+        &mut res_wire,
+    );
     hexdump("SEARCH result + end-of-results packets", &res_wire);
 
     let mut pr = PacketReader::new();

@@ -8,7 +8,7 @@
 use p2pmal::analysis::{size_census, top_malware};
 use p2pmal::core::LimewireScenario;
 use p2pmal::corpus::{ContentRef, FamilyId};
-use p2pmal::filter::{evaluate, LimewireBuiltin, ResponseFilter, SizeFilter};
+use p2pmal::filter::{evaluate, LimewireBuiltin, SizeFilter};
 
 #[test]
 fn measured_families_exist_in_roster_and_sizes_match() {
@@ -24,7 +24,9 @@ fn measured_families_exist_in_roster_and_sizes_match() {
     for r in run.resolved.iter().filter(|r| r.malware.is_some()) {
         seen_any = true;
         let name = r.malware.as_deref().unwrap();
-        let fam = roster.by_name(name).unwrap_or_else(|| panic!("unknown family {name}"));
+        let fam = roster
+            .by_name(name)
+            .unwrap_or_else(|| panic!("unknown family {name}"));
         assert!(
             fam.sizes.contains(&r.record.size),
             "{name} advertised size {} not in {:?}",
@@ -53,7 +55,11 @@ fn scanned_content_hashes_match_store() {
     // For malicious responses, the downloaded content's SHA-1 must equal
     // the store's ground-truth hash for that (family, size).
     let mut checked = 0;
-    for r in run.resolved.iter().filter(|r| r.malware.is_some() && r.sha1.is_some()) {
+    for r in run
+        .resolved
+        .iter()
+        .filter(|r| r.malware.is_some() && r.sha1.is_some())
+    {
         let fam = world.roster.by_name(r.malware.as_deref().unwrap()).unwrap();
         let size_idx = fam
             .sizes
@@ -61,7 +67,10 @@ fn scanned_content_hashes_match_store() {
             .position(|&s| s == r.record.size)
             .expect("size is characteristic") as u8;
         let ground = world.store.sha1_of(
-            ContentRef::Malware { family: fam.id, size_idx },
+            ContentRef::Malware {
+                family: fam.id,
+                size_idx,
+            },
             &world.catalog,
             &world.roster,
         );
@@ -91,7 +100,11 @@ fn filters_compose_with_measured_logs() {
     // The learned blocklist is drawn from roster sizes only.
     for s in size.blocked_sizes() {
         assert!(
-            run.world.roster.families().iter().any(|f| f.sizes.contains(&s)),
+            run.world
+                .roster
+                .families()
+                .iter()
+                .any(|f| f.sizes.contains(&s)),
             "blocked size {s} must be a malware size"
         );
     }

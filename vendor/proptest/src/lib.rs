@@ -1,0 +1,580 @@
+//! Local, dependency-free stand-in for the subset of the `proptest` 1.x API
+//! this workspace's property tests use: the `proptest!` macro over
+//! plain-identifier bindings, `any::<T>()`, integer/float range strategies,
+//! regex-literal string strategies (a small generative subset: literals,
+//! escapes, character classes with `&&[^…]` intersection, groups with
+//! alternation, and `{m,n}` repetition), `collection::{vec, btree_set}`,
+//! tuple strategies, `prop_map`, and the `prop_assert*`/`prop_assume` macros.
+//!
+//! The build environment cannot reach crates.io. Shrinking is intentionally
+//! not implemented: a failing case panics via `assert!`/`assert_eq!`, whose
+//! message carries the concrete values. Generation is deterministic per test
+//! (seeded from the test's name), so failures reproduce exactly.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic per-test generator (xorshift64*).
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Seeds a [`TestRng`] from the test's name (FNV-1a), so each property is
+/// deterministic run-to-run but distinct from its neighbours.
+pub fn test_rng(name: &str) -> TestRng {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng(h | 1)
+}
+
+/// A generator of values of an associated type.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a default "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+impl<T: Arbitrary + Copy + Default, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::arbitrary(rng);
+        }
+        out
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4)
+);
+
+/// Regex-literal string strategy over the generative subset described in the
+/// crate docs. ASCII only, which covers every pattern in this workspace.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let nodes = regex_gen::parse(self);
+        let mut out = String::new();
+        regex_gen::emit(&nodes, rng, &mut out);
+        out
+    }
+}
+
+mod regex_gen {
+    use super::TestRng;
+
+    pub enum Node {
+        Lit(char),
+        /// Allowed ASCII characters.
+        Class(Vec<char>),
+        /// Alternatives, each a sequence.
+        Group(Vec<Vec<(Node, Quant)>>),
+    }
+
+    #[derive(Clone, Copy)]
+    pub struct Quant {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    const ONE: Quant = Quant { min: 1, max: 1 };
+
+    pub fn parse(pattern: &str) -> Vec<(Node, Quant)> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (seq, used) = parse_seq(&chars, 0, None);
+        assert!(
+            used == chars.len(),
+            "unsupported regex pattern: {pattern:?}"
+        );
+        seq
+    }
+
+    /// Parses a sequence until `stop` (or end of input); returns the nodes
+    /// and the index of the stopping character.
+    fn parse_seq(
+        chars: &[char],
+        mut i: usize,
+        stop: Option<&[char]>,
+    ) -> (Vec<(Node, Quant)>, usize) {
+        let mut seq = Vec::new();
+        while i < chars.len() {
+            if let Some(stop) = stop {
+                if stop.contains(&chars[i]) {
+                    break;
+                }
+            }
+            let node = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(chars, i + 1);
+                    i = next;
+                    Node::Class(set)
+                }
+                '(' => {
+                    let mut alts = Vec::new();
+                    i += 1;
+                    loop {
+                        let (alt, next) = parse_seq(chars, i, Some(&['|', ')']));
+                        alts.push(alt);
+                        i = next;
+                        match chars.get(i) {
+                            Some('|') => i += 1,
+                            Some(')') => {
+                                i += 1;
+                                break;
+                            }
+                            _ => panic!("unterminated group in regex"),
+                        }
+                    }
+                    Node::Group(alts)
+                }
+                '\\' => {
+                    let (c, next) = parse_escape(chars, i + 1);
+                    i = next;
+                    Node::Lit(c)
+                }
+                c => {
+                    i += 1;
+                    Node::Lit(c)
+                }
+            };
+            let quant = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unclosed {}")
+                        + i;
+                    let spec: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => Quant {
+                            min: lo.parse().expect("bad {m,n}"),
+                            max: hi.parse().expect("bad {m,n}"),
+                        },
+                        None => {
+                            let n = spec.parse().expect("bad {n}");
+                            Quant { min: n, max: n }
+                        }
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    Quant { min: 0, max: 1 }
+                }
+                Some('*') => {
+                    i += 1;
+                    Quant { min: 0, max: 8 }
+                }
+                Some('+') => {
+                    i += 1;
+                    Quant { min: 1, max: 8 }
+                }
+                _ => ONE,
+            };
+            seq.push((node, quant));
+        }
+        (seq, i)
+    }
+
+    fn parse_escape(chars: &[char], i: usize) -> (char, usize) {
+        match chars.get(i) {
+            Some('x') => {
+                let hex: String = chars[i + 1..i + 3].iter().collect();
+                let v = u8::from_str_radix(&hex, 16).expect("bad \\xNN");
+                (v as char, i + 3)
+            }
+            Some('n') => ('\n', i + 1),
+            Some('t') => ('\t', i + 1),
+            Some('r') => ('\r', i + 1),
+            Some(&c) => (c, i + 1),
+            None => panic!("dangling escape in regex"),
+        }
+    }
+
+    /// Parses a character class body (after `[`), including `&&[^…]`
+    /// intersection; returns the allowed set and the index past `]`.
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+        let negate = chars.get(i) == Some(&'^');
+        if negate {
+            i += 1;
+        }
+        let mut set = [false; 128];
+        loop {
+            match chars.get(i) {
+                Some(']') => {
+                    i += 1;
+                    break;
+                }
+                Some('&') if chars.get(i + 1) == Some(&'&') => {
+                    // Intersection with a nested class: `[base&&[^excluded]]`.
+                    assert_eq!(chars.get(i + 2), Some(&'['), "expected class after &&");
+                    let (other, next) = parse_class(chars, i + 3);
+                    let mut keep = [false; 128];
+                    for c in other {
+                        keep[c as usize] = true;
+                    }
+                    for (slot, k) in set.iter_mut().zip(keep) {
+                        *slot &= k;
+                    }
+                    assert_eq!(chars.get(next), Some(&']'), "expected ] after && class");
+                    i = next + 1;
+                    break;
+                }
+                Some(&c) => {
+                    let lo = if c == '\\' {
+                        let (e, next) = parse_escape(chars, i + 1);
+                        i = next;
+                        e
+                    } else {
+                        i += 1;
+                        c
+                    };
+                    // A `-` that is not last in the class denotes a range.
+                    if chars.get(i) == Some(&'-') && chars.get(i + 1) != Some(&']') {
+                        i += 1;
+                        let hi = if chars[i] == '\\' {
+                            let (e, next) = parse_escape(chars, i + 1);
+                            i = next;
+                            e
+                        } else {
+                            let h = chars[i];
+                            i += 1;
+                            h
+                        };
+                        for flag in &mut set[lo as usize..=hi as usize] {
+                            *flag = true;
+                        }
+                    } else {
+                        set[lo as usize] = true;
+                    }
+                }
+                None => panic!("unterminated character class"),
+            }
+        }
+        let chosen: Vec<char> = (0..128u8)
+            .filter(|&v| set[v as usize] != negate)
+            .map(|v| v as char)
+            .collect();
+        (chosen, i)
+    }
+
+    pub fn emit(seq: &[(Node, Quant)], rng: &mut TestRng, out: &mut String) {
+        for (node, q) in seq {
+            let reps = q.min + rng.below((q.max - q.min + 1) as u64) as usize;
+            for _ in 0..reps {
+                match node {
+                    Node::Lit(c) => out.push(*c),
+                    Node::Class(set) => {
+                        assert!(!set.is_empty(), "empty character class in regex");
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                    Node::Group(alts) => {
+                        let alt = &alts[rng.below(alts.len() as u64) as usize];
+                        emit(alt, rng, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.start + rng.below((self.len.end - self.len.start) as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, len: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            // Duplicates collapse, so the set may come up short of the
+            // requested length; properties here only need "some set".
+            let n = self.len.start + rng.below((self.len.end - self.len.start) as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cases = ($cfg).cases; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cases = 256u32; $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cases = $cases:expr;
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                #[allow(unused_mut)]
+                for __i in 0..($cases as usize) {
+                    // Bindings evaluate top to bottom, so generation order is
+                    // deterministic and matches the declaration order. The
+                    // immediately-invoked closure gives `prop_assume!` a
+                    // `return` that abandons just this case.
+                    #[allow(unused_mut)]
+                    #[allow(clippy::redundant_closure_call)]
+                    {
+                        $(let mut $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                        (move || $body)();
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the rest of the current case when the assumption fails. The body
+/// runs inside a per-case closure, so `return` abandons just this case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_expected_shapes() {
+        let mut rng = crate::test_rng("shape");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{3,12}( [a-z]{3,12}){0,3}", &mut rng);
+            for word in s.split(' ') {
+                assert!((3..=12).contains(&word.len()), "{s:?}");
+                assert!(word.bytes().all(|b| b.is_ascii_lowercase()));
+            }
+            let f = Strategy::generate(&"[a-z]{1,12}\\.(exe|zip|txt)", &mut rng);
+            let (stem, ext) = f.rsplit_once('.').unwrap();
+            assert!((1..=12).contains(&stem.len()));
+            assert!(["exe", "zip", "txt"].contains(&ext));
+            let printable = Strategy::generate(&"[ -~&&[^\\x00\\x1c]]{0,80}", &mut rng);
+            assert!(printable.bytes().all(|b| (0x20..=0x7E).contains(&b)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_multiple_args(a in 0u64..10, b in any::<bool>(), v in crate::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(a < 10);
+            let _ = b;
+            prop_assert!(v.len() < 4);
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+}
