@@ -1,13 +1,17 @@
 //! CRC-32 with the IEEE 802.3 (reflected 0x04C11DB7 → 0xEDB88320) polynomial,
-//! as required by the ZIP format. Table-driven, one byte at a time.
+//! as required by the ZIP format. Slice-by-8: eight lookup tables let the
+//! inner loop fold eight input bytes per iteration instead of one.
 
-/// Lazily built 256-entry lookup table.
-fn table() -> &'static [u32; 256] {
-    use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, entry) in t.iter_mut().enumerate() {
+use std::sync::OnceLock;
+
+/// Lazily built slice-by-8 tables. `TABLES[0]` is the classic byte-at-a-time
+/// table; `TABLES[k][i]` advances the CRC of byte `i` through `k` additional
+/// zero bytes, so eight table reads fold a whole 64-bit word.
+fn tables() -> &'static [[u32; 256]; 8] {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (i, slot) in t[0].iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
                 c = if c & 1 != 0 {
@@ -16,7 +20,13 @@ fn table() -> &'static [u32; 256] {
                     c >> 1
                 };
             }
-            *entry = c;
+            *slot = c;
+        }
+        for k in 1..8 {
+            for i in 0..256usize {
+                let prev = t[k - 1][i];
+                t[k][i] = t[0][(prev & 0xff) as usize] ^ (prev >> 8);
+            }
         }
         t
     })
@@ -40,10 +50,25 @@ impl Crc32 {
     }
 
     pub fn update(&mut self, data: &[u8]) {
-        let t = table();
-        for &b in data {
-            self.state = t[((self.state ^ b as u32) & 0xff) as usize] ^ (self.state >> 8);
+        let t = tables();
+        let mut crc = self.state;
+        let mut chunks = data.chunks_exact(8);
+        for chunk in &mut chunks {
+            let lo = u32::from_le_bytes(chunk[0..4].try_into().expect("4 bytes")) ^ crc;
+            let hi = u32::from_le_bytes(chunk[4..8].try_into().expect("4 bytes"));
+            crc = t[7][(lo & 0xff) as usize]
+                ^ t[6][((lo >> 8) & 0xff) as usize]
+                ^ t[5][((lo >> 16) & 0xff) as usize]
+                ^ t[4][(lo >> 24) as usize]
+                ^ t[3][(hi & 0xff) as usize]
+                ^ t[2][((hi >> 8) & 0xff) as usize]
+                ^ t[1][((hi >> 16) & 0xff) as usize]
+                ^ t[0][(hi >> 24) as usize];
         }
+        for &b in chunks.remainder() {
+            crc = t[0][((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+        }
+        self.state = crc;
     }
 
     pub fn finalize(self) -> u32 {
@@ -56,6 +81,17 @@ pub fn crc32(data: &[u8]) -> u32 {
     let mut c = Crc32::new();
     c.update(data);
     c.finalize()
+}
+
+/// Reference byte-at-a-time CRC-32, kept for equivalence tests and the
+/// old-vs-new benchmark in `perf_archive`.
+pub fn crc32_bytewise(data: &[u8]) -> u32 {
+    let t = &tables()[0];
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = t[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
 }
 
 #[cfg(test)]
@@ -82,6 +118,25 @@ mod tests {
             c.update(chunk);
         }
         assert_eq!(c.finalize(), crc32(&data));
+    }
+
+    #[test]
+    fn slice8_matches_bytewise() {
+        // All alignments and lengths around the 8-byte fold boundary, plus a
+        // pseudo-random buffer split at unaligned offsets.
+        let data: Vec<u8> = (0..1024u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        for start in 0..8 {
+            for len in [0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 100, 1000] {
+                let slice = &data[start..(start + len).min(data.len())];
+                assert_eq!(
+                    crc32(slice),
+                    crc32_bytewise(slice),
+                    "start {start} len {len}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -49,11 +49,15 @@ impl std::fmt::Display for InflateError {
 
 impl std::error::Error for InflateError {}
 
-/// LSB-first bit reader over a byte slice.
+/// LSB-first bit reader over a byte slice, refilled a 64-bit word at a time.
+///
+/// Invariant: bits of `bit_buf` at positions `>= bit_count` are zero, and
+/// `bit_count <= 63`, so a refill can always splice new bytes on top.
 struct BitReader<'a> {
     data: &'a [u8],
+    /// Index of the next byte *not yet* loaded into `bit_buf`.
     pos: usize,
-    bit_buf: u32,
+    bit_buf: u64,
     bit_count: u32,
 }
 
@@ -67,15 +71,39 @@ impl<'a> BitReader<'a> {
         }
     }
 
+    /// Tops up `bit_buf` from the input. The fast path reads one unaligned
+    /// 64-bit word and splices in as many whole bytes as fit below bit 64;
+    /// the tail of the stream falls back to byte-at-a-time.
+    #[inline]
+    fn refill(&mut self) {
+        if self.pos + 8 <= self.data.len() {
+            let w = u64::from_le_bytes(
+                self.data[self.pos..self.pos + 8]
+                    .try_into()
+                    .expect("8-byte window"),
+            );
+            let take = (63 - self.bit_count) >> 3; // whole bytes that fit: 0..=7
+            self.bit_buf |= (w & ((1u64 << (take * 8)) - 1)) << self.bit_count;
+            self.bit_count += take * 8;
+            self.pos += take as usize;
+        } else {
+            while self.bit_count <= 56 && self.pos < self.data.len() {
+                self.bit_buf |= (self.data[self.pos] as u64) << self.bit_count;
+                self.pos += 1;
+                self.bit_count += 8;
+            }
+        }
+    }
+
     fn bits(&mut self, n: u32) -> Result<u32, InflateError> {
         debug_assert!(n <= 24);
-        while self.bit_count < n {
-            let byte = *self.data.get(self.pos).ok_or(InflateError::UnexpectedEof)?;
-            self.bit_buf |= (byte as u32) << self.bit_count;
-            self.bit_count += 8;
-            self.pos += 1;
+        if self.bit_count < n {
+            self.refill();
+            if self.bit_count < n {
+                return Err(InflateError::UnexpectedEof);
+            }
         }
-        let v = self.bit_buf & ((1u32 << n) - 1);
+        let v = (self.bit_buf & ((1u64 << n) - 1)) as u32;
         self.bit_buf >>= n;
         self.bit_count -= n;
         Ok(v)
@@ -85,13 +113,19 @@ impl<'a> BitReader<'a> {
         self.bits(1)
     }
 
-    /// Discards buffered bits to realign on a byte boundary (stored blocks).
+    /// Realigns on a byte boundary (stored blocks): whole buffered bytes are
+    /// returned to the stream, the remainder bits of the current partially
+    /// consumed byte are discarded.
     fn align(&mut self) {
+        self.pos -= (self.bit_count >> 3) as usize;
         self.bit_buf = 0;
         self.bit_count = 0;
     }
 
+    /// Reads `n` raw bytes. Callers must `align()` first so `pos` reflects
+    /// the true stream position.
     fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], InflateError> {
+        debug_assert_eq!(self.bit_count, 0, "take_bytes requires a prior align()");
         if self.pos + n > self.data.len() {
             return Err(InflateError::UnexpectedEof);
         }
@@ -156,6 +190,39 @@ impl Huffman {
 
     /// Decodes one symbol, reading bits MSB-of-code-first per RFC 1951.
     fn decode(&self, r: &mut BitReader<'_>) -> Result<u16, InflateError> {
+        if r.bit_count < MAX_BITS as u32 {
+            r.refill();
+        }
+        if r.bit_count >= MAX_BITS as u32 {
+            // Fast path: every bit a 15-bit-max code could need is already
+            // buffered, so walk local copies with no per-bit EOF checks.
+            let mut code: i32 = 0;
+            let mut first: i32 = 0;
+            let mut index: i32 = 0;
+            let mut buf = r.bit_buf;
+            let mut used = 0u32;
+            for len in 1..=MAX_BITS {
+                code |= (buf & 1) as i32;
+                buf >>= 1;
+                used += 1;
+                let count = self.count[len] as i32;
+                if code - count < first {
+                    r.bit_buf = buf;
+                    r.bit_count -= used;
+                    let sym = self
+                        .symbol
+                        .get((index + (code - first)) as usize)
+                        .ok_or(InflateError::InvalidSymbol)?;
+                    return Ok(*sym);
+                }
+                index += count;
+                first += count;
+                first <<= 1;
+                code <<= 1;
+            }
+            return Err(InflateError::InvalidSymbol);
+        }
+        // Slow path: fewer than MAX_BITS left in the whole stream.
         let mut code: i32 = 0;
         let mut first: i32 = 0;
         let mut index: i32 = 0;
@@ -345,10 +412,18 @@ fn inflate_block(
                     return Err(InflateError::OutputLimitExceeded);
                 }
                 let start = out.len() - d;
-                // Overlapping copy (d < len is legal and common: run-length).
-                for i in 0..len {
-                    let b = out[start + i];
-                    out.push(b);
+                if d >= len {
+                    out.extend_from_within(start..start + len);
+                } else {
+                    // Overlapping match (d < len is legal and common:
+                    // run-length). The region from `start` is periodic with
+                    // period `d`, so doubling windows replicate it correctly.
+                    let mut remaining = len;
+                    while remaining > 0 {
+                        let window = (out.len() - start).min(remaining);
+                        out.extend_from_within(start..start + window);
+                        remaining -= window;
+                    }
                 }
             }
             _ => return Err(InflateError::InvalidLengthOrDistance),
@@ -403,6 +478,43 @@ mod tests {
         let comp = deflate(b"some reasonably compressible data data data data");
         for cut in 0..comp.len() {
             let _ = inflate(&comp[..cut], 1 << 16); // must not panic
+        }
+    }
+
+    #[test]
+    fn overlapping_match_periods_roundtrip() {
+        // Small-period runs force d < len matches, exercising the doubling
+        // window copy. Periods 1..8 cover the window-growth edge cases.
+        for period in 1usize..=8 {
+            let unit: Vec<u8> = (0..period).map(|i| b'a' + i as u8).collect();
+            let data: Vec<u8> = unit.iter().copied().cycle().take(5000).collect();
+            let comp = deflate(&data);
+            assert_eq!(inflate(&comp, data.len()).unwrap(), data, "period {period}");
+        }
+    }
+
+    #[test]
+    fn random_mixed_data_roundtrips() {
+        use rand::{Rng, RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            // Mix of compressible text runs and incompressible noise.
+            let mut data = Vec::new();
+            while data.len() < 4096 {
+                if rng.gen_bool(0.5) {
+                    let word = b"the quick brown fox ";
+                    let reps = rng.gen_range(1..20);
+                    for _ in 0..reps {
+                        data.extend_from_slice(word);
+                    }
+                } else {
+                    let mut noise = vec![0u8; rng.gen_range(1..200)];
+                    rng.fill_bytes(&mut noise);
+                    data.extend_from_slice(&noise);
+                }
+            }
+            let comp = deflate(&data);
+            assert_eq!(inflate(&comp, data.len()).unwrap(), data);
         }
     }
 

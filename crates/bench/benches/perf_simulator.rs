@@ -110,12 +110,21 @@ fn run_quick_scenario(seed: u64, scheduler: SchedulerKind) -> u64 {
     sc.run().sim_metrics.events_processed
 }
 
+/// Sample count: 10 normally, 2 under `P2PMAL_PERF_SMOKE=1` (CI smoke).
+fn samples() -> usize {
+    if std::env::var("P2PMAL_PERF_SMOKE").is_ok() {
+        2
+    } else {
+        10
+    }
+}
+
 const HOLD_DEPTH: usize = 100_000;
 const HOLD_OPS: usize = 200_000;
 
 fn bench_scheduler(c: &mut Criterion) {
     let mut g = c.benchmark_group("scheduler");
-    g.sample_size(10);
+    g.sample_size(samples());
     g.bench_function(&format!("heap_hold_{HOLD_DEPTH}"), |b| {
         b.iter(|| {
             let mut q = HeapQueue::default();
@@ -153,7 +162,7 @@ fn bench_scheduler(c: &mut Criterion) {
 
 fn bench_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator");
-    g.sample_size(10);
+    g.sample_size(samples());
     for (label, kind) in [
         ("overlay_600s_heap", SchedulerKind::Heap),
         ("overlay_600s_calendar", SchedulerKind::Calendar),
@@ -189,7 +198,7 @@ fn bench_sim(c: &mut Criterion) {
 
 fn bench_quick_scenario(c: &mut Criterion) {
     let mut g = c.benchmark_group("quick_scenario");
-    g.sample_size(10);
+    g.sample_size(samples());
     for (label, kind) in [
         ("limewire_1day_heap", SchedulerKind::Heap),
         ("limewire_1day_calendar", SchedulerKind::Calendar),

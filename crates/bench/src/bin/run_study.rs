@@ -10,6 +10,22 @@
 
 use p2pmal_bench::{run_seeds, BenchConfig, RunArtifact};
 use p2pmal_core::{LimewireScenario, OpenFtScenario, Study};
+use p2pmal_crawler::ScanStats;
+
+/// One line of scan-pipeline accounting: how many download bodies reached
+/// the scanner and how much of that work the verdict cache absorbed.
+fn scan_line(label: &str, s: &ScanStats) {
+    println!(
+        "  scan pipeline [{label}]: {} bodies ({} KiB hashed), {} scanned, \
+         {} cache hits ({:.1}%), {} distinct payloads",
+        s.bodies,
+        s.bytes_hashed / 1024,
+        s.bodies_scanned,
+        s.cache_hits,
+        s.hit_rate_pct(),
+        s.distinct_payloads,
+    );
+}
 
 fn artifact_line(a: &RunArtifact) {
     let downloadable = a.resolved.iter().filter(|r| r.record.downloadable).count();
@@ -55,7 +71,9 @@ fn sweep(cfg: &BenchConfig, seeds: &[u64]) {
     for run in &runs {
         println!("seed {}:", run.seed);
         artifact_line(&run.limewire);
+        scan_line("LimeWire", &run.limewire.scan);
         artifact_line(&run.openft);
+        scan_line("OpenFT", &run.openft.scan);
     }
 }
 
@@ -85,6 +103,12 @@ fn main() {
         .run_with_progress(|net, day| eprintln!("[run_study] {net}: day {day} done"));
 
     println!("{}", report.render_markdown());
+    if let Some(run) = report.limewire.as_ref() {
+        scan_line("LimeWire", &run.log.scan);
+    }
+    if let Some(run) = report.openft.as_ref() {
+        scan_line("OpenFT", &run.log.scan);
+    }
     let comparisons = report.comparisons();
     eprintln!("{}", comparisons.to_json());
     if comparisons.all_hold() {

@@ -16,10 +16,11 @@
 //!   study runs on its own thread (see [`run_seeds`]);
 //! * `P2PMAL_DAYS=<n>` — override the collection length;
 //! * `P2PMAL_TRACE=1` — per-day event/wall-time trace during simulation,
-//!   including buffer-pool and queue-depth statistics.
+//!   including buffer-pool, queue-depth and scan-pipeline (cache
+//!   hit/miss/eviction, bytes hashed) statistics.
 
 use p2pmal_core::{LimewireScenario, OpenFtScenario};
-use p2pmal_crawler::{HostKey, Network, ResolvedResponse, ResponseRecord};
+use p2pmal_crawler::{HostKey, Network, ResolvedResponse, ResponseRecord, ScanStats};
 use p2pmal_json::Value;
 use p2pmal_netsim::SimTime;
 use std::io::Write;
@@ -35,6 +36,10 @@ pub struct RunArtifact {
     pub downloads_attempted: u64,
     pub downloads_failed: u64,
     pub sim_events: u64,
+    /// Scan-pipeline counters (bodies, cache hits, bytes hashed, ...).
+    /// Defaults to zero when loading artifacts written before the counters
+    /// existed.
+    pub scan: ScanStats,
     pub resolved: Vec<ResolvedResponse>,
 }
 
@@ -201,6 +206,32 @@ fn resolved_from_json(v: &Value) -> Option<ResolvedResponse> {
     })
 }
 
+fn scan_to_json(s: &ScanStats) -> Value {
+    Value::Obj(vec![
+        ("bodies".into(), s.bodies.into()),
+        ("bytes_hashed".into(), s.bytes_hashed.into()),
+        ("bodies_scanned".into(), s.bodies_scanned.into()),
+        ("bytes_scanned".into(), s.bytes_scanned.into()),
+        ("cache_hits".into(), s.cache_hits.into()),
+        ("cache_misses".into(), s.cache_misses.into()),
+        ("cache_evictions".into(), s.cache_evictions.into()),
+        ("distinct_payloads".into(), s.distinct_payloads.into()),
+    ])
+}
+
+fn scan_from_json(v: &Value) -> Option<ScanStats> {
+    Some(ScanStats {
+        bodies: v.get("bodies")?.as_u64()?,
+        bytes_hashed: v.get("bytes_hashed")?.as_u64()?,
+        bodies_scanned: v.get("bodies_scanned")?.as_u64()?,
+        bytes_scanned: v.get("bytes_scanned")?.as_u64()?,
+        cache_hits: v.get("cache_hits")?.as_u64()?,
+        cache_misses: v.get("cache_misses")?.as_u64()?,
+        cache_evictions: v.get("cache_evictions")?.as_u64()?,
+        distinct_payloads: v.get("distinct_payloads")?.as_u64()?,
+    })
+}
+
 fn artifact_to_json(a: &RunArtifact) -> Value {
     Value::Obj(vec![
         (
@@ -217,6 +248,7 @@ fn artifact_to_json(a: &RunArtifact) -> Value {
         ("downloads_attempted".into(), a.downloads_attempted.into()),
         ("downloads_failed".into(), a.downloads_failed.into()),
         ("sim_events".into(), a.sim_events.into()),
+        ("scan".into(), scan_to_json(&a.scan)),
         (
             "resolved".into(),
             Value::Arr(a.resolved.iter().map(resolved_to_json).collect()),
@@ -244,6 +276,8 @@ fn artifact_from_json(v: &Value) -> Option<RunArtifact> {
         downloads_attempted: v.get("downloads_attempted")?.as_u64()?,
         downloads_failed: v.get("downloads_failed")?.as_u64()?,
         sim_events: v.get("sim_events")?.as_u64()?,
+        // Artifacts written before the scan pipeline carry no counters.
+        scan: v.get("scan").and_then(scan_from_json).unwrap_or_default(),
         resolved,
     })
 }
@@ -284,6 +318,7 @@ pub fn limewire_run(cfg: &BenchConfig) -> RunArtifact {
         downloads_attempted: run.log.downloads_attempted,
         downloads_failed: run.log.downloads_failed,
         sim_events: run.sim_metrics.events_processed,
+        scan: run.log.scan,
         resolved: run.resolved,
     };
     store(&path, &artifact);
@@ -323,6 +358,7 @@ pub fn openft_run(cfg: &BenchConfig) -> RunArtifact {
         downloads_attempted: run.log.downloads_attempted,
         downloads_failed: run.log.downloads_failed,
         sim_events: run.sim_metrics.events_processed,
+        scan: run.log.scan,
         resolved: run.resolved,
     };
     store(&path, &artifact);

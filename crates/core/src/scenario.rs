@@ -23,7 +23,7 @@ use p2pmal_corpus::catalog::{Catalog, CatalogConfig};
 use p2pmal_corpus::{ContentStore, FamilyId, HostLibrary, Roster};
 use p2pmal_crawler::{
     CrawlLog, FtCrawler, FtCrawlerConfig, GnutellaCrawler, GnutellaCrawlerConfig, Network,
-    ResolvedResponse, WorkloadConfig,
+    ResolvedResponse, ScanStats, WorkloadConfig, DEFAULT_SCAN_CACHE_ENTRIES,
 };
 use p2pmal_gnutella::servent::{Servent, ServentConfig, SharedWorld};
 use p2pmal_netsim::{
@@ -65,16 +65,42 @@ pub struct NetworkRun {
     pub sim_metrics: SimMetrics,
 }
 
+fn trace_enabled() -> bool {
+    std::env::var("P2PMAL_TRACE").is_ok()
+}
+
 /// `P2PMAL_TRACE=1`: per-day progress line with scheduler and buffer-pool
-/// health (queue depth + peak, pool hit rate, bytes recycled).
-fn trace_day(net: &str, day: u64, events: u64, delta: u64, wall_secs: f64, sim: &Simulator) {
-    if std::env::var("P2PMAL_TRACE").is_err() {
+/// health (queue depth + peak, pool hit rate, bytes recycled), plus the
+/// scan-pipeline counters (bodies, cache hits/misses/evictions, distinct
+/// payloads, bytes hashed) when a crawler snapshot is available.
+fn trace_day(
+    net: &str,
+    day: u64,
+    events: u64,
+    delta: u64,
+    wall_secs: f64,
+    sim: &Simulator,
+    scan: Option<&ScanStats>,
+) {
+    if !trace_enabled() {
         return;
     }
     let m = sim.metrics();
+    let scan_part = match scan {
+        Some(s) => format!(
+            ", scan {} bodies / {} hits / {} misses / {} evict / {} distinct / {} KiB hashed",
+            s.bodies,
+            s.cache_hits,
+            s.cache_misses,
+            s.cache_evictions,
+            s.distinct_payloads,
+            s.bytes_hashed / 1024,
+        ),
+        None => String::new(),
+    };
     eprintln!(
         "[trace] {net} day {day}: {events} events (+{delta}), {wall_secs:.1}s wall, \
-         queue {} pending (peak {}), pool {} hits / {} misses / {} KiB recycled (free peak {})",
+         queue {} pending (peak {}), pool {} hits / {} misses / {} KiB recycled (free peak {}){scan_part}",
         sim.pending_events(),
         m.queue_high_water,
         m.pool_hits,
@@ -82,6 +108,19 @@ fn trace_day(net: &str, day: u64, events: u64, delta: u64, wall_secs: f64, sim: 
         m.pool_recycled_bytes / 1024,
         m.pool_high_water,
     );
+}
+
+/// Clones the simulator metrics and fills in the scan-pipeline counters the
+/// harness observed through the crawl log.
+fn metrics_with_scan(sim: &Simulator, scan: ScanStats) -> SimMetrics {
+    let mut m = sim.metrics().clone();
+    m.scan_bodies = scan.bodies;
+    m.scan_bytes_hashed = scan.bytes_hashed;
+    m.scan_cache_hits = scan.cache_hits;
+    m.scan_cache_misses = scan.cache_misses;
+    m.scan_cache_evictions = scan.cache_evictions;
+    m.scan_distinct_payloads = scan.distinct_payloads;
+    m
 }
 
 fn make_world(seed: u64, catalog_cfg: &CatalogConfig, roster: Roster) -> SharedWorld {
@@ -148,6 +187,9 @@ pub struct LimewireScenario {
     pub ambient_query: Option<SimDuration>,
     /// Event scheduler (the heap is kept around for benchmarking).
     pub scheduler: SchedulerKind,
+    /// Verdict-cache capacity for the crawler's scan pipeline (0 disables;
+    /// outcomes are identical either way, only wall time changes).
+    pub scan_cache_entries: usize,
 }
 
 impl LimewireScenario {
@@ -172,6 +214,7 @@ impl LimewireScenario {
             },
             ambient_query: Some(SimDuration::from_hours(1)),
             scheduler: SchedulerKind::Calendar,
+            scan_cache_entries: DEFAULT_SCAN_CACHE_ENTRIES,
         }
     }
 
@@ -290,6 +333,7 @@ impl LimewireScenario {
                 scanner,
                 GnutellaCrawlerConfig {
                     workload: self.workload.clone(),
+                    scan_cache_entries: self.scan_cache_entries,
                     ..Default::default()
                 },
             )),
@@ -300,6 +344,18 @@ impl LimewireScenario {
             let t0 = std::time::Instant::now();
             sim.run_until(SimTime::from_days(day));
             let ev = sim.metrics().events_processed;
+            let scan = if trace_enabled() {
+                sim.with_node(crawler, |app, _| {
+                    app.as_any_mut()
+                        .expect("crawler downcasts")
+                        .downcast_mut::<GnutellaCrawler>()
+                        .expect("crawler node")
+                        .log()
+                        .scan
+                })
+            } else {
+                None
+            };
             trace_day(
                 "LW",
                 day,
@@ -307,6 +363,7 @@ impl LimewireScenario {
                 ev - last_events,
                 t0.elapsed().as_secs_f64(),
                 &sim,
+                scan.as_ref(),
             );
             last_events = ev;
             progress(day);
@@ -323,10 +380,10 @@ impl LimewireScenario {
         let resolved = log.resolved();
         NetworkRun {
             network: Network::Limewire,
+            sim_metrics: metrics_with_scan(&sim, log.scan),
             log,
             resolved,
             world,
-            sim_metrics: sim.metrics().clone(),
         }
     }
 }
@@ -356,6 +413,9 @@ pub struct OpenFtScenario {
     pub ambient_query: Option<SimDuration>,
     /// Event scheduler (the heap is kept around for benchmarking).
     pub scheduler: SchedulerKind,
+    /// Verdict-cache capacity for the crawler's scan pipeline (0 disables;
+    /// outcomes are identical either way, only wall time changes).
+    pub scan_cache_entries: usize,
 }
 
 impl OpenFtScenario {
@@ -392,6 +452,7 @@ impl OpenFtScenario {
             },
             ambient_query: Some(SimDuration::from_hours(1)),
             scheduler: SchedulerKind::Calendar,
+            scan_cache_entries: DEFAULT_SCAN_CACHE_ENTRIES,
         }
     }
 
@@ -504,6 +565,7 @@ impl OpenFtScenario {
                 scanner,
                 FtCrawlerConfig {
                     workload: self.workload.clone(),
+                    scan_cache_entries: self.scan_cache_entries,
                     ..Default::default()
                 },
             )),
@@ -514,6 +576,18 @@ impl OpenFtScenario {
             let t0 = std::time::Instant::now();
             sim.run_until(SimTime::from_days(day));
             let ev = sim.metrics().events_processed;
+            let scan = if trace_enabled() {
+                sim.with_node(crawler, |app, _| {
+                    app.as_any_mut()
+                        .expect("crawler downcasts")
+                        .downcast_mut::<FtCrawler>()
+                        .expect("crawler node")
+                        .log()
+                        .scan
+                })
+            } else {
+                None
+            };
             trace_day(
                 "FT",
                 day,
@@ -521,6 +595,7 @@ impl OpenFtScenario {
                 ev - last_events,
                 t0.elapsed().as_secs_f64(),
                 &sim,
+                scan.as_ref(),
             );
             last_events = ev;
             progress(day);
@@ -537,10 +612,10 @@ impl OpenFtScenario {
         let resolved = log.resolved();
         NetworkRun {
             network: Network::OpenFt,
+            sim_metrics: metrics_with_scan(&sim, log.scan),
             log,
             resolved,
             world,
-            sim_metrics: sim.metrics().clone(),
         }
     }
 }

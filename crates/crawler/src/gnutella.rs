@@ -7,6 +7,7 @@
 //! behaviour lives here.
 
 use crate::log::{CrawlLog, HostKey, HostSizeKey, NameSizeKey, ResponseRecord, ScanOutcome};
+use crate::scan::ScanPipeline;
 use crate::workload::{Workload, WorkloadConfig};
 use p2pmal_gnutella::servent::{
     DownloadError, DownloadMethod, DownloadRequest, Servent, ServentConfig, ServentEvent,
@@ -33,6 +34,8 @@ pub struct GnutellaCrawlerConfig {
     /// Per-object retry budget: one direct attempt plus at most this many
     /// PUSH attempts.
     pub push_retries: u8,
+    /// Verdict-cache capacity for the scan pipeline (0 disables caching).
+    pub scan_cache_entries: usize,
 }
 
 impl Default for GnutellaCrawlerConfig {
@@ -42,6 +45,7 @@ impl Default for GnutellaCrawlerConfig {
             max_concurrent_downloads: 16,
             start_delay: SimDuration::from_secs(300),
             push_retries: 1,
+            scan_cache_entries: crate::scan::DEFAULT_SCAN_CACHE_ENTRIES,
         }
     }
 }
@@ -57,7 +61,7 @@ pub struct GnutellaCrawler {
     servent: Servent,
     config: GnutellaCrawlerConfig,
     workload: Workload,
-    scanner: Arc<Scanner>,
+    pipeline: ScanPipeline,
     log: CrawlLog,
     /// Query GUID -> query text, for attributing hits.
     queries: HashMap<Guid, String>,
@@ -87,8 +91,8 @@ impl GnutellaCrawler {
         GnutellaCrawler {
             servent: Servent::new(servent_config, world, Default::default()),
             workload: Workload::new(config.workload.clone()),
+            pipeline: ScanPipeline::new(scanner, config.scan_cache_entries),
             config,
-            scanner,
             log: CrawlLog::new(),
             queries: HashMap::new(),
             query_order: VecDeque::new(),
@@ -207,8 +211,8 @@ impl GnutellaCrawler {
         };
         match result {
             Ok(body) => {
-                let sha1 = p2pmal_hashes::sha1(&body);
-                let verdict = self.scanner.scan(&fl.record.filename, &body);
+                let (sha1, verdict) = self.pipeline.scan(&fl.record.filename, &body);
+                self.log.scan = self.pipeline.stats();
                 let detections = verdict.detections.iter().map(|d| d.name.clone()).collect();
                 self.finish(
                     &fl.record.clone(),

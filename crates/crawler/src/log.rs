@@ -58,7 +58,7 @@ pub enum HostKey {
 }
 
 /// One logged query response.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResponseRecord {
     pub at: SimTime,
     /// Simulated-day index, the time-series bucket.
@@ -77,7 +77,7 @@ pub struct ResponseRecord {
 }
 
 /// Content-level result of downloading + scanning one deduplicated object.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScanOutcome {
     /// Downloaded and scanned.
     Scanned {
@@ -135,6 +135,9 @@ pub struct CrawlLog {
     pub queries_issued: u64,
     pub downloads_attempted: u64,
     pub downloads_failed: u64,
+    /// Download→hash→scan pipeline counters (mirrored from the crawler's
+    /// [`crate::scan::ScanPipeline`] after every scan).
+    pub scan: crate::scan::ScanStats,
 }
 
 impl CrawlLog {

@@ -3,6 +3,7 @@
 //! downloading the deduplicated archive/executable responses by MD5.
 
 use crate::log::{CrawlLog, HostKey, HostSizeKey, NameSizeKey, ResponseRecord, ScanOutcome};
+use crate::scan::ScanPipeline;
 use crate::workload::{Workload, WorkloadConfig};
 use p2pmal_gnutella::servent::SharedWorld;
 use p2pmal_netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration};
@@ -23,6 +24,8 @@ pub struct FtCrawlerConfig {
     pub start_delay: SimDuration,
     /// Extra download attempts after the first failure.
     pub retries: u8,
+    /// Verdict-cache capacity for the scan pipeline (0 disables caching).
+    pub scan_cache_entries: usize,
 }
 
 impl Default for FtCrawlerConfig {
@@ -32,6 +35,7 @@ impl Default for FtCrawlerConfig {
             max_concurrent_downloads: 16,
             start_delay: SimDuration::from_secs(300),
             retries: 1,
+            scan_cache_entries: crate::scan::DEFAULT_SCAN_CACHE_ENTRIES,
         }
     }
 }
@@ -48,7 +52,7 @@ pub struct FtCrawler {
     node: FtNode,
     config: FtCrawlerConfig,
     workload: Workload,
-    scanner: Arc<Scanner>,
+    pipeline: ScanPipeline,
     log: CrawlLog,
     /// Search id -> query text.
     queries: HashMap<u32, String>,
@@ -73,8 +77,8 @@ impl FtCrawler {
         FtCrawler {
             node: FtNode::new(node_config, world, Default::default()),
             workload: Workload::new(config.workload.clone()),
+            pipeline: ScanPipeline::new(scanner, config.scan_cache_entries),
             config,
-            scanner,
             log: CrawlLog::new(),
             queries: HashMap::new(),
             query_order: VecDeque::new(),
@@ -176,8 +180,8 @@ impl FtCrawler {
         };
         match result {
             Ok(body) => {
-                let sha1 = p2pmal_hashes::sha1(&body);
-                let verdict = self.scanner.scan(&fl.record.filename, &body);
+                let (sha1, verdict) = self.pipeline.scan(&fl.record.filename, &body);
+                self.log.scan = self.pipeline.stats();
                 let detections = verdict.detections.iter().map(|d| d.name.clone()).collect();
                 self.finish(
                     &fl.record.clone(),

@@ -63,36 +63,39 @@ impl Sha1 {
             self.buf_len += take;
             data = &data[take..];
             if self.buf_len == 64 {
-                let block = self.buf;
-                self.compress(&block);
+                Self::compress(&mut self.state, &self.buf);
                 self.buf_len = 0;
             }
         }
-        while data.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&data[..64]);
-            self.compress(&block);
-            data = &data[64..];
+        // Aligned 64-byte chunks compress straight from the input slice.
+        let mut chunks = data.chunks_exact(64);
+        for chunk in &mut chunks {
+            let block: &[u8; 64] = chunk.try_into().expect("chunks_exact yields 64 bytes");
+            Self::compress(&mut self.state, block);
         }
-        if !data.is_empty() {
-            self.buf[..data.len()].copy_from_slice(data);
-            self.buf_len = data.len();
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
         }
     }
 
     pub fn finalize(mut self) -> Sha1Digest {
         let bit_len = self.len.wrapping_mul(8);
-        // Append 0x80 then zero pad to 56 mod 64, then 64-bit big-endian length.
-        self.update(&[0x80]);
-        while self.buf_len != 56 {
-            self.update(&[0]);
+        // Pad in place: 0x80, zeros to 56 mod 64, then the 64-bit big-endian
+        // *bit* length of the message (captured before padding, so the
+        // padding bytes themselves are never counted).
+        self.buf[self.buf_len] = 0x80;
+        self.buf_len += 1;
+        if self.buf_len > 56 {
+            // No room for the length in this block: flush it and pad a second.
+            self.buf[self.buf_len..].fill(0);
+            Self::compress(&mut self.state, &self.buf);
+            self.buf_len = 0;
         }
-        // Manual final block write: `update` would re-count the length bytes,
-        // but length was captured before padding so appending via update is
-        // fine as long as we do not read `self.len` again.
-        let mut block = self.buf;
-        block[56..64].copy_from_slice(&bit_len.to_be_bytes());
-        self.compress(&block.clone());
+        self.buf[self.buf_len..56].fill(0);
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        Self::compress(&mut self.state, &self.buf);
         let mut out = [0u8; 20];
         for (i, word) in self.state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
@@ -100,44 +103,63 @@ impl Sha1 {
         Sha1Digest(out)
     }
 
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 80];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes([
-                block[i * 4],
-                block[i * 4 + 1],
-                block[i * 4 + 2],
-                block[i * 4 + 3],
-            ]);
+    /// The FIPS 180-1 compression function. Static over disjoint fields so
+    /// callers can feed it `&self.buf` while mutating `self.state`, and
+    /// `update` can compress borrowed input blocks without copying them.
+    fn compress(state: &mut [u32; 5], block: &[u8; 64]) {
+        // 16-word rolling schedule instead of the full 80-word array: the
+        // expansion only ever looks back 16 words.
+        let mut w = [0u32; 16];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
         }
-        for i in 16..80 {
-            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        let [mut a, mut b, mut c, mut d, mut e] = *state;
+        // Per-stage loops keep the round bodies branch-free so they unroll;
+        // the single-loop form pays a schedule branch and a stage `match`
+        // every round.
+        macro_rules! expand {
+            ($i:expr) => {{
+                let v = (w[($i + 13) & 15] ^ w[($i + 8) & 15] ^ w[($i + 2) & 15] ^ w[$i & 15])
+                    .rotate_left(1);
+                w[$i & 15] = v;
+                v
+            }};
         }
-        let [mut a, mut b, mut c, mut d, mut e] = self.state;
-        for (i, &wi) in w.iter().enumerate() {
-            let (f, k) = match i {
-                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
-                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
-                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
-                _ => (b ^ c ^ d, 0xCA62C1D6),
-            };
-            let tmp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
-            e = d;
-            d = c;
-            c = b.rotate_left(30);
-            b = a;
-            a = tmp;
+        macro_rules! round {
+            ($f:expr, $k:expr, $wi:expr) => {{
+                let tmp = a
+                    .rotate_left(5)
+                    .wrapping_add($f)
+                    .wrapping_add(e)
+                    .wrapping_add($k)
+                    .wrapping_add($wi);
+                e = d;
+                d = c;
+                c = b.rotate_left(30);
+                b = a;
+                a = tmp;
+            }};
         }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
+        for &wi in &w {
+            round!((b & c) | ((!b) & d), 0x5A827999, wi);
+        }
+        for i in 16..20 {
+            round!((b & c) | ((!b) & d), 0x5A827999, expand!(i));
+        }
+        for i in 20..40 {
+            round!(b ^ c ^ d, 0x6ED9EBA1, expand!(i));
+        }
+        for i in 40..60 {
+            round!((b & c) | (b & d) | (c & d), 0x8F1BBCDC, expand!(i));
+        }
+        for i in 60..80 {
+            round!(b ^ c ^ d, 0xCA62C1D6, expand!(i));
+        }
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
     }
 }
 
@@ -205,6 +227,27 @@ mod tests {
                 h.update(c);
             }
             assert_eq!(h.finalize(), sha1(&data), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn padding_boundary_lengths() {
+        // Message lengths that straddle the one-vs-two padding block split
+        // (buffered 55 bytes fits one block; 56..=63 forces a second).
+        let expect = [
+            (55usize, "ddf57317ef34bfee3b6df83d359098930eb278bc"),
+            (56, "a0d492bb0fc889d0eca3bc137066ab6f4f74f369"),
+            (57, "11a02dcf95859677a62e75024067c22b165d890f"),
+            (63, "c55856749bef509bdfe6bfebfc7bf4e793e82132"),
+            (64, "bede92be29c3874e1b54ddc77988d606fc857a8e"),
+            (65, "b05a80522b053d6dc7e0a517d0e70212c7dad11f"),
+            (119, "504e27376a6e0f0dba8295b85cb25dc4dfa17d23"),
+            (127, "34d5e582029e9b9b85b2febe31da3db7cdabaaea"),
+            (128, "a09133e6730ffe899efb70204cb5646cd5dc24ee"),
+        ];
+        for (n, hex) in expect {
+            let data: Vec<u8> = (0..n).map(|i| ((i * 7 + 3) % 256) as u8).collect();
+            assert_eq!(sha1(&data).to_hex(), hex, "length {n}");
         }
     }
 

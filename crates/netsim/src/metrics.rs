@@ -31,6 +31,20 @@ pub struct SimMetrics {
     pub pool_high_water: u64,
     /// Peak number of simultaneously scheduled events.
     pub queue_high_water: u64,
+    /// Download bodies entering the scan pipeline. Filled in by harnesses
+    /// that run a scanning crawler (see `p2pmal-core`); the simulator core
+    /// does not compute these.
+    pub scan_bodies: u64,
+    /// Bytes SHA-1 hashed by the scan pipeline.
+    pub scan_bytes_hashed: u64,
+    /// Verdict-cache hits (bodies resolved without running the scanner).
+    pub scan_cache_hits: u64,
+    /// Verdict-cache misses (bodies fully scanned).
+    pub scan_cache_misses: u64,
+    /// Verdict-cache evictions (capacity pressure; 0 on realistic runs).
+    pub scan_cache_evictions: u64,
+    /// Distinct payload digests observed by the scan pipeline.
+    pub scan_distinct_payloads: u64,
 }
 
 #[cfg(test)]

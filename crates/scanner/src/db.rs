@@ -147,35 +147,84 @@ impl CompiledDb {
         self.sigs.is_empty()
     }
 
-    /// Returns the names of all signatures matching `data`, deduplicated,
-    /// in database order.
-    pub fn matches(&self, data: &[u8]) -> Vec<&str> {
-        let mut hit = vec![false; self.sigs.len()];
+    /// Verifies one anchor hit against its full wildcard signature.
+    #[inline]
+    fn verify(&self, data: &[u8], m: crate::aho::AcMatch) -> bool {
+        let sig = &self.sigs[m.pattern];
+        let part0 = &sig.parts[0];
+        let anchor_start = m.end - part0.anchor.len();
+        // The anchor sits `anchor_offset` bytes into part 0.
+        match anchor_start.checked_sub(part0.anchor_offset) {
+            Some(part_start) => sig.matches_with_first_at(data, part_start),
+            None => false,
+        }
+    }
+
+    /// Visits the name of every signature matching `data`, deduplicated, in
+    /// database order. Allocation-free up to [`Self::INLINE_SIGS`] signatures
+    /// (a stack bitset tracks verified hits), so a clean scan costs nothing
+    /// beyond the automaton walk.
+    pub fn matches_each<'a, F: FnMut(&'a str)>(&'a self, data: &[u8], mut f: F) {
+        if self.sigs.is_empty() {
+            return;
+        }
+        let words = self.sigs.len().div_ceil(64);
+        let mut inline = [0u64; Self::INLINE_SIGS / 64];
+        let mut spill: Vec<u64>;
+        let hit: &mut [u64] = if words <= inline.len() {
+            &mut inline[..words]
+        } else {
+            spill = vec![0u64; words];
+            &mut spill
+        };
+        let mut n_hits = 0u32;
         self.ac.find_each(data, |m| {
             let si = m.pattern;
-            if !hit[si] {
-                let sig = &self.sigs[si];
-                let part0 = &sig.parts[0];
-                let anchor_start = m.end - part0.anchor.len();
-                // The anchor sits `anchor_offset` bytes into part 0.
-                if let Some(part_start) = anchor_start.checked_sub(part0.anchor_offset) {
-                    if sig.matches_with_first_at(data, part_start) {
-                        hit[si] = true;
-                    }
-                }
+            if hit[si / 64] & (1u64 << (si % 64)) == 0 && self.verify(data, m) {
+                hit[si / 64] |= 1u64 << (si % 64);
+                n_hits += 1;
             }
             true
         });
-        self.sigs
-            .iter()
-            .zip(hit)
-            .filter_map(|(s, h)| h.then_some(s.name.as_str()))
-            .collect()
+        if n_hits == 0 {
+            return;
+        }
+        for (i, s) in self.sigs.iter().enumerate() {
+            if hit[i / 64] & (1u64 << (i % 64)) != 0 {
+                f(s.name.as_str());
+            }
+        }
+    }
+
+    /// Signature count covered by the stack bitset in [`Self::matches_each`].
+    pub const INLINE_SIGS: usize = 256;
+
+    /// Returns the names of all signatures matching `data`, deduplicated,
+    /// in database order.
+    pub fn matches(&self, data: &[u8]) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.matches_each(data, |name| out.push(name));
+        out
+    }
+
+    /// Returns the name of the first signature verified in stream order, or
+    /// `None`. Stops the automaton walk at the first verified hit, so a
+    /// "clean?" question on infected data is cheaper than a full census.
+    pub fn first_match(&self, data: &[u8]) -> Option<&str> {
+        let mut found = None;
+        self.ac.find_each(data, |m| {
+            if self.verify(data, m) {
+                found = Some(m.pattern);
+                return false;
+            }
+            true
+        });
+        found.map(|si| self.sigs[si].name.as_str())
     }
 
     /// True if any signature matches.
     pub fn is_infected(&self, data: &[u8]) -> bool {
-        !self.matches(data).is_empty()
+        self.first_match(data).is_some()
     }
 }
 
@@ -284,6 +333,36 @@ mod tests {
         db.add_literal("Lit.A", b"MAGIC-MARKER-BYTES").unwrap();
         let db = db.build().unwrap();
         assert!(db.is_infected(b"xxx MAGIC-MARKER-BYTES xxx"));
+    }
+
+    #[test]
+    fn first_match_agrees_with_matches() {
+        let db = build(&[("Worm.A", "6161616161"), ("Trojan.B", "6262626262")]);
+        assert_eq!(db.first_match(b"xx aaaaa yy"), Some("Worm.A"));
+        assert_eq!(db.first_match(b"xx bbbbb yy"), Some("Trojan.B"));
+        assert_eq!(db.first_match(b"clean bytes"), None);
+        // Stream order, not db order: whichever verifies first wins.
+        assert_eq!(db.first_match(b"bbbbb then aaaaa"), Some("Trojan.B"));
+        assert!(db.is_infected(b"aaaaa"));
+        assert!(!db.is_infected(b"aaaa"));
+    }
+
+    #[test]
+    fn matches_each_spills_past_inline_bitset() {
+        // More signatures than the stack bitset holds: the heap spill path
+        // must behave identically.
+        let mut db = SignatureDb::new();
+        let n = CompiledDb::INLINE_SIGS + 20;
+        for i in 0..n {
+            db.add_literal(
+                &format!("Sig.{i:04}"),
+                format!("needle-{i:04}-x").as_bytes(),
+            )
+            .unwrap();
+        }
+        let db = db.build().unwrap();
+        let hay = b"xx needle-0001-x yy needle-0270-x zz".to_vec();
+        assert_eq!(db.matches(&hay), vec!["Sig.0001", "Sig.0270"]);
     }
 
     proptest! {

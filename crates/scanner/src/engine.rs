@@ -88,57 +88,85 @@ impl Scanner {
             detections: Vec::new(),
             notes: Vec::new(),
         };
-        self.scan_inner(name, data, 0, &mut verdict);
+        let mut path = Vec::new();
+        self.scan_inner(name, &mut path, data, 0, &mut verdict);
         verdict
     }
 
-    fn scan_inner(&self, location: &str, data: &[u8], depth: usize, verdict: &mut Verdict) {
-        for hit in self.db.matches(data) {
-            let det = Detection {
-                name: hit.to_string(),
-                location: location.to_string(),
-            };
-            if !verdict.detections.iter().any(|d| d.name == det.name) {
-                verdict.detections.push(det);
+    fn scan_inner(
+        &self,
+        root: &str,
+        path: &mut Vec<String>,
+        data: &[u8],
+        depth: usize,
+        verdict: &mut Verdict,
+    ) {
+        let detections = &mut verdict.detections;
+        self.db.matches_each(data, |hit| {
+            // Location strings materialize only for a *new* detection; the
+            // common clean scan allocates nothing on this path.
+            if !detections.iter().any(|d| d.name == hit) {
+                detections.push(Detection {
+                    name: hit.to_string(),
+                    location: render_location(root, path),
+                });
             }
-        }
+        });
         if FileKind::from_magic(data) == FileKind::Zip {
             if depth >= self.config.max_archive_depth {
-                verdict
-                    .notes
-                    .push(format!("{location}: archive depth limit reached"));
+                verdict.notes.push(format!(
+                    "{}: archive depth limit reached",
+                    render_location(root, path)
+                ));
                 return;
             }
             match ZipArchive::parse_with_limit(data, self.config.max_entry_bytes) {
                 Ok(archive) => {
                     for (i, entry) in archive.entries().iter().enumerate() {
                         if i >= self.config.max_entries {
-                            verdict
-                                .notes
-                                .push(format!("{location}: entry limit reached"));
+                            verdict.notes.push(format!(
+                                "{}: entry limit reached",
+                                render_location(root, path)
+                            ));
                             break;
                         }
                         match archive.read(i) {
                             Ok(bytes) => {
-                                let inner = format!("{location}!{}", entry.name);
-                                self.scan_inner(&inner, &bytes, depth + 1, verdict);
+                                path.push(entry.name.clone());
+                                self.scan_inner(root, path, &bytes, depth + 1, verdict);
+                                path.pop();
                             }
                             Err(e) => {
-                                verdict
-                                    .notes
-                                    .push(format!("{location}!{}: unreadable ({e})", entry.name));
+                                path.push(entry.name.clone());
+                                verdict.notes.push(format!(
+                                    "{}: unreadable ({e})",
+                                    render_location(root, path)
+                                ));
+                                path.pop();
                             }
                         }
                     }
                 }
                 Err(e) => {
-                    verdict
-                        .notes
-                        .push(format!("{location}: corrupt archive ({e})"));
+                    verdict.notes.push(format!(
+                        "{}: corrupt archive ({e})",
+                        render_location(root, path)
+                    ));
                 }
             }
         }
     }
+}
+
+/// Renders a nested-object location, e.g. `pack.zip!setup.exe`.
+fn render_location(root: &str, path: &[String]) -> String {
+    let mut s = String::with_capacity(root.len() + path.iter().map(|p| p.len() + 1).sum::<usize>());
+    s.push_str(root);
+    for p in path {
+        s.push('!');
+        s.push_str(p);
+    }
+    s
 }
 
 #[cfg(test)]

@@ -24,12 +24,14 @@
 //! ```
 
 pub mod aho;
+pub mod cache;
 pub mod db;
 pub mod engine;
 pub mod filetype;
 pub mod sig;
 
 pub use aho::AhoCorasick;
+pub use cache::{VerdictCache, VerdictCacheStats};
 pub use db::{CompiledDb, SignatureDb, SignatureError};
 pub use engine::{Detection, ScanConfig, Scanner, Verdict};
 pub use filetype::{FileClass, FileKind};
