@@ -9,7 +9,7 @@
 //! ```
 
 use p2pmal_bench::{run_seeds, BenchConfig, RunArtifact};
-use p2pmal_core::{LimewireScenario, OpenFtScenario, Study};
+use p2pmal_core::{LimewireScenario, NetworkRun, OpenFtScenario, Study};
 use p2pmal_crawler::ScanStats;
 
 /// One line of scan-pipeline accounting: how many download bodies reached
@@ -24,6 +24,44 @@ fn scan_line(label: &str, s: &ScanStats) {
         s.cache_hits,
         s.hit_rate_pct(),
         s.distinct_payloads,
+    );
+}
+
+/// Fault-injection and retry-pipeline accounting, printed only when a
+/// non-default `P2PMAL_FAULTS` profile is active (the fault-free study's
+/// stdout stays byte-identical to the pre-fault-layer build).
+fn resilience_lines(label: &str, run: &NetworkRun, profile: &str) {
+    let log = &run.log;
+    let m = &run.sim_metrics;
+    let causes: Vec<String> = log
+        .failures
+        .parts()
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(k, n)| format!("{k} {n}"))
+        .collect();
+    let causes = if causes.is_empty() {
+        "none".to_string()
+    } else {
+        causes.join(" / ")
+    };
+    println!(
+        "  resilience [{label}] (profile {profile}): {} retries ({} recovered), {} terminal failures, {} failed attempts by cause: {causes}",
+        log.retries_scheduled,
+        log.retry_successes,
+        log.downloads_failed,
+        log.failures.total(),
+    );
+    println!(
+        "  faults injected [{label}]: {} chunks dropped, {} corrupted, {} resets, {} latency spikes, {} churn downs / {} ups; {} push fallbacks, {} unscannable",
+        m.faults_chunks_dropped,
+        m.faults_chunks_corrupted,
+        m.faults_resets,
+        m.faults_latency_spikes,
+        m.faults_churn_downs,
+        m.faults_churn_ups,
+        log.push_fallbacks,
+        log.unscannable,
     );
 }
 
@@ -74,6 +112,18 @@ fn sweep(cfg: &BenchConfig, seeds: &[u64]) {
         scan_line("LimeWire", &run.limewire.scan);
         artifact_line(&run.openft);
         scan_line("OpenFT", &run.openft.scan);
+        if cfg.faults != "none" {
+            for (label, a) in [("LimeWire", &run.limewire), ("OpenFT", &run.openft)] {
+                let r = &a.resilience;
+                println!(
+                    "  resilience [{label}]: {} retries ({} recovered), {} failed,                      {} faults injected",
+                    r.retries_scheduled,
+                    r.retry_successes,
+                    a.downloads_failed,
+                    r.faults_chunks_dropped + r.faults_chunks_corrupted + r.faults_resets,
+                );
+            }
+        }
     }
 }
 
@@ -93,6 +143,9 @@ fn main() {
     } else {
         OpenFtScenario::paper_scale(cfg.seed ^ 0xF7)
     };
+    let (plan, retry) = cfg.fault_plan();
+    lw = lw.with_faults(plan, retry);
+    ft = ft.with_faults(plan, retry);
     if let Some(days) = cfg.days {
         lw.days = days;
         ft.days = days;
@@ -108,6 +161,14 @@ fn main() {
     }
     if let Some(run) = report.openft.as_ref() {
         scan_line("OpenFT", &run.log.scan);
+    }
+    if cfg.faults != "none" {
+        if let Some(run) = report.limewire.as_ref() {
+            resilience_lines("LimeWire", run, &cfg.faults);
+        }
+        if let Some(run) = report.openft.as_ref() {
+            resilience_lines("OpenFT", run, &cfg.faults);
+        }
     }
     let comparisons = report.comparisons();
     eprintln!("{}", comparisons.to_json());

@@ -17,11 +17,20 @@
 //! * `P2PMAL_DAYS=<n>` — override the collection length;
 //! * `P2PMAL_TRACE=1` — per-day event/wall-time trace during simulation,
 //!   including buffer-pool, queue-depth and scan-pipeline (cache
-//!   hit/miss/eviction, bytes hashed) statistics.
+//!   hit/miss/eviction, bytes hashed) statistics;
+//! * `P2PMAL_FAULTS=none|mild|harsh` — network fault profile: packet loss,
+//!   spontaneous resets, latency spikes, corruption and host churn, with
+//!   the retry policy calibrated for each profile (`none` is the default
+//!   and is byte-identical to a fault-free simulator);
+//! * `P2PMAL_RETRIES=<n>` — override the per-object retry budget of the
+//!   selected fault profile (for retry-budget sweeps).
 
-use p2pmal_core::{LimewireScenario, OpenFtScenario};
-use p2pmal_crawler::{HostKey, Network, ResolvedResponse, ResponseRecord, ScanStats};
+use p2pmal_core::{fault_profile, LimewireScenario, OpenFtScenario};
+use p2pmal_crawler::{
+    FailureBreakdown, HostKey, Network, ResolvedResponse, ResponseRecord, RetryPolicy, ScanStats,
+};
 use p2pmal_json::Value;
+use p2pmal_netsim::FaultPlan;
 use p2pmal_netsim::SimTime;
 use std::io::Write;
 use std::net::Ipv4Addr;
@@ -40,7 +49,28 @@ pub struct RunArtifact {
     /// Defaults to zero when loading artifacts written before the counters
     /// existed.
     pub scan: ScanStats,
+    /// Fault-injection and retry-pipeline counters. All-zero for the
+    /// default `none` profile and for artifacts written before the fault
+    /// layer existed.
+    pub resilience: ResilienceStats,
     pub resolved: Vec<ResolvedResponse>,
+}
+
+/// Fault/retry accounting carried by a [`RunArtifact`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ResilienceStats {
+    pub retries_scheduled: u64,
+    pub retry_successes: u64,
+    pub push_fallbacks: u64,
+    pub unscannable: u64,
+    /// Failed download *attempts* by cause.
+    pub failures: FailureBreakdown,
+    pub faults_chunks_dropped: u64,
+    pub faults_chunks_corrupted: u64,
+    pub faults_resets: u64,
+    pub faults_latency_spikes: u64,
+    pub faults_churn_downs: u64,
+    pub faults_churn_ups: u64,
 }
 
 /// Harness configuration from the environment.
@@ -53,6 +83,10 @@ pub struct BenchConfig {
     /// `run_study` runs one full two-network study per seed, each on its
     /// own thread.
     pub seeds: Option<Vec<u64>>,
+    /// `P2PMAL_FAULTS=none|mild|harsh` — fault profile name.
+    pub faults: String,
+    /// `P2PMAL_RETRIES=<n>` — retry-budget override on top of the profile.
+    pub retries: Option<u8>,
 }
 
 impl BenchConfig {
@@ -72,12 +106,31 @@ impl BenchConfig {
                 .filter_map(|s| s.trim().parse().ok())
                 .collect::<Vec<u64>>()
         });
+        let faults = std::env::var("P2PMAL_FAULTS").unwrap_or_else(|_| "none".into());
+        assert!(
+            fault_profile(&faults).is_some(),
+            "P2PMAL_FAULTS={faults:?} is not a known profile (none|mild|harsh)"
+        );
+        let retries = std::env::var("P2PMAL_RETRIES")
+            .ok()
+            .and_then(|v| v.parse().ok());
         BenchConfig {
             quick,
             seed,
             days,
             seeds: seeds.filter(|s| !s.is_empty()),
+            faults,
+            retries,
         }
+    }
+
+    /// The fault plan + retry policy this configuration selects.
+    pub fn fault_plan(&self) -> (FaultPlan, RetryPolicy) {
+        let (plan, mut retry) = fault_profile(&self.faults).expect("profile validated in from_env");
+        if let Some(n) = self.retries {
+            retry.max_retries = n;
+        }
+        (plan, retry)
     }
 
     /// This configuration re-keyed to another seed (for sweeps).
@@ -94,12 +147,22 @@ impl BenchConfig {
             .days
             .map(|d| d.to_string())
             .unwrap_or_else(|| "default".into());
-        format!(
+        let mut tag = format!(
             "{}-{}-{}",
             if self.quick { "quick" } else { "paper" },
             self.seed,
             days
-        )
+        );
+        // Historical artifacts (pre-fault-layer) carry no suffix; only
+        // non-default profiles extend the cache key.
+        if self.faults != "none" {
+            tag.push('-');
+            tag.push_str(&self.faults);
+        }
+        if let Some(n) = self.retries {
+            tag.push_str(&format!("-r{n}"));
+        }
+        tag
     }
 }
 
@@ -232,6 +295,72 @@ fn scan_from_json(v: &Value) -> Option<ScanStats> {
     })
 }
 
+fn failures_to_json(f: &FailureBreakdown) -> Value {
+    Value::Obj(
+        f.parts()
+            .iter()
+            .map(|&(k, n)| (k.to_string(), n.into()))
+            .collect(),
+    )
+}
+
+fn failures_from_json(v: &Value) -> Option<FailureBreakdown> {
+    let n = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+    Some(FailureBreakdown {
+        timeout: n("timeout"),
+        reset: n("reset"),
+        truncated: n("truncated"),
+        peer_gone: n("peer_gone"),
+        corrupt: n("corrupt"),
+        other: n("other"),
+    })
+}
+
+fn resilience_to_json(r: &ResilienceStats) -> Value {
+    Value::Obj(vec![
+        ("retries_scheduled".into(), r.retries_scheduled.into()),
+        ("retry_successes".into(), r.retry_successes.into()),
+        ("push_fallbacks".into(), r.push_fallbacks.into()),
+        ("unscannable".into(), r.unscannable.into()),
+        ("failures".into(), failures_to_json(&r.failures)),
+        (
+            "faults_chunks_dropped".into(),
+            r.faults_chunks_dropped.into(),
+        ),
+        (
+            "faults_chunks_corrupted".into(),
+            r.faults_chunks_corrupted.into(),
+        ),
+        ("faults_resets".into(), r.faults_resets.into()),
+        (
+            "faults_latency_spikes".into(),
+            r.faults_latency_spikes.into(),
+        ),
+        ("faults_churn_downs".into(), r.faults_churn_downs.into()),
+        ("faults_churn_ups".into(), r.faults_churn_ups.into()),
+    ])
+}
+
+fn resilience_from_json(v: &Value) -> Option<ResilienceStats> {
+    let n = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+    Some(ResilienceStats {
+        retries_scheduled: n("retries_scheduled"),
+        retry_successes: n("retry_successes"),
+        push_fallbacks: n("push_fallbacks"),
+        unscannable: n("unscannable"),
+        failures: v
+            .get("failures")
+            .and_then(failures_from_json)
+            .unwrap_or_default(),
+        faults_chunks_dropped: n("faults_chunks_dropped"),
+        faults_chunks_corrupted: n("faults_chunks_corrupted"),
+        faults_resets: n("faults_resets"),
+        faults_latency_spikes: n("faults_latency_spikes"),
+        faults_churn_downs: n("faults_churn_downs"),
+        faults_churn_ups: n("faults_churn_ups"),
+    })
+}
+
 fn artifact_to_json(a: &RunArtifact) -> Value {
     Value::Obj(vec![
         (
@@ -249,6 +378,7 @@ fn artifact_to_json(a: &RunArtifact) -> Value {
         ("downloads_failed".into(), a.downloads_failed.into()),
         ("sim_events".into(), a.sim_events.into()),
         ("scan".into(), scan_to_json(&a.scan)),
+        ("resilience".into(), resilience_to_json(&a.resilience)),
         (
             "resolved".into(),
             Value::Arr(a.resolved.iter().map(resolved_to_json).collect()),
@@ -278,8 +408,31 @@ fn artifact_from_json(v: &Value) -> Option<RunArtifact> {
         sim_events: v.get("sim_events")?.as_u64()?,
         // Artifacts written before the scan pipeline carry no counters.
         scan: v.get("scan").and_then(scan_from_json).unwrap_or_default(),
+        // Likewise for artifacts predating the fault layer.
+        resilience: v
+            .get("resilience")
+            .and_then(resilience_from_json)
+            .unwrap_or_default(),
         resolved,
     })
+}
+
+/// Collects the artifact's resilience counters from a finished run.
+fn resilience_of(run: &p2pmal_core::NetworkRun) -> ResilienceStats {
+    let m = &run.sim_metrics;
+    ResilienceStats {
+        retries_scheduled: run.log.retries_scheduled,
+        retry_successes: run.log.retry_successes,
+        push_fallbacks: run.log.push_fallbacks,
+        unscannable: run.log.unscannable,
+        failures: run.log.failures,
+        faults_chunks_dropped: m.faults_chunks_dropped,
+        faults_chunks_corrupted: m.faults_chunks_corrupted,
+        faults_resets: m.faults_resets,
+        faults_latency_spikes: m.faults_latency_spikes,
+        faults_churn_downs: m.faults_churn_downs,
+        faults_churn_ups: m.faults_churn_ups,
+    }
 }
 
 /// Returns the (possibly cached) LimeWire measurement run.
@@ -297,12 +450,14 @@ pub fn limewire_run(cfg: &BenchConfig) -> RunArtifact {
     } else {
         LimewireScenario::paper_scale(cfg.seed)
     };
+    let (plan, retry) = cfg.fault_plan();
+    scenario = scenario.with_faults(plan, retry);
     if let Some(days) = cfg.days {
         scenario.days = days;
     }
     eprintln!(
-        "[p2pmal] simulating LimeWire: {} days, {} ultrapeers, {} clean leaves...",
-        scenario.days, scenario.ultrapeers, scenario.clean_leaves
+        "[p2pmal] simulating LimeWire: {} days, {} ultrapeers, {} clean leaves, faults={}...",
+        scenario.days, scenario.ultrapeers, scenario.clean_leaves, cfg.faults
     );
     let started = std::time::Instant::now();
     let run = scenario.run_with_progress(|d| eprintln!("[p2pmal]   LimeWire day {d} done"));
@@ -319,6 +474,7 @@ pub fn limewire_run(cfg: &BenchConfig) -> RunArtifact {
         downloads_failed: run.log.downloads_failed,
         sim_events: run.sim_metrics.events_processed,
         scan: run.log.scan,
+        resilience: resilience_of(&run),
         resolved: run.resolved,
     };
     store(&path, &artifact);
@@ -337,12 +493,14 @@ pub fn openft_run(cfg: &BenchConfig) -> RunArtifact {
     } else {
         OpenFtScenario::paper_scale(cfg.seed ^ 0xF7)
     };
+    let (plan, retry) = cfg.fault_plan();
+    scenario = scenario.with_faults(plan, retry);
     if let Some(days) = cfg.days {
         scenario.days = days;
     }
     eprintln!(
-        "[p2pmal] simulating OpenFT: {} days, {} search nodes, {} users...",
-        scenario.days, scenario.search_nodes, scenario.clean_users
+        "[p2pmal] simulating OpenFT: {} days, {} search nodes, {} users, faults={}...",
+        scenario.days, scenario.search_nodes, scenario.clean_users, cfg.faults
     );
     let started = std::time::Instant::now();
     let run = scenario.run_with_progress(|d| eprintln!("[p2pmal]   OpenFT day {d} done"));
@@ -359,6 +517,7 @@ pub fn openft_run(cfg: &BenchConfig) -> RunArtifact {
         downloads_failed: run.log.downloads_failed,
         sim_events: run.sim_metrics.events_processed,
         scan: run.log.scan,
+        resilience: resilience_of(&run),
         resolved: run.resolved,
     };
     store(&path, &artifact);

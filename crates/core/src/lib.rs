@@ -26,5 +26,5 @@
 pub mod scenario;
 pub mod study;
 
-pub use scenario::{InfectionSpec, LimewireScenario, NetworkRun, OpenFtScenario};
+pub use scenario::{fault_profile, InfectionSpec, LimewireScenario, NetworkRun, OpenFtScenario};
 pub use study::{FilterRow, Study, StudyReport};

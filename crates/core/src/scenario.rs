@@ -23,11 +23,11 @@ use p2pmal_corpus::catalog::{Catalog, CatalogConfig};
 use p2pmal_corpus::{ContentStore, FamilyId, HostLibrary, Roster};
 use p2pmal_crawler::{
     CrawlLog, FtCrawler, FtCrawlerConfig, GnutellaCrawler, GnutellaCrawlerConfig, Network,
-    ResolvedResponse, ScanStats, WorkloadConfig, DEFAULT_SCAN_CACHE_ENTRIES,
+    ResolvedResponse, RetryPolicy, ScanStats, WorkloadConfig, DEFAULT_SCAN_CACHE_ENTRIES,
 };
 use p2pmal_gnutella::servent::{Servent, ServentConfig, SharedWorld};
 use p2pmal_netsim::{
-    NodeSpec, SchedulerKind, SimConfig, SimDuration, SimMetrics, SimTime, Simulator,
+    FaultPlan, NodeSpec, SchedulerKind, SimConfig, SimDuration, SimMetrics, SimTime, Simulator,
 };
 use p2pmal_openft::node::{FtConfig, FtNode};
 use p2pmal_scanner::Scanner;
@@ -56,6 +56,18 @@ impl InfectionSpec {
     }
 }
 
+/// Named fault/resilience profile: the netsim [`FaultPlan`] paired with the
+/// crawler [`RetryPolicy`] calibrated for it. These are the values behind
+/// the `P2PMAL_FAULTS=none|mild|harsh` knob.
+pub fn fault_profile(name: &str) -> Option<(FaultPlan, RetryPolicy)> {
+    match name {
+        "none" => Some((FaultPlan::none(), RetryPolicy::legacy())),
+        "mild" => Some((FaultPlan::mild(), RetryPolicy::backoff(3, 30))),
+        "harsh" => Some((FaultPlan::harsh(), RetryPolicy::backoff(4, 15))),
+        _ => None,
+    }
+}
+
 /// The result of running one network scenario.
 pub struct NetworkRun {
     pub network: Network,
@@ -73,6 +85,26 @@ fn trace_enabled() -> bool {
 /// health (queue depth + peak, pool hit rate, bytes recycled), plus the
 /// scan-pipeline counters (bodies, cache hits/misses/evictions, distinct
 /// payloads, bytes hashed) when a crawler snapshot is available.
+/// Per-day crawler-side counters a trace line reports alongside the
+/// simulator metrics.
+struct DayCrawlStats {
+    scan: ScanStats,
+    retries: u64,
+    retry_successes: u64,
+    failures: u64,
+}
+
+impl DayCrawlStats {
+    fn of(log: &CrawlLog) -> Self {
+        DayCrawlStats {
+            scan: log.scan,
+            retries: log.retries_scheduled,
+            retry_successes: log.retry_successes,
+            failures: log.failures.total(),
+        }
+    }
+}
+
 fn trace_day(
     net: &str,
     day: u64,
@@ -80,27 +112,55 @@ fn trace_day(
     delta: u64,
     wall_secs: f64,
     sim: &Simulator,
-    scan: Option<&ScanStats>,
+    crawl: Option<&DayCrawlStats>,
 ) {
     if !trace_enabled() {
         return;
     }
     let m = sim.metrics();
-    let scan_part = match scan {
-        Some(s) => format!(
-            ", scan {} bodies / {} hits / {} misses / {} evict / {} distinct / {} KiB hashed",
-            s.bodies,
-            s.cache_hits,
-            s.cache_misses,
-            s.cache_evictions,
-            s.distinct_payloads,
-            s.bytes_hashed / 1024,
-        ),
+    let scan_part = match crawl {
+        Some(c) => {
+            let s = &c.scan;
+            format!(
+                ", scan {} bodies / {} hits / {} misses / {} evict / {} distinct / {} KiB hashed",
+                s.bodies,
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_evictions,
+                s.distinct_payloads,
+                s.bytes_hashed / 1024,
+            )
+        }
         None => String::new(),
+    };
+    let fault_events = m.faults_chunks_dropped
+        + m.faults_chunks_corrupted
+        + m.faults_resets
+        + m.faults_latency_spikes
+        + m.faults_churn_downs;
+    let fault_part = if fault_events > 0 {
+        format!(
+            ", faults {} drop / {} corrupt / {} reset / {} spike / {} down / {} up",
+            m.faults_chunks_dropped,
+            m.faults_chunks_corrupted,
+            m.faults_resets,
+            m.faults_latency_spikes,
+            m.faults_churn_downs,
+            m.faults_churn_ups,
+        )
+    } else {
+        String::new()
+    };
+    let resilience_part = match crawl {
+        Some(c) if c.retries + c.failures > 0 => format!(
+            ", retries {} scheduled / {} recovered / {} terminal failures",
+            c.retries, c.retry_successes, c.failures,
+        ),
+        _ => String::new(),
     };
     eprintln!(
         "[trace] {net} day {day}: {events} events (+{delta}), {wall_secs:.1}s wall, \
-         queue {} pending (peak {}), pool {} hits / {} misses / {} KiB recycled (free peak {}){scan_part}",
+         queue {} pending (peak {}), pool {} hits / {} misses / {} KiB recycled (free peak {}){scan_part}{fault_part}{resilience_part}",
         sim.pending_events(),
         m.queue_high_water,
         m.pool_hits,
@@ -110,16 +170,19 @@ fn trace_day(
     );
 }
 
-/// Clones the simulator metrics and fills in the scan-pipeline counters the
-/// harness observed through the crawl log.
-fn metrics_with_scan(sim: &Simulator, scan: ScanStats) -> SimMetrics {
+/// Clones the simulator metrics and fills in the counters the harness
+/// observed through the crawl log (scan pipeline, download retries).
+fn metrics_with_log(sim: &Simulator, log: &CrawlLog) -> SimMetrics {
     let mut m = sim.metrics().clone();
+    let scan = log.scan;
     m.scan_bodies = scan.bodies;
     m.scan_bytes_hashed = scan.bytes_hashed;
     m.scan_cache_hits = scan.cache_hits;
     m.scan_cache_misses = scan.cache_misses;
     m.scan_cache_evictions = scan.cache_evictions;
     m.scan_distinct_payloads = scan.distinct_payloads;
+    m.dl_retries = log.retries_scheduled;
+    m.dl_retry_successes = log.retry_successes;
     m
 }
 
@@ -190,6 +253,12 @@ pub struct LimewireScenario {
     /// Verdict-cache capacity for the crawler's scan pipeline (0 disables;
     /// outcomes are identical either way, only wall time changes).
     pub scan_cache_entries: usize,
+    /// Network fault injection ([`FaultPlan::none()`] by default, which is
+    /// byte-identical to a fault-free simulator).
+    pub faults: FaultPlan,
+    /// Crawler download retry policy ([`RetryPolicy::legacy()`] by
+    /// default: the historical one-immediate-fallback behavior).
+    pub retry: RetryPolicy,
 }
 
 impl LimewireScenario {
@@ -215,7 +284,16 @@ impl LimewireScenario {
             ambient_query: Some(SimDuration::from_hours(1)),
             scheduler: SchedulerKind::Calendar,
             scan_cache_entries: DEFAULT_SCAN_CACHE_ENTRIES,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::legacy(),
         }
+    }
+
+    /// Applies a fault/resilience profile (see [`fault_profile`]).
+    pub fn with_faults(mut self, faults: FaultPlan, retry: RetryPolicy) -> Self {
+        self.faults = faults;
+        self.retry = retry;
+        self
     }
 
     /// A minutes-scale configuration for tests and examples.
@@ -273,6 +351,7 @@ impl LimewireScenario {
         let mut sim = Simulator::new(
             SimConfig {
                 scheduler: self.scheduler,
+                faults: self.faults,
                 ..SimConfig::default()
             },
             self.seed,
@@ -324,9 +403,10 @@ impl LimewireScenario {
             }
         }
 
-        // The instrumented client.
+        // The instrumented client. Durable: the measurement host never
+        // churns, only the network around it does.
         let crawler = sim.spawn(
-            NodeSpec::public().listen(6346),
+            NodeSpec::public().listen(6346).durable(),
             Box::new(GnutellaCrawler::new(
                 ServentConfig::leaf().with_bootstrap(up_addrs.clone()),
                 world.clone(),
@@ -334,6 +414,7 @@ impl LimewireScenario {
                 GnutellaCrawlerConfig {
                     workload: self.workload.clone(),
                     scan_cache_entries: self.scan_cache_entries,
+                    retry: self.retry,
                     ..Default::default()
                 },
             )),
@@ -344,14 +425,15 @@ impl LimewireScenario {
             let t0 = std::time::Instant::now();
             sim.run_until(SimTime::from_days(day));
             let ev = sim.metrics().events_processed;
-            let scan = if trace_enabled() {
+            let crawl = if trace_enabled() {
                 sim.with_node(crawler, |app, _| {
-                    app.as_any_mut()
-                        .expect("crawler downcasts")
-                        .downcast_mut::<GnutellaCrawler>()
-                        .expect("crawler node")
-                        .log()
-                        .scan
+                    DayCrawlStats::of(
+                        app.as_any_mut()
+                            .expect("crawler downcasts")
+                            .downcast_mut::<GnutellaCrawler>()
+                            .expect("crawler node")
+                            .log(),
+                    )
                 })
             } else {
                 None
@@ -363,7 +445,7 @@ impl LimewireScenario {
                 ev - last_events,
                 t0.elapsed().as_secs_f64(),
                 &sim,
-                scan.as_ref(),
+                crawl.as_ref(),
             );
             last_events = ev;
             progress(day);
@@ -380,7 +462,7 @@ impl LimewireScenario {
         let resolved = log.resolved();
         NetworkRun {
             network: Network::Limewire,
-            sim_metrics: metrics_with_scan(&sim, log.scan),
+            sim_metrics: metrics_with_log(&sim, &log),
             log,
             resolved,
             world,
@@ -416,6 +498,10 @@ pub struct OpenFtScenario {
     /// Verdict-cache capacity for the crawler's scan pipeline (0 disables;
     /// outcomes are identical either way, only wall time changes).
     pub scan_cache_entries: usize,
+    /// Network fault injection ([`FaultPlan::none()`] by default).
+    pub faults: FaultPlan,
+    /// Crawler download retry policy ([`RetryPolicy::legacy()`] default).
+    pub retry: RetryPolicy,
 }
 
 impl OpenFtScenario {
@@ -453,7 +539,16 @@ impl OpenFtScenario {
             ambient_query: Some(SimDuration::from_hours(1)),
             scheduler: SchedulerKind::Calendar,
             scan_cache_entries: DEFAULT_SCAN_CACHE_ENTRIES,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::legacy(),
         }
+    }
+
+    /// Applies a fault/resilience profile (see [`fault_profile`]).
+    pub fn with_faults(mut self, faults: FaultPlan, retry: RetryPolicy) -> Self {
+        self.faults = faults;
+        self.retry = retry;
+        self
     }
 
     pub fn quick(seed: u64) -> Self {
@@ -491,6 +586,7 @@ impl OpenFtScenario {
         let mut sim = Simulator::new(
             SimConfig {
                 scheduler: self.scheduler,
+                faults: self.faults,
                 ..SimConfig::default()
             },
             self.seed,
@@ -510,23 +606,28 @@ impl OpenFtScenario {
         let spawn_user = |sim: &mut Simulator,
                           lib: HostLibrary,
                           ambient: Option<SimDuration>,
-                          upload: Option<u64>| {
+                          upload: Option<u64>,
+                          durable: bool| {
             let mut cfg = FtConfig::user().with_bootstrap(search_addrs.clone());
             cfg.auto_query = ambient;
             let mut spec = NodeSpec::public().listen(1215);
             if let Some(bps) = upload {
                 spec = spec.upload(bps);
             }
+            if durable {
+                spec = spec.durable();
+            }
             sim.spawn(spec, Box::new(FtNode::new(cfg, world.clone(), lib)))
         };
 
         for _ in 0..self.clean_users {
             let lib = clean_library(&world, self.files_per_user, &mut rng);
-            spawn_user(&mut sim, lib, self.ambient_query, None);
+            spawn_user(&mut sim, lib, self.ambient_query, None, false);
         }
 
         // The superspreader: one always-on, well-provisioned host sharing
-        // the top family under many popular titles.
+        // the top family under many popular titles. Durable: "always-on"
+        // is its defining property, so churn never takes it down.
         let mut spreader_lib = clean_library(&world, self.files_per_user, &mut rng);
         spreader_lib.infect_superspreader(
             world.roster.get(self.superspreader_family),
@@ -534,7 +635,7 @@ impl OpenFtScenario {
             self.superspreader_baits,
             &mut rng,
         );
-        spawn_user(&mut sim, spreader_lib, None, Some(512_000));
+        spawn_user(&mut sim, spreader_lib, None, Some(512_000), true);
 
         // Minor infected users: each baits a few uniformly-chosen titles.
         for (family, hosts, baits) in &self.minor_infections {
@@ -546,7 +647,7 @@ impl OpenFtScenario {
                     *baits,
                     &mut rng,
                 );
-                spawn_user(&mut sim, lib, None, None);
+                spawn_user(&mut sim, lib, None, None, false);
             }
         }
 
@@ -558,7 +659,7 @@ impl OpenFtScenario {
             ..FtConfig::user().with_bootstrap(search_addrs.clone())
         };
         let crawler = sim.spawn(
-            NodeSpec::public().listen(1215),
+            NodeSpec::public().listen(1215).durable(),
             Box::new(FtCrawler::new(
                 crawler_cfg,
                 world.clone(),
@@ -566,6 +667,7 @@ impl OpenFtScenario {
                 FtCrawlerConfig {
                     workload: self.workload.clone(),
                     scan_cache_entries: self.scan_cache_entries,
+                    retry: self.retry,
                     ..Default::default()
                 },
             )),
@@ -576,14 +678,15 @@ impl OpenFtScenario {
             let t0 = std::time::Instant::now();
             sim.run_until(SimTime::from_days(day));
             let ev = sim.metrics().events_processed;
-            let scan = if trace_enabled() {
+            let crawl = if trace_enabled() {
                 sim.with_node(crawler, |app, _| {
-                    app.as_any_mut()
-                        .expect("crawler downcasts")
-                        .downcast_mut::<FtCrawler>()
-                        .expect("crawler node")
-                        .log()
-                        .scan
+                    DayCrawlStats::of(
+                        app.as_any_mut()
+                            .expect("crawler downcasts")
+                            .downcast_mut::<FtCrawler>()
+                            .expect("crawler node")
+                            .log(),
+                    )
                 })
             } else {
                 None
@@ -595,7 +698,7 @@ impl OpenFtScenario {
                 ev - last_events,
                 t0.elapsed().as_secs_f64(),
                 &sim,
-                scan.as_ref(),
+                crawl.as_ref(),
             );
             last_events = ev;
             progress(day);
@@ -612,7 +715,7 @@ impl OpenFtScenario {
         let resolved = log.resolved();
         NetworkRun {
             network: Network::OpenFt,
-            sim_metrics: metrics_with_scan(&sim, log.scan),
+            sim_metrics: metrics_with_log(&sim, &log),
             log,
             resolved,
             world,

@@ -1,0 +1,95 @@
+//! Golden-baseline guard for the fault-injection layer: with the default
+//! `FaultPlan::none()` the seed-2006 quick study must reproduce these
+//! digests bit-for-bit, in every process. Any extra RNG draw, reordered
+//! event or changed retry path on the fault-free code path will move them.
+//!
+//! Provenance: the pre-fault-injection tree computed the LimeWire digest
+//! from a process-random trajectory — query fan-out and ping-target choice
+//! leaked `HashMap` iteration order into event sequencing, so the "golden"
+//! value silently varied between runs of the same binary. This PR sorts
+//! those iteration sites; the digests below are the now-stable trajectories
+//! (the OpenFT value is unchanged from the pre-fault build, whose OpenFT
+//! path never hit the order leak).
+
+use p2pmal_core::{LimewireScenario, NetworkRun, OpenFtScenario};
+use p2pmal_crawler::RetryPolicy;
+use p2pmal_hashes::Sha1;
+use p2pmal_netsim::FaultPlan;
+
+/// Canonical digest over everything the study reports: every resolved
+/// response (with verdict) plus the log counters. Deliberately excludes
+/// wall-time and scan-cache internals, which are allowed to vary.
+fn digest(run: &NetworkRun) -> String {
+    let mut h = Sha1::new();
+    let mut line = String::new();
+    for r in &run.resolved {
+        use std::fmt::Write;
+        line.clear();
+        let _ = writeln!(
+            line,
+            "{}|{}|{}|{}|{}|{}:{}|{}|{:?}|{}|{}|{}",
+            r.record.at.as_micros(),
+            r.record.day,
+            r.record.query,
+            r.record.filename,
+            r.record.size,
+            r.record.source_ip,
+            r.record.source_port,
+            r.record.needs_push,
+            r.record.host,
+            r.scanned,
+            r.malware.as_deref().unwrap_or("-"),
+            r.sha1.map(|d| d.to_hex()).unwrap_or_default(),
+        );
+        h.update(line.as_bytes());
+    }
+    let counters = format!(
+        "queries={} attempted={} failed={} events={}",
+        run.log.queries_issued,
+        run.log.downloads_attempted,
+        run.log.downloads_failed,
+        run.sim_metrics.events_processed,
+    );
+    h.update(counters.as_bytes());
+    h.finalize().to_hex()
+}
+
+#[test]
+fn limewire_quick_seed_2006_matches_fault_free_baseline() {
+    let run = LimewireScenario::quick(2006).run();
+    assert_eq!(
+        digest(&run),
+        "e23760a68ae66f482fe75fb625ea3782b0f42ea1",
+        "fault-free LimeWire quick study diverged from the recorded baseline"
+    );
+    // An *explicit* empty fault plan must be indistinguishable from the
+    // default: the fault layer performs zero RNG draws and schedules zero
+    // events when every probability is zero.
+    let explicit = LimewireScenario::quick(2006)
+        .with_faults(FaultPlan::none(), RetryPolicy::legacy())
+        .run();
+    assert_eq!(
+        digest(&explicit),
+        digest(&run),
+        "FaultPlan::none() perturbed the fault-free LimeWire trajectory"
+    );
+}
+
+#[test]
+fn openft_quick_seed_2006_matches_fault_free_baseline() {
+    // Same seed derivation run_study uses for the OpenFT half.
+    let run = OpenFtScenario::quick(2006 ^ 0xF7).run();
+    assert_eq!(
+        digest(&run),
+        "76a3974f9eba95c5ea11bd8eed620f8144ede6a7",
+        "fault-free OpenFT quick study diverged from the pre-fault-injection baseline"
+    );
+    let explicit = OpenFtScenario::quick(2006 ^ 0xF7)
+        .with_faults(FaultPlan::none(), RetryPolicy::legacy())
+        .run();
+    assert_eq!(
+        digest(&explicit),
+        digest(&run),
+        "FaultPlan::none() perturbed the fault-free OpenFT trajectory"
+    );
+}

@@ -7,6 +7,7 @@
 //! behaviour lives here.
 
 use crate::log::{CrawlLog, HostKey, HostSizeKey, NameSizeKey, ResponseRecord, ScanOutcome};
+use crate::retry::{classify_gnutella, FailCause, RetryPolicy};
 use crate::scan::ScanPipeline;
 use crate::workload::{Workload, WorkloadConfig};
 use p2pmal_gnutella::servent::{
@@ -22,6 +23,9 @@ use std::sync::Arc;
 /// Crawler-owned timer tokens live far above the servent's namespace.
 const CRAWLER_BASE: u64 = 1 << 48;
 const TIMER_QUERY: u64 = CRAWLER_BASE | 1;
+/// Retry timers: `TIMER_RETRY_BASE | seq`. Bit 40 separates them from the
+/// crawler's other tokens.
+const TIMER_RETRY_BASE: u64 = CRAWLER_BASE | (1 << 40);
 
 /// Crawler tunables.
 #[derive(Clone)]
@@ -31,9 +35,10 @@ pub struct GnutellaCrawlerConfig {
     pub max_concurrent_downloads: usize,
     /// Warm-up before the first query, letting the overlay converge.
     pub start_delay: SimDuration,
-    /// Per-object retry budget: one direct attempt plus at most this many
-    /// PUSH attempts.
-    pub push_retries: u8,
+    /// Per-object retry budget and pacing. The default
+    /// [`RetryPolicy::legacy()`] is the historical behavior: one immediate
+    /// Direct→PUSH fallback, no backoff timers.
+    pub retry: RetryPolicy,
     /// Verdict-cache capacity for the scan pipeline (0 disables caching).
     pub scan_cache_entries: usize,
 }
@@ -44,16 +49,18 @@ impl Default for GnutellaCrawlerConfig {
             workload: WorkloadConfig::default(),
             max_concurrent_downloads: 16,
             start_delay: SimDuration::from_secs(300),
-            push_retries: 1,
+            retry: RetryPolicy::legacy(),
             scan_cache_entries: crate::scan::DEFAULT_SCAN_CACHE_ENTRIES,
         }
     }
 }
 
+/// A downloadable object somewhere in its attempt lifecycle.
 struct InFlight {
     record: ResponseRecord,
     request: DownloadRequest,
-    pushes_left: u8,
+    /// 0 on the first try, incremented per retry.
+    attempt: u8,
 }
 
 /// The instrumented Gnutella client.
@@ -66,9 +73,13 @@ pub struct GnutellaCrawler {
     /// Query GUID -> query text, for attributing hits.
     queries: HashMap<Guid, String>,
     query_order: VecDeque<Guid>,
-    /// Downloadable responses waiting for a slot.
-    pending: VecDeque<(ResponseRecord, DownloadRequest)>,
+    /// Downloadable responses waiting for a slot (retries re-queue at the
+    /// front with their attempt count preserved).
+    pending: VecDeque<InFlight>,
     in_flight: HashMap<u64, InFlight>,
+    /// Objects parked on a backoff timer, by timer token.
+    retry_wait: HashMap<u64, InFlight>,
+    retry_seq: u64,
     /// Keys currently being fetched (suppress duplicate fetches).
     busy_name_size: HashSet<NameSizeKey>,
     busy_host_size: HashSet<HostSizeKey>,
@@ -98,6 +109,8 @@ impl GnutellaCrawler {
             query_order: VecDeque::new(),
             pending: VecDeque::new(),
             in_flight: HashMap::new(),
+            retry_wait: HashMap::new(),
+            retry_seq: 0,
             busy_name_size: HashSet::new(),
             busy_host_size: HashSet::new(),
         }
@@ -168,7 +181,11 @@ impl GnutellaCrawler {
                     servent_guid: hit.servent_guid,
                     method,
                 };
-                self.pending.push_back((record.clone(), request));
+                self.pending.push_back(InFlight {
+                    record: record.clone(),
+                    request,
+                    attempt: 0,
+                });
             }
             self.log.responses.push(record);
         }
@@ -177,19 +194,14 @@ impl GnutellaCrawler {
 
     fn start_downloads(&mut self, ctx: &mut Ctx<'_>) {
         while self.in_flight.len() < self.config.max_concurrent_downloads {
-            let Some((record, request)) = self.pending.pop_front() else {
+            let Some(fl) = self.pending.pop_front() else {
                 break;
             };
-            self.log.downloads_attempted += 1;
-            let id = self.servent.begin_download(ctx, request.clone());
-            self.in_flight.insert(
-                id,
-                InFlight {
-                    record,
-                    request,
-                    pushes_left: self.config.push_retries,
-                },
-            );
+            if fl.attempt == 0 {
+                self.log.downloads_attempted += 1;
+            }
+            let id = self.servent.begin_download(ctx, fl.request.clone());
+            self.in_flight.insert(id, fl);
         }
     }
 
@@ -206,13 +218,30 @@ impl GnutellaCrawler {
         id: u64,
         result: Result<Vec<u8>, DownloadError>,
     ) {
-        let Some(mut fl) = self.in_flight.remove(&id) else {
+        let Some(fl) = self.in_flight.remove(&id) else {
             return;
         };
         match result {
             Ok(body) => {
                 let (sha1, verdict) = self.pipeline.scan(&fl.record.filename, &body);
                 self.log.scan = self.pipeline.stats();
+                if self.config.retry.uses_backoff() && verdict.unscannable() {
+                    // The body arrived but its archive content is garbage
+                    // (truncated/bit-flipped in transit). Retrying fetches a
+                    // fresh copy; a clean verdict on undecodable bytes must
+                    // never be recorded as benign.
+                    let reason = verdict.decode_errors.first().cloned().unwrap_or_default();
+                    self.fail_or_retry(
+                        ctx,
+                        fl,
+                        FailCause::Corrupt,
+                        ScanOutcome::Unscannable { reason },
+                    );
+                    return;
+                }
+                if fl.attempt > 0 {
+                    self.log.retry_successes += 1;
+                }
                 let detections = verdict.detections.iter().map(|d| d.name.clone()).collect();
                 self.finish(
                     &fl.record.clone(),
@@ -222,22 +251,64 @@ impl GnutellaCrawler {
                         detections,
                     },
                 );
+                self.start_downloads(ctx);
             }
-            Err(_) if fl.pushes_left > 0 => {
-                // Direct dial failed (or transfer broke): fall back to PUSH
-                // through the overlay, as LimeWire does.
-                fl.pushes_left -= 1;
-                fl.request.method = DownloadMethod::Push;
-                let new_id = self.servent.begin_download(ctx, fl.request.clone());
-                self.in_flight.insert(new_id, fl);
-                return;
-            }
-            Err(_) => {
-                self.log.downloads_failed += 1;
-                self.finish(&fl.record.clone(), ScanOutcome::Unreachable);
+            Err(e) => {
+                let cause = classify_gnutella(&e);
+                self.fail_or_retry(ctx, fl, cause, ScanOutcome::Unreachable);
             }
         }
+    }
+
+    /// One attempt failed: retry within budget (immediately in legacy mode,
+    /// via a backoff timer otherwise), or record the terminal outcome with
+    /// its cause.
+    fn fail_or_retry(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        mut fl: InFlight,
+        cause: FailCause,
+        terminal: ScanOutcome,
+    ) {
+        self.log.failures.record(cause);
+        if fl.attempt < self.config.retry.max_retries {
+            fl.attempt += 1;
+            self.log.retries_scheduled += 1;
+            if fl.request.method == DownloadMethod::Direct {
+                // Direct dial failed (or transfer broke): fall back to PUSH
+                // through the overlay, as LimeWire does.
+                fl.request.method = DownloadMethod::Push;
+                self.log.push_fallbacks += 1;
+            }
+            if self.config.retry.uses_backoff() {
+                let token = TIMER_RETRY_BASE | self.retry_seq;
+                self.retry_seq += 1;
+                let delay = self.config.retry.delay_for(fl.attempt, ctx.rng());
+                self.retry_wait.insert(token, fl);
+                ctx.set_timer(delay, token);
+                self.start_downloads(ctx);
+            } else {
+                // Legacy: immediate in-line re-attempt, no timer (the
+                // pre-fault-layer code path, preserved bit-for-bit).
+                let new_id = self.servent.begin_download(ctx, fl.request.clone());
+                self.in_flight.insert(new_id, fl);
+            }
+            return;
+        }
+        self.log.downloads_failed += 1;
+        if matches!(terminal, ScanOutcome::Unscannable { .. }) {
+            self.log.unscannable += 1;
+        }
+        self.finish(&fl.record.clone(), terminal);
         self.start_downloads(ctx);
+    }
+
+    /// A backoff timer fired: put the object back at the head of the queue.
+    fn on_retry_fire(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if let Some(fl) = self.retry_wait.remove(&token) {
+            self.pending.push_front(fl);
+            self.start_downloads(ctx);
+        }
     }
 
     /// Drains servent events into the log and the download pipeline.
@@ -305,6 +376,8 @@ impl App for GnutellaCrawler {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         if token == TIMER_QUERY {
             self.issue_query(ctx);
+        } else if token & TIMER_RETRY_BASE == TIMER_RETRY_BASE {
+            self.on_retry_fire(ctx, token);
         } else if token & CRAWLER_BASE == 0 {
             self.servent.on_timer(ctx, token);
         }

@@ -22,6 +22,7 @@
 pub mod gnutella;
 pub mod log;
 pub mod openft;
+pub mod retry;
 pub mod scan;
 pub mod workload;
 
@@ -30,5 +31,6 @@ pub use log::{
     is_downloadable_name, CrawlLog, HostKey, Network, ResolvedResponse, ResponseRecord, ScanOutcome,
 };
 pub use openft::{FtCrawler, FtCrawlerConfig};
+pub use retry::{FailCause, FailureBreakdown, RetryPolicy};
 pub use scan::{ScanPipeline, ScanStats, DEFAULT_SCAN_CACHE_ENTRIES};
 pub use workload::{Workload, WorkloadConfig, GENERIC_TERMS};

@@ -88,6 +88,13 @@ pub enum ScanOutcome {
     },
     /// All download attempts failed.
     Unreachable,
+    /// The body was downloaded but its content could not be decoded for
+    /// scanning (truncated or bit-flipped archive). Distinct from a silent
+    /// clean verdict: the study must not count garbage as benign.
+    Unscannable {
+        /// First decode error, e.g. `corrupt archive (truncated)`.
+        reason: String,
+    },
 }
 
 impl ScanOutcome {
@@ -99,7 +106,7 @@ impl ScanOutcome {
     pub fn primary(&self) -> Option<&str> {
         match self {
             ScanOutcome::Scanned { detections, .. } => detections.first().map(|s| s.as_str()),
-            ScanOutcome::Unreachable => None,
+            ScanOutcome::Unreachable | ScanOutcome::Unscannable { .. } => None,
         }
     }
 }
@@ -135,6 +142,20 @@ pub struct CrawlLog {
     pub queries_issued: u64,
     pub downloads_attempted: u64,
     pub downloads_failed: u64,
+    /// Failed download *attempts* bucketed by cause (including attempts
+    /// that a later retry recovered). Invariant:
+    /// `failures.total() == retries_scheduled + downloads_failed`.
+    pub failures: crate::retry::FailureBreakdown,
+    /// Retry attempts scheduled (backoff mode) or taken in-line (legacy
+    /// fallback), beyond each object's first attempt.
+    pub retries_scheduled: u64,
+    /// Retried objects that ultimately downloaded successfully.
+    pub retry_successes: u64,
+    /// Gnutella Direct→PUSH fallbacks (a subset of the retries above);
+    /// previously these were invisible in the log.
+    pub push_fallbacks: u64,
+    /// Downloaded bodies recorded [`ScanOutcome::Unscannable`].
+    pub unscannable: u64,
     /// Download→hash→scan pipeline counters (mirrored from the crawler's
     /// [`crate::scan::ScanPipeline`] after every scan).
     pub scan: crate::scan::ScanStats,

@@ -3,6 +3,7 @@
 //! downloading the deduplicated archive/executable responses by MD5.
 
 use crate::log::{CrawlLog, HostKey, HostSizeKey, NameSizeKey, ResponseRecord, ScanOutcome};
+use crate::retry::{classify_openft, FailCause, RetryPolicy};
 use crate::scan::ScanPipeline;
 use crate::workload::{Workload, WorkloadConfig};
 use p2pmal_gnutella::servent::SharedWorld;
@@ -15,6 +16,8 @@ use std::sync::Arc;
 
 const CRAWLER_BASE: u64 = 1 << 48;
 const TIMER_QUERY: u64 = CRAWLER_BASE | 1;
+/// Retry timers: `TIMER_RETRY_BASE | seq` (bit 40 marks the namespace).
+const TIMER_RETRY_BASE: u64 = CRAWLER_BASE | (1 << 40);
 
 /// OpenFT crawler tunables.
 #[derive(Clone)]
@@ -22,8 +25,10 @@ pub struct FtCrawlerConfig {
     pub workload: WorkloadConfig,
     pub max_concurrent_downloads: usize,
     pub start_delay: SimDuration,
-    /// Extra download attempts after the first failure.
-    pub retries: u8,
+    /// Per-object retry budget and pacing. The default
+    /// [`RetryPolicy::legacy()`] reproduces the historical behavior: one
+    /// immediate re-attempt, no backoff timers.
+    pub retry: RetryPolicy,
     /// Verdict-cache capacity for the scan pipeline (0 disables caching).
     pub scan_cache_entries: usize,
 }
@@ -34,17 +39,19 @@ impl Default for FtCrawlerConfig {
             workload: WorkloadConfig::default(),
             max_concurrent_downloads: 16,
             start_delay: SimDuration::from_secs(300),
-            retries: 1,
+            retry: RetryPolicy::legacy(),
             scan_cache_entries: crate::scan::DEFAULT_SCAN_CACHE_ENTRIES,
         }
     }
 }
 
+/// A downloadable object somewhere in its attempt lifecycle.
 struct InFlight {
     record: ResponseRecord,
     addr: HostAddr,
     md5: p2pmal_hashes::Md5Digest,
-    retries_left: u8,
+    /// 0 on the first try, incremented per retry.
+    attempt: u8,
 }
 
 /// The instrumented OpenFT client.
@@ -57,8 +64,11 @@ pub struct FtCrawler {
     /// Search id -> query text.
     queries: HashMap<u32, String>,
     query_order: VecDeque<u32>,
-    pending: VecDeque<(ResponseRecord, HostAddr, p2pmal_hashes::Md5Digest)>,
+    pending: VecDeque<InFlight>,
     in_flight: HashMap<u64, InFlight>,
+    /// Objects parked on a backoff timer, by timer token.
+    retry_wait: HashMap<u64, InFlight>,
+    retry_seq: u64,
     busy_name_size: HashSet<NameSizeKey>,
     busy_host_size: HashSet<HostSizeKey>,
 }
@@ -84,6 +94,8 @@ impl FtCrawler {
             query_order: VecDeque::new(),
             pending: VecDeque::new(),
             in_flight: HashMap::new(),
+            retry_wait: HashMap::new(),
+            retry_seq: 0,
             busy_name_size: HashSet::new(),
             busy_host_size: HashSet::new(),
         }
@@ -137,7 +149,12 @@ impl FtCrawler {
             self.busy_name_size.insert(nk);
             self.busy_host_size.insert(hk);
             let addr = HostAddr::new(result.host, result.http_port);
-            self.pending.push_back((record.clone(), addr, result.md5));
+            self.pending.push_back(InFlight {
+                record: record.clone(),
+                addr,
+                md5: result.md5,
+                attempt: 0,
+            });
         }
         self.log.responses.push(record);
         self.start_downloads(ctx);
@@ -145,20 +162,14 @@ impl FtCrawler {
 
     fn start_downloads(&mut self, ctx: &mut Ctx<'_>) {
         while self.in_flight.len() < self.config.max_concurrent_downloads {
-            let Some((record, addr, md5)) = self.pending.pop_front() else {
+            let Some(fl) = self.pending.pop_front() else {
                 break;
             };
-            self.log.downloads_attempted += 1;
-            let id = self.node.begin_download(ctx, addr, md5);
-            self.in_flight.insert(
-                id,
-                InFlight {
-                    record,
-                    addr,
-                    md5,
-                    retries_left: self.config.retries,
-                },
-            );
+            if fl.attempt == 0 {
+                self.log.downloads_attempted += 1;
+            }
+            let id = self.node.begin_download(ctx, fl.addr, fl.md5);
+            self.in_flight.insert(id, fl);
         }
     }
 
@@ -175,13 +186,28 @@ impl FtCrawler {
         id: u64,
         result: Result<Vec<u8>, FtDownloadError>,
     ) {
-        let Some(mut fl) = self.in_flight.remove(&id) else {
+        let Some(fl) = self.in_flight.remove(&id) else {
             return;
         };
         match result {
             Ok(body) => {
                 let (sha1, verdict) = self.pipeline.scan(&fl.record.filename, &body);
                 self.log.scan = self.pipeline.stats();
+                if self.config.retry.uses_backoff() && verdict.unscannable() {
+                    // Undecodable archive bytes: retry for a fresh copy
+                    // rather than recording corruption as a clean verdict.
+                    let reason = verdict.decode_errors.first().cloned().unwrap_or_default();
+                    self.fail_or_retry(
+                        ctx,
+                        fl,
+                        FailCause::Corrupt,
+                        ScanOutcome::Unscannable { reason },
+                    );
+                    return;
+                }
+                if fl.attempt > 0 {
+                    self.log.retry_successes += 1;
+                }
                 let detections = verdict.detections.iter().map(|d| d.name.clone()).collect();
                 self.finish(
                     &fl.record.clone(),
@@ -191,19 +217,57 @@ impl FtCrawler {
                         detections,
                     },
                 );
+                self.start_downloads(ctx);
             }
-            Err(_) if fl.retries_left > 0 => {
-                fl.retries_left -= 1;
-                let new_id = self.node.begin_download(ctx, fl.addr, fl.md5);
-                self.in_flight.insert(new_id, fl);
-                return;
-            }
-            Err(_) => {
-                self.log.downloads_failed += 1;
-                self.finish(&fl.record.clone(), ScanOutcome::Unreachable);
+            Err(e) => {
+                let cause = classify_openft(&e);
+                self.fail_or_retry(ctx, fl, cause, ScanOutcome::Unreachable);
             }
         }
+    }
+
+    /// One attempt failed: retry within budget (immediately in legacy mode,
+    /// via a backoff timer otherwise), or record the terminal outcome.
+    fn fail_or_retry(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        mut fl: InFlight,
+        cause: FailCause,
+        terminal: ScanOutcome,
+    ) {
+        self.log.failures.record(cause);
+        if fl.attempt < self.config.retry.max_retries {
+            fl.attempt += 1;
+            self.log.retries_scheduled += 1;
+            if self.config.retry.uses_backoff() {
+                let token = TIMER_RETRY_BASE | self.retry_seq;
+                self.retry_seq += 1;
+                let delay = self.config.retry.delay_for(fl.attempt, ctx.rng());
+                self.retry_wait.insert(token, fl);
+                ctx.set_timer(delay, token);
+                self.start_downloads(ctx);
+            } else {
+                // Legacy: immediate in-line re-attempt (pre-fault-layer
+                // path, preserved bit-for-bit).
+                let new_id = self.node.begin_download(ctx, fl.addr, fl.md5);
+                self.in_flight.insert(new_id, fl);
+            }
+            return;
+        }
+        self.log.downloads_failed += 1;
+        if matches!(terminal, ScanOutcome::Unscannable { .. }) {
+            self.log.unscannable += 1;
+        }
+        self.finish(&fl.record.clone(), terminal);
         self.start_downloads(ctx);
+    }
+
+    /// A backoff timer fired: put the object back at the head of the queue.
+    fn on_retry_fire(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if let Some(fl) = self.retry_wait.remove(&token) {
+            self.pending.push_front(fl);
+            self.start_downloads(ctx);
+        }
     }
 
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
@@ -260,6 +324,8 @@ impl App for FtCrawler {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         if token == TIMER_QUERY {
             self.issue_query(ctx);
+        } else if token & TIMER_RETRY_BASE == TIMER_RETRY_BASE {
+            self.on_retry_fire(ctx, token);
         } else if token & CRAWLER_BASE == 0 {
             self.node.on_timer(ctx, token);
         }

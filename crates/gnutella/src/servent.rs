@@ -386,10 +386,17 @@ impl Servent {
             &payload,
             &mut wire,
         );
-        for (&conn, kind) in &self.conns {
-            if matches!(kind, ConnKind::Peer(_)) {
-                ctx.send(conn, &wire);
-            }
+        let mut targets: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|(_, k)| matches!(k, ConnKind::Peer(_)))
+            .map(|(&c, _)| c)
+            .collect();
+        // HashMap order is process-random; sort so the originated copies are
+        // sent (and thus sequenced) identically run to run.
+        targets.sort_unstable();
+        for t in targets {
+            ctx.send(t, &wire);
         }
         self.stats.queries_originated += 1;
         guid
@@ -719,12 +726,15 @@ impl Servent {
                 payload,
                 &mut wire,
             );
-            let targets: Vec<ConnId> = self
+            let mut targets: Vec<ConnId> = self
                 .conns
                 .iter()
                 .filter(|(&c, k)| c != conn && matches!(k, ConnKind::Peer(p) if p.ultrapeer))
                 .map(|(&c, _)| c)
                 .collect();
+            // HashMap order is process-random; sort so forwarded copies are
+            // sent (and thus sequenced) identically run to run.
+            targets.sort_unstable();
             for t in targets {
                 ctx.send(t, &wire);
             }
@@ -741,7 +751,7 @@ impl Servent {
             &mut wire,
         );
         let mut suppressed = 0u64;
-        let targets: Vec<ConnId> = self
+        let mut targets: Vec<ConnId> = self
             .conns
             .iter()
             .filter_map(|(&c, k)| match k {
@@ -756,6 +766,7 @@ impl Servent {
             })
             .collect();
         self.stats.qrp_last_hop_suppressed += suppressed;
+        targets.sort_unstable();
         for t in targets {
             ctx.send(t, &wire);
         }
@@ -1368,12 +1379,15 @@ impl App for Servent {
         if token == TIMER_MAINTENANCE {
             self.maintain_connectivity(ctx);
             // Refresh the host cache occasionally.
-            let peers: Vec<ConnId> = self
+            let mut peers: Vec<ConnId> = self
                 .conns
                 .iter()
                 .filter(|(_, k)| matches!(k, ConnKind::Peer(_)))
                 .map(|(&c, _)| c)
                 .collect();
+            // Sorted so the RNG pick below lands on the same peer no matter
+            // how the conns map happens to hash this process.
+            peers.sort_unstable();
             if !peers.is_empty() && ctx.rng().next_u64() % 6 == 0 {
                 let pick = peers[(ctx.rng().next_u64() % peers.len() as u64) as usize];
                 self.send_ping(ctx, pick);

@@ -23,6 +23,15 @@ pub(crate) enum EventKind {
     },
     /// A close notification reaches the peer.
     CloseNotify { conn: ConnId, to: NodeId },
+    /// A fault-injected connection reset reaches `to`. Unlike
+    /// [`EventKind::CloseNotify`] this carries no connection-table entry —
+    /// the entry is removed when the reset is sampled — so both endpoints
+    /// can be notified independently.
+    Reset { conn: ConnId, to: NodeId },
+    /// Churn session: the node loses power.
+    ChurnDown { node: NodeId },
+    /// Churn session: the node comes back online.
+    ChurnUp { node: NodeId },
     /// An app timer fires.
     Timer { node: NodeId, token: TimerToken },
 }

@@ -53,6 +53,7 @@
 mod addr;
 mod app;
 mod event;
+mod faults;
 pub mod live;
 mod metrics;
 mod pool;
@@ -62,6 +63,7 @@ mod time;
 
 pub use addr::{ip_class, AddressAllocator, HostAddr, IpClass};
 pub use app::{App, ConnId, Ctx, Direction, NodeId, TimerToken};
+pub use faults::{ChurnSpec, FaultPlan};
 pub use metrics::SimMetrics;
 pub use queue::{CalendarQueue, HeapQueue, Scheduler, SchedulerKind};
 pub use sim::{NodeSpec, SimConfig, Simulator};

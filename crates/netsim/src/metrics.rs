@@ -31,6 +31,23 @@ pub struct SimMetrics {
     pub pool_high_water: u64,
     /// Peak number of simultaneously scheduled events.
     pub queue_high_water: u64,
+    /// Fault injection: chunks dropped by the fault plan.
+    pub faults_chunks_dropped: u64,
+    /// Fault injection: chunks delivered corrupted (truncated/bit-flipped).
+    pub faults_chunks_corrupted: u64,
+    /// Fault injection: spontaneous connection resets.
+    pub faults_resets: u64,
+    /// Fault injection: connections established with a latency spike.
+    pub faults_latency_spikes: u64,
+    /// Fault injection: churn sessions taking a node offline.
+    pub faults_churn_downs: u64,
+    /// Fault injection: churn sessions bringing a node back.
+    pub faults_churn_ups: u64,
+    /// Download retries scheduled by the crawlers. Harness-filled, like the
+    /// `scan_*` counters below.
+    pub dl_retries: u64,
+    /// Download retries that subsequently succeeded.
+    pub dl_retry_successes: u64,
     /// Download bodies entering the scan pipeline. Filled in by harnesses
     /// that run a scanning crawler (see `p2pmal-core`); the simulator core
     /// does not compute these.

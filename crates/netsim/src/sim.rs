@@ -3,6 +3,7 @@
 use crate::addr::{AddressAllocator, HostAddr};
 use crate::app::{Action, App, ConnId, Ctx, Direction, NodeId};
 use crate::event::{EventKind, EventQueue};
+use crate::faults::{ChunkFate, FaultPlan};
 use crate::metrics::SimMetrics;
 use crate::pool::{BufferPool, Payload};
 use crate::queue::SchedulerKind;
@@ -30,6 +31,10 @@ pub struct SimConfig {
     /// the fast default; [`SchedulerKind::Heap`] keeps the original binary
     /// heap for head-to-head benchmarks. Both dispatch identically.
     pub scheduler: SchedulerKind,
+    /// Seed-deterministic fault injection. The default
+    /// [`FaultPlan::none()`] draws no randomness and leaves runs
+    /// byte-identical to a fault-free simulator.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -40,6 +45,7 @@ impl Default for SimConfig {
             download_bps: (64_000, 512_000),
             mss: None,
             scheduler: SchedulerKind::Calendar,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -56,6 +62,9 @@ pub struct NodeSpec {
     pub upload_bps: Option<u64>,
     /// Override the sampled download bandwidth.
     pub download_bps: Option<u64>,
+    /// Exempt from fault-plan churn (instrumented crawlers, always-on
+    /// infrastructure the measurement depends on).
+    pub durable: bool,
 }
 
 impl NodeSpec {
@@ -66,6 +75,7 @@ impl NodeSpec {
             listen_port: None,
             upload_bps: None,
             download_bps: None,
+            durable: false,
         }
     }
 
@@ -73,9 +83,7 @@ impl NodeSpec {
     pub fn nat() -> Self {
         NodeSpec {
             nat: true,
-            listen_port: None,
-            upload_bps: None,
-            download_bps: None,
+            ..Self::public()
         }
     }
 
@@ -94,6 +102,12 @@ impl NodeSpec {
         self.download_bps = Some(bps);
         self
     }
+
+    /// Never enrolled in fault-plan churn.
+    pub fn durable(mut self) -> Self {
+        self.durable = true;
+        self
+    }
 }
 
 struct NodeSlot {
@@ -104,6 +118,8 @@ struct NodeSlot {
     download_bps: u64,
     alive: bool,
     nat: bool,
+    /// Registered a listener at spawn; churn revival re-registers it.
+    listener: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,6 +195,7 @@ impl Simulator {
             self.rng
                 .gen_range(self.config.download_bps.0..=self.config.download_bps.1)
         });
+        let listener = spec.listen_port.is_some() && !spec.nat;
         self.nodes.push(NodeSlot {
             app: Some(app),
             local_addr,
@@ -187,12 +204,27 @@ impl Simulator {
             download_bps: download,
             alive: true,
             nat: spec.nat,
+            listener,
         });
-        if spec.listen_port.is_some() && !spec.nat {
+        if listener {
             self.listeners.insert(external_addr, id);
         }
         self.metrics.nodes_spawned += 1;
         self.queue.push(self.now, EventKind::Start { node: id });
+        // Fault-plan churn enrollment: a sampled fraction of non-durable
+        // nodes get a first session-end scheduled. No draw when churn is
+        // off (the FaultPlan::none() byte-identity contract).
+        if let Some(churn) = self.config.faults.churn {
+            if !spec.durable && churn.fraction > 0.0 && self.rng.gen_bool(churn.fraction) {
+                let up = self
+                    .rng
+                    .gen_range(churn.uptime_secs.0..=churn.uptime_secs.1);
+                self.queue.push(
+                    self.now + SimDuration::from_secs(up),
+                    EventKind::ChurnDown { node: id },
+                );
+            }
+        }
         id
     }
 
@@ -367,6 +399,16 @@ impl Simulator {
                     self.with_app(node, |app, ctx| app.on_timer(ctx, token));
                 }
             }
+            EventKind::Reset { conn, to } => {
+                // Spontaneous reset: the table entry was reaped at the
+                // moment the reset fired; this event only carries the
+                // notification to one endpoint.
+                if self.nodes[to.0].alive {
+                    self.with_app(to, |app, ctx| app.on_closed(ctx, conn));
+                }
+            }
+            EventKind::ChurnDown { node } => self.churn_down(node),
+            EventKind::ChurnUp { node } => self.churn_up(node),
         }
         self.sync_stats();
     }
@@ -438,10 +480,15 @@ impl Simulator {
         for act in actions {
             match act {
                 Action::Connect { conn, target } => {
-                    let latency = SimDuration::from_micros(
+                    let mut latency = SimDuration::from_micros(
                         self.rng
                             .gen_range(self.config.latency_us.0..=self.config.latency_us.1),
                     );
+                    let mult = self.config.faults.latency_mult(&mut self.rng);
+                    if mult > 1 {
+                        self.metrics.faults_latency_spikes += 1;
+                        latency = SimDuration::from_micros(latency.as_micros() * mult);
+                    }
                     self.conns.insert(
                         conn.0,
                         Conn {
@@ -497,6 +544,25 @@ impl Simulator {
             c.next_free[dir] = start + transmit;
             (to, start + transmit + c.latency)
         };
+        // Spontaneous reset (fault plan): the connection dies at this
+        // write. Both endpoints hear `on_closed` — the sender immediately
+        // (RST on write), the peer after one latency — and everything in
+        // flight is lost, this send included.
+        if self.config.faults.send_resets(&mut self.rng) {
+            let latency = match self.conns.remove(&conn.0) {
+                Some(c) => c.latency,
+                None => return,
+            };
+            self.metrics.faults_resets += 1;
+            self.metrics.conns_closed += 1;
+            self.metrics.bytes_dropped += data.len() as u64;
+            self.pool.release(data);
+            self.queue
+                .push(self.now, EventKind::Reset { conn, to: from });
+            self.queue
+                .push(self.now + latency, EventKind::Reset { conn, to });
+            return;
+        }
         match self.config.mss {
             Some(mss) if data.len() > mss => {
                 // Zero-copy fan-out: every fragment is a window into one
@@ -514,27 +580,95 @@ impl Simulator {
                         start,
                         end,
                     };
+                    if let Some(payload) = self.fault_chunk(payload) {
+                        self.queue.push(
+                            t,
+                            EventKind::Data {
+                                conn,
+                                to,
+                                data: payload,
+                            },
+                        );
+                    }
+                    t += SimDuration::from_micros(1);
+                    start = end;
+                }
+            }
+            _ => {
+                if let Some(payload) = self.fault_chunk(Payload::Owned(data)) {
                     self.queue.push(
-                        t,
+                        arrival_base,
                         EventKind::Data {
                             conn,
                             to,
                             data: payload,
                         },
                     );
-                    t += SimDuration::from_micros(1);
-                    start = end;
                 }
             }
-            _ => {
-                self.queue.push(
-                    arrival_base,
-                    EventKind::Data {
-                        conn,
-                        to,
-                        data: Payload::Owned(data),
+        }
+    }
+
+    /// Applies the fault plan's sampled fate to one chunk, returning the
+    /// (possibly mutated) payload to deliver, or `None` when it is lost.
+    /// The fault-free fast path performs no RNG draw.
+    fn fault_chunk(&mut self, payload: Payload) -> Option<Payload> {
+        let faults = self.config.faults;
+        if faults.chunk_loss == 0.0 && faults.corrupt == 0.0 {
+            return Some(payload);
+        }
+        let drop_chunk = |sim: &mut Self, payload: Payload| {
+            sim.metrics.faults_chunks_dropped += 1;
+            sim.metrics.bytes_dropped += payload.len() as u64;
+            if let Payload::Owned(v) = payload {
+                sim.pool.release(v);
+            }
+        };
+        match faults.chunk_fate(&mut self.rng) {
+            ChunkFate::Deliver => Some(payload),
+            ChunkFate::Drop => {
+                drop_chunk(self, payload);
+                None
+            }
+            ChunkFate::Truncate => {
+                let len = payload.len();
+                let keep = len / 2;
+                if keep == 0 {
+                    drop_chunk(self, payload);
+                    return None;
+                }
+                self.metrics.faults_chunks_corrupted += 1;
+                self.metrics.bytes_dropped += (len - keep) as u64;
+                Some(match payload {
+                    Payload::Owned(mut v) => {
+                        v.truncate(keep);
+                        Payload::Owned(v)
+                    }
+                    Payload::Shared { buf, start, .. } => Payload::Shared {
+                        buf,
+                        start,
+                        end: start + keep,
                     },
-                );
+                })
+            }
+            ChunkFate::BitFlip => {
+                let len = payload.len();
+                if len == 0 {
+                    return Some(payload);
+                }
+                self.metrics.faults_chunks_corrupted += 1;
+                let bit = self.rng.gen_range(0..len * 8);
+                Some(match payload {
+                    Payload::Owned(mut v) => {
+                        v[bit / 8] ^= 1 << (bit % 8);
+                        Payload::Owned(v)
+                    }
+                    Payload::Shared { buf, start, end } => {
+                        let mut v = buf[start..end].to_vec();
+                        v[bit / 8] ^= 1 << (bit % 8);
+                        Payload::Owned(v)
+                    }
+                })
             }
         }
     }
@@ -575,7 +709,7 @@ impl Simulator {
         self.metrics.nodes_stopped += 1;
         self.listeners.remove(&self.nodes[node.0].external_addr);
         // Close every open connection this node participates in.
-        let involved: Vec<u64> = self
+        let mut involved: Vec<u64> = self
             .conns
             .iter()
             .filter(|(_, c)| {
@@ -583,9 +717,123 @@ impl Simulator {
             })
             .map(|(&id, _)| id)
             .collect();
+        // HashMap iteration order is process-random; sort so close events
+        // schedule in a reproducible order.
+        involved.sort_unstable();
         for id in involved {
             self.close_conn(node, ConnId(id));
         }
+    }
+
+    /// Runs a callback against a node's app but discards any actions it
+    /// buffers — the "host lost power" semantics of churn death, where the
+    /// app's bookkeeping must update but nothing it tries to send leaves
+    /// the machine.
+    fn notify_app_discard<F: FnOnce(&mut Box<dyn App>, &mut Ctx<'_>)>(
+        &mut self,
+        node: NodeId,
+        f: F,
+    ) {
+        let mut app = match self.nodes[node.0].app.take() {
+            Some(a) => a,
+            None => return,
+        };
+        let mut actions = Vec::new();
+        {
+            let slot = &self.nodes[node.0];
+            let mut ctx = Ctx {
+                now: self.now,
+                node,
+                local_addr: slot.local_addr,
+                external_addr: slot.external_addr,
+                rng: &mut self.rng,
+                actions: &mut actions,
+                next_conn: &mut self.next_conn_id,
+                pool: &mut self.pool,
+            };
+            f(&mut app, &mut ctx);
+        }
+        self.nodes[node.0].app = Some(app);
+    }
+
+    /// A churn session ends: the node dies mid-whatever-it-was-doing.
+    /// Open connections close toward their peers (FIN after queued data,
+    /// like `shutdown_node`), and the dying app is told about every
+    /// connection it had — with its reactions discarded — so its state is
+    /// consistent when the session restarts.
+    fn churn_down(&mut self, node: NodeId) {
+        if !self.nodes[node.0].alive {
+            // The app shut itself down in the meantime; that death is
+            // permanent and the churn session does not resurrect it.
+            return;
+        }
+        self.metrics.faults_churn_downs += 1;
+        // Partition this node's connections: established ones get a close
+        // handshake, dials still in flight are abandoned.
+        let mut open = Vec::new();
+        let mut pending = Vec::new();
+        for (&id, c) in &self.conns {
+            match c.state {
+                ConnState::Open if c.initiator == node || c.acceptor == Some(node) => {
+                    open.push(ConnId(id));
+                }
+                ConnState::Pending if c.initiator == node => pending.push(ConnId(id)),
+                _ => {}
+            }
+        }
+        // HashMap iteration order is process-random; sort so the close
+        // events and app notifications replay identically run to run.
+        open.sort_unstable_by_key(|c| c.0);
+        pending.sort_unstable_by_key(|c| c.0);
+        for conn in &open {
+            self.close_conn(node, *conn);
+        }
+        for conn in &pending {
+            // The ConnAttempt event will find no entry and do nothing.
+            self.conns.remove(&conn.0);
+            self.metrics.conns_failed += 1;
+        }
+        self.nodes[node.0].alive = false;
+        self.metrics.nodes_stopped += 1;
+        self.listeners.remove(&self.nodes[node.0].external_addr);
+        for conn in open {
+            self.notify_app_discard(node, |app, ctx| app.on_closed(ctx, conn));
+        }
+        for conn in pending {
+            self.notify_app_discard(node, |app, ctx| app.on_connect_failed(ctx, conn));
+        }
+        let churn = self.config.faults.churn.expect("churn event implies plan");
+        let down = self
+            .rng
+            .gen_range(churn.downtime_secs.0..=churn.downtime_secs.1);
+        self.queue.push(
+            self.now + SimDuration::from_secs(down),
+            EventKind::ChurnUp { node },
+        );
+    }
+
+    /// A churn session begins: the node comes back online, re-registers
+    /// its listener and restarts its app (`on_start` re-bootstraps), then
+    /// schedules the next session end.
+    fn churn_up(&mut self, node: NodeId) {
+        if self.nodes[node.0].alive {
+            return;
+        }
+        self.nodes[node.0].alive = true;
+        self.metrics.faults_churn_ups += 1;
+        if self.nodes[node.0].listener {
+            self.listeners
+                .insert(self.nodes[node.0].external_addr, node);
+        }
+        self.queue.push(self.now, EventKind::Start { node });
+        let churn = self.config.faults.churn.expect("churn event implies plan");
+        let up = self
+            .rng
+            .gen_range(churn.uptime_secs.0..=churn.uptime_secs.1);
+        self.queue.push(
+            self.now + SimDuration::from_secs(up),
+            EventKind::ChurnDown { node },
+        );
     }
 }
 

@@ -1,0 +1,145 @@
+//! Determinism guards for the fault-injection layer.
+//!
+//! Two properties: (1) the same seed plus the same `FaultPlan` reproduces
+//! the exact same `SimMetrics` — faults are part of the deterministic event
+//! trace, not noise; (2) `FaultPlan::none()` (the default) is
+//! indistinguishable from a config that never mentions faults at all.
+
+use p2pmal_netsim::{
+    App, ConnId, Ctx, Direction, FaultPlan, HostAddr, NodeSpec, SimConfig, SimDuration, SimMetrics,
+    SimTime, Simulator,
+};
+
+/// Echo server: bounces every chunk straight back.
+struct Echo;
+
+impl App for Echo {
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
+        ctx.send(conn, data);
+    }
+}
+
+/// Chatty client: dials the server, sends a payload every tick, and
+/// re-dials after any close or failed connect — the minimal shape of a
+/// fault-tolerant protocol app.
+struct Chatter {
+    server: HostAddr,
+    conn: Option<ConnId>,
+    payload: Vec<u8>,
+}
+
+const TICK: u64 = 1;
+
+impl Chatter {
+    fn dial(&mut self, ctx: &mut Ctx<'_>) {
+        self.conn = Some(ctx.connect(self.server));
+    }
+}
+
+impl App for Chatter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.dial(ctx);
+        ctx.set_timer(SimDuration::from_secs(30), TICK);
+    }
+    fn on_connected(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _d: Direction, _p: HostAddr) {
+        ctx.send(conn, &self.payload.clone());
+    }
+    fn on_connect_failed(&mut self, _ctx: &mut Ctx<'_>, conn: ConnId) {
+        if self.conn == Some(conn) {
+            self.conn = None;
+        }
+    }
+    fn on_closed(&mut self, _ctx: &mut Ctx<'_>, conn: ConnId) {
+        if self.conn == Some(conn) {
+            self.conn = None;
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        match self.conn {
+            Some(conn) => ctx.send(conn, &self.payload.clone()),
+            None => self.dial(ctx),
+        }
+        ctx.set_timer(SimDuration::from_secs(30), TICK);
+    }
+}
+
+/// Runs a small echo swarm for six simulated hours and returns its metrics.
+fn run_swarm(config: SimConfig, seed: u64) -> SimMetrics {
+    let mut sim = Simulator::new(config, seed);
+    let server = sim.spawn(NodeSpec::public().listen(6346).durable(), Box::new(Echo));
+    let server_addr = sim.node_addr(server);
+    for i in 0..12u64 {
+        let spec = if i % 3 == 0 {
+            NodeSpec::nat()
+        } else {
+            NodeSpec::public()
+        };
+        sim.spawn(
+            spec,
+            Box::new(Chatter {
+                server: server_addr,
+                conn: None,
+                payload: vec![i as u8; 2048 + (i as usize) * 97],
+            }),
+        );
+    }
+    sim.run_until(SimTime::from_secs(6 * 3600));
+    sim.metrics().clone()
+}
+
+fn faulty_config(faults: FaultPlan) -> SimConfig {
+    SimConfig {
+        mss: Some(1200), // exercise the shared-buffer fan-out under faults
+        faults,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn same_seed_same_plan_same_metrics() {
+    for plan in [FaultPlan::mild(), FaultPlan::harsh()] {
+        let a = run_swarm(faulty_config(plan), 99);
+        let b = run_swarm(faulty_config(plan), 99);
+        assert_eq!(a, b, "fault plan {plan:?} was not seed-deterministic");
+    }
+}
+
+#[test]
+fn different_seeds_diverge_under_faults() {
+    let a = run_swarm(faulty_config(FaultPlan::harsh()), 99);
+    let b = run_swarm(faulty_config(FaultPlan::harsh()), 100);
+    assert_ne!(a, b, "different seeds should sample different faults");
+}
+
+#[test]
+fn harsh_actually_injects_faults() {
+    let m = run_swarm(faulty_config(FaultPlan::harsh()), 99);
+    assert!(m.faults_chunks_dropped > 0, "no chunk loss: {m:?}");
+    assert!(m.faults_chunks_corrupted > 0, "no corruption: {m:?}");
+    assert!(m.faults_resets > 0, "no resets: {m:?}");
+    assert!(m.faults_latency_spikes > 0, "no latency spikes: {m:?}");
+    assert!(m.faults_churn_downs > 0, "no churn downs: {m:?}");
+    assert!(m.faults_churn_ups > 0, "no churn ups: {m:?}");
+}
+
+#[test]
+fn none_plan_is_identical_to_no_fault_config() {
+    // A config that spells out FaultPlan::none() must produce metrics
+    // identical to one that never mentions faults (the pre-fault-layer
+    // shape): zero extra RNG draws, zero fault events.
+    let explicit = run_swarm(faulty_config(FaultPlan::none()), 2006);
+    let implicit = run_swarm(
+        SimConfig {
+            mss: Some(1200),
+            ..SimConfig::default()
+        },
+        2006,
+    );
+    assert_eq!(explicit, implicit);
+    assert_eq!(explicit.faults_chunks_dropped, 0);
+    assert_eq!(explicit.faults_chunks_corrupted, 0);
+    assert_eq!(explicit.faults_resets, 0);
+    assert_eq!(explicit.faults_latency_spikes, 0);
+    assert_eq!(explicit.faults_churn_downs, 0);
+    assert_eq!(explicit.faults_churn_ups, 0);
+}

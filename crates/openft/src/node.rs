@@ -278,7 +278,7 @@ impl FtNode {
         .encode();
         let mut wire = Vec::new();
         encode_packet(Command::Search, &pkt, &mut wire);
-        let targets: Vec<ConnId> = self
+        let mut targets: Vec<ConnId> = self
             .conns
             .iter()
             .filter(|(_, k)| {
@@ -287,6 +287,9 @@ impl FtNode {
             })
             .map(|(&c, _)| c)
             .collect();
+        // HashMap order is process-random; sort so the search fan-out is
+        // sequenced identically run to run.
+        targets.sort_unstable();
         for t in &targets {
             ctx.send(*t, &wire);
         }

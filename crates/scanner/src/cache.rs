@@ -111,6 +111,7 @@ mod tests {
         Arc::new(Verdict {
             detections: Vec::new(),
             notes: Vec::new(),
+            decode_errors: Vec::new(),
         })
     }
 

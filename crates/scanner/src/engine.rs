@@ -42,6 +42,11 @@ pub struct Verdict {
     pub detections: Vec<Detection>,
     /// Diagnostics: archives that could not be opened, limits hit.
     pub notes: Vec<String>,
+    /// Structured subset of `notes`: content that *failed to decode*
+    /// (corrupt archive, unreadable entry). Intentional scan limits (depth,
+    /// entry count) are not decode errors. A clean verdict with decode
+    /// errors means "could not be scanned", not "benign".
+    pub decode_errors: Vec<String>,
 }
 
 impl Verdict {
@@ -55,6 +60,14 @@ impl Verdict {
     /// take the first hit.
     pub fn primary(&self) -> Option<&str> {
         self.detections.first().map(|d| d.name.as_str())
+    }
+
+    /// True when nothing matched *and* part of the content failed to
+    /// decode: the clean result cannot be trusted. An infected verdict is
+    /// never unscannable — a raw-byte signature hit on a corrupt archive is
+    /// a real detection.
+    pub fn unscannable(&self) -> bool {
+        self.detections.is_empty() && !self.decode_errors.is_empty()
     }
 }
 
@@ -87,6 +100,7 @@ impl Scanner {
         let mut verdict = Verdict {
             detections: Vec::new(),
             notes: Vec::new(),
+            decode_errors: Vec::new(),
         };
         let mut path = Vec::new();
         self.scan_inner(name, &mut path, data, 0, &mut verdict);
@@ -138,20 +152,19 @@ impl Scanner {
                             }
                             Err(e) => {
                                 path.push(entry.name.clone());
-                                verdict.notes.push(format!(
-                                    "{}: unreadable ({e})",
-                                    render_location(root, path)
-                                ));
+                                let msg =
+                                    format!("{}: unreadable ({e})", render_location(root, path));
+                                verdict.notes.push(msg.clone());
+                                verdict.decode_errors.push(msg);
                                 path.pop();
                             }
                         }
                     }
                 }
                 Err(e) => {
-                    verdict.notes.push(format!(
-                        "{}: corrupt archive ({e})",
-                        render_location(root, path)
-                    ));
+                    let msg = format!("{}: corrupt archive ({e})", render_location(root, path));
+                    verdict.notes.push(msg.clone());
+                    verdict.decode_errors.push(msg);
                 }
             }
         }
@@ -269,6 +282,62 @@ mod tests {
         // Raw-byte signature still fires even though the archive is corrupt.
         assert!(v.infected());
         assert!(v.notes.iter().any(|n| n.contains("corrupt archive")));
+    }
+
+    #[test]
+    fn truncated_zip_is_unscannable_not_clean() {
+        let s = scanner(&[("Worm.A", b"EVILBYTES")]);
+        let mut w = ZipWriter::new();
+        w.add("setup.exe", &infected_exe_body(), Method::Deflate);
+        let archive = w.finish();
+        let v = s.scan("cut.zip", &archive[..archive.len() / 2]);
+        // No silent clean verdict for undecodable bytes: the half archive
+        // has no readable member, so the verdict must say so.
+        assert!(!v.infected());
+        assert!(v.unscannable(), "truncated archive must be unscannable");
+        assert!(v.decode_errors[0].contains("corrupt archive"));
+    }
+
+    /// Fuzz-style: bit-flipped archives never panic the engine, and any
+    /// verdict without detections that saw a decode failure self-reports
+    /// as unscannable rather than clean.
+    #[test]
+    fn bit_flipped_zip_never_panics_never_silently_clean() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let s = scanner(&[("Worm.A", b"EVILBYTES")]);
+        let mut w = ZipWriter::new();
+        w.add("setup.exe", &infected_exe_body(), Method::Deflate);
+        w.add("notes.txt", b"plain text member", Method::Stored);
+        let archive = w.finish();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut unscannable = 0;
+        for _ in 0..500 {
+            let mut garbled = archive.clone();
+            let bit = rng.gen_range(0..garbled.len() * 8);
+            garbled[bit / 8] ^= 1 << (bit % 8);
+            let v = s.scan("flip.zip", &garbled);
+            if v.unscannable() {
+                unscannable += 1;
+                assert!(!v.decode_errors.is_empty());
+            }
+        }
+        // With a single flipped bit a healthy fraction of mutants must be
+        // caught as undecodable (CRC mismatch, bad Huffman table, ...).
+        assert!(unscannable > 0, "no mutant was flagged unscannable");
+    }
+
+    #[test]
+    fn infected_but_corrupt_archive_stays_a_detection() {
+        // A raw-signature hit on a corrupt archive is a detection, not an
+        // unscannable verdict — corruption must never launder a positive.
+        let s = scanner(&[("Worm.A", b"EVILBYTES")]);
+        let mut fake = b"PK\x03\x04".to_vec();
+        fake.extend_from_slice(b"EVILBYTES but the zip structure is gone");
+        let v = s.scan("broken.zip", &fake);
+        assert!(v.infected());
+        assert!(!v.unscannable());
+        assert!(!v.decode_errors.is_empty());
     }
 
     #[test]
