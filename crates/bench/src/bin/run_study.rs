@@ -11,6 +11,8 @@
 use p2pmal_bench::{run_seeds, BenchConfig, RunArtifact};
 use p2pmal_core::{LimewireScenario, NetworkRun, OpenFtScenario, Study};
 use p2pmal_crawler::ScanStats;
+use p2pmal_json::Value;
+use p2pmal_netsim::Subsystem;
 
 /// One line of scan-pipeline accounting: how many download bodies reached
 /// the scanner and how much of that work the verdict cache absorbed.
@@ -63,6 +65,69 @@ fn resilience_lines(label: &str, run: &NetworkRun, profile: &str) {
         log.push_fallbacks,
         log.unscannable,
     );
+}
+
+/// Per-network profiler roll-up: the wall time of the simulation loop,
+/// event throughput, and the per-subsystem wall-time buckets. Echoed to
+/// stderr (stdout is the report and must stay byte-identical across
+/// perf-only changes) and serialized into `BENCH_study.json`.
+fn timing_entry(label: &str, run: &NetworkRun) -> Value {
+    let t = &run.sim_metrics.timing;
+    let wall = run.wall.as_secs_f64();
+    let events = run.sim_metrics.events_processed;
+    let events_per_sec = if wall > 0.0 {
+        events as f64 / wall
+    } else {
+        0.0
+    };
+    eprintln!(
+        "[run_study] timing {label}: {wall:.1}s wall, {events} events ({events_per_sec:.0}/s); {}",
+        t.render_compact(),
+    );
+    let buckets = Value::Obj(
+        Subsystem::ALL
+            .iter()
+            .map(|&s| {
+                (
+                    s.label().to_string(),
+                    Value::Obj(vec![
+                        ("secs".into(), (t.nanos(s) as f64 / 1e9).into()),
+                        ("calls".into(), t.calls(s).into()),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Value::Obj(vec![
+        ("network".into(), label.into()),
+        ("wall_secs".into(), wall.into()),
+        ("events".into(), events.into()),
+        ("events_per_sec".into(), events_per_sec.into()),
+        ("subsystems".into(), buckets),
+    ])
+}
+
+/// Writes the machine-readable timing summary next to the human report so
+/// the perf trajectory is tracked across commits.
+fn write_bench_json(report: &p2pmal_core::StudyReport, cfg: &BenchConfig) {
+    let mut networks = Vec::new();
+    if let Some(run) = report.limewire.as_ref() {
+        networks.push(timing_entry("LimeWire", run));
+    }
+    if let Some(run) = report.openft.as_ref() {
+        networks.push(timing_entry("OpenFT", run));
+    }
+    let doc = Value::Obj(vec![
+        ("seed".into(), cfg.seed.into()),
+        ("quick".into(), cfg.quick.into()),
+        ("faults".into(), cfg.faults.as_str().into()),
+        ("networks".into(), Value::Arr(networks)),
+    ]);
+    let path = std::env::var("P2PMAL_BENCH_JSON").unwrap_or_else(|_| "BENCH_study.json".into());
+    match std::fs::write(&path, doc.to_string_compact()) {
+        Ok(()) => eprintln!("[run_study] wrote timing summary to {path}"),
+        Err(e) => eprintln!("[run_study] could not write {path}: {e}"),
+    }
 }
 
 fn artifact_line(a: &RunArtifact) {
@@ -170,6 +235,7 @@ fn main() {
             resilience_lines("OpenFT", run, &cfg.faults);
         }
     }
+    write_bench_json(&report, &cfg);
     let comparisons = report.comparisons();
     eprintln!("{}", comparisons.to_json());
     if comparisons.all_hold() {

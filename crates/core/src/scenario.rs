@@ -75,6 +75,9 @@ pub struct NetworkRun {
     pub resolved: Vec<ResolvedResponse>,
     pub world: SharedWorld,
     pub sim_metrics: SimMetrics,
+    /// Wall-clock time the simulation loop took (sum over the per-day
+    /// `run_until` calls; excludes population setup and log extraction).
+    pub wall: std::time::Duration,
 }
 
 fn trace_enabled() -> bool {
@@ -158,9 +161,14 @@ fn trace_day(
         ),
         _ => String::new(),
     };
+    let timing_part = if m.timing.is_empty() {
+        String::new()
+    } else {
+        format!(", timing {}", m.timing.render_compact())
+    };
     eprintln!(
         "[trace] {net} day {day}: {events} events (+{delta}), {wall_secs:.1}s wall, \
-         queue {} pending (peak {}), pool {} hits / {} misses / {} KiB recycled (free peak {}){scan_part}{fault_part}{resilience_part}",
+         queue {} pending (peak {}), pool {} hits / {} misses / {} KiB recycled (free peak {}){scan_part}{fault_part}{resilience_part}{timing_part}",
         sim.pending_events(),
         m.queue_high_water,
         m.pool_hits,
@@ -421,9 +429,12 @@ impl LimewireScenario {
         );
 
         let mut last_events = 0u64;
+        let mut wall = std::time::Duration::ZERO;
         for day in 1..=self.days {
             let t0 = std::time::Instant::now();
             sim.run_until(SimTime::from_days(day));
+            let day_wall = t0.elapsed();
+            wall += day_wall;
             let ev = sim.metrics().events_processed;
             let crawl = if trace_enabled() {
                 sim.with_node(crawler, |app, _| {
@@ -443,7 +454,7 @@ impl LimewireScenario {
                 day,
                 ev,
                 ev - last_events,
-                t0.elapsed().as_secs_f64(),
+                day_wall.as_secs_f64(),
                 &sim,
                 crawl.as_ref(),
             );
@@ -466,6 +477,7 @@ impl LimewireScenario {
             log,
             resolved,
             world,
+            wall,
         }
     }
 }
@@ -674,9 +686,12 @@ impl OpenFtScenario {
         );
 
         let mut last_events = 0u64;
+        let mut wall = std::time::Duration::ZERO;
         for day in 1..=self.days {
             let t0 = std::time::Instant::now();
             sim.run_until(SimTime::from_days(day));
+            let day_wall = t0.elapsed();
+            wall += day_wall;
             let ev = sim.metrics().events_processed;
             let crawl = if trace_enabled() {
                 sim.with_node(crawler, |app, _| {
@@ -696,7 +711,7 @@ impl OpenFtScenario {
                 day,
                 ev,
                 ev - last_events,
-                t0.elapsed().as_secs_f64(),
+                day_wall.as_secs_f64(),
                 &sim,
                 crawl.as_ref(),
             );
@@ -719,6 +734,7 @@ impl OpenFtScenario {
             log,
             resolved,
             world,
+            wall,
         }
     }
 }

@@ -31,6 +31,6 @@ pub mod zipf;
 
 pub use catalog::{BenignItem, Catalog, MediaType};
 pub use family::{Container, FamilyId, MalwareFamily, NamingStrategy, Roster};
-pub use library::{ContentRef, HostLibrary, SharedFile};
+pub use library::{CompiledQuery, ContentRef, HostLibrary, QueryCache, SharedFile};
 pub use payload::ContentStore;
 pub use zipf::Zipf;

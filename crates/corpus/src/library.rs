@@ -10,6 +10,8 @@ use crate::catalog::{BenignItem, Catalog};
 use crate::family::{FamilyId, MalwareFamily, NamingStrategy};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 
 /// Identifies the bytes behind a shared file. Payloads are a pure function
 /// of the reference (plus the store seed), so replicas of the same content
@@ -56,10 +58,24 @@ struct EchoInfection {
     verbatim: bool,
 }
 
+/// Lowered name + match fingerprint, built once when a file is inserted
+/// and kept parallel to `HostLibrary::files` (so `SharedFile` itself stays
+/// a plain wire-shaped value that is cheap to clone into query hits).
+#[derive(Debug, Clone)]
+struct FileMeta {
+    lower: Box<str>,
+    fp: u64,
+}
+
 /// The share library of a single host.
 #[derive(Debug, Clone, Default)]
 pub struct HostLibrary {
     files: Vec<SharedFile>,
+    /// Parallel to `files`: lowered names and fingerprints for matching.
+    meta: Vec<FileMeta>,
+    /// Exact file names present, so duplicate checks at insert time are
+    /// O(1) instead of a scan over every prior file.
+    names: HashSet<String>,
     echoes: Vec<EchoInfection>,
     /// Families present on this host (static or dynamic), for censuses.
     infections: Vec<FamilyId>,
@@ -76,13 +92,139 @@ pub fn query_terms(query: &str) -> Vec<String> {
 }
 
 /// True when every term occurs as a substring of the lower-cased name —
-/// the servent-side match rule.
+/// the servent-side match rule. This is the reference implementation; the
+/// hot path goes through [`CompiledQuery`], which must stay observationally
+/// identical (see the proptest equivalence suite).
 pub fn name_matches(name: &str, terms: &[String]) -> bool {
     if terms.is_empty() {
         return false;
     }
     let lower = name.to_ascii_lowercase();
     terms.iter().all(|t| lower.contains(t.as_str()))
+}
+
+#[inline]
+fn fp_bit(x: u64) -> u64 {
+    1u64 << (x.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58)
+}
+
+/// 64-bit character/bigram fingerprint of an (already lowered) name.
+///
+/// One bit per distinct byte and per distinct byte bigram. Substrings set a
+/// subset of the bits their containing string sets, so for any term `t` and
+/// name `n`: `lower(n).contains(t)` implies
+/// `name_fingerprint(t) & !name_fingerprint(lower(n)) == 0`. The converse
+/// does not hold — the fingerprint is a fast *reject* only, and every
+/// accept still runs the exact substring check.
+pub fn name_fingerprint(lower: &str) -> u64 {
+    let b = lower.as_bytes();
+    let mut fp = 0u64;
+    for i in 0..b.len() {
+        fp |= fp_bit(b[i] as u64);
+        if i + 1 < b.len() {
+            fp |= fp_bit(((b[i] as u64) << 8) | b[i + 1] as u64);
+        }
+    }
+    fp
+}
+
+/// A query tokenized (and fingerprinted) once at origination, then carried
+/// through the overlay so forwarding hops, QRP checks, and per-library
+/// matching never re-tokenize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledQuery {
+    raw: String,
+    terms: Vec<String>,
+    fp: u64,
+}
+
+impl CompiledQuery {
+    pub fn compile(query: &str) -> Self {
+        let terms = query_terms(query);
+        let fp = terms.iter().fold(0u64, |a, t| a | name_fingerprint(t));
+        CompiledQuery {
+            raw: query.to_string(),
+            terms,
+            fp,
+        }
+    }
+
+    /// The original query text as it travels on the wire.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+
+    /// Lower-cased match terms, in query order.
+    pub fn terms(&self) -> &[String] {
+        &self.terms
+    }
+
+    /// Combined fingerprint (OR over the terms' fingerprints).
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
+    }
+
+    /// True when the query has no match terms (such queries match nothing).
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Match against a precomputed lowered name + fingerprint. Exactly
+    /// equivalent to `name_matches(name, terms)`: the fingerprint subset
+    /// test only short-circuits definite misses.
+    #[inline]
+    pub fn matches_meta(&self, lower: &str, name_fp: u64) -> bool {
+        if self.terms.is_empty() || self.fp & !name_fp != 0 {
+            return false;
+        }
+        self.terms.iter().all(|t| lower.contains(t.as_str()))
+    }
+
+    /// Match against a raw name (lowers on the fly; used where no cached
+    /// meta exists). Equivalent to `name_matches(name, self.terms())`.
+    pub fn matches_name(&self, name: &str) -> bool {
+        name_matches(name, &self.terms)
+    }
+}
+
+/// A bounded, shared compile cache: the same query text floods through
+/// hundreds of servents per origination, so each distinct text is
+/// tokenized + fingerprinted once per world instead of once per hop.
+#[derive(Debug, Default)]
+pub struct QueryCache {
+    map: Mutex<HashMap<String, Arc<CompiledQuery>>>,
+}
+
+impl QueryCache {
+    /// Cap on distinct cached texts; beyond it, compiles are uncached
+    /// (correct either way — the cache is purely a perf device).
+    const MAX_ENTRIES: usize = 65_536;
+
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the compiled form of `query`, caching per distinct text.
+    pub fn compile(&self, query: &str) -> Arc<CompiledQuery> {
+        let mut map = self.map.lock().unwrap();
+        if let Some(q) = map.get(query) {
+            return Arc::clone(q);
+        }
+        let q = Arc::new(CompiledQuery::compile(query));
+        if map.len() < Self::MAX_ENTRIES {
+            map.insert(query.to_string(), Arc::clone(&q));
+        }
+        q
+    }
+
+    /// Number of distinct query texts currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl HostLibrary {
@@ -124,7 +266,7 @@ impl HostLibrary {
     /// Shares one variant of a benign title.
     pub fn add_benign(&mut self, item: &BenignItem, variant: usize) {
         let v = &item.variants[variant];
-        self.files.push(SharedFile {
+        self.push_file(SharedFile {
             name: v.name.clone(),
             size: v.size,
             content: ContentRef::Benign {
@@ -136,6 +278,19 @@ impl HostLibrary {
 
     /// Adds an arbitrary pre-built file (used by tests and custom hosts).
     pub fn add_file(&mut self, file: SharedFile) {
+        self.push_file(file);
+    }
+
+    /// The single insert path: every shared file gets its lowered name and
+    /// match fingerprint computed here, once, and its exact name recorded
+    /// for O(1) duplicate checks.
+    fn push_file(&mut self, file: SharedFile) {
+        let lower = file.name.to_ascii_lowercase();
+        self.meta.push(FileMeta {
+            fp: name_fingerprint(&lower),
+            lower: lower.into_boxed_str(),
+        });
+        self.names.insert(file.name.clone());
         self.files.push(file);
     }
 
@@ -170,7 +325,7 @@ impl HostLibrary {
             }
             NamingStrategy::FixedNames(names) => {
                 for name in names {
-                    self.files.push(SharedFile {
+                    self.push_file(SharedFile {
                         name: name.clone(),
                         size,
                         content,
@@ -187,8 +342,8 @@ impl HostLibrary {
                     let title = catalog.sample_uniform(rng);
                     let name = format!("{}.{extension}", title.keywords.join("_"));
                     // Avoid duplicate names if sampling repeats a title.
-                    if !self.files.iter().any(|f| f.name == name) {
-                        self.files.push(SharedFile {
+                    if !self.names.contains(&name) {
+                        self.push_file(SharedFile {
                             name,
                             size,
                             content,
@@ -232,8 +387,8 @@ impl HostLibrary {
             let rank = skip + (rng.next_u64() as usize) % (catalog.len() - skip).max(1);
             let title = catalog.item(rank as u32);
             let name = format!("{}.exe", title.keywords.join("_"));
-            if !self.files.iter().any(|f| f.name == name) {
-                self.files.push(SharedFile {
+            if !self.names.contains(&name) {
+                self.push_file(SharedFile {
                     name,
                     size,
                     content,
@@ -249,8 +404,14 @@ impl HostLibrary {
     /// answer *every* non-empty query; static files answer only on keyword
     /// match. Echo responses come first — the worm wants to be downloaded.
     pub fn respond(&self, query: &str, max: usize) -> Vec<SharedFile> {
-        let terms = query_terms(query);
-        if terms.is_empty() {
+        self.respond_compiled(&CompiledQuery::compile(query), max)
+    }
+
+    /// [`HostLibrary::respond`] for an already-compiled query — the hot
+    /// path. Matching uses the per-file fingerprint to reject misses with
+    /// one AND+CMP before the exact substring check; output is identical.
+    pub fn respond_compiled(&self, query: &CompiledQuery, max: usize) -> Vec<SharedFile> {
+        if query.is_empty() {
             return Vec::new();
         }
         let mut out = Vec::new();
@@ -259,9 +420,9 @@ impl HostLibrary {
             // the rest join terms with underscores, evading exact-echo
             // filters.
             let stem: String = if echo.verbatim {
-                query.trim().to_string()
+                query.raw().trim().to_string()
             } else {
-                terms.join("_")
+                query.terms().join("_")
             };
             for ext in &echo.extensions {
                 if out.len() >= max {
@@ -277,11 +438,11 @@ impl HostLibrary {
                 });
             }
         }
-        for f in &self.files {
+        for (f, m) in self.files.iter().zip(&self.meta) {
             if out.len() >= max {
                 break;
             }
-            if name_matches(&f.name, &terms) {
+            if query.matches_meta(&m.lower, m.fp) {
                 out.push(f.clone());
             }
         }
@@ -337,6 +498,49 @@ mod tests {
         assert!(name_matches("SILVER_ECHO.mp3", &terms));
         assert!(!name_matches("silver_serenade.mp3", &terms));
         assert!(!name_matches("anything", &[]));
+    }
+
+    #[test]
+    fn fingerprint_is_subset_for_substrings() {
+        let name = "crimson_horizon_remix.mp3";
+        for sub in ["son", "crimson", "mix.m", "_", "n_h"] {
+            let (nfp, sfp) = (name_fingerprint(name), name_fingerprint(sub));
+            assert_eq!(sfp & !nfp, 0, "substring {sub:?} must be fp-subset");
+        }
+    }
+
+    #[test]
+    fn compiled_query_matches_like_name_matches() {
+        let cases = [
+            ("son", "crimson.mp3"), // substring across token boundary
+            ("silver echo", "SILVER_ECHO.mp3"),
+            ("silver echo", "silver_serenade.mp3"),
+            ("", "anything"),
+            ("--  ..", "anything"),
+            ("zzz", "aaa"),
+        ];
+        for (q, name) in cases {
+            let terms = query_terms(q);
+            let cq = CompiledQuery::compile(q);
+            let lower = name.to_ascii_lowercase();
+            let fp = name_fingerprint(&lower);
+            assert_eq!(
+                cq.matches_meta(&lower, fp),
+                name_matches(name, &terms),
+                "query {q:?} vs {name:?}"
+            );
+            assert_eq!(cq.matches_name(name), name_matches(name, &terms));
+        }
+    }
+
+    #[test]
+    fn query_cache_dedups_compiles() {
+        let cache = QueryCache::new();
+        let a = cache.compile("Silver Echo");
+        let b = cache.compile("Silver Echo");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(a.terms(), &["silver".to_string(), "echo".to_string()]);
     }
 
     #[test]

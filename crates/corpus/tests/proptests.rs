@@ -1,8 +1,8 @@
 //! Property tests on the content ecosystem's invariants.
 
 use p2pmal_corpus::catalog::{Catalog, CatalogConfig};
-use p2pmal_corpus::library::{name_matches, query_terms};
-use p2pmal_corpus::{ContentRef, ContentStore, FamilyId, HostLibrary, Roster, Zipf};
+use p2pmal_corpus::library::{name_fingerprint, name_matches, query_terms};
+use p2pmal_corpus::{CompiledQuery, ContentRef, ContentStore, FamilyId, HostLibrary, Roster, Zipf};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -89,6 +89,67 @@ proptest! {
             prop_assert!(roster.get(FamilyId(0)).sizes.contains(&r.size));
             prop_assert!(r.content.is_malicious());
         }
+    }
+
+    /// Fingerprint soundness: a substring's fingerprint bits are always a
+    /// subset of the containing string's, so the fast-reject can never
+    /// discard a true match. Exercised over arbitrary printable-and-beyond
+    /// byte content and arbitrary substring windows.
+    #[test]
+    fn fingerprint_of_substring_is_subset(name in "\\PC{0,48}", start in 0usize..48, len in 0usize..48) {
+        let lower = name.to_ascii_lowercase();
+        // Clamp to char boundaries so slicing stays valid.
+        let mut s = start.min(lower.len());
+        while !lower.is_char_boundary(s) { s -= 1; }
+        let mut e = (s + len).min(lower.len());
+        while !lower.is_char_boundary(e) { e -= 1; }
+        let sub = &lower[s..e.max(s)];
+        prop_assert_eq!(name_fingerprint(sub) & !name_fingerprint(&lower), 0);
+    }
+
+    /// The compiled hot path is observationally identical to the reference
+    /// `query_terms` + `name_matches` pair, over adversarial inputs:
+    /// unicode-ish names, empty/punctuation-only queries, and terms that
+    /// straddle token boundaries of the name (e.g. "son" in "crimson").
+    #[test]
+    fn compiled_query_equals_reference(name in "\\PC{0,40}", query in "\\PC{0,40}") {
+        let terms = query_terms(&query);
+        let reference = name_matches(&name, &terms);
+        let compiled = CompiledQuery::compile(&query);
+        prop_assert_eq!(compiled.terms(), &terms[..]);
+        prop_assert_eq!(compiled.is_empty(), terms.is_empty());
+        prop_assert_eq!(compiled.matches_name(&name), reference);
+        let lower = name.to_ascii_lowercase();
+        prop_assert_eq!(
+            compiled.matches_meta(&lower, name_fingerprint(&lower)),
+            reference,
+            "meta path diverged for name {:?} query {:?}", name, query
+        );
+    }
+
+    /// `respond` (which now runs the compiled fingerprint path) returns
+    /// exactly the static files the reference matcher accepts, in library
+    /// order, for any query against a real catalog population.
+    #[test]
+    fn respond_equals_reference_filter(seed in any::<u64>(), query in "[ -~]{0,24}") {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let catalog = Catalog::generate(&CatalogConfig { titles: 30, ..Default::default() }, &mut rng);
+        let mut lib = HostLibrary::new();
+        for i in 0..8 {
+            lib.add_benign(catalog.item(i), 0);
+        }
+        let terms = query_terms(&query);
+        let expected: Vec<String> = if terms.is_empty() {
+            Vec::new()
+        } else {
+            lib.files()
+                .iter()
+                .filter(|f| name_matches(&f.name, &terms))
+                .map(|f| f.name.clone())
+                .collect()
+        };
+        let got: Vec<String> = lib.respond(&query, usize::MAX).into_iter().map(|f| f.name).collect();
+        prop_assert_eq!(got, expected);
     }
 
     /// Clean libraries never respond to queries that match nothing, and

@@ -15,7 +15,7 @@ use p2pmal_gnutella::servent::{
     SharedWorld,
 };
 use p2pmal_gnutella::{Guid, QueryHit};
-use p2pmal_netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration};
+use p2pmal_netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration, Subsystem};
 use p2pmal_scanner::Scanner;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -223,7 +223,9 @@ impl GnutellaCrawler {
         };
         match result {
             Ok(body) => {
-                let (sha1, verdict) = self.pipeline.scan(&fl.record.filename, &body);
+                let (sha1, verdict) = ctx.time(Subsystem::Scan, || {
+                    self.pipeline.scan(&fl.record.filename, &body)
+                });
                 self.log.scan = self.pipeline.stats();
                 if self.config.retry.uses_backoff() && verdict.unscannable() {
                     // The body arrived but its archive content is garbage

@@ -7,7 +7,7 @@ use crate::retry::{classify_openft, FailCause, RetryPolicy};
 use crate::scan::ScanPipeline;
 use crate::workload::{Workload, WorkloadConfig};
 use p2pmal_gnutella::servent::SharedWorld;
-use p2pmal_netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration};
+use p2pmal_netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration, Subsystem};
 use p2pmal_openft::node::{FtConfig, FtDownloadError, FtEvent, FtNode};
 use p2pmal_openft::packet::SearchResult;
 use p2pmal_scanner::Scanner;
@@ -191,7 +191,9 @@ impl FtCrawler {
         };
         match result {
             Ok(body) => {
-                let (sha1, verdict) = self.pipeline.scan(&fl.record.filename, &body);
+                let (sha1, verdict) = ctx.time(Subsystem::Scan, || {
+                    self.pipeline.scan(&fl.record.filename, &body)
+                });
                 self.log.scan = self.pipeline.stats();
                 if self.config.retry.uses_backoff() && verdict.unscannable() {
                     // Undecodable archive bytes: retry for a fresh copy

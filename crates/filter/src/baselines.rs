@@ -1,9 +1,11 @@
 //! Additional comparison filters bracketing the size-based design.
 
 use crate::ResponseFilter;
+use p2pmal_corpus::QueryCache;
 use p2pmal_crawler::ResolvedResponse;
 use p2pmal_hashes::Sha1Digest;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// A smarter filename heuristic than LimeWire's: blocks any downloadable
 /// response whose name stem equals the query terms joined by *any* single
@@ -11,11 +13,15 @@ use std::collections::HashSet;
 /// starts colliding with honest exact-title matches — the FP trade-off the
 /// size filter avoids.
 #[derive(Debug, Clone, Default)]
-pub struct EchoHeuristicFilter;
+pub struct EchoHeuristicFilter {
+    /// Crawl logs repeat the same query text across thousands of
+    /// responses; each distinct text is tokenized once.
+    queries: Arc<QueryCache>,
+}
 
 impl EchoHeuristicFilter {
     pub fn new() -> Self {
-        Self
+        Self::default()
     }
 
     fn normalize(s: &str) -> Vec<String> {
@@ -36,8 +42,8 @@ impl ResponseFilter for EchoHeuristicFilter {
             Some((stem, _)) => stem,
             None => return false,
         };
-        let q = Self::normalize(&r.record.query);
-        !q.is_empty() && Self::normalize(stem) == q
+        let q = self.queries.compile(&r.record.query);
+        !q.is_empty() && Self::normalize(stem) == q.terms()
     }
 }
 

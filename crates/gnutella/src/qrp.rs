@@ -21,8 +21,11 @@ pub const DEFAULT_LOG2_SIZE: u8 = 16;
 /// The "infinity" TTL value marking an absent keyword.
 pub const DEFAULT_INFINITY: u8 = 7;
 
-/// The canonical QRP hash of `word` into `bits` bits.
-pub fn qrp_hash(word: &str, bits: u8) -> u32 {
+/// The size-independent full-width form of [`qrp_hash`]: hash a word once,
+/// then derive any table's slot as `h >> (64 - log2_size)`. This is what
+/// lets an ultrapeer hash a query's keywords once and test them against
+/// every leaf table instead of re-hashing per leaf.
+pub fn qrp_hash_full(word: &str) -> u64 {
     let mut xor: u32 = 0;
     let mut j = 0u32;
     for b in word.bytes() {
@@ -30,8 +33,12 @@ pub fn qrp_hash(word: &str, bits: u8) -> u32 {
         xor ^= b << (j * 8);
         j = (j + 1) & 3;
     }
-    let prod = (xor as u64).wrapping_mul(0x4F1B_BCDC);
-    ((prod << 32) >> (64 - bits as u64)) as u32
+    (xor as u64).wrapping_mul(0x4F1B_BCDC) << 32
+}
+
+/// The canonical QRP hash of `word` into `bits` bits.
+pub fn qrp_hash(word: &str, bits: u8) -> u32 {
+    (qrp_hash_full(word) >> (64 - bits as u64)) as u32
 }
 
 /// Extracts the keywords of a filename / query for QRP purposes: maximal
@@ -108,6 +115,16 @@ impl QrpTable {
         }
         kws.iter().all(|w| {
             let slot = qrp_hash(w, self.log2_size) as usize;
+            self.entries[slot] < self.infinity
+        })
+    }
+
+    /// [`QrpTable::might_match`] for keywords hashed once up front with
+    /// [`qrp_hash_full`]. An empty slice (no >=3-char keyword) forwards
+    /// conservatively, matching `might_match`.
+    pub fn might_match_hashes(&self, hashes: &[u64]) -> bool {
+        hashes.iter().all(|&h| {
+            let slot = (h >> (64 - self.log2_size as u64)) as usize;
             self.entries[slot] < self.infinity
         })
     }
@@ -368,6 +385,38 @@ mod tests {
             "keyword-free queries pass conservatively"
         );
         assert!(t.population() >= 3);
+    }
+
+    #[test]
+    fn might_match_hashes_agrees_with_might_match() {
+        let mut t = QrpTable::new(12, 7);
+        t.insert_name("crimson_horizon_remix.mp3");
+        for q in [
+            "crimson horizon",
+            "CRIMSON",
+            "crimson missingword",
+            "zz",
+            "remix mp3",
+        ] {
+            let hashes: Vec<u64> = keywords(q).iter().map(|w| qrp_hash_full(w)).collect();
+            assert_eq!(
+                t.might_match_hashes(&hashes),
+                t.might_match(q),
+                "query {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_hash_derives_sized_hash() {
+        for w in ["hello", "WORLD", "a", "crimson_horizon"] {
+            for bits in [8u8, 13, 16, 24] {
+                assert_eq!(
+                    (qrp_hash_full(w) >> (64 - bits as u64)) as u32,
+                    qrp_hash(w, bits)
+                );
+            }
+        }
     }
 
     #[test]

@@ -22,9 +22,11 @@ use crate::message::{encode_message, Header, MessageReader, MsgType};
 use crate::payload::{
     HitResult, Ping, Pong, Push, QhdFlags, Query, QueryHit, QHD_PUSH, QHD_UPLOADED,
 };
-use crate::qrp::{QrpReceiver, QrpTable, RouteMsg};
-use p2pmal_corpus::{Catalog, ContentRef, ContentStore, HostLibrary, Roster, SharedFile};
-use p2pmal_netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration, SimTime};
+use crate::qrp::{qrp_hash_full, QrpReceiver, QrpTable, RouteMsg};
+use p2pmal_corpus::{
+    Catalog, CompiledQuery, ContentRef, ContentStore, HostLibrary, QueryCache, Roster, SharedFile,
+};
+use p2pmal_netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration, SimTime, Subsystem};
 use rand::RngCore;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -52,6 +54,9 @@ pub struct SharedWorld {
     pub catalog: Arc<Catalog>,
     pub roster: Arc<Roster>,
     pub store: Arc<ContentStore>,
+    /// World-wide compile cache: a query text floods through hundreds of
+    /// servents, but is tokenized and fingerprinted exactly once.
+    queries: Arc<QueryCache>,
 }
 
 impl SharedWorld {
@@ -60,7 +65,14 @@ impl SharedWorld {
             catalog,
             roster,
             store,
+            queries: Arc::new(QueryCache::new()),
         }
+    }
+
+    /// The compiled (tokenized-once) form of `text`, shared across every
+    /// servent in this world.
+    pub fn compile_query(&self, text: &str) -> Arc<CompiledQuery> {
+        self.queries.compile(text)
     }
 
     fn payload_of(&self, r: ContentRef) -> Vec<u8> {
@@ -375,6 +387,9 @@ impl Servent {
         let guid = Guid::random(ctx.rng());
         self.remember_seen(guid);
         self.route_query_back(guid, None);
+        // Tokenize at origination: every hop this query floods through
+        // reuses the compiled form out of the world's cache.
+        let _ = self.world.compile_query(text);
         let q = Query::keyword(text);
         let payload = q.encode();
         let mut wire = Vec::with_capacity(payload.len() + 23);
@@ -709,8 +724,12 @@ impl Servent {
         self.emit(ServentEvent::QuerySeen { at, text });
         self.route_query_back(header.guid, Some(conn));
 
+        // One compile per hop (usually a cache hit from the origination),
+        // shared by the library answer and the QRP last-hop filter below.
+        let compiled = self.world.compile_query(&query.text);
+
         // Answer from our own library.
-        self.answer_query(ctx, header, &query.text);
+        self.answer_query(ctx, header, &compiled);
 
         if self.config.role == Role::Leaf {
             return; // leaves never forward
@@ -750,13 +769,24 @@ impl Servent {
             payload,
             &mut wire,
         );
+        // Hash the query's QRP keywords once (compiled terms of length >= 3
+        // are exactly `qrp::keywords(text)`), then test each leaf table via
+        // a shift + lookup instead of re-tokenizing and re-hashing per leaf.
+        let qrp_hashes: Vec<u64> = ctx.time(Subsystem::QueryMatch, || {
+            compiled
+                .terms()
+                .iter()
+                .filter(|t| t.len() >= 3)
+                .map(|t| qrp_hash_full(t))
+                .collect()
+        });
         let mut suppressed = 0u64;
         let mut targets: Vec<ConnId> = self
             .conns
             .iter()
             .filter_map(|(&c, k)| match k {
                 ConnKind::Peer(p) if c != conn && !p.ultrapeer => match p.qrp.table() {
-                    Some(t) if !t.might_match(&query.text) => {
+                    Some(t) if !t.might_match_hashes(&qrp_hashes) => {
                         suppressed += 1;
                         None
                     }
@@ -772,9 +802,13 @@ impl Servent {
         }
     }
 
-    /// Builds and sends our QUERYHIT for `text`, if the library matches.
-    fn answer_query(&mut self, ctx: &mut Ctx<'_>, header: Header, text: &str) {
-        let files = self.library.respond(text, self.config.max_results);
+    /// Builds and sends our QUERYHIT for the compiled query, if the library
+    /// matches.
+    fn answer_query(&mut self, ctx: &mut Ctx<'_>, header: Header, query: &CompiledQuery) {
+        let files = ctx.time(Subsystem::QueryMatch, || {
+            self.library
+                .respond_compiled(query, self.config.max_results)
+        });
         if files.is_empty() {
             return;
         }

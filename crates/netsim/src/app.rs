@@ -3,6 +3,7 @@
 
 use crate::addr::HostAddr;
 use crate::pool::BufferPool;
+use crate::profile::{Subsystem, SubsystemProfile};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 
@@ -61,6 +62,7 @@ pub struct Ctx<'a> {
     pub(crate) actions: &'a mut Vec<Action>,
     pub(crate) next_conn: &'a mut u64,
     pub(crate) pool: &'a mut BufferPool,
+    pub(crate) profile: &'a mut SubsystemProfile,
 }
 
 impl<'a> Ctx<'a> {
@@ -125,6 +127,14 @@ impl<'a> Ctx<'a> {
     /// callbacks are delivered. Used to model churn.
     pub fn shutdown(&mut self) {
         self.actions.push(Action::Shutdown);
+    }
+
+    /// Times `f` into wall-clock bucket `s` of the simulation's
+    /// [`SubsystemProfile`] — how apps attribute their scan-pipeline and
+    /// query-matching work. Diagnostics only; never affects determinism.
+    #[inline]
+    pub fn time<R>(&mut self, s: Subsystem, f: impl FnOnce() -> R) -> R {
+        self.profile.time(s, f)
     }
 }
 

@@ -57,6 +57,7 @@ mod faults;
 pub mod live;
 mod metrics;
 mod pool;
+mod profile;
 pub mod queue;
 mod sim;
 mod time;
@@ -65,6 +66,7 @@ pub use addr::{ip_class, AddressAllocator, HostAddr, IpClass};
 pub use app::{App, ConnId, Ctx, Direction, NodeId, TimerToken};
 pub use faults::{ChurnSpec, FaultPlan};
 pub use metrics::SimMetrics;
+pub use profile::{Subsystem, SubsystemProfile, SUBSYSTEM_COUNT};
 pub use queue::{CalendarQueue, HeapQueue, Scheduler, SchedulerKind};
 pub use sim::{NodeSpec, SimConfig, Simulator};
 pub use time::{SimDuration, SimTime};

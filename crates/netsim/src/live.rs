@@ -14,6 +14,7 @@ use crate::addr::HostAddr;
 use crate::app::NodeId;
 use crate::app::{Action, App, ConnId, Ctx, Direction, TimerToken};
 use crate::pool::BufferPool;
+use crate::profile::SubsystemProfile;
 use crate::time::SimTime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -181,6 +182,7 @@ fn run_app_loop(
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(0x11_7e_c0_de);
     let mut pool = BufferPool::default();
+    let mut profile = SubsystemProfile::new();
     let mut streams: HashMap<u64, TcpStream> = HashMap::new();
     // `Ctx.next_conn` needs a plain &mut u64; reconcile with the shared
     // atomic after each callback.
@@ -200,6 +202,7 @@ fn run_app_loop(
                 actions: &mut actions,
                 next_conn: &mut conn_counter,
                 pool: &mut pool,
+                profile: &mut profile,
             };
             match ev {
                 LiveEvent::Start => app.on_start(&mut ctx),

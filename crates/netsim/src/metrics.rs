@@ -1,5 +1,7 @@
 //! Aggregate counters the harness reads after (or during) a run.
 
+use crate::profile::SubsystemProfile;
+
 /// Simulation-wide counters. All counts are cumulative since construction.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct SimMetrics {
@@ -62,6 +64,10 @@ pub struct SimMetrics {
     pub scan_cache_evictions: u64,
     /// Distinct payload digests observed by the scan pipeline.
     pub scan_distinct_payloads: u64,
+    /// Per-subsystem wall-clock profile. Diagnostics only: it compares
+    /// equal to any other profile, so identical-seed metric snapshots stay
+    /// equal even though their wall timings differ.
+    pub timing: SubsystemProfile,
 }
 
 #[cfg(test)]

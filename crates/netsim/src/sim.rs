@@ -6,6 +6,7 @@ use crate::event::{EventKind, EventQueue};
 use crate::faults::{ChunkFate, FaultPlan};
 use crate::metrics::SimMetrics;
 use crate::pool::{BufferPool, Payload};
+use crate::profile::Subsystem;
 use crate::queue::SchedulerKind;
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -266,6 +267,7 @@ impl Simulator {
     /// Runs until the queue drains or the clock passes `deadline`.
     /// Returns the number of events dispatched.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let (wall, before) = self.profile_loop_start();
         let mut n = 0;
         while let Some(t) = self.queue.peek_time() {
             if t > deadline {
@@ -280,18 +282,42 @@ impl Simulator {
         if self.now < deadline {
             self.now = deadline;
         }
+        self.profile_loop_end(wall, before);
         n
     }
 
     /// Runs until the event queue is empty.
     pub fn run_to_quiescence(&mut self) -> u64 {
+        let (wall, before) = self.profile_loop_start();
         let mut n = 0;
         while let Some((time, kind)) = self.queue.pop() {
             self.now = time;
             self.dispatch(kind);
             n += 1;
         }
+        self.profile_loop_end(wall, before);
         n
+    }
+
+    /// Run-loop profiling prologue: a wall-clock mark plus the nanos already
+    /// attributed to callbacks, so the epilogue can assign the remainder —
+    /// queue operations, conn table, dispatch overhead — to `Scheduler`
+    /// without per-event clock reads beyond the ones `with_app` makes.
+    fn profile_loop_start(&self) -> (std::time::Instant, u64) {
+        let t = &self.metrics.timing;
+        (
+            std::time::Instant::now(),
+            t.nanos(Subsystem::App) + t.nanos(Subsystem::TcpPump),
+        )
+    }
+
+    fn profile_loop_end(&mut self, wall: std::time::Instant, before: u64) {
+        let total = wall.elapsed().as_nanos() as u64;
+        let t = &self.metrics.timing;
+        let callbacks = t.nanos(Subsystem::App) + t.nanos(Subsystem::TcpPump) - before;
+        self.metrics
+            .timing
+            .record(Subsystem::Scheduler, total.saturating_sub(callbacks));
     }
 
     /// Number of events currently scheduled.
@@ -432,6 +458,7 @@ impl Simulator {
         let mut app = self.nodes[node.0].app.take()?;
         let mut actions = Vec::new();
         let r;
+        let start = std::time::Instant::now();
         {
             let slot = &self.nodes[node.0];
             let mut ctx = Ctx {
@@ -443,11 +470,19 @@ impl Simulator {
                 actions: &mut actions,
                 next_conn: &mut self.next_conn_id,
                 pool: &mut self.pool,
+                profile: &mut self.metrics.timing,
             };
             r = f(app.as_mut(), &mut ctx);
         }
+        let mid = std::time::Instant::now();
+        self.metrics
+            .timing
+            .record(Subsystem::App, (mid - start).as_nanos() as u64);
         self.nodes[node.0].app = Some(app);
         self.apply(node, actions);
+        self.metrics
+            .timing
+            .record(Subsystem::TcpPump, mid.elapsed().as_nanos() as u64);
         self.sync_stats();
         Some(r)
     }
@@ -458,6 +493,7 @@ impl Simulator {
             None => return, // re-entrant dispatch to a node being dropped
         };
         let mut actions = Vec::new();
+        let start = std::time::Instant::now();
         {
             let slot = &self.nodes[node.0];
             let mut ctx = Ctx {
@@ -469,11 +505,19 @@ impl Simulator {
                 actions: &mut actions,
                 next_conn: &mut self.next_conn_id,
                 pool: &mut self.pool,
+                profile: &mut self.metrics.timing,
             };
             f(&mut app, &mut ctx);
         }
+        let mid = std::time::Instant::now();
+        self.metrics
+            .timing
+            .record(Subsystem::App, (mid - start).as_nanos() as u64);
         self.nodes[node.0].app = Some(app);
         self.apply(node, actions);
+        self.metrics
+            .timing
+            .record(Subsystem::TcpPump, mid.elapsed().as_nanos() as u64);
     }
 
     fn apply(&mut self, node: NodeId, actions: Vec<Action>) {
@@ -750,6 +794,7 @@ impl Simulator {
                 actions: &mut actions,
                 next_conn: &mut self.next_conn_id,
                 pool: &mut self.pool,
+                profile: &mut self.metrics.timing,
             };
             f(&mut app, &mut ctx);
         }

@@ -27,10 +27,11 @@ use crate::packet::{
     encode_packet, AddShare, Child, Command, NodeEntry, NodeInfo, NodeList, PacketReader, Search,
     SearchResult, Session, Version, CLASS_SEARCH, CLASS_USER,
 };
+use p2pmal_corpus::library::name_fingerprint;
 use p2pmal_corpus::{ContentRef, HostLibrary};
 use p2pmal_gnutella::servent::SharedWorld;
 use p2pmal_hashes::Md5Digest;
-use p2pmal_netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration, SimTime};
+use p2pmal_netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration, SimTime, Subsystem};
 use rand::RngCore;
 use std::collections::HashMap;
 
@@ -162,6 +163,8 @@ struct IndexedShare {
     size: u32,
     filename: String,
     lower: String,
+    /// Match fingerprint of `lower`, built once at registration.
+    fp: u64,
 }
 
 struct PeerState {
@@ -572,13 +575,15 @@ impl FtNode {
                         .map(|i| (i.port, i.http_port))
                         .unwrap_or((p.peer_addr.port, p.peer_addr.port));
                     let filename = add.path.rsplit('/').next().unwrap_or(&add.path).to_string();
+                    let lower = filename.to_ascii_lowercase();
                     IndexedShare {
                         owner: conn,
                         host: HostAddr::new(p.peer_addr.ip, port),
                         http_port,
                         md5: add.md5,
                         size: add.size,
-                        lower: filename.to_ascii_lowercase(),
+                        fp: name_fingerprint(&lower),
+                        lower,
                         filename,
                     }
                 };
@@ -644,28 +649,35 @@ impl FtNode {
     /// Answers a search from the child-share index plus our own library.
     fn answer_search(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, id: u32, query: &str) {
         self.stats.searches_answered += 1;
-        let terms: Vec<String> = p2pmal_corpus::library::query_terms(query);
+        // Tokenized/fingerprinted once per distinct text, world-wide.
+        let compiled = self.world.compile_query(query);
         let mut results = Vec::new();
-        if !terms.is_empty() {
-            for s in &self.index {
-                if results.len() >= self.config.max_results {
-                    break;
+        if !compiled.is_empty() {
+            ctx.time(Subsystem::QueryMatch, || {
+                for s in &self.index {
+                    if results.len() >= self.config.max_results {
+                        break;
+                    }
+                    if compiled.matches_meta(&s.lower, s.fp) {
+                        results.push(SearchResult {
+                            id,
+                            host: s.host.ip,
+                            port: s.host.port,
+                            http_port: s.http_port,
+                            avail: 1,
+                            md5: s.md5,
+                            size: s.size,
+                            filename: s.filename.clone(),
+                        });
+                    }
                 }
-                if terms.iter().all(|t| s.lower.contains(t.as_str())) {
-                    results.push(SearchResult {
-                        id,
-                        host: s.host.ip,
-                        port: s.host.port,
-                        http_port: s.http_port,
-                        avail: 1,
-                        md5: s.md5,
-                        size: s.size,
-                        filename: s.filename.clone(),
-                    });
-                }
-            }
+            });
             // Our own shares answer too (SEARCH nodes are also users).
-            for f in self.library.respond(query, self.config.max_results) {
+            let own = ctx.time(Subsystem::QueryMatch, || {
+                self.library
+                    .respond_compiled(&compiled, self.config.max_results)
+            });
+            for f in own {
                 if results.len() >= self.config.max_results {
                     break;
                 }
