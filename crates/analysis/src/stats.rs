@@ -76,6 +76,22 @@ pub fn ecdf(mut samples: Vec<u64>) -> Vec<(u64, f64)> {
     out
 }
 
+/// Renders one histogram-summary line (`label: n=.. min=.. p50=.. p90=..
+/// p99=.. max=..`) from pre-extracted percentiles, so callers holding a
+/// telemetry [`HistSummary`]-shaped record can report it without this
+/// crate depending on the telemetry layer.
+pub fn hist_summary_line(
+    label: &str,
+    count: u64,
+    min: u64,
+    p50: u64,
+    p90: u64,
+    p99: u64,
+    max: u64,
+) -> String {
+    format!("{label}: n={count} min={min} p50={p50} p90={p90} p99={p99} max={max}")
+}
+
 /// Fixed-bin histogram over `u64` samples in `[lo, hi)`; the last bin
 /// absorbs overflow.
 pub fn histogram(samples: &[u64], lo: u64, hi: u64, bins: usize) -> Vec<u64> {
@@ -126,6 +142,14 @@ mod tests {
         let cdf = ecdf(vec![5, 1, 5, 9]);
         assert_eq!(cdf, vec![(1, 0.25), (5, 0.75), (9, 1.0)]);
         assert!(ecdf(vec![]).is_empty());
+    }
+
+    #[test]
+    fn hist_summary_line_is_stable() {
+        assert_eq!(
+            hist_summary_line("latency_us", 4, 1, 2, 3, 3, 9),
+            "latency_us: n=4 min=1 p50=2 p90=3 p99=3 max=9"
+        );
     }
 
     #[test]

@@ -8,11 +8,12 @@
 //! P2PMAL_QUICK=1 P2PMAL_SEEDS=1,2,3 cargo run --release -p p2pmal-bench --bin run_study
 //! ```
 
-use p2pmal_bench::{run_seeds, BenchConfig, RunArtifact};
+use p2pmal_analysis::hist_summary_line;
+use p2pmal_bench::{run_seeds, summary_to_json, BenchConfig, RunArtifact};
 use p2pmal_core::{LimewireScenario, NetworkRun, OpenFtScenario, Study};
 use p2pmal_crawler::ScanStats;
 use p2pmal_json::Value;
-use p2pmal_netsim::Subsystem;
+use p2pmal_netsim::{Counter, Subsystem};
 
 /// One line of scan-pipeline accounting: how many download bodies reached
 /// the scanner and how much of that work the verdict cache absorbed.
@@ -104,7 +105,53 @@ fn timing_entry(label: &str, run: &NetworkRun) -> Value {
         ("events".into(), events.into()),
         ("events_per_sec".into(), events_per_sec.into()),
         ("subsystems".into(), buckets),
+        ("telemetry".into(), telemetry_entry(run)),
     ])
+}
+
+/// The telemetry section of one network's `BENCH_study.json` entry:
+/// registry counters plus count/min/p50/p90/p99/max summaries of every
+/// sim-time histogram. Only deterministic (sim-time-keyed) values go into
+/// the JSON; wall-clock histograms are echoed to stderr by
+/// [`telemetry_lines`] instead.
+fn telemetry_entry(run: &NetworkRun) -> Value {
+    let reg = &run.sim_metrics.telemetry;
+    let counters = Value::Obj(
+        Counter::ALL
+            .iter()
+            .map(|&c| (c.label().to_string(), reg.counter(c).into()))
+            .collect(),
+    );
+    let hists = Value::Obj(
+        reg.sim_summaries()
+            .into_iter()
+            .map(|(label, s)| (label.to_string(), summary_to_json(&s)))
+            .collect(),
+    );
+    Value::Obj(vec![("counters".into(), counters), ("hists".into(), hists)])
+}
+
+/// Echoes the histogram summaries (sim-time and wall-clock) to stderr.
+fn telemetry_lines(label: &str, run: &NetworkRun) {
+    let reg = &run.sim_metrics.telemetry;
+    for (name, s) in reg.sim_summaries() {
+        if s.count == 0 {
+            continue;
+        }
+        eprintln!(
+            "[run_study] hist {label}: {}",
+            hist_summary_line(name, s.count, s.min, s.p50, s.p90, s.p99, s.max)
+        );
+    }
+    for (name, s) in reg.wall_summaries() {
+        if s.count == 0 {
+            continue;
+        }
+        eprintln!(
+            "[run_study] hist {label} (wall): {}",
+            hist_summary_line(name, s.count, s.min, s.p50, s.p90, s.p99, s.max)
+        );
+    }
 }
 
 /// Writes the machine-readable timing summary next to the human report so
@@ -124,6 +171,15 @@ fn write_bench_json(report: &p2pmal_core::StudyReport, cfg: &BenchConfig) {
         ("networks".into(), Value::Arr(networks)),
     ]);
     let path = std::env::var("P2PMAL_BENCH_JSON").unwrap_or_else(|_| "BENCH_study.json".into());
+    // `P2PMAL_BENCH_JSON=dir/file.json` must work even when `dir` does not
+    // exist yet (CI points this at a fresh artifacts directory).
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("[run_study] could not create {}: {e}", dir.display());
+            }
+        }
+    }
     match std::fs::write(&path, doc.to_string_compact()) {
         Ok(()) => eprintln!("[run_study] wrote timing summary to {path}"),
         Err(e) => eprintln!("[run_study] could not write {path}: {e}"),
@@ -234,6 +290,12 @@ fn main() {
         if let Some(run) = report.openft.as_ref() {
             resilience_lines("OpenFT", run, &cfg.faults);
         }
+    }
+    if let Some(run) = report.limewire.as_ref() {
+        telemetry_lines("LimeWire", run);
+    }
+    if let Some(run) = report.openft.as_ref() {
+        telemetry_lines("OpenFT", run);
     }
     write_bench_json(&report, &cfg);
     let comparisons = report.comparisons();

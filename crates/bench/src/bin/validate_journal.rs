@@ -1,0 +1,84 @@
+//! Validates a telemetry event journal written via `P2PMAL_JOURNAL`.
+//!
+//! Every line must parse as a JSON object carrying the event envelope
+//! (`t`, `day`, `cat`, `ev`) with a known category, and the sim
+//! timestamps must be monotone non-decreasing. CI runs this against the
+//! journals of a quick study to keep the JSONL schema honest.
+//!
+//! ```sh
+//! cargo run -p p2pmal-bench --bin validate_journal -- journal.limewire.jsonl journal.openft.jsonl
+//! ```
+//!
+//! Prints one per-category summary line per valid journal; exits with
+//! status 1 if any journal is malformed, 2 on usage errors.
+
+use p2pmal_json::Value;
+use p2pmal_netsim::EventCategory;
+
+fn validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut last_t = 0u64;
+    let mut counts = [0u64; EventCategory::ALL.len()];
+    let mut events = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        let v = p2pmal_json::parse(line).map_err(|e| format!("{path}:{n}: {e}"))?;
+        let t = v
+            .get("t")
+            .and_then(Value::as_u64)
+            .ok_or(format!("{path}:{n}: missing numeric `t`"))?;
+        v.get("day")
+            .and_then(Value::as_u64)
+            .ok_or(format!("{path}:{n}: missing numeric `day`"))?;
+        let cat = v
+            .get("cat")
+            .and_then(Value::as_str)
+            .ok_or(format!("{path}:{n}: missing string `cat`"))?;
+        let cat = EventCategory::from_label(cat)
+            .ok_or(format!("{path}:{n}: unknown category {cat:?}"))?;
+        v.get("ev")
+            .and_then(Value::as_str)
+            .ok_or(format!("{path}:{n}: missing string `ev`"))?;
+        if t < last_t {
+            return Err(format!(
+                "{path}:{n}: sim time went backwards ({t} < {last_t})"
+            ));
+        }
+        last_t = t;
+        counts[cat as usize] += 1;
+        events += 1;
+    }
+    let breakdown: Vec<String> = EventCategory::ALL
+        .iter()
+        .zip(counts.iter())
+        .filter(|(_, &n)| n > 0)
+        .map(|(c, n)| format!("{} {n}", c.label()))
+        .collect();
+    println!(
+        "{path}: {events} events OK ({})",
+        if breakdown.is_empty() {
+            "empty".into()
+        } else {
+            breakdown.join(", ")
+        }
+    );
+    Ok(())
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_journal <journal.jsonl>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        if let Err(e) = validate(path) {
+            eprintln!("[validate_journal] INVALID: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -15,9 +15,17 @@
 //! * `P2PMAL_SEEDS=<a,b,c>` — multi-seed sweep: every seed's two-network
 //!   study runs on its own thread (see [`run_seeds`]);
 //! * `P2PMAL_DAYS=<n>` — override the collection length;
-//! * `P2PMAL_TRACE=1` — per-day event/wall-time trace during simulation,
-//!   including buffer-pool, queue-depth and scan-pipeline (cache
-//!   hit/miss/eviction, bytes hashed) statistics;
+//! * `P2PMAL_TRACE=<level>` — leveled trace on stderr. Unset, empty, `0`,
+//!   `off`, `false` and `no` disable it; `1` prints the per-day
+//!   event/wall-time trace, including buffer-pool, queue-depth and
+//!   scan-pipeline (cache hit/miss/eviction, bytes hashed) statistics;
+//!   `2` additionally renders every telemetry event as it is recorded;
+//! * `P2PMAL_JOURNAL=<path>` — write the structured sim-time event journal
+//!   (one JSON object per line) to `<path>.limewire.jsonl` and
+//!   `<path>.openft.jsonl`, creating parent directories as needed;
+//! * `P2PMAL_JOURNAL_SAMPLE=<cat=N,...>` — journal only every Nth event of
+//!   a category (`query`, `download`, `scan`, `fault`, `churn`); `cat=0`
+//!   drops the category entirely;
 //! * `P2PMAL_FAULTS=none|mild|harsh` — network fault profile: packet loss,
 //!   spontaneous resets, latency spikes, corruption and host churn, with
 //!   the retry policy calibrated for each profile (`none` is the default
@@ -32,6 +40,7 @@ use p2pmal_crawler::{
 use p2pmal_json::Value;
 use p2pmal_netsim::FaultPlan;
 use p2pmal_netsim::SimTime;
+use p2pmal_netsim::{Counter, HistSummary};
 use std::io::Write;
 use std::net::Ipv4Addr;
 use std::path::PathBuf;
@@ -53,7 +62,22 @@ pub struct RunArtifact {
     /// default `none` profile and for artifacts written before the fault
     /// layer existed.
     pub resilience: ResilienceStats,
+    /// Deterministic telemetry roll-up: named counters and log2-histogram
+    /// summaries keyed on sim time (identical for identical seeds).
+    /// All-empty for artifacts written before the telemetry layer existed.
+    pub telemetry: TelemetryStats,
     pub resolved: Vec<ResolvedResponse>,
+}
+
+/// Telemetry counters and histogram summaries carried by a
+/// [`RunArtifact`]. Only sim-time-keyed values appear here — wall-clock
+/// histograms are excluded so cached artifacts stay byte-stable.
+#[derive(Debug, Default, Clone)]
+pub struct TelemetryStats {
+    /// `(label, value)` for every counter in the metrics registry.
+    pub counters: Vec<(String, u64)>,
+    /// `(label, summary)` for every sim-time histogram.
+    pub hists: Vec<(String, HistSummary)>,
 }
 
 /// Fault/retry accounting carried by a [`RunArtifact`].
@@ -361,6 +385,71 @@ fn resilience_from_json(v: &Value) -> Option<ResilienceStats> {
     })
 }
 
+/// Serializes a [`HistSummary`] as the flat object every consumer of
+/// `BENCH_study.json` and the run cache shares.
+pub fn summary_to_json(s: &HistSummary) -> Value {
+    Value::Obj(vec![
+        ("count".into(), s.count.into()),
+        ("min".into(), s.min.into()),
+        ("p50".into(), s.p50.into()),
+        ("p90".into(), s.p90.into()),
+        ("p99".into(), s.p99.into()),
+        ("max".into(), s.max.into()),
+    ])
+}
+
+fn summary_from_json(v: &Value) -> Option<HistSummary> {
+    Some(HistSummary {
+        count: v.get("count")?.as_u64()?,
+        min: v.get("min")?.as_u64()?,
+        p50: v.get("p50")?.as_u64()?,
+        p90: v.get("p90")?.as_u64()?,
+        p99: v.get("p99")?.as_u64()?,
+        max: v.get("max")?.as_u64()?,
+    })
+}
+
+fn telemetry_to_json(t: &TelemetryStats) -> Value {
+    Value::Obj(vec![
+        (
+            "counters".into(),
+            Value::Obj(
+                t.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), (*v).into()))
+                    .collect(),
+            ),
+        ),
+        (
+            "hists".into(),
+            Value::Obj(
+                t.hists
+                    .iter()
+                    .map(|(k, s)| (k.clone(), summary_to_json(s)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn telemetry_from_json(v: &Value) -> Option<TelemetryStats> {
+    let counters = match v.get("counters")? {
+        Value::Obj(pairs) => pairs
+            .iter()
+            .filter_map(|(k, n)| Some((k.clone(), n.as_u64()?)))
+            .collect(),
+        _ => Vec::new(),
+    };
+    let hists = match v.get("hists")? {
+        Value::Obj(pairs) => pairs
+            .iter()
+            .filter_map(|(k, s)| Some((k.clone(), summary_from_json(s)?)))
+            .collect(),
+        _ => Vec::new(),
+    };
+    Some(TelemetryStats { counters, hists })
+}
+
 fn artifact_to_json(a: &RunArtifact) -> Value {
     Value::Obj(vec![
         (
@@ -379,6 +468,7 @@ fn artifact_to_json(a: &RunArtifact) -> Value {
         ("sim_events".into(), a.sim_events.into()),
         ("scan".into(), scan_to_json(&a.scan)),
         ("resilience".into(), resilience_to_json(&a.resilience)),
+        ("telemetry".into(), telemetry_to_json(&a.telemetry)),
         (
             "resolved".into(),
             Value::Arr(a.resolved.iter().map(resolved_to_json).collect()),
@@ -413,8 +503,29 @@ fn artifact_from_json(v: &Value) -> Option<RunArtifact> {
             .get("resilience")
             .and_then(resilience_from_json)
             .unwrap_or_default(),
+        // And for artifacts predating the telemetry layer.
+        telemetry: v
+            .get("telemetry")
+            .and_then(telemetry_from_json)
+            .unwrap_or_default(),
         resolved,
     })
+}
+
+/// Collects the deterministic telemetry roll-up from a finished run.
+fn telemetry_of(run: &p2pmal_core::NetworkRun) -> TelemetryStats {
+    let reg = &run.sim_metrics.telemetry;
+    TelemetryStats {
+        counters: Counter::ALL
+            .iter()
+            .map(|&c| (c.label().to_string(), reg.counter(c)))
+            .collect(),
+        hists: reg
+            .sim_summaries()
+            .into_iter()
+            .map(|(label, s)| (label.to_string(), s))
+            .collect(),
+    }
 }
 
 /// Collects the artifact's resilience counters from a finished run.
@@ -475,6 +586,7 @@ pub fn limewire_run(cfg: &BenchConfig) -> RunArtifact {
         sim_events: run.sim_metrics.events_processed,
         scan: run.log.scan,
         resilience: resilience_of(&run),
+        telemetry: telemetry_of(&run),
         resolved: run.resolved,
     };
     store(&path, &artifact);
@@ -518,6 +630,7 @@ pub fn openft_run(cfg: &BenchConfig) -> RunArtifact {
         sim_events: run.sim_metrics.events_processed,
         scan: run.log.scan,
         resilience: resilience_of(&run),
+        telemetry: telemetry_of(&run),
         resolved: run.resolved,
     };
     store(&path, &artifact);

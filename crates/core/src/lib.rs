@@ -26,5 +26,10 @@
 pub mod scenario;
 pub mod study;
 
+/// The structured telemetry layer (event journal, metrics registry, trace
+/// sinks), re-exported so harnesses depending on `p2pmal-core` can
+/// configure sinks and read histograms without naming `p2pmal-netsim`.
+pub use p2pmal_netsim::telemetry;
+
 pub use scenario::{fault_profile, InfectionSpec, LimewireScenario, NetworkRun, OpenFtScenario};
 pub use study::{FilterRow, Study, StudyReport};

@@ -28,6 +28,7 @@ use p2pmal_crawler::{
 use p2pmal_gnutella::servent::{Servent, ServentConfig, SharedWorld};
 use p2pmal_netsim::{
     FaultPlan, NodeSpec, SchedulerKind, SimConfig, SimDuration, SimMetrics, SimTime, Simulator,
+    TelemetryConfig,
 };
 use p2pmal_openft::node::{FtConfig, FtNode};
 use p2pmal_scanner::Scanner;
@@ -80,14 +81,16 @@ pub struct NetworkRun {
     pub wall: std::time::Duration,
 }
 
-fn trace_enabled() -> bool {
-    std::env::var("P2PMAL_TRACE").is_ok()
-}
-
 /// `P2PMAL_TRACE=1`: per-day progress line with scheduler and buffer-pool
 /// health (queue depth + peak, pool hit rate, bytes recycled), plus the
 /// scan-pipeline counters (bodies, cache hits/misses/evictions, distinct
 /// payloads, bytes hashed) when a crawler snapshot is available.
+///
+/// Accepted `P2PMAL_TRACE` values (parsed by
+/// `p2pmal_netsim::telemetry::parse_trace_level`): unset, empty, `0`,
+/// `off`, `false`, `no` → off; `2` → per-day lines *plus* per-event
+/// records on stderr; anything else (the historical `1`) → per-day lines.
+///
 /// Per-day crawler-side counters a trace line reports alongside the
 /// simulator metrics.
 struct DayCrawlStats {
@@ -117,9 +120,6 @@ fn trace_day(
     sim: &Simulator,
     crawl: Option<&DayCrawlStats>,
 ) {
-    if !trace_enabled() {
-        return;
-    }
     let m = sim.metrics();
     let scan_part = match crawl {
         Some(c) => {
@@ -267,6 +267,12 @@ pub struct LimewireScenario {
     /// Crawler download retry policy ([`RetryPolicy::legacy()`] by
     /// default: the historical one-immediate-fallback behavior).
     pub retry: RetryPolicy,
+    /// Telemetry sinks and trace level. The presets read the
+    /// `P2PMAL_JOURNAL` / `P2PMAL_TRACE` / `P2PMAL_JOURNAL_SAMPLE` env
+    /// knobs; tests set this field programmatically. With everything off
+    /// (the default when no knob is set) runs are byte-identical to a
+    /// build without the telemetry layer.
+    pub telemetry: TelemetryConfig,
 }
 
 impl LimewireScenario {
@@ -294,6 +300,7 @@ impl LimewireScenario {
             scan_cache_entries: DEFAULT_SCAN_CACHE_ENTRIES,
             faults: FaultPlan::none(),
             retry: RetryPolicy::legacy(),
+            telemetry: TelemetryConfig::from_env(),
         }
     }
 
@@ -364,6 +371,7 @@ impl LimewireScenario {
             },
             self.seed,
         );
+        sim.set_telemetry(self.telemetry.build("limewire"));
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x11FE);
 
         // Ultrapeer backbone. Leaf slots must cover the population
@@ -435,9 +443,12 @@ impl LimewireScenario {
             sim.run_until(SimTime::from_days(day));
             let day_wall = t0.elapsed();
             wall += day_wall;
+            // Unconditional: every run samples queue depth identically, so
+            // the registry stays deterministic whatever the trace level.
+            sim.sample_queue_depth();
             let ev = sim.metrics().events_processed;
-            let crawl = if trace_enabled() {
-                sim.with_node(crawler, |app, _| {
+            if self.telemetry.trace >= 1 {
+                let crawl = sim.with_node(crawler, |app, _| {
                     DayCrawlStats::of(
                         app.as_any_mut()
                             .expect("crawler downcasts")
@@ -445,22 +456,21 @@ impl LimewireScenario {
                             .expect("crawler node")
                             .log(),
                     )
-                })
-            } else {
-                None
-            };
-            trace_day(
-                "LW",
-                day,
-                ev,
-                ev - last_events,
-                day_wall.as_secs_f64(),
-                &sim,
-                crawl.as_ref(),
-            );
+                });
+                trace_day(
+                    "LW",
+                    day,
+                    ev,
+                    ev - last_events,
+                    day_wall.as_secs_f64(),
+                    &sim,
+                    crawl.as_ref(),
+                );
+            }
             last_events = ev;
             progress(day);
         }
+        sim.flush_telemetry();
         let log = sim
             .with_node(crawler, |app, _| {
                 app.as_any_mut()
@@ -514,6 +524,9 @@ pub struct OpenFtScenario {
     pub faults: FaultPlan,
     /// Crawler download retry policy ([`RetryPolicy::legacy()`] default).
     pub retry: RetryPolicy,
+    /// Telemetry sinks and trace level (see
+    /// [`LimewireScenario::telemetry`]).
+    pub telemetry: TelemetryConfig,
 }
 
 impl OpenFtScenario {
@@ -553,6 +566,7 @@ impl OpenFtScenario {
             scan_cache_entries: DEFAULT_SCAN_CACHE_ENTRIES,
             faults: FaultPlan::none(),
             retry: RetryPolicy::legacy(),
+            telemetry: TelemetryConfig::from_env(),
         }
     }
 
@@ -603,6 +617,7 @@ impl OpenFtScenario {
             },
             self.seed,
         );
+        sim.set_telemetry(self.telemetry.build("openft"));
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0F7);
 
         let mut search_addrs = Vec::new();
@@ -692,9 +707,12 @@ impl OpenFtScenario {
             sim.run_until(SimTime::from_days(day));
             let day_wall = t0.elapsed();
             wall += day_wall;
+            // Unconditional: every run samples queue depth identically, so
+            // the registry stays deterministic whatever the trace level.
+            sim.sample_queue_depth();
             let ev = sim.metrics().events_processed;
-            let crawl = if trace_enabled() {
-                sim.with_node(crawler, |app, _| {
+            if self.telemetry.trace >= 1 {
+                let crawl = sim.with_node(crawler, |app, _| {
                     DayCrawlStats::of(
                         app.as_any_mut()
                             .expect("crawler downcasts")
@@ -702,22 +720,21 @@ impl OpenFtScenario {
                             .expect("crawler node")
                             .log(),
                     )
-                })
-            } else {
-                None
-            };
-            trace_day(
-                "FT",
-                day,
-                ev,
-                ev - last_events,
-                day_wall.as_secs_f64(),
-                &sim,
-                crawl.as_ref(),
-            );
+                });
+                trace_day(
+                    "FT",
+                    day,
+                    ev,
+                    ev - last_events,
+                    day_wall.as_secs_f64(),
+                    &sim,
+                    crawl.as_ref(),
+                );
+            }
             last_events = ev;
             progress(day);
         }
+        sim.flush_telemetry();
         let log = sim
             .with_node(crawler, |app, _| {
                 app.as_any_mut()

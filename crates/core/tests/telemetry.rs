@@ -1,0 +1,162 @@
+//! Telemetry-layer integration: the journal must *observe* the simulation
+//! without perturbing it, and must itself be deterministic — the same seed
+//! writes the same bytes, every line parses, and sim time never goes
+//! backwards.
+
+use p2pmal_core::telemetry::{journal_path_for, Counter, EventCategory, SimHist, TelemetryConfig};
+use p2pmal_core::{LimewireScenario, NetworkRun};
+use p2pmal_hashes::Sha1;
+use p2pmal_json::Value;
+use std::path::PathBuf;
+
+/// Same canonical trajectory digest the golden-baseline guard uses:
+/// every resolved response plus the log counters.
+fn digest(run: &NetworkRun) -> String {
+    let mut h = Sha1::new();
+    let mut line = String::new();
+    for r in &run.resolved {
+        use std::fmt::Write;
+        line.clear();
+        let _ = writeln!(
+            line,
+            "{}|{}|{}|{}|{}|{}:{}|{}|{:?}|{}|{}|{}",
+            r.record.at.as_micros(),
+            r.record.day,
+            r.record.query,
+            r.record.filename,
+            r.record.size,
+            r.record.source_ip,
+            r.record.source_port,
+            r.record.needs_push,
+            r.record.host,
+            r.scanned,
+            r.malware.as_deref().unwrap_or("-"),
+            r.sha1.map(|d| d.to_hex()).unwrap_or_default(),
+        );
+        h.update(line.as_bytes());
+    }
+    let counters = format!(
+        "queries={} attempted={} failed={} events={}",
+        run.log.queries_issued,
+        run.log.downloads_attempted,
+        run.log.downloads_failed,
+        run.sim_metrics.events_processed,
+    );
+    h.update(counters.as_bytes());
+    h.finalize().to_hex()
+}
+
+/// A collision-free journal base path for one test run.
+fn journal_base(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "p2pmal-telemetry-{}-{tag}.jsonl",
+        std::process::id()
+    ));
+    p
+}
+
+/// Runs a one-day quick LimeWire study journaling to a temp file; returns
+/// the run and the journal text (the file itself is cleaned up).
+fn run_with_journal(seed: u64, tag: &str) -> (NetworkRun, String) {
+    let base = journal_base(tag);
+    let mut scenario = LimewireScenario::quick(seed);
+    scenario.days = 1;
+    scenario.telemetry = TelemetryConfig {
+        journal: Some(base.clone()),
+        ..TelemetryConfig::off()
+    };
+    let run = scenario.run();
+    let path = journal_path_for(&base, "limewire");
+    let text = std::fs::read_to_string(&path).expect("journal file written");
+    let _ = std::fs::remove_file(&path);
+    (run, text)
+}
+
+#[test]
+fn same_seed_writes_byte_identical_journals() {
+    let (run_a, journal_a) = run_with_journal(2006, "det-a");
+    let (run_b, journal_b) = run_with_journal(2006, "det-b");
+    assert!(!journal_a.is_empty(), "quick run should journal events");
+    assert_eq!(
+        journal_a, journal_b,
+        "identical seeds must write byte-identical journals"
+    );
+    assert_eq!(digest(&run_a), digest(&run_b));
+
+    // Every line is a parseable event record and sim time never rewinds.
+    let mut last = 0u64;
+    for (i, line) in journal_a.lines().enumerate() {
+        let v = p2pmal_json::parse(line).unwrap_or_else(|e| panic!("journal line {}: {e}", i + 1));
+        let t = v
+            .get("t")
+            .and_then(Value::as_u64)
+            .expect("event carries a numeric `t`");
+        assert!(v.get("day").and_then(Value::as_u64).is_some());
+        let cat = v
+            .get("cat")
+            .and_then(Value::as_str)
+            .expect("event carries a `cat`");
+        assert!(
+            EventCategory::from_label(cat).is_some(),
+            "unknown category {cat:?}"
+        );
+        assert!(v.get("ev").and_then(Value::as_str).is_some());
+        assert!(
+            t >= last,
+            "sim time went backwards at line {}: {t} < {last}",
+            i + 1
+        );
+        last = t;
+    }
+}
+
+#[test]
+fn journaling_does_not_perturb_the_simulation() {
+    let (journaled, _) = run_with_journal(2006, "perturb");
+    let mut plain = LimewireScenario::quick(2006);
+    plain.days = 1;
+    let plain = plain.run();
+    assert_eq!(
+        digest(&plain),
+        digest(&journaled),
+        "journaling must not change the trajectory"
+    );
+    // SimMetrics equality covers the whole metrics registry: the
+    // deterministic counters/histograms must not depend on sinks.
+    assert_eq!(plain.sim_metrics, journaled.sim_metrics);
+}
+
+#[test]
+fn registry_reflects_the_crawl_log() {
+    let mut scenario = LimewireScenario::quick(2006);
+    scenario.days = 1;
+    let run = scenario.run();
+    let reg = &run.sim_metrics.telemetry;
+    assert_eq!(reg.counter(Counter::QueriesIssued), run.log.queries_issued);
+    assert_eq!(
+        reg.counter(Counter::DownloadsStarted),
+        run.log.downloads_attempted
+    );
+    let lat = reg.hist(SimHist::DownloadLatencyUs).summary();
+    assert!(lat.count > 0, "quick run should complete downloads");
+    assert!(lat.min <= lat.p50 && lat.p50 <= lat.p90);
+    assert!(lat.p90 <= lat.p99 && lat.p99 <= lat.max);
+}
+
+#[test]
+fn sampling_drops_a_category_without_touching_others() {
+    let base = journal_base("sampled");
+    let mut scenario = LimewireScenario::quick(2006);
+    scenario.days = 1;
+    let mut cfg = TelemetryConfig::off();
+    cfg.journal = Some(base.clone());
+    cfg.sample[EventCategory::Query as usize] = 0;
+    scenario.telemetry = cfg;
+    scenario.run();
+    let path = journal_path_for(&base, "limewire");
+    let text = std::fs::read_to_string(&path).expect("journal file written");
+    let _ = std::fs::remove_file(&path);
+    assert!(!text.contains("\"cat\":\"query\""));
+    assert!(text.contains("\"cat\":\"download\""));
+}

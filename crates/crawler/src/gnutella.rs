@@ -15,7 +15,10 @@ use p2pmal_gnutella::servent::{
     SharedWorld,
 };
 use p2pmal_gnutella::{Guid, QueryHit};
-use p2pmal_netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration, Subsystem};
+use p2pmal_netsim::{
+    App, ConnId, Counter, Ctx, Direction, EventBody, EventCategory, Gauge, HostAddr, SimDuration,
+    SimHist, Subsystem, WallHist,
+};
 use p2pmal_scanner::Scanner;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -83,6 +86,11 @@ pub struct GnutellaCrawler {
     /// Keys currently being fetched (suppress duplicate fetches).
     busy_name_size: HashSet<NameSizeKey>,
     busy_host_size: HashSet<HostSizeKey>,
+    /// Monotonic workload-query counter (telemetry `seq`).
+    query_seq: u64,
+    /// The most recent workload query and its response count so far; the
+    /// fan-out histogram records it when the next query closes it out.
+    last_query: Option<(Guid, u64)>,
 }
 
 impl GnutellaCrawler {
@@ -113,6 +121,8 @@ impl GnutellaCrawler {
             retry_seq: 0,
             busy_name_size: HashSet::new(),
             busy_host_size: HashSet::new(),
+            query_seq: 0,
+            last_query: None,
         }
     }
 
@@ -147,6 +157,11 @@ impl GnutellaCrawler {
             return; // late hit for an evicted query
         };
         let at = ctx.now();
+        if let Some((guid, responses)) = &mut self.last_query {
+            if *guid == query_guid {
+                *responses += hit.results.len() as u64;
+            }
+        }
         let advertised_private = HostAddr::new(hit.ip, hit.port).is_private();
         for res in &hit.results {
             let record = ResponseRecord {
@@ -199,10 +214,21 @@ impl GnutellaCrawler {
             };
             if fl.attempt == 0 {
                 self.log.downloads_attempted += 1;
+                ctx.registry().inc(Counter::DownloadsStarted);
+            }
+            if ctx.telemetry_on(EventCategory::Download) {
+                ctx.emit(EventBody::DownloadStart {
+                    name: fl.record.filename.clone(),
+                    size: fl.record.size,
+                    host: fl.request.addr.to_string(),
+                    attempt: fl.attempt,
+                });
             }
             let id = self.servent.begin_download(ctx, fl.request.clone());
             self.in_flight.insert(id, fl);
         }
+        ctx.registry()
+            .set_gauge(Gauge::InFlightDownloads, self.in_flight.len() as u64);
     }
 
     fn finish(&mut self, record: &ResponseRecord, outcome: ScanOutcome) {
@@ -223,9 +249,14 @@ impl GnutellaCrawler {
         };
         match result {
             Ok(body) => {
+                let scan_start = std::time::Instant::now();
                 let (sha1, verdict) = ctx.time(Subsystem::Scan, || {
                     self.pipeline.scan(&fl.record.filename, &body)
                 });
+                ctx.registry().record_wall(
+                    WallHist::ScanWallUs,
+                    scan_start.elapsed().as_micros() as u64,
+                );
                 self.log.scan = self.pipeline.stats();
                 if self.config.retry.uses_backoff() && verdict.unscannable() {
                     // The body arrived but its archive content is garbage
@@ -243,6 +274,28 @@ impl GnutellaCrawler {
                 }
                 if fl.attempt > 0 {
                     self.log.retry_successes += 1;
+                }
+                let latency_us = (ctx.now() - fl.record.at).as_micros();
+                ctx.registry()
+                    .record(SimHist::DownloadLatencyUs, latency_us);
+                ctx.registry()
+                    .record(SimHist::DownloadAttempts, fl.attempt as u64 + 1);
+                ctx.registry().inc(Counter::ScanVerdicts);
+                if ctx.telemetry_on(EventCategory::Download) {
+                    ctx.emit(EventBody::DownloadComplete {
+                        name: fl.record.filename.clone(),
+                        ok: true,
+                        latency_us,
+                        attempts: fl.attempt + 1,
+                    });
+                }
+                if ctx.telemetry_on(EventCategory::Scan) {
+                    ctx.emit(EventBody::ScanVerdict {
+                        name: fl.record.filename.clone(),
+                        sha1: sha1.to_hex(),
+                        len: body.len() as u64,
+                        detections: verdict.detections.len() as u64,
+                    });
                 }
                 let detections = verdict.detections.iter().map(|d| d.name.clone()).collect();
                 self.finish(
@@ -276,6 +329,14 @@ impl GnutellaCrawler {
         if fl.attempt < self.config.retry.max_retries {
             fl.attempt += 1;
             self.log.retries_scheduled += 1;
+            ctx.registry().inc(Counter::DownloadRetries);
+            if ctx.telemetry_on(EventCategory::Download) {
+                ctx.emit(EventBody::DownloadRetry {
+                    name: fl.record.filename.clone(),
+                    attempt: fl.attempt,
+                    cause: cause.label().to_string(),
+                });
+            }
             if fl.request.method == DownloadMethod::Direct {
                 // Direct dial failed (or transfer broke): fall back to PUSH
                 // through the overlay, as LimeWire does.
@@ -300,6 +361,19 @@ impl GnutellaCrawler {
         self.log.downloads_failed += 1;
         if matches!(terminal, ScanOutcome::Unscannable { .. }) {
             self.log.unscannable += 1;
+        }
+        let latency_us = (ctx.now() - fl.record.at).as_micros();
+        ctx.registry()
+            .record(SimHist::DownloadLatencyUs, latency_us);
+        ctx.registry()
+            .record(SimHist::DownloadAttempts, fl.attempt as u64 + 1);
+        if ctx.telemetry_on(EventCategory::Download) {
+            ctx.emit(EventBody::DownloadComplete {
+                name: fl.record.filename.clone(),
+                ok: false,
+                latency_us,
+                attempts: fl.attempt + 1,
+            });
         }
         self.finish(&fl.record.clone(), terminal);
         self.start_downloads(ctx);
@@ -334,6 +408,19 @@ impl GnutellaCrawler {
         let catalog = self.servent_world_catalog();
         let q = self.workload.sample_query(&catalog, ctx.rng());
         let guid = self.servent.search(ctx, &q);
+        // Close out the previous query's fan-out count (the final in-flight
+        // query is never recorded — deterministic either way).
+        if let Some((_, responses)) = self.last_query.replace((guid, 0)) {
+            ctx.registry().record(SimHist::ResponsesPerQuery, responses);
+        }
+        ctx.registry().inc(Counter::QueriesIssued);
+        if ctx.telemetry_on(EventCategory::Query) {
+            ctx.emit(EventBody::QueryIssued {
+                text: q.clone(),
+                seq: self.query_seq,
+            });
+        }
+        self.query_seq += 1;
         self.remember_query(guid, q);
         self.log.queries_issued += 1;
         let next = self.workload.next_interval_secs(ctx.now(), ctx.rng());

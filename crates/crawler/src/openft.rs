@@ -7,7 +7,10 @@ use crate::retry::{classify_openft, FailCause, RetryPolicy};
 use crate::scan::ScanPipeline;
 use crate::workload::{Workload, WorkloadConfig};
 use p2pmal_gnutella::servent::SharedWorld;
-use p2pmal_netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration, Subsystem};
+use p2pmal_netsim::{
+    App, ConnId, Counter, Ctx, Direction, EventBody, EventCategory, Gauge, HostAddr, SimDuration,
+    SimHist, Subsystem, WallHist,
+};
 use p2pmal_openft::node::{FtConfig, FtDownloadError, FtEvent, FtNode};
 use p2pmal_openft::packet::SearchResult;
 use p2pmal_scanner::Scanner;
@@ -71,6 +74,11 @@ pub struct FtCrawler {
     retry_seq: u64,
     busy_name_size: HashSet<NameSizeKey>,
     busy_host_size: HashSet<HostSizeKey>,
+    /// Monotonic workload-query counter (telemetry `seq`).
+    query_seq: u64,
+    /// The most recent workload query and its response count so far; the
+    /// fan-out histogram records it when the next query closes it out.
+    last_query: Option<(u32, u64)>,
 }
 
 impl FtCrawler {
@@ -98,6 +106,8 @@ impl FtCrawler {
             retry_seq: 0,
             busy_name_size: HashSet::new(),
             busy_host_size: HashSet::new(),
+            query_seq: 0,
+            last_query: None,
         }
     }
 
@@ -128,6 +138,11 @@ impl FtCrawler {
             return;
         };
         let at = ctx.now();
+        if let Some((id, responses)) = &mut self.last_query {
+            if *id == result.id {
+                *responses += 1;
+            }
+        }
         let record = ResponseRecord {
             at,
             day: at.day(),
@@ -167,10 +182,21 @@ impl FtCrawler {
             };
             if fl.attempt == 0 {
                 self.log.downloads_attempted += 1;
+                ctx.registry().inc(Counter::DownloadsStarted);
+            }
+            if ctx.telemetry_on(EventCategory::Download) {
+                ctx.emit(EventBody::DownloadStart {
+                    name: fl.record.filename.clone(),
+                    size: fl.record.size,
+                    host: fl.addr.to_string(),
+                    attempt: fl.attempt,
+                });
             }
             let id = self.node.begin_download(ctx, fl.addr, fl.md5);
             self.in_flight.insert(id, fl);
         }
+        ctx.registry()
+            .set_gauge(Gauge::InFlightDownloads, self.in_flight.len() as u64);
     }
 
     fn finish(&mut self, record: &ResponseRecord, outcome: ScanOutcome) {
@@ -191,9 +217,14 @@ impl FtCrawler {
         };
         match result {
             Ok(body) => {
+                let scan_start = std::time::Instant::now();
                 let (sha1, verdict) = ctx.time(Subsystem::Scan, || {
                     self.pipeline.scan(&fl.record.filename, &body)
                 });
+                ctx.registry().record_wall(
+                    WallHist::ScanWallUs,
+                    scan_start.elapsed().as_micros() as u64,
+                );
                 self.log.scan = self.pipeline.stats();
                 if self.config.retry.uses_backoff() && verdict.unscannable() {
                     // Undecodable archive bytes: retry for a fresh copy
@@ -209,6 +240,28 @@ impl FtCrawler {
                 }
                 if fl.attempt > 0 {
                     self.log.retry_successes += 1;
+                }
+                let latency_us = (ctx.now() - fl.record.at).as_micros();
+                ctx.registry()
+                    .record(SimHist::DownloadLatencyUs, latency_us);
+                ctx.registry()
+                    .record(SimHist::DownloadAttempts, fl.attempt as u64 + 1);
+                ctx.registry().inc(Counter::ScanVerdicts);
+                if ctx.telemetry_on(EventCategory::Download) {
+                    ctx.emit(EventBody::DownloadComplete {
+                        name: fl.record.filename.clone(),
+                        ok: true,
+                        latency_us,
+                        attempts: fl.attempt + 1,
+                    });
+                }
+                if ctx.telemetry_on(EventCategory::Scan) {
+                    ctx.emit(EventBody::ScanVerdict {
+                        name: fl.record.filename.clone(),
+                        sha1: sha1.to_hex(),
+                        len: body.len() as u64,
+                        detections: verdict.detections.len() as u64,
+                    });
                 }
                 let detections = verdict.detections.iter().map(|d| d.name.clone()).collect();
                 self.finish(
@@ -241,6 +294,14 @@ impl FtCrawler {
         if fl.attempt < self.config.retry.max_retries {
             fl.attempt += 1;
             self.log.retries_scheduled += 1;
+            ctx.registry().inc(Counter::DownloadRetries);
+            if ctx.telemetry_on(EventCategory::Download) {
+                ctx.emit(EventBody::DownloadRetry {
+                    name: fl.record.filename.clone(),
+                    attempt: fl.attempt,
+                    cause: cause.label().to_string(),
+                });
+            }
             if self.config.retry.uses_backoff() {
                 let token = TIMER_RETRY_BASE | self.retry_seq;
                 self.retry_seq += 1;
@@ -259,6 +320,19 @@ impl FtCrawler {
         self.log.downloads_failed += 1;
         if matches!(terminal, ScanOutcome::Unscannable { .. }) {
             self.log.unscannable += 1;
+        }
+        let latency_us = (ctx.now() - fl.record.at).as_micros();
+        ctx.registry()
+            .record(SimHist::DownloadLatencyUs, latency_us);
+        ctx.registry()
+            .record(SimHist::DownloadAttempts, fl.attempt as u64 + 1);
+        if ctx.telemetry_on(EventCategory::Download) {
+            ctx.emit(EventBody::DownloadComplete {
+                name: fl.record.filename.clone(),
+                ok: false,
+                latency_us,
+                attempts: fl.attempt + 1,
+            });
         }
         self.finish(&fl.record.clone(), terminal);
         self.start_downloads(ctx);
@@ -286,6 +360,19 @@ impl FtCrawler {
         let catalog = self.node.world().catalog.clone();
         let q = self.workload.sample_query(&catalog, ctx.rng());
         let id = self.node.search(ctx, &q);
+        // Close out the previous query's fan-out count (the final in-flight
+        // query is never recorded — deterministic either way).
+        if let Some((_, responses)) = self.last_query.replace((id, 0)) {
+            ctx.registry().record(SimHist::ResponsesPerQuery, responses);
+        }
+        ctx.registry().inc(Counter::QueriesIssued);
+        if ctx.telemetry_on(EventCategory::Query) {
+            ctx.emit(EventBody::QueryIssued {
+                text: q.clone(),
+                seq: self.query_seq,
+            });
+        }
+        self.query_seq += 1;
         self.remember_query(id, q);
         self.log.queries_issued += 1;
         let next = self.workload.next_interval_secs(ctx.now(), ctx.rng());

@@ -36,6 +36,20 @@ pub enum FailCause {
     Other,
 }
 
+impl FailCause {
+    /// Stable snake_case label (telemetry journal `cause` field).
+    pub fn label(self) -> &'static str {
+        match self {
+            FailCause::Timeout => "timeout",
+            FailCause::Reset => "reset",
+            FailCause::Truncated => "truncated",
+            FailCause::PeerGone => "peer_gone",
+            FailCause::Corrupt => "corrupt",
+            FailCause::Other => "other",
+        }
+    }
+}
+
 /// Terminal download failures bucketed by [`FailCause`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct FailureBreakdown {

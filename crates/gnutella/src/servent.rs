@@ -26,7 +26,10 @@ use crate::qrp::{qrp_hash_full, QrpReceiver, QrpTable, RouteMsg};
 use p2pmal_corpus::{
     Catalog, CompiledQuery, ContentRef, ContentStore, HostLibrary, QueryCache, Roster, SharedFile,
 };
-use p2pmal_netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration, SimTime, Subsystem};
+use p2pmal_netsim::{
+    App, ConnId, Ctx, Direction, EventBody, EventCategory, HostAddr, SimDuration, SimTime,
+    Subsystem,
+};
 use rand::RngCore;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -814,6 +817,12 @@ impl Servent {
         }
         self.stats.queries_answered += 1;
         self.stats.hits_sent += 1;
+        if ctx.telemetry_on(EventCategory::Query) {
+            ctx.emit(EventBody::QueryMatched {
+                text: query.raw().to_string(),
+                results: files.len() as u64,
+            });
+        }
         let is_nat = ctx.local_addr().ip != ctx.external_addr().ip;
         let results = files
             .iter()

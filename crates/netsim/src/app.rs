@@ -4,6 +4,7 @@
 use crate::addr::HostAddr;
 use crate::pool::BufferPool;
 use crate::profile::{Subsystem, SubsystemProfile};
+use crate::telemetry::{EventBody, EventCategory, MetricsRegistry, Telemetry, TelemetryEvent};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 
@@ -63,6 +64,8 @@ pub struct Ctx<'a> {
     pub(crate) next_conn: &'a mut u64,
     pub(crate) pool: &'a mut BufferPool,
     pub(crate) profile: &'a mut SubsystemProfile,
+    pub(crate) registry: &'a mut MetricsRegistry,
+    pub(crate) telemetry: &'a mut Telemetry,
 }
 
 impl<'a> Ctx<'a> {
@@ -135,6 +138,32 @@ impl<'a> Ctx<'a> {
     #[inline]
     pub fn time<R>(&mut self, s: Subsystem, f: impl FnOnce() -> R) -> R {
         self.profile.time(s, f)
+    }
+
+    /// The simulation's metrics registry — where instrumented apps record
+    /// named counters, gauges and histograms (rolled up into
+    /// `SimMetrics::telemetry`).
+    #[inline]
+    pub fn registry(&mut self) -> &mut MetricsRegistry {
+        self.registry
+    }
+
+    /// Whether telemetry events of `cat` go anywhere. Check this before
+    /// constructing an expensive [`EventBody`] (string formatting etc.) so
+    /// journal-off runs pay nothing.
+    #[inline]
+    pub fn telemetry_on(&self, cat: EventCategory) -> bool {
+        self.telemetry.enabled(cat)
+    }
+
+    /// Emits one telemetry event stamped with the current sim-time. A no-op
+    /// when no sink is attached (but prefer gating construction on
+    /// [`Ctx::telemetry_on`]).
+    #[inline]
+    pub fn emit(&mut self, body: EventBody) {
+        if self.telemetry.enabled(body.category()) {
+            self.telemetry.emit(TelemetryEvent { at: self.now, body });
+        }
     }
 }
 

@@ -60,6 +60,7 @@ mod pool;
 mod profile;
 pub mod queue;
 mod sim;
+pub mod telemetry;
 mod time;
 
 pub use addr::{ip_class, AddressAllocator, HostAddr, IpClass};
@@ -69,4 +70,9 @@ pub use metrics::SimMetrics;
 pub use profile::{Subsystem, SubsystemProfile, SUBSYSTEM_COUNT};
 pub use queue::{CalendarQueue, HeapQueue, Scheduler, SchedulerKind};
 pub use sim::{NodeSpec, SimConfig, Simulator};
+pub use telemetry::{
+    Counter, EventBody, EventCategory, FaultKind, Gauge, HistSummary, Log2Histogram,
+    MetricsRegistry, NullSink, RingSink, SimHist, Telemetry, TelemetryConfig, TelemetryEvent,
+    TelemetrySink, WallHist,
+};
 pub use time::{SimDuration, SimTime};

@@ -183,6 +183,8 @@ fn run_app_loop(
     let mut rng = StdRng::seed_from_u64(0x11_7e_c0_de);
     let mut pool = BufferPool::default();
     let mut profile = SubsystemProfile::new();
+    let mut registry = crate::telemetry::MetricsRegistry::new();
+    let mut telemetry = crate::telemetry::Telemetry::disabled();
     let mut streams: HashMap<u64, TcpStream> = HashMap::new();
     // `Ctx.next_conn` needs a plain &mut u64; reconcile with the shared
     // atomic after each callback.
@@ -203,6 +205,8 @@ fn run_app_loop(
                 next_conn: &mut conn_counter,
                 pool: &mut pool,
                 profile: &mut profile,
+                registry: &mut registry,
+                telemetry: &mut telemetry,
             };
             match ev {
                 LiveEvent::Start => app.on_start(&mut ctx),

@@ -1,6 +1,7 @@
 //! Aggregate counters the harness reads after (or during) a run.
 
 use crate::profile::SubsystemProfile;
+use crate::telemetry::MetricsRegistry;
 
 /// Simulation-wide counters. All counts are cumulative since construction.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -68,6 +69,11 @@ pub struct SimMetrics {
     /// equal to any other profile, so identical-seed metric snapshots stay
     /// equal even though their wall timings differ.
     pub timing: SubsystemProfile,
+    /// Named counters, gauges and log2 histograms recorded by the simulator
+    /// and by instrumented apps via [`crate::Ctx::registry`]. Sim-keyed
+    /// entries are deterministic and participate in `Eq`; wall-clock
+    /// histograms hide behind the always-equal `WallHists` shield.
+    pub telemetry: MetricsRegistry,
 }
 
 #[cfg(test)]

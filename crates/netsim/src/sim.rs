@@ -8,6 +8,9 @@ use crate::metrics::SimMetrics;
 use crate::pool::{BufferPool, Payload};
 use crate::profile::Subsystem;
 use crate::queue::SchedulerKind;
+use crate::telemetry::{
+    EventBody, EventCategory, FaultKind, Gauge, SimHist, Telemetry, TelemetryEvent,
+};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -157,6 +160,7 @@ pub struct Simulator {
     next_conn_id: u64,
     metrics: SimMetrics,
     pool: BufferPool,
+    telemetry: Telemetry,
 }
 
 impl Simulator {
@@ -174,6 +178,41 @@ impl Simulator {
             next_conn_id: 0,
             metrics: SimMetrics::default(),
             pool: BufferPool::default(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches the telemetry sink hub. The default ([`Telemetry::disabled`])
+    /// emits nothing, draws no randomness, and leaves trajectories
+    /// byte-identical to a simulator without the telemetry layer.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Flushes every attached telemetry sink (harness end-of-run hook; file
+    /// sinks also flush on drop).
+    pub fn flush_telemetry(&mut self) {
+        self.telemetry.flush();
+    }
+
+    /// Samples the scheduled-event queue depth into the metrics registry
+    /// (gauge: latest value; histogram: every sample). Deterministic —
+    /// harness loops call this unconditionally, e.g. once per simulated day.
+    pub fn sample_queue_depth(&mut self) {
+        let depth = self.queue.len() as u64;
+        self.metrics.telemetry.set_gauge(Gauge::QueueDepth, depth);
+        self.metrics.telemetry.record(SimHist::QueueDepth, depth);
+    }
+
+    /// Journals one injected fault. Only constructs the event with sinks
+    /// attached; never draws randomness either way.
+    #[inline]
+    fn emit_fault(&mut self, kind: FaultKind) {
+        if self.telemetry.enabled(EventCategory::Fault) {
+            self.telemetry.emit(TelemetryEvent {
+                at: self.now,
+                body: EventBody::FaultInjected { kind },
+            });
         }
     }
 
@@ -471,6 +510,8 @@ impl Simulator {
                 next_conn: &mut self.next_conn_id,
                 pool: &mut self.pool,
                 profile: &mut self.metrics.timing,
+                registry: &mut self.metrics.telemetry,
+                telemetry: &mut self.telemetry,
             };
             r = f(app.as_mut(), &mut ctx);
         }
@@ -506,6 +547,8 @@ impl Simulator {
                 next_conn: &mut self.next_conn_id,
                 pool: &mut self.pool,
                 profile: &mut self.metrics.timing,
+                registry: &mut self.metrics.telemetry,
+                telemetry: &mut self.telemetry,
             };
             f(&mut app, &mut ctx);
         }
@@ -531,6 +574,7 @@ impl Simulator {
                     let mult = self.config.faults.latency_mult(&mut self.rng);
                     if mult > 1 {
                         self.metrics.faults_latency_spikes += 1;
+                        self.emit_fault(FaultKind::LatencySpike);
                         latency = SimDuration::from_micros(latency.as_micros() * mult);
                     }
                     self.conns.insert(
@@ -598,6 +642,7 @@ impl Simulator {
                 None => return,
             };
             self.metrics.faults_resets += 1;
+            self.emit_fault(FaultKind::Reset);
             self.metrics.conns_closed += 1;
             self.metrics.bytes_dropped += data.len() as u64;
             self.pool.release(data);
@@ -663,6 +708,7 @@ impl Simulator {
         }
         let drop_chunk = |sim: &mut Self, payload: Payload| {
             sim.metrics.faults_chunks_dropped += 1;
+            sim.emit_fault(FaultKind::ChunkDrop);
             sim.metrics.bytes_dropped += payload.len() as u64;
             if let Payload::Owned(v) = payload {
                 sim.pool.release(v);
@@ -682,6 +728,7 @@ impl Simulator {
                     return None;
                 }
                 self.metrics.faults_chunks_corrupted += 1;
+                self.emit_fault(FaultKind::ChunkTruncate);
                 self.metrics.bytes_dropped += (len - keep) as u64;
                 Some(match payload {
                     Payload::Owned(mut v) => {
@@ -701,6 +748,7 @@ impl Simulator {
                     return Some(payload);
                 }
                 self.metrics.faults_chunks_corrupted += 1;
+                self.emit_fault(FaultKind::ChunkBitFlip);
                 let bit = self.rng.gen_range(0..len * 8);
                 Some(match payload {
                     Payload::Owned(mut v) => {
@@ -795,6 +843,8 @@ impl Simulator {
                 next_conn: &mut self.next_conn_id,
                 pool: &mut self.pool,
                 profile: &mut self.metrics.timing,
+                registry: &mut self.metrics.telemetry,
+                telemetry: &mut self.telemetry,
             };
             f(&mut app, &mut ctx);
         }
@@ -813,6 +863,14 @@ impl Simulator {
             return;
         }
         self.metrics.faults_churn_downs += 1;
+        if self.telemetry.enabled(EventCategory::Churn) {
+            self.telemetry.emit(TelemetryEvent {
+                at: self.now,
+                body: EventBody::ChurnDown {
+                    node: node.0 as u64,
+                },
+            });
+        }
         // Partition this node's connections: established ones get a close
         // handshake, dials still in flight are abandoned.
         let mut open = Vec::new();
@@ -866,6 +924,14 @@ impl Simulator {
         }
         self.nodes[node.0].alive = true;
         self.metrics.faults_churn_ups += 1;
+        if self.telemetry.enabled(EventCategory::Churn) {
+            self.telemetry.emit(TelemetryEvent {
+                at: self.now,
+                body: EventBody::ChurnUp {
+                    node: node.0 as u64,
+                },
+            });
+        }
         if self.nodes[node.0].listener {
             self.listeners
                 .insert(self.nodes[node.0].external_addr, node);

@@ -1,0 +1,325 @@
+//! Structured, sim-time-stamped telemetry records.
+//!
+//! One [`TelemetryEvent`] is produced per observable measurement step —
+//! query issued/matched, download start/retry/complete, scan verdict, fault
+//! injected, churn transition — and fanned out to every configured sink.
+//! The JSONL rendering below *is* the journal schema; the leveled trace
+//! output renders the same records, so the two views can never drift.
+//!
+//! Events timestamped with sim-time only are deterministic: identical seeds
+//! emit byte-identical journals.
+
+use crate::time::SimTime;
+use p2pmal_json::Value;
+
+/// Number of event categories (sampling knobs are per-category).
+pub const CATEGORY_COUNT: usize = 5;
+
+/// Coarse event grouping used for sampling and filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventCategory {
+    Query = 0,
+    Download = 1,
+    Scan = 2,
+    Fault = 3,
+    Churn = 4,
+}
+
+impl EventCategory {
+    pub const ALL: [EventCategory; CATEGORY_COUNT] = [
+        EventCategory::Query,
+        EventCategory::Download,
+        EventCategory::Scan,
+        EventCategory::Fault,
+        EventCategory::Churn,
+    ];
+
+    /// Stable snake_case label (journal `cat` field, sampling knob keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventCategory::Query => "query",
+            EventCategory::Download => "download",
+            EventCategory::Scan => "scan",
+            EventCategory::Fault => "fault",
+            EventCategory::Churn => "churn",
+        }
+    }
+
+    /// Inverse of [`EventCategory::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        EventCategory::ALL.iter().copied().find(|c| c.label() == s)
+    }
+}
+
+/// Which fault the plan injected (see `FaultPlan`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    ChunkDrop,
+    ChunkTruncate,
+    ChunkBitFlip,
+    Reset,
+    LatencySpike,
+}
+
+impl FaultKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::ChunkDrop => "chunk_drop",
+            FaultKind::ChunkTruncate => "chunk_truncate",
+            FaultKind::ChunkBitFlip => "chunk_bit_flip",
+            FaultKind::Reset => "reset",
+            FaultKind::LatencySpike => "latency_spike",
+        }
+    }
+}
+
+/// The event payload. Fields are plain owned data so records outlive the
+/// callback that produced them (ring sinks hold them arbitrarily long).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventBody {
+    /// The instrumented crawler issued a workload query.
+    QueryIssued { text: String, seq: u64 },
+    /// A servent/node's library matched a query it was asked to answer.
+    QueryMatched { text: String, results: u64 },
+    /// A download attempt left the crawler's pending queue.
+    DownloadStart {
+        name: String,
+        size: u64,
+        host: String,
+        attempt: u8,
+    },
+    /// An attempt failed and a retry was scheduled.
+    DownloadRetry {
+        name: String,
+        attempt: u8,
+        cause: String,
+    },
+    /// A download reached a terminal outcome (body scanned or given up).
+    DownloadComplete {
+        name: String,
+        ok: bool,
+        latency_us: u64,
+        attempts: u8,
+    },
+    /// The scan pipeline produced a verdict for a downloaded body.
+    ScanVerdict {
+        name: String,
+        sha1: String,
+        len: u64,
+        detections: u64,
+    },
+    /// The fault plan injected one fault.
+    FaultInjected { kind: FaultKind },
+    /// A churn session took a node offline.
+    ChurnDown { node: u64 },
+    /// A churn session brought a node back online.
+    ChurnUp { node: u64 },
+}
+
+impl EventBody {
+    pub fn category(&self) -> EventCategory {
+        match self {
+            EventBody::QueryIssued { .. } | EventBody::QueryMatched { .. } => EventCategory::Query,
+            EventBody::DownloadStart { .. }
+            | EventBody::DownloadRetry { .. }
+            | EventBody::DownloadComplete { .. } => EventCategory::Download,
+            EventBody::ScanVerdict { .. } => EventCategory::Scan,
+            EventBody::FaultInjected { .. } => EventCategory::Fault,
+            EventBody::ChurnDown { .. } | EventBody::ChurnUp { .. } => EventCategory::Churn,
+        }
+    }
+
+    /// Stable snake_case event name (journal `ev` field).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            EventBody::QueryIssued { .. } => "query_issued",
+            EventBody::QueryMatched { .. } => "query_matched",
+            EventBody::DownloadStart { .. } => "download_start",
+            EventBody::DownloadRetry { .. } => "download_retry",
+            EventBody::DownloadComplete { .. } => "download_complete",
+            EventBody::ScanVerdict { .. } => "scan_verdict",
+            EventBody::FaultInjected { .. } => "fault_injected",
+            EventBody::ChurnDown { .. } => "churn_down",
+            EventBody::ChurnUp { .. } => "churn_up",
+        }
+    }
+}
+
+/// One sim-time-stamped record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryEvent {
+    pub at: SimTime,
+    pub body: EventBody,
+}
+
+impl TelemetryEvent {
+    pub fn category(&self) -> EventCategory {
+        self.body.category()
+    }
+
+    /// The journal schema: one flat object per event. Common envelope
+    /// fields first (`t` sim-micros, `day`, `cat`, `ev`), body fields after.
+    pub fn to_json(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = vec![
+            ("t".into(), self.at.as_micros().into()),
+            ("day".into(), self.at.day().into()),
+            ("cat".into(), self.category().label().into()),
+            ("ev".into(), self.body.kind_label().into()),
+        ];
+        match &self.body {
+            EventBody::QueryIssued { text, seq } => {
+                fields.push(("text".into(), text.as_str().into()));
+                fields.push(("seq".into(), (*seq).into()));
+            }
+            EventBody::QueryMatched { text, results } => {
+                fields.push(("text".into(), text.as_str().into()));
+                fields.push(("results".into(), (*results).into()));
+            }
+            EventBody::DownloadStart {
+                name,
+                size,
+                host,
+                attempt,
+            } => {
+                fields.push(("name".into(), name.as_str().into()));
+                fields.push(("size".into(), (*size).into()));
+                fields.push(("host".into(), host.as_str().into()));
+                fields.push(("attempt".into(), (*attempt as u64).into()));
+            }
+            EventBody::DownloadRetry {
+                name,
+                attempt,
+                cause,
+            } => {
+                fields.push(("name".into(), name.as_str().into()));
+                fields.push(("attempt".into(), (*attempt as u64).into()));
+                fields.push(("cause".into(), cause.as_str().into()));
+            }
+            EventBody::DownloadComplete {
+                name,
+                ok,
+                latency_us,
+                attempts,
+            } => {
+                fields.push(("name".into(), name.as_str().into()));
+                fields.push(("ok".into(), (*ok).into()));
+                fields.push(("latency_us".into(), (*latency_us).into()));
+                fields.push(("attempts".into(), (*attempts as u64).into()));
+            }
+            EventBody::ScanVerdict {
+                name,
+                sha1,
+                len,
+                detections,
+            } => {
+                fields.push(("name".into(), name.as_str().into()));
+                fields.push(("sha1".into(), sha1.as_str().into()));
+                fields.push(("len".into(), (*len).into()));
+                fields.push(("detections".into(), (*detections).into()));
+            }
+            EventBody::FaultInjected { kind } => {
+                fields.push(("kind".into(), kind.label().into()));
+            }
+            EventBody::ChurnDown { node } | EventBody::ChurnUp { node } => {
+                fields.push(("node".into(), (*node).into()));
+            }
+        }
+        Value::Obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for cat in EventCategory::ALL {
+            assert_eq!(EventCategory::from_label(cat.label()), Some(cat));
+        }
+        assert_eq!(EventCategory::from_label("nope"), None);
+    }
+
+    #[test]
+    fn json_envelope_is_stable() {
+        let ev = TelemetryEvent {
+            at: SimTime::from_micros(86_400_000_000 + 5),
+            body: EventBody::DownloadComplete {
+                name: "setup.exe".into(),
+                ok: true,
+                latency_us: 1234,
+                attempts: 2,
+            },
+        };
+        let v = ev.to_json();
+        assert_eq!(v.get("t").and_then(Value::as_u64), Some(86_400_000_005));
+        assert_eq!(v.get("day").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("cat").and_then(Value::as_str), Some("download"));
+        assert_eq!(
+            v.get("ev").and_then(Value::as_str),
+            Some("download_complete")
+        );
+        assert_eq!(v.get("latency_us").and_then(Value::as_u64), Some(1234));
+        // Every event parses back through the in-repo parser.
+        let line = v.to_string_compact();
+        let back = p2pmal_json::parse(&line).expect("journal line parses");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn every_body_categorizes() {
+        let bodies = [
+            EventBody::QueryIssued {
+                text: "q".into(),
+                seq: 1,
+            },
+            EventBody::QueryMatched {
+                text: "q".into(),
+                results: 3,
+            },
+            EventBody::DownloadStart {
+                name: "a".into(),
+                size: 1,
+                host: "1.2.3.4:80".into(),
+                attempt: 0,
+            },
+            EventBody::DownloadRetry {
+                name: "a".into(),
+                attempt: 1,
+                cause: "timeout".into(),
+            },
+            EventBody::DownloadComplete {
+                name: "a".into(),
+                ok: false,
+                latency_us: 9,
+                attempts: 3,
+            },
+            EventBody::ScanVerdict {
+                name: "a".into(),
+                sha1: "00".into(),
+                len: 2,
+                detections: 0,
+            },
+            EventBody::FaultInjected {
+                kind: FaultKind::Reset,
+            },
+            EventBody::ChurnDown { node: 7 },
+            EventBody::ChurnUp { node: 7 },
+        ];
+        for b in bodies {
+            let ev = TelemetryEvent {
+                at: SimTime::ZERO,
+                body: b,
+            };
+            let v = ev.to_json();
+            assert_eq!(
+                v.get("cat").and_then(Value::as_str),
+                Some(ev.category().label())
+            );
+            assert_eq!(
+                v.get("ev").and_then(Value::as_str),
+                Some(ev.body.kind_label())
+            );
+        }
+    }
+}

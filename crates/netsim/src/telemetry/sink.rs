@@ -1,0 +1,418 @@
+//! Telemetry sinks and the per-simulator hub that fans events out to them.
+//!
+//! The default is **no sinks at all**: emission sites check
+//! [`Telemetry::enabled`] first, so a journal-off run never constructs an
+//! event, draws no randomness, and stays byte-identical to a build without
+//! the telemetry layer. With sinks attached, every record flows to all of
+//! them — the JSONL journal and the leveled trace render the same events.
+
+use super::event::{EventCategory, TelemetryEvent, CATEGORY_COUNT};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A consumer of telemetry records.
+pub trait TelemetrySink {
+    fn record(&mut self, event: &TelemetryEvent);
+    /// Push buffered output to its destination (called at end of run; file
+    /// sinks also flush on drop).
+    fn flush(&mut self) {}
+}
+
+/// Discards everything. The zero-cost default: the hub never reaches a
+/// sink's `record` when no sink is attached, so this type mostly serves as
+/// an explicit "telemetry off" marker in tests and examples.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn record(&mut self, _event: &TelemetryEvent) {}
+}
+
+/// Bounded in-memory ring: keeps the most recent `cap` events. Useful for
+/// harness assertions and post-mortem inspection without touching disk.
+#[derive(Debug)]
+pub struct RingSink {
+    cap: usize,
+    buf: VecDeque<TelemetryEvent>,
+}
+
+impl RingSink {
+    pub fn new(cap: usize) -> Self {
+        RingSink {
+            cap: cap.max(1),
+            buf: VecDeque::new(),
+        }
+    }
+
+    pub fn events(&self) -> impl Iterator<Item = &TelemetryEvent> {
+        self.buf.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl TelemetrySink for RingSink {
+    fn record(&mut self, event: &TelemetryEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(event.clone());
+    }
+}
+
+/// JSONL file sink: one compact JSON object per line, in emission order
+/// (which is sim-time order, since events are written as the simulation
+/// produces them).
+pub struct JsonlSink {
+    out: std::io::BufWriter<std::fs::File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the journal file, including parent directories.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        Ok(JsonlSink {
+            out: std::io::BufWriter::new(std::fs::File::create(path)?),
+        })
+    }
+}
+
+impl TelemetrySink for JsonlSink {
+    fn record(&mut self, event: &TelemetryEvent) {
+        let _ = writeln!(self.out, "{}", event.to_json().to_string_compact());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Per-event trace rendering (`P2PMAL_TRACE=2`): each record goes to
+/// stderr as the same compact JSON the journal writes, tagged with the
+/// network label.
+#[derive(Debug)]
+pub struct TraceSink {
+    label: String,
+}
+
+impl TraceSink {
+    pub fn new(label: &str) -> Self {
+        TraceSink {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl TelemetrySink for TraceSink {
+    fn record(&mut self, event: &TelemetryEvent) {
+        eprintln!(
+            "[trace] {} {}",
+            self.label,
+            event.to_json().to_string_compact()
+        );
+    }
+}
+
+/// The per-simulator hub: attached sinks plus per-category 1-in-N sampling.
+///
+/// `seen` counts *candidate* events per category (post-`enabled` gate), so
+/// sampling keeps every Nth candidate deterministically — no RNG involved.
+pub struct Telemetry {
+    sinks: Vec<Box<dyn TelemetrySink>>,
+    sample: [u32; CATEGORY_COUNT],
+    seen: [u64; CATEGORY_COUNT],
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("sinks", &self.sinks.len())
+            .field("sample", &self.sample)
+            .field("seen", &self.seen)
+            .finish()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl Telemetry {
+    /// No sinks: `enabled` is false for every category and `emit` is a
+    /// no-op. This is the state every simulator starts in.
+    pub fn disabled() -> Self {
+        Telemetry {
+            sinks: Vec::new(),
+            sample: [1; CATEGORY_COUNT],
+            seen: [0; CATEGORY_COUNT],
+        }
+    }
+
+    pub fn new(sinks: Vec<Box<dyn TelemetrySink>>, sample: [u32; CATEGORY_COUNT]) -> Self {
+        Telemetry {
+            sinks,
+            sample,
+            seen: [0; CATEGORY_COUNT],
+        }
+    }
+
+    /// Whether events of `cat` go anywhere at all. Emission sites check
+    /// this *before* building an event, keeping the disabled path free of
+    /// allocation and formatting.
+    #[inline]
+    pub fn enabled(&self, cat: EventCategory) -> bool {
+        !self.sinks.is_empty() && self.sample[cat as usize] != 0
+    }
+
+    /// Records one event, honoring the category's 1-in-N sampling.
+    pub fn emit(&mut self, event: TelemetryEvent) {
+        let cat = event.category() as usize;
+        if self.sinks.is_empty() || self.sample[cat] == 0 {
+            return;
+        }
+        let keep = self.seen[cat].is_multiple_of(self.sample[cat] as u64);
+        self.seen[cat] += 1;
+        if !keep {
+            return;
+        }
+        for sink in &mut self.sinks {
+            sink.record(&event);
+        }
+    }
+
+    /// Flushes every sink (end of run; file sinks also flush on drop).
+    pub fn flush(&mut self) {
+        for sink in &mut self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+impl Drop for Telemetry {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Parses a `P2PMAL_TRACE`-style value into a trace level. Unset, empty,
+/// `0`, `off`, `false` and `no` mean **off**; `2` enables per-event trace;
+/// anything else (the historical `1`, `yes`, ...) is level 1 (per-day
+/// summary lines).
+pub fn parse_trace_level(value: Option<&str>) -> u8 {
+    match value.map(str::trim) {
+        None | Some("") | Some("0") | Some("off") | Some("false") | Some("no") => 0,
+        Some("2") => 2,
+        Some(_) => 1,
+    }
+}
+
+/// The current `P2PMAL_TRACE` level (see [`parse_trace_level`]).
+pub fn trace_level() -> u8 {
+    parse_trace_level(std::env::var("P2PMAL_TRACE").ok().as_deref())
+}
+
+/// Derives a per-network journal path from the user-supplied one by
+/// inserting the network label before the extension:
+/// `journal.jsonl` + `limewire` → `journal.limewire.jsonl`.
+pub fn journal_path_for(base: &Path, label: &str) -> PathBuf {
+    match base.extension().and_then(|e| e.to_str()) {
+        Some(ext) => base.with_extension(format!("{label}.{ext}")),
+        None => base.with_extension(label),
+    }
+}
+
+/// Cloneable sink configuration carried by scenario presets: how a run
+/// turns env knobs (or programmatic settings) into a [`Telemetry`] hub.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Base journal path (`P2PMAL_JOURNAL`); each network writes to
+    /// [`journal_path_for`]`(base, label)`. `None` disables the journal.
+    pub journal: Option<PathBuf>,
+    /// Trace level (`P2PMAL_TRACE`): 0 off, 1 per-day lines, 2 adds
+    /// per-event records rendered from the same journal stream.
+    pub trace: u8,
+    /// Per-category 1-in-N sampling (`P2PMAL_JOURNAL_SAMPLE`); 1 keeps
+    /// everything, 0 disables the category entirely.
+    pub sample: [u32; CATEGORY_COUNT],
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+impl TelemetryConfig {
+    /// Telemetry fully off (the deterministic-goldens configuration).
+    pub fn off() -> Self {
+        TelemetryConfig {
+            journal: None,
+            trace: 0,
+            sample: [1; CATEGORY_COUNT],
+        }
+    }
+
+    /// Reads `P2PMAL_JOURNAL`, `P2PMAL_TRACE` and `P2PMAL_JOURNAL_SAMPLE`
+    /// (`cat=N` pairs, comma-separated: `query=10,download=1`).
+    pub fn from_env() -> Self {
+        let journal = std::env::var("P2PMAL_JOURNAL")
+            .ok()
+            .filter(|p| !p.trim().is_empty())
+            .map(PathBuf::from);
+        let mut sample = [1u32; CATEGORY_COUNT];
+        if let Ok(spec) = std::env::var("P2PMAL_JOURNAL_SAMPLE") {
+            for part in spec.split(',') {
+                let Some((cat, n)) = part.split_once('=') else {
+                    continue;
+                };
+                if let (Some(cat), Ok(n)) =
+                    (EventCategory::from_label(cat.trim()), n.trim().parse())
+                {
+                    sample[cat as usize] = n;
+                }
+            }
+        }
+        TelemetryConfig {
+            journal,
+            trace: trace_level(),
+            sample,
+        }
+    }
+
+    /// Builds the sink hub for one network run. `label` tags the journal
+    /// file name and trace lines (`limewire` / `openft`).
+    pub fn build(&self, label: &str) -> Telemetry {
+        let mut sinks: Vec<Box<dyn TelemetrySink>> = Vec::new();
+        if let Some(base) = &self.journal {
+            let path = journal_path_for(base, label);
+            match JsonlSink::create(&path) {
+                Ok(sink) => sinks.push(Box::new(sink)),
+                Err(e) => eprintln!("[telemetry] cannot open journal {}: {e}", path.display()),
+            }
+        }
+        if self.trace >= 2 {
+            sinks.push(Box::new(TraceSink::new(label)));
+        }
+        Telemetry::new(sinks, self.sample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::event::{EventBody, FaultKind};
+    use super::*;
+    use crate::time::SimTime;
+
+    fn ev(t: u64) -> TelemetryEvent {
+        TelemetryEvent {
+            at: SimTime::from_micros(t),
+            body: EventBody::FaultInjected {
+                kind: FaultKind::Reset,
+            },
+        }
+    }
+
+    #[test]
+    fn disabled_hub_reports_every_category_off() {
+        let hub = Telemetry::disabled();
+        for cat in EventCategory::ALL {
+            assert!(!hub.enabled(cat));
+        }
+    }
+
+    #[test]
+    fn ring_sink_is_bounded_and_keeps_latest() {
+        let mut ring = RingSink::new(3);
+        for t in 0..5 {
+            ring.record(&ev(t));
+        }
+        assert_eq!(ring.len(), 3);
+        let ts: Vec<u64> = ring.events().map(|e| e.at.as_micros()).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    /// Shares its record log so tests can inspect a sink after boxing it
+    /// into a hub.
+    struct SpySink(std::rc::Rc<std::cell::RefCell<Vec<u64>>>);
+
+    impl TelemetrySink for SpySink {
+        fn record(&mut self, event: &TelemetryEvent) {
+            self.0.borrow_mut().push(event.at.as_micros());
+        }
+    }
+
+    #[test]
+    fn sampling_keeps_every_nth_candidate() {
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sample = [1u32; CATEGORY_COUNT];
+        sample[EventCategory::Fault as usize] = 3;
+        let mut hub = Telemetry::new(vec![Box::new(SpySink(got.clone()))], sample);
+        for t in 0..9 {
+            hub.emit(ev(t));
+        }
+        assert_eq!(*got.borrow(), vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn every_sink_sees_every_kept_event() {
+        let a = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let b = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut hub = Telemetry::new(
+            vec![Box::new(SpySink(a.clone())), Box::new(SpySink(b.clone()))],
+            [1; CATEGORY_COUNT],
+        );
+        for t in 0..4 {
+            hub.emit(ev(t));
+        }
+        assert_eq!(*a.borrow(), vec![0, 1, 2, 3]);
+        assert_eq!(*a.borrow(), *b.borrow());
+    }
+
+    #[test]
+    fn zero_sample_disables_category() {
+        let mut sample = [1u32; CATEGORY_COUNT];
+        sample[EventCategory::Churn as usize] = 0;
+        let hub = Telemetry::new(vec![Box::new(NullSink)], sample);
+        assert!(!hub.enabled(EventCategory::Churn));
+        assert!(hub.enabled(EventCategory::Fault));
+    }
+
+    #[test]
+    fn trace_level_parsing() {
+        assert_eq!(parse_trace_level(None), 0);
+        assert_eq!(parse_trace_level(Some("")), 0);
+        assert_eq!(parse_trace_level(Some("0")), 0);
+        assert_eq!(parse_trace_level(Some("off")), 0);
+        assert_eq!(parse_trace_level(Some("false")), 0);
+        assert_eq!(parse_trace_level(Some("no")), 0);
+        assert_eq!(parse_trace_level(Some("1")), 1);
+        assert_eq!(parse_trace_level(Some("yes")), 1);
+        assert_eq!(parse_trace_level(Some("2")), 2);
+        assert_eq!(parse_trace_level(Some(" 2 ")), 2);
+    }
+
+    #[test]
+    fn journal_paths_get_network_labels() {
+        assert_eq!(
+            journal_path_for(Path::new("journal.jsonl"), "limewire"),
+            PathBuf::from("journal.limewire.jsonl")
+        );
+        assert_eq!(
+            journal_path_for(Path::new("out/j"), "openft"),
+            PathBuf::from("out/j.openft")
+        );
+    }
+}

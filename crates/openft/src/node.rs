@@ -31,7 +31,10 @@ use p2pmal_corpus::library::name_fingerprint;
 use p2pmal_corpus::{ContentRef, HostLibrary};
 use p2pmal_gnutella::servent::SharedWorld;
 use p2pmal_hashes::Md5Digest;
-use p2pmal_netsim::{App, ConnId, Ctx, Direction, HostAddr, SimDuration, SimTime, Subsystem};
+use p2pmal_netsim::{
+    App, ConnId, Ctx, Direction, EventBody, EventCategory, HostAddr, SimDuration, SimTime,
+    Subsystem,
+};
 use rand::RngCore;
 use std::collections::HashMap;
 
@@ -694,6 +697,12 @@ impl FtNode {
             }
         }
         self.stats.results_sent += results.len() as u64;
+        if !results.is_empty() && ctx.telemetry_on(EventCategory::Query) {
+            ctx.emit(EventBody::QueryMatched {
+                text: query.to_string(),
+                results: results.len() as u64,
+            });
+        }
         for r in results {
             self.send_packet(ctx, conn, Command::Search, &Search::Result(r).encode());
         }

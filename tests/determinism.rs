@@ -6,9 +6,10 @@
 //! payload bytes — draws from seeded generators only.
 
 use p2pmal::analysis::{source_breakdown, summarize, top_malware};
+use p2pmal::core::telemetry::MetricsRegistry;
 use p2pmal::core::LimewireScenario;
 
-fn run(seed: u64) -> (u64, u64, u64, String, f64) {
+fn run(seed: u64) -> (u64, u64, u64, String, f64, MetricsRegistry) {
     let mut scenario = LimewireScenario::quick(seed);
     scenario.days = 1; // keep the determinism check fast
     let run = scenario.run();
@@ -21,6 +22,10 @@ fn run(seed: u64) -> (u64, u64, u64, String, f64) {
         run.log.queries_issued,
         top.first().map(|t| t.item.clone()).unwrap_or_default(),
         private,
+        // The telemetry registry (counters + sim-time histograms) is part
+        // of the determinism contract; its wall-clock histograms compare
+        // always-equal by design.
+        run.sim_metrics.telemetry,
     )
 }
 
