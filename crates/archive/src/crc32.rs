@@ -83,6 +83,25 @@ pub fn crc32(data: &[u8]) -> u32 {
     c.finalize()
 }
 
+/// CRC-32 of every buffer in a batch. One table resolution and one state
+/// object cover the whole slice, so bulk integrity checks (a scan batch's
+/// bodies) skip the per-call setup of repeated [`crc32`] invocations.
+pub fn crc32_many<'a, I>(bodies: I) -> Vec<u32>
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    // Force the lazy tables once, outside the loop.
+    let _ = tables();
+    bodies
+        .into_iter()
+        .map(|body| {
+            let mut c = Crc32::new();
+            c.update(body);
+            c.finalize()
+        })
+        .collect()
+}
+
 /// Reference byte-at-a-time CRC-32, kept for equivalence tests and the
 /// old-vs-new benchmark in `perf_archive`.
 pub fn crc32_bytewise(data: &[u8]) -> u32 {
@@ -136,6 +155,17 @@ mod tests {
                     "start {start} len {len}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn crc32_many_matches_oneshot() {
+        let bodies: Vec<Vec<u8>> = (0..6usize)
+            .map(|n| (0..n * 13).map(|i| (i * 31 + n) as u8).collect())
+            .collect();
+        let batched = crc32_many(bodies.iter().map(|b| b.as_slice()));
+        for (body, crc) in bodies.iter().zip(&batched) {
+            assert_eq!(*crc, crc32(body));
         }
     }
 

@@ -289,8 +289,17 @@ fn fixed_tables() -> (Huffman, Huffman) {
 /// `max_out` caps the decompressed size; exceeding it returns
 /// [`InflateError::OutputLimitExceeded`] rather than allocating further.
 pub fn inflate(data: &[u8], max_out: usize) -> Result<Vec<u8>, InflateError> {
-    let mut r = BitReader::new(data);
     let mut out: Vec<u8> = Vec::new();
+    inflate_into(data, max_out, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`inflate`], but appends into a caller-supplied buffer so repeated
+/// decompressions (archive traversal over a batch of downloads) reuse one
+/// allocation instead of growing a fresh `Vec` per member. The buffer is
+/// *not* cleared first; `max_out` caps the total buffer length.
+pub fn inflate_into(data: &[u8], max_out: usize, out: &mut Vec<u8>) -> Result<(), InflateError> {
+    let mut r = BitReader::new(data);
     loop {
         let bfinal = r.bit()?;
         let btype = r.bits(2)?;
@@ -310,7 +319,7 @@ pub fn inflate(data: &[u8], max_out: usize) -> Result<Vec<u8>, InflateError> {
             }
             1 => {
                 let (lit, dist) = fixed_tables();
-                inflate_block(&mut r, &mut out, &lit, &dist, max_out)?;
+                inflate_block(&mut r, out, &lit, &dist, max_out)?;
             }
             2 => {
                 let hlit = r.bits(5)? as usize + 257;
@@ -370,12 +379,12 @@ pub fn inflate(data: &[u8], max_out: usize) -> Result<Vec<u8>, InflateError> {
                 }
                 let lit = Huffman::new(&lengths[..hlit])?;
                 let dist = Huffman::new(&lengths[hlit..])?;
-                inflate_block(&mut r, &mut out, &lit, &dist, max_out)?;
+                inflate_block(&mut r, out, &lit, &dist, max_out)?;
             }
             _ => return Err(InflateError::InvalidBlockType),
         }
         if bfinal == 1 {
-            return Ok(out);
+            return Ok(());
         }
     }
 }
@@ -516,6 +525,20 @@ mod tests {
             let comp = deflate(&data);
             assert_eq!(inflate(&comp, data.len()).unwrap(), data);
         }
+    }
+
+    #[test]
+    fn inflate_into_reuses_buffer_across_streams() {
+        let a = b"first stream payload, repeated repeated repeated".to_vec();
+        let b = b"second".to_vec();
+        let mut buf = Vec::new();
+        inflate_into(&deflate(&a), a.len(), &mut buf).unwrap();
+        assert_eq!(buf, a);
+        let cap = buf.capacity();
+        buf.clear();
+        inflate_into(&deflate(&b), b.len(), &mut buf).unwrap();
+        assert_eq!(buf, b);
+        assert_eq!(buf.capacity(), cap, "clear+reuse must not reallocate");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::crc32::crc32;
 use crate::deflate::deflate;
-use crate::inflate::{inflate, InflateError};
+use crate::inflate::{inflate_into, InflateError};
 
 const LOCAL_SIG: u32 = 0x04034b50;
 const CENTRAL_SIG: u32 = 0x02014b50;
@@ -212,6 +212,17 @@ impl<'a> ZipArchive<'a> {
 
     /// Extracts and CRC-verifies entry `index`.
     pub fn read(&self, index: usize) -> Result<Vec<u8>, ZipError> {
+        let mut out = Vec::new();
+        self.read_into(index, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`ZipArchive::read`], but decompresses into a caller-supplied
+    /// buffer (cleared first) so archive traversal can recycle one scratch
+    /// allocation per nesting level instead of allocating per member. On
+    /// error the buffer contents are unspecified (but remain reusable).
+    pub fn read_into(&self, index: usize, out: &mut Vec<u8>) -> Result<(), ZipError> {
+        out.clear();
         let entry = self
             .entries
             .get(index)
@@ -230,24 +241,24 @@ impl<'a> ZipArchive<'a> {
             .data
             .get(data_start..data_start + entry.compressed_size as usize)
             .ok_or(ZipError::Truncated)?;
-        let raw = match entry.method {
-            Method::Stored => comp.to_vec(),
-            Method::Deflate => inflate(comp, entry.uncompressed_size as usize)?,
-        };
-        if raw.len() != entry.uncompressed_size as usize {
+        match entry.method {
+            Method::Stored => out.extend_from_slice(comp),
+            Method::Deflate => inflate_into(comp, entry.uncompressed_size as usize, out)?,
+        }
+        if out.len() != entry.uncompressed_size as usize {
             return Err(ZipError::SizeMismatch {
                 expected: entry.uncompressed_size,
-                actual: raw.len(),
+                actual: out.len(),
             });
         }
-        let actual = crc32(&raw);
+        let actual = crc32(out);
         if actual != entry.crc32 {
             return Err(ZipError::CrcMismatch {
                 expected: entry.crc32,
                 actual,
             });
         }
-        Ok(raw)
+        Ok(())
     }
 }
 

@@ -1,0 +1,68 @@
+//! Quick throughput probe for the scan-pipeline substrates.
+//!
+//! Prints MB/s for SHA-1, CRC32 and the signature engine over bodies shaped
+//! like the study's workload (pseudorandom filler, LimeWire-roster signature
+//! database). This is a diagnostic, not a benchmark — run `perf_scanner` /
+//! `perf_hashes` under Criterion for tracked numbers.
+//!
+//! ```sh
+//! cargo run --release -p p2pmal-bench --bin perf_probe
+//! ```
+
+use p2pmal_corpus::Roster;
+use p2pmal_scanner::Scanner;
+use std::time::Instant;
+
+fn body(len: usize, seed: u64) -> Vec<u8> {
+    // xorshift filler: cheap, deterministic, byte-distribution ~uniform,
+    // matching the corpus generator's pseudorandom padding.
+    let mut x = seed | 1;
+    let mut v = Vec::with_capacity(len);
+    while v.len() < len {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        v.extend_from_slice(&x.to_le_bytes());
+    }
+    v.truncate(len);
+    v
+}
+
+fn mbps(bytes: usize, reps: usize, f: impl Fn()) -> f64 {
+    // Warm up once, then time.
+    f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    (bytes * reps) as f64 / start.elapsed().as_secs_f64() / 1e6
+}
+
+fn main() {
+    let db = Roster::limewire_2006().signature_db().unwrap();
+    let scanner = Scanner::new(db.build().unwrap());
+    let data = body(4 << 20, 0x2006);
+    let reps = 32;
+
+    let sha = mbps(data.len(), reps, || {
+        std::hint::black_box(p2pmal_hashes::sha1(&data));
+    });
+    let crc = mbps(data.len(), reps, || {
+        std::hint::black_box(p2pmal_archive::crc32(&data));
+    });
+    let scan = mbps(data.len(), reps, || {
+        std::hint::black_box(scanner.scan("probe.bin", &data));
+    });
+    let ac = scanner.db().automaton();
+    let aho = mbps(data.len(), reps, || {
+        std::hint::black_box(ac.find_all(&data));
+    });
+    println!("sha1   {sha:8.0} MB/s");
+    println!("crc32  {crc:8.0} MB/s");
+    println!("scan   {scan:8.0} MB/s (LimeWire roster, clean pseudorandom body)");
+    println!(
+        "aho    {aho:8.0} MB/s (prefilter {}, {} start bytes)",
+        ac.prefilter_kind(),
+        ac.start_byte_count()
+    );
+}

@@ -261,6 +261,10 @@ pub struct LimewireScenario {
     /// Verdict-cache capacity for the crawler's scan pipeline (0 disables;
     /// outcomes are identical either way, only wall time changes).
     pub scan_cache_entries: usize,
+    /// Scan-service worker threads (1 = inline sequential scanning). The
+    /// presets read `P2PMAL_SCAN_THREADS`; any value produces byte-identical
+    /// reports, only wall time changes.
+    pub scan_threads: usize,
     /// Network fault injection ([`FaultPlan::none()`] by default, which is
     /// byte-identical to a fault-free simulator).
     pub faults: FaultPlan,
@@ -298,6 +302,7 @@ impl LimewireScenario {
             ambient_query: Some(SimDuration::from_hours(1)),
             scheduler: SchedulerKind::Calendar,
             scan_cache_entries: DEFAULT_SCAN_CACHE_ENTRIES,
+            scan_threads: p2pmal_crawler::scan_threads_from_env(),
             faults: FaultPlan::none(),
             retry: RetryPolicy::legacy(),
             telemetry: TelemetryConfig::from_env(),
@@ -430,6 +435,7 @@ impl LimewireScenario {
                 GnutellaCrawlerConfig {
                     workload: self.workload.clone(),
                     scan_cache_entries: self.scan_cache_entries,
+                    scan_threads: self.scan_threads,
                     retry: self.retry,
                     ..Default::default()
                 },
@@ -441,6 +447,9 @@ impl LimewireScenario {
         for day in 1..=self.days {
             let t0 = std::time::Instant::now();
             sim.run_until(SimTime::from_days(day));
+            // Sim-time barrier: merge any batched scan verdicts before the
+            // day's stats are read, so day lines match the inline path.
+            sim.barrier(crawler);
             let day_wall = t0.elapsed();
             wall += day_wall;
             // Unconditional: every run samples queue depth identically, so
@@ -520,6 +529,10 @@ pub struct OpenFtScenario {
     /// Verdict-cache capacity for the crawler's scan pipeline (0 disables;
     /// outcomes are identical either way, only wall time changes).
     pub scan_cache_entries: usize,
+    /// Scan-service worker threads (1 = inline sequential scanning). The
+    /// presets read `P2PMAL_SCAN_THREADS`; any value produces byte-identical
+    /// reports, only wall time changes.
+    pub scan_threads: usize,
     /// Network fault injection ([`FaultPlan::none()`] by default).
     pub faults: FaultPlan,
     /// Crawler download retry policy ([`RetryPolicy::legacy()`] default).
@@ -564,6 +577,7 @@ impl OpenFtScenario {
             ambient_query: Some(SimDuration::from_hours(1)),
             scheduler: SchedulerKind::Calendar,
             scan_cache_entries: DEFAULT_SCAN_CACHE_ENTRIES,
+            scan_threads: p2pmal_crawler::scan_threads_from_env(),
             faults: FaultPlan::none(),
             retry: RetryPolicy::legacy(),
             telemetry: TelemetryConfig::from_env(),
@@ -694,6 +708,7 @@ impl OpenFtScenario {
                 FtCrawlerConfig {
                     workload: self.workload.clone(),
                     scan_cache_entries: self.scan_cache_entries,
+                    scan_threads: self.scan_threads,
                     retry: self.retry,
                     ..Default::default()
                 },
@@ -705,6 +720,9 @@ impl OpenFtScenario {
         for day in 1..=self.days {
             let t0 = std::time::Instant::now();
             sim.run_until(SimTime::from_days(day));
+            // Sim-time barrier: merge any batched scan verdicts before the
+            // day's stats are read, so day lines match the inline path.
+            sim.barrier(crawler);
             let day_wall = t0.elapsed();
             wall += day_wall;
             // Unconditional: every run samples queue depth identically, so

@@ -15,14 +15,15 @@
 use std::time::Instant;
 
 /// Number of profiled subsystems (buckets in a [`SubsystemProfile`]).
-pub const SUBSYSTEM_COUNT: usize = 5;
+pub const SUBSYSTEM_COUNT: usize = 6;
 
 /// The profiled buckets.
 ///
 /// `Scheduler`, `App` and `TcpPump` partition the run loop: queue + conn
 /// table + dispatch overhead, app callback bodies, and buffered-action
-/// application (dominated by the byte pump). `Scan` and `QueryMatch` are
-/// *nested* inside `App` — apps opt in via [`crate::Ctx::time`] around their
+/// application (dominated by the byte pump). `Scan`, `ScanMerge` and
+/// `QueryMatch` are *nested* inside `App` — apps opt in via
+/// [`crate::Ctx::time`] / [`crate::Ctx::record_profile`] around their
 /// scan-pipeline and query-matching work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Subsystem {
@@ -32,10 +33,14 @@ pub enum Subsystem {
     App = 1,
     /// Applying buffered actions: the simulated-TCP byte pump.
     TcpPump = 2,
-    /// Scan-pipeline work (nested inside `App`).
+    /// Scan-pipeline work: hashing + signature engine, including the
+    /// parallel batch phases of the scan service (nested inside `App`).
     Scan = 3,
+    /// Deterministic in-order merge of batched scan verdicts back into the
+    /// crawl log at a sim-time barrier (nested inside `App`).
+    ScanMerge = 4,
     /// Query matching against share libraries (nested inside `App`).
-    QueryMatch = 4,
+    QueryMatch = 5,
 }
 
 impl Subsystem {
@@ -45,6 +50,7 @@ impl Subsystem {
         Subsystem::App,
         Subsystem::TcpPump,
         Subsystem::Scan,
+        Subsystem::ScanMerge,
         Subsystem::QueryMatch,
     ];
 
@@ -55,6 +61,7 @@ impl Subsystem {
             Subsystem::App => "app",
             Subsystem::TcpPump => "tcp_pump",
             Subsystem::Scan => "scan",
+            Subsystem::ScanMerge => "scan_merge",
             Subsystem::QueryMatch => "query_match",
         }
     }
@@ -99,7 +106,8 @@ impl SubsystemProfile {
     }
 
     /// Nanoseconds across the disjoint run-loop buckets (excludes the
-    /// nested `Scan`/`QueryMatch`, which are already inside `App`).
+    /// nested `Scan`/`ScanMerge`/`QueryMatch`, which are already inside
+    /// `App`).
     pub fn total_nanos(&self) -> u64 {
         self.nanos(Subsystem::Scheduler)
             + self.nanos(Subsystem::App)
@@ -120,15 +128,16 @@ impl SubsystemProfile {
     }
 
     /// Compact one-line rendering, e.g. for `P2PMAL_TRACE` day lines:
-    /// `sched 1.2s app 3.4s pump 0.5s scan 0.2s match 0.1s`.
+    /// `sched 1.2s app 3.4s pump 0.5s scan 0.2s merge 0.0s match 0.1s`.
     pub fn render_compact(&self) -> String {
         let secs = |s: Subsystem| self.nanos(s) as f64 / 1e9;
         format!(
-            "sched {:.1}s app {:.1}s pump {:.1}s scan {:.1}s match {:.1}s",
+            "sched {:.1}s app {:.1}s pump {:.1}s scan {:.1}s merge {:.1}s match {:.1}s",
             secs(Subsystem::Scheduler),
             secs(Subsystem::App),
             secs(Subsystem::TcpPump),
             secs(Subsystem::Scan),
+            secs(Subsystem::ScanMerge),
             secs(Subsystem::QueryMatch),
         )
     }
@@ -196,7 +205,14 @@ mod tests {
         let labels: Vec<&str> = Subsystem::ALL.iter().map(|s| s.label()).collect();
         assert_eq!(
             labels,
-            vec!["scheduler", "app", "tcp_pump", "scan", "query_match"]
+            vec![
+                "scheduler",
+                "app",
+                "tcp_pump",
+                "scan",
+                "scan_merge",
+                "query_match"
+            ]
         );
     }
 }

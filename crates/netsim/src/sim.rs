@@ -528,6 +528,15 @@ impl Simulator {
         Some(r)
     }
 
+    /// Dispatches [`App::on_barrier`] to one node: the harness's sim-time
+    /// barrier seam. Call after `run_until` reaches a quiescent point so
+    /// apps with deferred work (the batched scan service) settle it before
+    /// the harness inspects their state. No-op for offline nodes and for
+    /// apps with the default `on_barrier`.
+    pub fn barrier(&mut self, node: NodeId) {
+        self.with_node(node, |app, ctx| app.on_barrier(ctx));
+    }
+
     fn with_app<F: FnOnce(&mut Box<dyn App>, &mut Ctx<'_>)>(&mut self, node: NodeId, f: F) {
         let mut app = match self.nodes[node.0].app.take() {
             Some(a) => a,

@@ -19,6 +19,254 @@ pub struct AhoCorasick {
     /// through this 256-byte table instead of walking the cache-hostile
     /// dense goto row.
     start: [bool; 256],
+    /// Vectorized root-skip strategy, chosen once at build time.
+    prefilter: Prefilter,
+}
+
+/// How the root skip loop finds the next byte that can leave the root.
+/// Picked at automaton build time from the start-set shape and the CPU;
+/// every variant locates exactly the same positions, so the choice can
+/// never affect a match stream.
+#[derive(Debug, Clone, Copy)]
+enum Prefilter {
+    /// ≤ [`SWAR_MAX_NEEDLES`] start bytes: portable 8-bytes-at-a-time
+    /// word scan.
+    Swar(SwarPrefilter),
+    /// Wider start sets on SSSE3 hosts: nibble-bucket shuffle scan,
+    /// 16 bytes per step regardless of start-set size.
+    #[cfg(target_arch = "x86_64")]
+    Shufti(ShuftiPrefilter),
+    /// Byte-at-a-time walk over the 256-entry `start` table.
+    Table,
+}
+
+/// memchr-class chunked skip loop: examines haystack bytes eight at a time
+/// through u64 word operations, looking for any of up to three needle bytes.
+/// Usable whenever at most [`SWAR_MAX_NEEDLES`] distinct bytes leave the
+/// automaton root, which covers ASCII-anchored signature sets; databases
+/// with wider start sets (e.g. hash-derived binary signatures) keep the
+/// table walk.
+#[derive(Debug, Clone, Copy)]
+struct SwarPrefilter {
+    /// The start bytes, padded by repeating the first.
+    needles: [u8; SWAR_MAX_NEEDLES],
+    count: usize,
+}
+
+/// Maximum distinct root-leaving bytes the SWAR skip loop handles.
+pub const SWAR_MAX_NEEDLES: usize = 3;
+
+const SWAR_LO: u64 = 0x0101_0101_0101_0101;
+const SWAR_HI: u64 = 0x8080_8080_8080_8080;
+
+/// Mycroft zero-byte test: the returned word has (at least) the high bit of
+/// every zero byte of `x` set. Spurious high bits can only appear *above*
+/// the first zero byte — borrow propagation needs a zero below it — so
+/// `trailing_zeros / 8` locates the first zero byte exactly, and a word with
+/// no zero bytes always maps to 0.
+#[inline(always)]
+fn swar_zero_bytes(x: u64) -> u64 {
+    x.wrapping_sub(SWAR_LO) & !x & SWAR_HI
+}
+
+impl SwarPrefilter {
+    fn new(start: &[bool; 256]) -> Option<Self> {
+        let bytes: Vec<u8> = (0u16..256)
+            .filter(|&b| start[b as usize])
+            .map(|b| b as u8)
+            .collect();
+        if bytes.is_empty() || bytes.len() > SWAR_MAX_NEEDLES {
+            return None;
+        }
+        let mut needles = [bytes[0]; SWAR_MAX_NEEDLES];
+        needles[..bytes.len()].copy_from_slice(&bytes);
+        Some(SwarPrefilter {
+            needles,
+            count: bytes.len(),
+        })
+    }
+
+    /// Offset of the first occurrence of any needle byte in `hay`.
+    #[inline]
+    fn find(&self, hay: &[u8]) -> Option<usize> {
+        let n0 = SWAR_LO.wrapping_mul(self.needles[0] as u64);
+        let n1 = SWAR_LO.wrapping_mul(self.needles[1] as u64);
+        let n2 = SWAR_LO.wrapping_mul(self.needles[2] as u64);
+        let mut i = 0usize;
+        while i + 8 <= hay.len() {
+            let w = u64::from_le_bytes(hay[i..i + 8].try_into().expect("8-byte chunk"));
+            let mut hits = swar_zero_bytes(w ^ n0);
+            if self.count > 1 {
+                hits |= swar_zero_bytes(w ^ n1);
+            }
+            if self.count > 2 {
+                hits |= swar_zero_bytes(w ^ n2);
+            }
+            if hits != 0 {
+                // Each per-needle mask marks its own first hit exactly, so
+                // the lowest set bit of the union is the earliest hit.
+                return Some(i + (hits.trailing_zeros() / 8) as usize);
+            }
+            i += 8;
+        }
+        hay[i..]
+            .iter()
+            .position(|&b| self.needles[..self.count].contains(&b))
+            .map(|p| i + p)
+    }
+}
+
+/// One shufti classifier: a byte set approximated by two nibble-indexed
+/// shuffle tables. Set members are grouped by high nibble into up to eight
+/// one-hot buckets; a byte is *classified in* when its low-nibble bucket
+/// mask intersects its high-nibble bucket mask. With more than eight
+/// high-nibble groups, buckets are shared and the classification
+/// over-approximates (never under-approximates), so callers confirm
+/// candidates against an exact table.
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone, Copy)]
+struct ShuftiTables {
+    /// `lo_buckets[b & 15]`: buckets containing a set byte with that
+    /// low nibble.
+    lo_buckets: [u8; 16],
+    /// `hi_buckets[b >> 4]`: bucket assigned to that high-nibble group.
+    hi_buckets: [u8; 16],
+}
+
+#[cfg(target_arch = "x86_64")]
+impl ShuftiTables {
+    fn new(set: &[bool; 256]) -> Self {
+        let mut lo_buckets = [0u8; 16];
+        let mut hi_buckets = [0u8; 16];
+        let mut group_bit = [0u8; 16];
+        let mut groups = 0u32;
+        for (b, &wanted) in set.iter().enumerate() {
+            if !wanted {
+                continue;
+            }
+            let (hi, lo) = (b >> 4, b & 15);
+            if group_bit[hi] == 0 {
+                group_bit[hi] = 1u8 << (groups % 8);
+                groups += 1;
+            }
+            hi_buckets[hi] |= group_bit[hi];
+            lo_buckets[lo] |= group_bit[hi];
+        }
+        ShuftiTables {
+            lo_buckets,
+            hi_buckets,
+        }
+    }
+}
+
+/// Hyperscan-style "shufti" skip loop: classifies 16 haystack bytes per step
+/// with nibble-indexed shuffle lookups — handles the hash-derived binary
+/// signature sets (10+ distinct start bytes) that SWAR cannot. When every
+/// pattern is at least two bytes long it runs in *double* mode, requiring a
+/// start-set byte immediately followed by a second-position byte: on random
+/// data that cuts candidate density quadratically (≈0.15% instead of ≈4%
+/// for a 10-byte set), which keeps the scan inside the vector loop instead
+/// of bouncing through root-state automaton entries.
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone, Copy)]
+struct ShuftiPrefilter {
+    first: ShuftiTables,
+    /// Classifier for the byte *after* a candidate start byte; `None` when
+    /// some pattern is a single byte (pair filtering would lose matches).
+    second: Option<ShuftiTables>,
+}
+
+#[cfg(target_arch = "x86_64")]
+impl ShuftiPrefilter {
+    fn new(start: &[bool; 256], patterns: &[Vec<u8>]) -> Option<Self> {
+        if !std::arch::is_x86_feature_detected!("ssse3") {
+            return None;
+        }
+        // Pair mode is sound only if every match begins with two bytes:
+        // a match starting at p implies hay[p] ∈ start AND hay[p+1] ∈
+        // second, so skipping positions failing the pair test cannot skip
+        // a match start. A 1-byte pattern breaks that implication.
+        let second = if patterns.iter().all(|p| p.len() >= 2) {
+            let mut set = [false; 256];
+            for p in patterns {
+                set[p[1] as usize] = true;
+            }
+            Some(ShuftiTables::new(&set))
+        } else {
+            None
+        };
+        Some(ShuftiPrefilter {
+            first: ShuftiTables::new(start),
+            second,
+        })
+    }
+
+    /// Offset of the first viable match start in `hay`: a byte in the exact
+    /// `start` set (single mode), additionally followed by a second-set
+    /// candidate byte (double mode). Either way the result is a position
+    /// the root-state automaton walk must inspect; positions skipped are
+    /// exactly those that cannot begin a match.
+    #[inline]
+    fn find(&self, hay: &[u8], start: &[bool; 256]) -> Option<usize> {
+        // SAFETY: construction verified SSSE3 support.
+        unsafe { self.find_ssse3(hay, start) }
+    }
+
+    #[target_feature(enable = "ssse3")]
+    unsafe fn find_ssse3(&self, hay: &[u8], start: &[bool; 256]) -> Option<usize> {
+        use core::arch::x86_64::*;
+        let nibble = _mm_set1_epi8(0x0f);
+        let zero = _mm_setzero_si128();
+        let classify = |tbl: &ShuftiTables, data: __m128i| -> u32 {
+            let lo_tbl = _mm_loadu_si128(tbl.lo_buckets.as_ptr() as *const __m128i);
+            let hi_tbl = _mm_loadu_si128(tbl.hi_buckets.as_ptr() as *const __m128i);
+            let lo = _mm_and_si128(data, nibble);
+            // Per-byte high nibble: the 16-bit shift bleeds bits across the
+            // byte boundary, but the nibble mask discards exactly those.
+            let hi = _mm_and_si128(_mm_srli_epi16(data, 4), nibble);
+            let class = _mm_and_si128(_mm_shuffle_epi8(lo_tbl, lo), _mm_shuffle_epi8(hi_tbl, hi));
+            !(_mm_movemask_epi8(_mm_cmpeq_epi8(class, zero)) as u32) & 0xffff
+        };
+        let mut i = 0usize;
+        if let Some(second) = &self.second {
+            // Double mode: lane j is a candidate iff hay[i+j] classifies
+            // into the start set and hay[i+j+1] into the second set. The
+            // +1-shifted load needs one lookahead byte past the chunk.
+            while i + 17 <= hay.len() {
+                let d0 = _mm_loadu_si128(hay.as_ptr().add(i) as *const __m128i);
+                let d1 = _mm_loadu_si128(hay.as_ptr().add(i + 1) as *const __m128i);
+                let mut cand = classify(&self.first, d0) & classify(second, d1);
+                while cand != 0 {
+                    let off = i + cand.trailing_zeros() as usize;
+                    if start[hay[off] as usize] {
+                        return Some(off);
+                    }
+                    cand &= cand - 1;
+                }
+                i += 16;
+            }
+        } else {
+            while i + 16 <= hay.len() {
+                let data = _mm_loadu_si128(hay.as_ptr().add(i) as *const __m128i);
+                let mut cand = classify(&self.first, data);
+                while cand != 0 {
+                    let off = i + cand.trailing_zeros() as usize;
+                    if start[hay[off] as usize] {
+                        return Some(off);
+                    }
+                    cand &= cand - 1;
+                }
+                i += 16;
+            }
+        }
+        // Scalar tail (and the final pair-spanning positions in double
+        // mode): exact start-set walk, conservatively ignoring the pair
+        // test — a false candidate costs one harmless root transition.
+        hay[i..]
+            .iter()
+            .position(|&b| start[b as usize])
+            .map(|p| i + p)
+    }
 }
 
 /// A single match: which pattern, and the byte offset just past its end.
@@ -80,11 +328,64 @@ impl AhoCorasick {
         for (b, flag) in start.iter_mut().enumerate() {
             *flag = goto_[b] != 0;
         }
+        let prefilter = match SwarPrefilter::new(&start) {
+            Some(pf) => Prefilter::Swar(pf),
+            None => Self::wide_prefilter(&start, &patterns),
+        };
         AhoCorasick {
             goto_,
             output,
             patterns,
+            prefilter,
             start,
+        }
+    }
+
+    /// Prefilter for start sets too wide for SWAR: shufti where the CPU
+    /// supports it, the scalar table walk otherwise.
+    #[cfg(target_arch = "x86_64")]
+    fn wide_prefilter(start: &[bool; 256], patterns: &[Vec<u8>]) -> Prefilter {
+        match ShuftiPrefilter::new(start, patterns) {
+            Some(pf) => Prefilter::Shufti(pf),
+            None => Prefilter::Table,
+        }
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    fn wide_prefilter(_start: &[bool; 256], _patterns: &[Vec<u8>]) -> Prefilter {
+        Prefilter::Table
+    }
+
+    /// Number of distinct bytes that leave the root state (the prefilter's
+    /// start set).
+    pub fn start_byte_count(&self) -> usize {
+        self.start.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether the root skip loop runs the SWAR word-scan path.
+    pub fn uses_swar_prefilter(&self) -> bool {
+        matches!(self.prefilter, Prefilter::Swar(_))
+    }
+
+    /// Whether the root skip loop runs the SSSE3 shufti path.
+    pub fn uses_shufti_prefilter(&self) -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            matches!(self.prefilter, Prefilter::Shufti(_))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// Stable name of the active root-skip strategy (for benches and logs).
+    pub fn prefilter_kind(&self) -> &'static str {
+        match self.prefilter {
+            Prefilter::Swar(_) => "swar",
+            #[cfg(target_arch = "x86_64")]
+            Prefilter::Shufti(_) => "shufti",
+            Prefilter::Table => "table",
         }
     }
 
@@ -103,16 +404,25 @@ impl AhoCorasick {
     /// search early.
     ///
     /// Uses the first-byte prefilter: bytes that cannot leave the root state
-    /// are skipped in a tight loop over the 256-byte `start` table. This is
-    /// exactly equivalent to stepping the DFA (a non-starting byte maps the
-    /// root to itself and the root emits nothing) but clean data never
-    /// touches the goto table.
+    /// are skipped in a tight loop — eight bytes per step through the SWAR
+    /// word scan when the start set has at most [`SWAR_MAX_NEEDLES`] bytes,
+    /// sixteen bytes per step through the SSSE3 shufti scan for wider sets,
+    /// byte-at-a-time over the 256-byte `start` table as the portable
+    /// fallback. Every strategy is exactly equivalent to stepping the DFA
+    /// (a non-starting byte maps the root to itself and the root emits
+    /// nothing) but clean data never touches the goto table.
     pub fn find_each<F: FnMut(AcMatch) -> bool>(&self, haystack: &[u8], mut f: F) {
         let mut s = 0u32;
         let mut i = 0usize;
         while i < haystack.len() {
             if s == 0 {
-                match haystack[i..].iter().position(|&b| self.start[b as usize]) {
+                let skip = match &self.prefilter {
+                    Prefilter::Swar(pf) => pf.find(&haystack[i..]),
+                    #[cfg(target_arch = "x86_64")]
+                    Prefilter::Shufti(pf) => pf.find(&haystack[i..], &self.start),
+                    Prefilter::Table => haystack[i..].iter().position(|&b| self.start[b as usize]),
+                };
+                match skip {
                     Some(off) => i += off,
                     None => return,
                 }
@@ -249,6 +559,105 @@ mod tests {
         assert!(got.contains(&(2, 6)));
     }
 
+    #[test]
+    fn swar_engages_only_for_small_start_sets() {
+        let small = pats(&[b"virus", b"vermin", b"trojan"]); // starts: v, t
+        assert_eq!(small.start_byte_count(), 2);
+        assert!(small.uses_swar_prefilter());
+        let wide = AhoCorasick::new((0u8..8).map(|b| vec![b, b]).collect());
+        assert_eq!(wide.start_byte_count(), 8);
+        assert!(!wide.uses_swar_prefilter());
+        // Wide sets take shufti on SSSE3 hosts, the table walk elsewhere.
+        assert!(matches!(wide.prefilter_kind(), "shufti" | "table"));
+    }
+
+    #[test]
+    fn wide_prefilter_finds_matches_at_all_offsets() {
+        // 10 hash-like start bytes (the roster shape): exercises shufti on
+        // SSSE3 hosts across every alignment within the 16-byte chunks,
+        // including the scalar tail.
+        let patterns: Vec<Vec<u8>> = (0u8..10)
+            .map(|b| vec![b.wrapping_mul(27) ^ 0x91, b])
+            .collect();
+        let ac = AhoCorasick::new(patterns.clone());
+        assert!(!ac.uses_swar_prefilter());
+        for offset in 0..40usize {
+            let mut hay = vec![0xEEu8; offset];
+            hay.extend_from_slice(&patterns[7]);
+            hay.extend(std::iter::repeat_n(0xEEu8, 5));
+            let ms = ac.find_all(&hay);
+            assert_eq!(ms.len(), 1, "offset {offset}");
+            assert_eq!(
+                ms[0],
+                AcMatch {
+                    pattern: 7,
+                    end: offset + 2
+                },
+                "offset {offset}"
+            );
+        }
+        assert!(ac.find_all(&[0xEEu8; 100]).is_empty());
+    }
+
+    #[test]
+    fn shufti_bucket_sharing_stays_exact() {
+        // 16 distinct high nibbles force bucket sharing (only 8 one-hot
+        // bits), so the classifier over-approximates and must fall back on
+        // the exact start-table confirm. Plant bytes that collide in the
+        // shared buckets: for start byte 0x01 and 0x91 (likely same bucket
+        // parity), the byte 0x11 is a classic cross product false positive.
+        let patterns: Vec<Vec<u8>> = (0u8..16).map(|hi| vec![(hi << 4) | 1, 0xAB]).collect();
+        let ac = AhoCorasick::new(patterns);
+        assert_eq!(ac.start_byte_count(), 16);
+        let mut hay = vec![0u8; 64];
+        // Fill with bytes whose low nibble is 1 but that are NOT start
+        // bytes... every (hi<<4)|1 IS a start byte here, so use low nibble 2.
+        for (i, b) in hay.iter_mut().enumerate() {
+            *b = ((i as u8) << 4) | 2;
+        }
+        assert!(ac.find_all(&hay).is_empty());
+        hay[37] = 0x51;
+        hay[38] = 0xAB;
+        let ms = ac.find_all(&hay);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(
+            ms[0],
+            AcMatch {
+                pattern: 5,
+                end: 39
+            }
+        );
+    }
+
+    #[test]
+    fn swar_finds_matches_at_all_offsets() {
+        // One-needle automaton: hits at every alignment within and past the
+        // 8-byte SWAR chunks, including the sub-chunk tail.
+        let ac = pats(&[b"q"]);
+        assert!(ac.uses_swar_prefilter());
+        for offset in 0..25usize {
+            let mut hay = vec![b'.'; offset];
+            hay.push(b'q');
+            hay.extend(std::iter::repeat_n(b'.', 3));
+            let ms = ac.find_all(&hay);
+            assert_eq!(ms.len(), 1, "offset {offset}");
+            assert_eq!(ms[0].end, offset + 1, "offset {offset}");
+        }
+        assert!(ac.find_all(&[b'.'; 100]).is_empty());
+    }
+
+    #[test]
+    fn swar_three_needles_earliest_hit_wins() {
+        let ac = pats(&[b"az", b"bz", b"cz"]); // starts: a, b, c
+        assert!(ac.uses_swar_prefilter());
+        let hay = b"........c.....bz...az....";
+        let ms = ac.find_all(hay);
+        // Only "bz" and "az" complete; the prefilter must not skip past the
+        // earlier 'c' in a way that loses the later matches.
+        let got: Vec<(usize, usize)> = ms.iter().map(|m| (m.pattern, m.end)).collect();
+        assert_eq!(got, vec![(1, 16), (0, 21)]);
+    }
+
     /// Reference implementation for the property test.
     fn naive_find_all(patterns: &[Vec<u8>], hay: &[u8]) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
@@ -291,6 +700,36 @@ mod tests {
             hay in proptest::collection::vec(any::<u8>(), 0..400)
         ) {
             let ac = AhoCorasick::new(patterns);
+            let mut filtered = Vec::new();
+            ac.find_each(&hay, |m| {
+                filtered.push(m);
+                true
+            });
+            let mut unfiltered = Vec::new();
+            ac.find_each_unfiltered(&hay, |m| {
+                unfiltered.push(m);
+                true
+            });
+            prop_assert_eq!(filtered, unfiltered);
+        }
+
+        /// Same equivalence, pinned to the SWAR skip loop: patterns drawn
+        /// from a two-byte leading alphabet keep the start set ≤ 2, so the
+        /// vectorized path (not the table walk) is what's being exercised.
+        #[test]
+        fn swar_prefilter_equals_unfiltered(
+            patterns in proptest::collection::vec(
+                (0u8..2, proptest::collection::vec(any::<u8>(), 0..5))
+                    .prop_map(|(first, rest)| {
+                        let mut p = vec![first + b'a'];
+                        p.extend(rest);
+                        p
+                    }),
+                1..8),
+            hay in proptest::collection::vec(any::<u8>(), 0..400)
+        ) {
+            let ac = AhoCorasick::new(patterns);
+            prop_assert!(ac.uses_swar_prefilter());
             let mut filtered = Vec::new();
             ac.find_each(&hay, |m| {
                 filtered.push(m);

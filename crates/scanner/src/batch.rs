@@ -1,0 +1,239 @@
+//! A small work-stealing thread pool for batched scanning.
+//!
+//! The batched scan service accumulates unique download bodies between
+//! sim-time barriers and hands them here as one batch of jobs. Each worker
+//! owns a deque and a [`ScanScratch`]; idle workers steal from their
+//! neighbours so a batch with one huge archive and many small bodies still
+//! keeps every thread busy. The pool is *only* an execution engine — job
+//! results flow through whatever shared state the closures capture, and the
+//! deterministic merge order is imposed by the caller, never by thread
+//! scheduling.
+//!
+//! `ScanPool::new(0 | 1)` builds an inline pool that runs jobs on the
+//! calling thread with no threads spawned, which is bit-for-bit the
+//! sequential behavior.
+
+use crate::engine::ScanScratch;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of batch work: runs on some worker with that worker's scratch.
+pub type ScanJob = Box<dyn FnOnce(&mut ScanScratch) + Send + 'static>;
+
+struct Shared {
+    /// One deque per worker; workers pop their own back and steal others'
+    /// front. A single mutex over all of them keeps the implementation
+    /// simple — contention is bounded by job granularity (whole bodies),
+    /// not by byte throughput.
+    queues: Mutex<PoolState>,
+    /// Signals workers: new jobs or shutdown.
+    work: Condvar,
+    /// Signals the submitter: batch finished.
+    done: Condvar,
+}
+
+struct PoolState {
+    queues: Vec<VecDeque<ScanJob>>,
+    /// Jobs submitted but not yet finished (across all queues + running).
+    outstanding: usize,
+    shutdown: bool,
+}
+
+/// Work-stealing scan pool; see the module docs.
+pub struct ScanPool {
+    threads: usize,
+    shared: Option<Arc<Shared>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ScanPool {
+    /// `threads <= 1` builds the inline (sequential, thread-free) pool.
+    pub fn new(threads: usize) -> Self {
+        if threads <= 1 {
+            return ScanPool {
+                threads: 1,
+                shared: None,
+                workers: Vec::new(),
+            };
+        }
+        let shared = Arc::new(Shared {
+            queues: Mutex::new(PoolState {
+                queues: (0..threads).map(|_| VecDeque::new()).collect(),
+                outstanding: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("scan-worker-{idx}"))
+                    .spawn(move || worker_loop(idx, &shared))
+                    .expect("spawn scan worker")
+            })
+            .collect();
+        ScanPool {
+            threads,
+            shared: Some(shared),
+            workers,
+        }
+    }
+
+    /// Number of scanning threads (1 for the inline pool).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs a batch of jobs to completion. Jobs are distributed round-robin
+    /// over the worker deques; the call returns only after every job has
+    /// finished. With the inline pool the jobs run here, in order.
+    pub fn run(&self, jobs: Vec<ScanJob>) {
+        let Some(shared) = &self.shared else {
+            let mut scratch = ScanScratch::new();
+            for job in jobs {
+                job(&mut scratch);
+            }
+            return;
+        };
+        if jobs.is_empty() {
+            return;
+        }
+        {
+            let mut state = shared.queues.lock().expect("pool lock");
+            state.outstanding += jobs.len();
+            for (i, job) in jobs.into_iter().enumerate() {
+                let q = i % state.queues.len();
+                state.queues[q].push_back(job);
+            }
+        }
+        shared.work.notify_all();
+        let mut state = shared.queues.lock().expect("pool lock");
+        while state.outstanding > 0 {
+            state = shared.done.wait(state).expect("pool lock");
+        }
+    }
+}
+
+impl Drop for ScanPool {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            shared.queues.lock().expect("pool lock").shutdown = true;
+            shared.work.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(idx: usize, shared: &Shared) {
+    let mut scratch = ScanScratch::new();
+    let mut state = shared.queues.lock().expect("pool lock");
+    loop {
+        // Own queue first, then steal round-robin from the others.
+        let n = state.queues.len();
+        let job = (0..n)
+            .map(|k| (idx + k) % n)
+            .find_map(|q| state.queues[q].pop_front());
+        match job {
+            Some(job) => {
+                drop(state);
+                job(&mut scratch);
+                state = shared.queues.lock().expect("pool lock");
+                state.outstanding -= 1;
+                if state.outstanding == 0 {
+                    shared.done.notify_all();
+                }
+            }
+            None => {
+                if state.shutdown {
+                    return;
+                }
+                state = shared.work.wait(state).expect("pool lock");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn run_counted(pool: &ScanPool, jobs: usize) -> usize {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let batch: Vec<ScanJob> = (0..jobs)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                Box::new(move |_: &mut ScanScratch| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as ScanJob
+            })
+            .collect();
+        pool.run(batch);
+        counter.load(Ordering::SeqCst)
+    }
+
+    #[test]
+    fn inline_pool_runs_everything_in_order() {
+        let pool = ScanPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let batch: Vec<ScanJob> = (0..10usize)
+            .map(|i| {
+                let order = Arc::clone(&order);
+                Box::new(move |_: &mut ScanScratch| order.lock().unwrap().push(i)) as ScanJob
+            })
+            .collect();
+        pool.run(batch);
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threaded_pool_completes_all_jobs() {
+        let pool = ScanPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        for batch in [0usize, 1, 3, 64, 257] {
+            assert_eq!(run_counted(&pool, batch), batch);
+        }
+    }
+
+    #[test]
+    fn results_can_flow_through_shared_slots() {
+        let pool = ScanPool::new(2);
+        let slots: Arc<Mutex<Vec<Option<usize>>>> = Arc::new(Mutex::new(vec![None; 100]));
+        let batch: Vec<ScanJob> = (0..100usize)
+            .map(|i| {
+                let slots = Arc::clone(&slots);
+                Box::new(move |_: &mut ScanScratch| {
+                    slots.lock().unwrap()[i] = Some(i * i);
+                }) as ScanJob
+            })
+            .collect();
+        pool.run(batch);
+        let got = slots.lock().unwrap();
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(*v, Some(i * i));
+        }
+    }
+
+    #[test]
+    fn sequential_batches_reuse_the_pool() {
+        let pool = ScanPool::new(3);
+        for _ in 0..20 {
+            assert_eq!(run_counted(&pool, 16), 16);
+        }
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        for _ in 0..5 {
+            let pool = ScanPool::new(2);
+            assert_eq!(run_counted(&pool, 8), 8);
+            drop(pool);
+        }
+    }
+}

@@ -147,6 +147,12 @@ impl CompiledDb {
         self.sigs.is_empty()
     }
 
+    /// The compiled anchor automaton (e.g. for prefilter diagnostics and
+    /// head-to-head benches).
+    pub fn automaton(&self) -> &AhoCorasick {
+        &self.ac
+    }
+
     /// Verifies one anchor hit against its full wildcard signature.
     #[inline]
     fn verify(&self, data: &[u8], m: crate::aho::AcMatch) -> bool {

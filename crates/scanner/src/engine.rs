@@ -71,6 +71,40 @@ impl Verdict {
     }
 }
 
+/// Reusable decompression buffers for archive traversal: one per nesting
+/// level. [`Scanner::scan_with_scratch`] extracts every archive member into
+/// these instead of allocating a fresh `Vec` per member, so a long batch of
+/// scans settles into zero allocator traffic per body. Each worker thread of
+/// the batched scan service owns one.
+#[derive(Default)]
+pub struct ScanScratch {
+    levels: Vec<Vec<u8>>,
+}
+
+impl ScanScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Detaches the buffer for `depth` (empty if never used) so the caller
+    /// can fill it while deeper recursion uses the later levels.
+    fn take_level(&mut self, depth: usize) -> Vec<u8> {
+        if depth < self.levels.len() {
+            std::mem::take(&mut self.levels[depth])
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Returns a buffer (and its capacity) to level `depth` for reuse.
+    fn put_level(&mut self, depth: usize, buf: Vec<u8>) {
+        if depth >= self.levels.len() {
+            self.levels.resize_with(depth + 1, Vec::new);
+        }
+        self.levels[depth] = buf;
+    }
+}
+
 /// A configured scanner around a compiled signature database.
 pub struct Scanner {
     db: CompiledDb,
@@ -97,13 +131,20 @@ impl Scanner {
     /// Scans a downloaded file: signature-matches the raw bytes, and if the
     /// content is a ZIP archive, recurses into its members.
     pub fn scan(&self, name: &str, data: &[u8]) -> Verdict {
+        self.scan_with_scratch(name, data, &mut ScanScratch::new())
+    }
+
+    /// Like [`Scanner::scan`], reusing the caller's [`ScanScratch`] for
+    /// archive-member decompression. Verdicts are identical to `scan`; only
+    /// allocator traffic differs.
+    pub fn scan_with_scratch(&self, name: &str, data: &[u8], scratch: &mut ScanScratch) -> Verdict {
         let mut verdict = Verdict {
             detections: Vec::new(),
             notes: Vec::new(),
             decode_errors: Vec::new(),
         };
         let mut path = Vec::new();
-        self.scan_inner(name, &mut path, data, 0, &mut verdict);
+        self.scan_inner(name, &mut path, data, 0, &mut verdict, scratch);
         verdict
     }
 
@@ -114,6 +155,7 @@ impl Scanner {
         data: &[u8],
         depth: usize,
         verdict: &mut Verdict,
+        scratch: &mut ScanScratch,
     ) {
         let detections = &mut verdict.detections;
         self.db.matches_each(data, |hit| {
@@ -136,6 +178,9 @@ impl Scanner {
             }
             match ZipArchive::parse_with_limit(data, self.config.max_entry_bytes) {
                 Ok(archive) => {
+                    // This level's buffer is detached while deeper recursion
+                    // borrows the scratch for the levels below it.
+                    let mut buf = scratch.take_level(depth);
                     for (i, entry) in archive.entries().iter().enumerate() {
                         if i >= self.config.max_entries {
                             verdict.notes.push(format!(
@@ -144,10 +189,10 @@ impl Scanner {
                             ));
                             break;
                         }
-                        match archive.read(i) {
-                            Ok(bytes) => {
+                        match archive.read_into(i, &mut buf) {
+                            Ok(()) => {
                                 path.push(entry.name.clone());
-                                self.scan_inner(root, path, &bytes, depth + 1, verdict);
+                                self.scan_inner(root, path, &buf, depth + 1, verdict, scratch);
                                 path.pop();
                             }
                             Err(e) => {
@@ -160,6 +205,7 @@ impl Scanner {
                             }
                         }
                     }
+                    scratch.put_level(depth, buf);
                 }
                 Err(e) => {
                     let msg = format!("{}: corrupt archive ({e})", render_location(root, path));
@@ -338,6 +384,34 @@ mod tests {
         assert!(v.infected());
         assert!(!v.unscannable());
         assert!(!v.decode_errors.is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scan() {
+        let s = scanner(&[("Worm.A", b"EVILBYTES")]);
+        let mut inner = ZipWriter::new();
+        inner.add("x.exe", &infected_exe_body(), Method::Deflate);
+        let mut outer = ZipWriter::new();
+        outer.add("inner.zip", &inner.finish(), Method::Stored);
+        outer.add("clean.exe", b"MZ nothing here", Method::Deflate);
+        let nested = outer.finish();
+        let mut flat = ZipWriter::new();
+        flat.add("a.exe", &infected_exe_body(), Method::Deflate);
+        let flat = flat.finish();
+        let mut scratch = ScanScratch::new();
+        // Same scratch across differently-shaped bodies; every verdict must
+        // equal the fresh-allocation scan.
+        for (name, body) in [
+            ("outer.zip", nested.as_slice()),
+            ("flat.zip", flat.as_slice()),
+            ("outer.zip", nested.as_slice()),
+            ("plain.exe", b"MZ EVILBYTES".as_slice()),
+        ] {
+            assert_eq!(
+                s.scan_with_scratch(name, body, &mut scratch),
+                s.scan(name, body)
+            );
+        }
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! * [`filetype`] — magic-byte and extension-based file typing (the study
 //!   classifies responses into executables, archives and media), and
 //! * [`engine`] — the scan engine, which recurses into ZIP archives exactly
-//!   like the study's scanner had to.
+//!   like the study's scanner had to, and
+//! * [`batch`] — a work-stealing thread pool that scans whole batches of
+//!   bodies between the harness's sim-time barriers.
 //!
 //! ```
 //! use p2pmal_scanner::{SignatureDb, Scanner};
@@ -24,6 +26,7 @@
 //! ```
 
 pub mod aho;
+pub mod batch;
 pub mod cache;
 pub mod db;
 pub mod engine;
@@ -31,8 +34,9 @@ pub mod filetype;
 pub mod sig;
 
 pub use aho::AhoCorasick;
+pub use batch::{ScanJob, ScanPool};
 pub use cache::{VerdictCache, VerdictCacheStats};
 pub use db::{CompiledDb, SignatureDb, SignatureError};
-pub use engine::{Detection, ScanConfig, Scanner, Verdict};
+pub use engine::{Detection, ScanConfig, ScanScratch, Scanner, Verdict};
 pub use filetype::{FileClass, FileKind};
 pub use sig::Signature;
