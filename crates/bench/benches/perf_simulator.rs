@@ -107,6 +107,16 @@ fn run_quick_scenario(seed: u64, scheduler: SchedulerKind) -> u64 {
     let mut sc = LimewireScenario::quick(seed);
     sc.days = 1;
     sc.scheduler = scheduler;
+    sc.shards = 1;
+    sc.run().sim_metrics.events_processed
+}
+
+/// One simulated day of the quick LimeWire study under `shards` simulation
+/// shards (1 = serial reference engine); returns events processed.
+fn run_sharded_scenario(seed: u64, shards: usize) -> u64 {
+    let mut sc = LimewireScenario::quick(seed);
+    sc.days = 1;
+    sc.shards = shards;
     sc.run().sim_metrics.events_processed
 }
 
@@ -230,5 +240,46 @@ fn bench_quick_scenario(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_scheduler, bench_sim, bench_quick_scenario);
+/// Shard scaling: the serial engine vs the parallel sharded engine on the
+/// same quick scenario. The two trajectories are deliberately distinct
+/// (see `p2pmal_netsim`'s sharding docs), so events/second — not event
+/// counts — is the comparable number.
+fn bench_shard_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard_scaling");
+    g.sample_size(samples());
+    for (label, shards) in [
+        ("limewire_1day_shards1", 1usize),
+        ("limewire_1day_shards4", 4),
+    ] {
+        g.bench_function(label, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_sharded_scenario(seed, shards))
+            });
+        });
+    }
+    g.finish();
+
+    for (label, shards) in [("shards=1", 1usize), ("shards=4", 4)] {
+        let t0 = std::time::Instant::now();
+        let mut events = 0u64;
+        for rep in 0..4 {
+            events += run_sharded_scenario(7 + rep, shards);
+        }
+        println!(
+            "shard_scaling[{label}]: {events} events in {:.2}s wall = {:.0} events/s",
+            t0.elapsed().as_secs_f64(),
+            events as f64 / t0.elapsed().as_secs_f64()
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler,
+    bench_sim,
+    bench_quick_scenario,
+    bench_shard_scaling
+);
 criterion_main!(benches);

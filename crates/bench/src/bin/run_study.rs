@@ -85,6 +85,13 @@ fn timing_entry(label: &str, run: &NetworkRun) -> Value {
         "[run_study] timing {label}: {wall:.1}s wall, {events} events ({events_per_sec:.0}/s); {}",
         t.render_compact(),
     );
+    if run.shards > 1 {
+        eprintln!(
+            "[run_study] sharding {label}: {} shards, {} ms exchange window",
+            run.shards,
+            run.shard_window_us / 1000,
+        );
+    }
     let buckets = Value::Obj(
         Subsystem::ALL
             .iter()
@@ -104,6 +111,8 @@ fn timing_entry(label: &str, run: &NetworkRun) -> Value {
         ("wall_secs".into(), wall.into()),
         ("events".into(), events.into()),
         ("events_per_sec".into(), events_per_sec.into()),
+        ("shards".into(), (run.shards as u64).into()),
+        ("window_ms".into(), (run.shard_window_us / 1000).into()),
         ("subsystems".into(), buckets),
         ("telemetry".into(), telemetry_entry(run)),
     ])
@@ -129,6 +138,18 @@ fn telemetry_entry(run: &NetworkRun) -> Value {
             .collect(),
     );
     Value::Obj(vec![("counters".into(), counters), ("hists".into(), hists)])
+}
+
+/// Filename-interning accounting for one network's world, echoed to
+/// stderr (stdout must stay byte-identical across perf-only changes).
+fn intern_lines(label: &str, run: &NetworkRun) {
+    let s = run.world.names.stats();
+    eprintln!(
+        "[run_study] interning {label}: {} unique names, {} dedup hits, {} KiB of string bytes saved",
+        s.unique,
+        s.hits,
+        s.bytes_saved / 1024,
+    );
 }
 
 /// Echoes the histogram summaries (sim-time and wall-clock) to stderr.
@@ -293,9 +314,11 @@ fn main() {
     }
     if let Some(run) = report.limewire.as_ref() {
         telemetry_lines("LimeWire", run);
+        intern_lines("LimeWire", run);
     }
     if let Some(run) = report.openft.as_ref() {
         telemetry_lines("OpenFT", run);
+        intern_lines("OpenFT", run);
     }
     write_bench_json(&report, &cfg);
     let comparisons = report.comparisons();

@@ -79,6 +79,11 @@ pub struct NetworkRun {
     /// Wall-clock time the simulation loop took (sum over the per-day
     /// `run_until` calls; excludes population setup and log extraction).
     pub wall: std::time::Duration,
+    /// Shards the simulator ran with (1 = the serial reference engine).
+    pub shards: usize,
+    /// Cross-shard exchange window (microseconds; meaningful when
+    /// `shards > 1`).
+    pub shard_window_us: u64,
 }
 
 /// `P2PMAL_TRACE=1`: per-day progress line with scheduler and buffer-pool
@@ -277,6 +282,14 @@ pub struct LimewireScenario {
     /// (the default when no knob is set) runs are byte-identical to a
     /// build without the telemetry layer.
     pub telemetry: TelemetryConfig,
+    /// Simulation shards (see [`SimConfig::shards`]): 1 runs the serial
+    /// reference engine; N ≥ 2 runs the parallel sharded engine, whose
+    /// trajectory is deterministic and identical for every N ≥ 2 but
+    /// distinct from the serial one. The presets read `P2PMAL_SHARDS`.
+    pub shards: usize,
+    /// Cross-shard exchange window in microseconds
+    /// (`P2PMAL_SHARD_WINDOW_MS`).
+    pub shard_window_us: u64,
 }
 
 impl LimewireScenario {
@@ -306,6 +319,8 @@ impl LimewireScenario {
             faults: FaultPlan::none(),
             retry: RetryPolicy::legacy(),
             telemetry: TelemetryConfig::from_env(),
+            shards: SimConfig::shards_from_env().0,
+            shard_window_us: SimConfig::shards_from_env().1,
         }
     }
 
@@ -372,6 +387,8 @@ impl LimewireScenario {
             SimConfig {
                 scheduler: self.scheduler,
                 faults: self.faults,
+                shards: self.shards,
+                shard_window_us: self.shard_window_us,
                 ..SimConfig::default()
             },
             self.seed,
@@ -497,6 +514,8 @@ impl LimewireScenario {
             resolved,
             world,
             wall,
+            shards: sim.shard_count(),
+            shard_window_us: sim.shard_window_us(),
         }
     }
 }
@@ -540,6 +559,10 @@ pub struct OpenFtScenario {
     /// Telemetry sinks and trace level (see
     /// [`LimewireScenario::telemetry`]).
     pub telemetry: TelemetryConfig,
+    /// Simulation shards (see [`LimewireScenario::shards`]).
+    pub shards: usize,
+    /// Cross-shard exchange window in microseconds.
+    pub shard_window_us: u64,
 }
 
 impl OpenFtScenario {
@@ -581,6 +604,8 @@ impl OpenFtScenario {
             faults: FaultPlan::none(),
             retry: RetryPolicy::legacy(),
             telemetry: TelemetryConfig::from_env(),
+            shards: SimConfig::shards_from_env().0,
+            shard_window_us: SimConfig::shards_from_env().1,
         }
     }
 
@@ -627,6 +652,8 @@ impl OpenFtScenario {
             SimConfig {
                 scheduler: self.scheduler,
                 faults: self.faults,
+                shards: self.shards,
+                shard_window_us: self.shard_window_us,
                 ..SimConfig::default()
             },
             self.seed,
@@ -770,6 +797,8 @@ impl OpenFtScenario {
             resolved,
             world,
             wall,
+            shards: sim.shard_count(),
+            shard_window_us: sim.shard_window_us(),
         }
     }
 }

@@ -100,6 +100,9 @@ fn limewire_quick_survives_harsh_faults() {
     // bigger libraries, a downloadable-heavy media mix, and a faster query
     // clock so the retry pipeline actually gets exercised.
     let mut scenario = LimewireScenario::quick(2006).with_faults(faults, retry);
+    // Pinned to the serial engine: the per-cause failure breakdown below
+    // is calibrated against its traffic pattern.
+    scenario.shards = 1;
     scenario.days = 5;
     scenario.clean_leaves = 60;
     scenario.files_per_leaf = 30;
@@ -117,6 +120,7 @@ fn limewire_quick_survives_harsh_faults() {
 fn openft_quick_survives_harsh_faults() {
     let (faults, retry) = fault_profile("harsh").expect("harsh profile exists");
     let mut scenario = OpenFtScenario::quick(2006 ^ 0xF7).with_faults(faults, retry);
+    scenario.shards = 1;
     scenario.days = 5;
     // More downloadable titles and a faster query clock give the fault
     // classes real download traffic. The population itself stays stock:

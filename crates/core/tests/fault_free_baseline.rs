@@ -56,7 +56,12 @@ fn digest(run: &NetworkRun) -> String {
 
 #[test]
 fn limewire_quick_seed_2006_matches_fault_free_baseline() {
-    let run = LimewireScenario::quick(2006).run();
+    // Pinned to the serial engine: these goldens record the serial
+    // reference trajectory. The sharded engine's own goldens live in
+    // `sharded_sim.rs` (its trajectory is deterministic but distinct).
+    let mut scenario = LimewireScenario::quick(2006);
+    scenario.shards = 1;
+    let run = scenario.run();
     assert_eq!(
         digest(&run),
         "e23760a68ae66f482fe75fb625ea3782b0f42ea1",
@@ -65,9 +70,10 @@ fn limewire_quick_seed_2006_matches_fault_free_baseline() {
     // An *explicit* empty fault plan must be indistinguishable from the
     // default: the fault layer performs zero RNG draws and schedules zero
     // events when every probability is zero.
-    let explicit = LimewireScenario::quick(2006)
-        .with_faults(FaultPlan::none(), RetryPolicy::legacy())
-        .run();
+    let mut explicit_scenario =
+        LimewireScenario::quick(2006).with_faults(FaultPlan::none(), RetryPolicy::legacy());
+    explicit_scenario.shards = 1;
+    let explicit = explicit_scenario.run();
     assert_eq!(
         digest(&explicit),
         digest(&run),
@@ -77,16 +83,20 @@ fn limewire_quick_seed_2006_matches_fault_free_baseline() {
 
 #[test]
 fn openft_quick_seed_2006_matches_fault_free_baseline() {
-    // Same seed derivation run_study uses for the OpenFT half.
-    let run = OpenFtScenario::quick(2006 ^ 0xF7).run();
+    // Same seed derivation run_study uses for the OpenFT half. Pinned to
+    // the serial engine, like the LimeWire golden above.
+    let mut scenario = OpenFtScenario::quick(2006 ^ 0xF7);
+    scenario.shards = 1;
+    let run = scenario.run();
     assert_eq!(
         digest(&run),
         "76a3974f9eba95c5ea11bd8eed620f8144ede6a7",
         "fault-free OpenFT quick study diverged from the pre-fault-injection baseline"
     );
-    let explicit = OpenFtScenario::quick(2006 ^ 0xF7)
-        .with_faults(FaultPlan::none(), RetryPolicy::legacy())
-        .run();
+    let mut explicit_scenario =
+        OpenFtScenario::quick(2006 ^ 0xF7).with_faults(FaultPlan::none(), RetryPolicy::legacy());
+    explicit_scenario.shards = 1;
+    let explicit = explicit_scenario.run();
     assert_eq!(
         digest(&explicit),
         digest(&run),

@@ -24,7 +24,11 @@ fn counts(run: &NetworkRun) -> (usize, usize, usize) {
 
 #[test]
 fn limewire_quick_seed_2006_match_counts_unchanged() {
-    let run = LimewireScenario::quick(2006).run();
+    // Serial-engine golden counts (the sharded engine's deterministic
+    // trajectory is distinct; sharded_sim.rs guards it by digest).
+    let mut scenario = LimewireScenario::quick(2006);
+    scenario.shards = 1;
+    let run = scenario.run();
     assert_eq!(
         counts(&run),
         (12670, 7661, 6979),
@@ -35,7 +39,9 @@ fn limewire_quick_seed_2006_match_counts_unchanged() {
 
 #[test]
 fn openft_quick_seed_2006_match_counts_unchanged() {
-    let run = OpenFtScenario::quick(2006 ^ 0xF7).run();
+    let mut scenario = OpenFtScenario::quick(2006 ^ 0xF7);
+    scenario.shards = 1;
+    let run = scenario.run();
     assert_eq!(
         counts(&run),
         (7792, 970, 68),

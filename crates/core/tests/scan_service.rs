@@ -51,6 +51,8 @@ fn limewire_quick_identical_across_scan_thread_counts() {
     let mut baseline_scan: Option<ScanStats> = None;
     for threads in [1usize, 2, 8] {
         let mut scenario = LimewireScenario::quick(2006);
+        // Serial-engine golden (see sharded_sim.rs for the sharded one).
+        scenario.shards = 1;
         scenario.scan_threads = threads;
         let run = scenario.run();
         assert_eq!(
@@ -74,6 +76,8 @@ fn openft_quick_identical_across_scan_thread_counts() {
     for threads in [1usize, 2, 8] {
         // Same seed derivation run_study uses for the OpenFT half.
         let mut scenario = OpenFtScenario::quick(2006 ^ 0xF7);
+        // Serial-engine golden (see sharded_sim.rs for the sharded one).
+        scenario.shards = 1;
         scenario.scan_threads = threads;
         let run = scenario.run();
         assert_eq!(

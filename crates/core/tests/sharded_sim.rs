@@ -1,0 +1,200 @@
+//! Equivalence guard for the sharded parallel simulation engine.
+//!
+//! The determinism contract has two halves:
+//!
+//! * `shards = 1` runs the untouched serial engine, so its quick seed-2006
+//!   trajectories must match the golden digests recorded in
+//!   `fault_free_baseline.rs` bit-for-bit.
+//! * `shards >= 2` runs the parallel engine, whose trajectory is
+//!   *deliberately distinct* from the serial one (the serial engine threads
+//!   all randomness through a single RNG in dispatch order, which no
+//!   parallel schedule can reproduce) but must be bit-identical across
+//!   every shard count and every thread interleaving. The sharded goldens
+//!   below pin that second trajectory.
+//!
+//! `SimMetrics` must agree across shard counts too, except the buffer-pool
+//! counters: each shard owns a private pool, so hit/miss/recycle totals
+//! depend on how nodes partition. Those are zeroed before comparing.
+
+use p2pmal_core::{LimewireScenario, NetworkRun, OpenFtScenario};
+use p2pmal_hashes::Sha1;
+use p2pmal_netsim::{shard_of, SimMetrics};
+
+/// Same canonical trajectory digest as `fault_free_baseline.rs`.
+fn digest(run: &NetworkRun) -> String {
+    let mut h = Sha1::new();
+    let mut line = String::new();
+    for r in &run.resolved {
+        use std::fmt::Write;
+        line.clear();
+        let _ = writeln!(
+            line,
+            "{}|{}|{}|{}|{}|{}:{}|{}|{:?}|{}|{}|{}",
+            r.record.at.as_micros(),
+            r.record.day,
+            r.record.query,
+            r.record.filename,
+            r.record.size,
+            r.record.source_ip,
+            r.record.source_port,
+            r.record.needs_push,
+            r.record.host,
+            r.scanned,
+            r.malware.as_deref().unwrap_or("-"),
+            r.sha1.map(|d| d.to_hex()).unwrap_or_default(),
+        );
+        h.update(line.as_bytes());
+    }
+    let counters = format!(
+        "queries={} attempted={} failed={} events={}",
+        run.log.queries_issued,
+        run.log.downloads_attempted,
+        run.log.downloads_failed,
+        run.sim_metrics.events_processed,
+    );
+    h.update(counters.as_bytes());
+    h.finalize().to_hex()
+}
+
+/// Metrics with the shard-partition-dependent parts masked out.
+fn comparable_metrics(run: &NetworkRun) -> SimMetrics {
+    let mut m = run.sim_metrics.clone();
+    m.pool_hits = 0;
+    m.pool_misses = 0;
+    m.pool_recycled_bytes = 0;
+    m.pool_high_water = 0;
+    m
+}
+
+fn limewire_run(shards: usize) -> NetworkRun {
+    let mut scenario = LimewireScenario::quick(2006);
+    scenario.shards = shards;
+    scenario.run()
+}
+
+fn openft_run(shards: usize) -> NetworkRun {
+    // Same seed derivation run_study uses for the OpenFT half.
+    let mut scenario = OpenFtScenario::quick(2006 ^ 0xF7);
+    scenario.shards = shards;
+    scenario.run()
+}
+
+#[test]
+fn shard_assignment_is_a_pure_function_of_seed_node_and_count() {
+    for seed in [0u64, 2006, u64::MAX] {
+        for shards in [1usize, 2, 3, 8, 64] {
+            for node in (0..200usize).chain([usize::MAX - 1, usize::MAX]) {
+                let a = shard_of(seed, node, shards);
+                assert!(a < shards, "assignment out of range");
+                assert_eq!(
+                    a,
+                    shard_of(seed, node, shards),
+                    "shard_of must be pure: seed={seed} node={node} shards={shards}"
+                );
+            }
+        }
+    }
+    // Different seeds shuffle the partition (it is seed-keyed, not a plain
+    // `node % shards`).
+    let a: Vec<usize> = (0..64).map(|n| shard_of(1, n, 8)).collect();
+    let b: Vec<usize> = (0..64).map(|n| shard_of(2, n, 8)).collect();
+    assert_ne!(a, b, "partition should depend on the seed");
+}
+
+#[test]
+fn limewire_serial_engine_matches_fault_free_golden() {
+    // shards = 1 must be byte-identical to the engine before sharding
+    // existed — the same golden `fault_free_baseline.rs` records.
+    let run = limewire_run(1);
+    assert_eq!(run.shards, 1);
+    assert_eq!(
+        digest(&run),
+        "e23760a68ae66f482fe75fb625ea3782b0f42ea1",
+        "shards=1 must reproduce the serial LimeWire golden"
+    );
+}
+
+#[test]
+fn openft_serial_engine_matches_fault_free_golden() {
+    let run = openft_run(1);
+    assert_eq!(run.shards, 1);
+    assert_eq!(
+        digest(&run),
+        "76a3974f9eba95c5ea11bd8eed620f8144ede6a7",
+        "shards=1 must reproduce the serial OpenFT golden"
+    );
+}
+
+#[test]
+fn limewire_sharded_trajectory_identical_at_2_4_8_shards() {
+    let base = limewire_run(2);
+    let base_digest = digest(&base);
+    assert_eq!(
+        base_digest, "f37ef52a057e0096ccb9f7e55383db93efacf571",
+        "sharded LimeWire golden moved"
+    );
+    let base_metrics = comparable_metrics(&base);
+    for shards in [4usize, 8] {
+        let run = limewire_run(shards);
+        assert_eq!(run.shards, shards);
+        assert_eq!(
+            digest(&run),
+            base_digest,
+            "shards={shards} diverged from the shards=2 LimeWire trajectory"
+        );
+        assert_eq!(
+            comparable_metrics(&run),
+            base_metrics,
+            "shards={shards} changed the LimeWire SimMetrics"
+        );
+    }
+}
+
+#[test]
+fn openft_sharded_trajectory_identical_at_2_4_8_shards() {
+    let base = openft_run(2);
+    let base_digest = digest(&base);
+    assert_eq!(
+        base_digest, "18f403bc244e4c8cbe0236ce7ce77a929ccd8c4f",
+        "sharded OpenFT golden moved"
+    );
+    let base_metrics = comparable_metrics(&base);
+    for shards in [4usize, 8] {
+        let run = openft_run(shards);
+        assert_eq!(run.shards, shards);
+        assert_eq!(
+            digest(&run),
+            base_digest,
+            "shards={shards} diverged from the shards=2 OpenFT trajectory"
+        );
+        assert_eq!(
+            comparable_metrics(&run),
+            base_metrics,
+            "shards={shards} changed the OpenFT SimMetrics"
+        );
+    }
+}
+
+#[test]
+fn sharded_mode_reports_exchange_bucket_and_window_depths() {
+    let run = limewire_run(4);
+    // The 7th profiler subsystem only accrues in sharded mode...
+    assert!(
+        run.sim_metrics
+            .timing
+            .calls(p2pmal_netsim::Subsystem::ShardExchange)
+            > 0,
+        "shard_exchange bucket should accrue at shards=4"
+    );
+    // ...and the queue-depth histogram samples the global depth at every
+    // window boundary, so a multi-day run collects plenty of samples.
+    assert!(
+        run.sim_metrics
+            .telemetry
+            .hist(p2pmal_netsim::SimHist::QueueDepth)
+            .count()
+            > 0,
+        "queue_depth histogram should be populated at shards=4"
+    );
+    assert!(run.sim_metrics.queue_high_water > 0);
+}

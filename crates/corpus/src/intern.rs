@@ -1,0 +1,134 @@
+//! Filename interning.
+//!
+//! A simulated network shares the same names everywhere: every replica of a
+//! catalog variant carries the variant's name, every fixed-name trojan its
+//! enticing names, and every child of an OpenFT search node re-registers
+//! the filenames it shares. Storing each occurrence as its own `String`
+//! multiplies that text by the host count. The interner keeps one `Arc<str>`
+//! per distinct name and hands out clones, so a name's bytes exist once per
+//! world regardless of how many libraries, indexes or query hits hold it.
+//!
+//! Thread-safe (a `Mutex` around the set) because sharded simulation runs
+//! migrate hosts onto worker threads; the lock is only taken at
+//! registration time (library build, share indexing), never on the query
+//! match path.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+/// Point-in-time interning statistics (see [`NameInterner::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InternStats {
+    /// Interned strings that were already present (dedup hits).
+    pub hits: u64,
+    /// Distinct strings currently interned.
+    pub unique: u64,
+    /// Bytes of string content the hits avoided duplicating.
+    pub bytes_saved: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    set: HashSet<Arc<str>>,
+    hits: u64,
+    bytes_saved: u64,
+}
+
+/// A shared dedup table for filenames (and other world-wide repeated
+/// strings). Clone the `Arc<NameInterner>` into every party that registers
+/// names; readers never need it — an interned name is a plain `Arc<str>`.
+#[derive(Debug, Default)]
+pub struct NameInterner {
+    inner: Mutex<Inner>,
+}
+
+impl NameInterner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the canonical `Arc<str>` for `s`, inserting it on first
+    /// sight.
+    pub fn intern(&self, s: &str) -> Arc<str> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(existing) = inner.set.get(s) {
+            let out = Arc::clone(existing);
+            inner.hits += 1;
+            inner.bytes_saved += s.len() as u64;
+            return out;
+        }
+        let arc: Arc<str> = Arc::from(s);
+        inner.set.insert(Arc::clone(&arc));
+        arc
+    }
+
+    /// Re-interns an already-allocated `Arc<str>`, reusing its allocation
+    /// when it is the first sight of that text.
+    pub fn intern_arc(&self, s: Arc<str>) -> Arc<str> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(existing) = inner.set.get(&*s) {
+            let out = Arc::clone(existing);
+            inner.hits += 1;
+            inner.bytes_saved += s.len() as u64;
+            return out;
+        }
+        inner.set.insert(Arc::clone(&s));
+        s
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> InternStats {
+        let inner = self.inner.lock().unwrap();
+        InternStats {
+            hits: inner.hits,
+            unique: inner.set.len() as u64,
+            bytes_saved: inner.bytes_saved,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups_and_counts() {
+        let i = NameInterner::new();
+        let a = i.intern("crimson_horizon.mp3");
+        let b = i.intern("crimson_horizon.mp3");
+        let c = i.intern("other.exe");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        let s = i.stats();
+        assert_eq!(s.unique, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.bytes_saved, "crimson_horizon.mp3".len() as u64);
+    }
+
+    #[test]
+    fn intern_arc_reuses_canonical() {
+        let i = NameInterner::new();
+        let first = i.intern("name.bin");
+        let fresh: Arc<str> = Arc::from("name.bin");
+        let canon = i.intern_arc(fresh);
+        assert!(Arc::ptr_eq(&first, &canon));
+        assert_eq!(i.stats().hits, 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let i = Arc::new(NameInterner::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let i = Arc::clone(&i);
+                std::thread::spawn(move || i.intern("same_everywhere.avi"))
+            })
+            .collect();
+        let arcs: Vec<Arc<str>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for a in &arcs[1..] {
+            assert!(Arc::ptr_eq(&arcs[0], a));
+        }
+        assert_eq!(i.stats().unique, 1);
+        assert_eq!(i.stats().hits, 3);
+    }
+}

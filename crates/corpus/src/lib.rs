@@ -25,12 +25,14 @@
 
 pub mod catalog;
 pub mod family;
+pub mod intern;
 pub mod library;
 pub mod payload;
 pub mod zipf;
 
 pub use catalog::{BenignItem, Catalog, MediaType};
 pub use family::{Container, FamilyId, MalwareFamily, NamingStrategy, Roster};
+pub use intern::{InternStats, NameInterner};
 pub use library::{CompiledQuery, ContentRef, HostLibrary, QueryCache, SharedFile};
 pub use payload::ContentStore;
 pub use zipf::Zipf;

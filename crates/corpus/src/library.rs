@@ -8,6 +8,7 @@
 
 use crate::catalog::{BenignItem, Catalog};
 use crate::family::{FamilyId, MalwareFamily, NamingStrategy};
+use crate::intern::NameInterner;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore};
 use std::collections::{HashMap, HashSet};
@@ -41,9 +42,12 @@ impl ContentRef {
 
 /// One file a host offers: display name, exact transfer size, and the
 /// content reference resolving to its bytes.
+/// `name` is an `Arc<str>`: replicas of the same content carry the same
+/// name on thousands of hosts, and libraries built through a shared
+/// [`NameInterner`] all point at one allocation per distinct name.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SharedFile {
-    pub name: String,
+    pub name: std::sync::Arc<str>,
     pub size: u64,
     pub content: ContentRef,
 }
@@ -75,7 +79,10 @@ pub struct HostLibrary {
     meta: Vec<FileMeta>,
     /// Exact file names present, so duplicate checks at insert time are
     /// O(1) instead of a scan over every prior file.
-    names: HashSet<String>,
+    names: HashSet<std::sync::Arc<str>>,
+    /// World-shared filename dedup table; inserts route through it when
+    /// set (the servents attach their world's interner at construction).
+    interner: Option<std::sync::Arc<NameInterner>>,
     echoes: Vec<EchoInfection>,
     /// Families present on this host (static or dynamic), for censuses.
     infections: Vec<FamilyId>,
@@ -263,11 +270,23 @@ impl HostLibrary {
         self.files.is_empty() && self.echoes.is_empty()
     }
 
+    /// Attaches the world-shared filename interner. Every subsequent
+    /// insert dedups its name through it, and names already registered are
+    /// re-interned in place — libraries are typically populated before the
+    /// owning servent (which carries the world handle) is constructed.
+    pub fn set_interner(&mut self, interner: std::sync::Arc<NameInterner>) {
+        for file in &mut self.files {
+            file.name = interner.intern_arc(std::mem::replace(&mut file.name, "".into()));
+        }
+        self.names = self.files.iter().map(|f| f.name.clone()).collect();
+        self.interner = Some(interner);
+    }
+
     /// Shares one variant of a benign title.
     pub fn add_benign(&mut self, item: &BenignItem, variant: usize) {
         let v = &item.variants[variant];
         self.push_file(SharedFile {
-            name: v.name.clone(),
+            name: v.name.as_str().into(),
             size: v.size,
             content: ContentRef::Benign {
                 item: item.id,
@@ -284,7 +303,10 @@ impl HostLibrary {
     /// The single insert path: every shared file gets its lowered name and
     /// match fingerprint computed here, once, and its exact name recorded
     /// for O(1) duplicate checks.
-    fn push_file(&mut self, file: SharedFile) {
+    fn push_file(&mut self, mut file: SharedFile) {
+        if let Some(i) = &self.interner {
+            file.name = i.intern_arc(file.name);
+        }
         let lower = file.name.to_ascii_lowercase();
         self.meta.push(FileMeta {
             fp: name_fingerprint(&lower),
@@ -326,7 +348,7 @@ impl HostLibrary {
             NamingStrategy::FixedNames(names) => {
                 for name in names {
                     self.push_file(SharedFile {
-                        name: name.clone(),
+                        name: name.as_str().into(),
                         size,
                         content,
                     });
@@ -342,9 +364,9 @@ impl HostLibrary {
                     let title = catalog.sample_uniform(rng);
                     let name = format!("{}.{extension}", title.keywords.join("_"));
                     // Avoid duplicate names if sampling repeats a title.
-                    if !self.names.contains(&name) {
+                    if !self.names.contains(name.as_str()) {
                         self.push_file(SharedFile {
-                            name,
+                            name: name.into(),
                             size,
                             content,
                         });
@@ -387,9 +409,9 @@ impl HostLibrary {
             let rank = skip + (rng.next_u64() as usize) % (catalog.len() - skip).max(1);
             let title = catalog.item(rank as u32);
             let name = format!("{}.exe", title.keywords.join("_"));
-            if !self.names.contains(&name) {
+            if !self.names.contains(name.as_str()) {
                 self.push_file(SharedFile {
-                    name,
+                    name: name.into(),
                     size,
                     content,
                 });
@@ -429,7 +451,7 @@ impl HostLibrary {
                     return out;
                 }
                 out.push(SharedFile {
-                    name: format!("{stem}.{ext}"),
+                    name: format!("{stem}.{ext}").into(),
                     size: echo.size,
                     content: ContentRef::Malware {
                         family: echo.family,
@@ -569,7 +591,7 @@ mod tests {
             assert_eq!(rs[0].size, roster.get(FamilyId(0)).sizes[0]);
         }
         let rs = lib.respond("free music", 64);
-        assert_eq!(rs[0].name, "free_music.exe");
+        assert_eq!(&*rs[0].name, "free_music.exe");
     }
 
     #[test]

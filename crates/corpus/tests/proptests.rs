@@ -139,7 +139,7 @@ proptest! {
             lib.add_benign(catalog.item(i), 0);
         }
         let terms = query_terms(&query);
-        let expected: Vec<String> = if terms.is_empty() {
+        let expected: Vec<std::sync::Arc<str>> = if terms.is_empty() {
             Vec::new()
         } else {
             lib.files()
@@ -148,7 +148,8 @@ proptest! {
                 .map(|f| f.name.clone())
                 .collect()
         };
-        let got: Vec<String> = lib.respond(&query, usize::MAX).into_iter().map(|f| f.name).collect();
+        let got: Vec<std::sync::Arc<str>> =
+            lib.respond(&query, usize::MAX).into_iter().map(|f| f.name).collect();
         prop_assert_eq!(got, expected);
     }
 

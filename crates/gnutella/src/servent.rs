@@ -24,7 +24,8 @@ use crate::payload::{
 };
 use crate::qrp::{qrp_hash_full, QrpReceiver, QrpTable, RouteMsg};
 use p2pmal_corpus::{
-    Catalog, CompiledQuery, ContentRef, ContentStore, HostLibrary, QueryCache, Roster, SharedFile,
+    Catalog, CompiledQuery, ContentRef, ContentStore, HostLibrary, NameInterner, QueryCache,
+    Roster, SharedFile,
 };
 use p2pmal_netsim::{
     App, ConnId, Ctx, Direction, EventBody, EventCategory, HostAddr, SimDuration, SimTime,
@@ -60,6 +61,10 @@ pub struct SharedWorld {
     /// World-wide compile cache: a query text floods through hundreds of
     /// servents, but is tokenized and fingerprinted exactly once.
     queries: Arc<QueryCache>,
+    /// World-wide filename dedup table: every library registered against
+    /// this world interns its names here, so a catalog variant's name is
+    /// stored once no matter how many hosts replicate it.
+    pub names: Arc<NameInterner>,
 }
 
 impl SharedWorld {
@@ -69,6 +74,7 @@ impl SharedWorld {
             roster,
             store,
             queries: Arc::new(QueryCache::new()),
+            names: Arc::new(NameInterner::new()),
         }
     }
 
@@ -324,7 +330,8 @@ pub struct Servent {
 }
 
 impl Servent {
-    pub fn new(config: ServentConfig, world: SharedWorld, library: HostLibrary) -> Self {
+    pub fn new(config: ServentConfig, world: SharedWorld, mut library: HostLibrary) -> Self {
+        library.set_interner(world.names.clone());
         Servent {
             config,
             world,
@@ -829,7 +836,7 @@ impl Servent {
             .map(|f| HitResult {
                 index: self.index_of(f),
                 size: f.size.min(u32::MAX as u64) as u32,
-                name: f.name.clone(),
+                name: f.name.to_string(),
                 sha1: None,
             })
             .collect();
@@ -905,7 +912,7 @@ impl Servent {
         self.library
             .files()
             .get(index as usize)
-            .map(|f| (f.name.clone(), f.content))
+            .map(|f| (f.name.to_string(), f.content))
     }
 
     fn handle_query_hit(
@@ -1013,7 +1020,7 @@ impl Servent {
                     self.world
                         .store
                         .sha1_of(f.content, &self.world.catalog, &self.world.roster);
-                (h == *digest).then(|| (f.name.clone(), f.content))
+                (h == *digest).then(|| (f.name.to_string(), f.content))
             }),
         };
         match content {

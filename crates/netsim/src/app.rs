@@ -178,9 +178,12 @@ impl<'a> Ctx<'a> {
 /// A sans-IO network application (protocol node).
 ///
 /// All methods have default no-op implementations so small test apps only
-/// implement what they need.
+/// implement what they need. `Send` because sharded runs migrate each
+/// shard's nodes onto a scoped worker thread for the duration of a window
+/// (callbacks still never run concurrently *for the same node*, and all
+/// cross-node interaction flows through simulator events).
 #[allow(unused_variables)]
-pub trait App {
+pub trait App: Send {
     /// Downcast support for harness access via `Simulator::with_node`:
     /// instrumented apps override this to return `Some(self)` so the
     /// harness can recover the concrete type.

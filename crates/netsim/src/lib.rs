@@ -59,6 +59,7 @@ mod metrics;
 mod pool;
 mod profile;
 pub mod queue;
+mod shard;
 mod sim;
 pub mod telemetry;
 mod time;
@@ -69,6 +70,7 @@ pub use faults::{ChurnSpec, FaultPlan};
 pub use metrics::SimMetrics;
 pub use profile::{Subsystem, SubsystemProfile, SUBSYSTEM_COUNT};
 pub use queue::{CalendarQueue, HeapQueue, Scheduler, SchedulerKind};
+pub use shard::shard_of;
 pub use sim::{NodeSpec, SimConfig, Simulator};
 pub use telemetry::{
     Counter, EventBody, EventCategory, FaultKind, Gauge, HistSummary, Log2Histogram,

@@ -76,6 +76,45 @@ pub struct SimMetrics {
     pub telemetry: MetricsRegistry,
 }
 
+impl SimMetrics {
+    /// Folds another snapshot into this one: counters sum, high-water marks
+    /// take the max, and the profile/registry merge field-wise. The sharded
+    /// simulator keeps one `SimMetrics` per shard and merges them into the
+    /// snapshot `Simulator::metrics` hands out.
+    pub fn merge(&mut self, other: &SimMetrics) {
+        self.events_processed += other.events_processed;
+        self.conns_established += other.conns_established;
+        self.conns_failed += other.conns_failed;
+        self.conns_closed += other.conns_closed;
+        self.bytes_delivered += other.bytes_delivered;
+        self.bytes_dropped += other.bytes_dropped;
+        self.timers_fired += other.timers_fired;
+        self.nodes_spawned += other.nodes_spawned;
+        self.nodes_stopped += other.nodes_stopped;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+        self.pool_recycled_bytes += other.pool_recycled_bytes;
+        self.pool_high_water = self.pool_high_water.max(other.pool_high_water);
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        self.faults_chunks_dropped += other.faults_chunks_dropped;
+        self.faults_chunks_corrupted += other.faults_chunks_corrupted;
+        self.faults_resets += other.faults_resets;
+        self.faults_latency_spikes += other.faults_latency_spikes;
+        self.faults_churn_downs += other.faults_churn_downs;
+        self.faults_churn_ups += other.faults_churn_ups;
+        self.dl_retries += other.dl_retries;
+        self.dl_retry_successes += other.dl_retry_successes;
+        self.scan_bodies += other.scan_bodies;
+        self.scan_bytes_hashed += other.scan_bytes_hashed;
+        self.scan_cache_hits += other.scan_cache_hits;
+        self.scan_cache_misses += other.scan_cache_misses;
+        self.scan_cache_evictions += other.scan_cache_evictions;
+        self.scan_distinct_payloads += other.scan_distinct_payloads;
+        self.timing.merge(&other.timing);
+        self.telemetry.merge(&other.telemetry);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 /// Number of profiled subsystems (buckets in a [`SubsystemProfile`]).
-pub const SUBSYSTEM_COUNT: usize = 6;
+pub const SUBSYSTEM_COUNT: usize = 7;
 
 /// The profiled buckets.
 ///
@@ -41,6 +41,11 @@ pub enum Subsystem {
     ScanMerge = 4,
     /// Query matching against share libraries (nested inside `App`).
     QueryMatch = 5,
+    /// Sharded runs only: cross-shard mailbox exchange, window sequencing
+    /// and barrier synchronization (including worker idle time at the
+    /// barriers, so per-shard sums can exceed the wall clock). Zero on
+    /// serial runs.
+    ShardExchange = 6,
 }
 
 impl Subsystem {
@@ -52,6 +57,7 @@ impl Subsystem {
         Subsystem::Scan,
         Subsystem::ScanMerge,
         Subsystem::QueryMatch,
+        Subsystem::ShardExchange,
     ];
 
     /// Stable snake_case label (trace lines, JSON keys).
@@ -63,6 +69,7 @@ impl Subsystem {
             Subsystem::Scan => "scan",
             Subsystem::ScanMerge => "scan_merge",
             Subsystem::QueryMatch => "query_match",
+            Subsystem::ShardExchange => "shard_exchange",
         }
     }
 }
@@ -128,17 +135,19 @@ impl SubsystemProfile {
     }
 
     /// Compact one-line rendering, e.g. for `P2PMAL_TRACE` day lines:
-    /// `sched 1.2s app 3.4s pump 0.5s scan 0.2s merge 0.0s match 0.1s`.
+    /// `sched 1.2s app 3.4s pump 0.5s scan 0.2s merge 0.0s match 0.1s
+    /// xchg 0.0s`.
     pub fn render_compact(&self) -> String {
         let secs = |s: Subsystem| self.nanos(s) as f64 / 1e9;
         format!(
-            "sched {:.1}s app {:.1}s pump {:.1}s scan {:.1}s merge {:.1}s match {:.1}s",
+            "sched {:.1}s app {:.1}s pump {:.1}s scan {:.1}s merge {:.1}s match {:.1}s xchg {:.1}s",
             secs(Subsystem::Scheduler),
             secs(Subsystem::App),
             secs(Subsystem::TcpPump),
             secs(Subsystem::Scan),
             secs(Subsystem::ScanMerge),
             secs(Subsystem::QueryMatch),
+            secs(Subsystem::ShardExchange),
         )
     }
 }
@@ -211,7 +220,8 @@ mod tests {
                 "tcp_pump",
                 "scan",
                 "scan_merge",
-                "query_match"
+                "query_match",
+                "shard_exchange"
             ]
         );
     }

@@ -79,8 +79,18 @@ pub trait Scheduler<T> {
     /// Enqueues `item` at `time`. Items at equal times dequeue in push
     /// order.
     fn push(&mut self, time: SimTime, item: T);
+    /// Enqueues `item` at `time` under an explicit tie-break key instead of
+    /// the auto-assigned insertion sequence: equal-time items dequeue in
+    /// ascending `seq` order regardless of push order. The sharded
+    /// simulator derives `seq` from `(source node, per-source counter)` so
+    /// the dispatch order is a pure function of the event set, not of which
+    /// thread pushed first. Do not mix with [`Scheduler::push`] on the same
+    /// queue — the auto sequence would collide with caller keys.
+    fn push_keyed(&mut self, time: SimTime, seq: u64, item: T);
     /// Removes and returns the earliest item.
     fn pop(&mut self) -> Option<(SimTime, T)>;
+    /// Like [`Scheduler::pop`], but also returns the item's tie-break key.
+    fn pop_keyed(&mut self) -> Option<(SimTime, u64, T)>;
     /// The timestamp [`Scheduler::pop`] would return next. Takes `&mut
     /// self` so implementations may reorganise lazily.
     fn peek_time(&mut self) -> Option<SimTime>;
@@ -113,8 +123,16 @@ impl<T> Scheduler<T> for HeapQueue<T> {
         self.heap.push(Entry { time, seq, item });
     }
 
+    fn push_keyed(&mut self, time: SimTime, seq: u64, item: T) {
+        self.heap.push(Entry { time, seq, item });
+    }
+
     fn pop(&mut self) -> Option<(SimTime, T)> {
         self.heap.pop().map(|e| (e.time, e.item))
+    }
+
+    fn pop_keyed(&mut self) -> Option<(SimTime, u64, T)> {
+        self.heap.pop().map(|e| (e.time, e.seq, e.item))
     }
 
     fn peek_time(&mut self) -> Option<SimTime> {
@@ -243,6 +261,10 @@ impl<T> Scheduler<T> for CalendarQueue<T> {
     fn push(&mut self, time: SimTime, item: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.push_keyed(time, seq, item);
+    }
+
+    fn push_keyed(&mut self, time: SimTime, seq: u64, item: T) {
         let entry = Entry { time, seq, item };
         if Self::abs_bucket(time) >= self.cursor + BUCKETS as u64 {
             self.overflow.push(entry);
@@ -256,13 +278,17 @@ impl<T> Scheduler<T> for CalendarQueue<T> {
     }
 
     fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.pop_keyed().map(|(time, _, item)| (time, item))
+    }
+
+    fn pop_keyed(&mut self) -> Option<(SimTime, u64, T)> {
         if !self.settle() {
             return None;
         }
         let slot = (self.cursor as usize) & (BUCKETS - 1);
         let e = self.ring[slot].pop().expect("settled on non-empty bucket");
         self.ring_len -= 1;
-        Some((e.time, e.item))
+        Some((e.time, e.seq, e.item))
     }
 
     fn peek_time(&mut self) -> Option<SimTime> {
@@ -404,6 +430,31 @@ mod tests {
         drain(&mut q);
         assert_eq!(q.len(), 0);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn keyed_pushes_pop_in_key_order_not_push_order() {
+        // Same-time entries with explicit keys dequeue by ascending key,
+        // regardless of push order — including pushes into a live (already
+        // sorted) bucket and entries that round-trip through the overflow.
+        let far = ((BUCKETS as u64) << BUCKET_SHIFT) * 2 + 9;
+        let mut cal = CalendarQueue::default();
+        let mut heap = HeapQueue::default();
+        for q in [&mut cal as &mut dyn Scheduler<u64>, &mut heap] {
+            q.push_keyed(t(40), 7, 0);
+            q.push_keyed(t(40), 2, 1);
+            q.push_keyed(t(10), 5, 2);
+            q.push_keyed(t(far), 9, 3);
+            q.push_keyed(t(far), 1, 4);
+            assert_eq!(q.pop_keyed(), Some((t(10), 5, 2)));
+            q.push_keyed(t(40), 4, 5); // into the live sorted bucket
+            assert_eq!(q.pop_keyed(), Some((t(40), 2, 1)));
+            assert_eq!(q.pop_keyed(), Some((t(40), 4, 5)));
+            assert_eq!(q.pop_keyed(), Some((t(40), 7, 0)));
+            assert_eq!(q.pop_keyed(), Some((t(far), 1, 4)));
+            assert_eq!(q.pop_keyed(), Some((t(far), 9, 3)));
+            assert_eq!(q.pop_keyed(), None);
+        }
     }
 
     /// Property: for any random event set — including far-future outliers,

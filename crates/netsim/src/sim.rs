@@ -8,6 +8,7 @@ use crate::metrics::SimMetrics;
 use crate::pool::{BufferPool, Payload};
 use crate::profile::Subsystem;
 use crate::queue::SchedulerKind;
+use crate::shard::ShardedSim;
 use crate::telemetry::{
     EventBody, EventCategory, FaultKind, Gauge, SimHist, Telemetry, TelemetryEvent,
 };
@@ -39,6 +40,22 @@ pub struct SimConfig {
     /// [`FaultPlan::none()`] draws no randomness and leaves runs
     /// byte-identical to a fault-free simulator.
     pub faults: FaultPlan,
+    /// Number of simulation shards. `1` (the default) runs the untouched
+    /// serial event loop; `>= 2` switches to the sharded deterministic
+    /// engine (see [`crate::shard_of`] and the `shard` module docs): nodes
+    /// partition across shards, each with its own calendar queue on a
+    /// scoped worker thread, synchronized in conservative sim-time windows.
+    /// The sharded trajectory is deterministic and identical for *every*
+    /// shard count `>= 2`, but distinct from the serial one (the serial
+    /// loop threads all randomness through one RNG in dispatch order, which
+    /// no parallel schedule can reproduce). Sharded runs always use the
+    /// calendar queue; `scheduler` is ignored.
+    pub shards: usize,
+    /// Lookahead window length for sharded runs, in microseconds. Cross-
+    /// shard latency is floored at one window, so shorter windows tighten
+    /// latency fidelity while adding barrier crossings. Ignored when
+    /// `shards == 1`.
+    pub shard_window_us: u64,
 }
 
 impl Default for SimConfig {
@@ -50,7 +67,30 @@ impl Default for SimConfig {
             mss: None,
             scheduler: SchedulerKind::Calendar,
             faults: FaultPlan::none(),
+            shards: 1,
+            shard_window_us: 1_000_000,
         }
+    }
+}
+
+impl SimConfig {
+    /// Reads the sharding knobs from the environment: `P2PMAL_SHARDS`
+    /// (clamped to 1..=64; unset or unparsable means 1 = serial) and
+    /// `P2PMAL_SHARD_WINDOW_MS` (window length in milliseconds, min 1;
+    /// default 1000). Returns `(shards, shard_window_us)` for harnesses to
+    /// drop into a config.
+    pub fn shards_from_env() -> (usize, u64) {
+        let shards = std::env::var("P2PMAL_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|n| n.clamp(1, 64))
+            .unwrap_or(1);
+        let window_us = std::env::var("P2PMAL_SHARD_WINDOW_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(|ms| ms.max(1) * 1_000)
+            .unwrap_or(1_000_000);
+        (shards, window_us)
     }
 }
 
@@ -161,11 +201,19 @@ pub struct Simulator {
     metrics: SimMetrics,
     pool: BufferPool,
     telemetry: Telemetry,
+    /// The sharded engine, engaged when `config.shards >= 2`; every public
+    /// method delegates to it and the serial state above stays empty.
+    sharded: Option<Box<ShardedSim>>,
 }
 
 impl Simulator {
     pub fn new(config: SimConfig, seed: u64) -> Self {
         let queue = EventQueue::new(config.scheduler);
+        let sharded = if config.shards > 1 {
+            Some(Box::new(ShardedSim::new(config.clone(), seed)))
+        } else {
+            None
+        };
         Simulator {
             config,
             rng: StdRng::seed_from_u64(seed),
@@ -179,26 +227,52 @@ impl Simulator {
             metrics: SimMetrics::default(),
             pool: BufferPool::default(),
             telemetry: Telemetry::disabled(),
+            sharded,
         }
+    }
+
+    /// Number of shards this simulator runs on (1 = serial).
+    pub fn shard_count(&self) -> usize {
+        self.sharded.as_ref().map_or(1, |s| s.shard_count())
+    }
+
+    /// Lookahead window length of a sharded run, in microseconds (0 when
+    /// serial — the serial loop has no windows).
+    pub fn shard_window_us(&self) -> u64 {
+        self.sharded.as_ref().map_or(0, |s| s.window_us())
     }
 
     /// Attaches the telemetry sink hub. The default ([`Telemetry::disabled`])
     /// emits nothing, draws no randomness, and leaves trajectories
     /// byte-identical to a simulator without the telemetry layer.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        if let Some(s) = &mut self.sharded {
+            s.set_telemetry(telemetry);
+            return;
+        }
         self.telemetry = telemetry;
     }
 
     /// Flushes every attached telemetry sink (harness end-of-run hook; file
     /// sinks also flush on drop).
     pub fn flush_telemetry(&mut self) {
+        if let Some(s) = &mut self.sharded {
+            s.flush_telemetry();
+            return;
+        }
         self.telemetry.flush();
     }
 
     /// Samples the scheduled-event queue depth into the metrics registry
     /// (gauge: latest value; histogram: every sample). Deterministic —
     /// harness loops call this unconditionally, e.g. once per simulated day.
+    /// Sharded runs additionally sample the global depth at every window
+    /// boundary on their own.
     pub fn sample_queue_depth(&mut self) {
+        if let Some(s) = &mut self.sharded {
+            s.sample_queue_depth();
+            return;
+        }
         let depth = self.queue.len() as u64;
         self.metrics.telemetry.set_gauge(Gauge::QueueDepth, depth);
         self.metrics.telemetry.record(SimHist::QueueDepth, depth);
@@ -218,6 +292,9 @@ impl Simulator {
 
     /// Brings a node online now; `on_start` runs at the current time.
     pub fn spawn(&mut self, spec: NodeSpec, app: Box<dyn App>) -> NodeId {
+        if let Some(s) = &mut self.sharded {
+            return s.spawn(spec, app);
+        }
         let id = NodeId(self.nodes.len());
         let external_ip = self.alloc.alloc_public(&mut self.rng);
         let port = spec.listen_port.unwrap_or(0);
@@ -270,42 +347,69 @@ impl Simulator {
 
     /// The routable address of `node` (where peers can dial it).
     pub fn node_addr(&self, node: NodeId) -> HostAddr {
+        if let Some(s) = &self.sharded {
+            return s.node_addr(node);
+        }
         self.nodes[node.0].external_addr
     }
 
     /// The address `node` believes it has (private when behind NAT).
     pub fn node_local_addr(&self, node: NodeId) -> HostAddr {
+        if let Some(s) = &self.sharded {
+            return s.node_local_addr(node);
+        }
         self.nodes[node.0].local_addr
     }
 
     /// Whether the node is currently online.
     pub fn is_alive(&self, node: NodeId) -> bool {
+        if let Some(s) = &self.sharded {
+            return s.is_alive(node);
+        }
         self.nodes[node.0].alive
     }
 
     /// Takes a node offline from outside the simulation (harness-driven
     /// churn). Peers of its open connections get `on_closed`.
     pub fn stop_node(&mut self, node: NodeId) {
+        if let Some(s) = &mut self.sharded {
+            s.stop_node(node);
+            return;
+        }
         self.shutdown_node(node);
     }
 
     pub fn now(&self) -> SimTime {
+        if let Some(s) = &self.sharded {
+            return s.now();
+        }
         self.now
     }
 
     pub fn metrics(&self) -> &SimMetrics {
+        if let Some(s) = &self.sharded {
+            return s.metrics();
+        }
         &self.metrics
     }
 
     /// Mutable access to the seeded RNG (for harness-level sampling that
-    /// must stay on the deterministic stream).
+    /// must stay on the deterministic stream). Sharded runs hand out the
+    /// control stream (spawn-time draws), which the event loop never
+    /// touches.
     pub fn rng(&mut self) -> &mut StdRng {
+        if let Some(s) = &mut self.sharded {
+            return s.rng();
+        }
         &mut self.rng
     }
 
     /// Runs until the queue drains or the clock passes `deadline`.
     /// Returns the number of events dispatched.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        if let Some(s) = &mut self.sharded {
+            return s.run_until(deadline);
+        }
         let (wall, before) = self.profile_loop_start();
         let mut n = 0;
         while let Some(t) = self.queue.peek_time() {
@@ -327,6 +431,9 @@ impl Simulator {
 
     /// Runs until the event queue is empty.
     pub fn run_to_quiescence(&mut self) -> u64 {
+        if let Some(s) = &mut self.sharded {
+            return s.run_to_quiescence();
+        }
         let (wall, before) = self.profile_loop_start();
         let mut n = 0;
         while let Some((time, kind)) = self.queue.pop() {
@@ -361,6 +468,9 @@ impl Simulator {
 
     /// Number of events currently scheduled.
     pub fn pending_events(&self) -> usize {
+        if let Some(s) = &self.sharded {
+            return s.pending_events();
+        }
         self.queue.len()
     }
 
@@ -491,6 +601,9 @@ impl Simulator {
         node: NodeId,
         f: impl FnOnce(&mut dyn App, &mut Ctx<'_>) -> R,
     ) -> Option<R> {
+        if let Some(s) = &mut self.sharded {
+            return s.with_node(node, f);
+        }
         if !self.nodes[node.0].alive {
             return None;
         }
@@ -960,15 +1073,14 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Mutex;
 
     #[derive(Default)]
     struct Log {
         events: Vec<String>,
     }
 
-    type SharedLog = Rc<RefCell<Log>>;
+    type SharedLog = Arc<Mutex<Log>>;
 
     struct Echo {
         log: SharedLog,
@@ -977,19 +1089,21 @@ mod tests {
     impl App for Echo {
         fn on_connected(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId, dir: Direction, _p: HostAddr) {
             self.log
-                .borrow_mut()
+                .lock()
+                .unwrap()
                 .events
                 .push(format!("server connected {dir:?}"));
         }
         fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
             self.log
-                .borrow_mut()
+                .lock()
+                .unwrap()
                 .events
                 .push(format!("server got {}", String::from_utf8_lossy(data)));
             ctx.send(conn, data);
         }
         fn on_closed(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId) {
-            self.log.borrow_mut().events.push("server closed".into());
+            self.log.lock().unwrap().events.push("server closed".into());
         }
     }
 
@@ -1008,13 +1122,15 @@ mod tests {
         }
         fn on_connect_failed(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId) {
             self.log
-                .borrow_mut()
+                .lock()
+                .unwrap()
                 .events
                 .push("client connect failed".into());
         }
         fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, data: &[u8]) {
             self.log
-                .borrow_mut()
+                .lock()
+                .unwrap()
                 .events
                 .push(format!("client got {}", String::from_utf8_lossy(data)));
             ctx.close(conn);
@@ -1022,7 +1138,7 @@ mod tests {
     }
 
     fn new_log() -> SharedLog {
-        Rc::new(RefCell::new(Log::default()))
+        Arc::new(Mutex::new(Log::default()))
     }
 
     #[test]
@@ -1043,7 +1159,7 @@ mod tests {
             }),
         );
         sim.run_to_quiescence();
-        let events = log.borrow().events.clone();
+        let events = log.lock().unwrap().events.clone();
         assert_eq!(
             events,
             vec![
@@ -1071,7 +1187,7 @@ mod tests {
             }),
         );
         sim.run_to_quiescence();
-        assert_eq!(log.borrow().events, vec!["client connect failed"]);
+        assert_eq!(log.lock().unwrap().events, vec!["client connect failed"]);
         assert_eq!(sim.metrics().conns_failed, 1);
     }
 
@@ -1094,7 +1210,7 @@ mod tests {
             }),
         );
         sim.run_to_quiescence();
-        assert_eq!(log.borrow().events, vec!["client connect failed"]);
+        assert_eq!(log.lock().unwrap().events, vec!["client connect failed"]);
         // And the NAT node's local address is private while external is not.
         assert!(sim.node_local_addr(nat).is_private());
         assert!(!sim.node_addr(nat).is_private());
@@ -1116,7 +1232,12 @@ mod tests {
             }),
         );
         sim2.run_to_quiescence();
-        assert!(log2.borrow().events.iter().any(|e| e == "client got y"));
+        assert!(log2
+            .lock()
+            .unwrap()
+            .events
+            .iter()
+            .any(|e| e == "client got y"));
     }
 
     #[test]
@@ -1140,7 +1261,7 @@ mod tests {
                 );
             }
             sim.run_to_quiescence();
-            let events = log.borrow().events.clone();
+            let events = log.lock().unwrap().events.clone();
             (events, sim.metrics().clone(), sim.now())
         };
         assert_eq!(run(99), run(99));
@@ -1169,13 +1290,13 @@ mod tests {
         struct Sink {
             done_at: SharedDone,
         }
-        type SharedDone = Rc<RefCell<Option<SimTime>>>;
+        type SharedDone = Arc<Mutex<Option<SimTime>>>;
         impl App for Sink {
             fn on_data(&mut self, ctx: &mut Ctx<'_>, _c: ConnId, _d: &[u8]) {
-                *self.done_at.borrow_mut() = Some(ctx.now());
+                *self.done_at.lock().unwrap() = Some(ctx.now());
             }
         }
-        let done: SharedDone = Rc::new(RefCell::new(None));
+        let done: SharedDone = Arc::new(Mutex::new(None));
         let mut sim = Simulator::new(SimConfig::default(), 5);
         let sink = sim.spawn(
             NodeSpec::public().listen(80).download(1_000_000),
@@ -1189,7 +1310,7 @@ mod tests {
             Box::new(Sender { server: addr }),
         );
         sim.run_to_quiescence();
-        let t = done.borrow().expect("delivered");
+        let t = done.lock().unwrap().expect("delivered");
         assert!(t >= SimTime::from_secs(10), "arrived too fast: {t}");
         assert!(t <= SimTime::from_secs(11), "arrived too slow: {t}");
     }
@@ -1197,13 +1318,13 @@ mod tests {
     #[test]
     fn mss_fragments_but_preserves_order_and_content() {
         struct Collect {
-            got: Rc<RefCell<Vec<u8>>>,
-            chunks: Rc<RefCell<usize>>,
+            got: Arc<Mutex<Vec<u8>>>,
+            chunks: Arc<Mutex<usize>>,
         }
         impl App for Collect {
             fn on_data(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId, data: &[u8]) {
-                self.got.borrow_mut().extend_from_slice(data);
-                *self.chunks.borrow_mut() += 1;
+                self.got.lock().unwrap().extend_from_slice(data);
+                *self.chunks.lock().unwrap() += 1;
             }
         }
         struct Send1K {
@@ -1224,8 +1345,8 @@ mod tests {
                 ctx.send(conn, &payload);
             }
         }
-        let got = Rc::new(RefCell::new(Vec::new()));
-        let chunks = Rc::new(RefCell::new(0usize));
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let chunks = Arc::new(Mutex::new(0usize));
         let mut sim = Simulator::new(
             SimConfig {
                 mss: Some(100),
@@ -1244,8 +1365,8 @@ mod tests {
         sim.spawn(NodeSpec::public(), Box::new(Send1K { server: addr }));
         sim.run_to_quiescence();
         let expected: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
-        assert_eq!(*got.borrow(), expected);
-        assert_eq!(*chunks.borrow(), 10);
+        assert_eq!(*got.lock().unwrap(), expected);
+        assert_eq!(*chunks.lock().unwrap(), 10);
     }
 
     #[test]
@@ -1259,17 +1380,17 @@ mod tests {
         let addr = sim.node_addr(server);
         struct Idle {
             server: HostAddr,
-            closed: Rc<RefCell<bool>>,
+            closed: Arc<Mutex<bool>>,
         }
         impl App for Idle {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
                 ctx.connect(self.server);
             }
             fn on_closed(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId) {
-                *self.closed.borrow_mut() = true;
+                *self.closed.lock().unwrap() = true;
             }
         }
-        let closed = Rc::new(RefCell::new(false));
+        let closed = Arc::new(Mutex::new(false));
         sim.spawn(
             NodeSpec::public(),
             Box::new(Idle {
@@ -1282,7 +1403,7 @@ mod tests {
         sim.stop_node(server);
         sim.run_to_quiescence();
         assert!(!sim.is_alive(server));
-        assert!(*closed.borrow(), "peer should observe close");
+        assert!(*closed.lock().unwrap(), "peer should observe close");
         // Dialing the stopped node now fails.
         let log3 = new_log();
         sim.spawn(
@@ -1294,13 +1415,13 @@ mod tests {
             }),
         );
         sim.run_to_quiescence();
-        assert_eq!(log3.borrow().events, vec!["client connect failed"]);
+        assert_eq!(log3.lock().unwrap().events, vec!["client connect failed"]);
     }
 
     #[test]
     fn timers_fire_in_order() {
         struct Timers {
-            fired: Rc<RefCell<Vec<u64>>>,
+            fired: Arc<Mutex<Vec<u64>>>,
         }
         impl App for Timers {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -1309,10 +1430,10 @@ mod tests {
                 ctx.set_timer(SimDuration::from_secs(2), 2);
             }
             fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
-                self.fired.borrow_mut().push(token);
+                self.fired.lock().unwrap().push(token);
             }
         }
-        let fired = Rc::new(RefCell::new(Vec::new()));
+        let fired = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Simulator::new(SimConfig::default(), 8);
         sim.spawn(
             NodeSpec::public(),
@@ -1321,7 +1442,7 @@ mod tests {
             }),
         );
         sim.run_to_quiescence();
-        assert_eq!(*fired.borrow(), vec![1, 2, 3]);
+        assert_eq!(*fired.lock().unwrap(), vec![1, 2, 3]);
         assert_eq!(sim.metrics().timers_fired, 3);
     }
 
@@ -1336,7 +1457,7 @@ mod tests {
     fn self_dial_fails() {
         // A node dialing its own listen address must not connect to itself.
         struct SelfDial {
-            failed: Rc<RefCell<bool>>,
+            failed: Arc<Mutex<bool>>,
         }
         impl App for SelfDial {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -1344,10 +1465,10 @@ mod tests {
                 ctx.connect(me);
             }
             fn on_connect_failed(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId) {
-                *self.failed.borrow_mut() = true;
+                *self.failed.lock().unwrap() = true;
             }
         }
-        let failed = Rc::new(RefCell::new(false));
+        let failed = Arc::new(Mutex::new(false));
         let mut sim = Simulator::new(SimConfig::default(), 10);
         sim.spawn(
             NodeSpec::public().listen(5),
@@ -1356,6 +1477,6 @@ mod tests {
             }),
         );
         sim.run_to_quiescence();
-        assert!(*failed.borrow());
+        assert!(*failed.lock().unwrap());
     }
 }

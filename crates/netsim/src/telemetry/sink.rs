@@ -11,8 +11,10 @@ use std::collections::VecDeque;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-/// A consumer of telemetry records.
-pub trait TelemetrySink {
+/// A consumer of telemetry records. `Send` so a sink hub can live inside a
+/// shard that migrates onto a worker thread (sharded runs buffer per shard
+/// and replay through the main-thread hub at window barriers).
+pub trait TelemetrySink: Send {
     fn record(&mut self, event: &TelemetryEvent);
     /// Push buffered output to its destination (called at end of run; file
     /// sinks also flush on drop).
@@ -132,6 +134,18 @@ pub struct Telemetry {
     sinks: Vec<Box<dyn TelemetrySink>>,
     sample: [u32; CATEGORY_COUNT],
     seen: [u64; CATEGORY_COUNT],
+    /// Sharded-mode buffering: set on per-shard hubs, which have no sinks
+    /// of their own. `enabled` answers from the control hub's mask snapshot
+    /// and `emit` appends every candidate unsampled; the shard engine
+    /// drains the buffer after each dispatched event and replays the
+    /// key-ordered merge through the control hub, so sampling counters
+    /// advance in the same global order as a serial run.
+    buffer: Option<BufferMode>,
+}
+
+struct BufferMode {
+    mask: [bool; CATEGORY_COUNT],
+    events: Vec<TelemetryEvent>,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -158,6 +172,7 @@ impl Telemetry {
             sinks: Vec::new(),
             sample: [1; CATEGORY_COUNT],
             seen: [0; CATEGORY_COUNT],
+            buffer: None,
         }
     }
 
@@ -166,6 +181,40 @@ impl Telemetry {
             sinks,
             sample,
             seen: [0; CATEGORY_COUNT],
+            buffer: None,
+        }
+    }
+
+    /// A sinkless buffering hub for one shard of a sharded run. `mask` is
+    /// the control hub's [`Telemetry::enabled_mask`]; events of enabled
+    /// categories accumulate unsampled until [`Telemetry::take_buffered`].
+    pub fn buffered(mask: [bool; CATEGORY_COUNT]) -> Self {
+        Telemetry {
+            sinks: Vec::new(),
+            sample: [1; CATEGORY_COUNT],
+            seen: [0; CATEGORY_COUNT],
+            buffer: Some(BufferMode {
+                mask,
+                events: Vec::new(),
+            }),
+        }
+    }
+
+    /// Per-category `enabled` snapshot, for seeding shard-local buffering
+    /// hubs from the control hub.
+    pub fn enabled_mask(&self) -> [bool; CATEGORY_COUNT] {
+        let mut mask = [false; CATEGORY_COUNT];
+        for cat in EventCategory::ALL {
+            mask[cat as usize] = self.enabled(cat);
+        }
+        mask
+    }
+
+    /// Drains buffered events (buffering hubs only; empty otherwise).
+    pub fn take_buffered(&mut self) -> Vec<TelemetryEvent> {
+        match &mut self.buffer {
+            Some(b) if !b.events.is_empty() => std::mem::take(&mut b.events),
+            _ => Vec::new(),
         }
     }
 
@@ -174,11 +223,23 @@ impl Telemetry {
     /// allocation and formatting.
     #[inline]
     pub fn enabled(&self, cat: EventCategory) -> bool {
+        if let Some(b) = &self.buffer {
+            return b.mask[cat as usize];
+        }
         !self.sinks.is_empty() && self.sample[cat as usize] != 0
     }
 
     /// Records one event, honoring the category's 1-in-N sampling.
+    /// Buffering hubs instead retain every enabled-category candidate —
+    /// sampling is applied once, by the control hub the merged stream is
+    /// replayed through.
     pub fn emit(&mut self, event: TelemetryEvent) {
+        if let Some(b) = &mut self.buffer {
+            if b.mask[event.category() as usize] {
+                b.events.push(event);
+            }
+            return;
+        }
         let cat = event.category() as usize;
         if self.sinks.is_empty() || self.sample[cat] == 0 {
             return;
@@ -346,30 +407,30 @@ mod tests {
 
     /// Shares its record log so tests can inspect a sink after boxing it
     /// into a hub.
-    struct SpySink(std::rc::Rc<std::cell::RefCell<Vec<u64>>>);
+    struct SpySink(std::sync::Arc<std::sync::Mutex<Vec<u64>>>);
 
     impl TelemetrySink for SpySink {
         fn record(&mut self, event: &TelemetryEvent) {
-            self.0.borrow_mut().push(event.at.as_micros());
+            self.0.lock().unwrap().push(event.at.as_micros());
         }
     }
 
     #[test]
     fn sampling_keeps_every_nth_candidate() {
-        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let got = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         let mut sample = [1u32; CATEGORY_COUNT];
         sample[EventCategory::Fault as usize] = 3;
         let mut hub = Telemetry::new(vec![Box::new(SpySink(got.clone()))], sample);
         for t in 0..9 {
             hub.emit(ev(t));
         }
-        assert_eq!(*got.borrow(), vec![0, 3, 6]);
+        assert_eq!(*got.lock().unwrap(), vec![0, 3, 6]);
     }
 
     #[test]
     fn every_sink_sees_every_kept_event() {
-        let a = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
-        let b = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let a = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let b = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         let mut hub = Telemetry::new(
             vec![Box::new(SpySink(a.clone())), Box::new(SpySink(b.clone()))],
             [1; CATEGORY_COUNT],
@@ -377,8 +438,23 @@ mod tests {
         for t in 0..4 {
             hub.emit(ev(t));
         }
-        assert_eq!(*a.borrow(), vec![0, 1, 2, 3]);
-        assert_eq!(*a.borrow(), *b.borrow());
+        assert_eq!(*a.lock().unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(*a.lock().unwrap(), *b.lock().unwrap());
+    }
+
+    #[test]
+    fn buffering_hub_retains_unsampled_and_mirrors_mask() {
+        let mut mask = [true; CATEGORY_COUNT];
+        mask[EventCategory::Churn as usize] = false;
+        let mut hub = Telemetry::buffered(mask);
+        assert!(hub.enabled(EventCategory::Fault));
+        assert!(!hub.enabled(EventCategory::Churn));
+        for t in 0..5 {
+            hub.emit(ev(t));
+        }
+        let drained = hub.take_buffered();
+        assert_eq!(drained.len(), 5);
+        assert!(hub.take_buffered().is_empty());
     }
 
     #[test]

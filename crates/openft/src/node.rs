@@ -164,8 +164,11 @@ struct IndexedShare {
     http_port: u16,
     md5: Md5Digest,
     size: u32,
-    filename: String,
-    lower: String,
+    /// Interned via the world's [`p2pmal_corpus::NameInterner`]: thousands
+    /// of children re-register the same catalog names, so each distinct
+    /// name's bytes live once per world.
+    filename: std::sync::Arc<str>,
+    lower: std::sync::Arc<str>,
     /// Match fingerprint of `lower`, built once at registration.
     fp: u64,
 }
@@ -216,7 +219,8 @@ pub struct FtNode {
 }
 
 impl FtNode {
-    pub fn new(config: FtConfig, world: SharedWorld, library: HostLibrary) -> Self {
+    pub fn new(config: FtConfig, world: SharedWorld, mut library: HostLibrary) -> Self {
+        library.set_interner(world.names.clone());
         FtNode {
             config,
             world,
@@ -335,7 +339,7 @@ impl FtNode {
             klass: self.config.klass,
             port: self.config.port,
             http_port: self.config.port,
-            alias: self.config.alias.clone(),
+            alias: self.config.alias.as_str().into(),
         }
     }
 
@@ -465,6 +469,12 @@ impl FtNode {
                         port: info.port,
                         klass: info.klass,
                     };
+                    // Dedup the alias through the world interner: every
+                    // session with the same node (and the stock "user" /
+                    // "search" aliases network-wide) would otherwise hold
+                    // its own copy in routing state.
+                    let mut info = info;
+                    info.alias = self.world.names.intern(&info.alias);
                     p.info = Some(info);
                     self.add_known(entry);
                 }
@@ -577,8 +587,11 @@ impl FtNode {
                         .as_ref()
                         .map(|i| (i.port, i.http_port))
                         .unwrap_or((p.peer_addr.port, p.peer_addr.port));
-                    let filename = add.path.rsplit('/').next().unwrap_or(&add.path).to_string();
-                    let lower = filename.to_ascii_lowercase();
+                    let filename = self
+                        .world
+                        .names
+                        .intern(add.path.rsplit('/').next().unwrap_or(&add.path));
+                    let lower = self.world.names.intern(&filename.to_ascii_lowercase());
                     IndexedShare {
                         owner: conn,
                         host: HostAddr::new(p.peer_addr.ip, port),
@@ -670,7 +683,7 @@ impl FtNode {
                             avail: 1,
                             md5: s.md5,
                             size: s.size,
-                            filename: s.filename.clone(),
+                            filename: s.filename.to_string(),
                         });
                     }
                 }
@@ -692,7 +705,7 @@ impl FtNode {
                     avail: 1,
                     md5: self.world.store.declared_md5(f.content),
                     size: f.size.min(u32::MAX as u64) as u32,
-                    filename: f.name.clone(),
+                    filename: f.name.to_string(),
                 });
             }
         }

@@ -244,7 +244,9 @@ pub struct NodeInfo {
     pub klass: u16,
     pub port: u16,
     pub http_port: u16,
-    pub alias: String,
+    /// `Arc<str>` so routing state can hold a world-interned copy (see
+    /// `FtNode`'s NodeInfo handler); parsing allocates a fresh one.
+    pub alias: std::sync::Arc<str>,
 }
 
 impl NodeInfo {
@@ -263,7 +265,7 @@ impl NodeInfo {
             klass: r.u16()?,
             port: r.u16()?,
             http_port: r.u16()?,
-            alias: r.cstr()?,
+            alias: r.cstr()?.into(),
         })
     }
 

@@ -61,7 +61,12 @@ proptest! {
 
     #[test]
     fn nodeinfo_roundtrip(klass in any::<u16>(), port in any::<u16>(), http in any::<u16>(), alias in arb_str()) {
-        let n = NodeInfo { klass, port, http_port: http, alias };
+        let n = NodeInfo {
+            klass,
+            port,
+            http_port: http,
+            alias: alias.into(),
+        };
         prop_assert_eq!(NodeInfo::parse(&n.encode()).unwrap(), n);
     }
 
