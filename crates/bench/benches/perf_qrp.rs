@@ -30,7 +30,7 @@ fn bench_qrp(c: &mut Criterion) {
             for m in &msgs {
                 rx.apply(m).unwrap();
             }
-            black_box(rx.table().unwrap().population())
+            black_box(rx.filter().unwrap().population())
         });
     });
 }

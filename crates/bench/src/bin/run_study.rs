@@ -114,7 +114,34 @@ fn timing_entry(label: &str, run: &NetworkRun) -> Value {
         ("shards".into(), (run.shards as u64).into()),
         ("window_ms".into(), (run.shard_window_us / 1000).into()),
         ("subsystems".into(), buckets),
+        ("memory".into(), memory_entry(run)),
         ("telemetry".into(), telemetry_entry(run)),
+    ])
+}
+
+/// Memory-accounting section of one network's `BENCH_study.json` entry,
+/// echoed to stderr like the timing lines (RSS readings are wall-machine
+/// facts and never reach stdout).
+fn memory_entry(run: &NetworkRun) -> Value {
+    let m = &run.sim_metrics.memory;
+    eprintln!(
+        "[run_study] memory {}: {} nodes, {} bytes/node app estimate ({} KiB total), RSS {} MiB (peak {} MiB)",
+        match run.network {
+            p2pmal_crawler::Network::Limewire => "LimeWire",
+            p2pmal_crawler::Network::OpenFt => "OpenFT",
+        },
+        m.nodes,
+        m.bytes_per_node(),
+        m.app_bytes / 1024,
+        m.current_rss_kb / 1024,
+        m.peak_rss_kb / 1024,
+    );
+    Value::Obj(vec![
+        ("nodes".into(), m.nodes.into()),
+        ("app_bytes".into(), m.app_bytes.into()),
+        ("bytes_per_node".into(), m.bytes_per_node().into()),
+        ("peak_rss_kb".into(), m.peak_rss_kb.into()),
+        ("current_rss_kb".into(), m.current_rss_kb.into()),
     ])
 }
 
@@ -149,6 +176,11 @@ fn intern_lines(label: &str, run: &NetworkRun) {
         s.unique,
         s.hits,
         s.bytes_saved / 1024,
+    );
+    eprintln!(
+        "[run_study] interning {label}: {} arena records, {} KiB of match metadata saved",
+        s.records,
+        s.meta_bytes_saved / 1024,
     );
 }
 

@@ -23,6 +23,7 @@
 //! assert!(report.summaries()[0].responses > 0);
 //! ```
 
+pub mod mega;
 pub mod scenario;
 pub mod study;
 
@@ -31,5 +32,6 @@ pub mod study;
 /// configure sinks and read histograms without naming `p2pmal-netsim`.
 pub use p2pmal_netsim::telemetry;
 
+pub use mega::{MegaRun, MegaScenario};
 pub use scenario::{fault_profile, InfectionSpec, LimewireScenario, NetworkRun, OpenFtScenario};
 pub use study::{FilterRow, Study, StudyReport};

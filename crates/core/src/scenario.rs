@@ -27,8 +27,8 @@ use p2pmal_crawler::{
 };
 use p2pmal_gnutella::servent::{Servent, ServentConfig, SharedWorld};
 use p2pmal_netsim::{
-    FaultPlan, NodeSpec, SchedulerKind, SimConfig, SimDuration, SimMetrics, SimTime, Simulator,
-    TelemetryConfig,
+    FaultPlan, HostAddr, NodeSpec, SchedulerKind, SimConfig, SimDuration, SimMetrics, SimTime,
+    Simulator, TelemetryConfig,
 };
 use p2pmal_openft::node::{FtConfig, FtNode};
 use p2pmal_scanner::Scanner;
@@ -222,7 +222,7 @@ fn make_scanner(world: &SharedWorld) -> Arc<Scanner> {
 
 /// A clean host's library: `files` popularity-sampled titles, one random
 /// variant each.
-fn clean_library(world: &SharedWorld, files: usize, rng: &mut StdRng) -> HostLibrary {
+pub(crate) fn clean_library(world: &SharedWorld, files: usize, rng: &mut StdRng) -> HostLibrary {
     let mut lib = HostLibrary::new();
     let mut seen = HashSet::new();
     let mut attempts = 0;
@@ -400,8 +400,10 @@ impl LimewireScenario {
         // (every leaf holds `target_degree` ultrapeer connections) or the
         // overflow would churn through rejection/retry forever.
         let leaves = self.clean_leaves + self.infections.iter().map(|i| i.hosts).sum::<usize>() + 1; // the crawler
-        let slots_needed = leaves * ServentConfig::leaf().target_degree;
-        let slots_per_up = (slots_needed * 13 / 10 / self.ultrapeers.max(1)).max(30);
+                                                                                                     // Saturating: at mega populations `leaves * degree * 13` would
+                                                                                                     // overflow 32-bit-ish intermediate products on exotic targets.
+        let slots_needed = leaves.saturating_mul(ServentConfig::leaf().target_degree);
+        let slots_per_up = (slots_needed.saturating_mul(13) / 10 / self.ultrapeers.max(1)).max(30);
         let mut up_addrs = Vec::new();
         for _ in 0..self.ultrapeers {
             let mut cfg = ServentConfig::ultrapeer().with_bootstrap(up_addrs.clone());
@@ -412,10 +414,14 @@ impl LimewireScenario {
             );
             up_addrs.push(sim.node_addr(id));
         }
+        // One shared ultrapeer list for every leaf (and the crawler): spawning
+        // N leaves used to copy the full list N times, an O(UPs x leaves)
+        // setup cost that dominated at mega populations.
+        let up_boot: Arc<[HostAddr]> = up_addrs.into();
 
         let spawn_leaf =
             |sim: &mut Simulator, lib: HostLibrary, nat: bool, ambient: Option<SimDuration>| {
-                let mut cfg = ServentConfig::leaf().with_bootstrap(up_addrs.clone());
+                let mut cfg = ServentConfig::leaf().with_bootstrap(up_boot.clone());
                 cfg.auto_query = ambient;
                 let spec = if nat {
                     NodeSpec::nat()
@@ -446,7 +452,7 @@ impl LimewireScenario {
         let crawler = sim.spawn(
             NodeSpec::public().listen(6346).durable(),
             Box::new(GnutellaCrawler::new(
-                ServentConfig::leaf().with_bootstrap(up_addrs.clone()),
+                ServentConfig::leaf().with_bootstrap(up_boot.clone()),
                 world.clone(),
                 scanner,
                 GnutellaCrawlerConfig {
@@ -497,6 +503,7 @@ impl LimewireScenario {
             progress(day);
         }
         sim.flush_telemetry();
+        sim.record_memory();
         let log = sim
             .with_node(crawler, |app, _| {
                 app.as_any_mut()
@@ -670,13 +677,15 @@ impl OpenFtScenario {
             );
             search_addrs.push(sim.node_addr(id));
         }
+        // Shared across every USER node and the crawler, as on the LW side.
+        let search_boot: Arc<[HostAddr]> = search_addrs.into();
 
         let spawn_user = |sim: &mut Simulator,
                           lib: HostLibrary,
                           ambient: Option<SimDuration>,
                           upload: Option<u64>,
                           durable: bool| {
-            let mut cfg = FtConfig::user().with_bootstrap(search_addrs.clone());
+            let mut cfg = FtConfig::user().with_bootstrap(search_boot.clone());
             cfg.auto_query = ambient;
             let mut spec = NodeSpec::public().listen(1215);
             if let Some(bps) = upload {
@@ -724,7 +733,7 @@ impl OpenFtScenario {
         // instrumented giFT did.
         let crawler_cfg = FtConfig {
             target_sessions: self.search_nodes.max(3),
-            ..FtConfig::user().with_bootstrap(search_addrs.clone())
+            ..FtConfig::user().with_bootstrap(search_boot.clone())
         };
         let crawler = sim.spawn(
             NodeSpec::public().listen(1215).durable(),
@@ -780,6 +789,7 @@ impl OpenFtScenario {
             progress(day);
         }
         sim.flush_telemetry();
+        sim.record_memory();
         let log = sim
             .with_node(crawler, |app, _| {
                 app.as_any_mut()

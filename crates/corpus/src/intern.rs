@@ -1,4 +1,4 @@
-//! Filename interning.
+//! Filename interning and the shared name-record arena.
 //!
 //! A simulated network shares the same names everywhere: every replica of a
 //! catalog variant carries the variant's name, every fixed-name trojan its
@@ -8,12 +8,21 @@
 //! per distinct name and hands out clones, so a name's bytes exist once per
 //! world regardless of how many libraries, indexes or query hits hold it.
 //!
-//! Thread-safe (a `Mutex` around the set) because sharded simulation runs
-//! migrate hosts onto worker threads; the lock is only taken at
+//! Beyond the raw text, matching needs per-name *metadata*: the lowered
+//! copy and the 64-bit match fingerprint. Pre-arena, every library row
+//! owned its own lowered `Box<str>` — text duplicated per replica all over
+//! again. [`NameRecord`] fixes that: one arena-backed record per distinct
+//! name carries name, lowered form and fingerprint, and every library/index
+//! row is a single `Arc<NameRecord>`. Records get stable `u32` ids in
+//! registration order ([`NameInterner::record_by_id`]).
+//!
+//! Thread-safe (a `Mutex` around the tables) because sharded simulation
+//! runs migrate hosts onto worker threads; the lock is only taken at
 //! registration time (library build, share indexing), never on the query
-//! match path.
+//! match path — a resolved `Arc<NameRecord>` is read lock-free.
 
-use std::collections::HashSet;
+use crate::library::name_fingerprint;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 /// Point-in-time interning statistics (see [`NameInterner::stats`]).
@@ -25,18 +34,105 @@ pub struct InternStats {
     pub unique: u64,
     /// Bytes of string content the hits avoided duplicating.
     pub bytes_saved: u64,
+    /// Distinct arena-backed name records.
+    pub records: u64,
+    /// Bytes of per-row match metadata (lowered copies plus fingerprints)
+    /// that record hits avoided re-deriving and storing per replica. Kept
+    /// separate from `bytes_saved` (raw name text), so arena-backed
+    /// libraries report both savings honestly instead of folding the
+    /// metadata win into the string count.
+    pub meta_bytes_saved: u64,
+}
+
+/// A filename plus its precomputed match metadata, shared world-wide.
+///
+/// `lower` is `None` when the name is already lowercase (the common case
+/// for generated catalog names) — `lower()` then aliases `name`, so the
+/// text is not allocated twice.
+#[derive(Debug)]
+pub struct NameRecord {
+    name: Arc<str>,
+    lower: Option<Arc<str>>,
+    fp: u64,
+    id: u32,
+}
+
+/// Arena id of a record built outside any interner (standalone libraries,
+/// tests).
+pub const NO_RECORD_ID: u32 = u32::MAX;
+
+impl NameRecord {
+    /// Builds a standalone record (no arena, id = [`NO_RECORD_ID`]). Used
+    /// by libraries that have no world interner attached.
+    pub fn compute(name: Arc<str>) -> Self {
+        let lowered = name.to_ascii_lowercase();
+        let lower = if *name == *lowered {
+            None
+        } else {
+            Some(Arc::from(lowered.as_str()))
+        };
+        NameRecord {
+            fp: name_fingerprint(&lowered),
+            name,
+            lower,
+            id: NO_RECORD_ID,
+        }
+    }
+
+    /// The canonical name text.
+    pub fn name(&self) -> &Arc<str> {
+        &self.name
+    }
+
+    /// The lowered form used for substring matching.
+    pub fn lower(&self) -> &str {
+        self.lower.as_deref().unwrap_or(&self.name)
+    }
+
+    /// 64-bit match fingerprint of the lowered name.
+    pub fn fp(&self) -> u64 {
+        self.fp
+    }
+
+    /// Stable arena index ([`NO_RECORD_ID`] for standalone records).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Heap bytes owned by this record (name text plus the distinct
+    /// lowered copy, when one exists).
+    pub fn heap_bytes(&self) -> u64 {
+        self.name.len() as u64 + self.lower.as_ref().map_or(0, |l| l.len() as u64)
+    }
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     set: HashSet<Arc<str>>,
+    records: HashMap<Arc<str>, Arc<NameRecord>>,
+    arena: Vec<Arc<NameRecord>>,
     hits: u64,
     bytes_saved: u64,
+    meta_bytes_saved: u64,
+}
+
+impl Inner {
+    /// Canonical `Arc<str>` for `s` without touching the hit counters
+    /// (internal machinery, e.g. lowered copies).
+    fn canonical(&mut self, s: Arc<str>) -> Arc<str> {
+        if let Some(existing) = self.set.get(&*s) {
+            Arc::clone(existing)
+        } else {
+            self.set.insert(Arc::clone(&s));
+            s
+        }
+    }
 }
 
 /// A shared dedup table for filenames (and other world-wide repeated
 /// strings). Clone the `Arc<NameInterner>` into every party that registers
-/// names; readers never need it — an interned name is a plain `Arc<str>`.
+/// names; readers never need it — an interned name is a plain `Arc<str>`
+/// and an interned record a plain `Arc<NameRecord>`.
 #[derive(Debug, Default)]
 pub struct NameInterner {
     inner: Mutex<Inner>,
@@ -76,6 +172,54 @@ impl NameInterner {
         s
     }
 
+    /// Returns the arena record for `s`, registering it on first sight.
+    pub fn intern_record(&self, s: &str) -> Arc<NameRecord> {
+        self.intern_record_arc(Arc::from(s))
+    }
+
+    /// [`NameInterner::intern_record`] for an already-allocated `Arc<str>`,
+    /// reusing its allocation on first sight.
+    pub fn intern_record_arc(&self, s: Arc<str>) -> Arc<NameRecord> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(rec) = inner.records.get(&*s) {
+            let out = Arc::clone(rec);
+            inner.hits += 1;
+            inner.bytes_saved += s.len() as u64;
+            // The hit also spares a per-replica lowered copy + fingerprint.
+            inner.meta_bytes_saved += out.lower().len() as u64 + 8;
+            return out;
+        }
+        // First sight as a record. The name (and its lowered copy) still
+        // dedup against plain interned strings.
+        let had_name = inner.set.contains(&*s);
+        let name = inner.canonical(s);
+        if had_name {
+            inner.hits += 1;
+            inner.bytes_saved += name.len() as u64;
+        }
+        let lowered = name.to_ascii_lowercase();
+        let lower = if *name == *lowered {
+            None
+        } else {
+            Some(inner.canonical(Arc::from(lowered.as_str())))
+        };
+        let rec = Arc::new(NameRecord {
+            fp: name_fingerprint(&lowered),
+            id: inner.arena.len() as u32,
+            name: Arc::clone(&name),
+            lower,
+        });
+        inner.arena.push(Arc::clone(&rec));
+        inner.records.insert(name, Arc::clone(&rec));
+        rec
+    }
+
+    /// Resolves an arena id handed out by [`NameRecord::id`].
+    pub fn record_by_id(&self, id: u32) -> Option<Arc<NameRecord>> {
+        let inner = self.inner.lock().unwrap();
+        inner.arena.get(id as usize).map(Arc::clone)
+    }
+
     /// Current statistics snapshot.
     pub fn stats(&self) -> InternStats {
         let inner = self.inner.lock().unwrap();
@@ -83,6 +227,8 @@ impl NameInterner {
             hits: inner.hits,
             unique: inner.set.len() as u64,
             bytes_saved: inner.bytes_saved,
+            records: inner.arena.len() as u64,
+            meta_bytes_saved: inner.meta_bytes_saved,
         }
     }
 }
@@ -113,6 +259,57 @@ mod tests {
         let canon = i.intern_arc(fresh);
         assert!(Arc::ptr_eq(&first, &canon));
         assert_eq!(i.stats().hits, 1);
+    }
+
+    #[test]
+    fn records_share_one_arena_entry() {
+        let i = NameInterner::new();
+        let a = i.intern_record("Crimson_Horizon.MP3");
+        let b = i.intern_record("Crimson_Horizon.MP3");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.lower(), "crimson_horizon.mp3");
+        assert_ne!(a.fp(), 0);
+        assert_eq!(a.id(), 0);
+        assert_eq!(i.record_by_id(0).unwrap().name(), a.name());
+        assert!(i.record_by_id(7).is_none());
+        let s = i.stats();
+        assert_eq!(s.records, 1);
+        assert_eq!(s.hits, 1);
+        // The second sight spared name text and a lowered copy + fp.
+        assert_eq!(s.bytes_saved, "Crimson_Horizon.MP3".len() as u64);
+        assert_eq!(s.meta_bytes_saved, "crimson_horizon.mp3".len() as u64 + 8);
+    }
+
+    #[test]
+    fn lowercase_record_aliases_its_name() {
+        let i = NameInterner::new();
+        let r = i.intern_record("already_lower.exe");
+        assert_eq!(r.lower(), &**r.name());
+        assert_eq!(r.heap_bytes(), "already_lower.exe".len() as u64);
+        // Mixed case allocates the lowered copy once.
+        let m = i.intern_record("Mixed_Case.EXE");
+        assert_eq!(
+            m.heap_bytes(),
+            ("Mixed_Case.EXE".len() + "mixed_case.exe".len()) as u64
+        );
+    }
+
+    #[test]
+    fn record_reuses_plain_interned_name() {
+        let i = NameInterner::new();
+        let plain = i.intern("name.bin");
+        let rec = i.intern_record("name.bin");
+        assert!(Arc::ptr_eq(&plain, rec.name()));
+        // The record's first sight of an already-interned name counts as a
+        // name dedup hit.
+        assert_eq!(i.stats().hits, 1);
+    }
+
+    #[test]
+    fn standalone_records_carry_no_id() {
+        let r = NameRecord::compute(Arc::from("Solo_File.EXE"));
+        assert_eq!(r.id(), NO_RECORD_ID);
+        assert_eq!(r.lower(), "solo_file.exe");
     }
 
     #[test]

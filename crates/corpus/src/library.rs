@@ -8,10 +8,10 @@
 
 use crate::catalog::{BenignItem, Catalog};
 use crate::family::{FamilyId, MalwareFamily, NamingStrategy};
-use crate::intern::NameInterner;
+use crate::intern::{NameInterner, NameRecord};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// Identifies the bytes behind a shared file. Payloads are a pure function
@@ -62,24 +62,18 @@ struct EchoInfection {
     verbatim: bool,
 }
 
-/// Lowered name + match fingerprint, built once when a file is inserted
-/// and kept parallel to `HostLibrary::files` (so `SharedFile` itself stays
-/// a plain wire-shaped value that is cheap to clone into query hits).
-#[derive(Debug, Clone)]
-struct FileMeta {
-    lower: Box<str>,
-    fp: u64,
-}
-
 /// The share library of a single host.
+///
+/// Arena-backed: match metadata (lowered name + fingerprint) lives in
+/// world-shared [`NameRecord`]s, one per *distinct* name, so a host's
+/// per-file cost is one slice row plus one `Arc` — no owned text at all
+/// once an interner is attached. (`SharedFile` itself stays a plain
+/// wire-shaped value that is cheap to clone into query hits.)
 #[derive(Debug, Clone, Default)]
 pub struct HostLibrary {
     files: Vec<SharedFile>,
-    /// Parallel to `files`: lowered names and fingerprints for matching.
-    meta: Vec<FileMeta>,
-    /// Exact file names present, so duplicate checks at insert time are
-    /// O(1) instead of a scan over every prior file.
-    names: HashSet<std::sync::Arc<str>>,
+    /// Parallel to `files`: the shared name records used for matching.
+    recs: Vec<std::sync::Arc<NameRecord>>,
     /// World-shared filename dedup table; inserts route through it when
     /// set (the servents attach their world's interner at construction).
     interner: Option<std::sync::Arc<NameInterner>>,
@@ -275,10 +269,20 @@ impl HostLibrary {
     /// re-interned in place — libraries are typically populated before the
     /// owning servent (which carries the world handle) is constructed.
     pub fn set_interner(&mut self, interner: std::sync::Arc<NameInterner>) {
-        for file in &mut self.files {
-            file.name = interner.intern_arc(std::mem::replace(&mut file.name, "".into()));
+        // Attaching the same interner twice must not double-count its
+        // dedup statistics.
+        if self
+            .interner
+            .as_ref()
+            .is_some_and(|i| std::sync::Arc::ptr_eq(i, &interner))
+        {
+            return;
         }
-        self.names = self.files.iter().map(|f| f.name.clone()).collect();
+        for (file, rec) in self.files.iter_mut().zip(&mut self.recs) {
+            let r = interner.intern_record_arc(std::mem::replace(&mut file.name, "".into()));
+            file.name = r.name().clone();
+            *rec = r;
+        }
         self.interner = Some(interner);
     }
 
@@ -300,20 +304,24 @@ impl HostLibrary {
         self.push_file(file);
     }
 
-    /// The single insert path: every shared file gets its lowered name and
-    /// match fingerprint computed here, once, and its exact name recorded
-    /// for O(1) duplicate checks.
+    /// The single insert path: every shared file resolves to its arena
+    /// record here (world-shared when an interner is attached, standalone
+    /// otherwise), so match metadata is derived once per *distinct* name.
     fn push_file(&mut self, mut file: SharedFile) {
-        if let Some(i) = &self.interner {
-            file.name = i.intern_arc(file.name);
-        }
-        let lower = file.name.to_ascii_lowercase();
-        self.meta.push(FileMeta {
-            fp: name_fingerprint(&lower),
-            lower: lower.into_boxed_str(),
-        });
-        self.names.insert(file.name.clone());
+        let rec = match &self.interner {
+            Some(i) => i.intern_record_arc(file.name),
+            None => std::sync::Arc::new(NameRecord::compute(file.name)),
+        };
+        file.name = rec.name().clone();
+        self.recs.push(rec);
         self.files.push(file);
+    }
+
+    /// True when a file with exactly this name is already shared. Linear:
+    /// only the infect paths call it, at world-build time, and per-host
+    /// libraries are small — no per-host hash table needed.
+    fn has_name(&self, name: &str) -> bool {
+        self.files.iter().any(|f| &*f.name == name)
     }
 
     /// Infects this host with `family`. The host picks one characteristic
@@ -364,7 +372,7 @@ impl HostLibrary {
                     let title = catalog.sample_uniform(rng);
                     let name = format!("{}.{extension}", title.keywords.join("_"));
                     // Avoid duplicate names if sampling repeats a title.
-                    if !self.names.contains(name.as_str()) {
+                    if !self.has_name(&name) {
                         self.push_file(SharedFile {
                             name: name.into(),
                             size,
@@ -409,7 +417,7 @@ impl HostLibrary {
             let rank = skip + (rng.next_u64() as usize) % (catalog.len() - skip).max(1);
             let title = catalog.item(rank as u32);
             let name = format!("{}.exe", title.keywords.join("_"));
-            if !self.names.contains(name.as_str()) {
+            if !self.has_name(&name) {
                 self.push_file(SharedFile {
                     name: name.into(),
                     size,
@@ -419,6 +427,36 @@ impl HostLibrary {
             }
         }
         self.infections.push(family.id);
+    }
+
+    /// Deep-heap estimate of this library's per-host owned bytes, for the
+    /// simulator's bytes-per-node accounting. Interned names and records
+    /// are world-shared and charged to the interner, not to each replica;
+    /// the per-host cost counted here is the container storage and (only
+    /// for interner-less libraries, whose records are private) the record
+    /// text itself.
+    pub fn heap_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let mut b = (self.files.capacity() * size_of::<SharedFile>()) as u64;
+        b += (self.recs.capacity() * size_of::<std::sync::Arc<NameRecord>>()) as u64;
+        if self.interner.is_none() {
+            b += self
+                .recs
+                .iter()
+                .map(|r| size_of::<NameRecord>() as u64 + r.heap_bytes())
+                .sum::<u64>();
+        }
+        b += (self.echoes.capacity() * size_of::<EchoInfection>()) as u64;
+        for e in &self.echoes {
+            b += (e.extensions.capacity() * size_of::<String>()) as u64;
+            b += e
+                .extensions
+                .iter()
+                .map(|s| s.capacity() as u64)
+                .sum::<u64>();
+        }
+        b += (self.infections.capacity() * size_of::<FamilyId>()) as u64;
+        b
     }
 
     /// Computes this host's responses to `query`, capped at `max` results
@@ -460,16 +498,27 @@ impl HostLibrary {
                 });
             }
         }
-        for (f, m) in self.files.iter().zip(&self.meta) {
+        for (f, r) in self.files.iter().zip(&self.recs) {
             if out.len() >= max {
                 break;
             }
-            if query.matches_meta(&m.lower, m.fp) {
+            if query.matches_meta(r.lower(), r.fp()) {
                 out.push(f.clone());
             }
         }
         out
     }
+}
+
+/// Rough heap estimate of a hashbrown map/set with `len` entries of
+/// `entry_bytes` each: capacity at the 7/8 max load factor, one control
+/// byte per slot. Accounting only — never affects behavior.
+pub fn hash_table_bytes(len: usize, entry_bytes: usize) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let cap = (len * 8 / 7 + 1).next_power_of_two().max(8);
+    (cap * (entry_bytes + 1)) as u64
 }
 
 /// Weighted choice of a characteristic size: index 0 carries 4x the weight

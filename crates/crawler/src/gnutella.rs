@@ -533,6 +533,12 @@ impl App for GnutellaCrawler {
         Some(self)
     }
 
+    fn memory_estimate(&self) -> u64 {
+        // Crawler-side queues are unbounded-but-small; the embedded servent
+        // carries the protocol state worth accounting.
+        self.servent.memory_estimate()
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.servent.on_start(ctx);
         ctx.set_timer(self.config.start_delay, TIMER_QUERY);

@@ -482,6 +482,12 @@ impl App for FtCrawler {
         Some(self)
     }
 
+    fn memory_estimate(&self) -> u64 {
+        // Crawler-side queues are unbounded-but-small; the embedded node
+        // carries the protocol state worth accounting.
+        self.node.memory_estimate()
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.node.on_start(ctx);
         ctx.set_timer(self.config.start_delay, TIMER_QUERY);

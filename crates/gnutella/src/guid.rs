@@ -56,6 +56,19 @@ impl Guid {
     }
 }
 
+/// GUIDs key the servent's open-addressed route tables
+/// ([`p2pmal_netsim::FifoMap`]). The bytes are already uniformly random, so
+/// folding the halves (with a rotate so byte-8/15 markers land on distinct
+/// lanes) feeds the table's own finalizer plenty of entropy.
+impl p2pmal_netsim::KeyHash for Guid {
+    #[inline]
+    fn key_hash(&self) -> u64 {
+        let a = u64::from_le_bytes(self.0[..8].try_into().unwrap());
+        let b = u64::from_le_bytes(self.0[8..].try_into().unwrap());
+        (a ^ b.rotate_left(32)).key_hash()
+    }
+}
+
 impl fmt::Debug for Guid {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.to_hex())

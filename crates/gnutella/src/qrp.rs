@@ -96,6 +96,11 @@ impl QrpTable {
         self.entries.iter().filter(|&&e| e < self.infinity).count()
     }
 
+    /// Heap bytes held by this table (memory-accounting diagnostics).
+    pub fn heap_bytes(&self) -> u64 {
+        self.entries.capacity() as u64
+    }
+
     /// Marks every keyword of `name` present (entry value 1 — directly
     /// shared).
     pub fn insert_name(&mut self, name: &str) {
@@ -129,10 +134,22 @@ impl QrpTable {
         })
     }
 
+    /// A table with every slot present (worm saturation): each entry is 1,
+    /// exactly what a full table of `-(infinity - 1)` deltas patches to, so
+    /// its wire form is identical to one built through a receiver.
+    pub fn saturated(log2_size: u8, infinity: u8) -> Self {
+        let mut t = Self::new(log2_size, infinity);
+        t.entries.fill(1);
+        t
+    }
+
     /// Builds the RESET + PATCH message sequence that transmits this table,
     /// chunking patch data into `chunk` bytes per message.
     pub fn to_messages(&self, chunk: usize, compress: bool) -> Vec<RouteMsg> {
         assert!(chunk > 0);
+        // seq_no/seq_count are u8 on the wire: never emit more than 255
+        // patches, whatever chunk size the caller asked for.
+        let chunk = chunk.max(self.entries.len().div_ceil(255));
         let mut msgs = vec![RouteMsg::Reset {
             table_len: self.entries.len() as u32,
             infinity: self.infinity,
@@ -165,10 +182,95 @@ impl QrpTable {
     }
 }
 
-/// A receiver-side table under reconstruction from RESET/PATCH messages.
+/// A received routing table compacted to one *present* bit per slot — the
+/// only thing the last-hop forwarding predicate ever reads. An ultrapeer
+/// holds one of these per leaf connection, so the 8x compaction versus the
+/// full 8-bit entry table (8 KiB versus 64 KiB at the default 2^16 size)
+/// is the dominant memory lever at mega populations.
+///
+/// Exactness: within one RESET cycle the receiver's patch offset strictly
+/// advances, so every slot is patched at most once. A slot starts at
+/// `infinity` and a single 8-bit delta `d` leaves it at
+/// `clamp(infinity + d, 0, 255)`, which is below `infinity` iff `d < 0`.
+/// The bit therefore reproduces the full table's `entry < infinity`
+/// predicate bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QrpFilter {
+    log2_size: u8,
+    bits: Vec<u64>,
+}
+
+impl QrpFilter {
+    fn new(log2_size: u8) -> Self {
+        QrpFilter {
+            log2_size,
+            bits: vec![0u64; (1usize << log2_size) / 64],
+        }
+    }
+
+    pub fn log2_size(&self) -> u8 {
+        self.log2_size
+    }
+
+    /// Number of slots (not bytes) in the underlying table.
+    pub fn len(&self) -> usize {
+        1usize << self.log2_size
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // size is fixed at construction
+    }
+
+    /// Number of present slots (diagnostics).
+    pub fn population(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Heap bytes held by this filter (memory-accounting diagnostics).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.bits.capacity() * 8) as u64
+    }
+
+    #[inline]
+    fn set(&mut self, slot: usize, present: bool) {
+        let (w, b) = (slot / 64, slot % 64);
+        if present {
+            self.bits[w] |= 1u64 << b;
+        } else {
+            self.bits[w] &= !(1u64 << b);
+        }
+    }
+
+    #[inline]
+    fn present(&self, slot: usize) -> bool {
+        self.bits[slot / 64] >> (slot % 64) & 1 != 0
+    }
+
+    /// True when every keyword of `query` hashes to a present slot — the
+    /// last-hop forwarding predicate, identical to
+    /// [`QrpTable::might_match`] on the transmitted table.
+    pub fn might_match(&self, query: &str) -> bool {
+        let kws = keywords(query);
+        if kws.is_empty() {
+            return true;
+        }
+        kws.iter()
+            .all(|w| self.present(qrp_hash(w, self.log2_size) as usize))
+    }
+
+    /// [`QrpFilter::might_match`] for keywords hashed once up front with
+    /// [`qrp_hash_full`]. An empty slice forwards conservatively.
+    pub fn might_match_hashes(&self, hashes: &[u64]) -> bool {
+        hashes
+            .iter()
+            .all(|&h| self.present((h >> (64 - self.log2_size as u64)) as usize))
+    }
+}
+
+/// A receiver-side filter under reconstruction from RESET/PATCH messages.
 #[derive(Debug, Clone, Default)]
 pub struct QrpReceiver {
-    table: Option<QrpTable>,
+    filter: Option<QrpFilter>,
     next_offset: usize,
 }
 
@@ -177,9 +279,14 @@ impl QrpReceiver {
         Self::default()
     }
 
-    /// The fully or partially patched table, if a RESET has been seen.
-    pub fn table(&self) -> Option<&QrpTable> {
-        self.table.as_ref()
+    /// The fully or partially patched filter, if a RESET has been seen.
+    pub fn filter(&self) -> Option<&QrpFilter> {
+        self.filter.as_ref()
+    }
+
+    /// Heap bytes held by the filter under reconstruction, if any.
+    pub fn heap_bytes(&self) -> u64 {
+        self.filter.as_ref().map_or(0, |f| f.heap_bytes())
     }
 
     /// Applies one route message. Errors are protocol violations.
@@ -187,13 +294,13 @@ impl QrpReceiver {
         match msg {
             RouteMsg::Reset {
                 table_len,
-                infinity,
+                infinity: _,
             } => {
                 let log2 = (*table_len as f64).log2();
                 if log2.fract() != 0.0 || !(8.0..=24.0).contains(&log2) {
                     return Err(QrpError::BadTableLen(*table_len));
                 }
-                self.table = Some(QrpTable::new(log2 as u8, *infinity));
+                self.filter = Some(QrpFilter::new(log2 as u8));
                 self.next_offset = 0;
             }
             RouteMsg::Patch {
@@ -202,23 +309,23 @@ impl QrpReceiver {
                 data,
                 ..
             } => {
-                let table = self.table.as_mut().ok_or(QrpError::PatchBeforeReset)?;
+                let filter = self.filter.as_mut().ok_or(QrpError::PatchBeforeReset)?;
                 if *entry_bits != 8 {
                     return Err(QrpError::UnsupportedEntryBits(*entry_bits));
                 }
                 let raw = match compressor {
                     Compressor::None => data.clone(),
-                    Compressor::Deflate => inflate(data, table.entries.len() + 1024)
-                        .map_err(|_| QrpError::BadCompression)?,
+                    Compressor::Deflate => {
+                        inflate(data, filter.len() + 1024).map_err(|_| QrpError::BadCompression)?
+                    }
                 };
-                if self.next_offset + raw.len() > table.entries.len() {
+                if self.next_offset + raw.len() > filter.len() {
                     return Err(QrpError::PatchOverrun);
                 }
                 for (i, &d) in raw.iter().enumerate() {
-                    let slot = self.next_offset + i;
-                    let delta = d as i8 as i16;
-                    let v = (table.entries[slot] as i16 + delta).clamp(0, u8::MAX as i16);
-                    table.entries[slot] = v as u8;
+                    // See the QrpFilter doc: one patch per slot per cycle,
+                    // so `delta < 0` is exactly `entry < infinity`.
+                    filter.set(self.next_offset + i, (d as i8) < 0);
                 }
                 self.next_offset += raw.len();
             }
@@ -441,6 +548,22 @@ mod tests {
         assert_eq!(RouteMsg::parse(&[0x07]), Err(QrpError::BadVariant(0x07)));
     }
 
+    /// The received filter must reproduce the sent table's presence
+    /// predicate on every slot.
+    fn assert_filter_equals_table(rx: &QrpReceiver, t: &QrpTable) {
+        let f = rx.filter().expect("filter built");
+        assert_eq!(f.log2_size(), t.log2_size());
+        assert_eq!(f.len(), t.len());
+        assert_eq!(f.population(), t.population());
+        for slot in 0..t.len() {
+            assert_eq!(
+                f.present(slot),
+                t.entries[slot] < t.infinity(),
+                "slot {slot}"
+            );
+        }
+    }
+
     #[test]
     fn table_transfer_uncompressed_roundtrip() {
         let mut t = QrpTable::new(10, 7);
@@ -451,7 +574,7 @@ mod tests {
             let wire = m.encode();
             rx.apply(&RouteMsg::parse(&wire).unwrap()).unwrap();
         }
-        assert_eq!(rx.table().unwrap(), &t);
+        assert_filter_equals_table(&rx, &t);
     }
 
     #[test]
@@ -466,13 +589,68 @@ mod tests {
         for m in &msgs {
             rx.apply(m).unwrap();
         }
-        assert_eq!(rx.table().unwrap(), &t);
+        assert_filter_equals_table(&rx, &t);
         // Compression must actually compress a sparse table.
         if let RouteMsg::Patch { data, .. } = &msgs[1] {
             assert!(data.len() < (1 << 14) / 4, "patch bytes {}", data.len());
         } else {
             panic!("expected patch");
         }
+    }
+
+    #[test]
+    fn filter_matches_agree_with_table() {
+        let mut t = QrpTable::new(12, 7);
+        t.insert_name("crimson_horizon_remix.mp3");
+        let mut rx = QrpReceiver::new();
+        for m in t.to_messages(2048, true) {
+            rx.apply(&m).unwrap();
+        }
+        let f = rx.filter().unwrap();
+        for q in [
+            "crimson horizon",
+            "CRIMSON",
+            "crimson missingword",
+            "zz",
+            "remix mp3",
+            "",
+        ] {
+            assert_eq!(f.might_match(q), t.might_match(q), "query {q:?}");
+            let hashes: Vec<u64> = keywords(q).iter().map(|w| qrp_hash_full(w)).collect();
+            assert_eq!(
+                f.might_match_hashes(&hashes),
+                t.might_match_hashes(&hashes),
+                "query {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn filter_is_8x_smaller_than_table() {
+        let t = QrpTable::default_table();
+        let mut rx = QrpReceiver::new();
+        for m in t.to_messages(4096, true) {
+            rx.apply(&m).unwrap();
+        }
+        assert_eq!(rx.heap_bytes() * 8, t.heap_bytes());
+    }
+
+    #[test]
+    fn saturated_table_is_all_present_and_delta_clean() {
+        let t = QrpTable::saturated(10, 7);
+        assert_eq!(t.population(), t.len());
+        // Its wire form is the same full-table patch of -(infinity - 1)
+        // deltas a receiver-built saturated table produced.
+        let msgs = t.to_messages(1 << 10, false);
+        let RouteMsg::Patch { data, .. } = &msgs[1] else {
+            panic!("expected patch");
+        };
+        assert!(data.iter().all(|&d| d as i8 == -6));
+        let mut rx = QrpReceiver::new();
+        for m in &msgs {
+            rx.apply(m).unwrap();
+        }
+        assert_eq!(rx.filter().unwrap().population(), t.len());
     }
 
     #[test]
@@ -524,6 +702,32 @@ mod tests {
         for m in msgs {
             rx.apply(&m).unwrap();
         }
-        assert_eq!(rx.table().unwrap(), &t);
+        assert_filter_equals_table(&rx, &t);
+    }
+
+    proptest::proptest! {
+        /// Random tables, chunkings and compression modes: the received
+        /// filter always reproduces the table's per-slot presence.
+        #[test]
+        fn prop_filter_equals_table(
+            names in proptest::collection::vec("[a-zA-Z0-9_ .]{0,24}", 0..24),
+            log2 in 8u8..13,
+            chunk in 1usize..600,
+            compress in proptest::any::<bool>(),
+        ) {
+            let mut t = QrpTable::new(log2, 7);
+            for n in &names {
+                t.insert_name(n);
+            }
+            let mut rx = QrpReceiver::new();
+            for m in t.to_messages(chunk, compress) {
+                rx.apply(&RouteMsg::parse(&m.encode()).unwrap()).unwrap();
+            }
+            let f = rx.filter().unwrap();
+            proptest::prop_assert_eq!(f.population(), t.population());
+            for slot in 0..t.len() {
+                proptest::prop_assert_eq!(f.present(slot), t.entries[slot] < t.infinity());
+            }
+        }
     }
 }

@@ -28,11 +28,11 @@ use p2pmal_corpus::{
     Roster, SharedFile,
 };
 use p2pmal_netsim::{
-    App, ConnId, Ctx, Direction, EventBody, EventCategory, HostAddr, SimDuration, SimTime,
-    Subsystem,
+    App, ConnId, Ctx, Direction, EventBody, EventCategory, FifoMap, FifoSet, HostAddr, SimDuration,
+    SimTime, Subsystem, VecMap,
 };
 use rand::RngCore;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// File indexes at or above this value are fabricated query-echo responses;
@@ -44,6 +44,11 @@ pub const ECHO_INDEX_BASE: u32 = 0x0100_0000;
 const TIMER_MAINTENANCE: u64 = 0;
 const TIMER_AUTO_QUERY: u64 = 1;
 const TIMER_DL_BASE: u64 = 1 << 32;
+
+/// FIFO bounds of the route/duplicate tables (entries, not bytes).
+const SEEN_BOUND: usize = 16_384;
+const QUERY_ROUTE_BOUND: usize = 16_384;
+const PUSH_ROUTE_BOUND: usize = 8_192;
 
 /// Node role in the two-tier overlay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,8 +105,10 @@ pub struct ServentConfig {
     pub target_degree: usize,
     /// Leaf slots (ultrapeers only).
     pub max_leaf_slots: usize,
-    /// Addresses to dial when the host cache is empty.
-    pub bootstrap: Vec<HostAddr>,
+    /// Addresses to dial when the host cache is empty. `Arc`-shared: every
+    /// leaf in a population points at the same ultrapeer list, so spawning
+    /// N leaves costs one allocation instead of N copies.
+    pub bootstrap: std::sync::Arc<[HostAddr]>,
     /// TTL on originated queries.
     pub query_ttl: u8,
     /// Result cap per query answered.
@@ -128,7 +135,7 @@ impl ServentConfig {
             listen_port: 6346,
             target_degree: 6,
             max_leaf_slots: 30,
-            bootstrap: Vec::new(),
+            bootstrap: std::sync::Arc::from([]),
             query_ttl: 3,
             max_results: 64,
             auto_query: None,
@@ -148,8 +155,8 @@ impl ServentConfig {
         }
     }
 
-    pub fn with_bootstrap(mut self, hosts: Vec<HostAddr>) -> Self {
-        self.bootstrap = hosts;
+    pub fn with_bootstrap(mut self, hosts: impl Into<std::sync::Arc<[HostAddr]>>) -> Self {
+        self.bootstrap = hosts.into();
         self
     }
 }
@@ -303,26 +310,25 @@ pub struct Servent {
     world: SharedWorld,
     library: HostLibrary,
     guid: Guid,
-    conns: HashMap<ConnId, ConnKind>,
+    conns: VecMap<ConnId, ConnKind>,
     /// Current outbound overlay dials/sessions, to avoid duplicate dials.
-    outbound_targets: HashMap<ConnId, HostAddr>,
+    outbound_targets: VecMap<ConnId, HostAddr>,
     /// GUID duplicate suppression, FIFO-bounded.
-    seen: HashSet<Guid>,
-    seen_order: VecDeque<Guid>,
+    seen: FifoSet<Guid>,
     /// Query GUID -> where hits go back (None = we originated it).
-    query_routes: HashMap<Guid, Option<ConnId>>,
-    query_route_order: VecDeque<Guid>,
+    /// FIFO-bounded route table.
+    query_routes: FifoMap<Guid, Option<ConnId>>,
     /// Servent GUID -> conn that delivered its hits (PUSH routing).
-    push_routes: HashMap<Guid, ConnId>,
-    push_route_order: VecDeque<Guid>,
+    /// FIFO-bounded route table.
+    push_routes: FifoMap<Guid, ConnId>,
     /// Known ultrapeer addresses.
     host_cache: Vec<HostAddr>,
     /// Downloads waiting for a GIV, keyed by (servent guid, index).
-    pending_pushes: HashMap<(Guid, u32), PendingDownload>,
+    pending_pushes: VecMap<(Guid, u32), PendingDownload>,
     /// Direct downloads whose GET goes out once the dial completes.
-    direct_requests: HashMap<u64, DownloadRequest>,
+    direct_requests: VecMap<u64, DownloadRequest>,
     /// Download ids currently bound to a connection.
-    active_downloads: HashMap<u64, ConnId>,
+    active_downloads: VecMap<u64, ConnId>,
     next_download: u64,
     events: VecDeque<ServentEvent>,
     stats: ServentStats,
@@ -337,18 +343,15 @@ impl Servent {
             world,
             library,
             guid: Guid([0u8; 16]), // replaced in on_start with a seeded GUID
-            conns: HashMap::new(),
-            outbound_targets: HashMap::new(),
-            seen: HashSet::new(),
-            seen_order: VecDeque::new(),
-            query_routes: HashMap::new(),
-            query_route_order: VecDeque::new(),
-            push_routes: HashMap::new(),
-            push_route_order: VecDeque::new(),
+            conns: VecMap::new(),
+            outbound_targets: VecMap::new(),
+            seen: FifoSet::bounded(SEEN_BOUND),
+            query_routes: FifoMap::bounded(QUERY_ROUTE_BOUND),
+            push_routes: FifoMap::bounded(PUSH_ROUTE_BOUND),
             host_cache: Vec::new(),
-            pending_pushes: HashMap::new(),
-            direct_requests: HashMap::new(),
-            active_downloads: HashMap::new(),
+            pending_pushes: VecMap::new(),
+            direct_requests: VecMap::new(),
+            active_downloads: VecMap::new(),
             next_download: 1,
             events: VecDeque::new(),
             stats: ServentStats::default(),
@@ -391,6 +394,33 @@ impl Servent {
         self.events.drain(..).collect()
     }
 
+    /// Deterministic deep-heap estimate (see [`App::memory_estimate`]):
+    /// container storage plus the dominant owned allocations — per-leaf
+    /// QRP state on ultrapeers and the share library's match metadata.
+    fn heap_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let mut b = size_of::<Self>() as u64;
+        b += self.conns.heap_bytes();
+        for k in self.conns.values() {
+            if let ConnKind::Peer(p) = k {
+                b += p.qrp.heap_bytes();
+            }
+        }
+        b += self.outbound_targets.heap_bytes();
+        b += self.seen.heap_bytes();
+        b += self.query_routes.heap_bytes();
+        b += self.push_routes.heap_bytes();
+        b += (self.host_cache.capacity() * size_of::<HostAddr>()) as u64;
+        // config.bootstrap is Arc-shared across the population: not charged
+        // per node.
+        b += self.pending_pushes.heap_bytes();
+        b += self.direct_requests.heap_bytes();
+        b += self.active_downloads.heap_bytes();
+        b += (self.events.capacity() * size_of::<ServentEvent>()) as u64;
+        b += self.library.heap_bytes();
+        b
+    }
+
     /// Originates a keyword query; returns its GUID so the owner can match
     /// incoming [`ServentEvent::QueryHit`]s.
     pub fn search(&mut self, ctx: &mut Ctx<'_>, text: &str) -> Guid {
@@ -417,8 +447,8 @@ impl Servent {
             .filter(|(_, k)| matches!(k, ConnKind::Peer(_)))
             .map(|(&c, _)| c)
             .collect();
-        // HashMap order is process-random; sort so the originated copies are
-        // sent (and thus sequenced) identically run to run.
+        // VecMap iteration is already key-sorted; the sort stays as a
+        // zero-cost guard on the run-to-run sequencing invariant.
         targets.sort_unstable();
         for t in targets {
             ctx.send(t, &wire);
@@ -485,38 +515,15 @@ impl Servent {
     }
 
     fn remember_seen(&mut self, guid: Guid) -> bool {
-        if !self.seen.insert(guid) {
-            return false;
-        }
-        self.seen_order.push_back(guid);
-        if self.seen_order.len() > 16_384 {
-            if let Some(old) = self.seen_order.pop_front() {
-                self.seen.remove(&old);
-            }
-        }
-        true
+        self.seen.insert(guid)
     }
 
     fn route_query_back(&mut self, guid: Guid, via: Option<ConnId>) {
-        if self.query_routes.insert(guid, via).is_none() {
-            self.query_route_order.push_back(guid);
-            if self.query_route_order.len() > 16_384 {
-                if let Some(old) = self.query_route_order.pop_front() {
-                    self.query_routes.remove(&old);
-                }
-            }
-        }
+        self.query_routes.insert(guid, via);
     }
 
     fn remember_push_route(&mut self, guid: Guid, conn: ConnId) {
-        if self.push_routes.insert(guid, conn).is_none() {
-            self.push_route_order.push_back(guid);
-            if self.push_route_order.len() > 8_192 {
-                if let Some(old) = self.push_route_order.pop_front() {
-                    self.push_routes.remove(&old);
-                }
-            }
-        }
+        self.push_routes.insert(guid, conn);
     }
 
     fn add_hosts(&mut self, hosts: impl IntoIterator<Item = HostAddr>) {
@@ -761,8 +768,8 @@ impl Servent {
                 .filter(|(&c, k)| c != conn && matches!(k, ConnKind::Peer(p) if p.ultrapeer))
                 .map(|(&c, _)| c)
                 .collect();
-            // HashMap order is process-random; sort so forwarded copies are
-            // sent (and thus sequenced) identically run to run.
+            // VecMap iteration is already key-sorted; the sort stays as a
+            // zero-cost guard on the run-to-run sequencing invariant.
             targets.sort_unstable();
             for t in targets {
                 ctx.send(t, &wire);
@@ -795,7 +802,7 @@ impl Servent {
             .conns
             .iter()
             .filter_map(|(&c, k)| match k {
-                ConnKind::Peer(p) if c != conn && !p.ultrapeer => match p.qrp.table() {
+                ConnKind::Peer(p) if c != conn && !p.ultrapeer => match p.qrp.filter() {
                     Some(t) if !t.might_match_hashes(&qrp_hashes) => {
                         suppressed += 1;
                         None
@@ -1092,7 +1099,8 @@ impl Servent {
             self.feed_responder(ctx, conn, &mut resp, &buf);
             // feed_responder installs Peer/Dead itself when the handshake
             // resolved; otherwise keep handshaking.
-            self.conns.entry(conn).or_insert(ConnKind::HsIn(resp));
+            self.conns
+                .entry_or_insert_with(conn, || ConnKind::HsIn(resp));
             return;
         }
         if buf.starts_with(b"GET ") || buf.starts_with(b"HEAD") {
@@ -1225,25 +1233,11 @@ impl Servent {
     }
 }
 
-/// A QRP table with every slot present (worm saturation).
+/// A QRP table with every slot present (worm saturation). Its wire form is
+/// identical to the receiver-built saturated table used previously (all
+/// entries 1, so every delta is `-(infinity - 1)`).
 fn saturated_table() -> QrpTable {
-    let mut rx = QrpReceiver::new();
-    rx.apply(&RouteMsg::Reset {
-        table_len: 1 << crate::qrp::DEFAULT_LOG2_SIZE,
-        infinity: 7,
-    })
-    .expect("valid reset");
-    // One big patch of -6 deltas marks every slot present.
-    let data = vec![(-6i8) as u8; 1 << crate::qrp::DEFAULT_LOG2_SIZE];
-    rx.apply(&RouteMsg::Patch {
-        seq_no: 1,
-        seq_count: 1,
-        compressor: crate::qrp::Compressor::None,
-        entry_bits: 8,
-        data,
-    })
-    .expect("valid patch");
-    rx.table().expect("table built").clone()
+    QrpTable::saturated(crate::qrp::DEFAULT_LOG2_SIZE, crate::qrp::DEFAULT_INFINITY)
 }
 
 impl App for Servent {
@@ -1251,10 +1245,15 @@ impl App for Servent {
         Some(self)
     }
 
+    fn memory_estimate(&self) -> u64 {
+        self.heap_bytes()
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.guid = Guid::random(ctx.rng());
         self.started = true;
-        self.add_hosts(self.config.bootstrap.clone());
+        let boot = self.config.bootstrap.clone();
+        self.add_hosts(boot.iter().copied());
         self.maintain_connectivity(ctx);
         ctx.set_timer(self.config.tick, TIMER_MAINTENANCE);
         if let Some(iv) = self.config.auto_query {
@@ -1367,7 +1366,8 @@ impl App for Servent {
                 self.feed_responder(ctx, conn, &mut resp, data);
                 // feed_responder may have replaced the entry (Peer/Dead);
                 // only restore HsIn while still handshaking.
-                self.conns.entry(conn).or_insert(ConnKind::HsIn(resp));
+                self.conns
+                    .entry_or_insert_with(conn, || ConnKind::HsIn(resp));
             }
             Route::Sniff => self.sniff(ctx, conn, data),
             Route::Peer => {

@@ -176,7 +176,16 @@ proptest! {
             let m2 = RouteMsg::parse(&m.encode()).unwrap();
             rx.apply(&m2).unwrap();
         }
-        prop_assert_eq!(rx.table().unwrap(), &t);
+        // The received present-bit filter must agree with the sent table
+        // on every query (the only observable the forwarding path reads).
+        let f = rx.filter().unwrap();
+        prop_assert_eq!(f.population(), t.population());
+        for n in &names {
+            prop_assert_eq!(f.might_match(n), t.might_match(n), "query {:?}", n);
+        }
+        for probe in ["zzz", "qqq xxx", "abc"] {
+            prop_assert_eq!(f.might_match(probe), t.might_match(probe), "probe {:?}", probe);
+        }
     }
 
     #[test]

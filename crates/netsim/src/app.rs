@@ -215,4 +215,13 @@ pub trait App: Send {
     /// chance to settle deferred work — the batched scan service merges its
     /// pending verdicts here. Default: nothing deferred, nothing to do.
     fn on_barrier(&mut self, ctx: &mut Ctx<'_>) {}
+
+    /// Deterministic deep-heap estimate of this app's state in bytes
+    /// (container capacities, owned buffers, per-node routing tables).
+    /// Summed across live nodes by [`crate::Simulator::record_memory`] into
+    /// the bytes-per-node gauge; purely diagnostic, never affects the
+    /// trajectory. Default: unaccounted (0).
+    fn memory_estimate(&self) -> u64 {
+        0
+    }
 }

@@ -52,6 +52,7 @@
 
 mod addr;
 mod app;
+pub mod compact;
 mod event;
 mod faults;
 pub mod live;
@@ -66,8 +67,9 @@ mod time;
 
 pub use addr::{ip_class, AddressAllocator, HostAddr, IpClass};
 pub use app::{App, ConnId, Ctx, Direction, NodeId, TimerToken};
+pub use compact::{FifoMap, FifoSet, KeyHash, VecMap};
 pub use faults::{ChurnSpec, FaultPlan};
-pub use metrics::SimMetrics;
+pub use metrics::{process_rss_kb, MemoryStats, SimMetrics};
 pub use profile::{Subsystem, SubsystemProfile, SUBSYSTEM_COUNT};
 pub use queue::{CalendarQueue, HeapQueue, Scheduler, SchedulerKind};
 pub use shard::shard_of;

@@ -3,6 +3,79 @@
 use crate::profile::SubsystemProfile;
 use crate::telemetry::MetricsRegistry;
 
+/// Memory accounting snapshot, filled in by [`crate::Simulator::record_memory`].
+///
+/// `app_bytes` sums every live app's [`crate::App::memory_estimate`] — a
+/// deterministic deep-heap estimate of protocol state (connection maps,
+/// routing tables, share libraries). The RSS gauges read
+/// `/proc/self/status` and are inherently wall-machine facts, so the whole
+/// struct hides behind an always-equal `PartialEq` shield (the same device
+/// as [`SubsystemProfile`]): identical-seed metric snapshots stay equal
+/// even though their RSS readings differ.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MemoryStats {
+    /// Live nodes whose app contributed to `app_bytes`.
+    pub nodes: u64,
+    /// Summed per-app deep-heap estimates (bytes).
+    pub app_bytes: u64,
+    /// Process peak resident set (`VmHWM`, KiB; 0 where unsupported).
+    pub peak_rss_kb: u64,
+    /// Process current resident set (`VmRSS`, KiB; 0 where unsupported).
+    pub current_rss_kb: u64,
+}
+
+impl MemoryStats {
+    /// Estimated protocol-state bytes per node (0 when no nodes recorded).
+    pub fn bytes_per_node(&self) -> u64 {
+        self.app_bytes.checked_div(self.nodes).unwrap_or(0)
+    }
+
+    /// True when nothing was recorded (the accounting pass never ran).
+    pub fn is_empty(&self) -> bool {
+        self.nodes == 0 && self.peak_rss_kb == 0
+    }
+
+    pub(crate) fn merge(&mut self, other: &MemoryStats) {
+        self.nodes += other.nodes;
+        self.app_bytes += other.app_bytes;
+        self.peak_rss_kb = self.peak_rss_kb.max(other.peak_rss_kb);
+        self.current_rss_kb = self.current_rss_kb.max(other.current_rss_kb);
+    }
+}
+
+/// Wall-machine diagnostics: compares equal to anything (see struct docs).
+impl PartialEq for MemoryStats {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for MemoryStats {}
+
+/// Reads `(VmHWM, VmRSS)` in KiB from `/proc/self/status`; `(0, 0)` on
+/// platforms without procfs or when the read fails.
+pub fn process_rss_kb() -> (u64, u64) {
+    #[cfg(target_os = "linux")]
+    {
+        let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+            return (0, 0);
+        };
+        let field = |key: &str| {
+            status
+                .lines()
+                .find(|l| l.starts_with(key))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0)
+        };
+        (field("VmHWM:"), field("VmRSS:"))
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        (0, 0)
+    }
+}
+
 /// Simulation-wide counters. All counts are cumulative since construction.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct SimMetrics {
@@ -69,6 +142,9 @@ pub struct SimMetrics {
     /// equal to any other profile, so identical-seed metric snapshots stay
     /// equal even though their wall timings differ.
     pub timing: SubsystemProfile,
+    /// Memory accounting (bytes-per-node estimate, RSS gauges). Filled by
+    /// [`crate::Simulator::record_memory`]; always-equal like `timing`.
+    pub memory: MemoryStats,
     /// Named counters, gauges and log2 histograms recorded by the simulator
     /// and by instrumented apps via [`crate::Ctx::registry`]. Sim-keyed
     /// entries are deterministic and participate in `Eq`; wall-clock
@@ -110,6 +186,7 @@ impl SimMetrics {
         self.scan_cache_misses += other.scan_cache_misses;
         self.scan_cache_evictions += other.scan_cache_evictions;
         self.scan_distinct_payloads += other.scan_distinct_payloads;
+        self.memory.merge(&other.memory);
         self.timing.merge(&other.timing);
         self.telemetry.merge(&other.telemetry);
     }

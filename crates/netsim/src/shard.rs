@@ -1400,6 +1400,26 @@ impl ShardedSim {
         self.window.as_micros()
     }
 
+    /// Sharded counterpart of `Simulator::record_memory`: sums every live
+    /// app's estimate across all shards into the control metrics slice
+    /// (shard slices keep the zero default, so the merge is the sum).
+    pub fn record_memory(&mut self) {
+        let mut mem = crate::metrics::MemoryStats::default();
+        for shard in &self.shards {
+            for st in shard.nodes.values() {
+                if let Some(app) = &st.app {
+                    mem.nodes += 1;
+                    mem.app_bytes += app.memory_estimate();
+                }
+            }
+        }
+        let (peak, current) = crate::metrics::process_rss_kb();
+        mem.peak_rss_kb = peak;
+        mem.current_rss_kb = current;
+        self.control.memory = mem;
+        self.refresh_merged();
+    }
+
     /// Rebuilds the merged snapshot: control slice plus every shard slice,
     /// with pool/queue statistics synced first. The merged queue high-water
     /// is the peak *global* boundary depth (shard-count-invariant), not the

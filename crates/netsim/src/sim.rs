@@ -393,6 +393,28 @@ impl Simulator {
         &self.metrics
     }
 
+    /// Records a memory-accounting snapshot into `metrics().memory`: every
+    /// live app's [`App::memory_estimate`] summed, plus the process RSS
+    /// gauges. Diagnostics only — draws no randomness, schedules nothing,
+    /// and the snapshot hides behind an always-equal `PartialEq` shield.
+    pub fn record_memory(&mut self) {
+        if let Some(s) = &mut self.sharded {
+            s.record_memory();
+            return;
+        }
+        let mut mem = crate::metrics::MemoryStats::default();
+        for slot in &self.nodes {
+            if let Some(app) = &slot.app {
+                mem.nodes += 1;
+                mem.app_bytes += app.memory_estimate();
+            }
+        }
+        let (peak, current) = crate::metrics::process_rss_kb();
+        mem.peak_rss_kb = peak;
+        mem.current_rss_kb = current;
+        self.metrics.memory = mem;
+    }
+
     /// Mutable access to the seeded RNG (for harness-level sampling that
     /// must stay on the deterministic stream). Sharded runs hand out the
     /// control stream (spawn-time draws), which the event loop never

@@ -27,16 +27,14 @@ use crate::packet::{
     encode_packet, AddShare, Child, Command, NodeEntry, NodeInfo, NodeList, PacketReader, Search,
     SearchResult, Session, Version, CLASS_SEARCH, CLASS_USER,
 };
-use p2pmal_corpus::library::name_fingerprint;
-use p2pmal_corpus::{ContentRef, HostLibrary};
+use p2pmal_corpus::{ContentRef, HostLibrary, NameRecord};
 use p2pmal_gnutella::servent::SharedWorld;
 use p2pmal_hashes::Md5Digest;
 use p2pmal_netsim::{
     App, ConnId, Ctx, Direction, EventBody, EventCategory, HostAddr, SimDuration, SimTime,
-    Subsystem,
+    Subsystem, VecMap,
 };
 use rand::RngCore;
-use std::collections::HashMap;
 
 /// Timer tokens.
 const TIMER_MAINTENANCE: u64 = 0;
@@ -57,7 +55,8 @@ pub struct FtConfig {
     pub target_parents: usize,
     /// Children a SEARCH node accepts.
     pub max_children: usize,
-    pub bootstrap: Vec<HostAddr>,
+    /// `Arc`-shared across the population; see `ServentConfig::bootstrap`.
+    pub bootstrap: std::sync::Arc<[HostAddr]>,
     /// Result cap per answered search.
     pub max_results: usize,
     /// Ambient query interval (user behaviour), if any.
@@ -77,7 +76,7 @@ impl FtConfig {
             target_sessions: 3,
             target_parents: 2,
             max_children: 0,
-            bootstrap: Vec::new(),
+            bootstrap: std::sync::Arc::from([]),
             max_results: 64,
             auto_query: None,
             collect_events: false,
@@ -97,8 +96,8 @@ impl FtConfig {
         }
     }
 
-    pub fn with_bootstrap(mut self, hosts: Vec<HostAddr>) -> Self {
-        self.bootstrap = hosts;
+    pub fn with_bootstrap(mut self, hosts: impl Into<std::sync::Arc<[HostAddr]>>) -> Self {
+        self.bootstrap = hosts.into();
         self
     }
 }
@@ -164,13 +163,11 @@ struct IndexedShare {
     http_port: u16,
     md5: Md5Digest,
     size: u32,
-    /// Interned via the world's [`p2pmal_corpus::NameInterner`]: thousands
-    /// of children re-register the same catalog names, so each distinct
-    /// name's bytes live once per world.
-    filename: std::sync::Arc<str>,
-    lower: std::sync::Arc<str>,
-    /// Match fingerprint of `lower`, built once at registration.
-    fp: u64,
+    /// Arena record from the world's [`p2pmal_corpus::NameInterner`]:
+    /// thousands of children re-register the same catalog names, so each
+    /// distinct name's text, lowered copy and match fingerprint live once
+    /// per world and every index row is a single `Arc`.
+    rec: std::sync::Arc<NameRecord>,
 }
 
 struct PeerState {
@@ -207,7 +204,7 @@ pub struct FtNode {
     config: FtConfig,
     world: SharedWorld,
     library: HostLibrary,
-    conns: HashMap<ConnId, ConnKind>,
+    conns: VecMap<ConnId, ConnKind>,
     /// Discovered nodes (SEARCH/INDEX classes are the useful ones).
     known: Vec<NodeEntry>,
     /// Child-registered shares (SEARCH nodes).
@@ -225,7 +222,7 @@ impl FtNode {
             config,
             world,
             library,
-            conns: HashMap::new(),
+            conns: VecMap::new(),
             known: Vec::new(),
             index: Vec::new(),
             next_search: 1,
@@ -277,6 +274,21 @@ impl FtNode {
         std::mem::take(&mut self.events)
     }
 
+    /// Deterministic deep-heap estimate (see `App::memory_estimate`):
+    /// container storage plus the child-share index a SEARCH node carries.
+    fn heap_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let mut b = size_of::<Self>() as u64;
+        b += self.conns.heap_bytes();
+        b += (self.known.capacity() * size_of::<NodeEntry>()) as u64;
+        b += (self.index.capacity() * size_of::<IndexedShare>()) as u64;
+        // config.bootstrap is Arc-shared across the population: not charged
+        // per node.
+        b += (self.events.capacity() * size_of::<FtEvent>()) as u64;
+        b += self.library.heap_bytes();
+        b
+    }
+
     /// Issues a search to every connected SEARCH session; returns the id.
     pub fn search(&mut self, ctx: &mut Ctx<'_>, query: &str) -> u32 {
         let id = self.next_search;
@@ -297,8 +309,8 @@ impl FtNode {
             })
             .map(|(&c, _)| c)
             .collect();
-        // HashMap order is process-random; sort so the search fan-out is
-        // sequenced identically run to run.
+        // VecMap iteration is already key-sorted; the sort stays as a
+        // zero-cost guard on the run-to-run sequencing invariant.
         targets.sort_unstable();
         for t in &targets {
             ctx.send(*t, &wire);
@@ -587,20 +599,17 @@ impl FtNode {
                         .as_ref()
                         .map(|i| (i.port, i.http_port))
                         .unwrap_or((p.peer_addr.port, p.peer_addr.port));
-                    let filename = self
+                    let rec = self
                         .world
                         .names
-                        .intern(add.path.rsplit('/').next().unwrap_or(&add.path));
-                    let lower = self.world.names.intern(&filename.to_ascii_lowercase());
+                        .intern_record(add.path.rsplit('/').next().unwrap_or(&add.path));
                     IndexedShare {
                         owner: conn,
                         host: HostAddr::new(p.peer_addr.ip, port),
                         http_port,
                         md5: add.md5,
                         size: add.size,
-                        fp: name_fingerprint(&lower),
-                        lower,
-                        filename,
+                        rec,
                     }
                 };
                 self.index.push(share);
@@ -674,7 +683,7 @@ impl FtNode {
                     if results.len() >= self.config.max_results {
                         break;
                     }
-                    if compiled.matches_meta(&s.lower, s.fp) {
+                    if compiled.matches_meta(s.rec.lower(), s.rec.fp()) {
                         results.push(SearchResult {
                             id,
                             host: s.host.ip,
@@ -683,7 +692,7 @@ impl FtNode {
                             avail: 1,
                             md5: s.md5,
                             size: s.size,
-                            filename: s.filename.to_string(),
+                            filename: s.rec.name().to_string(),
                         });
                     }
                 }
@@ -846,8 +855,13 @@ impl App for FtNode {
         Some(self)
     }
 
+    fn memory_estimate(&self) -> u64 {
+        self.heap_bytes()
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        for b in self.config.bootstrap.clone() {
+        let boot = self.config.bootstrap.clone();
+        for &b in boot.iter() {
             self.add_known(NodeEntry {
                 ip: b.ip,
                 port: b.port,

@@ -117,7 +117,7 @@ fn main() {
     for m in &msgs {
         rx.apply(m).unwrap();
     }
-    let rebuilt = rx.table().unwrap();
+    let rebuilt = rx.filter().unwrap();
     println!(
         "ultrapeer side after RESET+PATCH: matches 'crimson horizon'? {} — 'metallica'? {}\n",
         rebuilt.might_match("crimson horizon"),
