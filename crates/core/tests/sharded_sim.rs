@@ -198,3 +198,79 @@ fn sharded_mode_reports_exchange_bucket_and_window_depths() {
     );
     assert!(run.sim_metrics.queue_high_water > 0);
 }
+
+/// A quick LimeWire run at `shards` with the journal on; returns the run
+/// and the journal bytes.
+fn limewire_journaled(shards: usize, tag: &str) -> (NetworkRun, String) {
+    use p2pmal_core::telemetry::{journal_path_for, TelemetryConfig};
+    let mut base = std::env::temp_dir();
+    base.push(format!(
+        "p2pmal-sharded-journal-{}-{tag}.jsonl",
+        std::process::id()
+    ));
+    let mut scenario = LimewireScenario::quick(2006);
+    scenario.shards = shards;
+    scenario.telemetry = TelemetryConfig {
+        journal: Some(base.clone()),
+        ..TelemetryConfig::off()
+    };
+    let run = scenario.run();
+    let path = journal_path_for(&base, "limewire");
+    let text = std::fs::read_to_string(&path).expect("journal file written");
+    let _ = std::fs::remove_file(&path);
+    (run, text)
+}
+
+/// Sharded journals must be deterministic across shard counts: the
+/// windowed barrier replays buffered per-shard events in a canonical
+/// order, so shards=2 and shards=4 must write byte-identical span-complete
+/// journals and reconstruct identical propagation trees.
+///
+/// (The issue asks for shards=1 vs shards=4 — but per the header comment
+/// the serial trajectory is *deliberately distinct* from the sharded one,
+/// so its journal cannot match byte-for-byte. The cross-shard-count
+/// guarantee is pinned at 2 vs 4, and the serial journal's
+/// span-completeness is guarded by `serial_journal_is_span_complete`.)
+#[test]
+fn sharded_journals_and_propagation_trees_match_across_shard_counts() {
+    let (run2, journal2) = limewire_journaled(2, "s2");
+    let (run4, journal4) = limewire_journaled(4, "s4");
+    assert!(!journal2.is_empty());
+    assert_eq!(
+        journal2, journal4,
+        "shards=2 and shards=4 must write byte-identical journals"
+    );
+    assert_eq!(digest(&run2), digest(&run4));
+
+    // Reconstruct both forests independently and compare the full report:
+    // identical trees, identical chain/latency/hop analyses.
+    let ev2 = p2pmal_obs::parse_journal(&journal2).expect("journal parses");
+    let ev4 = p2pmal_obs::parse_journal(&journal4).expect("journal parses");
+    let a2 = p2pmal_obs::analyze("s2", &ev2, 5);
+    let a4 = p2pmal_obs::analyze("s4", &ev4, 5);
+    assert_eq!(
+        a2.to_json().to_string_compact().replace("\"s2\"", "\"s\""),
+        a4.to_json().to_string_compact().replace("\"s4\"", "\"s\""),
+        "reconstructed propagation trees must be identical"
+    );
+    assert_eq!(
+        a2.orphans.len(),
+        0,
+        "sharded journals must be span-complete"
+    );
+    assert_eq!(a2.monotone_violations, 0);
+    assert!(a2.complete_chains >= 1);
+}
+
+/// The serial engine's journal must be span-complete too (its trajectory
+/// differs from the sharded one by design, so it gets its own guard).
+#[test]
+fn serial_journal_is_span_complete() {
+    let (_, journal) = limewire_journaled(1, "s1");
+    let events = p2pmal_obs::parse_journal(&journal).expect("journal parses");
+    let analysis = p2pmal_obs::analyze("s1", &events, 3);
+    assert_eq!(analysis.orphans.len(), 0);
+    assert_eq!(analysis.monotone_violations, 0);
+    assert!(analysis.complete_chains >= 1);
+    assert_eq!(analysis.complete_chains, analysis.spanned_verdicts);
+}

@@ -160,3 +160,61 @@ fn sampling_drops_a_category_without_touching_others() {
     assert!(!text.contains("\"cat\":\"query\""));
     assert!(text.contains("\"cat\":\"download\""));
 }
+
+/// OpenFT counterpart of [`run_with_journal`] (same seed derivation
+/// `run_study` uses for the OpenFT half).
+fn run_openft_with_journal(seed: u64, tag: &str) -> (NetworkRun, String) {
+    let base = journal_base(tag);
+    let mut scenario = p2pmal_core::OpenFtScenario::quick(seed ^ 0xF7);
+    scenario.days = 1;
+    scenario.telemetry = TelemetryConfig {
+        journal: Some(base.clone()),
+        ..TelemetryConfig::off()
+    };
+    let run = scenario.run();
+    let path = journal_path_for(&base, "openft");
+    let text = std::fs::read_to_string(&path).expect("journal file written");
+    let _ = std::fs::remove_file(&path);
+    (run, text)
+}
+
+/// The provenance acceptance bar: on both networks, every journaled scan
+/// verdict must sit at the end of a complete, orphan-free causal chain
+/// (`query_issued -> query_matched -> download_start -> download_complete
+/// -> scan_verdict`), with sim-time monotone along every edge.
+#[test]
+fn provenance_chains_reconstruct_on_both_networks() {
+    let journals = [
+        ("limewire", run_with_journal(2006, "prov-lw").1),
+        ("openft", run_openft_with_journal(2006, "prov-ft").1),
+    ];
+    for (network, journal) in &journals {
+        let events =
+            p2pmal_obs::parse_journal(journal).unwrap_or_else(|e| panic!("{network}: {e}"));
+        let analysis = p2pmal_obs::analyze(network, &events, 3);
+        assert_eq!(
+            analysis.orphans.len(),
+            0,
+            "{network}: every parent span must resolve within the journal"
+        );
+        assert_eq!(
+            analysis.monotone_violations, 0,
+            "{network}: sim time must be monotone along causal chains"
+        );
+        assert!(
+            analysis.complete_chains >= 1,
+            "{network}: at least one full query->verdict chain expected"
+        );
+        assert_eq!(
+            analysis.complete_chains, analysis.spanned_verdicts,
+            "{network}: every journaled verdict must close a complete chain"
+        );
+        // The root of every download chain is a query, so trace ids in the
+        // journal can never exceed the queries issued.
+        let forest = p2pmal_obs::TraceForest::build(&events);
+        assert!(
+            forest.traces.len() as u64
+                <= events.iter().filter(|e| e.ev == "query_issued").count() as u64
+        );
+    }
+}

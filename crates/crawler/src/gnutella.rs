@@ -9,6 +9,7 @@
 use crate::log::{CrawlLog, HostKey, HostSizeKey, NameSizeKey, ResponseRecord, ScanOutcome};
 use crate::retry::{classify_gnutella, FailCause, RetryPolicy};
 use crate::scan::{FlushResult, ScanPipeline, ScanService};
+use crate::trace::DlTrace;
 use crate::workload::{Workload, WorkloadConfig};
 use p2pmal_gnutella::servent::{
     DownloadError, DownloadMethod, DownloadRequest, Servent, ServentConfig, ServentEvent,
@@ -16,8 +17,8 @@ use p2pmal_gnutella::servent::{
 };
 use p2pmal_gnutella::{Guid, QueryHit};
 use p2pmal_netsim::{
-    App, ConnId, Counter, Ctx, Direction, EventBody, EventCategory, Gauge, HostAddr, SimDuration,
-    SimHist, Subsystem, WallHist,
+    telemetry_span as span, App, ConnId, Counter, Ctx, Direction, EventBody, EventCategory, Gauge,
+    HostAddr, SimDuration, SimHist, Subsystem, WallHist,
 };
 use p2pmal_scanner::Scanner;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -70,6 +71,9 @@ struct InFlight {
     request: DownloadRequest,
     /// 0 on the first try, incremented per retry.
     attempt: u8,
+    /// Provenance of the chain this download descends from; captured at
+    /// hit-ingest time only while telemetry is live (None otherwise).
+    trace: Option<DlTrace>,
 }
 
 /// The instrumented Gnutella client.
@@ -93,8 +97,6 @@ pub struct GnutellaCrawler {
     /// Keys currently being fetched (suppress duplicate fetches).
     busy_name_size: HashSet<NameSizeKey>,
     busy_host_size: HashSet<HostSizeKey>,
-    /// Monotonic workload-query counter (telemetry `seq`).
-    query_seq: u64,
     /// The most recent workload query and its response count so far; the
     /// fan-out histogram records it when the next query closes it out.
     last_query: Option<(Guid, u64)>,
@@ -129,7 +131,6 @@ impl GnutellaCrawler {
             retry_seq: 0,
             busy_name_size: HashSet::new(),
             busy_host_size: HashSet::new(),
-            query_seq: 0,
             last_query: None,
         }
     }
@@ -177,6 +178,16 @@ impl GnutellaCrawler {
             }
         }
         let advertised_private = HostAddr::new(hit.ip, hit.port).is_private();
+        // Provenance: the trace was rooted by `Servent::search` (query
+        // GUID) and the responder's `query_matched` span is derivable from
+        // its servent GUID — no coordination with the remote node needed.
+        let chain =
+            if ctx.telemetry_on(EventCategory::Download) || ctx.telemetry_on(EventCategory::Scan) {
+                let trace = span::trace_from_guid(&query_guid.0);
+                Some((trace, span::span_match_guid(trace, &hit.servent_guid.0)))
+            } else {
+                None
+            };
         for res in &hit.results {
             let record = ResponseRecord {
                 at,
@@ -214,6 +225,15 @@ impl GnutellaCrawler {
                     record: record.clone(),
                     request,
                     attempt: 0,
+                    trace: chain.map(|(trace, matched)| {
+                        DlTrace::new(
+                            trace,
+                            matched,
+                            &record.filename,
+                            record.size,
+                            &HostAddr::new(hit.ip, hit.port).to_string(),
+                        )
+                    }),
                 });
             }
             self.log.responses.push(record);
@@ -231,12 +251,16 @@ impl GnutellaCrawler {
                 ctx.registry().inc(Counter::DownloadsStarted);
             }
             if ctx.telemetry_on(EventCategory::Download) {
-                ctx.emit(EventBody::DownloadStart {
+                let body = EventBody::DownloadStart {
                     name: fl.record.filename.clone(),
                     size: fl.record.size,
                     host: fl.request.addr.to_string(),
                     attempt: fl.attempt,
-                });
+                };
+                match &fl.trace {
+                    Some(tr) => ctx.emit_spanned(body, tr.start(fl.attempt)),
+                    None => ctx.emit(body),
+                }
             }
             let id = self.servent.begin_download(ctx, fl.request.clone());
             self.in_flight.insert(id, fl);
@@ -309,14 +333,18 @@ impl GnutellaCrawler {
             .record(SimHist::DownloadAttempts, fl.attempt as u64 + 1);
         ctx.registry().inc(Counter::ScanVerdicts);
         if ctx.telemetry_on(EventCategory::Download) {
-            ctx.emit(EventBody::DownloadComplete {
+            let ev = EventBody::DownloadComplete {
                 name: fl.record.filename.clone(),
                 ok: true,
                 latency_us,
                 attempts: fl.attempt + 1,
-            });
+            };
+            match &fl.trace {
+                Some(tr) => ctx.emit_spanned(ev, tr.done(fl.attempt)),
+                None => ctx.emit(ev),
+            }
         }
-        self.service.submit(fl.record, body);
+        self.service.submit(fl.record, body, fl.trace);
         if self.service.should_flush() {
             self.flush_scans(ctx);
         }
@@ -378,20 +406,39 @@ impl GnutellaCrawler {
                     .record(SimHist::DownloadAttempts, fl.attempt as u64 + 1);
                 ctx.registry().inc(Counter::ScanVerdicts);
                 if ctx.telemetry_on(EventCategory::Download) {
-                    ctx.emit(EventBody::DownloadComplete {
+                    let ev = EventBody::DownloadComplete {
                         name: fl.record.filename.clone(),
                         ok: true,
                         latency_us,
                         attempts: fl.attempt + 1,
-                    });
+                    };
+                    match &fl.trace {
+                        Some(tr) => ctx.emit_spanned(ev, tr.done(fl.attempt)),
+                        None => ctx.emit(ev),
+                    }
                 }
                 if ctx.telemetry_on(EventCategory::Scan) {
-                    ctx.emit(EventBody::ScanVerdict {
+                    let ev = EventBody::ScanVerdict {
                         name: fl.record.filename.clone(),
                         sha1: sha1.to_hex(),
                         len: body.len() as u64,
                         detections: verdict.detections.len() as u64,
-                    });
+                    };
+                    match &fl.trace {
+                        Some(tr) => ctx.emit_spanned(ev, tr.scan()),
+                        None => ctx.emit(ev),
+                    }
+                    for (i, d) in verdict.detections.iter().enumerate() {
+                        let ev = EventBody::Infection {
+                            name: fl.record.filename.clone(),
+                            family: d.name.clone(),
+                            sha1: sha1.to_hex(),
+                        };
+                        match &fl.trace {
+                            Some(tr) => ctx.emit_spanned(ev, tr.infection(i as u64)),
+                            None => ctx.emit(ev),
+                        }
+                    }
                 }
                 let detections = verdict.detections.iter().map(|d| d.name.clone()).collect();
                 self.finish(
@@ -427,11 +474,15 @@ impl GnutellaCrawler {
             self.log.retries_scheduled += 1;
             ctx.registry().inc(Counter::DownloadRetries);
             if ctx.telemetry_on(EventCategory::Download) {
-                ctx.emit(EventBody::DownloadRetry {
+                let ev = EventBody::DownloadRetry {
                     name: fl.record.filename.clone(),
                     attempt: fl.attempt,
                     cause: cause.label().to_string(),
-                });
+                };
+                match &fl.trace {
+                    Some(tr) => ctx.emit_spanned(ev, tr.retry(fl.attempt)),
+                    None => ctx.emit(ev),
+                }
             }
             if fl.request.method == DownloadMethod::Direct {
                 // Direct dial failed (or transfer broke): fall back to PUSH
@@ -464,12 +515,16 @@ impl GnutellaCrawler {
         ctx.registry()
             .record(SimHist::DownloadAttempts, fl.attempt as u64 + 1);
         if ctx.telemetry_on(EventCategory::Download) {
-            ctx.emit(EventBody::DownloadComplete {
+            let ev = EventBody::DownloadComplete {
                 name: fl.record.filename.clone(),
                 ok: false,
                 latency_us,
                 attempts: fl.attempt + 1,
-            });
+            };
+            match &fl.trace {
+                Some(tr) => ctx.emit_spanned(ev, tr.done(fl.attempt)),
+                None => ctx.emit(ev),
+            }
         }
         self.finish(&fl.record.clone(), terminal);
         self.start_downloads(ctx);
@@ -510,13 +565,9 @@ impl GnutellaCrawler {
             ctx.registry().record(SimHist::ResponsesPerQuery, responses);
         }
         ctx.registry().inc(Counter::QueriesIssued);
-        if ctx.telemetry_on(EventCategory::Query) {
-            ctx.emit(EventBody::QueryIssued {
-                text: q.clone(),
-                seq: self.query_seq,
-            });
-        }
-        self.query_seq += 1;
+        // `query_issued` is emitted (span-rooted) inside `Servent::search`,
+        // so ambient auto-queries and crawler workload queries share one
+        // emission point and every trace has a root.
         self.remember_query(guid, q);
         self.log.queries_issued += 1;
         let next = self.workload.next_interval_secs(ctx.now(), ctx.rng());

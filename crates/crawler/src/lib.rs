@@ -24,6 +24,7 @@ pub mod log;
 pub mod openft;
 pub mod retry;
 pub mod scan;
+pub mod trace;
 pub mod workload;
 
 pub use gnutella::{GnutellaCrawler, GnutellaCrawlerConfig};
@@ -36,4 +37,5 @@ pub use scan::{
     scan_threads_from_env, FlushOutcome, FlushResult, ScanPipeline, ScanService, ScanStats,
     DEFAULT_SCAN_CACHE_ENTRIES,
 };
+pub use trace::DlTrace;
 pub use workload::{Workload, WorkloadConfig, GENERIC_TERMS};

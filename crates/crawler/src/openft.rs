@@ -5,11 +5,12 @@
 use crate::log::{CrawlLog, HostKey, HostSizeKey, NameSizeKey, ResponseRecord, ScanOutcome};
 use crate::retry::{classify_openft, FailCause, RetryPolicy};
 use crate::scan::{FlushResult, ScanPipeline, ScanService};
+use crate::trace::DlTrace;
 use crate::workload::{Workload, WorkloadConfig};
 use p2pmal_gnutella::servent::SharedWorld;
 use p2pmal_netsim::{
-    App, ConnId, Counter, Ctx, Direction, EventBody, EventCategory, Gauge, HostAddr, SimDuration,
-    SimHist, Subsystem, WallHist,
+    telemetry_span as span, App, ConnId, Counter, Ctx, Direction, EventBody, EventCategory, Gauge,
+    HostAddr, SimDuration, SimHist, Subsystem, WallHist,
 };
 use p2pmal_openft::node::{FtConfig, FtDownloadError, FtEvent, FtNode};
 use p2pmal_openft::packet::SearchResult;
@@ -61,6 +62,9 @@ struct InFlight {
     md5: p2pmal_hashes::Md5Digest,
     /// 0 on the first try, incremented per retry.
     attempt: u8,
+    /// Provenance of the chain this download descends from; captured at
+    /// result-ingest time only while telemetry is live (None otherwise).
+    trace: Option<DlTrace>,
 }
 
 /// The instrumented OpenFT client.
@@ -81,8 +85,6 @@ pub struct FtCrawler {
     retry_seq: u64,
     busy_name_size: HashSet<NameSizeKey>,
     busy_host_size: HashSet<HostSizeKey>,
-    /// Monotonic workload-query counter (telemetry `seq`).
-    query_seq: u64,
     /// The most recent workload query and its response count so far; the
     /// fan-out histogram records it when the next query closes it out.
     last_query: Option<(u32, u64)>,
@@ -114,7 +116,6 @@ impl FtCrawler {
             retry_seq: 0,
             busy_name_size: HashSet::new(),
             busy_host_size: HashSet::new(),
-            query_seq: 0,
             last_query: None,
         }
     }
@@ -148,7 +149,7 @@ impl FtCrawler {
         }
     }
 
-    fn ingest_result(&mut self, ctx: &mut Ctx<'_>, result: &SearchResult) {
+    fn ingest_result(&mut self, ctx: &mut Ctx<'_>, from: HostAddr, result: &SearchResult) {
         let Some(query) = self.queries.get(&result.id).cloned() else {
             return;
         };
@@ -179,11 +180,31 @@ impl FtCrawler {
             self.busy_name_size.insert(nk);
             self.busy_host_size.insert(hk);
             let addr = HostAddr::new(result.host, result.http_port);
+            // Provenance: we rooted the trace in `FtNode::search` from our
+            // own routable address + search id; the answering SEARCH node
+            // (`from`, the session peer) derived the same pair, so its
+            // `query_matched` span reconstructs here without coordination.
+            let trace = if ctx.telemetry_on(EventCategory::Download)
+                || ctx.telemetry_on(EventCategory::Scan)
+            {
+                let origin = ctx.external_addr();
+                let t = span::trace_from_search(origin.ip, origin.port, result.id);
+                Some(DlTrace::new(
+                    t,
+                    span::span_match_addr(t, from.ip, from.port),
+                    &record.filename,
+                    record.size,
+                    &addr.to_string(),
+                ))
+            } else {
+                None
+            };
             self.pending.push_back(InFlight {
                 record: record.clone(),
                 addr,
                 md5: result.md5,
                 attempt: 0,
+                trace,
             });
         }
         self.log.responses.push(record);
@@ -200,12 +221,16 @@ impl FtCrawler {
                 ctx.registry().inc(Counter::DownloadsStarted);
             }
             if ctx.telemetry_on(EventCategory::Download) {
-                ctx.emit(EventBody::DownloadStart {
+                let body = EventBody::DownloadStart {
                     name: fl.record.filename.clone(),
                     size: fl.record.size,
                     host: fl.addr.to_string(),
                     attempt: fl.attempt,
-                });
+                };
+                match &fl.trace {
+                    Some(tr) => ctx.emit_spanned(body, tr.start(fl.attempt)),
+                    None => ctx.emit(body),
+                }
             }
             let id = self.node.begin_download(ctx, fl.addr, fl.md5);
             self.in_flight.insert(id, fl);
@@ -278,14 +303,18 @@ impl FtCrawler {
             .record(SimHist::DownloadAttempts, fl.attempt as u64 + 1);
         ctx.registry().inc(Counter::ScanVerdicts);
         if ctx.telemetry_on(EventCategory::Download) {
-            ctx.emit(EventBody::DownloadComplete {
+            let ev = EventBody::DownloadComplete {
                 name: fl.record.filename.clone(),
                 ok: true,
                 latency_us,
                 attempts: fl.attempt + 1,
-            });
+            };
+            match &fl.trace {
+                Some(tr) => ctx.emit_spanned(ev, tr.done(fl.attempt)),
+                None => ctx.emit(ev),
+            }
         }
-        self.service.submit(fl.record, body);
+        self.service.submit(fl.record, body, fl.trace);
         if self.service.should_flush() {
             self.flush_scans(ctx);
         }
@@ -345,20 +374,39 @@ impl FtCrawler {
                     .record(SimHist::DownloadAttempts, fl.attempt as u64 + 1);
                 ctx.registry().inc(Counter::ScanVerdicts);
                 if ctx.telemetry_on(EventCategory::Download) {
-                    ctx.emit(EventBody::DownloadComplete {
+                    let ev = EventBody::DownloadComplete {
                         name: fl.record.filename.clone(),
                         ok: true,
                         latency_us,
                         attempts: fl.attempt + 1,
-                    });
+                    };
+                    match &fl.trace {
+                        Some(tr) => ctx.emit_spanned(ev, tr.done(fl.attempt)),
+                        None => ctx.emit(ev),
+                    }
                 }
                 if ctx.telemetry_on(EventCategory::Scan) {
-                    ctx.emit(EventBody::ScanVerdict {
+                    let ev = EventBody::ScanVerdict {
                         name: fl.record.filename.clone(),
                         sha1: sha1.to_hex(),
                         len: body.len() as u64,
                         detections: verdict.detections.len() as u64,
-                    });
+                    };
+                    match &fl.trace {
+                        Some(tr) => ctx.emit_spanned(ev, tr.scan()),
+                        None => ctx.emit(ev),
+                    }
+                    for (i, d) in verdict.detections.iter().enumerate() {
+                        let ev = EventBody::Infection {
+                            name: fl.record.filename.clone(),
+                            family: d.name.clone(),
+                            sha1: sha1.to_hex(),
+                        };
+                        match &fl.trace {
+                            Some(tr) => ctx.emit_spanned(ev, tr.infection(i as u64)),
+                            None => ctx.emit(ev),
+                        }
+                    }
                 }
                 let detections = verdict.detections.iter().map(|d| d.name.clone()).collect();
                 self.finish(
@@ -393,11 +441,15 @@ impl FtCrawler {
             self.log.retries_scheduled += 1;
             ctx.registry().inc(Counter::DownloadRetries);
             if ctx.telemetry_on(EventCategory::Download) {
-                ctx.emit(EventBody::DownloadRetry {
+                let ev = EventBody::DownloadRetry {
                     name: fl.record.filename.clone(),
                     attempt: fl.attempt,
                     cause: cause.label().to_string(),
-                });
+                };
+                match &fl.trace {
+                    Some(tr) => ctx.emit_spanned(ev, tr.retry(fl.attempt)),
+                    None => ctx.emit(ev),
+                }
             }
             if self.config.retry.uses_backoff() {
                 let token = TIMER_RETRY_BASE | self.retry_seq;
@@ -424,12 +476,16 @@ impl FtCrawler {
         ctx.registry()
             .record(SimHist::DownloadAttempts, fl.attempt as u64 + 1);
         if ctx.telemetry_on(EventCategory::Download) {
-            ctx.emit(EventBody::DownloadComplete {
+            let ev = EventBody::DownloadComplete {
                 name: fl.record.filename.clone(),
                 ok: false,
                 latency_us,
                 attempts: fl.attempt + 1,
-            });
+            };
+            match &fl.trace {
+                Some(tr) => ctx.emit_spanned(ev, tr.done(fl.attempt)),
+                None => ctx.emit(ev),
+            }
         }
         self.finish(&fl.record.clone(), terminal);
         self.start_downloads(ctx);
@@ -446,7 +502,9 @@ impl FtCrawler {
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
         for ev in self.node.drain_events() {
             match ev {
-                FtEvent::SearchResult { result, .. } => self.ingest_result(ctx, &result),
+                FtEvent::SearchResult { from, result, .. } => {
+                    self.ingest_result(ctx, from, &result)
+                }
                 FtEvent::DownloadDone { id, result, .. } => self.on_download_done(ctx, id, result),
                 _ => {}
             }
@@ -463,13 +521,9 @@ impl FtCrawler {
             ctx.registry().record(SimHist::ResponsesPerQuery, responses);
         }
         ctx.registry().inc(Counter::QueriesIssued);
-        if ctx.telemetry_on(EventCategory::Query) {
-            ctx.emit(EventBody::QueryIssued {
-                text: q.clone(),
-                seq: self.query_seq,
-            });
-        }
-        self.query_seq += 1;
+        // `query_issued` is emitted (span-rooted) inside `FtNode::search`,
+        // so ambient auto-queries and crawler workload queries share one
+        // emission point and every trace has a root.
         self.remember_query(id, q);
         self.log.queries_issued += 1;
         let next = self.workload.next_interval_secs(ctx.now(), ctx.rng());

@@ -14,6 +14,7 @@
 //! verdict, which depend on the body alone.
 
 use crate::log::ResponseRecord;
+use crate::trace::DlTrace;
 use p2pmal_hashes::Sha1Digest;
 use p2pmal_scanner::{ScanJob, ScanPool, ScanScratch, Scanner, Verdict, VerdictCache};
 use std::collections::{HashMap, HashSet};
@@ -168,6 +169,7 @@ pub const SCAN_BATCH_MAX_BYTES: u64 = 64 << 20;
 struct DeferredScan {
     record: ResponseRecord,
     body: Arc<Vec<u8>>,
+    trace: Option<DlTrace>,
 }
 
 /// One merged verdict from a batch flush, in submission order.
@@ -176,6 +178,11 @@ pub struct FlushOutcome {
     pub body_len: u64,
     pub digest: Sha1Digest,
     pub verdict: Arc<Verdict>,
+    /// Provenance of the download, carried through the batch untouched.
+    /// Note the crawlers only defer when per-scan telemetry is off (the
+    /// inline path is the one that emits `scan_verdict`), so today this
+    /// rides along for log consumers rather than event emission.
+    pub trace: Option<DlTrace>,
 }
 
 /// Everything a flush produced, plus how long the two phases took. The
@@ -227,11 +234,12 @@ impl ScanService {
     }
 
     /// Park a completed download for the next flush.
-    pub fn submit(&mut self, record: ResponseRecord, body: Vec<u8>) {
+    pub fn submit(&mut self, record: ResponseRecord, body: Vec<u8>, trace: Option<DlTrace>) {
         self.pending_bytes += body.len() as u64;
         self.pending.push(DeferredScan {
             record,
             body: Arc::new(body),
+            trace,
         });
     }
 
@@ -361,6 +369,7 @@ impl ScanService {
                     body_len: item.body.len() as u64,
                     digest,
                     verdict,
+                    trace: item.trace,
                 }
             })
             .collect();
@@ -497,7 +506,7 @@ mod tests {
         let mut batched = pipeline(cache_entries);
         let mut service = ScanService::new(threads);
         for (name, body) in bodies {
-            service.submit(record(name), body.to_vec());
+            service.submit(record(name), body.to_vec(), None);
         }
         let result = service.flush(&mut batched);
 
@@ -545,8 +554,8 @@ mod tests {
 
         let mut service = ScanService::new(2);
         batched.scan("a.exe", a);
-        service.submit(record("b.exe"), b.to_vec());
-        service.submit(record("a2.exe"), a.to_vec());
+        service.submit(record("b.exe"), b.to_vec(), None);
+        service.submit(record("a2.exe"), a.to_vec(), None);
         let result = service.flush(&mut batched);
 
         for (out, (digest, verdict)) in result.outcomes.iter().zip(&expected[1..]) {
@@ -572,7 +581,7 @@ mod tests {
         assert!(empty.outcomes.is_empty());
         for i in 0..SCAN_BATCH_MAX_BODIES {
             assert!(!service.should_flush());
-            service.submit(record(&format!("f{i}.exe")), vec![0u8; 8]);
+            service.submit(record(&format!("f{i}.exe")), vec![0u8; 8], None);
         }
         assert!(service.should_flush());
         service.flush(&mut p);

@@ -28,8 +28,8 @@ use p2pmal_corpus::{
     Roster, SharedFile,
 };
 use p2pmal_netsim::{
-    App, ConnId, Ctx, Direction, EventBody, EventCategory, FifoMap, FifoSet, HostAddr, SimDuration,
-    SimTime, Subsystem, VecMap,
+    telemetry_span as span, App, ConnId, Ctx, Direction, EventBody, EventCategory, FifoMap,
+    FifoSet, HostAddr, SimDuration, SimTime, SpanCtx, Subsystem, VecMap,
 };
 use rand::RngCore;
 use std::collections::VecDeque;
@@ -427,6 +427,18 @@ impl Servent {
         let guid = Guid::random(ctx.rng());
         self.remember_seen(guid);
         self.route_query_back(guid, None);
+        // Trace root: every event descending from this query (matches,
+        // downloads, verdicts) derives its trace id from the query GUID.
+        if ctx.telemetry_on(EventCategory::Query) {
+            let trace = span::trace_from_guid(&guid.0);
+            ctx.emit_spanned(
+                EventBody::QueryIssued {
+                    text: text.to_string(),
+                    seq: self.stats.queries_originated,
+                },
+                SpanCtx::root(trace, span::span_root(trace)),
+            );
+        }
         // Tokenize at origination: every hop this query floods through
         // reuses the compiled form out of the world's cache.
         let _ = self.world.compile_query(text);
@@ -832,10 +844,21 @@ impl Servent {
         self.stats.queries_answered += 1;
         self.stats.hits_sent += 1;
         if ctx.telemetry_on(EventCategory::Query) {
-            ctx.emit(EventBody::QueryMatched {
-                text: query.raw().to_string(),
-                results: files.len() as u64,
-            });
+            // `header.hops` counts hops *already traveled* when the query
+            // reached us, so overlay distance from the origin is hops + 1.
+            let trace = span::trace_from_guid(&header.guid.0);
+            ctx.emit_spanned(
+                EventBody::QueryMatched {
+                    text: query.raw().to_string(),
+                    results: files.len() as u64,
+                    hops: header.hops as u64 + 1,
+                },
+                SpanCtx::child(
+                    trace,
+                    span::span_match_guid(trace, &self.guid.0),
+                    span::span_root(trace),
+                ),
+            );
         }
         let is_nat = ctx.local_addr().ip != ctx.external_addr().ip;
         let results = files

@@ -4,7 +4,9 @@
 use crate::addr::HostAddr;
 use crate::pool::BufferPool;
 use crate::profile::{Subsystem, SubsystemProfile};
-use crate::telemetry::{EventBody, EventCategory, MetricsRegistry, Telemetry, TelemetryEvent};
+use crate::telemetry::{
+    EventBody, EventCategory, MetricsRegistry, SpanCtx, Telemetry, TelemetryEvent,
+};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 
@@ -170,7 +172,19 @@ impl<'a> Ctx<'a> {
     #[inline]
     pub fn emit(&mut self, body: EventBody) {
         if self.telemetry.enabled(body.category()) {
-            self.telemetry.emit(TelemetryEvent { at: self.now, body });
+            self.telemetry.emit(TelemetryEvent::new(self.now, body));
+        }
+    }
+
+    /// Emits one telemetry event carrying causal identity (see
+    /// [`crate::telemetry::span`]). Same discipline as [`Ctx::emit`]: gate
+    /// both body *and* span derivation on [`Ctx::telemetry_on`] so
+    /// journal-off runs construct nothing.
+    #[inline]
+    pub fn emit_spanned(&mut self, body: EventBody, span: SpanCtx) {
+        if self.telemetry.enabled(body.category()) {
+            self.telemetry
+                .emit(TelemetryEvent::with_span(self.now, body, span));
         }
     }
 }

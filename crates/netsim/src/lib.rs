@@ -74,9 +74,10 @@ pub use profile::{Subsystem, SubsystemProfile, SUBSYSTEM_COUNT};
 pub use queue::{CalendarQueue, HeapQueue, Scheduler, SchedulerKind};
 pub use shard::shard_of;
 pub use sim::{NodeSpec, SimConfig, Simulator};
+pub use telemetry::span as telemetry_span;
 pub use telemetry::{
     Counter, EventBody, EventCategory, FaultKind, Gauge, HistSummary, Log2Histogram,
-    MetricsRegistry, NullSink, RingSink, SimHist, Telemetry, TelemetryConfig, TelemetryEvent,
-    TelemetrySink, WallHist,
+    MetricsRegistry, NullSink, RingSink, SimHist, SpanCtx, Telemetry, TelemetryConfig,
+    TelemetryEvent, TelemetrySink, WallHist,
 };
 pub use time::{SimDuration, SimTime};

@@ -343,10 +343,7 @@ struct Lane<'a> {
 
 fn emit_fault(tel: &mut Telemetry, now: SimTime, kind: FaultKind) {
     if tel.enabled(EventCategory::Fault) {
-        tel.emit(TelemetryEvent {
-            at: now,
-            body: EventBody::FaultInjected { kind },
-        });
+        tel.emit(TelemetryEvent::new(now, EventBody::FaultInjected { kind }));
     }
 }
 
@@ -894,12 +891,12 @@ impl Lane<'_> {
         }
         shard.metrics.faults_churn_downs += 1;
         if shard.telemetry.enabled(EventCategory::Churn) {
-            shard.telemetry.emit(TelemetryEvent {
-                at: self.now,
-                body: EventBody::ChurnDown {
+            shard.telemetry.emit(TelemetryEvent::new(
+                self.now,
+                EventBody::ChurnDown {
                     node: node.0 as u64,
                 },
-            });
+            ));
         }
         let (open, pending) = self.take_conns(node);
         for &c in &open {
@@ -936,12 +933,12 @@ impl Lane<'_> {
         st.alive = true;
         shard.metrics.faults_churn_ups += 1;
         if shard.telemetry.enabled(EventCategory::Churn) {
-            shard.telemetry.emit(TelemetryEvent {
-                at: self.now,
-                body: EventBody::ChurnUp {
+            shard.telemetry.emit(TelemetryEvent::new(
+                self.now,
+                EventBody::ChurnUp {
                     node: node.0 as u64,
                 },
-            });
+            ));
         }
         let now = self.now;
         self.send_from(node, now, Ev::Start { node });

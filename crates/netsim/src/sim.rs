@@ -283,10 +283,10 @@ impl Simulator {
     #[inline]
     fn emit_fault(&mut self, kind: FaultKind) {
         if self.telemetry.enabled(EventCategory::Fault) {
-            self.telemetry.emit(TelemetryEvent {
-                at: self.now,
-                body: EventBody::FaultInjected { kind },
-            });
+            self.telemetry.emit(TelemetryEvent::new(
+                self.now,
+                EventBody::FaultInjected { kind },
+            ));
         }
     }
 
@@ -1008,12 +1008,12 @@ impl Simulator {
         }
         self.metrics.faults_churn_downs += 1;
         if self.telemetry.enabled(EventCategory::Churn) {
-            self.telemetry.emit(TelemetryEvent {
-                at: self.now,
-                body: EventBody::ChurnDown {
+            self.telemetry.emit(TelemetryEvent::new(
+                self.now,
+                EventBody::ChurnDown {
                     node: node.0 as u64,
                 },
-            });
+            ));
         }
         // Partition this node's connections: established ones get a close
         // handshake, dials still in flight are abandoned.
@@ -1069,12 +1069,12 @@ impl Simulator {
         self.nodes[node.0].alive = true;
         self.metrics.faults_churn_ups += 1;
         if self.telemetry.enabled(EventCategory::Churn) {
-            self.telemetry.emit(TelemetryEvent {
-                at: self.now,
-                body: EventBody::ChurnUp {
+            self.telemetry.emit(TelemetryEvent::new(
+                self.now,
+                EventBody::ChurnUp {
                     node: node.0 as u64,
                 },
-            });
+            ));
         }
         if self.nodes[node.0].listener {
             self.listeners

@@ -9,6 +9,7 @@
 //! Events timestamped with sim-time only are deterministic: identical seeds
 //! emit byte-identical journals.
 
+use crate::telemetry::span::{span_hex, SpanCtx};
 use crate::time::SimTime;
 use p2pmal_json::Value;
 
@@ -80,7 +81,13 @@ pub enum EventBody {
     /// The instrumented crawler issued a workload query.
     QueryIssued { text: String, seq: u64 },
     /// A servent/node's library matched a query it was asked to answer.
-    QueryMatched { text: String, results: u64 },
+    /// `hops` is the overlay distance from the query's origin to the
+    /// answering node (1 = direct neighbor; OpenFT searches are always 1).
+    QueryMatched {
+        text: String,
+        results: u64,
+        hops: u64,
+    },
     /// A download attempt left the crawler's pending queue.
     DownloadStart {
         name: String,
@@ -108,6 +115,14 @@ pub enum EventBody {
         len: u64,
         detections: u64,
     },
+    /// One detection from a malicious verdict: the crawler observed file
+    /// `name` carrying malware `family`. Emitted once per detection so
+    /// per-family propagation trees fall out of the journal directly.
+    Infection {
+        name: String,
+        family: String,
+        sha1: String,
+    },
     /// The fault plan injected one fault.
     FaultInjected { kind: FaultKind },
     /// A churn session took a node offline.
@@ -123,7 +138,7 @@ impl EventBody {
             EventBody::DownloadStart { .. }
             | EventBody::DownloadRetry { .. }
             | EventBody::DownloadComplete { .. } => EventCategory::Download,
-            EventBody::ScanVerdict { .. } => EventCategory::Scan,
+            EventBody::ScanVerdict { .. } | EventBody::Infection { .. } => EventCategory::Scan,
             EventBody::FaultInjected { .. } => EventCategory::Fault,
             EventBody::ChurnDown { .. } | EventBody::ChurnUp { .. } => EventCategory::Churn,
         }
@@ -138,6 +153,7 @@ impl EventBody {
             EventBody::DownloadRetry { .. } => "download_retry",
             EventBody::DownloadComplete { .. } => "download_complete",
             EventBody::ScanVerdict { .. } => "scan_verdict",
+            EventBody::Infection { .. } => "infection",
             EventBody::FaultInjected { .. } => "fault_injected",
             EventBody::ChurnDown { .. } => "churn_down",
             EventBody::ChurnUp { .. } => "churn_up",
@@ -145,20 +161,49 @@ impl EventBody {
     }
 }
 
-/// One sim-time-stamped record.
+/// One sim-time-stamped record, optionally carrying causal identity.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TelemetryEvent {
     pub at: SimTime,
     pub body: EventBody,
+    /// Provenance span, when the emitter participates in a causal chain.
+    /// Fault and churn events are environmental and stay spanless.
+    pub span: Option<SpanCtx>,
 }
 
 impl TelemetryEvent {
+    /// A spanless record (fault/churn, or tracing not wired at the site).
+    pub fn new(at: SimTime, body: EventBody) -> Self {
+        TelemetryEvent {
+            at,
+            body,
+            span: None,
+        }
+    }
+
+    /// A record carrying causal identity.
+    pub fn with_span(at: SimTime, body: EventBody, span: SpanCtx) -> Self {
+        TelemetryEvent {
+            at,
+            body,
+            span: Some(span),
+        }
+    }
+
     pub fn category(&self) -> EventCategory {
         self.body.category()
     }
 
-    /// The journal schema: one flat object per event. Common envelope
-    /// fields first (`t` sim-micros, `day`, `cat`, `ev`), body fields after.
+    /// The journal schema — the **single canonical field order**, shared by
+    /// the JSONL journal and the `P2PMAL_TRACE=2` per-event rendering
+    /// (`TraceSink` prints exactly this object):
+    ///
+    /// 1. envelope: `t` (sim-micros), `day`, `cat`, `ev`;
+    /// 2. provenance (only when the event carries a span): `trace`, `span`,
+    ///    and — unless the span is a trace root — `parent`, each a 16-char
+    ///    lowercase hex string (ids are 64-bit; the JSON layer stores
+    ///    numbers as `f64`, exact only below 2^53, so ids go as strings);
+    /// 3. body fields, in the per-variant order below.
     pub fn to_json(&self) -> Value {
         let mut fields: Vec<(String, Value)> = vec![
             ("t".into(), self.at.as_micros().into()),
@@ -166,14 +211,26 @@ impl TelemetryEvent {
             ("cat".into(), self.category().label().into()),
             ("ev".into(), self.body.kind_label().into()),
         ];
+        if let Some(s) = &self.span {
+            fields.push(("trace".into(), span_hex(s.trace).into()));
+            fields.push(("span".into(), span_hex(s.span).into()));
+            if let Some(parent) = s.parent {
+                fields.push(("parent".into(), span_hex(parent).into()));
+            }
+        }
         match &self.body {
             EventBody::QueryIssued { text, seq } => {
                 fields.push(("text".into(), text.as_str().into()));
                 fields.push(("seq".into(), (*seq).into()));
             }
-            EventBody::QueryMatched { text, results } => {
+            EventBody::QueryMatched {
+                text,
+                results,
+                hops,
+            } => {
                 fields.push(("text".into(), text.as_str().into()));
                 fields.push(("results".into(), (*results).into()));
+                fields.push(("hops".into(), (*hops).into()));
             }
             EventBody::DownloadStart {
                 name,
@@ -217,6 +274,11 @@ impl TelemetryEvent {
                 fields.push(("len".into(), (*len).into()));
                 fields.push(("detections".into(), (*detections).into()));
             }
+            EventBody::Infection { name, family, sha1 } => {
+                fields.push(("name".into(), name.as_str().into()));
+                fields.push(("family".into(), family.as_str().into()));
+                fields.push(("sha1".into(), sha1.as_str().into()));
+            }
             EventBody::FaultInjected { kind } => {
                 fields.push(("kind".into(), kind.label().into()));
             }
@@ -242,15 +304,15 @@ mod tests {
 
     #[test]
     fn json_envelope_is_stable() {
-        let ev = TelemetryEvent {
-            at: SimTime::from_micros(86_400_000_000 + 5),
-            body: EventBody::DownloadComplete {
+        let ev = TelemetryEvent::new(
+            SimTime::from_micros(86_400_000_000 + 5),
+            EventBody::DownloadComplete {
                 name: "setup.exe".into(),
                 ok: true,
                 latency_us: 1234,
                 attempts: 2,
             },
-        };
+        );
         let v = ev.to_json();
         assert_eq!(v.get("t").and_then(Value::as_u64), Some(86_400_000_005));
         assert_eq!(v.get("day").and_then(Value::as_u64), Some(1));
@@ -276,6 +338,7 @@ mod tests {
             EventBody::QueryMatched {
                 text: "q".into(),
                 results: 3,
+                hops: 2,
             },
             EventBody::DownloadStart {
                 name: "a".into(),
@@ -300,6 +363,11 @@ mod tests {
                 len: 2,
                 detections: 0,
             },
+            EventBody::Infection {
+                name: "a".into(),
+                family: "W32.Gnuman".into(),
+                sha1: "00".into(),
+            },
             EventBody::FaultInjected {
                 kind: FaultKind::Reset,
             },
@@ -307,10 +375,7 @@ mod tests {
             EventBody::ChurnUp { node: 7 },
         ];
         for b in bodies {
-            let ev = TelemetryEvent {
-                at: SimTime::ZERO,
-                body: b,
-            };
+            let ev = TelemetryEvent::new(SimTime::ZERO, b);
             let v = ev.to_json();
             assert_eq!(
                 v.get("cat").and_then(Value::as_str),
@@ -321,5 +386,53 @@ mod tests {
                 Some(ev.body.kind_label())
             );
         }
+    }
+
+    #[test]
+    fn span_fields_follow_the_envelope() {
+        let trace = 0x1122_3344_5566_7788u64;
+        let ev = TelemetryEvent::with_span(
+            SimTime::from_micros(42),
+            EventBody::QueryIssued {
+                text: "mp3".into(),
+                seq: 0,
+            },
+            SpanCtx::root(trace, crate::telemetry::span::span_root(trace)),
+        );
+        let v = ev.to_json();
+        // Canonical order: envelope, then trace/span (no parent on roots).
+        let keys: Vec<&str> = match &v {
+            Value::Obj(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => panic!("flat object"),
+        };
+        assert_eq!(
+            keys,
+            ["t", "day", "cat", "ev", "trace", "span", "text", "seq"]
+        );
+        assert_eq!(
+            v.get("trace").and_then(Value::as_str),
+            Some("1122334455667788")
+        );
+        let child = TelemetryEvent::with_span(
+            SimTime::from_micros(43),
+            EventBody::QueryMatched {
+                text: "mp3".into(),
+                results: 1,
+                hops: 1,
+            },
+            SpanCtx::child(trace, 7, 9),
+        );
+        let cv = child.to_json();
+        assert_eq!(
+            cv.get("parent").and_then(Value::as_str),
+            Some("0000000000000009")
+        );
+        // Spanless events carry no trace/span/parent keys at all.
+        assert!(
+            TelemetryEvent::new(SimTime::ZERO, EventBody::ChurnDown { node: 1 })
+                .to_json()
+                .get("trace")
+                .is_none()
+        );
     }
 }

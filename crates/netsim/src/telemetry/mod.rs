@@ -25,6 +25,7 @@ pub mod event;
 pub mod hist;
 pub mod registry;
 pub mod sink;
+pub mod span;
 
 pub use event::{EventBody, EventCategory, FaultKind, TelemetryEvent, CATEGORY_COUNT};
 pub use hist::{HistSummary, Log2Histogram, LOG2_BUCKETS};
@@ -33,3 +34,4 @@ pub use sink::{
     journal_path_for, parse_trace_level, trace_level, JsonlSink, NullSink, RingSink, Telemetry,
     TelemetryConfig, TelemetrySink, TraceSink,
 };
+pub use span::SpanCtx;

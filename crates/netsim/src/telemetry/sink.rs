@@ -378,12 +378,12 @@ mod tests {
     use crate::time::SimTime;
 
     fn ev(t: u64) -> TelemetryEvent {
-        TelemetryEvent {
-            at: SimTime::from_micros(t),
-            body: EventBody::FaultInjected {
+        TelemetryEvent::new(
+            SimTime::from_micros(t),
+            EventBody::FaultInjected {
                 kind: FaultKind::Reset,
             },
-        }
+        )
     }
 
     #[test]

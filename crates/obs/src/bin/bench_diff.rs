@@ -1,0 +1,107 @@
+//! Diffs two BENCH JSON artifacts; CI's perf-regression gate.
+//!
+//! ```text
+//! bench_diff [options] <baseline.json> <candidate.json>
+//!   --max-share-regress-pct N   wall-bucket share growth budget (default 15)
+//!   --min-share-points N        ...and minimum absolute growth in points (3)
+//!   --min-bucket-secs S         skip buckets under S baseline seconds (0.05)
+//!   --min-bucket-share-pct N    skip buckets under N% of baseline wall (10)
+//!   --max-bytes-regress-pct N   bytes_per_node budget (default 10)
+//!   --fail-on-throughput        fail on events/sec drops too (default: note)
+//!   --max-throughput-regress-pct N   ...beyond this percentage (25)
+//!   --lenient-exact             demote exact-field drift to notes
+//!   --json PATH                 write the machine-readable diff report
+//! ```
+//!
+//! Exit codes: 0 = within thresholds, 1 = regression, 2 = usage/parse
+//! error. The comparison policy (what is exact, what is thresholded, and
+//! why) is documented on `p2pmal_obs::diff`.
+
+use p2pmal_obs::{diff_bench, DiffOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_diff [options] <baseline.json> <candidate.json> (see --help in source)"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> p2pmal_json::Value {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("bench_diff: cannot read {path}: {err}");
+            std::process::exit(2);
+        }
+    };
+    match p2pmal_json::parse(&text) {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!("bench_diff: {path}: {err}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut opts = DiffOptions::default();
+    let mut json_path: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |target: &mut f64| match args.next().and_then(|v| v.parse().ok()) {
+            Some(v) => *target = v,
+            None => usage(),
+        };
+        match arg.as_str() {
+            "--max-share-regress-pct" => num(&mut opts.max_share_regress_pct),
+            "--min-share-points" => num(&mut opts.min_share_points),
+            "--min-bucket-secs" => num(&mut opts.min_bucket_secs),
+            "--min-bucket-share-pct" => num(&mut opts.min_bucket_share_pct),
+            "--max-bytes-regress-pct" => num(&mut opts.max_bytes_regress_pct),
+            "--max-throughput-regress-pct" => num(&mut opts.max_throughput_regress_pct),
+            "--fail-on-throughput" => opts.fail_on_throughput = true,
+            "--lenient-exact" => opts.lenient_exact = true,
+            "--json" => match args.next() {
+                Some(v) => json_path = Some(v),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with('-') => usage(),
+            _ => files.push(arg),
+        }
+    }
+    let [baseline, candidate] = files.as_slice() else {
+        usage();
+    };
+
+    let diff = match diff_bench(&load(baseline), &load(candidate), &opts) {
+        Ok(diff) => diff,
+        Err(err) => {
+            eprintln!("bench_diff: {err}");
+            std::process::exit(2);
+        }
+    };
+
+    println!("baseline:  {baseline}");
+    println!("candidate: {candidate}");
+    for note in &diff.notes {
+        println!("  note: {note}");
+    }
+    for failure in &diff.failures {
+        println!("  FAIL: {failure}");
+    }
+    if let Some(path) = json_path {
+        if let Err(err) = std::fs::write(&path, diff.to_json().to_string_pretty() + "\n") {
+            eprintln!("bench_diff: cannot write {path}: {err}");
+            std::process::exit(2);
+        }
+    }
+    if diff.ok() {
+        println!("OK: no regressions beyond thresholds");
+    } else {
+        println!("REGRESSION: {} failure(s)", diff.failures.len());
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Reconstructs causal propagation trees from telemetry journals.
+//!
+//! ```text
+//! trace_report [--top-k N] [--json PATH] [--strict] <journal.jsonl>...
+//! ```
+//!
+//! For each journal (produced with `P2PMAL_JOURNAL=path` — see the README
+//! Observability section): rebuilds every trace, prints a human summary
+//! (chain completeness, per-hop sim-time latency, hop-depth distribution
+//! of clean vs malicious verdicts, per-family propagation, top-K deepest
+//! and widest traces, orphan diagnostics) and, with `--json`, writes a
+//! machine-readable report covering all journals.
+//!
+//! `--strict` makes the bin a CI check: exit 1 unless every journal has
+//! **zero orphan spans**, **zero sim-time monotonicity violations**, and
+//! **at least one complete** `query_issued -> query_matched ->
+//! download_start -> download_complete -> scan_verdict` chain.
+
+use p2pmal_json::Value;
+use p2pmal_obs::{analyze, load_journal};
+
+fn usage() -> ! {
+    eprintln!("usage: trace_report [--top-k N] [--json PATH] [--strict] <journal.jsonl>...");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut top_k = 3usize;
+    let mut json_path: Option<String> = None;
+    let mut strict = false;
+    let mut journals: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--top-k" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => top_k = v,
+                None => usage(),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_path = Some(v),
+                None => usage(),
+            },
+            "--strict" => strict = true,
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with('-') => usage(),
+            _ => journals.push(arg),
+        }
+    }
+    if journals.is_empty() {
+        usage();
+    }
+
+    let mut reports = Vec::new();
+    let mut strict_ok = true;
+    for path in &journals {
+        let events = match load_journal(path) {
+            Ok(events) => events,
+            Err(err) => {
+                eprintln!("trace_report: {err}");
+                std::process::exit(2);
+            }
+        };
+        let analysis = analyze(path, &events, top_k);
+        print!("{}", analysis.render_summary());
+        if !analysis.orphans.is_empty()
+            || analysis.monotone_violations > 0
+            || analysis.complete_chains == 0
+        {
+            strict_ok = false;
+            if strict {
+                eprintln!(
+                    "trace_report: {path}: strict check failed \
+                     ({} orphans, {} monotonicity violations, {} complete chains)",
+                    analysis.orphans.len(),
+                    analysis.monotone_violations,
+                    analysis.complete_chains
+                );
+            }
+        }
+        reports.push(analysis.to_json());
+    }
+
+    if let Some(path) = json_path {
+        let doc = Value::Obj(vec![("journals".into(), Value::Arr(reports))]);
+        if let Err(err) = std::fs::write(&path, doc.to_string_pretty() + "\n") {
+            eprintln!("trace_report: cannot write {path}: {err}");
+            std::process::exit(2);
+        }
+        println!("report written to {path}");
+    }
+
+    if strict && !strict_ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,151 @@
+//! JSONL journal parsing into typed events.
+//!
+//! The journal schema is defined in `p2pmal-netsim`'s
+//! `telemetry/event.rs` (`TelemetryEvent::to_json`): a flat object per
+//! line with envelope fields `t`/`day`/`cat`/`ev`, optional provenance
+//! `trace`/`span`/`parent` (16-char hex strings), then body fields. This
+//! module parses lines back into [`JournalEvent`]s, keeping the full
+//! object around so analyses can reach any body field.
+
+use p2pmal_json::Value;
+use p2pmal_netsim::telemetry_span::parse_span_hex;
+
+/// One parsed journal line.
+#[derive(Debug, Clone)]
+pub struct JournalEvent {
+    /// 0-based line number in the source journal.
+    pub idx: usize,
+    /// Sim-time in microseconds.
+    pub t: u64,
+    pub day: u64,
+    pub cat: String,
+    pub ev: String,
+    pub trace: Option<u64>,
+    pub span: Option<u64>,
+    pub parent: Option<u64>,
+    /// The whole parsed object, for body-field access.
+    pub obj: Value,
+}
+
+impl JournalEvent {
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.obj.get(key).and_then(Value::as_str)
+    }
+
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        self.obj.get(key).and_then(Value::as_u64)
+    }
+
+    /// Whether this event carries provenance.
+    pub fn spanned(&self) -> bool {
+        self.span.is_some()
+    }
+}
+
+fn id_field(obj: &Value, key: &str, idx: usize) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| format!("line {}: `{key}` is not a string", idx + 1))?;
+            parse_span_hex(s)
+                .map(Some)
+                .ok_or_else(|| format!("line {}: `{key}` is not a hex id: {s:?}", idx + 1))
+        }
+    }
+}
+
+/// Parses one journal line (0-based `idx` for diagnostics).
+pub fn parse_line(line: &str, idx: usize) -> Result<JournalEvent, String> {
+    let obj = p2pmal_json::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+    let need_u64 = |key: &str| {
+        obj.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("line {}: missing numeric `{key}`", idx + 1))
+    };
+    let need_str = |key: &str| {
+        obj.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("line {}: missing string `{key}`", idx + 1))
+    };
+    let ev = JournalEvent {
+        idx,
+        t: need_u64("t")?,
+        day: need_u64("day")?,
+        cat: need_str("cat")?,
+        ev: need_str("ev")?,
+        trace: id_field(&obj, "trace", idx)?,
+        span: id_field(&obj, "span", idx)?,
+        parent: id_field(&obj, "parent", idx)?,
+        obj,
+    };
+    if ev.span.is_some() != ev.trace.is_some() {
+        return Err(format!(
+            "line {}: `trace` and `span` must appear together",
+            idx + 1
+        ));
+    }
+    if ev.parent.is_some() && ev.span.is_none() {
+        return Err(format!("line {}: `parent` without `span`", idx + 1));
+    }
+    Ok(ev)
+}
+
+/// Parses a whole journal (one JSON object per non-empty line).
+pub fn parse_journal(text: &str) -> Result<Vec<JournalEvent>, String> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(parse_line(line, idx)?);
+    }
+    Ok(events)
+}
+
+/// Reads and parses a journal file.
+pub fn load_journal(path: &str) -> Result<Vec<JournalEvent>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_journal(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_spanned_and_spanless_lines() {
+        let text = concat!(
+            "{\"t\":1,\"day\":0,\"cat\":\"query\",\"ev\":\"query_issued\",",
+            "\"trace\":\"00000000000000aa\",\"span\":\"00000000000000bb\",",
+            "\"text\":\"mp3\",\"seq\":0}\n",
+            "{\"t\":2,\"day\":0,\"cat\":\"churn\",\"ev\":\"churn_down\",\"node\":3}\n",
+        );
+        let events = parse_journal(text).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].trace, Some(0xaa));
+        assert_eq!(events[0].span, Some(0xbb));
+        assert_eq!(events[0].parent, None);
+        assert_eq!(events[0].str_field("text"), Some("mp3"));
+        assert!(!events[1].spanned());
+        assert_eq!(events[1].u64_field("node"), Some(3));
+    }
+
+    #[test]
+    fn rejects_malformed_provenance() {
+        // span without trace
+        let bad = "{\"t\":1,\"day\":0,\"cat\":\"query\",\"ev\":\"query_issued\",\"span\":\"01\"}";
+        assert!(parse_line(bad, 0).is_err());
+        // parent without span
+        let bad = "{\"t\":1,\"day\":0,\"cat\":\"query\",\"ev\":\"query_issued\",\"parent\":\"01\"}";
+        assert!(parse_line(bad, 0).is_err());
+        // non-hex id
+        let bad = concat!(
+            "{\"t\":1,\"day\":0,\"cat\":\"query\",\"ev\":\"q\",",
+            "\"trace\":\"zz\",\"span\":\"01\"}"
+        );
+        assert!(parse_line(bad, 0).is_err());
+    }
+}

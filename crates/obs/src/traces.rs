@@ -1,0 +1,611 @@
+//! Causal trace reconstruction over a parsed journal.
+//!
+//! Spanned journal events form, per trace id, a forest: `query_issued`
+//! roots, `query_matched` children, and the download / scan / infection
+//! chain hanging off each match (the exact shape is documented in
+//! `p2pmal-crawler`'s `trace.rs`). This module rebuilds those trees with
+//! plain `BTreeMap`s (deterministic iteration ⇒ byte-stable reports),
+//! checks referential integrity (every `parent` must resolve to a span
+//! emitted somewhere in the same journal; sim-time must not decrease from
+//! parent to child), and derives the analyses the `trace_report` bin
+//! prints: per-edge sim-time latency, hop-depth distributions, per-family
+//! propagation stats, and top-K deepest / widest traces.
+
+use std::collections::BTreeMap;
+
+use p2pmal_json::Value;
+use p2pmal_netsim::telemetry_span::span_hex;
+
+use crate::journal::JournalEvent;
+
+/// One reconstructed trace: every event sharing a trace id, indexed by span.
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// Journal indices of member events, in journal order.
+    pub events: Vec<usize>,
+    /// span id → journal index of the event that defined it (first wins).
+    pub span_owner: BTreeMap<u64, usize>,
+    /// parent span id → journal indices of its children.
+    pub children: BTreeMap<u64, Vec<usize>>,
+    /// Journal indices of parentless (root) events.
+    pub roots: Vec<usize>,
+    /// Journal indices whose `parent` span was never emitted.
+    pub orphans: Vec<usize>,
+}
+
+/// All traces of a journal plus integrity bookkeeping.
+#[derive(Debug, Default)]
+pub struct TraceForest {
+    pub traces: BTreeMap<u64, Trace>,
+    /// Events without provenance (fault/churn or sampled-out categories).
+    pub spanless: usize,
+    /// Events carrying a span.
+    pub spanned: usize,
+    /// (child journal idx, parent journal idx) where child.t < parent.t.
+    pub monotone_violations: Vec<(usize, usize)>,
+}
+
+impl TraceForest {
+    /// Rebuilds the forest. Order-independent: membership and links are
+    /// resolved over the whole journal, so a window-merged sharded journal
+    /// reconstructs identically however its shards interleaved.
+    pub fn build(events: &[JournalEvent]) -> TraceForest {
+        let mut forest = TraceForest::default();
+        for ev in events {
+            let (Some(trace), Some(span)) = (ev.trace, ev.span) else {
+                forest.spanless += 1;
+                continue;
+            };
+            forest.spanned += 1;
+            let tr = forest.traces.entry(trace).or_default();
+            tr.events.push(ev.idx);
+            tr.span_owner.entry(span).or_insert(ev.idx);
+            match ev.parent {
+                Some(parent) => tr.children.entry(parent).or_default().push(ev.idx),
+                None => tr.roots.push(ev.idx),
+            }
+        }
+        // Second pass: now that every span owner is known, classify orphans
+        // and check per-edge sim-time monotonicity.
+        for ev in events {
+            let (Some(trace), Some(parent)) = (ev.trace, ev.parent) else {
+                continue;
+            };
+            let tr = forest.traces.get_mut(&trace).expect("trace indexed above");
+            match tr.span_owner.get(&parent) {
+                None => tr.orphans.push(ev.idx),
+                Some(&owner) => {
+                    if events[owner].t > ev.t {
+                        forest.monotone_violations.push((ev.idx, owner));
+                    }
+                }
+            }
+        }
+        forest
+    }
+
+    /// Root-to-event path of journal indices, following `parent` links.
+    /// `None` if a link is orphaned (or a hash collision formed a cycle).
+    pub fn path_of(&self, events: &[JournalEvent], idx: usize) -> Option<Vec<usize>> {
+        let trace = events[idx].trace?;
+        let tr = self.traces.get(&trace)?;
+        let mut path = vec![idx];
+        let mut cur = idx;
+        while let Some(parent) = events[cur].parent {
+            if path.len() > events.len() {
+                return None; // cycle guard
+            }
+            cur = *tr.span_owner.get(&parent)?;
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    pub fn orphan_count(&self) -> usize {
+        self.traces.values().map(|t| t.orphans.len()).sum()
+    }
+}
+
+/// Sim-time aggregate for one parent→child edge kind.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdgeAgg {
+    pub count: u64,
+    pub min_us: u64,
+    pub max_us: u64,
+    pub sum_us: u64,
+}
+
+impl EdgeAgg {
+    fn push(&mut self, dt: u64) {
+        if self.count == 0 || dt < self.min_us {
+            self.min_us = dt;
+        }
+        if dt > self.max_us {
+            self.max_us = dt;
+        }
+        self.count += 1;
+        self.sum_us += dt;
+    }
+
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Per-malware-family propagation stats, keyed off `infection` events.
+#[derive(Debug, Default)]
+pub struct FamilyStats {
+    pub infections: u64,
+    /// Distinct traces (≈ distinct originating queries) that delivered it.
+    pub traces: BTreeMap<u64, u64>,
+    /// Overlay hop depth (from the chain's `query_matched`) → count.
+    pub hops: BTreeMap<u64, u64>,
+}
+
+/// A top-K entry: one maximal chain of a trace.
+#[derive(Debug)]
+pub struct ChainDesc {
+    pub trace: u64,
+    /// (event label, sim-micros) along the root→leaf path.
+    pub path: Vec<(String, u64)>,
+}
+
+/// A top-K entry: the bushiest span of a trace.
+#[derive(Debug)]
+pub struct WidthDesc {
+    pub trace: u64,
+    /// Label of the widest span's event and its direct child count.
+    pub span_ev: String,
+    pub fanout: usize,
+    /// Total events in the trace.
+    pub events: usize,
+}
+
+/// Everything `trace_report` prints about one journal.
+#[derive(Debug)]
+pub struct Analysis {
+    pub label: String,
+    pub total_events: usize,
+    pub spanless: usize,
+    pub spanned: usize,
+    pub trace_count: usize,
+    pub orphans: Vec<(usize, u64, String)>,
+    pub monotone_violations: usize,
+    /// scan_verdict events reached by a full
+    /// query→match→start→complete→verdict path.
+    pub complete_chains: usize,
+    /// scan_verdict events carrying a span at all.
+    pub spanned_verdicts: usize,
+    /// parent_ev→child_ev → sim-time latency aggregate.
+    pub edges: BTreeMap<String, EdgeAgg>,
+    /// Hop depth of chains whose verdict had detections > 0 / == 0.
+    pub hops_malicious: BTreeMap<u64, u64>,
+    pub hops_clean: BTreeMap<u64, u64>,
+    pub families: BTreeMap<String, FamilyStats>,
+    pub deepest: Vec<ChainDesc>,
+    pub widest: Vec<WidthDesc>,
+}
+
+/// Walks one journal and derives the full [`Analysis`].
+pub fn analyze(label: &str, events: &[JournalEvent], top_k: usize) -> Analysis {
+    let forest = TraceForest::build(events);
+    let mut analysis = Analysis {
+        label: label.to_string(),
+        total_events: events.len(),
+        spanless: forest.spanless,
+        spanned: forest.spanned,
+        trace_count: forest.traces.len(),
+        orphans: Vec::new(),
+        monotone_violations: forest.monotone_violations.len(),
+        complete_chains: 0,
+        spanned_verdicts: 0,
+        edges: BTreeMap::new(),
+        hops_malicious: BTreeMap::new(),
+        hops_clean: BTreeMap::new(),
+        families: BTreeMap::new(),
+        deepest: Vec::new(),
+        widest: Vec::new(),
+    };
+
+    for tr in forest.traces.values() {
+        for &idx in &tr.orphans {
+            let ev = &events[idx];
+            analysis
+                .orphans
+                .push((idx, ev.parent.unwrap_or(0), ev.ev.clone()));
+        }
+    }
+
+    // Per-edge sim-time latency.
+    for ev in events {
+        let (Some(trace), Some(parent)) = (ev.trace, ev.parent) else {
+            continue;
+        };
+        let Some(&owner) = forest
+            .traces
+            .get(&trace)
+            .and_then(|t| t.span_owner.get(&parent))
+        else {
+            continue;
+        };
+        let parent_ev = &events[owner];
+        let key = format!("{}->{}", parent_ev.ev, ev.ev);
+        analysis
+            .edges
+            .entry(key)
+            .or_default()
+            .push(ev.t.saturating_sub(parent_ev.t));
+    }
+
+    // Chain completeness + hop depth, anchored on scan verdicts.
+    for ev in events {
+        if ev.ev != "scan_verdict" || !ev.spanned() {
+            continue;
+        }
+        analysis.spanned_verdicts += 1;
+        let Some(path) = forest.path_of(events, ev.idx) else {
+            continue;
+        };
+        let labels: Vec<&str> = path.iter().map(|&i| events[i].ev.as_str()).collect();
+        let complete = labels.first() == Some(&"query_issued")
+            && labels.contains(&"query_matched")
+            && labels.contains(&"download_start")
+            && labels.contains(&"download_complete")
+            && labels.last() == Some(&"scan_verdict");
+        if complete {
+            analysis.complete_chains += 1;
+        }
+        let hops = path
+            .iter()
+            .find(|&&i| events[i].ev == "query_matched")
+            .and_then(|&i| events[i].u64_field("hops"));
+        if let Some(hops) = hops {
+            let detections = ev.u64_field("detections").unwrap_or(0);
+            let bucket = if detections > 0 {
+                &mut analysis.hops_malicious
+            } else {
+                &mut analysis.hops_clean
+            };
+            *bucket.entry(hops).or_insert(0) += 1;
+        }
+    }
+
+    // Per-family propagation, anchored on infection events.
+    for ev in events {
+        if ev.ev != "infection" {
+            continue;
+        }
+        let family = ev.str_field("family").unwrap_or("unknown").to_string();
+        let stats = analysis.families.entry(family).or_default();
+        stats.infections += 1;
+        if let Some(trace) = ev.trace {
+            *stats.traces.entry(trace).or_insert(0) += 1;
+            if let Some(path) = forest.path_of(events, ev.idx) {
+                if let Some(hops) = path
+                    .iter()
+                    .find(|&&i| events[i].ev == "query_matched")
+                    .and_then(|&i| events[i].u64_field("hops"))
+                {
+                    *stats.hops.entry(hops).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    // Top-K deepest chains: longest root→leaf path per trace, ranked.
+    let mut deepest: Vec<ChainDesc> = Vec::new();
+    let mut widest: Vec<WidthDesc> = Vec::new();
+    for (&trace, tr) in &forest.traces {
+        let mut best: Option<Vec<usize>> = None;
+        for &idx in &tr.events {
+            if let Some(path) = forest.path_of(events, idx) {
+                if best.as_ref().is_none_or(|b| path.len() > b.len()) {
+                    best = Some(path);
+                }
+            }
+        }
+        if let Some(path) = best {
+            deepest.push(ChainDesc {
+                trace,
+                path: path
+                    .iter()
+                    .map(|&i| (events[i].ev.clone(), events[i].t))
+                    .collect(),
+            });
+        }
+        if let Some((&span, kids)) = tr.children.iter().max_by_key(|(_, kids)| kids.len()) {
+            widest.push(WidthDesc {
+                trace,
+                span_ev: tr
+                    .span_owner
+                    .get(&span)
+                    .map(|&i| events[i].ev.clone())
+                    .unwrap_or_else(|| "<orphaned>".to_string()),
+                fanout: kids.len(),
+                events: tr.events.len(),
+            });
+        }
+    }
+    // Stable ranking: primary metric desc, trace id asc as tiebreak.
+    deepest.sort_by(|a, b| b.path.len().cmp(&a.path.len()).then(a.trace.cmp(&b.trace)));
+    deepest.truncate(top_k);
+    widest.sort_by(|a, b| b.fanout.cmp(&a.fanout).then(a.trace.cmp(&b.trace)));
+    widest.truncate(top_k);
+    analysis.deepest = deepest;
+    analysis.widest = widest;
+    analysis
+}
+
+fn hist_json(hist: &BTreeMap<u64, u64>) -> Value {
+    Value::Obj(
+        hist.iter()
+            .map(|(k, v)| (k.to_string(), Value::Num(*v as f64)))
+            .collect(),
+    )
+}
+
+impl Analysis {
+    /// Machine-readable report fragment for this journal.
+    pub fn to_json(&self) -> Value {
+        let edges = Value::Obj(
+            self.edges
+                .iter()
+                .map(|(k, agg)| {
+                    (
+                        k.clone(),
+                        Value::Obj(vec![
+                            ("count".into(), Value::Num(agg.count as f64)),
+                            ("min_us".into(), Value::Num(agg.min_us as f64)),
+                            ("mean_us".into(), Value::Num(agg.mean_us() as f64)),
+                            ("max_us".into(), Value::Num(agg.max_us as f64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let families = Value::Obj(
+            self.families
+                .iter()
+                .map(|(name, f)| {
+                    (
+                        name.clone(),
+                        Value::Obj(vec![
+                            ("infections".into(), Value::Num(f.infections as f64)),
+                            ("traces".into(), Value::Num(f.traces.len() as f64)),
+                            ("hops".into(), hist_json(&f.hops)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let orphans = Value::Arr(
+            self.orphans
+                .iter()
+                .take(20)
+                .map(|(idx, parent, ev)| {
+                    Value::Obj(vec![
+                        ("line".into(), Value::Num((*idx + 1) as f64)),
+                        ("ev".into(), Value::Str(ev.clone())),
+                        ("parent".into(), Value::Str(span_hex(*parent))),
+                    ])
+                })
+                .collect(),
+        );
+        let deepest = Value::Arr(
+            self.deepest
+                .iter()
+                .map(|c| {
+                    Value::Obj(vec![
+                        ("trace".into(), Value::Str(span_hex(c.trace))),
+                        ("depth".into(), Value::Num(c.path.len() as f64)),
+                        (
+                            "path".into(),
+                            Value::Arr(
+                                c.path
+                                    .iter()
+                                    .map(|(ev, t)| {
+                                        Value::Obj(vec![
+                                            ("ev".into(), Value::Str(ev.clone())),
+                                            ("t".into(), Value::Num(*t as f64)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let widest = Value::Arr(
+            self.widest
+                .iter()
+                .map(|w| {
+                    Value::Obj(vec![
+                        ("trace".into(), Value::Str(span_hex(w.trace))),
+                        ("span_ev".into(), Value::Str(w.span_ev.clone())),
+                        ("fanout".into(), Value::Num(w.fanout as f64)),
+                        ("events".into(), Value::Num(w.events as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        Value::Obj(vec![
+            ("journal".into(), Value::Str(self.label.clone())),
+            ("events".into(), Value::Num(self.total_events as f64)),
+            ("spanned".into(), Value::Num(self.spanned as f64)),
+            ("spanless".into(), Value::Num(self.spanless as f64)),
+            ("traces".into(), Value::Num(self.trace_count as f64)),
+            ("orphans".into(), Value::Num(self.orphans.len() as f64)),
+            ("orphan_examples".into(), orphans),
+            (
+                "monotone_violations".into(),
+                Value::Num(self.monotone_violations as f64),
+            ),
+            (
+                "spanned_verdicts".into(),
+                Value::Num(self.spanned_verdicts as f64),
+            ),
+            (
+                "complete_chains".into(),
+                Value::Num(self.complete_chains as f64),
+            ),
+            ("edge_latency".into(), edges),
+            ("hops_malicious".into(), hist_json(&self.hops_malicious)),
+            ("hops_clean".into(), hist_json(&self.hops_clean)),
+            ("families".into(), families),
+            ("deepest".into(), deepest),
+            ("widest".into(), widest),
+        ])
+    }
+
+    /// Human-readable summary, one block per journal.
+    pub fn render_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.label);
+        let _ = writeln!(
+            out,
+            "  events: {} ({} spanned, {} spanless), traces: {}",
+            self.total_events, self.spanned, self.spanless, self.trace_count
+        );
+        let _ = writeln!(
+            out,
+            "  integrity: {} orphan spans, {} sim-time monotonicity violations",
+            self.orphans.len(),
+            self.monotone_violations
+        );
+        let _ = writeln!(
+            out,
+            "  chains: {}/{} scan verdicts reached by a complete query->match->download->verdict path",
+            self.complete_chains, self.spanned_verdicts
+        );
+        if !self.edges.is_empty() {
+            let _ = writeln!(out, "  per-hop sim-time latency (min/mean/max us):");
+            for (edge, agg) in &self.edges {
+                let _ = writeln!(
+                    out,
+                    "    {:<40} x{:<6} {:>8}/{:>8}/{:>10}",
+                    edge,
+                    agg.count,
+                    agg.min_us,
+                    agg.mean_us(),
+                    agg.max_us
+                );
+            }
+        }
+        if !self.hops_malicious.is_empty() || !self.hops_clean.is_empty() {
+            let fmt_hist = |h: &BTreeMap<u64, u64>| {
+                h.iter()
+                    .map(|(k, v)| format!("{k}:{v}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            let _ = writeln!(
+                out,
+                "  hop depth (malicious verdicts): {}",
+                fmt_hist(&self.hops_malicious)
+            );
+            let _ = writeln!(
+                out,
+                "  hop depth (clean verdicts):     {}",
+                fmt_hist(&self.hops_clean)
+            );
+        }
+        for (family, f) in &self.families {
+            let _ = writeln!(
+                out,
+                "  family {:<24} {} infections over {} traces",
+                family,
+                f.infections,
+                f.traces.len()
+            );
+        }
+        for (i, c) in self.deepest.iter().enumerate() {
+            let path = c
+                .path
+                .iter()
+                .map(|(ev, _)| ev.as_str())
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            let _ = writeln!(
+                out,
+                "  deepest#{i} trace {} depth {}: {}",
+                span_hex(c.trace),
+                c.path.len(),
+                path
+            );
+        }
+        for (i, w) in self.widest.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  widest#{i}  trace {} fanout {} at {} ({} events)",
+                span_hex(w.trace),
+                w.fanout,
+                w.span_ev,
+                w.events
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::parse_journal;
+
+    fn chain_journal() -> Vec<JournalEvent> {
+        // A hand-built two-retry chain matching the DlTrace shape, plus one
+        // spanless churn line and one orphan.
+        let text = concat!(
+            "{\"t\":10,\"day\":0,\"cat\":\"query\",\"ev\":\"query_issued\",\"trace\":\"0000000000000001\",\"span\":\"0000000000000010\",\"text\":\"a\",\"seq\":0}\n",
+            "{\"t\":20,\"day\":0,\"cat\":\"query\",\"ev\":\"query_matched\",\"trace\":\"0000000000000001\",\"span\":\"0000000000000011\",\"parent\":\"0000000000000010\",\"text\":\"a\",\"results\":2,\"hops\":3}\n",
+            "{\"t\":30,\"day\":0,\"cat\":\"download\",\"ev\":\"download_start\",\"trace\":\"0000000000000001\",\"span\":\"0000000000000012\",\"parent\":\"0000000000000011\",\"name\":\"a\",\"size\":1,\"host\":\"h\",\"attempt\":0}\n",
+            "{\"t\":40,\"day\":0,\"cat\":\"download\",\"ev\":\"download_complete\",\"trace\":\"0000000000000001\",\"span\":\"0000000000000013\",\"parent\":\"0000000000000012\",\"name\":\"a\",\"ok\":true,\"latency_us\":10,\"attempts\":1}\n",
+            "{\"t\":50,\"day\":0,\"cat\":\"scan\",\"ev\":\"scan_verdict\",\"trace\":\"0000000000000001\",\"span\":\"0000000000000014\",\"parent\":\"0000000000000013\",\"name\":\"a\",\"sha1\":\"x\",\"len\":1,\"detections\":1}\n",
+            "{\"t\":50,\"day\":0,\"cat\":\"scan\",\"ev\":\"infection\",\"trace\":\"0000000000000001\",\"span\":\"0000000000000015\",\"parent\":\"0000000000000014\",\"name\":\"Worm.A\",\"family\":\"worm_a\",\"sha1\":\"x\"}\n",
+            "{\"t\":60,\"day\":0,\"cat\":\"churn\",\"ev\":\"churn_down\",\"node\":1}\n",
+            "{\"t\":70,\"day\":0,\"cat\":\"download\",\"ev\":\"download_retry\",\"trace\":\"0000000000000002\",\"span\":\"0000000000000021\",\"parent\":\"00000000000000ff\",\"name\":\"b\",\"attempt\":1,\"cause\":\"reset\"}\n",
+        );
+        parse_journal(text).unwrap()
+    }
+
+    #[test]
+    fn reconstructs_a_complete_chain() {
+        let events = chain_journal();
+        let forest = TraceForest::build(&events);
+        assert_eq!(forest.traces.len(), 2);
+        assert_eq!(forest.spanless, 1);
+        assert_eq!(forest.orphan_count(), 1);
+        assert!(forest.monotone_violations.is_empty());
+        let path = forest.path_of(&events, 5).unwrap();
+        assert_eq!(path, vec![0, 1, 2, 3, 4, 5]);
+        // Orphaned link has no path to a root.
+        assert!(forest.path_of(&events, 7).is_none());
+    }
+
+    #[test]
+    fn analysis_counts_chains_hops_and_families() {
+        let events = chain_journal();
+        let a = analyze("test", &events, 3);
+        assert_eq!(a.complete_chains, 1);
+        assert_eq!(a.spanned_verdicts, 1);
+        assert_eq!(a.hops_malicious.get(&3), Some(&1));
+        assert!(a.hops_clean.is_empty());
+        let fam = a.families.get("worm_a").unwrap();
+        assert_eq!(fam.infections, 1);
+        assert_eq!(fam.traces.len(), 1);
+        assert_eq!(fam.hops.get(&3), Some(&1));
+        assert_eq!(a.orphans.len(), 1);
+        assert_eq!(a.deepest[0].path.len(), 6);
+        // Edge latency captured per edge kind.
+        assert_eq!(a.edges.get("query_issued->query_matched").unwrap().count, 1);
+        assert_eq!(a.edges.get("scan_verdict->infection").unwrap().mean_us(), 0);
+        // JSON render is stable and contains the headline numbers.
+        let json = a.to_json();
+        assert_eq!(json.get("complete_chains").and_then(Value::as_u64), Some(1));
+        assert_eq!(json.get("orphans").and_then(Value::as_u64), Some(1));
+        assert!(a.render_summary().contains("1/1 scan verdicts"));
+    }
+}

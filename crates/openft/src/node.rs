@@ -31,8 +31,8 @@ use p2pmal_corpus::{ContentRef, HostLibrary, NameRecord};
 use p2pmal_gnutella::servent::SharedWorld;
 use p2pmal_hashes::Md5Digest;
 use p2pmal_netsim::{
-    App, ConnId, Ctx, Direction, EventBody, EventCategory, HostAddr, SimDuration, SimTime,
-    Subsystem, VecMap,
+    telemetry_span as span, App, ConnId, Ctx, Direction, EventBody, EventCategory, HostAddr,
+    SimDuration, SimTime, SpanCtx, Subsystem, VecMap,
 };
 use rand::RngCore;
 
@@ -122,9 +122,12 @@ pub enum FtEvent {
     SessionDown {
         conn: ConnId,
     },
-    /// A result for one of our searches.
+    /// A result for one of our searches. `from` is the routable address of
+    /// the SEARCH node that answered (the session peer) — provenance
+    /// consumers derive the `query_matched` span id from it.
     SearchResult {
         at: SimTime,
+        from: HostAddr,
         result: SearchResult,
     },
     /// The queried node finished streaming results for `id`.
@@ -293,6 +296,20 @@ impl FtNode {
     pub fn search(&mut self, ctx: &mut Ctx<'_>, query: &str) -> u32 {
         let id = self.next_search;
         self.next_search += 1;
+        // Trace root. OpenFT search ids are only unique per origin, so the
+        // trace id mixes in our routable address — the same pair an
+        // answering SEARCH node sees as (session peer, id).
+        if ctx.telemetry_on(EventCategory::Query) {
+            let origin = ctx.external_addr();
+            let trace = span::trace_from_search(origin.ip, origin.port, id);
+            ctx.emit_spanned(
+                EventBody::QueryIssued {
+                    text: query.to_string(),
+                    seq: self.stats.searches_sent,
+                },
+                SpanCtx::root(trace, span::span_root(trace)),
+            );
+        }
         let pkt = Search::Request {
             id,
             query: query.to_string(),
@@ -633,7 +650,11 @@ impl FtNode {
                     Search::Result(result) => {
                         self.stats.results_received += 1;
                         let at = ctx.now();
-                        self.emit(FtEvent::SearchResult { at, result });
+                        let from = match self.conns.get(&conn) {
+                            Some(ConnKind::Peer(p)) => p.peer_addr,
+                            _ => HostAddr::new(std::net::Ipv4Addr::UNSPECIFIED, 0),
+                        };
+                        self.emit(FtEvent::SearchResult { at, from, result });
                     }
                     Search::End { id } => {
                         let at = ctx.now();
@@ -720,10 +741,27 @@ impl FtNode {
         }
         self.stats.results_sent += results.len() as u64;
         if !results.is_empty() && ctx.telemetry_on(EventCategory::Query) {
-            ctx.emit(EventBody::QueryMatched {
-                text: query.to_string(),
-                results: results.len() as u64,
-            });
+            // The session peer *is* the search origin (OpenFT does not
+            // forward searches), so (peer addr, id) rebuilds the trace id
+            // the origin rooted in `search`.
+            let origin = match self.conns.get(&conn) {
+                Some(ConnKind::Peer(p)) => p.peer_addr,
+                _ => HostAddr::new(std::net::Ipv4Addr::UNSPECIFIED, 0),
+            };
+            let me = ctx.external_addr();
+            let trace = span::trace_from_search(origin.ip, origin.port, id);
+            ctx.emit_spanned(
+                EventBody::QueryMatched {
+                    text: query.to_string(),
+                    results: results.len() as u64,
+                    hops: 1,
+                },
+                SpanCtx::child(
+                    trace,
+                    span::span_match_addr(trace, me.ip, me.port),
+                    span::span_root(trace),
+                ),
+            );
         }
         for r in results {
             self.send_packet(ctx, conn, Command::Search, &Search::Result(r).encode());
